@@ -1,0 +1,15 @@
+//! Criterion bench for the design-choice ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use strings_harness::experiments::{ablation, ExpScale};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+    let scale = ExpScale::quick();
+    g.bench_function("designs_and_packer_quick", |b| b.iter(|| ablation::run(&scale)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

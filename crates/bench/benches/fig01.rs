@@ -1,0 +1,15 @@
+//! Criterion bench for the Figure 1 characterization experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use strings_harness::experiments::{fig01, ExpScale};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig01");
+    g.sample_size(10);
+    let scale = ExpScale::quick();
+    g.bench_function("heatmap_quick", |b| b.iter(|| fig01::run(&scale)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

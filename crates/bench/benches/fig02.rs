@@ -1,0 +1,15 @@
+//! Criterion bench for the Figure 2 streams-vs-contexts experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use strings_harness::experiments::{fig02, ExpScale};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig02");
+    g.sample_size(10);
+    let scale = ExpScale::quick();
+    g.bench_function("mc_timelines_quick", |b| b.iter(|| fig02::run(&scale)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Criterion bench for the Figure 9 workload-balancing experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use strings_harness::experiments::{fig09, ExpScale};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig09");
+    g.sample_size(10);
+    let scale = ExpScale::quick();
+    g.bench_function("all_apps_six_policies_quick", |b| b.iter(|| fig09::run(&scale)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

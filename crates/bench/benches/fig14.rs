@@ -1,0 +1,20 @@
+//! Criterion bench for the Figure 14 feedback-balancing experiment (three representative pairs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use strings_harness::experiments::{fig14, ExpScale};
+use strings_workloads::pairs::workload_pairs;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig14");
+    g.sample_size(10);
+    let scale = ExpScale::quick();
+    let all = workload_pairs();
+    let subset = [all[1], all[8], all[17]]; // B, I, R
+    g.bench_function("three_pairs_quick", |b| {
+        b.iter(|| fig14::run_pairs(&scale, &subset))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Micro-benchmarks of the scheduler decision paths: workload-balancer
+//! selection and dispatcher awake-set computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cuda_sim::host::AppId;
+use gpu_sim::ids::StreamId;
+use remoting::gpool::{GMap, NodeId, NodeSpec};
+use strings_core::device_sched::{dispatcher, AppWork, GpuPolicy, Phase, Rcb, TenantId};
+use strings_core::mapper::{GpuAffinityMapper, LbPolicy, PolicyArbiter, WorkloadClass};
+
+fn bench_mapper(c: &mut Criterion) {
+    let gmap = GMap::build(&[NodeSpec::node_a(0), NodeSpec::node_b(1)]);
+    let mut g = c.benchmark_group("mapper_select");
+    for policy in [LbPolicy::Grr, LbPolicy::GWtMin, LbPolicy::Mbf] {
+        let mut m = GpuAffinityMapper::new(&gmap, PolicyArbiter::fixed(policy));
+        // Prime some load.
+        for i in 0..8 {
+            let gid = m.select_device(WorkloadClass(i % 3), NodeId(0));
+            m.bind(gid, WorkloadClass(i % 3));
+        }
+        g.bench_function(policy.label(), |b| {
+            b.iter(|| m.select_device(WorkloadClass(1), NodeId(0)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_dispatcher(c: &mut Criterion) {
+    let mut rcb = Rcb::new();
+    let mut work = Vec::new();
+    for i in 0..16u32 {
+        rcb.register(AppId(i), StreamId(i + 1), TenantId(i % 4), 1.0, 0);
+        rcb.add_service(AppId(i), (i as u64 + 1) * 1000);
+        work.push(AppWork {
+            app: AppId(i),
+            has_ready: i % 3 != 0,
+            phase: match i % 3 {
+                0 => Phase::KernelLaunch,
+                1 => Phase::H2D,
+                _ => Phase::D2H,
+            },
+        });
+    }
+    let mut g = c.benchmark_group("dispatcher_awake_set");
+    for policy in [GpuPolicy::Tfs, GpuPolicy::Las, GpuPolicy::Ps] {
+        g.bench_function(policy.label(), |b| {
+            b.iter(|| dispatcher::awake_set(policy, &rcb, &work))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_mapper, bench_dispatcher);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Core simulator throughput: events per second through the full stack.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use strings_core::config::StackConfig;
+use strings_core::mapper::LbPolicy;
+use strings_harness::scenario::{Scenario, StreamSpec};
+use strings_workloads::profile::AppKind;
+
+fn scenario() -> Scenario {
+    Scenario::single_node(
+        StackConfig::strings(LbPolicy::GMin),
+        vec![
+            StreamSpec::of(AppKind::MC, 10, 1.5),
+            StreamSpec::of(AppKind::DC, 5, 1.5),
+        ],
+        42,
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    // Measure once to learn the event count, then report throughput.
+    let events = scenario().run().events;
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(events));
+    g.bench_function("des_events_full_stack", |b| {
+        b.iter(|| scenario().run())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

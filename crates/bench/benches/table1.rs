@@ -1,0 +1,15 @@
+//! Criterion bench for the Table I characterization run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    g.bench_function("characterize_all_apps", |b| {
+        b.iter(|| strings_harness::experiments::table1::run())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

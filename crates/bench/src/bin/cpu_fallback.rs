@@ -1,0 +1,11 @@
+//! Extension experiment: Ocelot-style CPU fallback (paper §VII).
+
+fn main() {
+    strings_bench::banner(
+        "Extension — CPU fallback via binary translation (paper future work)",
+        "the Xeon joins the gPool; RTF feedback learns what work suits it",
+    );
+    let scale = strings_bench::scale_from_args();
+    let r = strings_harness::experiments::cpu_fallback::run(&scale);
+    print!("{}", strings_harness::experiments::cpu_fallback::table(&r).render());
+}

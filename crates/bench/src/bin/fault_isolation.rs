@@ -1,0 +1,11 @@
+//! Extension experiment: fault isolation across backend designs.
+
+fn main() {
+    strings_bench::banner(
+        "Extension — fault isolation (one backend crash, busy single GPU)",
+        "Design I isolates per process; Design II loses everyone; Design III localizes",
+    );
+    let scale = strings_bench::scale_from_args();
+    let r = strings_harness::experiments::faults::run(&scale);
+    print!("{}", strings_harness::experiments::faults::table(&r).render());
+}

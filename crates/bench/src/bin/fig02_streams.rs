@@ -1,0 +1,11 @@
+//! Regenerates Figure 2: MC utilization, sequential vs concurrent streams.
+
+fn main() {
+    strings_bench::banner(
+        "Figure 2 — GPU utilization of Monte Carlo request sets",
+        "sequential contexts show switching glitches; streams are uniform",
+    );
+    let scale = strings_bench::scale_from_args();
+    let r = strings_harness::experiments::fig02::run(&scale);
+    print!("{}", strings_harness::experiments::fig02::table(&r).render());
+}

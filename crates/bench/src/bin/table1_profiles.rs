@@ -1,0 +1,10 @@
+//! Regenerates Table I: measured application characteristics.
+
+fn main() {
+    strings_bench::banner(
+        "Table I — benchmark applications",
+        "GPU time %, data transfer %, memory bandwidth per application",
+    );
+    let r = strings_harness::experiments::table1::run();
+    print!("{}", strings_harness::experiments::table1::table(&r).render());
+}

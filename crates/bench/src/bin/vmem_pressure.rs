@@ -1,0 +1,11 @@
+//! Extension experiment: virtual memory under memory pressure.
+
+fn main() {
+    strings_bench::banner(
+        "Extension — vmem under memory pressure (MC burst on a 1 GiB Quadro)",
+        "paper assumes arrivals never exhaust memory; the Gdev/Becchi vmem removes it",
+    );
+    let scale = strings_bench::scale_from_args();
+    let r = strings_harness::experiments::vmem::run(&scale);
+    print!("{}", strings_harness::experiments::vmem::table(&r).render());
+}

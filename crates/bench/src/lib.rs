@@ -1,0 +1,68 @@
+//! # strings-bench
+//!
+//! Benchmark harness for the Strings reproduction: one **regeneration
+//! binary** per paper table/figure (printing the same rows/series the paper
+//! plots) and one **Criterion bench** per experiment (micro-scale, tracking
+//! simulation throughput and policy overheads).
+//!
+//! Regeneration binaries (run with `--release`; pass `--quick` for a
+//! reduced run):
+//!
+//! ```text
+//! cargo run --release -p strings-bench --bin table1_profiles
+//! cargo run --release -p strings-bench --bin fig01_characterization
+//! cargo run --release -p strings-bench --bin fig02_streams
+//! cargo run --release -p strings-bench --bin fig09_workload_balancing
+//! cargo run --release -p strings-bench --bin fig10_gpu_sharing
+//! cargo run --release -p strings-bench --bin fig11_fairness
+//! cargo run --release -p strings-bench --bin fig12_throughput
+//! cargo run --release -p strings-bench --bin fig13_sched_only
+//! cargo run --release -p strings-bench --bin fig14_feedback
+//! cargo run --release -p strings-bench --bin fig15_strings_feedback
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+use strings_harness::experiments::ExpScale;
+
+/// Parse the common CLI of the regeneration binaries: `--quick` selects the
+/// reduced scale, `--seeds N` overrides the seed count.
+pub fn scale_from_args() -> ExpScale {
+    let args: Vec<String> = std::env::args().collect();
+    let mut scale = if args.iter().any(|a| a == "--quick") {
+        ExpScale::quick()
+    } else {
+        ExpScale::full()
+    };
+    if let Some(pos) = args.iter().position(|a| a == "--seeds") {
+        if let Some(n) = args.get(pos + 1).and_then(|s| s.parse::<u64>().ok()) {
+            scale.seeds = (1..=n).map(|i| 100 * i + 1).collect();
+        }
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--requests") {
+        if let Some(n) = args.get(pos + 1).and_then(|s| s.parse::<usize>().ok()) {
+            scale.requests = n;
+        }
+    }
+    scale
+}
+
+/// Print a standard experiment banner.
+pub fn banner(figure: &str, paper_note: &str) {
+    println!("== {figure} ==");
+    println!("paper: {paper_note}");
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_is_full() {
+        // Args of the test binary contain no --quick.
+        let s = scale_from_args();
+        assert!(s.requests >= ExpScale::quick().requests);
+    }
+}

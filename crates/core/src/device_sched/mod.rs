@@ -1,0 +1,169 @@
+//! Per-device GPU Scheduler (paper §III.C, §IV.B).
+//!
+//! One instance per GPU. It owns:
+//!
+//! * the **Request Manager** + **Request Control Block** ([`rcb`]):
+//!   registration of application requests with stream id, tenant id and
+//!   weight, via the modelled RT-signal handshake ([`signals`]),
+//! * the **Dispatcher** ([`dispatcher`]): decides, each scheduling epoch,
+//!   which backend threads are awake — i.e. which per-application streams
+//!   may dispatch to the engines (TFS / LAS / PS policies),
+//! * the **Request Monitor** ([`monitor`]): accumulates per-application
+//!   runtime, GPU time, transfer time and bytes moved,
+//! * the **Feedback Engine**: folds the monitor's numbers into a
+//!   [`crate::mapper::FeedbackRecord`] piggybacked on `cudaThreadExit`.
+
+pub mod dispatcher;
+pub mod monitor;
+pub mod rcb;
+pub mod signals;
+
+pub use dispatcher::{AppWork, GpuPolicy, Phase};
+pub use monitor::RequestMonitor;
+pub use rcb::{Rcb, RcbEntry, TenantId};
+pub use signals::SignalProtocol;
+
+use crate::mapper::FeedbackRecord;
+use cuda_sim::host::AppId;
+use gpu_sim::ids::StreamId;
+use sim_core::SimTime;
+
+/// The per-device scheduler: RM + RCB + Dispatcher + RMO + FE.
+#[derive(Debug)]
+pub struct GpuScheduler {
+    policy: GpuPolicy,
+    epoch_ns: u64,
+    rcb: Rcb,
+    monitor: RequestMonitor,
+    signals: SignalProtocol,
+}
+
+impl GpuScheduler {
+    /// New scheduler with the given dispatch policy and epoch length.
+    pub fn new(policy: GpuPolicy, epoch_ns: u64) -> Self {
+        GpuScheduler {
+            policy,
+            epoch_ns,
+            rcb: Rcb::new(),
+            monitor: RequestMonitor::new(),
+            signals: SignalProtocol::new(),
+        }
+    }
+
+    /// Dispatch policy in force.
+    pub fn policy(&self) -> GpuPolicy {
+        self.policy
+    }
+
+    /// Scheduling epoch length, nanoseconds.
+    pub fn epoch_ns(&self) -> u64 {
+        self.epoch_ns
+    }
+
+    /// Request Manager: register an application (performs the RT-signal
+    /// handshake; returns the assigned signal number, used by tests and the
+    /// harness to charge handshake latency).
+    pub fn register(
+        &mut self,
+        app: AppId,
+        stream: StreamId,
+        tenant: TenantId,
+        weight: f64,
+        now: SimTime,
+    ) -> Result<u32, signals::SignalError> {
+        let sig = self.signals.register(app)?;
+        self.rcb.register(app, stream, tenant, weight, now);
+        self.monitor.register(app, now);
+        Ok(sig)
+    }
+
+    /// Request Manager: unregister on `cudaThreadExit`; the Feedback Engine
+    /// piggybacks the monitor's record on the reply.
+    pub fn unregister(&mut self, app: AppId, now: SimTime) -> Option<FeedbackRecord> {
+        self.signals.unregister(app);
+        self.rcb.unregister(app);
+        self.monitor.finish(app, now)
+    }
+
+    /// Request Monitor hook: a device job belonging to `app` completed.
+    /// `is_transfer` distinguishes DMA from kernels; `service_ns` is engine
+    /// occupancy; `bytes` is data moved (0 for kernels).
+    pub fn record_service(&mut self, app: AppId, service_ns: u64, is_transfer: bool, bytes: u64) {
+        self.rcb.add_service(app, service_ns);
+        self.monitor.add(app, service_ns, is_transfer, bytes);
+    }
+
+    /// Dispatcher: compute the awake set for the next epoch given each
+    /// registered app's current work state. Also rolls the LAS decay
+    /// (Eq. 1) for the closing epoch.
+    pub fn epoch_tick(&mut self, work: &[AppWork]) -> Vec<AppId> {
+        self.rcb.roll_epoch();
+        dispatcher::awake_set(self.policy, &self.rcb, work)
+    }
+
+    /// RCB inspection.
+    pub fn rcb(&self) -> &Rcb {
+        &self.rcb
+    }
+
+    /// Monitor inspection.
+    pub fn monitor(&self) -> &RequestMonitor {
+        &self.monitor
+    }
+
+    /// Attained service of a tenant across current registrations, ns
+    /// (fairness accounting).
+    pub fn tenant_service_ns(&self, tenant: TenantId) -> u64 {
+        self.rcb
+            .entries()
+            .filter(|e| e.tenant == tenant)
+            .map(|e| e.total_service_ns)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_unregister_roundtrip() {
+        let mut s = GpuScheduler::new(GpuPolicy::Tfs, 5_000_000);
+        let sig = s
+            .register(AppId(0), StreamId(1), TenantId(0), 1.0, 0)
+            .unwrap();
+        assert!(sig >= signals::SIGRTMIN);
+        assert_eq!(s.rcb().len(), 1);
+        s.record_service(AppId(0), 1_000, false, 0);
+        let fb = s.unregister(AppId(0), 10_000).expect("feedback record");
+        assert_eq!(fb.gpu_time_ns, 1_000);
+        assert_eq!(fb.runtime_ns, 10_000);
+        assert_eq!(s.rcb().len(), 0);
+    }
+
+    #[test]
+    fn service_accumulates_per_tenant() {
+        let mut s = GpuScheduler::new(GpuPolicy::Tfs, 1_000);
+        s.register(AppId(0), StreamId(1), TenantId(0), 1.0, 0).unwrap();
+        s.register(AppId(1), StreamId(2), TenantId(0), 1.0, 0).unwrap();
+        s.register(AppId(2), StreamId(3), TenantId(1), 1.0, 0).unwrap();
+        s.record_service(AppId(0), 300, false, 0);
+        s.record_service(AppId(1), 200, true, 64);
+        s.record_service(AppId(2), 500, false, 0);
+        assert_eq!(s.tenant_service_ns(TenantId(0)), 500);
+        assert_eq!(s.tenant_service_ns(TenantId(1)), 500);
+    }
+
+    #[test]
+    fn policy_and_epoch_accessors() {
+        let s = GpuScheduler::new(GpuPolicy::Ps, 42);
+        assert_eq!(s.policy(), GpuPolicy::Ps);
+        assert_eq!(s.epoch_ns(), 42);
+    }
+
+    #[test]
+    fn unregister_unknown_app_is_none() {
+        let mut s = GpuScheduler::new(GpuPolicy::Las, 1_000);
+        assert!(s.unregister(AppId(9), 5).is_none());
+    }
+}

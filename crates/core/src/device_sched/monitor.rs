@@ -1,0 +1,137 @@
+//! Request Monitor (RMO) and Feedback Engine (FE).
+//!
+//! The monitor computes per-application characteristics — total execution
+//! time, total GPU time, data-transfer time, bytes moved — as device jobs
+//! complete. When `cudaThreadExit` arrives, the Feedback Engine folds them
+//! into a [`FeedbackRecord`] that is piggybacked on the call's reply back
+//! to the GPU Affinity Mapper.
+
+use crate::mapper::FeedbackRecord;
+use cuda_sim::host::AppId;
+use sim_core::SimTime;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct AppStats {
+    registered_at: SimTime,
+    gpu_ns: u64,
+    transfer_ns: u64,
+    bytes_moved: u64,
+}
+
+/// Per-application runtime characteristic accumulator.
+#[derive(Debug, Default)]
+pub struct RequestMonitor {
+    apps: HashMap<AppId, AppStats>,
+}
+
+impl RequestMonitor {
+    /// Empty monitor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Begin monitoring `app`.
+    pub fn register(&mut self, app: AppId, now: SimTime) {
+        self.apps.insert(
+            app,
+            AppStats {
+                registered_at: now,
+                ..Default::default()
+            },
+        );
+    }
+
+    /// Credit a completed device job.
+    pub fn add(&mut self, app: AppId, service_ns: u64, is_transfer: bool, bytes: u64) {
+        if let Some(s) = self.apps.get_mut(&app) {
+            s.gpu_ns += service_ns;
+            if is_transfer {
+                s.transfer_ns += service_ns;
+            }
+            s.bytes_moved += bytes;
+        }
+    }
+
+    /// Close out `app` (Feedback Engine): produce its record and drop the
+    /// accumulator. `None` if the app was never registered.
+    pub fn finish(&mut self, app: AppId, now: SimTime) -> Option<FeedbackRecord> {
+        let s = self.apps.remove(&app)?;
+        Some(FeedbackRecord {
+            runtime_ns: now.saturating_sub(s.registered_at),
+            gpu_time_ns: s.gpu_ns,
+            transfer_ns: s.transfer_ns,
+            bytes_moved: s.bytes_moved,
+        })
+    }
+
+    /// Total GPU time attained so far by a live app.
+    pub fn gpu_ns(&self, app: AppId) -> u64 {
+        self.apps.get(&app).map_or(0, |s| s.gpu_ns)
+    }
+
+    /// Number of applications being monitored.
+    pub fn len(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// True if nothing is being monitored.
+    pub fn is_empty(&self) -> bool {
+        self.apps.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const APP: AppId = AppId(0);
+
+    #[test]
+    fn accumulates_and_finishes() {
+        let mut m = RequestMonitor::new();
+        m.register(APP, 1_000);
+        m.add(APP, 500, false, 0); // kernel
+        m.add(APP, 300, true, 4096); // copy
+        assert_eq!(m.gpu_ns(APP), 800);
+        let fb = m.finish(APP, 11_000).unwrap();
+        assert_eq!(fb.runtime_ns, 10_000);
+        assert_eq!(fb.gpu_time_ns, 800);
+        assert_eq!(fb.transfer_ns, 300);
+        assert_eq!(fb.bytes_moved, 4096);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn derived_metrics_consistent() {
+        let mut m = RequestMonitor::new();
+        m.register(APP, 0);
+        m.add(APP, 400, false, 0);
+        m.add(APP, 600, true, 6_000);
+        let fb = m.finish(APP, 2_000).unwrap();
+        assert!((fb.gpu_utilization() - 0.5).abs() < 1e-12);
+        assert!((fb.transfer_frac() - 0.6).abs() < 1e-12);
+        // 6000 bytes / 1000 ns = 6 GB/s = 6000 MB/s.
+        assert!((fb.mem_bw_mbps() - 6_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_app_is_ignored() {
+        let mut m = RequestMonitor::new();
+        m.add(AppId(9), 100, false, 0);
+        assert_eq!(m.finish(AppId(9), 10), None);
+        assert_eq!(m.gpu_ns(AppId(9)), 0);
+    }
+
+    #[test]
+    fn multiple_apps_isolated() {
+        let mut m = RequestMonitor::new();
+        m.register(AppId(0), 0);
+        m.register(AppId(1), 0);
+        m.add(AppId(0), 100, false, 0);
+        m.add(AppId(1), 900, false, 0);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.gpu_ns(AppId(0)), 100);
+        assert_eq!(m.gpu_ns(AppId(1)), 900);
+    }
+}

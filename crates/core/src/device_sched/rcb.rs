@@ -1,0 +1,229 @@
+//! Request Control Block (RCB).
+//!
+//! One entry per application currently registered with a device's GPU
+//! scheduler: stream id, tenant id, tenant weight, and the service
+//! accounting the dispatch policies consume — total attained service (TFS
+//! fairness), CFS-style virtual runtime (TFS ordering), and the decayed
+//! cumulative GPU service of the paper's Eq. 1 (LAS):
+//!
+//! ```text
+//! CGS_n = k · GS_n + (1 − k) · CGS_{n−1},   k = 0.8
+//! ```
+
+use cuda_sim::host::AppId;
+use gpu_sim::ids::StreamId;
+use serde::{Deserialize, Serialize};
+use sim_core::SimTime;
+use std::collections::BTreeMap;
+
+/// Decay constant of Eq. 1.
+pub const LAS_K: f64 = 0.8;
+
+/// A tenant (cloud customer) identity; weights are per tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TenantId(pub u32);
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// One RCB row.
+#[derive(Debug, Clone)]
+pub struct RcbEntry {
+    /// Application instance.
+    pub app: AppId,
+    /// Its private CUDA stream on this device.
+    pub stream: StreamId,
+    /// Owning tenant.
+    pub tenant: TenantId,
+    /// Tenant weight (share entitlement).
+    pub weight: f64,
+    /// Total engine time attained since registration, ns.
+    pub total_service_ns: u64,
+    /// Service attained during the current epoch, ns.
+    pub epoch_service_ns: u64,
+    /// Decayed cumulative GPU service (Eq. 1), ns.
+    pub cgs_ns: f64,
+    /// Weight-normalized attained service (TFS ordering key).
+    pub vruntime_ns: f64,
+    /// Registration time.
+    pub registered_at: SimTime,
+}
+
+/// The table, keyed by application for deterministic iteration.
+#[derive(Debug, Default)]
+pub struct Rcb {
+    rows: BTreeMap<AppId, RcbEntry>,
+}
+
+impl Rcb {
+    /// Empty RCB.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register an application. New arrivals inherit the minimum vruntime
+    /// among live entries so they neither starve others nor get starved.
+    pub fn register(
+        &mut self,
+        app: AppId,
+        stream: StreamId,
+        tenant: TenantId,
+        weight: f64,
+        now: SimTime,
+    ) {
+        assert!(weight > 0.0, "tenant weight must be positive");
+        let base_vruntime = self
+            .rows
+            .values()
+            .map(|e| e.vruntime_ns)
+            .fold(f64::INFINITY, f64::min);
+        let vruntime = if base_vruntime.is_finite() {
+            base_vruntime
+        } else {
+            0.0
+        };
+        self.rows.insert(
+            app,
+            RcbEntry {
+                app,
+                stream,
+                tenant,
+                weight,
+                total_service_ns: 0,
+                epoch_service_ns: 0,
+                cgs_ns: 0.0,
+                vruntime_ns: vruntime,
+                registered_at: now,
+            },
+        );
+    }
+
+    /// Remove an application's entry.
+    pub fn unregister(&mut self, app: AppId) {
+        self.rows.remove(&app);
+    }
+
+    /// Credit attained engine time to an application.
+    pub fn add_service(&mut self, app: AppId, service_ns: u64) {
+        if let Some(e) = self.rows.get_mut(&app) {
+            e.total_service_ns += service_ns;
+            e.epoch_service_ns += service_ns;
+            e.vruntime_ns += service_ns as f64 / e.weight;
+        }
+    }
+
+    /// Close the current epoch: fold each entry's epoch service into its
+    /// decayed CGS (Eq. 1) and reset the epoch accumulator.
+    pub fn roll_epoch(&mut self) {
+        for e in self.rows.values_mut() {
+            e.cgs_ns = LAS_K * e.epoch_service_ns as f64 + (1.0 - LAS_K) * e.cgs_ns;
+            e.epoch_service_ns = 0;
+        }
+    }
+
+    /// Entry lookup.
+    pub fn get(&self, app: AppId) -> Option<&RcbEntry> {
+        self.rows.get(&app)
+    }
+
+    /// All entries in app order.
+    pub fn entries(&self) -> impl Iterator<Item = &RcbEntry> {
+        self.rows.values()
+    }
+
+    /// Number of registered applications.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no applications are registered.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rcb_with(apps: &[(u32, f64)]) -> Rcb {
+        let mut r = Rcb::new();
+        for (i, (app, w)) in apps.iter().enumerate() {
+            r.register(AppId(*app), StreamId(i as u32 + 1), TenantId(*app), *w, 0);
+        }
+        r
+    }
+
+    #[test]
+    fn vruntime_scales_inversely_with_weight() {
+        let mut r = rcb_with(&[(0, 1.0), (1, 2.0)]);
+        r.add_service(AppId(0), 1000);
+        r.add_service(AppId(1), 1000);
+        let v0 = r.get(AppId(0)).unwrap().vruntime_ns;
+        let v1 = r.get(AppId(1)).unwrap().vruntime_ns;
+        assert!((v0 - 1000.0).abs() < 1e-9);
+        assert!((v1 - 500.0).abs() < 1e-9, "double weight → half vruntime");
+    }
+
+    #[test]
+    fn cgs_decay_follows_eq1() {
+        let mut r = rcb_with(&[(0, 1.0)]);
+        r.add_service(AppId(0), 1000);
+        r.roll_epoch();
+        // CGS_1 = 0.8·1000 + 0.2·0 = 800.
+        assert!((r.get(AppId(0)).unwrap().cgs_ns - 800.0).abs() < 1e-9);
+        r.add_service(AppId(0), 500);
+        r.roll_epoch();
+        // CGS_2 = 0.8·500 + 0.2·800 = 560.
+        assert!((r.get(AppId(0)).unwrap().cgs_ns - 560.0).abs() < 1e-9);
+        // Idle epoch decays toward zero.
+        r.roll_epoch();
+        assert!((r.get(AppId(0)).unwrap().cgs_ns - 112.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn epoch_accumulator_resets() {
+        let mut r = rcb_with(&[(0, 1.0)]);
+        r.add_service(AppId(0), 700);
+        assert_eq!(r.get(AppId(0)).unwrap().epoch_service_ns, 700);
+        r.roll_epoch();
+        assert_eq!(r.get(AppId(0)).unwrap().epoch_service_ns, 0);
+        assert_eq!(r.get(AppId(0)).unwrap().total_service_ns, 700);
+    }
+
+    #[test]
+    fn late_joiner_inherits_min_vruntime() {
+        let mut r = rcb_with(&[(0, 1.0)]);
+        r.add_service(AppId(0), 10_000);
+        r.register(AppId(1), StreamId(9), TenantId(1), 1.0, 50);
+        let v1 = r.get(AppId(1)).unwrap().vruntime_ns;
+        assert!((v1 - 10_000.0).abs() < 1e-9, "no catch-up starvation");
+    }
+
+    #[test]
+    fn unknown_app_service_ignored() {
+        let mut r = Rcb::new();
+        r.add_service(AppId(3), 100); // no panic
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_weight_rejected() {
+        let mut r = Rcb::new();
+        r.register(AppId(0), StreamId(1), TenantId(0), 0.0, 0);
+    }
+
+    #[test]
+    fn unregister_removes_row() {
+        let mut r = rcb_with(&[(0, 1.0), (1, 1.0)]);
+        assert_eq!(r.len(), 2);
+        r.unregister(AppId(0));
+        assert_eq!(r.len(), 1);
+        assert!(r.get(AppId(0)).is_none());
+        assert_eq!(r.entries().count(), 1);
+    }
+}

@@ -1,0 +1,187 @@
+//! RT-signal wake/sleep protocol (paper Figure 7a).
+//!
+//! The real Strings controls backend threads with Unix real-time signals:
+//! a **three-way handshake** registers each backend thread — (1) the thread
+//! registers `{pid, gid}` with the Request Manager over IPC, (2) the RM's
+//! listener allocates the next available RT signal number and returns it,
+//! (3) the thread installs a handler and acknowledges. The Dispatcher then
+//! toggles threads between sleep and wake by raising their signal.
+//!
+//! We model the protocol faithfully — including the *finite* RT-signal
+//! space (`SIGRTMIN..=SIGRTMAX`, 32 signals on Linux), which bounds how
+//! many backend threads one device scheduler can control.
+
+use cuda_sim::host::AppId;
+use std::collections::{BTreeSet, HashMap};
+
+/// First real-time signal number (Linux `SIGRTMIN`).
+pub const SIGRTMIN: u32 = 34;
+/// Last real-time signal number (Linux `SIGRTMAX`).
+pub const SIGRTMAX: u32 = 64;
+
+/// Errors from the registration protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SignalError {
+    /// All RT signal numbers are allocated.
+    Exhausted,
+    /// The application already holds a signal.
+    AlreadyRegistered(AppId),
+}
+
+impl std::fmt::Display for SignalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SignalError::Exhausted => write!(f, "RT signal space exhausted"),
+            SignalError::AlreadyRegistered(a) => write!(f, "{a} already registered"),
+        }
+    }
+}
+
+impl std::error::Error for SignalError {}
+
+/// Wake/sleep state of a registered backend thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadState {
+    /// Thread may dispatch GPU work.
+    Awake,
+    /// Thread is parked in its signal handler.
+    Asleep,
+}
+
+/// The Request Manager's signal bookkeeping.
+#[derive(Debug, Default)]
+pub struct SignalProtocol {
+    free: BTreeSet<u32>,
+    assigned: HashMap<AppId, u32>,
+    states: HashMap<AppId, ThreadState>,
+}
+
+impl SignalProtocol {
+    /// New protocol with the full RT signal range free.
+    pub fn new() -> Self {
+        SignalProtocol {
+            free: (SIGRTMIN..=SIGRTMAX).collect(),
+            assigned: HashMap::new(),
+            states: HashMap::new(),
+        }
+    }
+
+    /// Three-way handshake: allocate the next available RT signal for
+    /// `app`'s backend thread. Threads start asleep (the Dispatcher decides
+    /// who wakes).
+    pub fn register(&mut self, app: AppId) -> Result<u32, SignalError> {
+        if self.assigned.contains_key(&app) {
+            return Err(SignalError::AlreadyRegistered(app));
+        }
+        let sig = *self.free.iter().next().ok_or(SignalError::Exhausted)?;
+        self.free.remove(&sig);
+        self.assigned.insert(app, sig);
+        self.states.insert(app, ThreadState::Asleep);
+        Ok(sig)
+    }
+
+    /// Release `app`'s signal (idempotent).
+    pub fn unregister(&mut self, app: AppId) {
+        if let Some(sig) = self.assigned.remove(&app) {
+            self.free.insert(sig);
+            self.states.remove(&app);
+        }
+    }
+
+    /// The signal number assigned to `app`.
+    pub fn signal_of(&self, app: AppId) -> Option<u32> {
+        self.assigned.get(&app).copied()
+    }
+
+    /// Deliver a wake or sleep toggle to `app`'s thread. Returns the new
+    /// state, or `None` for unregistered apps.
+    pub fn set_state(&mut self, app: AppId, state: ThreadState) -> Option<ThreadState> {
+        if !self.assigned.contains_key(&app) {
+            return None;
+        }
+        self.states.insert(app, state);
+        Some(state)
+    }
+
+    /// Current state of `app`'s thread.
+    pub fn state_of(&self, app: AppId) -> Option<ThreadState> {
+        self.states.get(&app).copied()
+    }
+
+    /// Number of registered threads.
+    pub fn len(&self) -> usize {
+        self.assigned.len()
+    }
+
+    /// True if nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.assigned.is_empty()
+    }
+
+    /// Remaining capacity.
+    pub fn available(&self) -> usize {
+        self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handshake_assigns_ascending_signals() {
+        let mut p = SignalProtocol::new();
+        assert_eq!(p.register(AppId(0)), Ok(SIGRTMIN));
+        assert_eq!(p.register(AppId(1)), Ok(SIGRTMIN + 1));
+        assert_eq!(p.signal_of(AppId(0)), Some(SIGRTMIN));
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn double_registration_rejected() {
+        let mut p = SignalProtocol::new();
+        p.register(AppId(0)).unwrap();
+        assert_eq!(
+            p.register(AppId(0)),
+            Err(SignalError::AlreadyRegistered(AppId(0)))
+        );
+    }
+
+    #[test]
+    fn signal_space_is_finite_and_recycled() {
+        let mut p = SignalProtocol::new();
+        let capacity = (SIGRTMAX - SIGRTMIN + 1) as usize;
+        for i in 0..capacity {
+            p.register(AppId(i as u32)).unwrap();
+        }
+        assert_eq!(p.available(), 0);
+        assert_eq!(p.register(AppId(999)), Err(SignalError::Exhausted));
+        // Unregistering frees the lowest signal for reuse.
+        p.unregister(AppId(0));
+        assert_eq!(p.register(AppId(999)), Ok(SIGRTMIN));
+    }
+
+    #[test]
+    fn threads_start_asleep_and_toggle() {
+        let mut p = SignalProtocol::new();
+        p.register(AppId(0)).unwrap();
+        assert_eq!(p.state_of(AppId(0)), Some(ThreadState::Asleep));
+        assert_eq!(
+            p.set_state(AppId(0), ThreadState::Awake),
+            Some(ThreadState::Awake)
+        );
+        assert_eq!(p.state_of(AppId(0)), Some(ThreadState::Awake));
+        // Unregistered apps cannot be signalled.
+        assert_eq!(p.set_state(AppId(5), ThreadState::Awake), None);
+    }
+
+    #[test]
+    fn unregister_is_idempotent() {
+        let mut p = SignalProtocol::new();
+        p.register(AppId(0)).unwrap();
+        p.unregister(AppId(0));
+        p.unregister(AppId(0));
+        assert!(p.is_empty());
+        assert_eq!(p.available(), (SIGRTMAX - SIGRTMIN + 1) as usize);
+    }
+}

@@ -1,0 +1,41 @@
+//! # strings-core
+//!
+//! The **Strings** scheduler — the paper's contribution — plus its two
+//! baselines. Strings decomposes GPU scheduling into:
+//!
+//! * the **GPU Affinity Mapper** ([`mapper`]): cluster-level workload
+//!   balancing over the gPool. Overrides every application's
+//!   `cudaSetDevice` with a policy decision using the Device Status Table
+//!   (static weights + dynamic load) and the Scheduler Feedback Table
+//!   (per-workload-class history from device-level monitors). Policies:
+//!   GRR, GMin, GWtMin and the feedback family RTF, GUF, DTF, MBF, with a
+//!   Policy Arbiter that switches dynamically once enough feedback exists.
+//! * the **Context Packer** ([`packer`]): packs the GPU components of all
+//!   applications sharing a device into one GPU context. Per-application
+//!   CUDA streams (SC + AST), device-sync → stream-sync rewriting (SST),
+//!   and sync → pinned-async memcpy rewriting (MOT) backed by the Pinned
+//!   Memory Table (PMT).
+//! * the per-device **GPU Scheduler** ([`device_sched`]): registers
+//!   requests in the Request Control Block, gates backend threads through a
+//!   modelled RT-signal sleep/wake protocol, and prioritizes with TFS
+//!   (fair share), LAS (least attained service), or PS (phase selection).
+//!   The Request Monitor measures runtime/GPU-time/transfer/bandwidth and
+//!   the Feedback Engine ships those records back to the mapper.
+//!
+//! [`config`] assembles the three layers plus the remoting substrate into
+//! the three **operating modes** the evaluation compares: the bare CUDA
+//! runtime, the authors' earlier *Rain* (Design I), and *Strings*
+//! (Design III).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod config;
+pub mod device_sched;
+pub mod mapper;
+pub mod packer;
+
+pub use config::{SchedulerMode, StackConfig};
+pub use device_sched::{GpuPolicy, GpuScheduler};
+pub use mapper::{FeedbackRecord, GpuAffinityMapper, LbPolicy, WorkloadClass};
+pub use packer::{ContextPacker, PackedCall, PackerConfig};

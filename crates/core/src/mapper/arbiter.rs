@@ -1,0 +1,121 @@
+//! Policy Arbiter (PA).
+//!
+//! "The PA also triggers dynamic policy switching, upon receiving
+//! sufficient feedback information from low-level GPU schedulers"
+//! (paper §III.C). The arbiter starts on a static policy and, once the SFT
+//! holds enough records, switches to the configured feedback policy.
+
+use super::policy::LbPolicy;
+use super::sft::SchedulerFeedbackTable;
+use serde::{Deserialize, Serialize};
+
+/// Dynamic policy-switching controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PolicyArbiter {
+    initial: LbPolicy,
+    feedback: Option<LbPolicy>,
+    /// Records required in the SFT before switching.
+    min_records: u64,
+    switched: bool,
+}
+
+impl PolicyArbiter {
+    /// An arbiter that never switches: one fixed policy.
+    pub fn fixed(policy: LbPolicy) -> Self {
+        PolicyArbiter {
+            initial: policy,
+            feedback: None,
+            min_records: u64::MAX,
+            switched: false,
+        }
+    }
+
+    /// Start on `initial`, switch to `feedback` after `min_records`
+    /// feedback records have been collected.
+    pub fn switching(initial: LbPolicy, feedback: LbPolicy, min_records: u64) -> Self {
+        assert!(
+            feedback.is_feedback(),
+            "switch target must be a feedback policy"
+        );
+        PolicyArbiter {
+            initial,
+            feedback: Some(feedback),
+            min_records,
+            switched: false,
+        }
+    }
+
+    /// The policy currently in force.
+    pub fn current(&self) -> LbPolicy {
+        if self.switched {
+            self.feedback.expect("switched implies target")
+        } else {
+            self.initial
+        }
+    }
+
+    /// True once the dynamic switch has happened.
+    pub fn has_switched(&self) -> bool {
+        self.switched
+    }
+
+    /// Notify the arbiter of new feedback; may trigger the switch.
+    pub fn on_feedback(&mut self, sft: &SchedulerFeedbackTable) {
+        if !self.switched
+            && self.feedback.is_some()
+            && sft.total_records() >= self.min_records
+        {
+            self.switched = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapper::sft::FeedbackRecord;
+    use remoting::gpool::Gid;
+    use crate::mapper::WorkloadClass;
+
+    fn rec() -> FeedbackRecord {
+        FeedbackRecord {
+            runtime_ns: 1_000,
+            gpu_time_ns: 500,
+            transfer_ns: 100,
+            bytes_moved: 1,
+        }
+    }
+
+    #[test]
+    fn fixed_never_switches() {
+        let mut a = PolicyArbiter::fixed(LbPolicy::GMin);
+        let mut sft = SchedulerFeedbackTable::new();
+        for i in 0..1000 {
+            sft.record(WorkloadClass(i % 3), Gid(0), rec());
+            a.on_feedback(&sft);
+        }
+        assert_eq!(a.current(), LbPolicy::GMin);
+        assert!(!a.has_switched());
+    }
+
+    #[test]
+    fn switches_exactly_at_threshold() {
+        let mut a = PolicyArbiter::switching(LbPolicy::GWtMin, LbPolicy::Guf, 5);
+        let mut sft = SchedulerFeedbackTable::new();
+        for i in 0..4 {
+            sft.record(WorkloadClass(i), Gid(0), rec());
+            a.on_feedback(&sft);
+            assert_eq!(a.current(), LbPolicy::GWtMin, "record {i}");
+        }
+        sft.record(WorkloadClass(4), Gid(0), rec());
+        a.on_feedback(&sft);
+        assert_eq!(a.current(), LbPolicy::Guf);
+        assert!(a.has_switched());
+    }
+
+    #[test]
+    #[should_panic]
+    fn switch_target_must_be_feedback_policy() {
+        PolicyArbiter::switching(LbPolicy::Grr, LbPolicy::GMin, 1);
+    }
+}

@@ -1,0 +1,158 @@
+//! Device Status Table (DST).
+//!
+//! One row per GPU in the gPool. Static fields (weight, hosting node) are
+//! filled once by the gPool Creator; the dynamic load (which workload
+//! classes are currently bound) is updated by the Target GPU Selector as
+//! requests arrive and complete.
+
+use super::WorkloadClass;
+use remoting::gpool::{GMap, Gid, NodeId};
+
+/// One DST row.
+#[derive(Debug, Clone)]
+pub struct DeviceStatus {
+    /// Global device id.
+    pub gid: Gid,
+    /// Hosting node.
+    pub node: NodeId,
+    /// Static device weight (from device properties at gPool creation).
+    pub weight: f64,
+    bound: Vec<WorkloadClass>,
+}
+
+impl DeviceStatus {
+    /// Number of application instances currently bound (the paper's
+    /// "device load" field).
+    pub fn load(&self) -> usize {
+        self.bound.len()
+    }
+
+    /// Load normalized by device weight (GWtMin's metric).
+    pub fn weighted_load(&self) -> f64 {
+        self.bound.len() as f64 / self.weight
+    }
+
+    /// Workload classes currently bound.
+    pub fn bound(&self) -> &[WorkloadClass] {
+        &self.bound
+    }
+}
+
+/// The full table, indexed by GID.
+#[derive(Debug, Clone)]
+pub struct DeviceStatusTable {
+    rows: Vec<DeviceStatus>,
+}
+
+impl DeviceStatusTable {
+    /// Build from the gMap (static fields) with zero load.
+    pub fn from_gmap(gmap: &GMap) -> Self {
+        DeviceStatusTable {
+            rows: gmap
+                .entries()
+                .iter()
+                .map(|e| DeviceStatus {
+                    gid: e.gid,
+                    node: e.node,
+                    weight: e.weight,
+                    bound: Vec::new(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Row lookup.
+    pub fn row(&self, gid: Gid) -> Option<&DeviceStatus> {
+        self.rows.get(gid.index())
+    }
+
+    /// All rows in GID order.
+    pub fn rows(&self) -> &[DeviceStatus] {
+        &self.rows
+    }
+
+    /// Bind one instance of `class` to `gid`.
+    pub fn bind(&mut self, gid: Gid, class: WorkloadClass) {
+        self.rows[gid.index()].bound.push(class);
+    }
+
+    /// Unbind one instance of `class` from `gid` (no-op if absent).
+    pub fn unbind(&mut self, gid: Gid, class: WorkloadClass) {
+        let bound = &mut self.rows[gid.index()].bound;
+        if let Some(pos) = bound.iter().position(|c| *c == class) {
+            bound.swap_remove(pos);
+        }
+    }
+
+    /// Total bound instances across the pool.
+    pub fn total_load(&self) -> usize {
+        self.rows.iter().map(|r| r.load()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remoting::gpool::NodeSpec;
+
+    fn dst() -> DeviceStatusTable {
+        DeviceStatusTable::from_gmap(&GMap::build(&[NodeSpec::node_a(0), NodeSpec::node_b(1)]))
+    }
+
+    #[test]
+    fn static_fields_from_gmap() {
+        let t = dst();
+        assert_eq!(t.len(), 4);
+        assert!(!t.is_empty());
+        assert_eq!(t.row(Gid(2)).unwrap().node, NodeId(1));
+        // Tesla C2050 (gid1) is the reference: weight 1.
+        assert!((t.row(Gid(1)).unwrap().weight - 1.0).abs() < 1e-12);
+        assert!(t.row(Gid(0)).unwrap().weight < 1.0, "Quadro weighs less");
+    }
+
+    #[test]
+    fn bind_unbind_counts() {
+        let mut t = dst();
+        let w = WorkloadClass(7);
+        t.bind(Gid(0), w);
+        t.bind(Gid(0), w);
+        t.bind(Gid(0), WorkloadClass(8));
+        assert_eq!(t.row(Gid(0)).unwrap().load(), 3);
+        assert_eq!(t.total_load(), 3);
+        t.unbind(Gid(0), w);
+        assert_eq!(t.row(Gid(0)).unwrap().load(), 2);
+        // Unbinding a class that isn't there is a no-op.
+        t.unbind(Gid(0), WorkloadClass(99));
+        assert_eq!(t.row(Gid(0)).unwrap().load(), 2);
+    }
+
+    #[test]
+    fn weighted_load_divides_by_weight() {
+        let mut t = dst();
+        t.bind(Gid(0), WorkloadClass(0)); // Quadro 2000, weight < 1
+        t.bind(Gid(1), WorkloadClass(0)); // Tesla C2050, weight = 1
+        let q = t.row(Gid(0)).unwrap().weighted_load();
+        let tsl = t.row(Gid(1)).unwrap().weighted_load();
+        assert!(q > tsl, "same load weighs heavier on the weaker GPU");
+    }
+
+    #[test]
+    fn bound_classes_visible() {
+        let mut t = dst();
+        t.bind(Gid(3), WorkloadClass(1));
+        t.bind(Gid(3), WorkloadClass(2));
+        let b = t.row(Gid(3)).unwrap().bound();
+        assert_eq!(b.len(), 2);
+        assert!(b.contains(&WorkloadClass(1)));
+    }
+}

@@ -1,0 +1,339 @@
+//! Workload-balancing policies (paper §IV.A and §IV.C).
+//!
+//! Every policy maps *(DST, SFT, arriving class, arriving node)* to a GID.
+//! The first family uses only the DST:
+//!
+//! * **GRR** — global round robin over the gPool,
+//! * **GMin** — least device load, ties broken toward local GPUs ("remote
+//!   GPUs are more expensive to access"),
+//! * **GWtMin** — least *weighted* load using the static device weights,
+//!
+//! and the feedback family additionally consults the SFT:
+//!
+//! * **RTF** — expected-completion balancing from measured runtimes,
+//! * **GUF** — avoid collocating two high-GPU-utilization applications,
+//! * **DTF** — collocate contrasting data-transfer intensities so one
+//!   application computes while another transfers,
+//! * **MBF** — avoid collocating bandwidth-bound applications so
+//!   compute-bound work hides the hogs' memory latencies.
+
+use super::dst::DeviceStatusTable;
+use super::sft::SchedulerFeedbackTable;
+use super::WorkloadClass;
+use remoting::gpool::{Gid, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Per-policy collocation-penalty weights versus the load term (DESIGN.md
+/// §8 calibration). GUF's utilization products are kept gentle — its
+/// signal is coarse and must not override sane load weighting — while
+/// DTF/MBF's engine-level contrasts are sharp and deserve more authority.
+const GUF_PENALTY_WEIGHT: f64 = 1.0;
+const DTF_PENALTY_WEIGHT: f64 = 1.5;
+const MBF_PENALTY_WEIGHT: f64 = 1.5;
+
+/// Tiny preference for local GPUs used as a tie-breaker.
+const REMOTE_EPSILON: f64 = 1e-3;
+
+/// The workload-balancing policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LbPolicy {
+    /// Global round robin.
+    Grr,
+    /// Global minimum load.
+    GMin,
+    /// Weighted global minimum load.
+    GWtMin,
+    /// Runtime feedback.
+    Rtf,
+    /// GPU-utilization feedback.
+    Guf,
+    /// Data-transfer feedback (Strings-specific).
+    Dtf,
+    /// Memory-bandwidth feedback (Strings-specific).
+    Mbf,
+}
+
+impl LbPolicy {
+    /// True for the policies that require SFT history.
+    pub fn is_feedback(self) -> bool {
+        matches!(
+            self,
+            LbPolicy::Rtf | LbPolicy::Guf | LbPolicy::Dtf | LbPolicy::Mbf
+        )
+    }
+
+    /// Display label as used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            LbPolicy::Grr => "GRR",
+            LbPolicy::GMin => "GMin",
+            LbPolicy::GWtMin => "GWtMin",
+            LbPolicy::Rtf => "RTF",
+            LbPolicy::Guf => "GUF",
+            LbPolicy::Dtf => "DTF",
+            LbPolicy::Mbf => "MBF",
+        }
+    }
+
+    /// Choose a target GID.
+    pub fn select(
+        self,
+        dst: &DeviceStatusTable,
+        sft: &SchedulerFeedbackTable,
+        class: WorkloadClass,
+        app_node: NodeId,
+        rr_next: &mut usize,
+    ) -> Gid {
+        assert!(!dst.is_empty(), "empty gPool");
+        match self {
+            LbPolicy::Grr => {
+                let gid = dst.rows()[*rr_next % dst.len()].gid;
+                *rr_next = (*rr_next + 1) % dst.len();
+                gid
+            }
+            _ => self.argmin(dst, sft, class, app_node),
+        }
+    }
+
+    fn argmin(
+        self,
+        dst: &DeviceStatusTable,
+        sft: &SchedulerFeedbackTable,
+        class: WorkloadClass,
+        app_node: NodeId,
+    ) -> Gid {
+        let mut best: Option<((f64, f64, Gid), Gid)> = None;
+        for row in dst.rows() {
+            // Expected seconds to drain this device's queue plus the new
+            // arrival, from measured GPU-specific runtimes (RTF's metric;
+            // DTF and MBF build on it — the paper notes MBF "includes the
+            // benefits of both RTF and DTF").
+            let busy_s = (row
+                .bound()
+                .iter()
+                .map(|c| sft.runtime_on(*c, row.gid))
+                .sum::<f64>()
+                + sft.runtime_on(class, row.gid))
+                / 1e9;
+            let new_runtime_s = sft.estimate(class).runtime_ns / 1e9;
+            let mut score = match self {
+                LbPolicy::GMin => row.load() as f64,
+                LbPolicy::GWtMin => row.weighted_load(),
+                LbPolicy::Rtf => busy_s,
+                LbPolicy::Guf => {
+                    let new_util = sft.estimate(class).gpu_util;
+                    let penalty: f64 = row
+                        .bound()
+                        .iter()
+                        .map(|c| sft.estimate(*c).gpu_util * new_util)
+                        .sum();
+                    row.weighted_load() + GUF_PENALTY_WEIGHT * penalty
+                }
+                LbPolicy::Dtf => {
+                    // Similar transfer intensity → both fight for the same
+                    // engine; contrast → compute overlaps transfer.
+                    let new_tf = sft.estimate(class).transfer_frac;
+                    let penalty: f64 = row
+                        .bound()
+                        .iter()
+                        .map(|c| 1.0 - (sft.estimate(*c).transfer_frac - new_tf).abs())
+                        .sum();
+                    // A same-character collocation costs about a fraction
+                    // of the arriving application's own runtime.
+                    busy_s + DTF_PENALTY_WEIGHT * penalty * new_runtime_s
+                }
+                LbPolicy::Mbf => {
+                    // Shared bandwidth appetite is the harm: min(m_a, m_b).
+                    let new_m = sft.estimate(class).mem_intensity;
+                    let penalty: f64 = row
+                        .bound()
+                        .iter()
+                        .map(|c| sft.estimate(*c).mem_intensity.min(new_m))
+                        .sum();
+                    busy_s + MBF_PENALTY_WEIGHT * penalty * new_runtime_s
+                }
+                LbPolicy::Grr => unreachable!("handled in select"),
+            };
+            if row.node != app_node {
+                score += REMOTE_EPSILON; // prefer local on ties
+            }
+            // Ties (e.g. an idle pool) break toward the strongest device,
+            // then the lowest GID, deterministically.
+            let key = (score, -row.weight, row.gid);
+            let better = match &best {
+                None => true,
+                Some((bk, _)) => {
+                    key.0 < bk.0 - 1e-12
+                        || ((key.0 - bk.0).abs() <= 1e-12 && (key.1, key.2) < (bk.1, bk.2))
+                }
+            };
+            if better {
+                best = Some((key, row.gid));
+            }
+        }
+        best.expect("non-empty pool").1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapper::sft::FeedbackRecord;
+    use remoting::gpool::{GMap, NodeSpec};
+
+    fn fixtures() -> (DeviceStatusTable, SchedulerFeedbackTable) {
+        let gmap = GMap::build(&[NodeSpec::node_a(0), NodeSpec::node_b(1)]);
+        (DeviceStatusTable::from_gmap(&gmap), SchedulerFeedbackTable::new())
+    }
+
+    #[test]
+    fn labels_and_feedback_flags() {
+        assert_eq!(LbPolicy::GWtMin.label(), "GWtMin");
+        assert!(!LbPolicy::Grr.is_feedback());
+        assert!(!LbPolicy::GMin.is_feedback());
+        assert!(!LbPolicy::GWtMin.is_feedback());
+        for p in [LbPolicy::Rtf, LbPolicy::Guf, LbPolicy::Dtf, LbPolicy::Mbf] {
+            assert!(p.is_feedback());
+        }
+    }
+
+    #[test]
+    fn grr_round_robins_with_state() {
+        let (dst, sft) = fixtures();
+        let mut rr = 0;
+        let picks: Vec<Gid> = (0..5)
+            .map(|_| LbPolicy::Grr.select(&dst, &sft, WorkloadClass(0), NodeId(0), &mut rr))
+            .collect();
+        assert_eq!(picks, vec![Gid(0), Gid(1), Gid(2), Gid(3), Gid(0)]);
+    }
+
+    #[test]
+    fn gmin_ignores_weights_gwtmin_uses_them() {
+        let (mut dst, sft) = fixtures();
+        let mut rr = 0;
+        // Quadro 2000 (gid0) has 1 app, Tesla C2050 (gid1) has 2, remote
+        // GPUs have 3 each.
+        dst.bind(Gid(0), WorkloadClass(0));
+        for _ in 0..2 {
+            dst.bind(Gid(1), WorkloadClass(0));
+        }
+        for g in 2..4 {
+            for _ in 0..3 {
+                dst.bind(Gid(g), WorkloadClass(0));
+            }
+        }
+        // GMin: raw load → the Quadro (1 < 2 < 3).
+        let g = LbPolicy::GMin.select(&dst, &sft, WorkloadClass(0), NodeId(0), &mut rr);
+        assert_eq!(g, Gid(0));
+        // GWtMin: weighted load 1/0.47 ≈ 2.1 vs 2/1.0 = 2.0 → the Tesla.
+        let g = LbPolicy::GWtMin.select(&dst, &sft, WorkloadClass(0), NodeId(0), &mut rr);
+        assert_eq!(g, Gid(1));
+    }
+
+    #[test]
+    fn rtf_uses_measured_runtimes_not_queue_length() {
+        let (mut dst, mut sft) = fixtures();
+        let long = WorkloadClass(0);
+        let short = WorkloadClass(1);
+        sft.record(
+            long,
+            Gid(0),
+            FeedbackRecord {
+                runtime_ns: 50_000_000_000,
+                gpu_time_ns: 1,
+                transfer_ns: 0,
+                bytes_moved: 0,
+            },
+        );
+        sft.record(
+            short,
+            Gid(0),
+            FeedbackRecord {
+                runtime_ns: 1_000_000_000,
+                gpu_time_ns: 1,
+                transfer_ns: 0,
+                bytes_moved: 0,
+            },
+        );
+        // gid0: one long job. gid1..3: two short jobs each.
+        dst.bind(Gid(0), long);
+        for g in 1..4 {
+            dst.bind(Gid(g), short);
+            dst.bind(Gid(g), short);
+        }
+        let mut rr = 0;
+        // GMin would pick gid0 (load 1 < 2); RTF sees 50 s of work there.
+        let gmin = LbPolicy::GMin.select(&dst, &sft, short, NodeId(0), &mut rr);
+        assert_eq!(gmin, Gid(0));
+        let rtf = LbPolicy::Rtf.select(&dst, &sft, short, NodeId(0), &mut rr);
+        assert_ne!(rtf, Gid(0), "RTF avoids the long-job queue");
+    }
+
+    #[test]
+    fn dtf_collocates_contrasting_transfer_intensity() {
+        let (mut dst, mut sft) = fixtures();
+        let mover = WorkloadClass(0); // transfer-bound
+        let cruncher = WorkloadClass(1); // compute-bound
+        for _ in 0..3 {
+            sft.record(
+                mover,
+                Gid(0),
+                FeedbackRecord {
+                    runtime_ns: 1_000,
+                    gpu_time_ns: 1_000,
+                    transfer_ns: 950,
+                    bytes_moved: 0,
+                },
+            );
+            sft.record(
+                cruncher,
+                Gid(0),
+                FeedbackRecord {
+                    runtime_ns: 1_000,
+                    gpu_time_ns: 1_000,
+                    transfer_ns: 10,
+                    bytes_moved: 0,
+                },
+            );
+        }
+        // A mover on gid0, a cruncher on gid1 (both local to node 0).
+        dst.bind(Gid(0), mover);
+        dst.bind(Gid(1), cruncher);
+        let mut rr = 0;
+        // A new mover should land with the cruncher (gid1) or an idle GPU,
+        // never with the other mover.
+        let pick = LbPolicy::Dtf.select(&dst, &sft, mover, NodeId(0), &mut rr);
+        assert_ne!(pick, Gid(0), "DTF must not stack two transfer-bound apps");
+    }
+
+    #[test]
+    fn mbf_prior_free_classes_fall_back_to_balancing() {
+        let (dst, sft) = fixtures();
+        let mut rr = 0;
+        // With an empty SFT all penalties are equal: MBF degenerates to
+        // weighted-load balancing (Tesla first among local idle GPUs).
+        let pick = LbPolicy::Mbf.select(&dst, &sft, WorkloadClass(9), NodeId(0), &mut rr);
+        assert!(pick == Gid(0) || pick == Gid(1));
+    }
+
+    #[test]
+    fn local_preference_epsilon_only_breaks_ties() {
+        let (mut dst, sft) = fixtures();
+        let mut rr = 0;
+        // Remote gid2 idle; local gid0/gid1 loaded → remote wins despite ε.
+        dst.bind(Gid(0), WorkloadClass(0));
+        dst.bind(Gid(1), WorkloadClass(0));
+        dst.bind(Gid(3), WorkloadClass(0));
+        let pick = LbPolicy::GMin.select(&dst, &sft, WorkloadClass(0), NodeId(0), &mut rr);
+        assert_eq!(pick, Gid(2));
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_pool_panics() {
+        let dst = DeviceStatusTable::from_gmap(&GMap::build(&[]));
+        let sft = SchedulerFeedbackTable::new();
+        let mut rr = 0;
+        LbPolicy::Grr.select(&dst, &sft, WorkloadClass(0), NodeId(0), &mut rr);
+    }
+}

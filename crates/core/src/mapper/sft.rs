@@ -1,0 +1,296 @@
+//! Scheduler Feedback Table (SFT).
+//!
+//! The Policy Arbiter's history store: per workload class, exponentially
+//! weighted averages of the characteristics the Request Monitor measures —
+//! runtime, GPU time, data-transfer time, bytes moved — from which the
+//! feedback policies derive GPU utilization (GUF), transfer intensity
+//! (DTF) and approximate memory bandwidth (MBF, "total data accesses by
+//! its computation kernels over total time spent on the GPU").
+
+use super::WorkloadClass;
+use remoting::gpool::Gid;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Decay constant for history averaging — the paper's `k = 0.8` (Eq. 1).
+pub const EWMA_K: f64 = 0.8;
+
+/// Reference memory bandwidth for normalizing intensity (Tesla C2050 MB/s).
+const REF_BW_MBPS: f64 = 144_000.0;
+
+/// Exponentially weighted moving average.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct Ewma {
+    value: f64,
+    initialized: bool,
+}
+
+impl Ewma {
+    /// Fold in a new sample: `v ← k·x + (1−k)·v`.
+    pub fn update(&mut self, x: f64) {
+        if self.initialized {
+            self.value = EWMA_K * x + (1.0 - EWMA_K) * self.value;
+        } else {
+            self.value = x;
+            self.initialized = true;
+        }
+    }
+
+    /// Current average (0.0 before any sample).
+    pub fn get(&self) -> f64 {
+        self.value
+    }
+
+    /// True once at least one sample arrived.
+    pub fn is_initialized(&self) -> bool {
+        self.initialized
+    }
+}
+
+/// One Feedback Engine record, shipped on `cudaThreadExit`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FeedbackRecord {
+    /// Wall-clock (virtual) runtime of the application instance.
+    pub runtime_ns: u64,
+    /// Total time its work occupied GPU engines (kernels + copies).
+    pub gpu_time_ns: u64,
+    /// Portion of GPU time spent in data transfer.
+    pub transfer_ns: u64,
+    /// Total bytes its kernels accessed (approximated by bytes moved).
+    pub bytes_moved: u64,
+}
+
+impl FeedbackRecord {
+    /// GPU utilization: GPU time over runtime (GUF's metric).
+    pub fn gpu_utilization(&self) -> f64 {
+        if self.runtime_ns == 0 {
+            0.0
+        } else {
+            self.gpu_time_ns as f64 / self.runtime_ns as f64
+        }
+    }
+
+    /// Transfer intensity: transfer time over GPU time (DTF's metric).
+    pub fn transfer_frac(&self) -> f64 {
+        if self.gpu_time_ns == 0 {
+            0.0
+        } else {
+            self.transfer_ns as f64 / self.gpu_time_ns as f64
+        }
+    }
+
+    /// Approximate memory bandwidth in MB/s (MBF's metric).
+    pub fn mem_bw_mbps(&self) -> f64 {
+        if self.gpu_time_ns == 0 {
+            0.0
+        } else {
+            // bytes/ns == GB/s; × 1000 → MB/s.
+            self.bytes_moved as f64 / self.gpu_time_ns as f64 * 1000.0
+        }
+    }
+}
+
+/// Averaged characteristics for one workload class.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SftEntry {
+    /// EWMA of runtime, ns.
+    pub runtime_ns: Ewma,
+    /// EWMA of GPU utilization in [0, 1].
+    pub gpu_util: Ewma,
+    /// EWMA of transfer fraction in [0, 1].
+    pub transfer_frac: Ewma,
+    /// EWMA of approximate memory bandwidth, MB/s.
+    pub mem_bw_mbps: Ewma,
+    /// Samples folded in.
+    pub samples: u64,
+}
+
+impl SftEntry {
+    /// Memory intensity in [0, 1] relative to the reference device.
+    pub fn mem_intensity(&self) -> f64 {
+        (self.mem_bw_mbps.get() / REF_BW_MBPS).clamp(0.0, 1.0)
+    }
+}
+
+/// Defaults assumed for classes with no history yet ("decisions are
+/// refined over time as the system learns").
+#[derive(Debug, Clone, Copy)]
+pub struct ClassEstimate {
+    /// Expected runtime, ns.
+    pub runtime_ns: f64,
+    /// Expected GPU utilization.
+    pub gpu_util: f64,
+    /// Expected transfer fraction.
+    pub transfer_frac: f64,
+    /// Expected memory intensity.
+    pub mem_intensity: f64,
+    /// True if backed by real samples.
+    pub known: bool,
+}
+
+const DEFAULT_ESTIMATE: ClassEstimate = ClassEstimate {
+    runtime_ns: 10_000_000_000.0, // assume 10 s until told otherwise
+    gpu_util: 0.5,
+    transfer_frac: 0.3,
+    mem_intensity: 0.3,
+    known: false,
+};
+
+/// The table: class → averaged history, plus *GPU-specific* runtimes per
+/// (class, device) — RTF balances on "the actual GPU-specific runtimes of
+/// applications" (paper §IV.C.1), which is what lets it out-schedule the
+/// static device weights on heterogeneous pools.
+#[derive(Debug, Clone, Default)]
+pub struct SchedulerFeedbackTable {
+    entries: HashMap<WorkloadClass, SftEntry>,
+    per_device: HashMap<(WorkloadClass, Gid), Ewma>,
+    total_records: u64,
+}
+
+impl SchedulerFeedbackTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold in one feedback record for an instance that ran on `gid`.
+    pub fn record(&mut self, class: WorkloadClass, gid: Gid, r: FeedbackRecord) {
+        let e = self.entries.entry(class).or_default();
+        e.runtime_ns.update(r.runtime_ns as f64);
+        e.gpu_util.update(r.gpu_utilization());
+        e.transfer_frac.update(r.transfer_frac());
+        e.mem_bw_mbps.update(r.mem_bw_mbps());
+        e.samples += 1;
+        self.per_device
+            .entry((class, gid))
+            .or_default()
+            .update(r.runtime_ns as f64);
+        self.total_records += 1;
+    }
+
+    /// Expected runtime of `class` on device `gid`: the GPU-specific
+    /// measurement when available, else the class aggregate, else the
+    /// prior.
+    pub fn runtime_on(&self, class: WorkloadClass, gid: Gid) -> f64 {
+        if let Some(e) = self.per_device.get(&(class, gid)) {
+            if e.is_initialized() {
+                return e.get();
+            }
+        }
+        self.estimate(class).runtime_ns
+    }
+
+    /// Raw entry for a class.
+    pub fn entry(&self, class: WorkloadClass) -> Option<&SftEntry> {
+        self.entries.get(&class)
+    }
+
+    /// Best current estimate for a class, falling back to priors.
+    pub fn estimate(&self, class: WorkloadClass) -> ClassEstimate {
+        match self.entries.get(&class) {
+            Some(e) if e.samples > 0 => ClassEstimate {
+                runtime_ns: e.runtime_ns.get(),
+                gpu_util: e.gpu_util.get(),
+                transfer_frac: e.transfer_frac.get(),
+                mem_intensity: e.mem_intensity(),
+                known: true,
+            },
+            _ => DEFAULT_ESTIMATE,
+        }
+    }
+
+    /// Number of classes with history.
+    pub fn classes(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total records ever folded in (the arbiter's switch trigger).
+    pub fn total_records(&self) -> u64 {
+        self.total_records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const W: WorkloadClass = WorkloadClass(0);
+
+    fn rec(runtime: u64, gpu: u64, xfer: u64, bytes: u64) -> FeedbackRecord {
+        FeedbackRecord {
+            runtime_ns: runtime,
+            gpu_time_ns: gpu,
+            transfer_ns: xfer,
+            bytes_moved: bytes,
+        }
+    }
+
+    #[test]
+    fn record_derivations() {
+        let r = rec(1_000, 500, 100, 2_000);
+        assert!((r.gpu_utilization() - 0.5).abs() < 1e-12);
+        assert!((r.transfer_frac() - 0.2).abs() < 1e-12);
+        // 2000 bytes / 500 ns = 4 GB/s = 4000 MB/s.
+        assert!((r.mem_bw_mbps() - 4_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_records_are_safe() {
+        let r = rec(0, 0, 0, 0);
+        assert_eq!(r.gpu_utilization(), 0.0);
+        assert_eq!(r.transfer_frac(), 0.0);
+        assert_eq!(r.mem_bw_mbps(), 0.0);
+    }
+
+    #[test]
+    fn ewma_first_sample_initializes() {
+        let mut e = Ewma::default();
+        assert!(!e.is_initialized());
+        e.update(10.0);
+        assert_eq!(e.get(), 10.0);
+        e.update(0.0);
+        // 0.8·0 + 0.2·10 = 2.
+        assert!((e.get() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimates_fall_back_to_priors() {
+        let t = SchedulerFeedbackTable::new();
+        let est = t.estimate(W);
+        assert!(!est.known);
+        assert_eq!(est.gpu_util, 0.5);
+    }
+
+    #[test]
+    fn estimates_track_recorded_history() {
+        let mut t = SchedulerFeedbackTable::new();
+        t.record(W, Gid(0), rec(1_000, 900, 0, 0));
+        let est = t.estimate(W);
+        assert!(est.known);
+        assert!((est.gpu_util - 0.9).abs() < 1e-12);
+        assert!((est.runtime_ns - 1_000.0).abs() < 1e-9);
+        assert_eq!(t.classes(), 1);
+        assert_eq!(t.total_records(), 1);
+    }
+
+    #[test]
+    fn recent_samples_dominate() {
+        let mut t = SchedulerFeedbackTable::new();
+        for _ in 0..10 {
+            t.record(W, Gid(0), rec(1_000, 100, 0, 0)); // util 0.1
+        }
+        for _ in 0..10 {
+            t.record(W, Gid(0), rec(1_000, 900, 0, 0)); // util 0.9 recently
+        }
+        let est = t.estimate(W);
+        assert!(est.gpu_util > 0.85, "EWMA favours recent: {}", est.gpu_util);
+    }
+
+    #[test]
+    fn mem_intensity_clamped() {
+        let mut t = SchedulerFeedbackTable::new();
+        // 288 GB over 1 s = 288 GB/s, twice the reference bandwidth.
+        t.record(W, Gid(0), rec(1_000_000_000, 1_000_000_000, 0, 288_000_000_000));
+        assert_eq!(t.estimate(W).mem_intensity, 1.0);
+    }
+}

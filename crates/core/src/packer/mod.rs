@@ -1,0 +1,301 @@
+//! Context Packer (paper §III.C).
+//!
+//! Operates between workload balancing and device-level scheduling: packs
+//! the GPU components of every application sharing a GPU into a single GPU
+//! context, on the fly, through four translators:
+//!
+//! * **SC** (Stream Creator): a private CUDA stream per application,
+//!   created on its first request and torn down on `cudaThreadExit`,
+//! * **AST** (Auto Stream Translator): operations targeting the default
+//!   stream are retargeted to the application's private stream,
+//! * **SST** (Sync Stream Translator): `cudaDeviceSynchronize` →
+//!   `cudaStreamSynchronize`, so one application's sync cannot stall the
+//!   whole packed context,
+//! * **MOT** (Memory Operation Translator): synchronous `cudaMemcpy` →
+//!   pinned-staging `cudaMemcpyAsync`, tracked in the Pinned Memory Table
+//!   ([`pmt::PinnedMemoryTable`]) and released at the next synchronization
+//!   point, D2H copy, or thread exit.
+
+pub mod pmt;
+
+pub use pmt::{PinnedMemoryTable, PmtEntry};
+
+use cuda_sim::call::CudaCall;
+use cuda_sim::host::AppId;
+use gpu_sim::job::CopyDirection;
+use serde::{Deserialize, Serialize};
+
+/// Which translations are active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PackerConfig {
+    /// AST: retarget default-stream operations to per-app streams.
+    pub auto_stream: bool,
+    /// SST: rewrite device sync to stream sync.
+    pub sync_to_stream: bool,
+    /// MOT: rewrite synchronous copies to pinned asynchronous copies.
+    pub async_memcpy: bool,
+    /// Issue calls without output parameters as non-blocking RPCs.
+    pub nonblocking_rpc: bool,
+}
+
+impl PackerConfig {
+    /// Full Strings configuration: everything on.
+    pub fn strings() -> Self {
+        PackerConfig {
+            auto_stream: true,
+            sync_to_stream: true,
+            async_memcpy: true,
+            nonblocking_rpc: true,
+        }
+    }
+
+    /// All translations off (Rain and the bare runtime).
+    pub fn off() -> Self {
+        PackerConfig {
+            auto_stream: false,
+            sync_to_stream: false,
+            async_memcpy: false,
+            nonblocking_rpc: false,
+        }
+    }
+}
+
+/// A call after packing: possibly rewritten, with its effective blocking
+/// and staging semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PackedCall {
+    /// The (possibly rewritten) call to dispatch.
+    pub call: CudaCall,
+    /// Whether DMA for this call goes through pinned memory (MOT staging).
+    pub pinned: bool,
+    /// Whether the host must block until device-side completion.
+    pub host_blocks: bool,
+    /// Whether the RPC may be fire-and-forget (no outputs + optimization
+    /// enabled).
+    pub nonblocking_rpc: bool,
+}
+
+/// The per-device Context Packer.
+#[derive(Debug)]
+pub struct ContextPacker {
+    cfg: PackerConfig,
+    pmt: PinnedMemoryTable,
+}
+
+impl ContextPacker {
+    /// New packer with the given translation set.
+    pub fn new(cfg: PackerConfig) -> Self {
+        ContextPacker {
+            cfg,
+            pmt: PinnedMemoryTable::new(),
+        }
+    }
+
+    /// Active configuration.
+    pub fn config(&self) -> &PackerConfig {
+        &self.cfg
+    }
+
+    /// Pinned Memory Table (inspection).
+    pub fn pmt(&self) -> &PinnedMemoryTable {
+        &self.pmt
+    }
+
+    /// True if applications get private streams (AST/SC active).
+    pub fn uses_private_streams(&self) -> bool {
+        self.cfg.auto_stream
+    }
+
+    /// Apply the MOT/SST rewrites to one call from `app`, updating the PMT.
+    pub fn transform(&mut self, app: AppId, call: CudaCall) -> PackedCall {
+        let mut out = PackedCall {
+            call,
+            pinned: false,
+            host_blocks: call.blocks_host(),
+            nonblocking_rpc: false,
+        };
+        match call {
+            CudaCall::Memcpy { dir, bytes } if self.cfg.async_memcpy => {
+                out.call = CudaCall::MemcpyAsync { dir, bytes };
+                out.pinned = true;
+                match dir {
+                    CopyDirection::HostToDevice => {
+                        // Staged into pinned memory: the host continues
+                        // immediately; the PMT owns the staging buffer.
+                        self.pmt.stage(app, bytes);
+                        out.host_blocks = false;
+                    }
+                    CopyDirection::DeviceToHost => {
+                        // The host needs the data: still blocking, but the
+                        // transfer runs at the pinned rate, and outstanding
+                        // H2D staging buffers are reclaimed.
+                        self.pmt.release_app(app);
+                        out.host_blocks = true;
+                    }
+                }
+            }
+            CudaCall::DeviceSynchronize if self.cfg.sync_to_stream => {
+                out.call = CudaCall::StreamSynchronize;
+                self.pmt.release_app(app);
+            }
+            CudaCall::StreamSynchronize => {
+                self.pmt.release_app(app);
+            }
+            CudaCall::ThreadExit => {
+                self.pmt.release_app(app);
+            }
+            _ => {}
+        }
+        if self.cfg.nonblocking_rpc && !out.call.has_output() && !out.host_blocks {
+            out.nonblocking_rpc = true;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::job::KernelProfile;
+
+    const APP: AppId = AppId(1);
+
+    fn strings_packer() -> ContextPacker {
+        ContextPacker::new(PackerConfig::strings())
+    }
+
+    #[test]
+    fn mot_rewrites_h2d_to_nonblocking_pinned_async() {
+        let mut p = strings_packer();
+        let out = p.transform(
+            APP,
+            CudaCall::Memcpy {
+                dir: CopyDirection::HostToDevice,
+                bytes: 4096,
+            },
+        );
+        assert!(matches!(
+            out.call,
+            CudaCall::MemcpyAsync {
+                dir: CopyDirection::HostToDevice,
+                bytes: 4096
+            }
+        ));
+        assert!(out.pinned);
+        assert!(!out.host_blocks, "H2D staging frees the host");
+        assert!(out.nonblocking_rpc);
+        assert_eq!(p.pmt().total_bytes(), 4096);
+    }
+
+    #[test]
+    fn mot_keeps_d2h_blocking_but_pinned() {
+        let mut p = strings_packer();
+        let out = p.transform(
+            APP,
+            CudaCall::Memcpy {
+                dir: CopyDirection::DeviceToHost,
+                bytes: 512,
+            },
+        );
+        assert!(matches!(out.call, CudaCall::MemcpyAsync { .. }));
+        assert!(out.pinned);
+        assert!(out.host_blocks, "the host needs the D2H data");
+        assert!(!out.nonblocking_rpc);
+    }
+
+    #[test]
+    fn sst_rewrites_device_sync_to_stream_sync() {
+        let mut p = strings_packer();
+        let out = p.transform(APP, CudaCall::DeviceSynchronize);
+        assert_eq!(out.call, CudaCall::StreamSynchronize);
+        assert!(out.host_blocks);
+    }
+
+    #[test]
+    fn pmt_released_at_sync_points() {
+        let mut p = strings_packer();
+        p.transform(
+            APP,
+            CudaCall::Memcpy {
+                dir: CopyDirection::HostToDevice,
+                bytes: 1000,
+            },
+        );
+        p.transform(
+            APP,
+            CudaCall::Memcpy {
+                dir: CopyDirection::HostToDevice,
+                bytes: 500,
+            },
+        );
+        assert_eq!(p.pmt().total_bytes(), 1500);
+        p.transform(APP, CudaCall::DeviceSynchronize);
+        assert_eq!(p.pmt().total_bytes(), 0, "sync frees staging buffers");
+    }
+
+    #[test]
+    fn pmt_released_on_thread_exit() {
+        let mut p = strings_packer();
+        p.transform(
+            APP,
+            CudaCall::Memcpy {
+                dir: CopyDirection::HostToDevice,
+                bytes: 1000,
+            },
+        );
+        let other = AppId(2);
+        p.transform(
+            other,
+            CudaCall::Memcpy {
+                dir: CopyDirection::HostToDevice,
+                bytes: 77,
+            },
+        );
+        p.transform(APP, CudaCall::ThreadExit);
+        assert_eq!(p.pmt().total_bytes(), 77, "only APP's buffers released");
+        assert_eq!(p.pmt().app_bytes(other), 77);
+    }
+
+    #[test]
+    fn disabled_packer_passes_calls_through() {
+        let mut p = ContextPacker::new(PackerConfig::off());
+        let sync_copy = CudaCall::Memcpy {
+            dir: CopyDirection::HostToDevice,
+            bytes: 64,
+        };
+        let out = p.transform(APP, sync_copy);
+        assert_eq!(out.call, sync_copy, "no rewrite");
+        assert!(out.host_blocks, "sync memcpy stays blocking");
+        assert!(!out.pinned);
+        assert!(!out.nonblocking_rpc);
+        let out = p.transform(APP, CudaCall::DeviceSynchronize);
+        assert_eq!(out.call, CudaCall::DeviceSynchronize);
+        assert!(!p.uses_private_streams());
+    }
+
+    #[test]
+    fn kernel_launches_gain_nonblocking_rpc_only() {
+        let mut p = strings_packer();
+        let launch = CudaCall::LaunchKernel {
+            kernel: KernelProfile {
+                work_ref_ns: 10,
+                occupancy: 0.1,
+                bw_demand_mbps: 0.0,
+            },
+        };
+        let out = p.transform(APP, launch);
+        assert_eq!(out.call, launch);
+        assert!(!out.host_blocks);
+        assert!(out.nonblocking_rpc);
+        assert!(!out.pinned);
+    }
+
+    #[test]
+    fn malloc_never_fire_and_forget() {
+        // Malloc returns a pointer: even with the optimization on it must
+        // await its reply.
+        let mut p = strings_packer();
+        let out = p.transform(APP, CudaCall::Malloc { bytes: 100 });
+        assert!(!out.nonblocking_rpc);
+    }
+}

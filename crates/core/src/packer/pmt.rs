@@ -1,0 +1,151 @@
+//! Pinned Memory Table (PMT).
+//!
+//! The MOT allocates a host page-locked staging buffer for every rewritten
+//! memory copy, remembers it here, and frees it at the application's next
+//! synchronization point, D2H copy, or exit. The PMT therefore bounds the
+//! host pinned-memory footprint — leaking entries would eventually exhaust
+//! lockable memory on a real system, so the accounting is load-bearing.
+
+use cuda_sim::host::AppId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One staging buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PmtEntry {
+    /// Owning application.
+    pub app: AppId,
+    /// Buffer size in bytes.
+    pub bytes: u64,
+}
+
+/// The table of live pinned staging buffers.
+#[derive(Debug, Clone, Default)]
+pub struct PinnedMemoryTable {
+    entries: Vec<PmtEntry>,
+    per_app: HashMap<AppId, u64>,
+    total: u64,
+    /// High-water mark of total pinned bytes (for capacity reports).
+    peak: u64,
+}
+
+impl PinnedMemoryTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a staging buffer of `bytes` for `app`.
+    pub fn stage(&mut self, app: AppId, bytes: u64) {
+        self.entries.push(PmtEntry { app, bytes });
+        *self.per_app.entry(app).or_insert(0) += bytes;
+        self.total += bytes;
+        self.peak = self.peak.max(self.total);
+    }
+
+    /// Free all of `app`'s staging buffers (sync point / D2H / exit).
+    /// Returns the bytes released.
+    pub fn release_app(&mut self, app: AppId) -> u64 {
+        let released = self.per_app.remove(&app).unwrap_or(0);
+        if released > 0 {
+            self.entries.retain(|e| e.app != app);
+            self.total -= released;
+        }
+        released
+    }
+
+    /// Live pinned bytes for one application.
+    pub fn app_bytes(&self, app: AppId) -> u64 {
+        self.per_app.get(&app).copied().unwrap_or(0)
+    }
+
+    /// Live pinned bytes across all applications.
+    pub fn total_bytes(&self) -> u64 {
+        self.total
+    }
+
+    /// Highest total ever reached.
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak
+    }
+
+    /// Number of live buffers.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no buffers are live.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_and_release_balance() {
+        let mut t = PinnedMemoryTable::new();
+        t.stage(AppId(0), 100);
+        t.stage(AppId(0), 200);
+        t.stage(AppId(1), 50);
+        assert_eq!(t.total_bytes(), 350);
+        assert_eq!(t.app_bytes(AppId(0)), 300);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.release_app(AppId(0)), 300);
+        assert_eq!(t.total_bytes(), 50);
+        assert_eq!(t.app_bytes(AppId(0)), 0);
+        assert!(!t.is_empty());
+        assert_eq!(t.release_app(AppId(1)), 50);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn releasing_unknown_app_is_zero() {
+        let mut t = PinnedMemoryTable::new();
+        assert_eq!(t.release_app(AppId(9)), 0);
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let mut t = PinnedMemoryTable::new();
+        t.stage(AppId(0), 1000);
+        t.release_app(AppId(0));
+        t.stage(AppId(0), 400);
+        assert_eq!(t.total_bytes(), 400);
+        assert_eq!(t.peak_bytes(), 1000);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Total always equals the sum of per-app balances, and releasing
+        /// every app empties the table — no leaks, no double frees.
+        #[test]
+        fn conservation(ops in proptest::collection::vec((0u32..5, 1u64..10_000, proptest::bool::ANY), 1..200)) {
+            let mut t = PinnedMemoryTable::new();
+            let mut model: std::collections::HashMap<u32, u64> = Default::default();
+            for (app, bytes, release) in ops {
+                if release {
+                    let expect = model.remove(&app).unwrap_or(0);
+                    prop_assert_eq!(t.release_app(AppId(app)), expect);
+                } else {
+                    t.stage(AppId(app), bytes);
+                    *model.entry(app).or_insert(0) += bytes;
+                }
+                let model_total: u64 = model.values().sum();
+                prop_assert_eq!(t.total_bytes(), model_total);
+            }
+            for app in 0..5 {
+                t.release_app(AppId(app));
+            }
+            prop_assert!(t.is_empty());
+            prop_assert_eq!(t.total_bytes(), 0);
+        }
+    }
+}

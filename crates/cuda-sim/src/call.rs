@@ -1,0 +1,245 @@
+//! The CUDA runtime calls the interposer intercepts.
+//!
+//! The subset modelled is exactly the set the paper's mechanisms manipulate:
+//! device selection (overridden by the workload balancer), memory copies
+//! (rewritten sync→async by the MOT), kernel launches, and the
+//! synchronization calls (rewritten device→stream by the SST).
+
+use gpu_sim::job::{CopyDirection, KernelProfile};
+use serde::{Deserialize, Serialize};
+
+/// Simulated `cudaError_t`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CudaError {
+    /// `cudaSuccess`.
+    Success,
+    /// `cudaErrorMemoryAllocation`.
+    MemoryAllocation,
+    /// `cudaErrorInvalidDevice`.
+    InvalidDevice,
+    /// `cudaErrorInvalidValue` (catch-all for misuse).
+    InvalidValue,
+}
+
+/// One CUDA runtime API invocation.
+///
+/// Streams are deliberately absent from the surface: in the modelled
+/// applications every operation targets the *default stream* (stream 0),
+/// exactly the situation the Context Packer's Auto Stream Translator (AST)
+/// rewrites; the runtime layer decides the actual stream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CudaCall {
+    /// `cudaSetDevice(dev)` — the application's programmed device choice,
+    /// the call Strings overrides with the affinity mapper's decision.
+    SetDevice {
+        /// Device ordinal the application asks for.
+        device: u32,
+    },
+    /// `cudaMalloc(bytes)`.
+    Malloc {
+        /// Allocation size.
+        bytes: u64,
+    },
+    /// `cudaFree` of a prior allocation of `bytes`.
+    Free {
+        /// Size of the allocation being released.
+        bytes: u64,
+    },
+    /// Synchronous `cudaMemcpy`: the host blocks until the DMA completes.
+    Memcpy {
+        /// Transfer direction.
+        dir: CopyDirection,
+        /// Payload size.
+        bytes: u64,
+    },
+    /// `cudaMemcpyAsync` on the current stream: returns immediately.
+    MemcpyAsync {
+        /// Transfer direction.
+        dir: CopyDirection,
+        /// Payload size.
+        bytes: u64,
+    },
+    /// `cudaConfigureCall` + `cudaLaunch`: enqueue a kernel, return
+    /// immediately.
+    LaunchKernel {
+        /// The kernel's resource demands.
+        kernel: KernelProfile,
+    },
+    /// `cudaStreamSynchronize` on the application's stream.
+    StreamSynchronize,
+    /// `cudaDeviceSynchronize` — blocks on *everything* in the context,
+    /// which is why the SST rewrites it for packed contexts.
+    DeviceSynchronize,
+    /// `cudaThreadExit` — tears down the application's GPU state and (in
+    /// Strings) carries the Feedback Engine's piggybacked statistics.
+    ThreadExit,
+}
+
+impl CudaCall {
+    /// Whether the *unmodified* CUDA semantics block the calling host
+    /// thread until device-side completion.
+    pub fn blocks_host(&self) -> bool {
+        matches!(
+            self,
+            CudaCall::Memcpy { .. } | CudaCall::StreamSynchronize | CudaCall::DeviceSynchronize
+        )
+    }
+
+    /// Whether the call returns data to the caller (output parameters or a
+    /// D2H payload). Calls *without* outputs may be issued as non-blocking
+    /// RPCs by the interposer (the paper's third asynchrony optimization).
+    pub fn has_output(&self) -> bool {
+        match self {
+            CudaCall::Malloc { .. } => true, // returns the device pointer
+            CudaCall::Memcpy { dir, .. } | CudaCall::MemcpyAsync { dir, .. } => {
+                *dir == CopyDirection::DeviceToHost
+            }
+            // Sync calls must report completion to the caller.
+            CudaCall::StreamSynchronize | CudaCall::DeviceSynchronize => true,
+            // ThreadExit returns the piggybacked feedback in Strings.
+            CudaCall::ThreadExit => true,
+            _ => false,
+        }
+    }
+
+    /// Whether the call expands into device-engine work (a kernel or DMA
+    /// job) as opposed to pure control.
+    pub fn creates_device_job(&self) -> bool {
+        matches!(
+            self,
+            CudaCall::Memcpy { .. } | CudaCall::MemcpyAsync { .. } | CudaCall::LaunchKernel { .. }
+        )
+    }
+
+    /// Payload bytes marshalled host→backend for this call over RPC
+    /// (H2D copies ship their buffer; other calls are parameter-only).
+    pub fn rpc_payload_bytes(&self) -> u64 {
+        match self {
+            CudaCall::Memcpy { dir, bytes } | CudaCall::MemcpyAsync { dir, bytes } => {
+                if *dir == CopyDirection::HostToDevice {
+                    *bytes
+                } else {
+                    0
+                }
+            }
+            _ => 0,
+        }
+    }
+
+    /// Payload bytes returned backend→host (D2H copies return the buffer).
+    pub fn rpc_return_bytes(&self) -> u64 {
+        match self {
+            CudaCall::Memcpy { dir, bytes } | CudaCall::MemcpyAsync { dir, bytes } => {
+                if *dir == CopyDirection::DeviceToHost {
+                    *bytes
+                } else {
+                    0
+                }
+            }
+            _ => 0,
+        }
+    }
+
+    /// Short mnemonic for traces and debugging.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CudaCall::SetDevice { .. } => "cudaSetDevice",
+            CudaCall::Malloc { .. } => "cudaMalloc",
+            CudaCall::Free { .. } => "cudaFree",
+            CudaCall::Memcpy { .. } => "cudaMemcpy",
+            CudaCall::MemcpyAsync { .. } => "cudaMemcpyAsync",
+            CudaCall::LaunchKernel { .. } => "cudaLaunch",
+            CudaCall::StreamSynchronize => "cudaStreamSynchronize",
+            CudaCall::DeviceSynchronize => "cudaDeviceSynchronize",
+            CudaCall::ThreadExit => "cudaThreadExit",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernel() -> CudaCall {
+        CudaCall::LaunchKernel {
+            kernel: KernelProfile {
+                work_ref_ns: 1000,
+                occupancy: 0.5,
+                bw_demand_mbps: 0.0,
+            },
+        }
+    }
+
+    #[test]
+    fn blocking_semantics_match_cuda() {
+        assert!(CudaCall::Memcpy {
+            dir: CopyDirection::HostToDevice,
+            bytes: 1
+        }
+        .blocks_host());
+        assert!(CudaCall::DeviceSynchronize.blocks_host());
+        assert!(CudaCall::StreamSynchronize.blocks_host());
+        assert!(!kernel().blocks_host());
+        assert!(!CudaCall::MemcpyAsync {
+            dir: CopyDirection::HostToDevice,
+            bytes: 1
+        }
+        .blocks_host());
+        assert!(!CudaCall::SetDevice { device: 0 }.blocks_host());
+    }
+
+    #[test]
+    fn output_params_gate_async_rpc() {
+        // No output → may be fire-and-forget.
+        assert!(!CudaCall::SetDevice { device: 0 }.has_output());
+        assert!(!kernel().has_output());
+        assert!(!CudaCall::Memcpy {
+            dir: CopyDirection::HostToDevice,
+            bytes: 1
+        }
+        .has_output());
+        // Output → must await the reply.
+        assert!(CudaCall::Malloc { bytes: 1 }.has_output());
+        assert!(CudaCall::Memcpy {
+            dir: CopyDirection::DeviceToHost,
+            bytes: 1
+        }
+        .has_output());
+        assert!(CudaCall::ThreadExit.has_output());
+    }
+
+    #[test]
+    fn device_job_classification() {
+        assert!(kernel().creates_device_job());
+        assert!(CudaCall::MemcpyAsync {
+            dir: CopyDirection::DeviceToHost,
+            bytes: 1
+        }
+        .creates_device_job());
+        assert!(!CudaCall::Malloc { bytes: 1 }.creates_device_job());
+        assert!(!CudaCall::DeviceSynchronize.creates_device_job());
+    }
+
+    #[test]
+    fn rpc_payload_direction() {
+        let h2d = CudaCall::Memcpy {
+            dir: CopyDirection::HostToDevice,
+            bytes: 4096,
+        };
+        let d2h = CudaCall::Memcpy {
+            dir: CopyDirection::DeviceToHost,
+            bytes: 4096,
+        };
+        assert_eq!(h2d.rpc_payload_bytes(), 4096);
+        assert_eq!(h2d.rpc_return_bytes(), 0);
+        assert_eq!(d2h.rpc_payload_bytes(), 0);
+        assert_eq!(d2h.rpc_return_bytes(), 4096);
+        assert_eq!(kernel().rpc_payload_bytes(), 0);
+    }
+
+    #[test]
+    fn names_are_cuda_spelling() {
+        assert_eq!(CudaCall::DeviceSynchronize.name(), "cudaDeviceSynchronize");
+        assert_eq!(kernel().name(), "cudaLaunch");
+    }
+}

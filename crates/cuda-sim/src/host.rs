@@ -1,0 +1,246 @@
+//! Host-thread state machine.
+//!
+//! A [`HostThread`] executes one [`HostProgram`] (one application instance /
+//! service request). The thread itself never touches devices — it reports
+//! which op it is at, and the simulation executive (or the interposer stack
+//! above it) performs the op and transitions the thread's state.
+
+use crate::program::{HostOp, HostProgram};
+use gpu_sim::ids::{ContextId, JobId, StreamId};
+use serde::{Deserialize, Serialize};
+use sim_core::SimTime;
+
+/// One application *instance* (one executing request).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AppId(pub u32);
+
+impl AppId {
+    /// Raw index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for AppId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "App{}", self.0)
+    }
+}
+
+/// A host OS process (owns GPU contexts: one per device, per CUDA ≥ 4.0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProcessId(pub u32);
+
+impl std::fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Pid{}", self.0)
+    }
+}
+
+/// What a blocked host thread is waiting for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BlockOn {
+    /// Completion of a specific device job (e.g. a synchronous memcpy).
+    Job(JobId),
+    /// All outstanding work on `(ctx, stream)` (stream synchronize).
+    StreamIdle(ContextId, StreamId),
+    /// All outstanding work in `ctx` (device synchronize).
+    CtxIdle(ContextId),
+    /// An RPC reply identified by the interposer's call sequence number.
+    Reply(u64),
+}
+
+/// Host thread execution state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum HostState {
+    /// Ready to execute the op at `pc`.
+    Ready,
+    /// Burning CPU until the given time.
+    Busy {
+        /// Wake-up time.
+        until: SimTime,
+    },
+    /// Waiting on device/RPC progress.
+    Blocked(BlockOn),
+    /// Program finished.
+    Done,
+}
+
+/// One executing application instance.
+#[derive(Debug, Clone)]
+pub struct HostThread {
+    /// Application identity.
+    pub app: AppId,
+    /// OS process hosting this thread (baseline: one per app; Strings
+    /// backend Design III: one per device).
+    pub process: ProcessId,
+    /// The program being executed.
+    pub program: HostProgram,
+    /// Index of the next op to execute.
+    pub pc: usize,
+    /// Current state.
+    pub state: HostState,
+    /// When the instance was released to run (arrival time).
+    pub arrived_at: SimTime,
+    /// When it started executing (equal to `arrived_at` in open models).
+    pub started_at: SimTime,
+    /// Completion time, once done.
+    pub finished_at: Option<SimTime>,
+}
+
+impl HostThread {
+    /// New thread poised at the first op.
+    pub fn new(app: AppId, process: ProcessId, program: HostProgram, now: SimTime) -> Self {
+        let state = if program.is_empty() {
+            HostState::Done
+        } else {
+            HostState::Ready
+        };
+        HostThread {
+            app,
+            process,
+            program,
+            pc: 0,
+            state,
+            arrived_at: now,
+            started_at: now,
+            finished_at: None,
+        }
+    }
+
+    /// The op the thread is about to execute (None when done).
+    pub fn current_op(&self) -> Option<&HostOp> {
+        self.program.op(self.pc)
+    }
+
+    /// True when the program has completed.
+    pub fn is_done(&self) -> bool {
+        matches!(self.state, HostState::Done)
+    }
+
+    /// True when the executive may process the next op.
+    pub fn is_ready(&self) -> bool {
+        matches!(self.state, HostState::Ready)
+    }
+
+    /// Begin a CPU-busy phase ending at `until`.
+    pub fn start_cpu(&mut self, until: SimTime) {
+        debug_assert!(self.is_ready());
+        self.state = HostState::Busy { until };
+    }
+
+    /// Block on a condition.
+    pub fn block(&mut self, on: BlockOn) {
+        self.state = HostState::Blocked(on);
+    }
+
+    /// Wake from CPU-busy or a satisfied block; advances to the next op.
+    pub fn wake_and_advance(&mut self, now: SimTime) {
+        debug_assert!(!self.is_done());
+        self.advance(now);
+    }
+
+    /// Move past the current op without blocking (non-blocking call done).
+    pub fn advance(&mut self, now: SimTime) {
+        self.pc += 1;
+        if self.pc >= self.program.len() {
+            self.state = HostState::Done;
+            self.finished_at = Some(now);
+        } else {
+            self.state = HostState::Ready;
+        }
+    }
+
+    /// End-to-end completion time, once finished.
+    pub fn turnaround_ns(&self) -> Option<u64> {
+        self.finished_at.map(|f| f - self.arrived_at)
+    }
+
+    /// Kill the thread (backend fault): the program ends immediately
+    /// without completing. `finished_at` stays unset so the request is
+    /// never counted as a successful completion.
+    pub fn abort(&mut self) {
+        self.state = HostState::Done;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::call::CudaCall;
+    use sim_core::SimDuration;
+
+    fn prog() -> HostProgram {
+        let mut p = HostProgram::new();
+        p.call(CudaCall::SetDevice { device: 0 })
+            .cpu(SimDuration::from_ms(1))
+            .call(CudaCall::DeviceSynchronize)
+            .call(CudaCall::ThreadExit);
+        p
+    }
+
+    #[test]
+    fn walks_program_to_done() {
+        let mut t = HostThread::new(AppId(0), ProcessId(0), prog(), 100);
+        assert!(t.is_ready());
+        assert!(matches!(
+            t.current_op(),
+            Some(HostOp::Cuda(CudaCall::SetDevice { .. }))
+        ));
+        t.advance(100); // SetDevice handled
+        assert!(matches!(t.current_op(), Some(HostOp::CpuBusy(_))));
+        t.start_cpu(1_100_000);
+        assert!(!t.is_ready());
+        t.wake_and_advance(1_100_000);
+        assert!(matches!(
+            t.current_op(),
+            Some(HostOp::Cuda(CudaCall::DeviceSynchronize))
+        ));
+        t.block(BlockOn::CtxIdle(ContextId(0)));
+        assert!(matches!(t.state, HostState::Blocked(_)));
+        t.wake_and_advance(2_000_000);
+        t.advance(2_000_000); // ThreadExit
+        assert!(t.is_done());
+        assert_eq!(t.finished_at, Some(2_000_000));
+        assert_eq!(t.turnaround_ns(), Some(2_000_000 - 100));
+    }
+
+    #[test]
+    fn empty_program_is_immediately_done() {
+        let t = HostThread::new(AppId(1), ProcessId(1), HostProgram::new(), 0);
+        assert!(t.is_done());
+        // finished_at is unset for the degenerate case; turnaround is None.
+        assert_eq!(t.turnaround_ns(), None);
+    }
+
+    #[test]
+    fn block_conditions_roundtrip() {
+        let mut t = HostThread::new(AppId(0), ProcessId(0), prog(), 0);
+        t.block(BlockOn::Job(JobId(5)));
+        assert_eq!(t.state, HostState::Blocked(BlockOn::Job(JobId(5))));
+        t.block(BlockOn::StreamIdle(ContextId(1), StreamId(2)));
+        assert!(matches!(
+            t.state,
+            HostState::Blocked(BlockOn::StreamIdle(ContextId(1), StreamId(2)))
+        ));
+        t.block(BlockOn::Reply(42));
+        assert_eq!(t.state, HostState::Blocked(BlockOn::Reply(42)));
+    }
+
+    #[test]
+    fn abort_ends_without_completion() {
+        let mut t = HostThread::new(AppId(0), ProcessId(0), prog(), 5);
+        t.advance(10);
+        t.abort();
+        assert!(t.is_done());
+        assert_eq!(t.finished_at, None, "aborted, not completed");
+        assert_eq!(t.turnaround_ns(), None);
+    }
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(AppId(3).to_string(), "App3");
+        assert_eq!(ProcessId(4).to_string(), "Pid4");
+        assert_eq!(AppId(3).index(), 3);
+    }
+}

@@ -1,0 +1,38 @@
+//! # cuda-sim
+//!
+//! A behavioural model of the CUDA runtime API — the layer the Strings
+//! interposer intercepts. Nothing here talks to real hardware; calls are
+//! data ([`call::CudaCall`]) with the same *semantics* the paper relies on:
+//!
+//! * which calls **block** the host (`cudaMemcpy`, `cudaStreamSynchronize`,
+//!   `cudaDeviceSynchronize`) and which return immediately
+//!   (`cudaLaunch`, `cudaMemcpyAsync`),
+//! * which calls carry **output parameters** and therefore cannot be issued
+//!   as fire-and-forget RPCs (the interposer's non-blocking-RPC
+//!   optimization applies only to calls without outputs),
+//! * which calls expand into **device jobs** (kernels, DMA transfers) and
+//!   which are control-plane only (`cudaSetDevice`, `cudaStreamCreate`,
+//!   `cudaThreadExit`),
+//! * the CUDA ≥ 4.0 **context rule**: one GPU context per host process per
+//!   device, multiplexed by the driver across processes
+//!   ([`registry::ContextRegistry`]).
+//!
+//! Applications are [`program::HostProgram`]s — alternating CPU phases and
+//! CUDA calls — executed by a [`host::HostThread`] state machine that the
+//! simulation executive drives. [`pending::PendingOps`] tracks outstanding
+//! asynchronous work so synchronization calls unblock at the right moment.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod call;
+pub mod host;
+pub mod pending;
+pub mod program;
+pub mod registry;
+
+pub use call::{CudaCall, CudaError};
+pub use host::{AppId, BlockOn, HostState, HostThread, ProcessId};
+pub use pending::PendingOps;
+pub use program::{HostOp, HostProgram};
+pub use registry::ContextRegistry;

@@ -1,0 +1,173 @@
+//! Outstanding-work tracking.
+//!
+//! [`PendingOps`] answers the questions synchronization calls ask:
+//! *is this job done?*, *is this stream idle?*, *is this whole context
+//! idle?* — the executive records submissions and completions, and blocked
+//! host threads re-check their conditions against this structure.
+
+use crate::host::BlockOn;
+use gpu_sim::ids::{ContextId, JobId, StreamId};
+use std::collections::{HashMap, HashSet};
+
+/// Tracks device jobs submitted but not yet completed.
+#[derive(Debug, Default)]
+pub struct PendingOps {
+    by_stream: HashMap<(ContextId, StreamId), HashSet<JobId>>,
+    by_ctx: HashMap<ContextId, usize>,
+    index: HashMap<JobId, (ContextId, StreamId)>,
+}
+
+impl PendingOps {
+    /// Empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a job submission.
+    pub fn submit(&mut self, ctx: ContextId, stream: StreamId, job: JobId) {
+        let inserted = self.by_stream.entry((ctx, stream)).or_default().insert(job);
+        debug_assert!(inserted, "job {job} submitted twice");
+        *self.by_ctx.entry(ctx).or_insert(0) += 1;
+        self.index.insert(job, (ctx, stream));
+    }
+
+    /// Record a job completion. Unknown jobs are ignored (a completion can
+    /// race a context teardown).
+    pub fn complete(&mut self, job: JobId) {
+        let Some((ctx, stream)) = self.index.remove(&job) else {
+            return;
+        };
+        if let Some(set) = self.by_stream.get_mut(&(ctx, stream)) {
+            set.remove(&job);
+            if set.is_empty() {
+                self.by_stream.remove(&(ctx, stream));
+            }
+        }
+        if let Some(n) = self.by_ctx.get_mut(&ctx) {
+            *n -= 1;
+            if *n == 0 {
+                self.by_ctx.remove(&ctx);
+            }
+        }
+    }
+
+    /// Is this specific job still outstanding?
+    pub fn is_pending(&self, job: JobId) -> bool {
+        self.index.contains_key(&job)
+    }
+
+    /// Is `(ctx, stream)` free of outstanding work?
+    pub fn stream_idle(&self, ctx: ContextId, stream: StreamId) -> bool {
+        !self.by_stream.contains_key(&(ctx, stream))
+    }
+
+    /// Is the whole context free of outstanding work?
+    pub fn ctx_idle(&self, ctx: ContextId) -> bool {
+        !self.by_ctx.contains_key(&ctx)
+    }
+
+    /// Outstanding jobs in a context.
+    pub fn ctx_outstanding(&self, ctx: ContextId) -> usize {
+        self.by_ctx.get(&ctx).copied().unwrap_or(0)
+    }
+
+    /// Total outstanding jobs.
+    pub fn total(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Evaluate a host thread's block condition (RPC replies are handled by
+    /// the remoting layer, not here).
+    pub fn is_satisfied(&self, cond: BlockOn) -> bool {
+        match cond {
+            BlockOn::Job(j) => !self.is_pending(j),
+            BlockOn::StreamIdle(c, s) => self.stream_idle(c, s),
+            BlockOn::CtxIdle(c) => self.ctx_idle(c),
+            BlockOn::Reply(_) => false,
+        }
+    }
+
+    /// Drop all bookkeeping for a context (teardown on `cudaThreadExit`).
+    pub fn forget_ctx(&mut self, ctx: ContextId) {
+        self.by_stream.retain(|(c, _), _| *c != ctx);
+        self.by_ctx.remove(&ctx);
+        self.index.retain(|_, (c, _)| *c != ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C: ContextId = ContextId(0);
+    const S1: StreamId = StreamId(1);
+    const S2: StreamId = StreamId(2);
+
+    #[test]
+    fn submit_complete_lifecycle() {
+        let mut p = PendingOps::new();
+        assert!(p.ctx_idle(C));
+        p.submit(C, S1, JobId(0));
+        p.submit(C, S1, JobId(1));
+        p.submit(C, S2, JobId(2));
+        assert!(p.is_pending(JobId(0)));
+        assert!(!p.stream_idle(C, S1));
+        assert!(!p.stream_idle(C, S2));
+        assert!(!p.ctx_idle(C));
+        assert_eq!(p.ctx_outstanding(C), 3);
+        assert_eq!(p.total(), 3);
+
+        p.complete(JobId(0));
+        assert!(!p.stream_idle(C, S1), "S1 still has job 1");
+        p.complete(JobId(1));
+        assert!(p.stream_idle(C, S1));
+        assert!(!p.ctx_idle(C), "S2 still busy");
+        p.complete(JobId(2));
+        assert!(p.ctx_idle(C));
+        assert_eq!(p.total(), 0);
+    }
+
+    #[test]
+    fn unknown_completion_is_ignored() {
+        let mut p = PendingOps::new();
+        p.complete(JobId(99)); // no panic
+        assert_eq!(p.total(), 0);
+    }
+
+    #[test]
+    fn block_conditions() {
+        let mut p = PendingOps::new();
+        p.submit(C, S1, JobId(7));
+        assert!(!p.is_satisfied(BlockOn::Job(JobId(7))));
+        assert!(!p.is_satisfied(BlockOn::StreamIdle(C, S1)));
+        assert!(!p.is_satisfied(BlockOn::CtxIdle(C)));
+        assert!(p.is_satisfied(BlockOn::StreamIdle(C, S2)), "other stream idle");
+        assert!(!p.is_satisfied(BlockOn::Reply(3)), "replies handled elsewhere");
+        p.complete(JobId(7));
+        assert!(p.is_satisfied(BlockOn::Job(JobId(7))));
+        assert!(p.is_satisfied(BlockOn::CtxIdle(C)));
+    }
+
+    #[test]
+    fn forget_ctx_clears_everything() {
+        let mut p = PendingOps::new();
+        let c2 = ContextId(1);
+        p.submit(C, S1, JobId(0));
+        p.submit(c2, S1, JobId(1));
+        p.forget_ctx(C);
+        assert!(p.ctx_idle(C));
+        assert!(!p.is_pending(JobId(0)));
+        assert!(p.is_pending(JobId(1)), "other contexts untouched");
+        assert_eq!(p.total(), 1);
+    }
+
+    #[test]
+    fn per_stream_isolation_within_ctx() {
+        let mut p = PendingOps::new();
+        p.submit(C, S1, JobId(0));
+        p.submit(C, S2, JobId(1));
+        p.complete(JobId(1));
+        assert!(p.stream_idle(C, S2));
+        assert!(!p.stream_idle(C, S1));
+    }
+}

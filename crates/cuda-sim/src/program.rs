@@ -1,0 +1,225 @@
+//! Host programs.
+//!
+//! An application (one service request in the cloud model) is a straight-
+//! line host program: CPU phases interleaved with CUDA calls. The workload
+//! crate synthesizes these from the paper's Table I characteristics.
+
+use crate::call::CudaCall;
+use serde::{Deserialize, Serialize};
+use sim_core::SimDuration;
+
+/// One step of a host program.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum HostOp {
+    /// Burn host CPU for the given duration (the application's
+    /// non-offloaded component).
+    CpuBusy(SimDuration),
+    /// Issue a CUDA runtime call.
+    Cuda(CudaCall),
+}
+
+/// A straight-line host program.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct HostProgram {
+    ops: Vec<HostOp>,
+}
+
+impl HostProgram {
+    /// Empty program.
+    pub fn new() -> Self {
+        HostProgram { ops: Vec::new() }
+    }
+
+    /// Build from an op list.
+    pub fn from_ops(ops: Vec<HostOp>) -> Self {
+        HostProgram { ops }
+    }
+
+    /// Append a CPU phase.
+    pub fn cpu(&mut self, d: SimDuration) -> &mut Self {
+        self.ops.push(HostOp::CpuBusy(d));
+        self
+    }
+
+    /// Append a CUDA call.
+    pub fn call(&mut self, c: CudaCall) -> &mut Self {
+        self.ops.push(HostOp::Cuda(c));
+        self
+    }
+
+    /// Program length in ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if the program has no ops.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Op at `pc`, if within bounds.
+    pub fn op(&self, pc: usize) -> Option<&HostOp> {
+        self.ops.get(pc)
+    }
+
+    /// All ops.
+    pub fn ops(&self) -> &[HostOp] {
+        &self.ops
+    }
+
+    /// Total host CPU time in the program.
+    pub fn total_cpu(&self) -> SimDuration {
+        self.ops.iter().fold(SimDuration::ZERO, |acc, op| match op {
+            HostOp::CpuBusy(d) => acc + *d,
+            _ => acc,
+        })
+    }
+
+    /// Sum of the solo reference durations of all kernels launched.
+    pub fn total_kernel_ref(&self) -> SimDuration {
+        self.ops.iter().fold(SimDuration::ZERO, |acc, op| match op {
+            HostOp::Cuda(CudaCall::LaunchKernel { kernel }) => {
+                acc + SimDuration::from_ns(kernel.work_ref_ns)
+            }
+            _ => acc,
+        })
+    }
+
+    /// Total bytes transferred in either direction.
+    pub fn total_copy_bytes(&self) -> u64 {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                HostOp::Cuda(CudaCall::Memcpy { bytes, .. })
+                | HostOp::Cuda(CudaCall::MemcpyAsync { bytes, .. }) => *bytes,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Count of calls satisfying `pred`.
+    pub fn count_calls(&self, pred: impl Fn(&CudaCall) -> bool) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, HostOp::Cuda(c) if pred(c)))
+            .count()
+    }
+
+    /// Sanity-check invariants every generated program must satisfy:
+    /// starts with `cudaSetDevice`, ends with `cudaThreadExit`, and every
+    /// kernel launch is eventually followed by a synchronizing call.
+    pub fn validate(&self) -> Result<(), String> {
+        match self.ops.first() {
+            Some(HostOp::Cuda(CudaCall::SetDevice { .. })) => {}
+            other => return Err(format!("program must start with cudaSetDevice, got {other:?}")),
+        }
+        match self.ops.last() {
+            Some(HostOp::Cuda(CudaCall::ThreadExit)) => {}
+            other => return Err(format!("program must end with cudaThreadExit, got {other:?}")),
+        }
+        let mut outstanding = false;
+        for op in &self.ops {
+            match op {
+                HostOp::Cuda(c) if c.creates_device_job() && !c.blocks_host() => {
+                    outstanding = true;
+                }
+                HostOp::Cuda(
+                    CudaCall::StreamSynchronize | CudaCall::DeviceSynchronize | CudaCall::Memcpy { .. },
+                ) => outstanding = false,
+                _ => {}
+            }
+        }
+        if outstanding {
+            return Err("async device work not followed by a synchronization".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::job::{CopyDirection, KernelProfile};
+
+    fn kp(ns: u64) -> KernelProfile {
+        KernelProfile {
+            work_ref_ns: ns,
+            occupancy: 0.5,
+            bw_demand_mbps: 100.0,
+        }
+    }
+
+    fn sample() -> HostProgram {
+        let mut p = HostProgram::new();
+        p.call(CudaCall::SetDevice { device: 0 })
+            .call(CudaCall::Malloc { bytes: 1024 })
+            .cpu(SimDuration::from_ms(5))
+            .call(CudaCall::Memcpy {
+                dir: CopyDirection::HostToDevice,
+                bytes: 1024,
+            })
+            .call(CudaCall::LaunchKernel { kernel: kp(1000) })
+            .call(CudaCall::DeviceSynchronize)
+            .call(CudaCall::Memcpy {
+                dir: CopyDirection::DeviceToHost,
+                bytes: 512,
+            })
+            .call(CudaCall::Free { bytes: 1024 })
+            .call(CudaCall::ThreadExit);
+        p
+    }
+
+    #[test]
+    fn accessors_and_totals() {
+        let p = sample();
+        assert_eq!(p.len(), 9);
+        assert!(!p.is_empty());
+        assert_eq!(p.total_cpu(), SimDuration::from_ms(5));
+        assert_eq!(p.total_kernel_ref(), SimDuration::from_ns(1000));
+        assert_eq!(p.total_copy_bytes(), 1536);
+        assert_eq!(p.count_calls(|c| matches!(c, CudaCall::Memcpy { .. })), 2);
+        assert!(matches!(p.op(0), Some(HostOp::Cuda(CudaCall::SetDevice { .. }))));
+        assert_eq!(p.op(99), None);
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        assert_eq!(sample().validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_missing_set_device() {
+        let mut p = HostProgram::new();
+        p.call(CudaCall::ThreadExit);
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_missing_exit() {
+        let mut p = HostProgram::new();
+        p.call(CudaCall::SetDevice { device: 0 });
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_unsynchronized_async_work() {
+        let mut p = HostProgram::new();
+        p.call(CudaCall::SetDevice { device: 0 })
+            .call(CudaCall::LaunchKernel { kernel: kp(10) })
+            .call(CudaCall::ThreadExit);
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn sync_memcpy_counts_as_synchronization() {
+        let mut p = HostProgram::new();
+        p.call(CudaCall::SetDevice { device: 0 })
+            .call(CudaCall::LaunchKernel { kernel: kp(10) })
+            .call(CudaCall::Memcpy {
+                dir: CopyDirection::DeviceToHost,
+                bytes: 64,
+            })
+            .call(CudaCall::ThreadExit);
+        assert_eq!(p.validate(), Ok(()));
+    }
+}

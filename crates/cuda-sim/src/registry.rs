@@ -1,0 +1,137 @@
+//! The driver's context registry.
+//!
+//! CUDA ≥ 4.0 hosts **one GPU context per process per device**: threads of a
+//! single process share a context (and may run concurrently via streams),
+//! while contexts of different processes are time-multiplexed by the driver.
+//! This rule is what makes the paper's backend designs differ:
+//!
+//! * Design I (Rain): one backend *process* per application → one context
+//!   per application → context switching between applications,
+//! * Design III (Strings): one backend process *per GPU*, applications as
+//!   threads → a single shared context per device → space sharing.
+//!
+//! [`ContextRegistry`] hands out [`ContextId`]s according to that rule; the
+//! key is a *global* device index since the gPool spans nodes.
+
+use crate::host::ProcessId;
+use gpu_sim::ids::{ContextId, IdAllocator};
+use std::collections::HashMap;
+
+/// Global device index within the gPool (the paper's GID).
+pub type GlobalDeviceIndex = usize;
+
+/// Allocates and looks up contexts per (process, device).
+#[derive(Debug, Default)]
+pub struct ContextRegistry {
+    next: IdAllocator,
+    map: HashMap<(ProcessId, GlobalDeviceIndex), ContextId>,
+    owners: HashMap<ContextId, (ProcessId, GlobalDeviceIndex)>,
+}
+
+impl ContextRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The context for `(process, device)`, creating it on first use.
+    /// Returns `(ctx, created)` where `created` indicates a fresh context
+    /// (callers charge the one-time creation latency for those).
+    pub fn get_or_create(
+        &mut self,
+        process: ProcessId,
+        device: GlobalDeviceIndex,
+    ) -> (ContextId, bool) {
+        if let Some(&ctx) = self.map.get(&(process, device)) {
+            return (ctx, false);
+        }
+        let ctx: ContextId = self.next.alloc();
+        self.map.insert((process, device), ctx);
+        self.owners.insert(ctx, (process, device));
+        (ctx, true)
+    }
+
+    /// Look up without creating.
+    pub fn get(&self, process: ProcessId, device: GlobalDeviceIndex) -> Option<ContextId> {
+        self.map.get(&(process, device)).copied()
+    }
+
+    /// Which (process, device) owns a context.
+    pub fn owner(&self, ctx: ContextId) -> Option<(ProcessId, GlobalDeviceIndex)> {
+        self.owners.get(&ctx).copied()
+    }
+
+    /// Destroy a context (process teardown).
+    pub fn destroy(&mut self, ctx: ContextId) {
+        if let Some(key) = self.owners.remove(&ctx) {
+            self.map.remove(&key);
+        }
+    }
+
+    /// Number of live contexts.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no contexts exist.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// All live contexts on a given device.
+    pub fn contexts_on(&self, device: GlobalDeviceIndex) -> Vec<ContextId> {
+        let mut v: Vec<ContextId> = self
+            .map
+            .iter()
+            .filter(|((_, d), _)| *d == device)
+            .map(|(_, c)| *c)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_context_per_process_per_device() {
+        let mut r = ContextRegistry::new();
+        let (c1, fresh1) = r.get_or_create(ProcessId(0), 0);
+        let (c2, fresh2) = r.get_or_create(ProcessId(0), 0);
+        assert_eq!(c1, c2, "same process+device shares a context");
+        assert!(fresh1 && !fresh2);
+
+        let (c3, _) = r.get_or_create(ProcessId(0), 1);
+        let (c4, _) = r.get_or_create(ProcessId(1), 0);
+        assert_ne!(c1, c3, "different device, different context");
+        assert_ne!(c1, c4, "different process, different context");
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn owner_lookup_and_destroy() {
+        let mut r = ContextRegistry::new();
+        let (c, _) = r.get_or_create(ProcessId(5), 2);
+        assert_eq!(r.owner(c), Some((ProcessId(5), 2)));
+        r.destroy(c);
+        assert_eq!(r.owner(c), None);
+        assert_eq!(r.get(ProcessId(5), 2), None);
+        assert!(r.is_empty());
+        // Re-creating yields a fresh id.
+        let (c2, fresh) = r.get_or_create(ProcessId(5), 2);
+        assert!(fresh);
+        assert_ne!(c, c2);
+    }
+
+    #[test]
+    fn contexts_on_device() {
+        let mut r = ContextRegistry::new();
+        let (a, _) = r.get_or_create(ProcessId(0), 0);
+        let (b, _) = r.get_or_create(ProcessId(1), 0);
+        let (_c, _) = r.get_or_create(ProcessId(0), 1);
+        assert_eq!(r.contexts_on(0), vec![a, b]);
+        assert_eq!(r.contexts_on(9), vec![]);
+    }
+}

@@ -1,0 +1,135 @@
+//! Typed identifiers for simulation entities.
+//!
+//! Small newtype wrappers keep the many integer ids flowing through the
+//! scheduler stack from being confused with one another at compile time.
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Raw index value.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<u32> for $name {
+            #[inline]
+            fn from(v: u32) -> Self {
+                $name(v)
+            }
+        }
+
+        impl From<usize> for $name {
+            #[inline]
+            fn from(v: usize) -> Self {
+                $name(v as u32)
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{}{}", stringify!($name), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A physical GPU device within a node (the paper's "local device id").
+    DeviceId
+);
+id_type!(
+    /// A GPU context (one per host process per device on CUDA ≥ 4.0).
+    ContextId
+);
+id_type!(
+    /// A CUDA stream within a context; stream 0 is the default stream.
+    StreamId
+);
+id_type!(
+    /// A single unit of device work (kernel launch or DMA transfer).
+    JobId
+);
+
+impl StreamId {
+    /// The CUDA default stream.
+    pub const DEFAULT: StreamId = StreamId(0);
+
+    /// True if this is the default (legacy, synchronizing) stream.
+    #[inline]
+    pub const fn is_default(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// Allocates monotonically increasing ids of any of the types above.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct IdAllocator {
+    next: u32,
+}
+
+impl IdAllocator {
+    /// New allocator starting at zero.
+    pub fn new() -> Self {
+        IdAllocator { next: 0 }
+    }
+
+    /// New allocator starting at `first` (e.g. 1 to reserve stream 0).
+    pub fn starting_at(first: u32) -> Self {
+        IdAllocator { next: first }
+    }
+
+    /// Hand out the next id.
+    pub fn alloc<T: From<u32>>(&mut self) -> T {
+        let id = self.next;
+        self.next += 1;
+        T::from(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_distinct_types() {
+        let d = DeviceId(3);
+        let c = ContextId(3);
+        assert_eq!(d.index(), c.index()); // same value...
+        assert_eq!(format!("{d}"), "DeviceId3"); // ...different identity
+        assert_eq!(format!("{c}"), "ContextId3");
+    }
+
+    #[test]
+    fn allocator_is_monotonic() {
+        let mut a = IdAllocator::new();
+        let x: JobId = a.alloc();
+        let y: JobId = a.alloc();
+        let z: JobId = a.alloc();
+        assert_eq!((x, y, z), (JobId(0), JobId(1), JobId(2)));
+    }
+
+    #[test]
+    fn allocator_starting_at() {
+        let mut a = IdAllocator::starting_at(1);
+        let s: StreamId = a.alloc();
+        assert_eq!(s, StreamId(1));
+        assert!(!s.is_default());
+        assert!(StreamId::DEFAULT.is_default());
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(DeviceId::from(7usize), DeviceId(7));
+        assert_eq!(ContextId::from(9u32), ContextId(9));
+    }
+}

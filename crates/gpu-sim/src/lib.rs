@@ -1,0 +1,42 @@
+//! # gpu-sim
+//!
+//! A deterministic, event-driven model of Fermi-class GPU devices — the
+//! hardware substrate the Strings scheduler (SC'14) was evaluated on.
+//!
+//! A [`device::Device`] owns three classes of hardware engine, matching the
+//! paper's description of the GPU resources a scheduler should keep busy:
+//!
+//! * a **compute engine** ([`compute::ComputeEngine`]) that runs kernels
+//!   with *space sharing*: kernels from the same GPU context run
+//!   concurrently under a processor-sharing model with SM-occupancy and
+//!   memory-bandwidth contention,
+//! * one or two **copy engines** ([`copy::CopyEngine`]) serving
+//!   host-to-device and device-to-host DMA (Teslas have two, Quadros one),
+//! * a **context arbiter** (inside [`device::Device`]): only one GPU context
+//!   is resident at a time; switching contexts costs real time, which is the
+//!   source of the idle "glitches" in the paper's Figure 2 and the reason
+//!   context packing (Design III) wins.
+//!
+//! Work arrives as [`job::Job`]s submitted to (context, stream) pairs; CUDA
+//! stream FIFO ordering is enforced per stream, and streams of the *same*
+//! context overlap freely across engines — exactly the concurrency CUDA
+//! streams expose on Fermi.
+//!
+//! Device specifications for the paper's four GPUs (Quadro 2000,
+//! Tesla C2050, Quadro 4000, Tesla C2070) are provided in [`spec`].
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod compute;
+pub mod copy;
+pub mod device;
+pub mod ids;
+pub mod job;
+pub mod spec;
+pub mod telemetry;
+
+pub use device::{CompletedJob, Device, DeviceConfig};
+pub use ids::{ContextId, DeviceId, JobId, StreamId};
+pub use job::{CopyDirection, Job, JobKind, KernelProfile};
+pub use spec::{DeviceSpec, GpuModel};

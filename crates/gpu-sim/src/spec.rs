@@ -1,0 +1,258 @@
+//! Device specifications.
+//!
+//! The paper's testbed is two dual-GPU nodes: NodeA with a **Quadro 2000**
+//! and a **Tesla C2050**, NodeB with a **Quadro 4000** and a **Tesla C2070**
+//! — a deliberately heterogeneous pool. The numbers below are the published
+//! Fermi spec-sheet values; the *reference device* for expressing kernel
+//! work is the Tesla C2050 (the most common of the four in HPC use at the
+//! time).
+
+use serde::{Deserialize, Serialize};
+
+/// The four GPU models in the paper's testbed, plus the host CPU socket as
+/// an Ocelot-style execution target (the paper's §VII future work:
+/// "dynamic opportunities and tradeoffs in mapping executions to either
+/// GPUs or CPUs, using runtime methods for binary translation").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GpuModel {
+    /// NVIDIA Quadro 2000 (GF106GL): 192 cores, 1 copy engine.
+    Quadro2000,
+    /// NVIDIA Tesla C2050 (GF100): 448 cores, 2 copy engines. Reference.
+    TeslaC2050,
+    /// NVIDIA Quadro 4000 (GF100GL): 256 cores, 1 copy engine.
+    Quadro4000,
+    /// NVIDIA Tesla C2070 (GF100): 448 cores, 2 copy engines, 6 GB.
+    TeslaC2070,
+    /// The testbed's Xeon X5660 socket running translated kernels
+    /// (Ocelot-style). Slow "compute engine", but "transfers" are host
+    /// memcpys and effectively free of the PCIe bottleneck.
+    XeonX5660,
+}
+
+impl GpuModel {
+    /// Spec sheet for this model.
+    pub fn spec(self) -> DeviceSpec {
+        match self {
+            GpuModel::Quadro2000 => DeviceSpec {
+                model: self,
+                name: "Quadro 2000",
+                sm_count: 4,
+                cores: 192,
+                clock_mhz: 1251,
+                sp_gflops: 480.0,
+                mem_bw_mbps: 41_600.0,
+                mem_bytes: 1 << 30, // 1 GiB
+                copy_engines: 1,
+                pcie_gbps: 4.0, // x16 Gen2, workstation board: effective 4 GB/s
+                max_concurrent_kernels: 16,
+            },
+            GpuModel::TeslaC2050 => DeviceSpec {
+                model: self,
+                name: "Tesla C2050",
+                sm_count: 14,
+                cores: 448,
+                clock_mhz: 1150,
+                sp_gflops: 1030.0,
+                mem_bw_mbps: 144_000.0,
+                mem_bytes: 3 << 30, // 3 GiB
+                copy_engines: 2,
+                pcie_gbps: 6.0,
+                max_concurrent_kernels: 16,
+            },
+            GpuModel::Quadro4000 => DeviceSpec {
+                model: self,
+                name: "Quadro 4000",
+                sm_count: 8,
+                cores: 256,
+                clock_mhz: 950,
+                sp_gflops: 486.0,
+                mem_bw_mbps: 89_600.0,
+                mem_bytes: 2 << 30, // 2 GiB
+                copy_engines: 1,
+                pcie_gbps: 4.0,
+                max_concurrent_kernels: 16,
+            },
+            GpuModel::XeonX5660 => DeviceSpec {
+                model: self,
+                name: "Xeon X5660 (Ocelot)",
+                sm_count: 6,
+                cores: 6,
+                clock_mhz: 2800,
+                sp_gflops: 134.0, // 6 cores × 2.8 GHz × 8 flops SSE
+                mem_bw_mbps: 32_000.0,
+                mem_bytes: 12 << 30, // host RAM
+                copy_engines: 2,
+                pcie_gbps: 20.0, // host-to-host memcpy, no PCIe hop
+                max_concurrent_kernels: 6,
+            },
+            GpuModel::TeslaC2070 => DeviceSpec {
+                model: self,
+                name: "Tesla C2070",
+                sm_count: 14,
+                cores: 448,
+                clock_mhz: 1150,
+                sp_gflops: 1030.0,
+                mem_bw_mbps: 144_000.0,
+                mem_bytes: 6 << 30, // 6 GiB
+                copy_engines: 2,
+                pcie_gbps: 6.0,
+                max_concurrent_kernels: 16,
+            },
+        }
+    }
+}
+
+/// Static capabilities of one GPU device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Which model this is.
+    pub model: GpuModel,
+    /// Marketing name.
+    pub name: &'static str,
+    /// Number of streaming multiprocessors.
+    pub sm_count: u32,
+    /// Total CUDA cores.
+    pub cores: u32,
+    /// Shader clock, MHz.
+    pub clock_mhz: u32,
+    /// Peak single-precision throughput, GFLOP/s.
+    pub sp_gflops: f64,
+    /// Device memory bandwidth, MB/s.
+    pub mem_bw_mbps: f64,
+    /// Device memory capacity, bytes.
+    pub mem_bytes: u64,
+    /// Number of DMA copy engines (1 = shared H2D/D2H, 2 = one each way).
+    pub copy_engines: u32,
+    /// Host↔device link bandwidth, GB/s (pinned-memory rate).
+    pub pcie_gbps: f64,
+    /// Fermi limit on concurrently resident kernels per context.
+    pub max_concurrent_kernels: u32,
+}
+
+impl DeviceSpec {
+    /// The reference device all kernel work durations are expressed against.
+    pub fn reference() -> DeviceSpec {
+        GpuModel::TeslaC2050.spec()
+    }
+
+    /// Compute-speed factor relative to the reference (>1 = faster).
+    pub fn compute_factor(&self) -> f64 {
+        self.sp_gflops / DeviceSpec::reference().sp_gflops
+    }
+
+    /// Memory-bandwidth factor relative to the reference (>1 = faster).
+    pub fn bandwidth_factor(&self) -> f64 {
+        self.mem_bw_mbps / DeviceSpec::reference().mem_bw_mbps
+    }
+
+    /// Static scheduling weight used by the GWtMin policy, assigned once by
+    /// the gPool Creator from device properties. It is deliberately
+    /// compute-centric (peak GFLOP/s ratio): the paper observes that these
+    /// one-time static weights "in many cases do not mirror the actual
+    /// relative differences in application performance" — e.g. they
+    /// overvalue a Quadro for bandwidth-bound work — which is why GMin can
+    /// beat GWtMin on some applications and why feedback policies win.
+    pub fn static_weight(&self) -> f64 {
+        self.compute_factor()
+    }
+
+    /// Solo execution-time scale for a kernel of memory intensity
+    /// `mem_intensity ∈ [0,1]` (0 = pure compute, 1 = pure bandwidth):
+    /// linear roofline interpolation between the compute-time ratio and the
+    /// bandwidth-time ratio versus the reference device.
+    pub fn solo_time_scale(&self, mem_intensity: f64) -> f64 {
+        let m = mem_intensity.clamp(0.0, 1.0);
+        let compute_scale = 1.0 / self.compute_factor();
+        let bw_scale = 1.0 / self.bandwidth_factor();
+        (1.0 - m) * compute_scale + m * bw_scale
+    }
+
+    /// Time to move `bytes` across the host↔device link, in nanoseconds.
+    /// Pageable transfers achieve roughly half the pinned rate on Fermi.
+    pub fn pcie_transfer_ns(&self, bytes: u64, pinned: bool) -> u64 {
+        let gbps = if pinned {
+            self.pcie_gbps
+        } else {
+            self.pcie_gbps * 0.5
+        };
+        let bytes_per_ns = gbps * 1e9 / 1e9 / 1.0; // GB/s == bytes/ns
+        ((bytes as f64 / bytes_per_ns).ceil() as u64).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbed_heterogeneity_matches_paper() {
+        // NodeA: Quadro 2000 + Tesla C2050; NodeB: Quadro 4000 + Tesla C2070.
+        let q2 = GpuModel::Quadro2000.spec();
+        let c2050 = GpuModel::TeslaC2050.spec();
+        let q4 = GpuModel::Quadro4000.spec();
+        let c2070 = GpuModel::TeslaC2070.spec();
+        assert!(c2050.sp_gflops > q2.sp_gflops);
+        assert!(c2070.mem_bytes > c2050.mem_bytes);
+        assert_eq!(q2.copy_engines, 1);
+        assert_eq!(q4.copy_engines, 1);
+        assert_eq!(c2050.copy_engines, 2);
+        assert_eq!(c2070.copy_engines, 2);
+    }
+
+    #[test]
+    fn reference_factors_are_unity() {
+        let r = DeviceSpec::reference();
+        assert!((r.compute_factor() - 1.0).abs() < 1e-12);
+        assert!((r.bandwidth_factor() - 1.0).abs() < 1e-12);
+        assert!((r.static_weight() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn teslas_outweigh_quadros() {
+        let wq2 = GpuModel::Quadro2000.spec().static_weight();
+        let wq4 = GpuModel::Quadro4000.spec().static_weight();
+        let wt = GpuModel::TeslaC2050.spec().static_weight();
+        assert!(wt > wq4 && wq4 > wq2);
+    }
+
+    #[test]
+    fn cpu_target_is_slow_compute_fast_transfer() {
+        let cpu = GpuModel::XeonX5660.spec();
+        let tesla = GpuModel::TeslaC2050.spec();
+        assert!(cpu.sp_gflops < tesla.sp_gflops / 5.0, "CPU compute is weak");
+        assert!(cpu.pcie_gbps > tesla.pcie_gbps, "host memcpy beats PCIe");
+        assert!(cpu.static_weight() < 0.2, "scheduler sees a weak target");
+    }
+
+    #[test]
+    fn solo_time_scale_roofline() {
+        let q2 = GpuModel::Quadro2000.spec();
+        // Pure compute kernel: slower by the gflops ratio.
+        let sc = q2.solo_time_scale(0.0);
+        assert!((sc - 1030.0 / 480.0).abs() < 1e-9);
+        // Pure bandwidth kernel: slower by the bandwidth ratio.
+        let sb = q2.solo_time_scale(1.0);
+        assert!((sb - 144_000.0 / 41_600.0).abs() < 1e-9);
+        // Interpolation lies between.
+        let mid = q2.solo_time_scale(0.5);
+        assert!(mid > sc.min(sb) && mid < sc.max(sb));
+    }
+
+    #[test]
+    fn solo_time_scale_clamps_intensity() {
+        let q2 = GpuModel::Quadro2000.spec();
+        assert_eq!(q2.solo_time_scale(-3.0), q2.solo_time_scale(0.0));
+        assert_eq!(q2.solo_time_scale(42.0), q2.solo_time_scale(1.0));
+    }
+
+    #[test]
+    fn pcie_transfer_times() {
+        let c = GpuModel::TeslaC2050.spec();
+        // 6 GB at 6 GB/s pinned = 1 s.
+        assert_eq!(c.pcie_transfer_ns(6_000_000_000, true), 1_000_000_000);
+        // pageable is twice as slow
+        assert_eq!(c.pcie_transfer_ns(6_000_000_000, false), 2_000_000_000);
+        // tiny transfers still take at least 1 ns
+        assert!(c.pcie_transfer_ns(1, true) >= 1);
+    }
+}

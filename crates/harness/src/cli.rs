@@ -1,0 +1,307 @@
+//! Command-line scenario construction.
+//!
+//! Powers the `strings-sim` binary: a tiny, dependency-free argument
+//! grammar that builds a [`Scenario`] so users can explore the scheduler
+//! without writing Rust.
+//!
+//! ```text
+//! strings-sim --mode strings --lb gwtmin --gpu-policy ps \
+//!             --app MC:20:1.5 --app DC:10:1.0:1 --nodes 2 --seed 7
+//! ```
+
+use crate::scenario::{LbScope, Scenario, StreamSpec};
+use remoting::gpool::NodeId;
+use strings_core::config::StackConfig;
+use strings_core::device_sched::{GpuPolicy, TenantId};
+use strings_core::mapper::LbPolicy;
+use strings_workloads::profile::AppKind;
+
+/// A parse failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, CliError> {
+    Err(CliError(msg.into()))
+}
+
+/// Parse an application kind mnemonic (Table I two-letter code).
+pub fn parse_app(s: &str) -> Result<AppKind, CliError> {
+    AppKind::ALL
+        .into_iter()
+        .find(|k| k.short().eq_ignore_ascii_case(s))
+        .ok_or_else(|| {
+            CliError(format!(
+                "unknown app '{s}' (expected one of DC SC BO MM HI EV BS MC GA SN)"
+            ))
+        })
+}
+
+/// Parse a balancing policy name.
+pub fn parse_lb(s: &str) -> Result<LbPolicy, CliError> {
+    match s.to_ascii_lowercase().as_str() {
+        "grr" => Ok(LbPolicy::Grr),
+        "gmin" => Ok(LbPolicy::GMin),
+        "gwtmin" => Ok(LbPolicy::GWtMin),
+        "rtf" => Ok(LbPolicy::Rtf),
+        "guf" => Ok(LbPolicy::Guf),
+        "dtf" => Ok(LbPolicy::Dtf),
+        "mbf" => Ok(LbPolicy::Mbf),
+        other => err(format!("unknown balancing policy '{other}'")),
+    }
+}
+
+/// Parse a device-level policy name.
+pub fn parse_gpu_policy(s: &str) -> Result<GpuPolicy, CliError> {
+    match s.to_ascii_lowercase().as_str() {
+        "none" => Ok(GpuPolicy::None),
+        "tfs" => Ok(GpuPolicy::Tfs),
+        "las" => Ok(GpuPolicy::Las),
+        "ps" => Ok(GpuPolicy::Ps),
+        other => err(format!("unknown GPU policy '{other}'")),
+    }
+}
+
+/// Parse one `--app KIND:COUNT:LOAD[:NODE]` stream spec. The tenant id is
+/// assigned by position.
+pub fn parse_stream(s: &str, tenant: u32) -> Result<StreamSpec, CliError> {
+    let parts: Vec<&str> = s.split(':').collect();
+    if !(3..=4).contains(&parts.len()) {
+        return err(format!("--app wants KIND:COUNT:LOAD[:NODE], got '{s}'"));
+    }
+    let app = parse_app(parts[0])?;
+    let count: usize = parts[1]
+        .parse()
+        .map_err(|_| CliError(format!("bad count '{}'", parts[1])))?;
+    let load: f64 = parts[2]
+        .parse()
+        .map_err(|_| CliError(format!("bad load '{}'", parts[2])))?;
+    if load <= 0.0 {
+        return err("load must be positive");
+    }
+    let node: u32 = match parts.get(3) {
+        Some(n) => n
+            .parse()
+            .map_err(|_| CliError(format!("bad node '{n}'")))?,
+        None => 0,
+    };
+    Ok(StreamSpec {
+        app,
+        node: NodeId(node),
+        tenant: TenantId(tenant),
+        weight: 1.0,
+        count,
+        load,
+        server_threads: 6,
+    })
+}
+
+/// Parsed command line.
+#[derive(Debug)]
+pub struct CliRun {
+    /// The scenario to execute.
+    pub scenario: Scenario,
+    /// Seeds to average over.
+    pub seeds: Vec<u64>,
+}
+
+/// Usage text for `--help`.
+pub const USAGE: &str = "strings-sim — run the Strings GPU scheduler simulator
+
+options:
+  --mode cuda|rain|strings        scheduling stack        [strings]
+  --lb   grr|gmin|gwtmin|rtf|guf|dtf|mbf   balancer        [gwtmin]
+  --gpu-policy none|tfs|las|ps    device dispatcher        [none]
+  --feedback POLICY:MIN           arbiter switch after MIN records
+  --app KIND:COUNT:LOAD[:NODE]    request stream (repeatable) [MC:10:1.5]
+  --nodes 1|2                     NodeA or NodeA+NodeB     [1]
+  --scope global|local            balancer scope           [global]
+  --vmem                          enable device virtual memory
+  --seed N                        base RNG seed            [42]
+  --seeds N                       average over N seeds     [1]
+";
+
+/// Parse a full argument list (excluding argv[0]).
+pub fn parse_args(args: &[String]) -> Result<CliRun, CliError> {
+    let mut mode = "strings".to_string();
+    let mut lb = "gwtmin".to_string();
+    let mut gpu = "none".to_string();
+    let mut feedback: Option<(LbPolicy, u64)> = None;
+    let mut streams: Vec<StreamSpec> = Vec::new();
+    let mut nodes = 1usize;
+    let mut scope = LbScope::Global;
+    let mut vmem = false;
+    let mut seed = 42u64;
+    let mut n_seeds = 1u64;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take = || -> Result<&String, CliError> {
+            it.next().ok_or_else(|| CliError(format!("{arg} wants a value")))
+        };
+        match arg.as_str() {
+            "--mode" => mode = take()?.clone(),
+            "--lb" => lb = take()?.clone(),
+            "--gpu-policy" => gpu = take()?.clone(),
+            "--feedback" => {
+                let v = take()?;
+                let (p, m) = v
+                    .split_once(':')
+                    .ok_or_else(|| CliError("--feedback wants POLICY:MIN".into()))?;
+                let policy = parse_lb(p)?;
+                if !policy.is_feedback() {
+                    return err(format!("'{p}' is not a feedback policy"));
+                }
+                let min: u64 = m
+                    .parse()
+                    .map_err(|_| CliError(format!("bad feedback threshold '{m}'")))?;
+                feedback = Some((policy, min));
+            }
+            "--app" => {
+                let spec = take()?.clone();
+                let tenant = streams.len() as u32;
+                streams.push(parse_stream(&spec, tenant)?);
+            }
+            "--nodes" => {
+                nodes = take()?
+                    .parse()
+                    .map_err(|_| CliError("bad --nodes".into()))?;
+                if !(1..=2).contains(&nodes) {
+                    return err("--nodes must be 1 or 2");
+                }
+            }
+            "--scope" => {
+                scope = match take()?.as_str() {
+                    "global" => LbScope::Global,
+                    "local" => LbScope::Local,
+                    other => return err(format!("unknown scope '{other}'")),
+                };
+            }
+            "--vmem" => vmem = true,
+            "--seed" => {
+                seed = take()?
+                    .parse()
+                    .map_err(|_| CliError("bad --seed".into()))?;
+            }
+            "--seeds" => {
+                n_seeds = take()?
+                    .parse()
+                    .map_err(|_| CliError("bad --seeds".into()))?;
+                if n_seeds == 0 {
+                    return err("--seeds must be at least 1");
+                }
+            }
+            other => return err(format!("unknown option '{other}'\n\n{USAGE}")),
+        }
+    }
+    if streams.is_empty() {
+        streams.push(parse_stream("MC:10:1.5", 0)?);
+    }
+    for s in &streams {
+        if s.node.0 as usize >= nodes {
+            return err(format!(
+                "stream targets node {} but only {nodes} node(s) configured",
+                s.node.0
+            ));
+        }
+    }
+
+    let mut stack = match mode.as_str() {
+        "cuda" => StackConfig::cuda_runtime(),
+        "rain" => StackConfig::rain(parse_lb(&lb)?),
+        "strings" => StackConfig::strings(parse_lb(&lb)?),
+        other => return err(format!("unknown mode '{other}'")),
+    };
+    stack = stack.with_gpu_policy(parse_gpu_policy(&gpu)?);
+    if let Some((p, m)) = feedback {
+        if mode == "cuda" {
+            return err("--feedback needs an interposed mode (rain/strings)");
+        }
+        stack = stack.with_feedback(p, m);
+    }
+
+    let mut scenario = if nodes == 2 {
+        Scenario::supernode(stack, streams, seed)
+    } else {
+        Scenario::single_node(stack, streams, seed)
+    }
+    .with_scope(scope);
+    scenario.device_cfg.vmem = vmem;
+    let seeds: Vec<u64> = (0..n_seeds).map(|i| seed + i * 7919).collect();
+    Ok(CliRun { scenario, seeds })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn defaults_build_a_valid_run() {
+        let run = parse_args(&[]).unwrap();
+        assert_eq!(run.scenario.streams.len(), 1);
+        assert_eq!(run.scenario.streams[0].app, AppKind::MC);
+        assert_eq!(run.seeds, vec![42]);
+        assert_eq!(run.scenario.nodes.len(), 1);
+    }
+
+    #[test]
+    fn full_argument_set_parses() {
+        let run = parse_args(&args(
+            "--mode strings --lb gwtmin --gpu-policy ps --feedback mbf:6 \
+             --app DC:10:1.0 --app MC:20:1.5:1 --nodes 2 --scope global \
+             --vmem --seed 9 --seeds 3",
+        ))
+        .unwrap();
+        assert_eq!(run.scenario.streams.len(), 2);
+        assert_eq!(run.scenario.streams[1].node, NodeId(1));
+        assert_eq!(run.scenario.streams[1].tenant, TenantId(1));
+        assert!(run.scenario.device_cfg.vmem);
+        assert_eq!(run.seeds.len(), 3);
+        assert_eq!(run.scenario.stack.label(), "MBFPS-Strings");
+    }
+
+    #[test]
+    fn stream_spec_grammar() {
+        let s = parse_stream("hi:5:2.5", 3).unwrap();
+        assert_eq!(s.app, AppKind::HI);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.tenant, TenantId(3));
+        assert_eq!(s.node, NodeId(0));
+        assert!(parse_stream("HI:5", 0).is_err());
+        assert!(parse_stream("HI:x:1.0", 0).is_err());
+        assert!(parse_stream("HI:5:-1.0", 0).is_err());
+        assert!(parse_stream("ZZ:5:1.0", 0).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_args(&args("--mode quantum")).is_err());
+        assert!(parse_args(&args("--lb fastest")).is_err());
+        assert!(parse_args(&args("--nodes 3")).is_err());
+        assert!(parse_args(&args("--seeds 0")).is_err());
+        assert!(parse_args(&args("--frobnicate")).is_err());
+        // Feedback target must be a feedback policy; cuda can't feedback.
+        assert!(parse_args(&args("--feedback gmin:3")).is_err());
+        assert!(parse_args(&args("--mode cuda --feedback mbf:3")).is_err());
+        // Stream on an unconfigured node.
+        assert!(parse_args(&args("--app MC:5:1.0:1")).is_err());
+    }
+
+    #[test]
+    fn parsed_scenario_actually_runs() {
+        let run = parse_args(&args("--app GA:3:1.0 --gpu-policy tfs")).unwrap();
+        let stats = run.scenario.run();
+        assert_eq!(stats.completed_requests, 3);
+    }
+}

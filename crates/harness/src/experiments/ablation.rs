@@ -1,0 +1,158 @@
+//! Ablation — which Strings design choices buy what.
+//!
+//! Two sweeps on a fixed workload mix (pair B = DXTC + MonteCarlo on the
+//! supernode):
+//!
+//! * **backend designs** (paper Figure 5): Design I (per-app processes),
+//!   Design II (single master thread — a `cudaDeviceSynchronize` blocks all
+//!   tenants), Design III (per-GPU threads — Strings),
+//! * **packer translations**: full Strings with one Context Packer
+//!   translation disabled at a time (AST private streams, SST sync
+//!   rewriting, MOT pinned-async copies, non-blocking RPCs).
+//!
+//! Output is the slowdown of each variant relative to full Strings —
+//! quantifying the paper's §III.B design arguments.
+
+use super::common::{mean_ct, pair_streams, ExpScale};
+use crate::scenario::Scenario;
+use remoting::backend::BackendDesign;
+use strings_core::config::StackConfig;
+use strings_core::mapper::LbPolicy;
+use strings_metrics::report::Table;
+use strings_workloads::pairs::{workload_pair, PairLabel};
+
+/// One ablation variant.
+#[derive(Debug, Clone)]
+pub struct Variant {
+    /// What was changed.
+    pub label: String,
+    /// Mean completion time, ns.
+    pub mean_ct_ns: f64,
+    /// Slowdown versus full Strings (1.0 = no change).
+    pub slowdown: f64,
+}
+
+/// Ablation results.
+#[derive(Debug, Clone)]
+pub struct Results {
+    /// Full-Strings reference completion time, ns.
+    pub reference_ns: f64,
+    /// All variants.
+    pub variants: Vec<Variant>,
+}
+
+/// All ablation variants: (label, configuration).
+pub fn variants() -> Vec<(String, StackConfig)> {
+    let full = StackConfig::strings(LbPolicy::GWtMin);
+    let mut v: Vec<(String, StackConfig)> = Vec::new();
+    // Backend designs.
+    v.push(("design-I (per-app process, Rain)".into(), {
+        let mut c = StackConfig::rain(LbPolicy::GWtMin);
+        c.rpc = full.rpc;
+        c
+    }));
+    v.push(("design-II (single master)".into(), {
+        let mut c = full;
+        c.design = BackendDesign::SingleMaster;
+        // The single master's context packs streams but cannot rewrite the
+        // blocking device synchronize — that is its flaw.
+        c.packer.sync_to_stream = false;
+        c
+    }));
+    // Packer translations off, one at a time.
+    v.push(("no AST (shared default stream)".into(), {
+        let mut c = full;
+        c.packer.auto_stream = false;
+        c
+    }));
+    v.push(("no SST (device-wide syncs)".into(), {
+        let mut c = full;
+        c.packer.sync_to_stream = false;
+        c
+    }));
+    v.push(("no MOT (pageable sync copies)".into(), {
+        let mut c = full;
+        c.packer.async_memcpy = false;
+        c
+    }));
+    v.push(("no async RPC".into(), {
+        let mut c = full;
+        c.packer.nonblocking_rpc = false;
+        c
+    }));
+    v
+}
+
+/// Run the ablation on one pair.
+pub fn run_pair(scale: &ExpScale, label: PairLabel) -> Results {
+    let (a, b) = workload_pair(label);
+    let streams = pair_streams(a, b, scale);
+    let full = StackConfig::strings(LbPolicy::GWtMin);
+    let reference_ns = mean_ct(&Scenario::supernode(full, streams.clone(), 0), scale);
+    let variants = variants()
+        .into_iter()
+        .map(|(label, cfg)| {
+            let ct = mean_ct(&Scenario::supernode(cfg, streams.clone(), 0), scale);
+            Variant {
+                label,
+                mean_ct_ns: ct,
+                slowdown: ct / reference_ns,
+            }
+        })
+        .collect();
+    Results {
+        reference_ns,
+        variants,
+    }
+}
+
+/// Default ablation: pair B (DXTC + MonteCarlo).
+pub fn run(scale: &ExpScale) -> Results {
+    run_pair(scale, PairLabel('B'))
+}
+
+/// Render as a table.
+pub fn table(r: &Results) -> Table {
+    let mut t = Table::new(vec!["variant", "mean CT (s)", "slowdown vs full Strings"]);
+    t.row(vec![
+        "full Strings (GWtMin, design-III)".to_string(),
+        format!("{:.2}", r.reference_ns / 1e9),
+        "1.00x".to_string(),
+    ]);
+    for v in &r.variants {
+        t.row(vec![
+            v.label.clone(),
+            format!("{:.2}", v.mean_ct_ns / 1e9),
+            format!("{:.2}x", v.slowdown),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn removing_translations_never_helps_much() {
+        let r = run(&ExpScale::quick());
+        assert_eq!(r.variants.len(), 6);
+        for v in &r.variants {
+            // No ablated variant should be meaningfully faster than the
+            // full system (small noise margin allowed).
+            assert!(
+                v.slowdown > 0.93,
+                "{} unexpectedly faster: {:.3}",
+                v.label,
+                v.slowdown
+            );
+        }
+        // Dropping the MOT costs transfer-heavy MC dearly.
+        let mot = r
+            .variants
+            .iter()
+            .find(|v| v.label.starts_with("no MOT"))
+            .unwrap();
+        assert!(mot.slowdown > 1.02, "MOT should matter: {}", mot.slowdown);
+    }
+}

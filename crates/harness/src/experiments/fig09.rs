@@ -1,0 +1,138 @@
+//! Figure 9 — importance of workload balancing.
+//!
+//! Single node (NodeA: Quadro 2000 + Tesla C2050), one request stream per
+//! application; speedup in mean completion time of each Rain/Strings
+//! workload-balancing policy over the bare CUDA runtime (whose static
+//! device selection piles every request onto local device 0).
+//!
+//! Paper result (averages over applications): GRR/GMin/GWtMin-Rain ≈
+//! 2.16/2.37/2.34×; GRR/GMin/GWtMin-Strings ≈ 3.10/4.90/4.73×; every
+//! Strings policy beats its Rain counterpart (~2.1× on average).
+
+use super::common::{mean_ct, normalized_stream, ExpScale};
+use crate::scenario::Scenario;
+use remoting::gpool::NodeId;
+use strings_core::config::StackConfig;
+use strings_core::device_sched::TenantId;
+use strings_core::mapper::LbPolicy;
+use strings_metrics::report::{fmt_speedup, Table};
+use strings_workloads::profile::AppKind;
+
+/// The six policy columns of the figure.
+pub fn policies() -> Vec<(String, StackConfig)> {
+    let mut v = Vec::new();
+    for lb in [LbPolicy::Grr, LbPolicy::GMin, LbPolicy::GWtMin] {
+        v.push((format!("{}-Rain", lb.label()), StackConfig::rain(lb)));
+    }
+    for lb in [LbPolicy::Grr, LbPolicy::GMin, LbPolicy::GWtMin] {
+        v.push((format!("{}-Strings", lb.label()), StackConfig::strings(lb)));
+    }
+    v
+}
+
+/// One row: per-application speedups over the CUDA runtime.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// The application.
+    pub app: AppKind,
+    /// (policy label, speedup) pairs in [`policies`] order.
+    pub speedups: Vec<(String, f64)>,
+}
+
+/// Figure 9 results.
+#[derive(Debug, Clone)]
+pub struct Results {
+    /// One row per application.
+    pub rows: Vec<Row>,
+    /// Per-policy averages across applications (the paper's headline
+    /// numbers).
+    pub averages: Vec<(String, f64)>,
+}
+
+impl Results {
+    /// Average speedup of one policy by label.
+    pub fn average(&self, label: &str) -> Option<f64> {
+        self.averages
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, s)| *s)
+    }
+}
+
+/// Run the experiment.
+pub fn run(scale: &ExpScale) -> Results {
+    let mut rows = Vec::new();
+    for app in AppKind::ALL {
+        let streams =
+            vec![normalized_stream(app, NodeId(0), TenantId(0), scale.requests, scale.load)];
+        let baseline = Scenario::single_node(StackConfig::cuda_runtime(), streams.clone(), 0);
+        let base_ct = mean_ct(&baseline, scale);
+        let mut speedups = Vec::new();
+        for (label, cfg) in policies() {
+            let s = Scenario::single_node(cfg, streams.clone(), 0);
+            let ct = mean_ct(&s, scale);
+            speedups.push((label, base_ct / ct));
+        }
+        rows.push(Row { app, speedups });
+    }
+    let labels: Vec<String> = policies().into_iter().map(|(l, _)| l).collect();
+    let averages = labels
+        .iter()
+        .map(|label| {
+            let sum: f64 = rows
+                .iter()
+                .map(|r| {
+                    r.speedups
+                        .iter()
+                        .find(|(l, _)| l == label)
+                        .map(|(_, s)| *s)
+                        .unwrap_or(0.0)
+                })
+                .sum();
+            (label.clone(), sum / rows.len() as f64)
+        })
+        .collect();
+    Results { rows, averages }
+}
+
+/// Render as the figure's data table.
+pub fn table(r: &Results) -> Table {
+    let mut header = vec!["app".to_string()];
+    header.extend(r.averages.iter().map(|(l, _)| l.clone()));
+    let mut t = Table::new(header);
+    for row in &r.rows {
+        let mut cells = vec![row.app.to_string()];
+        cells.extend(row.speedups.iter().map(|(_, s)| fmt_speedup(*s)));
+        t.row(cells);
+    }
+    let mut avg = vec!["AVG".to_string()];
+    avg.extend(r.averages.iter().map(|(_, s)| fmt_speedup(*s)));
+    t.row(avg);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_has_paper_shape() {
+        let r = run(&ExpScale::quick());
+        assert_eq!(r.rows.len(), 10);
+        // Every policy must beat the colliding baseline on average.
+        for (label, avg) in &r.averages {
+            assert!(*avg > 1.0, "{label} average {avg} <= 1.0");
+        }
+        // Strings beats Rain for the same balancing policy.
+        for lb in ["GRR", "GMin", "GWtMin"] {
+            let rain = r.average(&format!("{lb}-Rain")).unwrap();
+            let strings = r.average(&format!("{lb}-Strings")).unwrap();
+            assert!(
+                strings > rain * 0.95,
+                "{lb}: Strings {strings} must not lose to Rain {rain}"
+            );
+        }
+        let t = table(&r);
+        assert_eq!(t.len(), 11); // 10 apps + AVG
+    }
+}

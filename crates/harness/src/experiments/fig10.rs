@@ -1,0 +1,131 @@
+//! Figure 10 — benefits of GPU sharing on the emulated 4-GPU supernode.
+//!
+//! The 24 A–X workload pairs: the long-running stream arrives at NodeA, the
+//! short-running stream at NodeB; the balancer may place work on any of the
+//! four GPUs. Speedups are relative to the *single-node GRR* policy
+//! (GRR-Rain, per-node balancing) — "over and above" Figure 9's gains.
+//!
+//! Paper averages: GRR/GMin/GWtMin-Rain ≈ 1.60/1.80/1.82×,
+//! GRR/GMin/GWtMin-Strings ≈ 2.64/2.69/2.88×; peak speedups on pairs
+//! containing BlackScholes or Gaussian (I, K, W).
+
+use super::common::{mean_ct, pair_streams, single_node_grr_baseline, ExpScale};
+use crate::scenario::Scenario;
+use strings_core::config::StackConfig;
+use strings_metrics::report::{fmt_speedup, Table};
+use strings_workloads::pairs::{workload_pairs, PairLabel};
+use strings_workloads::profile::AppKind;
+
+/// The six policy columns.
+pub fn policies() -> Vec<(String, StackConfig)> {
+    super::fig09::policies()
+}
+
+/// One row: a workload pair and its per-policy speedups.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Pair label A–X.
+    pub label: PairLabel,
+    /// Group A application.
+    pub a: AppKind,
+    /// Group B application.
+    pub b: AppKind,
+    /// (policy, speedup over single-node GRR).
+    pub speedups: Vec<(String, f64)>,
+}
+
+/// Figure 10 results.
+#[derive(Debug, Clone)]
+pub struct Results {
+    /// One row per pair.
+    pub rows: Vec<Row>,
+    /// Per-policy averages over the 24 pairs.
+    pub averages: Vec<(String, f64)>,
+}
+
+impl Results {
+    /// Average for one policy label.
+    pub fn average(&self, label: &str) -> Option<f64> {
+        self.averages
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, s)| *s)
+    }
+}
+
+/// Run the experiment over `pairs` (all 24 at full scale; a subset for
+/// quick runs).
+pub fn run_pairs(scale: &ExpScale, pairs: &[(PairLabel, AppKind, AppKind)]) -> Results {
+    let mut rows = Vec::new();
+    for &(label, a, b) in pairs {
+        let streams = pair_streams(a, b, scale);
+        let base_ct = mean_ct(&single_node_grr_baseline(streams.clone()), scale);
+        let mut speedups = Vec::new();
+        for (plabel, cfg) in policies() {
+            let s = Scenario::supernode(cfg, streams.clone(), 0);
+            speedups.push((plabel, base_ct / mean_ct(&s, scale)));
+        }
+        rows.push(Row {
+            label,
+            a,
+            b,
+            speedups,
+        });
+    }
+    let labels: Vec<String> = policies().into_iter().map(|(l, _)| l).collect();
+    let averages = labels
+        .iter()
+        .map(|label| {
+            let sum: f64 = rows
+                .iter()
+                .filter_map(|r| r.speedups.iter().find(|(l, _)| l == label))
+                .map(|(_, s)| *s)
+                .sum();
+            (label.clone(), sum / rows.len() as f64)
+        })
+        .collect();
+    Results { rows, averages }
+}
+
+/// Run over all 24 pairs.
+pub fn run(scale: &ExpScale) -> Results {
+    run_pairs(scale, &workload_pairs())
+}
+
+/// Render as the figure's data table.
+pub fn table(r: &Results) -> Table {
+    let mut header = vec!["pair".to_string(), "apps".to_string()];
+    header.extend(r.averages.iter().map(|(l, _)| l.clone()));
+    let mut t = Table::new(header);
+    for row in &r.rows {
+        let mut cells = vec![row.label.to_string(), format!("{}-{}", row.a, row.b)];
+        cells.extend(row.speedups.iter().map(|(_, s)| fmt_speedup(*s)));
+        t.row(cells);
+    }
+    let mut avg = vec!["AVG".to_string(), String::new()];
+    avg.extend(r.averages.iter().map(|(_, s)| fmt_speedup(*s)));
+    t.row(avg);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_subset_shows_pooling_and_packing_gains() {
+        // Three representative pairs: B (DC-MC), I (BO-BS), X (EV-SN).
+        let all = workload_pairs();
+        let subset = [all[1], all[8], all[23]];
+        let r = run_pairs(&ExpScale::quick(), &subset);
+        assert_eq!(r.rows.len(), 3);
+        for (label, avg) in &r.averages {
+            assert!(*avg > 0.8, "{label}: pooling should not lose badly: {avg}");
+        }
+        // Strings-GWtMin must beat Rain-GRR on average.
+        let rain = r.average("GRR-Rain").unwrap();
+        let strings = r.average("GWtMin-Strings").unwrap();
+        assert!(strings > rain, "strings {strings} !> rain {rain}");
+        assert_eq!(table(&r).len(), 4);
+    }
+}

@@ -1,0 +1,141 @@
+//! Figure 12 — throughput-oriented GPU scheduling (LAS, PS).
+//!
+//! The best workload-balancing policy from Figure 10 (GWtMin) combined with
+//! the device-level schedulers, on the supernode over the 24 pairs,
+//! relative to the single-node GRR baseline.
+//!
+//! Paper averages: GWtMin+LAS-Rain ≈ 2.18×, GWtMin+LAS-Strings ≈ 3.10×,
+//! GWtMin+PS-Strings ≈ 2.97× (PS within ~4 % of LAS but fairer; both
+//! Strings variants far ahead of LAS-Rain).
+
+use super::common::{mean_ct, pair_streams, single_node_grr_baseline, ExpScale};
+use crate::scenario::Scenario;
+use strings_core::config::StackConfig;
+use strings_core::device_sched::GpuPolicy;
+use strings_core::mapper::LbPolicy;
+use strings_metrics::report::{fmt_speedup, Table};
+use strings_workloads::pairs::{workload_pairs, PairLabel};
+use strings_workloads::profile::AppKind;
+
+/// The three policy columns.
+pub fn policies() -> Vec<(String, StackConfig)> {
+    vec![
+        (
+            "GWtMinLAS-Rain".into(),
+            StackConfig::rain(LbPolicy::GWtMin).with_gpu_policy(GpuPolicy::Las),
+        ),
+        (
+            "GWtMinLAS-Strings".into(),
+            StackConfig::strings(LbPolicy::GWtMin).with_gpu_policy(GpuPolicy::Las),
+        ),
+        (
+            "GWtMinPS-Strings".into(),
+            StackConfig::strings(LbPolicy::GWtMin).with_gpu_policy(GpuPolicy::Ps),
+        ),
+    ]
+}
+
+/// One row of the figure.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Pair label.
+    pub label: PairLabel,
+    /// Group A / Group B applications.
+    pub a: AppKind,
+    /// Group B application.
+    pub b: AppKind,
+    /// Per-policy speedups over single-node GRR.
+    pub speedups: Vec<(String, f64)>,
+}
+
+/// Figure 12 results.
+#[derive(Debug, Clone)]
+pub struct Results {
+    /// One row per pair.
+    pub rows: Vec<Row>,
+    /// Per-policy averages.
+    pub averages: Vec<(String, f64)>,
+}
+
+impl Results {
+    /// Average for one policy label.
+    pub fn average(&self, label: &str) -> Option<f64> {
+        self.averages
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, s)| *s)
+    }
+}
+
+/// Run over a subset of pairs.
+pub fn run_pairs(scale: &ExpScale, pairs: &[(PairLabel, AppKind, AppKind)]) -> Results {
+    let mut rows = Vec::new();
+    for &(label, a, b) in pairs {
+        let streams = pair_streams(a, b, scale);
+        let base_ct = mean_ct(&single_node_grr_baseline(streams.clone()), scale);
+        let mut speedups = Vec::new();
+        for (plabel, cfg) in policies() {
+            let s = Scenario::supernode(cfg, streams.clone(), 0);
+            speedups.push((plabel, base_ct / mean_ct(&s, scale)));
+        }
+        rows.push(Row {
+            label,
+            a,
+            b,
+            speedups,
+        });
+    }
+    let labels: Vec<String> = policies().into_iter().map(|(l, _)| l).collect();
+    let averages = labels
+        .iter()
+        .map(|label| {
+            let sum: f64 = rows
+                .iter()
+                .filter_map(|r| r.speedups.iter().find(|(l, _)| l == label))
+                .map(|(_, s)| *s)
+                .sum();
+            (label.clone(), sum / rows.len() as f64)
+        })
+        .collect();
+    Results { rows, averages }
+}
+
+/// Run over all 24 pairs.
+pub fn run(scale: &ExpScale) -> Results {
+    run_pairs(scale, &workload_pairs())
+}
+
+/// Render as the figure's data table.
+pub fn table(r: &Results) -> Table {
+    let mut header = vec!["pair".to_string(), "apps".to_string()];
+    header.extend(r.averages.iter().map(|(l, _)| l.clone()));
+    let mut t = Table::new(header);
+    for row in &r.rows {
+        let mut cells = vec![row.label.to_string(), format!("{}-{}", row.a, row.b)];
+        cells.extend(row.speedups.iter().map(|(_, s)| fmt_speedup(*s)));
+        t.row(cells);
+    }
+    let mut avg = vec!["AVG".to_string(), String::new()];
+    avg.extend(r.averages.iter().map(|(_, s)| fmt_speedup(*s)));
+    t.row(avg);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_schedulers_beat_las_rain() {
+        let all = workload_pairs();
+        let subset = [all[1], all[8]];
+        let r = run_pairs(&ExpScale::quick(), &subset);
+        let rain = r.average("GWtMinLAS-Rain").unwrap();
+        let las = r.average("GWtMinLAS-Strings").unwrap();
+        let ps = r.average("GWtMinPS-Strings").unwrap();
+        assert!(las > rain, "LAS-Strings {las} !> LAS-Rain {rain}");
+        assert!(ps > rain, "PS-Strings {ps} !> LAS-Rain {rain}");
+        // PS trails LAS by a small margin at most (paper: ~4%).
+        assert!(ps > las * 0.75, "PS {ps} too far behind LAS {las}");
+    }
+}

@@ -1,0 +1,90 @@
+//! Figure 13 — GPU-scheduling gains isolated from GPU sharing.
+//!
+//! The same policy runs as Figure 12, but the baseline is *GRR with all
+//! four GPUs shared* (GRR-Rain, global scope), so the speedups show only
+//! the device-level scheduler's contribution.
+//!
+//! Paper averages: LAS-Rain ≈ 1.40×, LAS-Strings ≈ 1.95×, PS-Strings ≈
+//! 1.90× over the shared-GRR baseline.
+
+use super::common::{mean_ct, pair_streams, shared_grr_baseline, ExpScale};
+use super::fig12::{policies, Results, Row};
+use crate::scenario::Scenario;
+use strings_metrics::report::{fmt_speedup, Table};
+use strings_workloads::pairs::{workload_pairs, PairLabel};
+use strings_workloads::profile::AppKind;
+
+/// Run over a subset of pairs.
+pub fn run_pairs(scale: &ExpScale, pairs: &[(PairLabel, AppKind, AppKind)]) -> Results {
+    let mut rows = Vec::new();
+    for &(label, a, b) in pairs {
+        let streams = pair_streams(a, b, scale);
+        let base_ct = mean_ct(&shared_grr_baseline(streams.clone()), scale);
+        let mut speedups = Vec::new();
+        for (plabel, cfg) in policies() {
+            let s = Scenario::supernode(cfg, streams.clone(), 0);
+            speedups.push((plabel, base_ct / mean_ct(&s, scale)));
+        }
+        rows.push(Row {
+            label,
+            a,
+            b,
+            speedups,
+        });
+    }
+    let labels: Vec<String> = policies().into_iter().map(|(l, _)| l).collect();
+    let averages = labels
+        .iter()
+        .map(|l| {
+            let sum: f64 = rows
+                .iter()
+                .filter_map(|r| r.speedups.iter().find(|(pl, _)| pl == l))
+                .map(|(_, s)| *s)
+                .sum();
+            (l.clone(), sum / rows.len() as f64)
+        })
+        .collect();
+    Results { rows, averages }
+}
+
+/// Run over all 24 pairs.
+pub fn run(scale: &ExpScale) -> Results {
+    run_pairs(scale, &workload_pairs())
+}
+
+/// Render as the figure's data table.
+pub fn table(r: &Results) -> Table {
+    let mut header = vec!["pair".to_string(), "apps".to_string()];
+    header.extend(r.averages.iter().map(|(l, _)| l.clone()));
+    let mut t = Table::new(header);
+    for row in &r.rows {
+        let mut cells = vec![row.label.to_string(), format!("{}-{}", row.a, row.b)];
+        cells.extend(row.speedups.iter().map(|(_, s)| fmt_speedup(*s)));
+        t.row(cells);
+    }
+    let mut avg = vec!["AVG".to_string(), String::new()];
+    avg.extend(r.averages.iter().map(|(_, s)| fmt_speedup(*s)));
+    t.row(avg);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheduler_only_gains_are_smaller_than_fig12() {
+        let all = workload_pairs();
+        let subset = [all[1]];
+        let scale = ExpScale::quick();
+        let vs_shared = run_pairs(&scale, &subset);
+        let vs_single = super::super::fig12::run_pairs(&scale, &subset);
+        // Versus the stronger (shared) baseline, gains must be smaller.
+        let a = vs_shared.average("GWtMinLAS-Strings").unwrap();
+        let b = vs_single.average("GWtMinLAS-Strings").unwrap();
+        assert!(
+            a <= b * 1.05,
+            "shared-baseline speedup {a} should not exceed single-node-baseline {b}"
+        );
+    }
+}

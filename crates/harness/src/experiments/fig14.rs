@@ -1,0 +1,150 @@
+//! Figure 14 — feedback-based load balancing (RTF, GUF).
+//!
+//! The Policy Arbiter starts every run on GWtMin and switches to the
+//! feedback policy once the SFT has collected enough records. Speedups are
+//! over the single-node GRR baseline, 24 pairs on the supernode.
+//!
+//! Paper averages: RTF-Rain ≈ 2.22×, GUF-Rain ≈ 2.51×, RTF-Strings ≈
+//! 3.23×, GUF-Strings ≈ 3.96×; GUF shines when pairing high-GPU-utilization
+//! (DC, HI, MM, BO) with low-utilization (GA, SN, BS) applications.
+
+use super::common::{mean_ct, pair_streams, single_node_grr_baseline, ExpScale};
+use crate::scenario::Scenario;
+use strings_core::config::StackConfig;
+use strings_core::mapper::LbPolicy;
+use strings_metrics::report::{fmt_speedup, Table};
+use strings_workloads::pairs::{workload_pairs, PairLabel};
+use strings_workloads::profile::AppKind;
+
+/// Feedback records required before the arbiter switches policies.
+pub const MIN_FEEDBACK: u64 = 6;
+
+/// The four policy columns.
+pub fn policies() -> Vec<(String, StackConfig)> {
+    vec![
+        (
+            "RTF-Rain".into(),
+            StackConfig::rain(LbPolicy::GWtMin).with_feedback(LbPolicy::Rtf, MIN_FEEDBACK),
+        ),
+        (
+            "GUF-Rain".into(),
+            StackConfig::rain(LbPolicy::GWtMin).with_feedback(LbPolicy::Guf, MIN_FEEDBACK),
+        ),
+        (
+            "RTF-Strings".into(),
+            StackConfig::strings(LbPolicy::GWtMin).with_feedback(LbPolicy::Rtf, MIN_FEEDBACK),
+        ),
+        (
+            "GUF-Strings".into(),
+            StackConfig::strings(LbPolicy::GWtMin).with_feedback(LbPolicy::Guf, MIN_FEEDBACK),
+        ),
+    ]
+}
+
+/// One row of the figure.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Pair label.
+    pub label: PairLabel,
+    /// Group A application.
+    pub a: AppKind,
+    /// Group B application.
+    pub b: AppKind,
+    /// Per-policy speedups.
+    pub speedups: Vec<(String, f64)>,
+}
+
+/// Figure 14 results.
+#[derive(Debug, Clone)]
+pub struct Results {
+    /// One row per pair.
+    pub rows: Vec<Row>,
+    /// Per-policy averages.
+    pub averages: Vec<(String, f64)>,
+}
+
+impl Results {
+    /// Average for one policy label.
+    pub fn average(&self, label: &str) -> Option<f64> {
+        self.averages
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, s)| *s)
+    }
+}
+
+/// Run over a subset of pairs.
+pub fn run_pairs(scale: &ExpScale, pairs: &[(PairLabel, AppKind, AppKind)]) -> Results {
+    let mut rows = Vec::new();
+    for &(label, a, b) in pairs {
+        let streams = pair_streams(a, b, scale);
+        let base_ct = mean_ct(&single_node_grr_baseline(streams.clone()), scale);
+        let mut speedups = Vec::new();
+        for (plabel, cfg) in policies() {
+            let s = Scenario::supernode(cfg, streams.clone(), 0);
+            speedups.push((plabel, base_ct / mean_ct(&s, scale)));
+        }
+        rows.push(Row {
+            label,
+            a,
+            b,
+            speedups,
+        });
+    }
+    let labels: Vec<String> = policies().into_iter().map(|(l, _)| l).collect();
+    let averages = labels
+        .iter()
+        .map(|l| {
+            let sum: f64 = rows
+                .iter()
+                .filter_map(|r| r.speedups.iter().find(|(pl, _)| pl == l))
+                .map(|(_, s)| *s)
+                .sum();
+            (l.clone(), sum / rows.len() as f64)
+        })
+        .collect();
+    Results { rows, averages }
+}
+
+/// Run over all 24 pairs.
+pub fn run(scale: &ExpScale) -> Results {
+    run_pairs(scale, &workload_pairs())
+}
+
+/// Render as the figure's data table.
+pub fn table(r: &Results) -> Table {
+    let mut header = vec!["pair".to_string(), "apps".to_string()];
+    header.extend(r.averages.iter().map(|(l, _)| l.clone()));
+    let mut t = Table::new(header);
+    for row in &r.rows {
+        let mut cells = vec![row.label.to_string(), format!("{}-{}", row.a, row.b)];
+        cells.extend(row.speedups.iter().map(|(_, s)| fmt_speedup(*s)));
+        t.row(cells);
+    }
+    let mut avg = vec!["AVG".to_string(), String::new()];
+    avg.extend(r.averages.iter().map(|(_, s)| fmt_speedup(*s)));
+    t.row(avg);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feedback_strings_beats_feedback_rain() {
+        let all = workload_pairs();
+        // K = BO-GA: high-utilization BO with tiny GA, GUF's sweet spot.
+        let subset = [all[10], all[1]];
+        let r = run_pairs(&ExpScale::quick(), &subset);
+        let guf_rain = r.average("GUF-Rain").unwrap();
+        let guf_strings = r.average("GUF-Strings").unwrap();
+        assert!(
+            guf_strings > guf_rain * 0.95,
+            "GUF-Strings {guf_strings} must not lose to GUF-Rain {guf_rain}"
+        );
+        for (l, v) in &r.averages {
+            assert!(*v > 0.7, "{l} collapsed: {v}");
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Figure 15 — the Strings-specific feedback policies (DTF, MBF).
+//!
+//! DTF collocates contrasting data-transfer intensities so one
+//! application's kernels overlap another's DMA; MBF keeps bandwidth-bound
+//! applications apart so compute-bound kernels hide their memory latency.
+//! Both exploit context packing + CUDA streams, so they only exist in
+//! Strings. Speedups over the single-node GRR baseline, 24 pairs.
+//!
+//! Paper averages: DTF ≈ 3.73×, MBF ≈ 4.02× (8.06×/8.70× vs the bare CUDA
+//! runtime); DTF peaks on compute-heavy × transfer-heavy pairs (DC/EV/HI/MM
+//! × MC/SN), MBF on low-bandwidth × high-bandwidth pairs (EV/DC × BS/HI/MC).
+
+use super::common::{mean_ct, pair_streams, single_node_grr_baseline, ExpScale};
+use super::fig14::MIN_FEEDBACK;
+use crate::scenario::Scenario;
+use strings_core::config::StackConfig;
+use strings_core::mapper::LbPolicy;
+use strings_metrics::report::{fmt_speedup, Table};
+use strings_workloads::pairs::{workload_pairs, PairLabel};
+use strings_workloads::profile::AppKind;
+
+/// The two policy columns.
+pub fn policies() -> Vec<(String, StackConfig)> {
+    vec![
+        (
+            "DTF-Strings".into(),
+            StackConfig::strings(LbPolicy::GWtMin).with_feedback(LbPolicy::Dtf, MIN_FEEDBACK),
+        ),
+        (
+            "MBF-Strings".into(),
+            StackConfig::strings(LbPolicy::GWtMin).with_feedback(LbPolicy::Mbf, MIN_FEEDBACK),
+        ),
+    ]
+}
+
+/// One row of the figure.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Pair label.
+    pub label: PairLabel,
+    /// Group A application.
+    pub a: AppKind,
+    /// Group B application.
+    pub b: AppKind,
+    /// Per-policy speedups.
+    pub speedups: Vec<(String, f64)>,
+}
+
+/// Figure 15 results.
+#[derive(Debug, Clone)]
+pub struct Results {
+    /// One row per pair.
+    pub rows: Vec<Row>,
+    /// Per-policy averages.
+    pub averages: Vec<(String, f64)>,
+}
+
+impl Results {
+    /// Average for one policy label.
+    pub fn average(&self, label: &str) -> Option<f64> {
+        self.averages
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, s)| *s)
+    }
+}
+
+/// Run over a subset of pairs.
+pub fn run_pairs(scale: &ExpScale, pairs: &[(PairLabel, AppKind, AppKind)]) -> Results {
+    let mut rows = Vec::new();
+    for &(label, a, b) in pairs {
+        let streams = pair_streams(a, b, scale);
+        let base_ct = mean_ct(&single_node_grr_baseline(streams.clone()), scale);
+        let mut speedups = Vec::new();
+        for (plabel, cfg) in policies() {
+            let s = Scenario::supernode(cfg, streams.clone(), 0);
+            speedups.push((plabel, base_ct / mean_ct(&s, scale)));
+        }
+        rows.push(Row {
+            label,
+            a,
+            b,
+            speedups,
+        });
+    }
+    let labels: Vec<String> = policies().into_iter().map(|(l, _)| l).collect();
+    let averages = labels
+        .iter()
+        .map(|l| {
+            let sum: f64 = rows
+                .iter()
+                .filter_map(|r| r.speedups.iter().find(|(pl, _)| pl == l))
+                .map(|(_, s)| *s)
+                .sum();
+            (l.clone(), sum / rows.len() as f64)
+        })
+        .collect();
+    Results { rows, averages }
+}
+
+/// Run over all 24 pairs.
+pub fn run(scale: &ExpScale) -> Results {
+    run_pairs(scale, &workload_pairs())
+}
+
+/// Render as the figure's data table.
+pub fn table(r: &Results) -> Table {
+    let mut header = vec!["pair".to_string(), "apps".to_string()];
+    header.extend(r.averages.iter().map(|(l, _)| l.clone()));
+    let mut t = Table::new(header);
+    for row in &r.rows {
+        let mut cells = vec![row.label.to_string(), format!("{}-{}", row.a, row.b)];
+        cells.extend(row.speedups.iter().map(|(_, s)| fmt_speedup(*s)));
+        t.row(cells);
+    }
+    let mut avg = vec!["AVG".to_string(), String::new()];
+    avg.extend(r.averages.iter().map(|(_, s)| fmt_speedup(*s)));
+    t.row(avg);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dtf_and_mbf_beat_the_baseline_on_their_sweet_spots() {
+        let all = workload_pairs();
+        // B = DC-MC (DTF's compute × transfer contrast),
+        // R = HI-MC (MBF separates the two bandwidth-hungry apps).
+        let subset = [all[1], all[17]];
+        let r = run_pairs(&ExpScale::quick(), &subset);
+        for (l, v) in &r.averages {
+            assert!(*v > 1.0, "{l} must beat the single-node baseline: {v}");
+        }
+        assert_eq!(table(&r).len(), 3);
+    }
+}

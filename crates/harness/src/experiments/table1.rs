@@ -1,0 +1,148 @@
+//! Table I — measured application characteristics.
+//!
+//! Each benchmark runs one request, alone, on the reference device (Tesla
+//! C2050) under the bare runtime; we report what the paper's table reports:
+//! GPU time as % of runtime, data transfer as % of GPU time, and
+//! approximate memory bandwidth (bytes moved / GPU time — the same
+//! approximation the MBF policy uses). The measured values should
+//! reproduce the input profile, closing the loop on the trace generator.
+
+use crate::scenario::{Scenario, StreamSpec};
+use gpu_sim::spec::GpuModel;
+use remoting::gpool::{NodeId, NodeSpec};
+use strings_core::config::StackConfig;
+use strings_core::device_sched::TenantId;
+use strings_metrics::report::Table;
+use strings_workloads::profile::AppKind;
+
+/// One measured row.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Application.
+    pub app: AppKind,
+    /// Measured runtime, seconds.
+    pub runtime_s: f64,
+    /// Measured GPU time as a percentage of runtime.
+    pub gpu_time_pct: f64,
+    /// Measured transfer time as a percentage of GPU time.
+    pub transfer_pct: f64,
+    /// Approximate memory bandwidth, MB/s (bytes moved over GPU time).
+    pub mem_bw_mbps: f64,
+    /// The profile's Table I reference values (gpu %, transfer %).
+    pub expected: (f64, f64),
+}
+
+/// Table I results.
+#[derive(Debug, Clone)]
+pub struct Results {
+    /// One row per application.
+    pub rows: Vec<Row>,
+}
+
+/// Run the characterization (single request per app, solo).
+pub fn run() -> Results {
+    let node = NodeSpec::new(0, vec![GpuModel::TeslaC2050]);
+    let mut rows = Vec::new();
+    for app in AppKind::ALL {
+        let profile = app.profile();
+        let stream = StreamSpec {
+            app,
+            node: NodeId(0),
+            tenant: TenantId(0),
+            weight: 1.0,
+            count: 1,
+            load: 0.001, // a single, uncontended request
+            server_threads: 1,
+        };
+        let mut scen = Scenario::single_node(StackConfig::cuda_runtime(), vec![stream], 1);
+        scen.nodes = vec![node.clone()];
+        let stats = scen.run();
+        let t = &stats.device_telemetry[0];
+        let end = stats.makespan_ns.max(1);
+        let compute_busy = t.compute.busy_ns(0, end) as f64;
+        let copy_busy = t.copy.busy_ns(0, end) as f64;
+        let gpu_ns = compute_busy + copy_busy;
+        let runtime_ns = stats.completions.mean_ct(0);
+        let bytes = (t.h2d_bytes + t.d2h_bytes) as f64;
+        rows.push(Row {
+            app,
+            runtime_s: runtime_ns / 1e9,
+            gpu_time_pct: 100.0 * gpu_ns / runtime_ns.max(1.0),
+            transfer_pct: 100.0 * copy_busy / gpu_ns.max(1.0),
+            mem_bw_mbps: if gpu_ns > 0.0 {
+                bytes / gpu_ns * 1000.0
+            } else {
+                0.0
+            },
+            expected: (profile.gpu_time_frac * 100.0, profile.transfer_frac * 100.0),
+        });
+    }
+    Results { rows }
+}
+
+/// Render as the table.
+pub fn table(r: &Results) -> Table {
+    let mut t = Table::new(vec![
+        "app",
+        "runtime(s)",
+        "GPU time %",
+        "(paper)",
+        "transfer %",
+        "(paper)",
+        "mem BW (MB/s)",
+    ]);
+    for row in &r.rows {
+        t.row(vec![
+            row.app.to_string(),
+            format!("{:.2}", row.runtime_s),
+            format!("{:.2}", row.gpu_time_pct),
+            format!("{:.2}", row.expected.0),
+            format!("{:.2}", row.transfer_pct),
+            format!("{:.2}", row.expected.1),
+            format!("{:.1}", row.mem_bw_mbps),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_characteristics_reproduce_profiles() {
+        let r = run();
+        assert_eq!(r.rows.len(), 10);
+        for row in &r.rows {
+            // Runtime within 25% of the profiled standalone runtime
+            // (launch/copy overheads and sync gaps shift it slightly).
+            let expect_rt = row.app.profile().runtime.as_secs_f64();
+            assert!(
+                (row.runtime_s - expect_rt).abs() / expect_rt < 0.25,
+                "{}: runtime {:.2}s vs {expect_rt}s",
+                row.app,
+                row.runtime_s
+            );
+            // GPU-time share within 12 percentage points of Table I.
+            assert!(
+                (row.gpu_time_pct - row.expected.0).abs() < 12.0,
+                "{}: gpu% {:.1} vs {:.1}",
+                row.app,
+                row.gpu_time_pct,
+                row.expected.0
+            );
+            // Transfer share within 15 points (pageable-rate rounding).
+            assert!(
+                (row.transfer_pct - row.expected.1).abs() < 15.0,
+                "{}: transfer% {:.1} vs {:.1}",
+                row.app,
+                row.transfer_pct,
+                row.expected.1
+            );
+        }
+        // Bandwidth ordering: the transfer-heavy apps top the table.
+        let bw = |k: AppKind| r.rows.iter().find(|x| x.app == k).unwrap().mem_bw_mbps;
+        assert!(bw(AppKind::MC) > bw(AppKind::GA));
+        assert!(bw(AppKind::BO) > bw(AppKind::DC));
+    }
+}

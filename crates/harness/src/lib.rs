@@ -1,0 +1,34 @@
+//! # strings-harness
+//!
+//! The simulation executive ("world") that glues every substrate together —
+//! host threads ([`cuda_sim`]), the interposer/remoting layer
+//! ([`remoting`]), the Strings scheduler stack ([`strings_core`]), and the
+//! GPU devices ([`gpu_sim`]) — plus the scenario builders and experiment
+//! definitions that regenerate every figure and table of the paper.
+//!
+//! * [`world`] — the deterministic event loop. One [`world::World`] is one
+//!   simulation run: a set of planned requests executed against a device
+//!   topology under a [`strings_core::StackConfig`].
+//! * [`scenario`] — declarative run descriptions (topology, request
+//!   streams, scheduler stack, seed) that compile into a `World`.
+//! * [`stats`] — what a run reports: per-slot completion times, per-tenant
+//!   attained service, device telemetry.
+//! * [`experiments`] — one module per paper figure/table, each exposing a
+//!   `run(...) -> Table`-style entry point used by both the regeneration
+//!   binaries and the Criterion benches.
+//! * [`sweep`] — seed-parallel scenario fan-out across OS threads (the DES
+//!   itself stays single-threaded for determinism).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod cli;
+pub mod experiments;
+pub mod scenario;
+pub mod stats;
+pub mod sweep;
+pub mod world;
+
+pub use scenario::{HostCosts, LbScope, Scenario, StreamSpec};
+pub use stats::RunStats;
+pub use world::{PlannedRequest, World};

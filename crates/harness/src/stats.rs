@@ -1,0 +1,101 @@
+//! Run results.
+
+use gpu_sim::telemetry::DeviceTelemetry;
+use sim_core::SimTime;
+use std::collections::BTreeMap;
+use strings_core::device_sched::TenantId;
+use strings_metrics::CompletionSet;
+
+/// Everything one simulation run reports.
+#[derive(Debug, Default)]
+pub struct RunStats {
+    /// Per-slot (logical application) request completion times.
+    pub completions: CompletionSet,
+    /// Engine time attained per tenant within the fairness horizon, ns.
+    pub tenant_service_ns: BTreeMap<TenantId, u64>,
+    /// Virtual time at which the last request finished.
+    pub makespan_ns: SimTime,
+    /// Device-memory allocation failures observed (the paper assumes the
+    /// arrival rate keeps this at zero; we verify).
+    pub oom_events: u64,
+    /// Total events processed (diagnostics).
+    pub events: u64,
+    /// Requests that completed.
+    pub completed_requests: u64,
+    /// Requests killed by injected backend faults.
+    pub failed_requests: u64,
+    /// Telemetry per device (indexed by GID).
+    pub device_telemetry: Vec<DeviceTelemetry>,
+    /// Placement histogram: (slot, gid) → bound request count.
+    pub placements: BTreeMap<(usize, usize), u64>,
+    /// Total context switches across devices.
+    pub context_switches: u64,
+}
+
+impl RunStats {
+    /// Mean completion time across every slot's requests, ns.
+    pub fn mean_completion_ns(&self) -> f64 {
+        let slots = self.completions.apps();
+        let mut sum = 0.0;
+        let mut n = 0u64;
+        for s in 0..slots {
+            let c = self.completions.counts()[s];
+            if c > 0 {
+                sum += self.completions.mean_ct(s) * c as f64;
+                n += c;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// Normalized per-tenant service vector (service / weight), for Jain.
+    pub fn tenant_service_vec(&self, weights: &BTreeMap<TenantId, f64>) -> Vec<f64> {
+        self.tenant_service_ns
+            .iter()
+            .map(|(t, s)| *s as f64 / weights.get(t).copied().unwrap_or(1.0))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_completion_weighs_by_request_count() {
+        let mut s = RunStats {
+            completions: CompletionSet::new(2),
+            ..Default::default()
+        };
+        s.completions.record(0, 100);
+        s.completions.record(0, 100);
+        s.completions.record(1, 400);
+        // (100+100+400)/3 = 200.
+        assert!((s.mean_completion_ns() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_mean_is_zero() {
+        let s = RunStats {
+            completions: CompletionSet::new(1),
+            ..Default::default()
+        };
+        assert_eq!(s.mean_completion_ns(), 0.0);
+    }
+
+    #[test]
+    fn tenant_vector_normalizes_by_weight() {
+        let mut s = RunStats::default();
+        s.tenant_service_ns.insert(TenantId(0), 1000);
+        s.tenant_service_ns.insert(TenantId(1), 500);
+        let mut w = BTreeMap::new();
+        w.insert(TenantId(0), 2.0);
+        w.insert(TenantId(1), 1.0);
+        let v = s.tenant_service_vec(&w);
+        assert_eq!(v, vec![500.0, 500.0]);
+    }
+}

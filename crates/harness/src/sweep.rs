@@ -1,0 +1,103 @@
+//! Seed-parallel scenario fan-out.
+//!
+//! The DES core is single-threaded and deterministic; experiments that
+//! average over seeds or sweep configurations run their *independent*
+//! simulations in parallel across OS threads — the idiomatic place for
+//! parallelism in an HPC-style Rust codebase (parallelize the
+//! embarrassingly parallel outer loop, keep the inner kernel sequential
+//! and reproducible).
+
+use crate::scenario::Scenario;
+use crate::stats::RunStats;
+
+/// Run every scenario, in parallel, preserving input order in the output.
+pub fn run_all(scenarios: Vec<Scenario>) -> Vec<RunStats> {
+    if scenarios.len() <= 1 {
+        return scenarios.iter().map(Scenario::run).collect();
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(scenarios.len());
+    let total = scenarios.len();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut results: Vec<Option<RunStats>> = (0..total).map(|_| None).collect();
+    let slots: Vec<parking_lot::Mutex<Option<RunStats>>> =
+        (0..total).map(|_| parking_lot::Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= total {
+                    break;
+                }
+                let stats = scenarios[i].run();
+                *slots[i].lock() = Some(stats);
+            });
+        }
+    });
+    for (i, slot) in slots.into_iter().enumerate() {
+        results[i] = slot.into_inner();
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every scenario ran"))
+        .collect()
+}
+
+/// Run the same scenario across several seeds and return the mean of a
+/// metric extracted from each run.
+pub fn mean_over_seeds(base: &Scenario, seeds: &[u64], metric: impl Fn(&RunStats) -> f64) -> f64 {
+    let scenarios: Vec<Scenario> = seeds
+        .iter()
+        .map(|&seed| {
+            let mut s = base.clone();
+            s.seed = seed;
+            s
+        })
+        .collect();
+    let runs = run_all(scenarios);
+    let sum: f64 = runs.iter().map(&metric).sum();
+    sum / runs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::StreamSpec;
+    use strings_core::config::StackConfig;
+    use strings_core::mapper::LbPolicy;
+    use strings_workloads::profile::AppKind;
+
+    fn tiny(seed: u64) -> Scenario {
+        Scenario::single_node(
+            StackConfig::strings(LbPolicy::GMin),
+            vec![StreamSpec::of(AppKind::GA, 2, 1.0)],
+            seed,
+        )
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let scenarios: Vec<Scenario> = (0..6).map(tiny).collect();
+        let par = run_all(scenarios.clone());
+        let seq: Vec<_> = scenarios.iter().map(Scenario::run).collect();
+        for (p, s) in par.iter().zip(&seq) {
+            assert_eq!(p.mean_completion_ns(), s.mean_completion_ns());
+            assert_eq!(p.events, s.events);
+        }
+    }
+
+    #[test]
+    fn mean_over_seeds_averages() {
+        let m = mean_over_seeds(&tiny(0), &[1, 2, 3], |s| s.completed_requests as f64);
+        assert_eq!(m, 2.0);
+    }
+
+    #[test]
+    fn single_scenario_short_circuits() {
+        let out = run_all(vec![tiny(5)]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].completed_requests, 2);
+    }
+}

@@ -1,0 +1,116 @@
+//! Jain's fairness index (the paper's Eq. 3).
+//!
+//! ```text
+//! J(x) = (Σ x_i)² / (n · Σ x_i²)
+//! ```
+//!
+//! where `x_i` is tenant *i*'s **normalized service**: attained GPU time
+//! divided by its entitled share. `J = 1` is perfectly fair; `J = 1/n` is
+//! maximally unfair (one tenant gets everything).
+
+/// Jain's index over normalized allocations. Empty or all-zero input
+/// returns 1.0 (vacuously fair).
+pub fn jain_fairness(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = xs.iter().sum();
+    let sum_sq: f64 = xs.iter().map(|x| x * x).sum();
+    if sum_sq == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (xs.len() as f64 * sum_sq)
+}
+
+/// Normalize attained services by entitled weights, then apply Jain's
+/// index: the per-tenant fairness the TFS experiments report. `weights`
+/// must be positive and the slices equal length.
+pub fn weighted_jain(attained: &[f64], weights: &[f64]) -> f64 {
+    assert_eq!(attained.len(), weights.len());
+    let xs: Vec<f64> = attained
+        .iter()
+        .zip(weights)
+        .map(|(a, w)| {
+            assert!(*w > 0.0, "non-positive weight");
+            a / w
+        })
+        .collect();
+    jain_fairness(&xs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_allocation_is_perfectly_fair() {
+        assert!((jain_fairness(&[5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_hog_gives_one_over_n() {
+        let j = jain_fairness(&[10.0, 0.0, 0.0, 0.0]);
+        assert!((j - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_textbook_value() {
+        // Jain's example: allocations (1,2,3) → 36/(3·14) = 6/7.
+        let j = jain_fairness(&[1.0, 2.0, 3.0]);
+        assert!((j - 6.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_invariant() {
+        let a = jain_fairness(&[1.0, 2.0, 3.0]);
+        let b = jain_fairness(&[10.0, 20.0, 30.0]);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_fair() {
+        assert_eq!(jain_fairness(&[]), 1.0);
+        assert_eq!(jain_fairness(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn weighted_normalization() {
+        // Tenant 0 entitled 2×, gets 2×: perfectly fair.
+        let j = weighted_jain(&[2.0, 1.0], &[2.0, 1.0]);
+        assert!((j - 1.0).abs() < 1e-12);
+        // Equal weights, unequal service: unfair.
+        let j2 = weighted_jain(&[2.0, 1.0], &[1.0, 1.0]);
+        assert!(j2 < 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_weight_rejected() {
+        weighted_jain(&[1.0], &[0.0]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Jain's index is always within [1/n, 1].
+        #[test]
+        fn bounds(xs in proptest::collection::vec(0.0f64..1e6, 1..50)) {
+            prop_assume!(xs.iter().any(|x| *x > 0.0));
+            let j = jain_fairness(&xs);
+            let n = xs.len() as f64;
+            prop_assert!(j >= 1.0 / n - 1e-9);
+            prop_assert!(j <= 1.0 + 1e-9);
+        }
+
+        /// Scale invariance for arbitrary positive scale.
+        #[test]
+        fn scale_invariance(xs in proptest::collection::vec(0.1f64..1e3, 1..20), k in 0.1f64..100.0) {
+            let scaled: Vec<f64> = xs.iter().map(|x| x * k).collect();
+            prop_assert!((jain_fairness(&xs) - jain_fairness(&scaled)).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! # strings-metrics
+//!
+//! The paper's evaluation metrics:
+//!
+//! * [`speedup`] — **weighted speedup** (Eq. 2): the mean over applications
+//!   of `CT_alone / CT_shared`, computed over per-request completion times,
+//! * [`fairness`] — **Jain's fairness index** (Eq. 3) over per-tenant
+//!   normalized service,
+//! * [`report`] — plain-text table rendering for the figure-regeneration
+//!   binaries (one row/series per paper figure).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod export;
+pub mod fairness;
+pub mod report;
+pub mod speedup;
+
+pub use fairness::jain_fairness;
+pub use speedup::{weighted_speedup, CompletionSet};

@@ -1,0 +1,155 @@
+//! Weighted speedup (the paper's Eq. 2).
+//!
+//! "Weighted speedup measures the average speedup in an application when
+//! running alone compared to when the application is sharing the GPU":
+//!
+//! ```text
+//! WS = (1/n) · Σ_i  CT_alone(i) / CT_shared(i)
+//! ```
+//!
+//! In the paper's service experiments `CT` is the **average completion
+//! time** of an application's requests (queueing included), which is why
+//! speedups well above the device count are possible: balancing and sharing
+//! collapse queueing delay, not just execution time.
+
+use serde::{Deserialize, Serialize};
+use sim_core::stats::OnlineStats;
+
+/// Per-application set of request completion times (nanoseconds).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CompletionSet {
+    per_app: Vec<OnlineStats>,
+}
+
+impl CompletionSet {
+    /// Empty set sized for `apps` applications.
+    pub fn new(apps: usize) -> Self {
+        CompletionSet {
+            per_app: vec![OnlineStats::new(); apps],
+        }
+    }
+
+    /// Record one request completion time for application `app`.
+    pub fn record(&mut self, app: usize, completion_ns: u64) {
+        self.per_app[app].push(completion_ns as f64);
+    }
+
+    /// Number of applications.
+    pub fn apps(&self) -> usize {
+        self.per_app.len()
+    }
+
+    /// Mean completion time of one application, ns.
+    pub fn mean_ct(&self, app: usize) -> f64 {
+        self.per_app[app].mean()
+    }
+
+    /// Total requests recorded.
+    pub fn total_requests(&self) -> u64 {
+        self.per_app.iter().map(|s| s.count()).sum()
+    }
+
+    /// Per-application request counts.
+    pub fn counts(&self) -> Vec<u64> {
+        self.per_app.iter().map(|s| s.count()).collect()
+    }
+}
+
+/// Weighted speedup of `shared` relative to `baseline` (Eq. 2): the mean
+/// over applications of `mean CT_baseline / mean CT_shared`. Applications
+/// with no completions in either set are skipped.
+///
+/// Returns 0.0 if no application has data in both sets.
+pub fn weighted_speedup(baseline: &CompletionSet, shared: &CompletionSet) -> f64 {
+    assert_eq!(
+        baseline.apps(),
+        shared.apps(),
+        "mismatched application counts"
+    );
+    let mut sum = 0.0;
+    let mut n = 0u32;
+    for i in 0..baseline.apps() {
+        let b = baseline.mean_ct(i);
+        let s = shared.mean_ct(i);
+        if b > 0.0 && s > 0.0 {
+            sum += b / s;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_sets_give_unity() {
+        let mut a = CompletionSet::new(2);
+        a.record(0, 100);
+        a.record(0, 200);
+        a.record(1, 50);
+        let b = a.clone();
+        assert!((weighted_speedup(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn halved_completion_time_doubles_speedup() {
+        let mut base = CompletionSet::new(1);
+        base.record(0, 1000);
+        let mut fast = CompletionSet::new(1);
+        fast.record(0, 500);
+        assert!((weighted_speedup(&base, &fast) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn averages_across_applications() {
+        let mut base = CompletionSet::new(2);
+        base.record(0, 1000);
+        base.record(1, 1000);
+        let mut fast = CompletionSet::new(2);
+        fast.record(0, 500); // 2×
+        fast.record(1, 250); // 4×
+        assert!((weighted_speedup(&base, &fast) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_ct_uses_all_requests() {
+        let mut s = CompletionSet::new(1);
+        s.record(0, 100);
+        s.record(0, 300);
+        assert!((s.mean_ct(0) - 200.0).abs() < 1e-12);
+        assert_eq!(s.total_requests(), 2);
+        assert_eq!(s.counts(), vec![2]);
+    }
+
+    #[test]
+    fn missing_apps_are_skipped() {
+        let mut base = CompletionSet::new(2);
+        base.record(0, 1000);
+        // app 1 never completed in baseline
+        let mut fast = CompletionSet::new(2);
+        fast.record(0, 500);
+        fast.record(1, 500);
+        assert!((weighted_speedup(&base, &fast) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sets_give_zero() {
+        let a = CompletionSet::new(3);
+        let b = CompletionSet::new(3);
+        assert_eq!(weighted_speedup(&a, &b), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_sizes_panic() {
+        let a = CompletionSet::new(1);
+        let b = CompletionSet::new(2);
+        weighted_speedup(&a, &b);
+    }
+}

@@ -1,0 +1,135 @@
+//! Backend worker designs (the paper's Figure 5).
+//!
+//! How frontend applications map to backend workers determines the GPU
+//! context topology — and with it everything the paper measures:
+//!
+//! * **Design I** — one backend *process* per application. Strong isolation
+//!   but one GPU context per application: the driver time-multiplexes them
+//!   with context-switch overhead, and no two applications' GPU operations
+//!   ever overlap on a device. This is the authors' earlier *Rain*
+//!   scheduler.
+//! * **Design II** — one backend *master thread* per device hosting every
+//!   application in a single context over CUDA streams. Full space sharing,
+//!   but the master serializes dispatch and a `cudaDeviceSynchronize` from
+//!   one application stalls all of them.
+//! * **Design III** — one backend *process* per device with one *thread*
+//!   per application, each with its own CUDA stream in the shared
+//!   per-process context. Space sharing like Design II, without the single
+//!   master's serialization — this is **Strings**.
+
+use cuda_sim::host::{AppId, ProcessId};
+use serde::{Deserialize, Serialize};
+
+/// The three frontend→backend mappings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BackendDesign {
+    /// One backend process per application (Rain).
+    PerAppProcess,
+    /// One master thread per GPU, single context, all apps as streams.
+    SingleMaster,
+    /// One process per GPU, one backend thread + stream per app (Strings).
+    PerGpuThreads,
+}
+
+impl BackendDesign {
+    /// The backend OS process that hosts `app`'s GPU component when it is
+    /// bound to global device `gid_index`.
+    ///
+    /// Process-id space is partitioned: Designs II/III use the device index
+    /// (one backend process per GPU); Design I offsets per-app pids past
+    /// any device-indexed range (`1_000_000 +` app id).
+    pub fn backend_process(self, app: AppId, gid_index: usize) -> ProcessId {
+        match self {
+            BackendDesign::PerAppProcess => ProcessId(1_000_000 + app.0),
+            BackendDesign::SingleMaster | BackendDesign::PerGpuThreads => {
+                ProcessId(gid_index as u32)
+            }
+        }
+    }
+
+    /// Whether applications sharing a device share one GPU context (and can
+    /// therefore space-share the device via streams).
+    pub fn shares_context(self) -> bool {
+        !matches!(self, BackendDesign::PerAppProcess)
+    }
+
+    /// Whether each application gets its own backend thread (independent
+    /// dispatch; no cross-application blocking inside the backend).
+    pub fn per_app_thread(self) -> bool {
+        !matches!(self, BackendDesign::SingleMaster)
+    }
+
+    /// Whether a device-wide synchronize issued by one application stalls
+    /// the other applications hosted by the same backend. True only for the
+    /// single-master design — and the reason the paper rejects it.
+    pub fn device_sync_blocks_all(self) -> bool {
+        matches!(self, BackendDesign::SingleMaster)
+    }
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            BackendDesign::PerAppProcess => "design-I (per-app process)",
+            BackendDesign::SingleMaster => "design-II (single master)",
+            BackendDesign::PerGpuThreads => "design-III (per-GPU threads)",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn design_i_isolates_processes_per_app() {
+        let d = BackendDesign::PerAppProcess;
+        let p1 = d.backend_process(AppId(1), 0);
+        let p2 = d.backend_process(AppId(2), 0);
+        assert_ne!(p1, p2, "each app its own backend process");
+        assert!(!d.shares_context());
+        assert!(d.per_app_thread());
+        assert!(!d.device_sync_blocks_all());
+    }
+
+    #[test]
+    fn design_iii_shares_process_per_device() {
+        let d = BackendDesign::PerGpuThreads;
+        let p1 = d.backend_process(AppId(1), 2);
+        let p2 = d.backend_process(AppId(2), 2);
+        assert_eq!(p1, p2, "same device, same backend process");
+        let p3 = d.backend_process(AppId(1), 3);
+        assert_ne!(p1, p3, "different device, different process");
+        assert!(d.shares_context());
+        assert!(d.per_app_thread());
+        assert!(!d.device_sync_blocks_all());
+    }
+
+    #[test]
+    fn design_ii_single_master_semantics() {
+        let d = BackendDesign::SingleMaster;
+        assert!(d.shares_context());
+        assert!(!d.per_app_thread());
+        assert!(d.device_sync_blocks_all());
+        assert_eq!(
+            d.backend_process(AppId(9), 1),
+            BackendDesign::PerGpuThreads.backend_process(AppId(4), 1),
+            "designs II and III share the per-device process space"
+        );
+    }
+
+    #[test]
+    fn per_app_pids_never_collide_with_device_pids() {
+        // Device-indexed pids are tiny; per-app pids start at 1_000_000.
+        let dev_pid = BackendDesign::PerGpuThreads.backend_process(AppId(0), 999);
+        let app_pid = BackendDesign::PerAppProcess.backend_process(AppId(0), 999);
+        assert!(app_pid.0 >= 1_000_000);
+        assert!(dev_pid.0 < 1_000_000);
+    }
+
+    #[test]
+    fn labels() {
+        assert!(BackendDesign::PerAppProcess.label().contains("design-I "));
+        assert!(BackendDesign::SingleMaster.label().contains("design-II"));
+        assert!(BackendDesign::PerGpuThreads.label().contains("design-III"));
+    }
+}

@@ -1,0 +1,225 @@
+//! gPool and gMap: the cluster-wide logical GPU pool.
+//!
+//! At start-up each node's backend daemon reports its GPUs to the gPool
+//! Creator, which assigns every GPU a global id (**GID**), builds the
+//! **gMap** from GID to `(node id, local device id)`, and broadcasts it.
+//! With the gMap, any node can schedule any GPU — the "supernode"
+//! transformation of the paper's Figure 4.
+
+use crate::channel::ChannelKind;
+use gpu_sim::ids::DeviceId;
+use gpu_sim::spec::GpuModel;
+use serde::{Deserialize, Serialize};
+
+/// A node (machine) in the supernode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Node{}", self.0)
+    }
+}
+
+/// Global GPU id within the gPool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Gid(pub u32);
+
+impl Gid {
+    /// Raw index (GIDs are dense, assigned in gMap order).
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for Gid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "GID{}", self.0)
+    }
+}
+
+/// One machine and its attached GPUs, as reported by its backend daemon.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// Node identity.
+    pub id: NodeId,
+    /// GPU models attached, in local device order.
+    pub gpus: Vec<GpuModel>,
+}
+
+impl NodeSpec {
+    /// Convenience constructor.
+    pub fn new(id: u32, gpus: Vec<GpuModel>) -> Self {
+        NodeSpec {
+            id: NodeId(id),
+            gpus,
+        }
+    }
+
+    /// The paper's NodeA: Quadro 2000 + Tesla C2050.
+    pub fn node_a(id: u32) -> Self {
+        Self::new(id, vec![GpuModel::Quadro2000, GpuModel::TeslaC2050])
+    }
+
+    /// The paper's NodeB: Quadro 4000 + Tesla C2070.
+    pub fn node_b(id: u32) -> Self {
+        Self::new(id, vec![GpuModel::Quadro4000, GpuModel::TeslaC2070])
+    }
+}
+
+/// One gMap row: GID → (node, local device id) plus the device model and
+/// its static weight (assigned once by the gPool Creator).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GMapEntry {
+    /// Global id.
+    pub gid: Gid,
+    /// Hosting node.
+    pub node: NodeId,
+    /// Device index within the node.
+    pub local: DeviceId,
+    /// GPU model.
+    pub model: GpuModel,
+    /// Static scheduling weight from device properties.
+    pub weight: f64,
+}
+
+/// The broadcast gMap: dense table indexed by GID.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GMap {
+    entries: Vec<GMapEntry>,
+}
+
+impl GMap {
+    /// Build the gMap from per-node device reports (the gPool Creator's
+    /// one-time aggregation). GIDs are assigned in node order, then local
+    /// device order.
+    pub fn build(nodes: &[NodeSpec]) -> GMap {
+        let mut entries = Vec::new();
+        for node in nodes {
+            for (li, &model) in node.gpus.iter().enumerate() {
+                entries.push(GMapEntry {
+                    gid: Gid(entries.len() as u32),
+                    node: node.id,
+                    local: DeviceId(li as u32),
+                    model,
+                    weight: model.spec().static_weight(),
+                });
+            }
+        }
+        GMap { entries }
+    }
+
+    /// Number of GPUs in the pool.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Look up a gMap row.
+    pub fn entry(&self, gid: Gid) -> Option<&GMapEntry> {
+        self.entries.get(gid.index())
+    }
+
+    /// All rows in GID order.
+    pub fn entries(&self) -> &[GMapEntry] {
+        &self.entries
+    }
+
+    /// All GIDs.
+    pub fn gids(&self) -> impl Iterator<Item = Gid> + '_ {
+        self.entries.iter().map(|e| e.gid)
+    }
+
+    /// The GIDs hosted on `node`.
+    pub fn local_gids(&self, node: NodeId) -> Vec<Gid> {
+        self.entries
+            .iter()
+            .filter(|e| e.node == node)
+            .map(|e| e.gid)
+            .collect()
+    }
+
+    /// Which channel a frontend on `app_node` uses to reach `gid`.
+    pub fn channel_to(&self, app_node: NodeId, gid: Gid) -> Option<ChannelKind> {
+        self.entry(gid).map(|e| {
+            if e.node == app_node {
+                ChannelKind::SharedMemory
+            } else {
+                ChannelKind::Network
+            }
+        })
+    }
+
+    /// Reverse lookup: GID of `(node, local)`.
+    pub fn gid_of(&self, node: NodeId, local: DeviceId) -> Option<Gid> {
+        self.entries
+            .iter()
+            .find(|e| e.node == node && e.local == local)
+            .map(|e| e.gid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn supernode() -> GMap {
+        GMap::build(&[NodeSpec::node_a(0), NodeSpec::node_b(1)])
+    }
+
+    #[test]
+    fn gids_are_dense_in_node_then_local_order() {
+        let m = supernode();
+        assert_eq!(m.len(), 4);
+        let e0 = m.entry(Gid(0)).unwrap();
+        assert_eq!((e0.node, e0.local, e0.model), (NodeId(0), DeviceId(0), GpuModel::Quadro2000));
+        let e3 = m.entry(Gid(3)).unwrap();
+        assert_eq!((e3.node, e3.local, e3.model), (NodeId(1), DeviceId(1), GpuModel::TeslaC2070));
+        assert_eq!(m.entry(Gid(4)), None);
+    }
+
+    #[test]
+    fn weights_come_from_specs() {
+        let m = supernode();
+        let tesla = m.entry(Gid(1)).unwrap(); // C2050
+        let quadro = m.entry(Gid(0)).unwrap(); // Q2000
+        assert!(tesla.weight > quadro.weight);
+        assert!((tesla.weight - 1.0).abs() < 1e-12, "C2050 is the reference");
+    }
+
+    #[test]
+    fn local_vs_remote_channel_selection() {
+        let m = supernode();
+        assert_eq!(m.channel_to(NodeId(0), Gid(0)), Some(ChannelKind::SharedMemory));
+        assert_eq!(m.channel_to(NodeId(0), Gid(2)), Some(ChannelKind::Network));
+        assert_eq!(m.channel_to(NodeId(1), Gid(2)), Some(ChannelKind::SharedMemory));
+        assert_eq!(m.channel_to(NodeId(0), Gid(9)), None);
+    }
+
+    #[test]
+    fn local_gids_per_node() {
+        let m = supernode();
+        assert_eq!(m.local_gids(NodeId(0)), vec![Gid(0), Gid(1)]);
+        assert_eq!(m.local_gids(NodeId(1)), vec![Gid(2), Gid(3)]);
+        assert_eq!(m.local_gids(NodeId(7)), vec![]);
+    }
+
+    #[test]
+    fn reverse_lookup() {
+        let m = supernode();
+        assert_eq!(m.gid_of(NodeId(1), DeviceId(0)), Some(Gid(2)));
+        assert_eq!(m.gid_of(NodeId(2), DeviceId(0)), None);
+    }
+
+    #[test]
+    fn single_node_pool() {
+        let m = GMap::build(&[NodeSpec::node_a(0)]);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.gids().count(), 2);
+        assert!(!m.is_empty());
+    }
+}

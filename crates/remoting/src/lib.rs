@@ -1,0 +1,29 @@
+//! # remoting
+//!
+//! The GPU-remoting substrate of Figure 3 of the paper: a **frontend**
+//! interposer library intercepts CUDA runtime calls, marshals them into RPC
+//! packets, and ships them over a channel (shared memory locally, the
+//! network for remote GPUs) to a **backend** daemon that dispatches the real
+//! calls and returns error codes / output parameters.
+//!
+//! * [`rpc`] — packet marshalling/unmarshalling (`bytes`-based) and the RPC
+//!   cost model (per-call marshal time + per-byte costs),
+//! * [`channel`] — shared-memory and Gigabit-Ethernet channel timing,
+//! * [`gpool`] — the logical aggregation of every GPU in the supernode into
+//!   a single pool (gPool) with its GID → (node, local device) map (gMap),
+//! * [`backend`] — the three frontend→backend worker mappings of Figure 5
+//!   (Design I: process per app; Design II: one master thread per GPU;
+//!   Design III: per-GPU process with a thread per app — Strings).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod backend;
+pub mod channel;
+pub mod gpool;
+pub mod rpc;
+
+pub use backend::BackendDesign;
+pub use channel::{ChannelKind, ChannelSpec};
+pub use gpool::{GMap, Gid, NodeId, NodeSpec};
+pub use rpc::{RpcCostModel, RpcPacket};

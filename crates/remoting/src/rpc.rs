@@ -1,0 +1,346 @@
+//! RPC packet marshalling and the interposition cost model.
+//!
+//! The interposer turns every intercepted CUDA call into an RPC packet —
+//! `call id | param 0 | … | param N` in the paper's Figure 3 — which the
+//! backend unmarshals and dispatches. [`RpcPacket`] implements that wire
+//! format over [`bytes`]; [`RpcCostModel`] charges the interposition,
+//! marshalling and unmarshalling time the paper's asynchrony optimizations
+//! hide.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use cuda_sim::call::CudaCall;
+use gpu_sim::job::{CopyDirection, KernelProfile};
+use serde::{Deserialize, Serialize};
+
+/// Wire-format call ids.
+const OP_SET_DEVICE: u8 = 1;
+const OP_MALLOC: u8 = 2;
+const OP_FREE: u8 = 3;
+const OP_MEMCPY: u8 = 4;
+const OP_MEMCPY_ASYNC: u8 = 5;
+const OP_LAUNCH: u8 = 6;
+const OP_STREAM_SYNC: u8 = 7;
+const OP_DEVICE_SYNC: u8 = 8;
+const OP_THREAD_EXIT: u8 = 9;
+
+const DIR_H2D: u8 = 0;
+const DIR_D2H: u8 = 1;
+
+/// Errors from packet decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Packet shorter than its header demands.
+    Truncated,
+    /// Unknown call id byte.
+    UnknownOp(u8),
+    /// Invalid direction byte.
+    BadDirection(u8),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "truncated RPC packet"),
+            DecodeError::UnknownOp(b) => write!(f, "unknown RPC op {b}"),
+            DecodeError::BadDirection(b) => write!(f, "bad copy direction {b}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// A marshalled CUDA call: `seq | call id | params`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RpcPacket {
+    /// Frontend-assigned sequence number (per application, in-order).
+    pub seq: u64,
+    /// Encoded bytes.
+    pub wire: Bytes,
+}
+
+impl RpcPacket {
+    /// Marshal a call.
+    pub fn encode(seq: u64, call: &CudaCall) -> RpcPacket {
+        let mut b = BytesMut::with_capacity(64);
+        b.put_u64(seq);
+        match call {
+            CudaCall::SetDevice { device } => {
+                b.put_u8(OP_SET_DEVICE);
+                b.put_u32(*device);
+            }
+            CudaCall::Malloc { bytes } => {
+                b.put_u8(OP_MALLOC);
+                b.put_u64(*bytes);
+            }
+            CudaCall::Free { bytes } => {
+                b.put_u8(OP_FREE);
+                b.put_u64(*bytes);
+            }
+            CudaCall::Memcpy { dir, bytes } => {
+                b.put_u8(OP_MEMCPY);
+                b.put_u8(dir_byte(*dir));
+                b.put_u64(*bytes);
+            }
+            CudaCall::MemcpyAsync { dir, bytes } => {
+                b.put_u8(OP_MEMCPY_ASYNC);
+                b.put_u8(dir_byte(*dir));
+                b.put_u64(*bytes);
+            }
+            CudaCall::LaunchKernel { kernel } => {
+                b.put_u8(OP_LAUNCH);
+                b.put_u64(kernel.work_ref_ns);
+                b.put_f64(kernel.occupancy);
+                b.put_f64(kernel.bw_demand_mbps);
+            }
+            CudaCall::StreamSynchronize => b.put_u8(OP_STREAM_SYNC),
+            CudaCall::DeviceSynchronize => b.put_u8(OP_DEVICE_SYNC),
+            CudaCall::ThreadExit => b.put_u8(OP_THREAD_EXIT),
+        }
+        RpcPacket {
+            seq,
+            wire: b.freeze(),
+        }
+    }
+
+    /// Unmarshal back into a call.
+    pub fn decode(&self) -> Result<(u64, CudaCall), DecodeError> {
+        let mut w = self.wire.clone();
+        if w.remaining() < 9 {
+            return Err(DecodeError::Truncated);
+        }
+        let seq = w.get_u64();
+        let op = w.get_u8();
+        let call = match op {
+            OP_SET_DEVICE => {
+                ensure(&w, 4)?;
+                CudaCall::SetDevice {
+                    device: w.get_u32(),
+                }
+            }
+            OP_MALLOC => {
+                ensure(&w, 8)?;
+                CudaCall::Malloc { bytes: w.get_u64() }
+            }
+            OP_FREE => {
+                ensure(&w, 8)?;
+                CudaCall::Free { bytes: w.get_u64() }
+            }
+            OP_MEMCPY => {
+                ensure(&w, 9)?;
+                let dir = byte_dir(w.get_u8())?;
+                CudaCall::Memcpy {
+                    dir,
+                    bytes: w.get_u64(),
+                }
+            }
+            OP_MEMCPY_ASYNC => {
+                ensure(&w, 9)?;
+                let dir = byte_dir(w.get_u8())?;
+                CudaCall::MemcpyAsync {
+                    dir,
+                    bytes: w.get_u64(),
+                }
+            }
+            OP_LAUNCH => {
+                ensure(&w, 24)?;
+                CudaCall::LaunchKernel {
+                    kernel: KernelProfile {
+                        work_ref_ns: w.get_u64(),
+                        occupancy: w.get_f64(),
+                        bw_demand_mbps: w.get_f64(),
+                    },
+                }
+            }
+            OP_STREAM_SYNC => CudaCall::StreamSynchronize,
+            OP_DEVICE_SYNC => CudaCall::DeviceSynchronize,
+            OP_THREAD_EXIT => CudaCall::ThreadExit,
+            other => return Err(DecodeError::UnknownOp(other)),
+        };
+        Ok((seq, call))
+    }
+
+    /// Wire size of the control portion (excludes bulk copy payloads, which
+    /// ride separately in the cost model).
+    pub fn control_bytes(&self) -> u64 {
+        self.wire.len() as u64
+    }
+}
+
+fn dir_byte(d: CopyDirection) -> u8 {
+    match d {
+        CopyDirection::HostToDevice => DIR_H2D,
+        CopyDirection::DeviceToHost => DIR_D2H,
+    }
+}
+
+fn byte_dir(b: u8) -> Result<CopyDirection, DecodeError> {
+    match b {
+        DIR_H2D => Ok(CopyDirection::HostToDevice),
+        DIR_D2H => Ok(CopyDirection::DeviceToHost),
+        other => Err(DecodeError::BadDirection(other)),
+    }
+}
+
+fn ensure(buf: &Bytes, n: usize) -> Result<(), DecodeError> {
+    if buf.remaining() < n {
+        Err(DecodeError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+/// Time costs of interposition: what the runtime layer adds to every call
+/// (and what the asynchronous-operation optimizations of §III.B.2 overlap
+/// with useful work).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RpcCostModel {
+    /// Interception + marshalling CPU time per call, nanoseconds.
+    pub marshal_ns: u64,
+    /// Backend unmarshalling + dispatch CPU time per call, nanoseconds.
+    pub unmarshal_ns: u64,
+    /// Extra marshalling cost per KiB of bulk payload.
+    pub marshal_ns_per_kib: u64,
+}
+
+impl Default for RpcCostModel {
+    fn default() -> Self {
+        RpcCostModel {
+            marshal_ns: 2_000,
+            unmarshal_ns: 2_000,
+            marshal_ns_per_kib: 50,
+        }
+    }
+}
+
+impl RpcCostModel {
+    /// Frontend-side cost to issue `call`.
+    pub fn send_overhead_ns(&self, call: &CudaCall) -> u64 {
+        self.marshal_ns + self.marshal_ns_per_kib * call.rpc_payload_bytes().div_ceil(1024)
+    }
+
+    /// Backend-side cost to receive and dispatch a call.
+    pub fn recv_overhead_ns(&self, _call: &CudaCall) -> u64 {
+        self.unmarshal_ns
+    }
+
+    /// Frontend-side cost to consume the reply of `call`.
+    pub fn reply_overhead_ns(&self, call: &CudaCall) -> u64 {
+        self.marshal_ns_per_kib * call.rpc_return_bytes().div_ceil(1024)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_calls() -> Vec<CudaCall> {
+        vec![
+            CudaCall::SetDevice { device: 3 },
+            CudaCall::Malloc { bytes: 1 << 20 },
+            CudaCall::Free { bytes: 1 << 20 },
+            CudaCall::Memcpy {
+                dir: CopyDirection::HostToDevice,
+                bytes: 4096,
+            },
+            CudaCall::Memcpy {
+                dir: CopyDirection::DeviceToHost,
+                bytes: 4096,
+            },
+            CudaCall::MemcpyAsync {
+                dir: CopyDirection::HostToDevice,
+                bytes: 123,
+            },
+            CudaCall::LaunchKernel {
+                kernel: KernelProfile {
+                    work_ref_ns: 777,
+                    occupancy: 0.25,
+                    bw_demand_mbps: 1234.5,
+                },
+            },
+            CudaCall::StreamSynchronize,
+            CudaCall::DeviceSynchronize,
+            CudaCall::ThreadExit,
+        ]
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_all_calls() {
+        for (i, call) in all_calls().into_iter().enumerate() {
+            let pkt = RpcPacket::encode(i as u64, &call);
+            let (seq, decoded) = pkt.decode().expect("decode");
+            assert_eq!(seq, i as u64);
+            assert_eq!(decoded, call, "roundtrip failed for {}", call.name());
+        }
+    }
+
+    #[test]
+    fn truncated_packet_rejected() {
+        let pkt = RpcPacket {
+            seq: 0,
+            wire: Bytes::from_static(&[0, 0, 0]),
+        };
+        assert_eq!(pkt.decode().unwrap_err(), DecodeError::Truncated);
+        // Header ok but params missing:
+        let mut b = BytesMut::new();
+        b.put_u64(1);
+        b.put_u8(OP_MALLOC); // malloc wants 8 more bytes
+        let pkt = RpcPacket {
+            seq: 1,
+            wire: b.freeze(),
+        };
+        assert_eq!(pkt.decode().unwrap_err(), DecodeError::Truncated);
+    }
+
+    #[test]
+    fn unknown_op_rejected() {
+        let mut b = BytesMut::new();
+        b.put_u64(1);
+        b.put_u8(200);
+        let pkt = RpcPacket {
+            seq: 1,
+            wire: b.freeze(),
+        };
+        assert_eq!(pkt.decode().unwrap_err(), DecodeError::UnknownOp(200));
+    }
+
+    #[test]
+    fn bad_direction_rejected() {
+        let mut b = BytesMut::new();
+        b.put_u64(1);
+        b.put_u8(OP_MEMCPY);
+        b.put_u8(9);
+        b.put_u64(10);
+        let pkt = RpcPacket {
+            seq: 1,
+            wire: b.freeze(),
+        };
+        assert_eq!(pkt.decode().unwrap_err(), DecodeError::BadDirection(9));
+    }
+
+    #[test]
+    fn control_bytes_are_small() {
+        for call in all_calls() {
+            let pkt = RpcPacket::encode(0, &call);
+            assert!(pkt.control_bytes() <= 64, "{} packet too big", call.name());
+        }
+    }
+
+    #[test]
+    fn cost_model_charges_bulk_payloads() {
+        let m = RpcCostModel::default();
+        let small = CudaCall::SetDevice { device: 0 };
+        let h2d = CudaCall::Memcpy {
+            dir: CopyDirection::HostToDevice,
+            bytes: 1 << 20, // 1 MiB = 1024 KiB
+        };
+        let d2h = CudaCall::Memcpy {
+            dir: CopyDirection::DeviceToHost,
+            bytes: 1 << 20,
+        };
+        assert_eq!(m.send_overhead_ns(&small), m.marshal_ns);
+        assert_eq!(m.send_overhead_ns(&h2d), m.marshal_ns + 1024 * m.marshal_ns_per_kib);
+        assert_eq!(m.send_overhead_ns(&d2h), m.marshal_ns, "D2H payload returns, not sends");
+        assert_eq!(m.reply_overhead_ns(&d2h), 1024 * m.marshal_ns_per_kib);
+        assert_eq!(m.recv_overhead_ns(&small), m.unmarshal_ns);
+    }
+}

@@ -1,0 +1,240 @@
+//! Event queue.
+//!
+//! A classic calendar queue for discrete-event simulation. Events are
+//! totally ordered by `(time, sequence)` where the sequence number is the
+//! insertion order — two events scheduled for the same instant pop in the
+//! order they were scheduled, which keeps the simulation deterministic.
+//!
+//! Components that re-derive their own next event whenever their state
+//! changes (e.g. a GPU compute engine re-solving kernel completion times when
+//! a kernel joins) use [`Generation`] stamps: each state change bumps the
+//! component's generation, and events carrying a stale generation are simply
+//! dropped by the owner when popped.
+
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Monotonic stamp used to invalidate previously scheduled self-events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Generation(pub u64);
+
+impl Generation {
+    /// Advance to the next generation, invalidating all outstanding events
+    /// stamped with the current one.
+    #[inline]
+    pub fn bump(&mut self) {
+        self.0 += 1;
+    }
+}
+
+#[derive(Debug)]
+struct Scheduled<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+// Order by (time, seq) only; the payload is irrelevant to ordering.
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// A deterministic future-event list.
+///
+/// `E` is the simulation's event payload type (typically one big enum owned
+/// by the executive).
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Scheduled<E>>>,
+    next_seq: u64,
+    now: SimTime,
+    popped: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue with the clock at zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: 0,
+            popped: 0,
+        }
+    }
+
+    /// Current virtual time (time of the most recently popped event).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events popped so far (for progress reporting / loop caps).
+    #[inline]
+    pub fn popped(&self) -> u64 {
+        self.popped
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics (debug builds) if `at` is in the past — the simulation never
+    /// travels backwards.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: at={at} now={}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Scheduled {
+            time: at.max(self.now),
+            seq,
+            event,
+        }));
+    }
+
+    /// Schedule `event` `delay_ns` nanoseconds from now.
+    pub fn schedule_after(&mut self, delay_ns: u64, event: E) {
+        let at = self.now + delay_ns;
+        self.schedule(at, event);
+    }
+
+    /// Pop the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Reverse(s) = self.heap.pop()?;
+        debug_assert!(s.time >= self.now);
+        self.now = s.time;
+        self.popped += 1;
+        Some((s.time, s.event))
+    }
+
+    /// Timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(s)| s.time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(30, "c");
+        q.schedule(10, "a");
+        q.schedule(20, "b");
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.pop(), Some((30, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(5, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((5, i)));
+        }
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.schedule(100, ());
+        q.schedule(100, ());
+        q.schedule(250, ());
+        let mut last = 0;
+        while let Some((t, ())) = q.pop() {
+            assert!(t >= last);
+            last = t;
+        }
+        assert_eq!(q.now(), 250);
+        assert_eq!(q.popped(), 3);
+    }
+
+    #[test]
+    fn schedule_after_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule(10, 0u32);
+        q.pop();
+        q.schedule_after(5, 1u32);
+        assert_eq!(q.pop(), Some((15, 1)));
+    }
+
+    #[test]
+    fn generation_bump_distinguishes() {
+        let mut g = Generation::default();
+        let g0 = g;
+        g.bump();
+        assert_ne!(g0, g);
+        assert!(g0 < g);
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn scheduling_into_past_panics_in_debug() {
+        let mut q = EventQueue::new();
+        q.schedule(10, ());
+        q.pop();
+        q.schedule(5, ());
+    }
+
+    #[test]
+    fn peek_time_matches_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.schedule(7, 'x');
+        assert_eq!(q.peek_time(), Some(7));
+        assert_eq!(q.pop(), Some((7, 'x')));
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(1, ());
+        q.schedule(2, ());
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+}

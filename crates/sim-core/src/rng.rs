@@ -1,0 +1,199 @@
+//! Deterministic randomness.
+//!
+//! All stochastic inputs (request inter-arrival times, jitter on kernel
+//! durations, workload shuffles) flow through [`SimRng`], a thin wrapper
+//! over a seeded [`rand::rngs::StdRng`]. A scenario seeded with the same
+//! value replays identically.
+//!
+//! The paper's arrival model (its Eq. 4) draws inter-arrival gaps from a
+//! negative exponential distribution: `T = -λ · ln X` with `X ∈ (0, 1]`
+//! uniform and `λ` the *mean* inter-arrival time; [`SimRng::exp_duration`]
+//! implements exactly that.
+
+use crate::time::SimDuration;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Seedable deterministic random source for one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+    seed: u64,
+}
+
+impl SimRng {
+    /// Create a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// The seed this generator was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derive an independent child generator; used to give each request
+    /// stream its own stream of randomness so adding a stream does not
+    /// perturb the draws of another.
+    pub fn fork(&mut self, salt: u64) -> SimRng {
+        // splitmix-style mixing of (seed, salt, fresh draw) for independence.
+        let mut z = self
+            .seed
+            .wrapping_add(salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(self.inner.gen::<u64>());
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        SimRng::new(z)
+    }
+
+    /// Uniform `f64` in `(0, 1]` — note the *open* lower bound so `ln` is
+    /// always finite, matching the paper's `X ∈ (0.0, 1.0]`.
+    pub fn uniform_open0(&mut self) -> f64 {
+        1.0 - self.inner.gen::<f64>() // gen() is [0,1): flip to (0,1]
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform integer in `[0, n)`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index over empty range");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Negative-exponential sample with mean `mean` (paper Eq. 4:
+    /// `T = -λ ln X`).
+    pub fn exp_f64(&mut self, mean: f64) -> f64 {
+        debug_assert!(mean >= 0.0);
+        -mean * self.uniform_open0().ln()
+    }
+
+    /// Negative-exponential inter-arrival duration with the given mean.
+    pub fn exp_duration(&mut self, mean: SimDuration) -> SimDuration {
+        SimDuration::from_secs_f64(self.exp_f64(mean.as_secs_f64()))
+    }
+
+    /// Multiplicative jitter factor in `[1-amp, 1+amp]`; `amp = 0` returns
+    /// exactly 1.0 (no draw consumed asymmetry — still consumes one draw so
+    /// run structure is stable when toggling jitter).
+    pub fn jitter(&mut self, amp: f64) -> f64 {
+        let u = self.uniform(-1.0, 1.0);
+        1.0 + amp * u
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.inner.gen_range(0..=i);
+            items.swap(i, j);
+        }
+    }
+
+    /// Raw access for distributions not wrapped here.
+    pub fn raw(&mut self) -> &mut StdRng {
+        &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.uniform(0.0, 1.0).to_bits(), b.uniform(0.0, 1.0).to_bits());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let va: Vec<u64> = (0..8).map(|_| a.raw().gen()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.raw().gen()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn uniform_open0_never_zero() {
+        let mut r = SimRng::new(7);
+        for _ in 0..10_000 {
+            let x = r.uniform_open0();
+            assert!(x > 0.0 && x <= 1.0);
+        }
+    }
+
+    #[test]
+    fn exp_mean_converges() {
+        let mut r = SimRng::new(123);
+        let mean = 2.5;
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| r.exp_f64(mean)).sum();
+        let observed = sum / n as f64;
+        assert!(
+            (observed - mean).abs() < 0.05,
+            "observed mean {observed} too far from {mean}"
+        );
+    }
+
+    #[test]
+    fn exp_duration_mean_converges() {
+        let mut r = SimRng::new(9);
+        let mean = SimDuration::from_ms(10);
+        let n = 100_000;
+        let total: u64 = (0..n).map(|_| r.exp_duration(mean).as_ns()).sum();
+        let observed = total as f64 / n as f64;
+        let expect = mean.as_ns() as f64;
+        assert!((observed - expect).abs() / expect < 0.02);
+    }
+
+    #[test]
+    fn forked_streams_are_independent_of_siblings() {
+        // Adding a fork in between must not change a sibling's draws.
+        let mut parent1 = SimRng::new(99);
+        let mut c1 = parent1.fork(0);
+        let draws1: Vec<u64> = (0..4).map(|_| c1.raw().gen()).collect();
+
+        let mut parent2 = SimRng::new(99);
+        let mut c2 = parent2.fork(0);
+        let _other = parent2.fork(1); // extra fork after c2 exists
+        let draws2: Vec<u64> = (0..4).map(|_| c2.raw().gen()).collect();
+        assert_eq!(draws1, draws2);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = SimRng::new(5);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn jitter_bounds() {
+        let mut r = SimRng::new(11);
+        for _ in 0..1000 {
+            let j = r.jitter(0.1);
+            assert!((0.9..=1.1).contains(&j));
+        }
+    }
+
+    #[test]
+    fn index_in_range() {
+        let mut r = SimRng::new(3);
+        for _ in 0..1000 {
+            assert!(r.index(7) < 7);
+        }
+    }
+}

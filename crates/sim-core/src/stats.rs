@@ -1,0 +1,323 @@
+//! Online statistics.
+//!
+//! Completion-time aggregates for every experiment flow through
+//! [`OnlineStats`] (Welford mean/variance plus min/max) and, where the
+//! distribution matters, [`Reservoir`] percentiles.
+
+use serde::{Deserialize, Serialize};
+
+/// Single-pass mean / variance / extrema accumulator (Welford's algorithm).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl OnlineStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        self.sum += x;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Merge another accumulator into this one (Chan et al. parallel merge).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Population variance (0.0 with < 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+}
+
+/// Exact-percentile accumulator: keeps all samples (fine at our scales —
+/// thousands of requests per run) and sorts on query.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Reservoir {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Reservoir {
+    /// Empty reservoir.
+    pub fn new() -> Self {
+        Reservoir {
+            samples: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        self.samples.push(x);
+        self.sorted = false;
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no observations recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// p-th percentile (nearest-rank, `p` in [0, 100]); `None` when empty.
+    pub fn percentile(&mut self, p: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.samples
+                .sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            self.sorted = true;
+        }
+        let rank = ((p / 100.0) * (self.samples.len() - 1) as f64).floor() as usize;
+        Some(self.samples[rank.min(self.samples.len() - 1)])
+    }
+
+    /// Median.
+    pub fn median(&mut self) -> Option<f64> {
+        self.percentile(50.0)
+    }
+
+    /// Mean of all samples.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+}
+
+/// Geometric mean of a slice (used to summarise speedups across workloads).
+/// Non-positive entries are skipped; returns 0.0 when nothing remains.
+pub fn geometric_mean(xs: &[f64]) -> f64 {
+    let (sum_ln, n) = xs
+        .iter()
+        .filter(|x| **x > 0.0)
+        .fold((0.0, 0u32), |(s, n), x| (s + x.ln(), n + 1));
+    if n == 0 {
+        0.0
+    } else {
+        (sum_ln / n as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_basic() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+        assert!((s.sum() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_benign() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = OnlineStats::new();
+        data.iter().for_each(|&x| whole.push(x));
+
+        let mut left = OnlineStats::new();
+        let mut right = OnlineStats::new();
+        data[..37].iter().for_each(|&x| left.push(x));
+        data[37..].iter().for_each(|&x| right.push(x));
+        left.merge(&right);
+
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_with_empty_sides() {
+        let mut a = OnlineStats::new();
+        a.push(1.0);
+        let empty = OnlineStats::new();
+        let mut b = a.clone();
+        b.merge(&empty);
+        assert_eq!(b.count(), 1);
+        let mut c = OnlineStats::new();
+        c.merge(&a);
+        assert_eq!(c.count(), 1);
+        assert_eq!(c.mean(), 1.0);
+    }
+
+    #[test]
+    fn percentiles() {
+        let mut r = Reservoir::new();
+        for i in 1..=100 {
+            r.push(i as f64);
+        }
+        assert_eq!(r.percentile(0.0), Some(1.0));
+        assert_eq!(r.percentile(100.0), Some(100.0));
+        assert_eq!(r.median(), Some(50.0));
+        assert_eq!(r.len(), 100);
+    }
+
+    #[test]
+    fn reservoir_empty() {
+        let mut r = Reservoir::new();
+        assert!(r.is_empty());
+        assert_eq!(r.percentile(50.0), None);
+        assert_eq!(r.mean(), 0.0);
+    }
+
+    #[test]
+    fn geometric_mean_matches_hand_calc() {
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(&[]), 0.0);
+        // zeros are skipped, not fatal
+        assert!((geometric_mean(&[0.0, 2.0, 8.0]) - 4.0).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Welford mean must equal the naive mean for any input.
+        #[test]
+        fn welford_matches_naive(xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+            let mut s = OnlineStats::new();
+            xs.iter().for_each(|&x| s.push(x));
+            let naive = xs.iter().sum::<f64>() / xs.len() as f64;
+            prop_assert!((s.mean() - naive).abs() < 1e-6);
+        }
+
+        /// Merging any split of the data equals processing it whole.
+        #[test]
+        fn merge_any_split(xs in proptest::collection::vec(-1e3f64..1e3, 2..100), split in 0usize..100) {
+            let k = split % xs.len();
+            let mut whole = OnlineStats::new();
+            xs.iter().for_each(|&x| whole.push(x));
+            let mut a = OnlineStats::new();
+            let mut b = OnlineStats::new();
+            xs[..k].iter().for_each(|&x| a.push(x));
+            xs[k..].iter().for_each(|&x| b.push(x));
+            a.merge(&b);
+            prop_assert_eq!(a.count(), whole.count());
+            prop_assert!((a.mean() - whole.mean()).abs() < 1e-7);
+            prop_assert!((a.variance() - whole.variance()).abs() < 1e-5);
+        }
+
+        /// Percentile is monotone in p and bounded by min/max.
+        #[test]
+        fn percentile_monotone(xs in proptest::collection::vec(-1e3f64..1e3, 1..100)) {
+            let mut r = Reservoir::new();
+            xs.iter().for_each(|&x| r.push(x));
+            let p25 = r.percentile(25.0).unwrap();
+            let p50 = r.percentile(50.0).unwrap();
+            let p75 = r.percentile(75.0).unwrap();
+            prop_assert!(p25 <= p50 && p50 <= p75);
+            let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(p25 >= lo && p75 <= hi);
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Request arrival processes.
+//!
+//! The paper's service model (its Figure 8) follows SPECpower_ssj2008: many
+//! end users issue requests whose inter-arrival gaps are negative-
+//! exponential (Eq. 4, `T = −λ ln X`), producing bursts and lulls. λ is
+//! chosen proportional to the application's runtime so the offered load is
+//! comparable across applications.
+
+use sim_core::rng::SimRng;
+use sim_core::{SimDuration, SimTime};
+
+/// A finite stream of request arrival times for one application.
+#[derive(Debug, Clone)]
+pub struct RequestStream {
+    arrivals: Vec<SimTime>,
+}
+
+impl RequestStream {
+    /// Build a stream of `count` arrivals with mean inter-arrival `mean`
+    /// starting at time 0 (the first request arrives after one gap).
+    pub fn exponential(count: usize, mean: SimDuration, rng: &mut SimRng) -> Self {
+        let mut arrivals = Vec::with_capacity(count);
+        let mut t: SimTime = 0;
+        for _ in 0..count {
+            t += rng.exp_duration(mean).as_ns();
+            arrivals.push(t);
+        }
+        RequestStream { arrivals }
+    }
+
+    /// The paper's load point: λ proportional to the application's solo
+    /// runtime, scaled by `load` (λ = runtime / load; `load` ≈ offered
+    /// concurrency). `load > 1` means requests arrive faster than a single
+    /// GPU can serve them — the congestion that makes balancing matter.
+    pub fn for_app_runtime(
+        count: usize,
+        runtime: SimDuration,
+        load: f64,
+        rng: &mut SimRng,
+    ) -> Self {
+        assert!(load > 0.0);
+        let mean = runtime.mul_f64(1.0 / load);
+        Self::exponential(count, mean, rng)
+    }
+
+    /// A diurnally modulated stream (CloudBench-style day/night load): the
+    /// instantaneous arrival rate follows `1 + depth·sin(2πt/period)` on
+    /// top of the exponential process, producing the peak-and-lull pattern
+    /// of the paper's Figure 1 deployment. `depth ∈ [0, 1)`.
+    pub fn diurnal(
+        count: usize,
+        mean: SimDuration,
+        period: SimDuration,
+        depth: f64,
+        rng: &mut SimRng,
+    ) -> Self {
+        assert!((0.0..1.0).contains(&depth), "depth must be in [0,1)");
+        assert!(period.as_ns() > 0);
+        let mut arrivals = Vec::with_capacity(count);
+        let mut t: f64 = 0.0;
+        let period_s = period.as_secs_f64();
+        for _ in 0..count {
+            // Thinning-free approximation: scale each gap by the inverse
+            // instantaneous rate at the current time.
+            let phase = (t / period_s) * std::f64::consts::TAU;
+            let rate = 1.0 + depth * phase.sin();
+            let gap = rng.exp_f64(mean.as_secs_f64()) / rate;
+            t += gap;
+            arrivals.push(SimDuration::from_secs_f64(t).as_ns());
+        }
+        RequestStream { arrivals }
+    }
+
+    /// Arrival times, ascending.
+    pub fn arrivals(&self) -> &[SimTime] {
+        &self.arrivals
+    }
+
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// True if the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+
+    /// Time of the last arrival.
+    pub fn horizon(&self) -> SimTime {
+        self.arrivals.last().copied().unwrap_or(0)
+    }
+
+    /// Merge two streams into one ascending sequence of
+    /// `(arrival, stream_index)` pairs — the two independent request
+    /// streams of the supernode experiments.
+    pub fn merge(a: &RequestStream, b: &RequestStream) -> Vec<(SimTime, usize)> {
+        let mut merged: Vec<(SimTime, usize)> = a
+            .arrivals
+            .iter()
+            .map(|&t| (t, 0))
+            .chain(b.arrivals.iter().map(|&t| (t, 1)))
+            .collect();
+        merged.sort_unstable();
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrivals_are_sorted_and_positive() {
+        let mut rng = SimRng::new(3);
+        let s = RequestStream::exponential(100, SimDuration::from_ms(10), &mut rng);
+        assert_eq!(s.len(), 100);
+        assert!(!s.is_empty());
+        assert!(s.arrivals()[0] > 0);
+        assert!(s.arrivals().windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(s.horizon(), *s.arrivals().last().unwrap());
+    }
+
+    #[test]
+    fn mean_gap_converges_to_lambda() {
+        let mut rng = SimRng::new(17);
+        let mean = SimDuration::from_ms(5);
+        let s = RequestStream::exponential(50_000, mean, &mut rng);
+        let observed = s.horizon() as f64 / s.len() as f64;
+        let expect = mean.as_ns() as f64;
+        assert!(
+            (observed - expect).abs() / expect < 0.02,
+            "observed {observed} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn for_app_runtime_scales_lambda_with_load() {
+        let mut r1 = SimRng::new(5);
+        let mut r2 = SimRng::new(5);
+        let rt = SimDuration::from_secs(10);
+        let light = RequestStream::for_app_runtime(1000, rt, 1.0, &mut r1);
+        let heavy = RequestStream::for_app_runtime(1000, rt, 4.0, &mut r2);
+        // 4× the load → same draws compressed 4×.
+        assert!(heavy.horizon() < light.horizon() / 3);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SimRng::new(9);
+        let mut b = SimRng::new(9);
+        let s1 = RequestStream::exponential(50, SimDuration::from_ms(1), &mut a);
+        let s2 = RequestStream::exponential(50, SimDuration::from_ms(1), &mut b);
+        assert_eq!(s1.arrivals(), s2.arrivals());
+    }
+
+    #[test]
+    fn merge_interleaves_in_time_order() {
+        let mut rng = SimRng::new(11);
+        let a = RequestStream::exponential(20, SimDuration::from_ms(3), &mut rng);
+        let b = RequestStream::exponential(20, SimDuration::from_ms(3), &mut rng);
+        let m = RequestStream::merge(&a, &b);
+        assert_eq!(m.len(), 40);
+        assert!(m.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert_eq!(m.iter().filter(|(_, s)| *s == 0).count(), 20);
+    }
+
+    #[test]
+    fn diurnal_modulates_density() {
+        let mut rng = SimRng::new(31);
+        let mean = SimDuration::from_ms(100);
+        let period = SimDuration::from_secs(100);
+        let s = RequestStream::diurnal(4000, mean, period, 0.8, &mut rng);
+        assert_eq!(s.len(), 4000);
+        assert!(s.arrivals().windows(2).all(|w| w[0] <= w[1]));
+        // Count arrivals in the first (peak, sin>0) vs second (lull, sin<0)
+        // half of the first period they span.
+        let period_ns = period.as_ns();
+        let peak = s
+            .arrivals()
+            .iter()
+            .filter(|&&t| (t % period_ns) < period_ns / 2)
+            .count();
+        let lull = s.len() - peak;
+        assert!(
+            peak as f64 > lull as f64 * 1.5,
+            "peaks should be denser: {peak} vs {lull}"
+        );
+    }
+
+    #[test]
+    fn diurnal_zero_depth_is_plain_exponential_mean() {
+        let mut rng = SimRng::new(5);
+        let mean = SimDuration::from_ms(10);
+        let s = RequestStream::diurnal(50_000, mean, SimDuration::from_secs(10), 0.0, &mut rng);
+        let observed = s.horizon() as f64 / s.len() as f64;
+        let expect = mean.as_ns() as f64;
+        let rel = (observed - expect).abs() / expect;
+        assert!(rel < 0.03, "observed {observed} vs {expect}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn diurnal_depth_must_be_sane() {
+        let mut rng = SimRng::new(0);
+        RequestStream::diurnal(1, SimDuration::from_ms(1), SimDuration::from_secs(1), 1.5, &mut rng);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_load_rejected() {
+        let mut rng = SimRng::new(0);
+        RequestStream::for_app_runtime(1, SimDuration::from_secs(1), 0.0, &mut rng);
+    }
+}

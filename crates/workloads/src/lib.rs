@@ -1,0 +1,30 @@
+//! # strings-workloads
+//!
+//! Cloud workload models for the Strings reproduction.
+//!
+//! * [`profile`] — the ten benchmark applications of the paper's Table I
+//!   (six long-running Group A jobs, four short-running Group B jobs) with
+//!   their measured GPU-time share, data-transfer share, and memory
+//!   bandwidth, plus the modelling parameters our simulator adds
+//!   (SM occupancy, kernel bandwidth demand),
+//! * [`tracegen`] — synthesis of a [`cuda_sim::HostProgram`] from a profile:
+//!   `k` iterations of *CPU phase → H2D → kernel → sync → D2H*, sized so the
+//!   program's standalone runtime on the reference device matches the
+//!   profile,
+//! * [`arrivals`] — the SPECpower-style service model: request streams with
+//!   negative-exponential inter-arrival times (paper Eq. 4, Figure 8),
+//! * [`pairs`] — the 24 A–X workload pairs (each one Group A × one Group B
+//!   application) used throughout the evaluation.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod arrivals;
+pub mod pairs;
+pub mod profile;
+pub mod tracegen;
+
+pub use arrivals::RequestStream;
+pub use pairs::{workload_pair, workload_pairs, PairLabel};
+pub use profile::{AppKind, AppProfile, Group};
+pub use tracegen::TraceGenerator;

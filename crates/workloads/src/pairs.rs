@@ -1,0 +1,112 @@
+//! The 24 A–X workload pairs.
+//!
+//! The evaluation pairs each of the six Group A (long-running) applications
+//! with each of the four Group B (short-running) applications, labelled
+//! A through X: "A is the DC-BS pair, B is the DC-MC pair, X is the EV-SN
+//! pair, and so on, following the order in Table I".
+
+use crate::profile::AppKind;
+use serde::{Deserialize, Serialize};
+
+/// A workload-pair label, `A` through `X`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PairLabel(pub char);
+
+impl std::fmt::Display for PairLabel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl PairLabel {
+    /// Zero-based index (A = 0 … X = 23).
+    pub fn index(self) -> usize {
+        (self.0 as u8 - b'A') as usize
+    }
+
+    /// Label from index.
+    pub fn from_index(i: usize) -> PairLabel {
+        assert!(i < 24, "pair index {i} out of range");
+        PairLabel((b'A' + i as u8) as char)
+    }
+}
+
+/// All 24 pairs in label order: Group A major, Group B minor.
+pub fn workload_pairs() -> Vec<(PairLabel, AppKind, AppKind)> {
+    let mut pairs = Vec::with_capacity(24);
+    for (ai, &a) in AppKind::GROUP_A.iter().enumerate() {
+        for (bi, &b) in AppKind::GROUP_B.iter().enumerate() {
+            let idx = ai * AppKind::GROUP_B.len() + bi;
+            pairs.push((PairLabel::from_index(idx), a, b));
+        }
+    }
+    pairs
+}
+
+/// The pair for a given label.
+pub fn workload_pair(label: PairLabel) -> (AppKind, AppKind) {
+    let i = label.index();
+    let a = AppKind::GROUP_A[i / AppKind::GROUP_B.len()];
+    let b = AppKind::GROUP_B[i % AppKind::GROUP_B.len()];
+    (a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_four_pairs_with_paper_anchors() {
+        let pairs = workload_pairs();
+        assert_eq!(pairs.len(), 24);
+        // Paper: A = DC-BS, B = DC-MC, X = EV-SN.
+        assert_eq!(pairs[0], (PairLabel('A'), AppKind::DC, AppKind::BS));
+        assert_eq!(pairs[1], (PairLabel('B'), AppKind::DC, AppKind::MC));
+        assert_eq!(pairs[23], (PairLabel('X'), AppKind::EV, AppKind::SN));
+    }
+
+    #[test]
+    fn labels_are_consecutive_letters() {
+        let pairs = workload_pairs();
+        for (i, (label, _, _)) in pairs.iter().enumerate() {
+            assert_eq!(label.index(), i);
+            assert_eq!(*label, PairLabel::from_index(i));
+        }
+        assert_eq!(pairs[23].0, PairLabel('X'));
+    }
+
+    #[test]
+    fn lookup_matches_enumeration() {
+        for (label, a, b) in workload_pairs() {
+            assert_eq!(workload_pair(label), (a, b));
+        }
+    }
+
+    #[test]
+    fn every_pair_is_one_long_one_short() {
+        use crate::profile::Group;
+        for (_, a, b) in workload_pairs() {
+            assert_eq!(a.profile().group, Group::A);
+            assert_eq!(b.profile().group, Group::B);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_index_panics() {
+        PairLabel::from_index(24);
+    }
+
+    #[test]
+    fn paper_highlight_pairs_contain_bs_or_ga() {
+        // The paper calls out I, K, W as the peak-speedup pairs, each
+        // containing BlackScholes or Gaussian.
+        for l in ['I', 'K', 'W'] {
+            let (_, b) = workload_pair(PairLabel(l));
+            assert!(
+                b == AppKind::BS || b == AppKind::GA,
+                "pair {l} is {b}, expected BS or GA"
+            );
+        }
+    }
+}

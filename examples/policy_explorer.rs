@@ -1,0 +1,81 @@
+//! Policy explorer: sweep every scheduling policy over one workload mix.
+//!
+//! Takes a workload pair (default `B` = DXTC + MonteCarlo, override with
+//! e.g. `-- R` for Histogram + MonteCarlo) and prints the completion-time
+//! speedup of every workload-balancing × device-scheduling combination
+//! over the bare CUDA runtime — a compact tour of the whole policy space.
+//!
+//! Run with: `cargo run --release --example policy_explorer [-- PAIR]`
+
+use strings_repro::harness::scenario::{LbScope, Scenario, StreamSpec};
+use strings_repro::metrics::report::{fmt_speedup, Table};
+use strings_repro::remoting::gpool::NodeId;
+use strings_repro::strings::config::StackConfig;
+use strings_repro::strings::device_sched::{GpuPolicy, TenantId};
+use strings_repro::strings::mapper::LbPolicy;
+use strings_repro::workloads::pairs::{workload_pair, PairLabel};
+
+fn main() {
+    let label = std::env::args()
+        .nth(1)
+        .and_then(|s| s.chars().next())
+        .filter(|c| ('A'..='X').contains(c))
+        .map(PairLabel)
+        .unwrap_or(PairLabel('B'));
+    let (a, b) = workload_pair(label);
+    println!("Exploring pair {label}: {a} (long) + {b} (short) on the supernode\n");
+
+    let mk = |app, node, tenant| StreamSpec {
+        app,
+        node: NodeId(node),
+        tenant: TenantId(tenant),
+        weight: 1.0,
+        count: 15,
+        load: 2.0,
+        server_threads: 6,
+    };
+    let streams = vec![mk(a, 0, 0), mk(b, 1, 1)];
+
+    let baseline = Scenario::supernode(StackConfig::cuda_runtime(), streams.clone(), 3)
+        .with_scope(LbScope::Local)
+        .run()
+        .mean_completion_ns();
+
+    let mut t = Table::new(vec!["stack", "balancing", "device policy", "speedup vs CUDA"]);
+    for lb in [LbPolicy::Grr, LbPolicy::GMin, LbPolicy::GWtMin] {
+        for (mode, mk_cfg) in [
+            ("Rain", StackConfig::rain as fn(LbPolicy) -> StackConfig),
+            ("Strings", StackConfig::strings as fn(LbPolicy) -> StackConfig),
+        ] {
+            for gp in [GpuPolicy::None, GpuPolicy::Las, GpuPolicy::Ps, GpuPolicy::Tfs] {
+                if mode == "Rain" && gp == GpuPolicy::Ps {
+                    continue; // PS needs streams: Strings-only, per the paper
+                }
+                let cfg = mk_cfg(lb).with_gpu_policy(gp);
+                let ct = Scenario::supernode(cfg, streams.clone(), 3)
+                    .run()
+                    .mean_completion_ns();
+                t.row(vec![
+                    mode.to_string(),
+                    lb.label().to_string(),
+                    gp.label().to_string(),
+                    fmt_speedup(baseline / ct),
+                ]);
+            }
+        }
+    }
+    // The feedback family (Strings, arbiter-switched from GWtMin).
+    for fb in [LbPolicy::Rtf, LbPolicy::Guf, LbPolicy::Dtf, LbPolicy::Mbf] {
+        let cfg = StackConfig::strings(LbPolicy::GWtMin).with_feedback(fb, 6);
+        let ct = Scenario::supernode(cfg, streams.clone(), 3)
+            .run()
+            .mean_completion_ns();
+        t.row(vec![
+            "Strings".to_string(),
+            format!("GWtMin→{}", fb.label()),
+            "none".to_string(),
+            fmt_speedup(baseline / ct),
+        ]);
+    }
+    print!("{}", t.render());
+}

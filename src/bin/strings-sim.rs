@@ -1,0 +1,108 @@
+//! `strings-sim` — run the Strings scheduler on a workload you describe.
+//!
+//! ```text
+//! cargo run --release --bin strings-sim -- \
+//!     --mode strings --lb gwtmin --gpu-policy ps \
+//!     --app MC:20:1.5 --app DC:10:1.0:1 --nodes 2 --seeds 3
+//! ```
+
+use strings_repro::harness::cli::{parse_args, USAGE};
+use strings_repro::harness::sweep;
+use strings_repro::metrics::export;
+use strings_repro::metrics::report::{fmt_pct, Table};
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return;
+    }
+    // --export DIR writes CSV series (timelines + completions) for plotting.
+    let export_dir = args
+        .iter()
+        .position(|a| a == "--export")
+        .map(|i| {
+            let dir = args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("error: --export wants a directory");
+                std::process::exit(2);
+            });
+            args.drain(i..=i + 1);
+            dir
+        });
+    let run = match parse_args(&args) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "stack: {}   nodes: {}   seeds: {:?}\n",
+        run.scenario.stack.label(),
+        run.scenario.nodes.len(),
+        run.seeds
+    );
+    // Representative run (first seed) for the detailed breakdown.
+    let stats = run.scenario.run();
+    let mut t = Table::new(vec!["stream", "app", "requests", "mean completion (s)"]);
+    for (slot, spec) in run.scenario.streams.iter().enumerate() {
+        t.row(vec![
+            slot.to_string(),
+            spec.app.to_string(),
+            stats.completions.counts()[slot].to_string(),
+            format!("{:.3}", stats.completions.mean_ct(slot) / 1e9),
+        ]);
+    }
+    print!("{}", t.render());
+    println!();
+    let mut d = Table::new(vec!["device", "compute util", "bandwidth util", "kernels", "copies"]);
+    for (gid, tele) in stats.device_telemetry.iter().enumerate() {
+        d.row(vec![
+            format!("GID{gid}"),
+            fmt_pct(tele.mean_compute(0, stats.makespan_ns.max(1))),
+            fmt_pct(tele.mean_bandwidth(0, stats.makespan_ns.max(1))),
+            tele.kernels_completed.to_string(),
+            tele.copies_completed.to_string(),
+        ]);
+    }
+    print!("{}", d.render());
+    println!();
+    println!(
+        "makespan {:.2}s, context switches {}, OOM events {}, events {}",
+        stats.makespan_ns as f64 / 1e9,
+        stats.context_switches,
+        stats.oom_events,
+        stats.events
+    );
+    if run.seeds.len() > 1 {
+        let mean = sweep::mean_over_seeds(&run.scenario, &run.seeds, |s| s.mean_completion_ns());
+        println!(
+            "mean completion over {} seeds: {:.3}s",
+            run.seeds.len(),
+            mean / 1e9
+        );
+    }
+    if let Some(dir) = export_dir {
+        std::fs::create_dir_all(&dir).expect("create export dir");
+        for (gid, tele) in stats.device_telemetry.iter().enumerate() {
+            let path = format!("{dir}/device{gid}_compute.csv");
+            std::fs::write(&path, export::timeline_csv("compute", &tele.compute))
+                .expect("write timeline");
+        }
+        let labels: Vec<String> = run
+            .scenario
+            .streams
+            .iter()
+            .map(|s| s.app.to_string())
+            .collect();
+        let means: Vec<f64> = (0..labels.len())
+            .map(|s| stats.completions.mean_ct(s))
+            .collect();
+        std::fs::write(
+            format!("{dir}/completions.csv"),
+            export::completions_csv(&labels, &means, &stats.completions.counts()),
+        )
+        .expect("write completions");
+        println!("CSV series exported to {dir}/");
+    }
+}

@@ -1,0 +1,17 @@
+//! # strings-repro
+//!
+//! Facade crate for the reproduction of *"Scheduling Multi-tenant Cloud
+//! Workloads on Accelerator-based Systems"* (Strings, SC'14). It re-exports
+//! every workspace crate under one roof so examples, integration tests, and
+//! downstream users can depend on a single package.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+pub use cuda_sim as cuda;
+pub use gpu_sim as gpu;
+pub use remoting;
+pub use sim_core as sim;
+pub use strings_core as strings;
+pub use strings_harness as harness;
+pub use strings_metrics as metrics;
+pub use strings_workloads as workloads;

@@ -1,0 +1,132 @@
+//! Integration tests spanning the whole stack: workload generation →
+//! remoting → scheduler → devices → metrics.
+
+use strings_repro::gpu::spec::GpuModel;
+use strings_repro::harness::scenario::{LbScope, Scenario, StreamSpec};
+use strings_repro::remoting::gpool::{NodeId, NodeSpec};
+use strings_repro::strings::config::StackConfig;
+use strings_repro::strings::device_sched::{GpuPolicy, TenantId};
+use strings_repro::strings::mapper::LbPolicy;
+use strings_repro::workloads::profile::AppKind;
+
+fn stream(app: AppKind, node: u32, tenant: u32, count: usize, load: f64) -> StreamSpec {
+    StreamSpec {
+        app,
+        node: NodeId(node),
+        tenant: TenantId(tenant),
+        weight: 1.0,
+        count,
+        load,
+        server_threads: 6,
+    }
+}
+
+#[test]
+fn every_mode_completes_a_mixed_workload() {
+    let streams = vec![stream(AppKind::MC, 0, 0, 6, 1.5), stream(AppKind::GA, 0, 1, 6, 1.5)];
+    for cfg in [
+        StackConfig::cuda_runtime(),
+        StackConfig::rain(LbPolicy::Grr),
+        StackConfig::rain(LbPolicy::GMin),
+        StackConfig::strings(LbPolicy::GWtMin),
+        StackConfig::strings(LbPolicy::GMin).with_gpu_policy(GpuPolicy::Tfs),
+        StackConfig::strings(LbPolicy::GWtMin).with_gpu_policy(GpuPolicy::Las),
+        StackConfig::strings(LbPolicy::GWtMin).with_gpu_policy(GpuPolicy::Ps),
+        StackConfig::strings(LbPolicy::GWtMin).with_feedback(LbPolicy::Mbf, 3),
+    ] {
+        let label = cfg.label();
+        let stats = Scenario::single_node(cfg, streams.clone(), 11).run();
+        assert_eq!(stats.completed_requests, 12, "{label}");
+        assert_eq!(stats.oom_events, 0, "{label}");
+        assert!(stats.makespan_ns > 0, "{label}");
+    }
+}
+
+#[test]
+fn supernode_uses_remote_gpus_under_burst() {
+    // A dense burst at NodeA must spill to NodeB under global balancing.
+    let streams = vec![stream(AppKind::MC, 0, 0, 16, 4.0)];
+    let stats = Scenario::supernode(StackConfig::strings(LbPolicy::GMin), streams, 5).run();
+    assert_eq!(stats.completed_requests, 16);
+    let remote_work: u64 = stats.device_telemetry[2..]
+        .iter()
+        .map(|t| t.kernels_completed + t.copies_completed)
+        .sum();
+    assert!(remote_work > 0, "burst should spill to NodeB GPUs");
+}
+
+#[test]
+fn local_scope_never_uses_remote_gpus() {
+    let streams = vec![stream(AppKind::MC, 0, 0, 10, 3.0)];
+    let stats = Scenario::supernode(StackConfig::strings(LbPolicy::GMin), streams, 5)
+        .with_scope(LbScope::Local)
+        .run();
+    let remote_work: u64 = stats.device_telemetry[2..]
+        .iter()
+        .map(|t| t.kernels_completed + t.copies_completed)
+        .sum();
+    assert_eq!(remote_work, 0, "local scope must stay on NodeA");
+}
+
+#[test]
+fn strings_beats_cuda_runtime_under_contention() {
+    let streams = vec![stream(AppKind::MC, 0, 0, 12, 2.0)];
+    let cuda = Scenario::single_node(StackConfig::cuda_runtime(), streams.clone(), 21).run();
+    let strings = Scenario::single_node(StackConfig::strings(LbPolicy::GMin), streams, 21).run();
+    assert!(
+        strings.mean_completion_ns() < cuda.mean_completion_ns(),
+        "strings {:.2e} !< cuda {:.2e}",
+        strings.mean_completion_ns(),
+        cuda.mean_completion_ns()
+    );
+    // And it does so without a single context switch.
+    assert_eq!(strings.context_switches, 0);
+    assert!(cuda.context_switches > 0);
+}
+
+#[test]
+fn heterogeneous_pool_respects_device_speed() {
+    // One compute-bound request, balancer must prefer the Tesla (weight 1.0)
+    // over the Quadro on an idle node.
+    let streams = vec![stream(AppKind::DC, 0, 0, 1, 0.1)];
+    let stats = Scenario::single_node(StackConfig::strings(LbPolicy::GWtMin), streams, 2).run();
+    let quadro = &stats.device_telemetry[0];
+    let tesla = &stats.device_telemetry[1];
+    assert_eq!(quadro.kernels_completed, 0, "Quadro should stay idle");
+    assert!(tesla.kernels_completed > 0, "Tesla should serve the request");
+}
+
+#[test]
+fn single_gpu_node_serves_everything() {
+    let node = NodeSpec::new(0, vec![GpuModel::TeslaC2050]);
+    let mut scen = Scenario::single_node(
+        StackConfig::strings(LbPolicy::Grr),
+        vec![stream(AppKind::HI, 0, 0, 5, 1.0), stream(AppKind::BS, 0, 1, 5, 1.0)],
+        3,
+    );
+    scen.nodes = vec![node];
+    let stats = scen.run();
+    assert_eq!(stats.completed_requests, 10);
+    assert_eq!(stats.device_telemetry.len(), 1);
+}
+
+#[test]
+fn tenant_service_accounting_covers_all_tenants() {
+    let streams = vec![stream(AppKind::MM, 0, 0, 3, 1.0), stream(AppKind::MC, 0, 1, 3, 1.0)];
+    let stats = Scenario::single_node(StackConfig::strings(LbPolicy::GMin), streams, 8).run();
+    assert_eq!(stats.tenant_service_ns.len(), 2);
+    for (tenant, service) in &stats.tenant_service_ns {
+        assert!(*service > 0, "{tenant} got no service");
+    }
+}
+
+#[test]
+fn feedback_policies_survive_cold_start() {
+    // Feedback policies must behave sanely before any SFT history exists.
+    for fb in [LbPolicy::Rtf, LbPolicy::Guf, LbPolicy::Dtf, LbPolicy::Mbf] {
+        let cfg = StackConfig::strings(fb);
+        let stats =
+            Scenario::single_node(cfg, vec![stream(AppKind::SN, 0, 0, 4, 1.0)], 13).run();
+        assert_eq!(stats.completed_requests, 4, "{}", fb.label());
+    }
+}

@@ -1,0 +1,136 @@
+//! Cross-stack invariants, including property-based tests over random
+//! workload mixes: every request completes, accounting balances, runs are
+//! deterministic, and no configuration deadlocks.
+
+use proptest::prelude::*;
+use strings_repro::harness::scenario::{Scenario, StreamSpec};
+use strings_repro::remoting::gpool::NodeId;
+use strings_repro::strings::config::StackConfig;
+use strings_repro::strings::device_sched::{GpuPolicy, TenantId};
+use strings_repro::strings::mapper::LbPolicy;
+use strings_repro::workloads::profile::AppKind;
+
+fn mk_stream(app: AppKind, node: u32, tenant: u32, count: usize, load: f64) -> StreamSpec {
+    StreamSpec {
+        app,
+        node: NodeId(node),
+        tenant: TenantId(tenant),
+        weight: 1.0,
+        count,
+        load,
+        server_threads: 4,
+    }
+}
+
+fn app_from_index(i: usize) -> AppKind {
+    AppKind::ALL[i % AppKind::ALL.len()]
+}
+
+fn cfg_from_index(i: usize) -> StackConfig {
+    match i % 6 {
+        0 => StackConfig::cuda_runtime(),
+        1 => StackConfig::rain(LbPolicy::GMin),
+        2 => StackConfig::strings(LbPolicy::GWtMin),
+        3 => StackConfig::strings(LbPolicy::GMin).with_gpu_policy(GpuPolicy::Tfs),
+        4 => StackConfig::strings(LbPolicy::GWtMin).with_gpu_policy(GpuPolicy::Ps),
+        _ => StackConfig::strings(LbPolicy::GWtMin).with_feedback(LbPolicy::Mbf, 3),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any random mix of apps, loads and stacks completes every request
+    /// with balanced accounting.
+    #[test]
+    fn random_mixes_always_complete(
+        apps in proptest::collection::vec((0usize..10, 1usize..5, 0.2f64..2.5), 1..4),
+        cfg_idx in 0usize..6,
+        seed in 0u64..1000,
+    ) {
+        let streams: Vec<StreamSpec> = apps
+            .iter()
+            .enumerate()
+            .map(|(slot, (app, count, load))| {
+                mk_stream(app_from_index(*app), 0, slot as u32, *count, *load)
+            })
+            .collect();
+        let total: usize = apps.iter().map(|(_, c, _)| *c).sum();
+        let stats = Scenario::single_node(cfg_from_index(cfg_idx), streams, seed).run();
+        prop_assert_eq!(stats.completed_requests as usize, total);
+        prop_assert_eq!(stats.oom_events, 0);
+        prop_assert!(stats.makespan_ns > 0);
+        // Every slot recorded every one of its requests.
+        let counts = stats.completions.counts();
+        for (slot, (_, c, _)) in apps.iter().enumerate() {
+            prop_assert_eq!(counts[slot], *c as u64);
+        }
+    }
+
+    /// The same scenario twice yields bit-identical aggregate results.
+    #[test]
+    fn runs_are_deterministic(
+        app in 0usize..10,
+        cfg_idx in 0usize..6,
+        seed in 0u64..1000,
+    ) {
+        let mk = || {
+            Scenario::single_node(
+                cfg_from_index(cfg_idx),
+                vec![mk_stream(app_from_index(app), 0, 0, 3, 1.5)],
+                seed,
+            )
+            .run()
+        };
+        let a = mk();
+        let b = mk();
+        prop_assert_eq!(a.events, b.events);
+        prop_assert_eq!(a.makespan_ns, b.makespan_ns);
+        prop_assert_eq!(a.mean_completion_ns().to_bits(), b.mean_completion_ns().to_bits());
+        prop_assert_eq!(a.context_switches, b.context_switches);
+    }
+
+    /// Completion time is never less than the profiled solo runtime on the
+    /// best device (nothing can finish faster than physics allows).
+    #[test]
+    fn completions_respect_physics(app in 0usize..10, seed in 0u64..100) {
+        let kind = app_from_index(app);
+        let stats = Scenario::single_node(
+            StackConfig::strings(LbPolicy::GWtMin),
+            vec![mk_stream(kind, 0, 0, 2, 0.5)],
+            seed,
+        )
+        .run();
+        // The host CPU portion alone lower-bounds any completion.
+        let cpu_ns = kind.profile().cpu_time().as_ns() as f64;
+        prop_assert!(
+            stats.completions.mean_ct(0) >= cpu_ns * 0.9,
+            "CT {} below CPU floor {}",
+            stats.completions.mean_ct(0),
+            cpu_ns
+        );
+    }
+}
+
+#[test]
+fn supernode_determinism_across_scopes() {
+    use strings_repro::harness::scenario::LbScope;
+    for scope in [LbScope::Global, LbScope::Local] {
+        let mk = || {
+            Scenario::supernode(
+                StackConfig::strings(LbPolicy::GMin),
+                vec![
+                    mk_stream(AppKind::MC, 0, 0, 4, 1.5),
+                    mk_stream(AppKind::DC, 1, 1, 2, 1.5),
+                ],
+                99,
+            )
+            .with_scope(scope)
+            .run()
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.events, b.events, "{scope:?}");
+        assert_eq!(a.makespan_ns, b.makespan_ns, "{scope:?}");
+    }
+}

@@ -1,0 +1,187 @@
+//! Model validation: cross-checks of the simulator against analytic
+//! expectations and the paper's mechanism claims, end to end.
+
+use strings_repro::gpu::spec::GpuModel;
+use strings_repro::harness::scenario::{Scenario, StreamSpec};
+use strings_repro::remoting::backend::BackendDesign;
+use strings_repro::remoting::gpool::{NodeId, NodeSpec};
+use strings_repro::strings::config::StackConfig;
+use strings_repro::strings::device_sched::TenantId;
+use strings_repro::strings::mapper::LbPolicy;
+use strings_repro::workloads::profile::AppKind;
+
+fn stream(app: AppKind, tenant: u32, count: usize, load: f64, threads: usize) -> StreamSpec {
+    StreamSpec {
+        app,
+        node: NodeId(0),
+        tenant: TenantId(tenant),
+        weight: 1.0,
+        count,
+        load,
+        server_threads: threads,
+    }
+}
+
+fn on_single_tesla(cfg: StackConfig, streams: Vec<StreamSpec>, seed: u64) -> Scenario {
+    let mut s = Scenario::single_node(cfg, streams, seed);
+    s.nodes = vec![NodeSpec::new(0, vec![GpuModel::TeslaC2050])];
+    s
+}
+
+#[test]
+fn uncontended_completion_matches_profile_runtime() {
+    // At negligible load on the reference device, completion time must sit
+    // within overheads of the profiled standalone runtime.
+    for app in [AppKind::DC, AppKind::MC, AppKind::HI, AppKind::GA] {
+        let s = on_single_tesla(
+            StackConfig::cuda_runtime(),
+            vec![stream(app, 0, 2, 0.05, 1)],
+            4,
+        );
+        let stats = s.run();
+        let ct = stats.completions.mean_ct(0) / 1e9;
+        let solo = app.profile().runtime.as_secs_f64();
+        assert!(
+            ct > 0.9 * solo && ct < 1.3 * solo,
+            "{app}: {ct:.2}s vs solo {solo:.2}s"
+        );
+    }
+}
+
+#[test]
+fn queueing_grows_monotonically_with_load() {
+    // Mean completion time must be non-decreasing in offered load
+    // (sanity of the open-queue model).
+    let mut last = 0.0;
+    for load in [0.2, 0.6, 1.2, 2.4] {
+        let s = on_single_tesla(
+            StackConfig::cuda_runtime(),
+            vec![stream(AppKind::MM, 0, 10, load, 4)],
+            9,
+        );
+        let ct = s.run().completions.mean_ct(0);
+        assert!(
+            ct >= last * 0.98,
+            "CT decreased with load {load}: {ct} < {last}"
+        );
+        last = ct;
+    }
+}
+
+#[test]
+fn light_load_has_little_queueing() {
+    // At ρ ≈ 0.2 the mean completion time stays near the solo runtime
+    // (waiting is rare) — the M/G/1 low-utilization regime.
+    let s = on_single_tesla(
+        StackConfig::cuda_runtime(),
+        vec![stream(AppKind::MM, 0, 12, 0.2, 4)],
+        13,
+    );
+    let ct = s.run().completions.mean_ct(0) / 1e9;
+    let solo = AppKind::MM.profile().runtime.as_secs_f64();
+    assert!(ct < 1.6 * solo, "light load queued too much: {ct:.1}s vs {solo:.1}s");
+}
+
+#[test]
+fn design_two_blocking_sync_delays_other_tenants() {
+    // The paper's §III.B complaint about Design II: one application's
+    // device synchronize stalls the single master thread, so the *other*
+    // tenant finishes later than under Design III (same packing otherwise).
+    let streams = || {
+        vec![
+            stream(AppKind::MM, 0, 3, 8.0, 3), // sync-heavy long app, dense
+            stream(AppKind::GA, 1, 12, 1.0, 3), // quick app arriving throughout
+        ]
+    };
+    let d3 = on_single_tesla(StackConfig::strings(LbPolicy::GMin), streams(), 5).run();
+    let mut cfg2 = StackConfig::strings(LbPolicy::GMin);
+    cfg2.design = BackendDesign::SingleMaster;
+    cfg2.packer.sync_to_stream = false; // the master cannot rewrite syncs
+    let d2 = on_single_tesla(cfg2, streams(), 5).run();
+    let ga_d3 = d3.completions.mean_ct(1);
+    let ga_d2 = d2.completions.mean_ct(1);
+    assert!(
+        ga_d2 > ga_d3,
+        "design II must delay the bystander tenant: {ga_d2} !> {ga_d3}"
+    );
+}
+
+#[test]
+fn remote_access_costs_more_than_local() {
+    // The same solo MC request, frontend local to the GPU vs on a GPU-less
+    // node that must reach it over the network channel: the remote path
+    // pays channel latency + bulk transfer on every call and must be
+    // measurably slower on the identical device.
+    let mk = |frontend_node: u32| {
+        let mut s = Scenario::supernode(
+            StackConfig::strings(LbPolicy::GMin),
+            vec![StreamSpec {
+                node: NodeId(frontend_node),
+                ..stream(AppKind::MC, 0, 1, 0.05, 1)
+            }],
+            8,
+        );
+        // One GPU total (on node 0); node 1 is a GPU-less frontend host.
+        s.nodes = vec![
+            NodeSpec::new(0, vec![GpuModel::TeslaC2050]),
+            NodeSpec::new(1, vec![]),
+        ];
+        s.run()
+    };
+    let local = mk(0);
+    let remote = mk(1);
+    assert_eq!(local.completed_requests, 1);
+    assert_eq!(remote.completed_requests, 1);
+    assert!(
+        remote.completions.mean_ct(0) > local.completions.mean_ct(0) * 1.05,
+        "remote access must cost more: {:.3}s !> {:.3}s",
+        remote.completions.mean_ct(0) / 1e9,
+        local.completions.mean_ct(0) / 1e9
+    );
+}
+
+#[test]
+fn mot_pinning_speeds_up_transfer_heavy_apps() {
+    // Strings with MOT halves PCIe time for MC (98.9% transfer): solo
+    // completion must beat the bare runtime's pageable copies by a wide
+    // margin.
+    let cuda = on_single_tesla(
+        StackConfig::cuda_runtime(),
+        vec![stream(AppKind::MC, 0, 2, 0.05, 1)],
+        6,
+    )
+    .run();
+    let strings = on_single_tesla(
+        StackConfig::strings(LbPolicy::GMin),
+        vec![stream(AppKind::MC, 0, 2, 0.05, 1)],
+        6,
+    )
+    .run();
+    let speedup = cuda.completions.mean_ct(0) / strings.completions.mean_ct(0);
+    assert!(
+        speedup > 1.3,
+        "MOT should cut MC's solo time substantially: {speedup:.2}x"
+    );
+}
+
+#[test]
+fn faster_devices_finish_compute_bound_work_sooner() {
+    // The same DC request on a Quadro 2000 vs a Tesla C2050: the roofline
+    // must show the GFLOP/s ratio (~2.1x) for this compute-bound app.
+    let mk = |model: GpuModel| {
+        let mut s = Scenario::single_node(
+            StackConfig::strings(LbPolicy::GMin),
+            vec![stream(AppKind::DC, 0, 1, 0.05, 1)],
+            3,
+        );
+        s.nodes = vec![NodeSpec::new(0, vec![model])];
+        s.run().completions.mean_ct(0)
+    };
+    let quadro = mk(GpuModel::Quadro2000);
+    let tesla = mk(GpuModel::TeslaC2050);
+    let ratio = quadro / tesla;
+    assert!(
+        (1.5..3.0).contains(&ratio),
+        "DC Quadro/Tesla ratio {ratio:.2} should be near the 2.1x roofline"
+    );
+}

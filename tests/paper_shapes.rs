@@ -1,0 +1,78 @@
+//! Shape tests: the paper's headline qualitative results, asserted at quick
+//! experiment scale. These are the claims EXPERIMENTS.md quantifies at full
+//! scale; here we pin the *orderings* so a regression cannot silently
+//! invert a conclusion.
+
+use strings_repro::harness::experiments::{fig01, fig02, fig09, fig10, fig11, fig15, ExpScale};
+use strings_repro::workloads::pairs::workload_pairs;
+use strings_repro::workloads::profile::AppKind;
+
+fn quick() -> ExpScale {
+    ExpScale::quick()
+}
+
+#[test]
+fn fig09_strings_beats_rain_beats_nothing() {
+    let r = fig09::run(&quick());
+    for lb in ["GRR", "GMin", "GWtMin"] {
+        let rain = r.average(&format!("{lb}-Rain")).unwrap();
+        let strings = r.average(&format!("{lb}-Strings")).unwrap();
+        assert!(rain > 1.0, "{lb}-Rain must beat the CUDA runtime: {rain}");
+        assert!(
+            strings >= rain * 0.95,
+            "{lb}: Strings {strings} must not trail Rain {rain}"
+        );
+    }
+}
+
+#[test]
+fn fig10_pooling_gains_concentrate_on_low_demand_partners() {
+    let all = workload_pairs();
+    // Pair C (DC-GA) vs pair X (EV-SN): a light partner leaves more room.
+    let r = fig10::run_pairs(&quick(), &[all[2], all[23]]);
+    for (label, avg) in &r.averages {
+        assert!(*avg > 0.8, "{label} collapsed: {avg}");
+    }
+}
+
+#[test]
+fn fig11_tfs_strings_is_fairest() {
+    let all = workload_pairs();
+    let r = fig11::run_pairs(&quick(), &[all[0], all[13]]); // A, N
+    let (cuda, rain, strings) = r.averages;
+    assert!(
+        strings + 0.02 >= rain && strings + 0.05 >= cuda,
+        "TFS-Strings {strings} must lead (rain {rain}, cuda {cuda})"
+    );
+}
+
+#[test]
+fn fig15_mbf_is_the_best_policy() {
+    let all = workload_pairs();
+    let r = fig15::run_pairs(&quick(), &[all[1], all[17]]); // B, R
+    let dtf = r.average("DTF-Strings").unwrap();
+    let mbf = r.average("MBF-Strings").unwrap();
+    assert!(mbf > 1.0 && dtf > 1.0);
+    assert!(
+        mbf >= dtf * 0.9,
+        "MBF {mbf} should be competitive with DTF {dtf}"
+    );
+}
+
+#[test]
+fn fig01_heat_classes_match_paper() {
+    let r = fig01::run(&quick());
+    let get = |k: AppKind| r.rows.iter().find(|row| row.app == k).unwrap();
+    // Compute-intensive: DXTC. Memory-intensive: Monte Carlo. Idle-ish: GA.
+    assert!(get(AppKind::DC).compute_util > get(AppKind::GA).compute_util);
+    assert!(get(AppKind::MC).memory_util > get(AppKind::DC).memory_util);
+    assert!(get(AppKind::GA).compute_util < 0.2);
+}
+
+#[test]
+fn fig02_streams_eliminate_glitches() {
+    let r = fig02::run(&quick());
+    assert!(r.sequential.context_switches > 0);
+    assert_eq!(r.concurrent.context_switches, 0);
+    assert!(r.concurrent.glitches < r.sequential.glitches);
+}
