@@ -7,7 +7,9 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation");
     g.sample_size(10);
     let scale = ExpScale::quick();
-    g.bench_function("designs_and_packer_quick", |b| b.iter(|| ablation::run(&scale)));
+    g.bench_function("designs_and_packer_quick", |b| {
+        b.iter(|| ablation::run(&scale))
+    });
     g.finish();
 }
 

@@ -7,7 +7,9 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig09");
     g.sample_size(10);
     let scale = ExpScale::quick();
-    g.bench_function("all_apps_six_policies_quick", |b| b.iter(|| fig09::run(&scale)));
+    g.bench_function("all_apps_six_policies_quick", |b| {
+        b.iter(|| fig09::run(&scale))
+    });
     g.finish();
 }
 

@@ -23,9 +23,7 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("simulator");
     g.sample_size(20);
     g.throughput(Throughput::Elements(events));
-    g.bench_function("des_events_full_stack", |b| {
-        b.iter(|| scenario().run())
-    });
+    g.bench_function("des_events_full_stack", |b| b.iter(|| scenario().run()));
     g.finish();
 }
 

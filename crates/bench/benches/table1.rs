@@ -6,7 +6,7 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("table1");
     g.sample_size(10);
     g.bench_function("characterize_all_apps", |b| {
-        b.iter(|| strings_harness::experiments::table1::run())
+        b.iter(strings_harness::experiments::table1::run)
     });
     g.finish();
 }

@@ -7,5 +7,8 @@ fn main() {
     );
     let scale = strings_bench::scale_from_args();
     let r = strings_harness::experiments::ablation::run(&scale);
-    print!("{}", strings_harness::experiments::ablation::table(&r).render());
+    print!(
+        "{}",
+        strings_harness::experiments::ablation::table(&r).render()
+    );
 }

@@ -7,5 +7,8 @@ fn main() {
     );
     let scale = strings_bench::scale_from_args();
     let r = strings_harness::experiments::fig01::run(&scale);
-    print!("{}", strings_harness::experiments::fig01::table(&r).render());
+    print!(
+        "{}",
+        strings_harness::experiments::fig01::table(&r).render()
+    );
 }

@@ -1,4 +1,8 @@
 //! Regenerates Figure 2: MC utilization, sequential vs concurrent streams.
+//!
+//! With `--trace out.json`, writes the concurrent run's trace to
+//! `out.json` and the sequential run's to `out.sequential.json` — both
+//! Chrome trace-event JSON, loadable in Perfetto.
 
 fn main() {
     strings_bench::banner(
@@ -7,5 +11,23 @@ fn main() {
     );
     let scale = strings_bench::scale_from_args();
     let r = strings_harness::experiments::fig02::run(&scale);
-    print!("{}", strings_harness::experiments::fig02::table(&r).render());
+    print!(
+        "{}",
+        strings_harness::experiments::fig02::table(&r).render()
+    );
+    if let Some(path) = &scale.trace {
+        let seq_path = strings_bench::trace_path_with_tag(path, "sequential");
+        std::fs::write(
+            path,
+            strings_metrics::trace_export::chrome_json(&r.concurrent.trace),
+        )
+        .expect("write concurrent trace");
+        std::fs::write(
+            &seq_path,
+            strings_metrics::trace_export::chrome_json(&r.sequential.trace),
+        )
+        .expect("write sequential trace");
+        println!();
+        println!("traces written: {path} (concurrent), {seq_path} (sequential)");
+    }
 }

@@ -6,5 +6,8 @@ fn main() {
         "GPU time %, data transfer %, memory bandwidth per application",
     );
     let r = strings_harness::experiments::table1::run();
-    print!("{}", strings_harness::experiments::table1::table(&r).render());
+    print!(
+        "{}",
+        strings_harness::experiments::table1::table(&r).render()
+    );
 }

@@ -27,7 +27,8 @@
 use strings_harness::experiments::ExpScale;
 
 /// Parse the common CLI of the regeneration binaries: `--quick` selects the
-/// reduced scale, `--seeds N` overrides the seed count.
+/// reduced scale, `--seeds N` overrides the seed count, `--trace PATH`
+/// asks trace-recording experiments to export Chrome trace-event JSON.
 pub fn scale_from_args() -> ExpScale {
     let args: Vec<String> = std::env::args().collect();
     let mut scale = if args.iter().any(|a| a == "--quick") {
@@ -45,7 +46,19 @@ pub fn scale_from_args() -> ExpScale {
             scale.requests = n;
         }
     }
+    if let Some(pos) = args.iter().position(|a| a == "--trace") {
+        scale.trace = args.get(pos + 1).cloned();
+    }
     scale
+}
+
+/// Derive a sibling path for a second trace file: `out.json` + `seq` →
+/// `out.seq.json` (no extension: `out` → `out.seq`).
+pub fn trace_path_with_tag(path: &str, tag: &str) -> String {
+    match path.rsplit_once('.') {
+        Some((stem, ext)) if !stem.is_empty() => format!("{stem}.{tag}.{ext}"),
+        _ => format!("{path}.{tag}"),
+    }
 }
 
 /// Print a standard experiment banner.
@@ -64,5 +77,13 @@ mod tests {
         // Args of the test binary contain no --quick.
         let s = scale_from_args();
         assert!(s.requests >= ExpScale::quick().requests);
+        assert!(s.trace.is_none());
+    }
+
+    #[test]
+    fn trace_tags_insert_before_extension() {
+        assert_eq!(trace_path_with_tag("out.json", "seq"), "out.seq.json");
+        assert_eq!(trace_path_with_tag("out", "seq"), "out.seq");
+        assert_eq!(trace_path_with_tag(".hidden", "seq"), ".hidden.seq");
     }
 }

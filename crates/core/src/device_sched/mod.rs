@@ -26,6 +26,7 @@ pub use signals::SignalProtocol;
 use crate::mapper::FeedbackRecord;
 use cuda_sim::host::AppId;
 use gpu_sim::ids::StreamId;
+use sim_core::trace::{Tracer, TrackId};
 use sim_core::SimTime;
 
 /// The per-device scheduler: RM + RCB + Dispatcher + RMO + FE.
@@ -36,6 +37,8 @@ pub struct GpuScheduler {
     rcb: Rcb,
     monitor: RequestMonitor,
     signals: SignalProtocol,
+    tracer: Tracer,
+    track: TrackId,
 }
 
 impl GpuScheduler {
@@ -47,7 +50,17 @@ impl GpuScheduler {
             rcb: Rcb::new(),
             monitor: RequestMonitor::new(),
             signals: SignalProtocol::new(),
+            tracer: Tracer::off(),
+            track: TrackId::INVALID,
         }
+    }
+
+    /// Attach a tracer; each epoch decision is recorded as an instant on
+    /// `track` with the policy label, the awake set and each awake app's
+    /// RCB ordering key.
+    pub fn set_tracer(&mut self, tracer: Tracer, track: TrackId) {
+        self.tracer = tracer;
+        self.track = track;
     }
 
     /// Dispatch policy in force.
@@ -95,10 +108,37 @@ impl GpuScheduler {
 
     /// Dispatcher: compute the awake set for the next epoch given each
     /// registered app's current work state. Also rolls the LAS decay
-    /// (Eq. 1) for the closing epoch.
-    pub fn epoch_tick(&mut self, work: &[AppWork]) -> Vec<AppId> {
+    /// (Eq. 1) for the closing epoch. `now` stamps the decision in the
+    /// trace (when tracing is attached).
+    pub fn epoch_tick(&mut self, work: &[AppWork], now: SimTime) -> Vec<AppId> {
         self.rcb.roll_epoch();
-        dispatcher::awake_set(self.policy, &self.rcb, work)
+        let awake = dispatcher::awake_set(self.policy, &self.rcb, work);
+        if self.tracer.is_on() {
+            // Render each awake app with the RCB key its policy ordered by.
+            let keyed: Vec<String> = awake
+                .iter()
+                .map(|app| match self.rcb.get(*app) {
+                    Some(e) => match self.policy {
+                        GpuPolicy::Tfs => format!("{app}:vrt={:.0}", e.vruntime_ns),
+                        GpuPolicy::Las => format!("{app}:cgs={:.0}", e.cgs_ns),
+                        GpuPolicy::Ps => format!("{app}:svc={}", e.total_service_ns),
+                        GpuPolicy::None => app.to_string(),
+                    },
+                    None => app.to_string(),
+                })
+                .collect();
+            self.tracer.instant(
+                self.track,
+                now,
+                "epoch",
+                vec![
+                    ("policy", self.policy.label().to_string()),
+                    ("awake", keyed.join(",")),
+                    ("registered", self.rcb.len().to_string()),
+                ],
+            );
+        }
+        awake
     }
 
     /// RCB inspection.
@@ -144,9 +184,12 @@ mod tests {
     #[test]
     fn service_accumulates_per_tenant() {
         let mut s = GpuScheduler::new(GpuPolicy::Tfs, 1_000);
-        s.register(AppId(0), StreamId(1), TenantId(0), 1.0, 0).unwrap();
-        s.register(AppId(1), StreamId(2), TenantId(0), 1.0, 0).unwrap();
-        s.register(AppId(2), StreamId(3), TenantId(1), 1.0, 0).unwrap();
+        s.register(AppId(0), StreamId(1), TenantId(0), 1.0, 0)
+            .unwrap();
+        s.register(AppId(1), StreamId(2), TenantId(0), 1.0, 0)
+            .unwrap();
+        s.register(AppId(2), StreamId(3), TenantId(1), 1.0, 0)
+            .unwrap();
         s.record_service(AppId(0), 300, false, 0);
         s.record_service(AppId(1), 200, true, 64);
         s.record_service(AppId(2), 500, false, 0);

@@ -56,6 +56,12 @@ pub struct RcbEntry {
 #[derive(Debug, Default)]
 pub struct Rcb {
     rows: BTreeMap<AppId, RcbEntry>,
+    /// Monotone watermark: the largest minimum-vruntime the table has
+    /// ever observed at an unregistration. Keeps fairness history across
+    /// moments when the table empties — without it, the first app of a
+    /// new busy period would restart at vruntime 0 and starve everyone
+    /// that joins behind it until it caught up.
+    min_vruntime_floor: f64,
 }
 
 impl Rcb {
@@ -64,8 +70,17 @@ impl Rcb {
         Self::default()
     }
 
+    fn live_min_vruntime(&self) -> Option<f64> {
+        self.rows
+            .values()
+            .map(|e| e.vruntime_ns)
+            .fold(None, |m, v| Some(m.map_or(v, |m: f64| m.min(v))))
+    }
+
     /// Register an application. New arrivals inherit the minimum vruntime
-    /// among live entries so they neither starve others nor get starved.
+    /// among live entries — or, when the table is empty, the watermark
+    /// left behind by the last departures — so they neither starve others
+    /// nor get starved.
     pub fn register(
         &mut self,
         app: AppId,
@@ -75,16 +90,7 @@ impl Rcb {
         now: SimTime,
     ) {
         assert!(weight > 0.0, "tenant weight must be positive");
-        let base_vruntime = self
-            .rows
-            .values()
-            .map(|e| e.vruntime_ns)
-            .fold(f64::INFINITY, f64::min);
-        let vruntime = if base_vruntime.is_finite() {
-            base_vruntime
-        } else {
-            0.0
-        };
+        let vruntime = self.live_min_vruntime().unwrap_or(self.min_vruntime_floor);
         self.rows.insert(
             app,
             RcbEntry {
@@ -101,8 +107,15 @@ impl Rcb {
         );
     }
 
-    /// Remove an application's entry.
+    /// Remove an application's entry, raising the vruntime watermark to
+    /// the table's current minimum first (vruntimes only grow, so the
+    /// watermark is monotone).
     pub fn unregister(&mut self, app: AppId) {
+        if self.rows.contains_key(&app) {
+            if let Some(m) = self.live_min_vruntime() {
+                self.min_vruntime_floor = self.min_vruntime_floor.max(m);
+            }
+        }
         self.rows.remove(&app);
     }
 
@@ -215,6 +228,54 @@ mod tests {
     fn zero_weight_rejected() {
         let mut r = Rcb::new();
         r.register(AppId(0), StreamId(1), TenantId(0), 0.0, 0);
+    }
+
+    #[test]
+    fn empty_table_keeps_vruntime_watermark() {
+        // Regression: the min-vruntime base used to reset to 0 whenever
+        // the table emptied, so an app joining a fresh busy period
+        // started with a huge fairness credit over later joiners.
+        let mut r = rcb_with(&[(0, 1.0)]);
+        r.add_service(AppId(0), 10_000);
+        r.unregister(AppId(0));
+        assert!(r.is_empty());
+        r.register(AppId(1), StreamId(2), TenantId(1), 1.0, 100);
+        let v1 = r.get(AppId(1)).unwrap().vruntime_ns;
+        assert!((v1 - 10_000.0).abs() < 1e-9, "watermark survived, got {v1}");
+    }
+
+    #[test]
+    fn watermark_is_monotone_under_churn() {
+        let mut r = Rcb::new();
+        let mut last_base = 0.0f64;
+        for round in 0..20u32 {
+            let app = AppId(round);
+            r.register(app, StreamId(round), TenantId(0), 1.0, u64::from(round));
+            let base = r.get(app).unwrap().vruntime_ns;
+            assert!(
+                base >= last_base - 1e-9,
+                "round {round}: joined at {base} after {last_base}"
+            );
+            last_base = base;
+            // Alternate service amounts; empty the table every 4th round.
+            r.add_service(app, 100 * u64::from(round % 7 + 1));
+            r.unregister(app);
+            assert!(r.is_empty());
+        }
+    }
+
+    #[test]
+    fn departing_laggard_does_not_lower_watermark() {
+        // A0 lags at 1_000, A1 leads at 5_000. A0 leaving must not pin
+        // the watermark below what the table still carries.
+        let mut r = rcb_with(&[(0, 1.0), (1, 1.0)]);
+        r.add_service(AppId(0), 1_000);
+        r.add_service(AppId(1), 5_000);
+        r.unregister(AppId(0)); // watermark observes min = 1_000
+        r.unregister(AppId(1)); // watermark rises to 5_000
+        r.register(AppId(2), StreamId(7), TenantId(2), 1.0, 9);
+        let v2 = r.get(AppId(2)).unwrap().vruntime_ns;
+        assert!((v2 - 5_000.0).abs() < 1e-9, "got {v2}");
     }
 
     #[test]

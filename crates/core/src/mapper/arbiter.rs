@@ -61,10 +61,7 @@ impl PolicyArbiter {
 
     /// Notify the arbiter of new feedback; may trigger the switch.
     pub fn on_feedback(&mut self, sft: &SchedulerFeedbackTable) {
-        if !self.switched
-            && self.feedback.is_some()
-            && sft.total_records() >= self.min_records
-        {
+        if !self.switched && self.feedback.is_some() && sft.total_records() >= self.min_records {
             self.switched = true;
         }
     }
@@ -74,8 +71,8 @@ impl PolicyArbiter {
 mod tests {
     use super::*;
     use crate::mapper::sft::FeedbackRecord;
-    use remoting::gpool::Gid;
     use crate::mapper::WorkloadClass;
+    use remoting::gpool::Gid;
 
     fn rec() -> FeedbackRecord {
         FeedbackRecord {

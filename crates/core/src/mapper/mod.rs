@@ -20,6 +20,8 @@ pub use sft::{FeedbackRecord, SchedulerFeedbackTable, SftEntry};
 
 use remoting::gpool::{GMap, Gid, NodeId};
 use serde::{Deserialize, Serialize};
+use sim_core::trace::{Tracer, TrackId};
+use sim_core::SimTime;
 
 /// Opaque identity of a workload *class* (one benchmark application type).
 /// The harness maps its application kinds onto these; the mapper itself is
@@ -40,6 +42,8 @@ pub struct GpuAffinityMapper {
     sft: SchedulerFeedbackTable,
     arbiter: PolicyArbiter,
     rr_next: usize,
+    tracer: Tracer,
+    track: TrackId,
 }
 
 impl GpuAffinityMapper {
@@ -51,6 +55,39 @@ impl GpuAffinityMapper {
             sft: SchedulerFeedbackTable::new(),
             arbiter,
             rr_next: 0,
+            tracer: Tracer::off(),
+            track: TrackId::INVALID,
+        }
+    }
+
+    /// Attach a tracer; placement decisions reported through
+    /// [`GpuAffinityMapper::note_placement`] land as instants on `track`.
+    pub fn set_tracer(&mut self, tracer: Tracer, track: TrackId) {
+        self.tracer = tracer;
+        self.track = track;
+    }
+
+    /// Record a placement decision in the trace: `class` arriving on
+    /// `app_node` was mapped to `gid` at `now`. Called by the executive
+    /// once a [`GpuAffinityMapper::select_device`] answer is acted upon
+    /// (selection itself is time-free; the bind is the observable event).
+    pub fn note_placement(&self, now: SimTime, class: WorkloadClass, app_node: NodeId, gid: Gid) {
+        if self.tracer.is_on() {
+            self.tracer.instant(
+                self.track,
+                now,
+                "placement",
+                vec![
+                    ("policy", self.arbiter.current().label().to_string()),
+                    ("class", class.to_string()),
+                    ("node", app_node.to_string()),
+                    ("gid", gid.to_string()),
+                    (
+                        "load",
+                        self.dst.row(gid).map_or(0, |r| r.load()).to_string(),
+                    ),
+                ],
+            );
         }
     }
 

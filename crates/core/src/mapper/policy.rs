@@ -183,7 +183,10 @@ mod tests {
 
     fn fixtures() -> (DeviceStatusTable, SchedulerFeedbackTable) {
         let gmap = GMap::build(&[NodeSpec::node_a(0), NodeSpec::node_b(1)]);
-        (DeviceStatusTable::from_gmap(&gmap), SchedulerFeedbackTable::new())
+        (
+            DeviceStatusTable::from_gmap(&gmap),
+            SchedulerFeedbackTable::new(),
+        )
     }
 
     #[test]

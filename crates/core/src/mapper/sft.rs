@@ -290,7 +290,11 @@ mod tests {
     fn mem_intensity_clamped() {
         let mut t = SchedulerFeedbackTable::new();
         // 288 GB over 1 s = 288 GB/s, twice the reference bandwidth.
-        t.record(W, Gid(0), rec(1_000_000_000, 1_000_000_000, 0, 288_000_000_000));
+        t.record(
+            W,
+            Gid(0),
+            rec(1_000_000_000, 1_000_000_000, 0, 288_000_000_000),
+        );
         assert_eq!(t.estimate(W).mem_intensity, 1.0);
     }
 }

@@ -115,12 +115,10 @@ impl CudaCall {
     /// (H2D copies ship their buffer; other calls are parameter-only).
     pub fn rpc_payload_bytes(&self) -> u64 {
         match self {
-            CudaCall::Memcpy { dir, bytes } | CudaCall::MemcpyAsync { dir, bytes } => {
-                if *dir == CopyDirection::HostToDevice {
-                    *bytes
-                } else {
-                    0
-                }
+            CudaCall::Memcpy { dir, bytes } | CudaCall::MemcpyAsync { dir, bytes }
+                if *dir == CopyDirection::HostToDevice =>
+            {
+                *bytes
             }
             _ => 0,
         }
@@ -129,12 +127,10 @@ impl CudaCall {
     /// Payload bytes returned backend→host (D2H copies return the buffer).
     pub fn rpc_return_bytes(&self) -> u64 {
         match self {
-            CudaCall::Memcpy { dir, bytes } | CudaCall::MemcpyAsync { dir, bytes } => {
-                if *dir == CopyDirection::DeviceToHost {
-                    *bytes
-                } else {
-                    0
-                }
+            CudaCall::Memcpy { dir, bytes } | CudaCall::MemcpyAsync { dir, bytes }
+                if *dir == CopyDirection::DeviceToHost =>
+            {
+                *bytes
             }
             _ => 0,
         }

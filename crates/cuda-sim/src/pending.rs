@@ -141,8 +141,14 @@ mod tests {
         assert!(!p.is_satisfied(BlockOn::Job(JobId(7))));
         assert!(!p.is_satisfied(BlockOn::StreamIdle(C, S1)));
         assert!(!p.is_satisfied(BlockOn::CtxIdle(C)));
-        assert!(p.is_satisfied(BlockOn::StreamIdle(C, S2)), "other stream idle");
-        assert!(!p.is_satisfied(BlockOn::Reply(3)), "replies handled elsewhere");
+        assert!(
+            p.is_satisfied(BlockOn::StreamIdle(C, S2)),
+            "other stream idle"
+        );
+        assert!(
+            !p.is_satisfied(BlockOn::Reply(3)),
+            "replies handled elsewhere"
+        );
         p.complete(JobId(7));
         assert!(p.is_satisfied(BlockOn::Job(JobId(7))));
         assert!(p.is_satisfied(BlockOn::CtxIdle(C)));

@@ -111,11 +111,19 @@ impl HostProgram {
     pub fn validate(&self) -> Result<(), String> {
         match self.ops.first() {
             Some(HostOp::Cuda(CudaCall::SetDevice { .. })) => {}
-            other => return Err(format!("program must start with cudaSetDevice, got {other:?}")),
+            other => {
+                return Err(format!(
+                    "program must start with cudaSetDevice, got {other:?}"
+                ))
+            }
         }
         match self.ops.last() {
             Some(HostOp::Cuda(CudaCall::ThreadExit)) => {}
-            other => return Err(format!("program must end with cudaThreadExit, got {other:?}")),
+            other => {
+                return Err(format!(
+                    "program must end with cudaThreadExit, got {other:?}"
+                ))
+            }
         }
         let mut outstanding = false;
         for op in &self.ops {
@@ -124,7 +132,9 @@ impl HostProgram {
                     outstanding = true;
                 }
                 HostOp::Cuda(
-                    CudaCall::StreamSynchronize | CudaCall::DeviceSynchronize | CudaCall::Memcpy { .. },
+                    CudaCall::StreamSynchronize
+                    | CudaCall::DeviceSynchronize
+                    | CudaCall::Memcpy { .. },
                 ) => outstanding = false,
                 _ => {}
             }
@@ -178,7 +188,10 @@ mod tests {
         assert_eq!(p.total_kernel_ref(), SimDuration::from_ns(1000));
         assert_eq!(p.total_copy_bytes(), 1536);
         assert_eq!(p.count_calls(|c| matches!(c, CudaCall::Memcpy { .. })), 2);
-        assert!(matches!(p.op(0), Some(HostOp::Cuda(CudaCall::SetDevice { .. }))));
+        assert!(matches!(
+            p.op(0),
+            Some(HostOp::Cuda(CudaCall::SetDevice { .. }))
+        ));
         assert_eq!(p.op(99), None);
     }
 

@@ -200,7 +200,11 @@ impl ComputeEngine {
     fn recompute_rates(&mut self) {
         let total_occ: f64 = self.running.iter().map(|k| k.profile.occupancy).sum();
         let total_bw: f64 = self.running.iter().map(|k| k.profile.bw_demand_mbps).sum();
-        let slow_compute = if total_occ > 1.0 { 1.0 / total_occ } else { 1.0 };
+        let slow_compute = if total_occ > 1.0 {
+            1.0 / total_occ
+        } else {
+            1.0
+        };
         for k in &mut self.running {
             // Bandwidth slowdown is relative to the kernel's *solo* rate on
             // this device: the roofline scaling of its solo duration already

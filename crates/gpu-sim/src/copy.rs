@@ -113,11 +113,7 @@ impl CopyEngine {
 
     /// Harvest the transfer if it has finished by `now`.
     pub fn advance(&mut self, now: SimTime) -> Option<ActiveCopy> {
-        if self
-            .current
-            .as_ref()
-            .is_some_and(|c| c.finish_at <= now)
-        {
+        if self.current.as_ref().is_some_and(|c| c.finish_at <= now) {
             self.current.take()
         } else {
             None

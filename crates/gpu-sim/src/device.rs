@@ -29,6 +29,7 @@ use crate::job::{CopyDirection, Job, JobKind};
 use crate::spec::DeviceSpec;
 use crate::telemetry::DeviceTelemetry;
 use serde::{Deserialize, Serialize};
+use sim_core::trace::{Tracer, TrackId};
 use sim_core::{Generation, SimTime};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
@@ -55,10 +56,10 @@ pub struct DeviceConfig {
 impl Default for DeviceConfig {
     fn default() -> Self {
         DeviceConfig {
-            context_switch_ns: 8_000_000, // 8 ms (the Figure 2 "glitches")
+            context_switch_ns: 8_000_000,  // 8 ms (the Figure 2 "glitches")
             driver_quantum_ns: 20_000_000, // 20 ms
-            copy_setup_ns: 10_000,        // 10 us
-            kernel_launch_ns: 5_000,      // 5 us
+            copy_setup_ns: 10_000,         // 10 us
+            kernel_launch_ns: 5_000,       // 5 us
             vmem: false,
         }
     }
@@ -109,7 +110,10 @@ impl std::fmt::Display for DeviceError {
             DeviceError::OutOfMemory {
                 requested,
                 available,
-            } => write!(f, "out of device memory: requested {requested}, available {available}"),
+            } => write!(
+                f,
+                "out of device memory: requested {requested}, available {available}"
+            ),
             DeviceError::UnknownContext(c) => write!(f, "unknown context {c}"),
         }
     }
@@ -170,6 +174,11 @@ pub struct Device {
     pub gen: Generation,
     /// Utilization signals and counters.
     pub telemetry: DeviceTelemetry,
+    /// Optional structured tracing (off by default, see [`Device::set_tracer`]).
+    tracer: Tracer,
+    trk_compute: TrackId,
+    trk_copies: Vec<TrackId>,
+    trk_driver: TrackId,
 }
 
 impl Device {
@@ -194,7 +203,24 @@ impl Device {
             job_ids: IdAllocator::new(),
             gen: Generation::default(),
             telemetry: DeviceTelemetry::default(),
+            tracer: Tracer::off(),
+            trk_compute: TrackId::INVALID,
+            trk_copies: Vec::new(),
+            trk_driver: TrackId::INVALID,
         }
+    }
+
+    /// Attach a tracer; engine occupancy, context switches and a pending-
+    /// jobs counter are recorded on tracks under the `process` group
+    /// (`compute`, `copyN`, `driver`). With a disabled tracer this device
+    /// emits nothing and pays one branch per potential event.
+    pub fn set_tracer(&mut self, tracer: Tracer, process: &str) {
+        self.trk_compute = tracer.track(process, "compute");
+        self.trk_copies = (0..self.copies.len())
+            .map(|i| tracer.track(process, format!("copy{i}")))
+            .collect();
+        self.trk_driver = tracer.track(process, "driver");
+        self.tracer = tracer;
     }
 
     /// Partition the job-id space: this device will allocate JobIds from
@@ -401,6 +427,8 @@ impl Device {
                 self.active_since = now;
                 self.draining = false;
                 self.telemetry.mark_switching(now, false);
+                self.tracer
+                    .span_end(self.trk_driver, now, "context_switch", None);
             }
         }
         if self.switch.is_none() {
@@ -432,8 +460,7 @@ impl Device {
                     .contexts
                     .iter()
                     .any(|(id, c)| *id != a && c.has_ready());
-                let active_working =
-                    self.contexts.get(&a).is_some_and(|c| c.has_any_work());
+                let active_working = self.contexts.get(&a).is_some_and(|c| c.has_any_work());
                 if others_waiting && active_working {
                     let expiry = self.active_since + self.cfg.driver_quantum_ns;
                     t = min_opt(t, Some(expiry.max(now)));
@@ -448,6 +475,8 @@ impl Device {
     fn harvest(&mut self, now: SimTime) {
         for k in self.compute.advance(now) {
             self.telemetry.kernels_completed += 1;
+            self.tracer
+                .span_end(self.trk_compute, now, "kernel", Some(k.job.id.0 as u64));
             let started = k.started_at;
             self.finish_job(k.job, started, now);
         }
@@ -458,6 +487,10 @@ impl Device {
                     match dir {
                         CopyDirection::HostToDevice => self.telemetry.h2d_bytes += bytes,
                         CopyDirection::DeviceToHost => self.telemetry.d2h_bytes += bytes,
+                    }
+                    if self.tracer.is_on() {
+                        self.tracer
+                            .span_end(self.trk_copies[i], now, copy_span_name(dir), None);
                     }
                 }
                 self.finish_job(c.job, c.started_at, now);
@@ -526,6 +559,15 @@ impl Device {
             self.switch = Some((target, now + self.cfg.context_switch_ns));
             self.telemetry.mark_switching(now, true);
             self.telemetry.switch_ns += self.cfg.context_switch_ns;
+            if self.tracer.is_on() {
+                self.tracer.span_begin(
+                    self.trk_driver,
+                    now,
+                    "context_switch",
+                    None,
+                    vec![("to", target.to_string())],
+                );
+            }
         } else {
             // First activation (or free switches) binds immediately.
             self.active = Some(target);
@@ -586,7 +628,11 @@ impl Device {
 
     fn start_ready(&mut self, a: ContextId, now: SimTime) {
         let ref_bw = DeviceSpec::reference().mem_bw_mbps;
-        let thrash_factor = if self.cfg.vmem { self.overcommit() } else { 1.0 };
+        let thrash_factor = if self.cfg.vmem {
+            self.overcommit()
+        } else {
+            1.0
+        };
         let Some(ctx) = self.contexts.get_mut(&a) else {
             return;
         };
@@ -606,17 +652,34 @@ impl Device {
                     // Roofline scaling of the reference work onto this device,
                     // plus vmem thrashing while memory is overcommitted.
                     let m_ref = p.mem_intensity(ref_bw);
-                    let solo = (p.work_ref_ns as f64
-                        * self.spec.solo_time_scale(m_ref)
-                        * thrash_factor)
-                        .round() as u64
-                        + self.cfg.kernel_launch_ns;
+                    let solo =
+                        (p.work_ref_ns as f64 * self.spec.solo_time_scale(m_ref) * thrash_factor)
+                            .round() as u64
+                            + self.cfg.kernel_launch_ns;
                     ss.inflight = Some(job.id);
                     ctx.inflight_jobs += 1;
+                    if self.tracer.is_on() {
+                        // Async span: processor sharing overlaps kernels on
+                        // the one compute track, matched by job id.
+                        self.tracer.span_begin(
+                            self.trk_compute,
+                            now,
+                            "kernel",
+                            Some(job.id.0 as u64),
+                            vec![
+                                ("ctx", job.ctx.to_string()),
+                                ("stream", job.stream.to_string()),
+                                ("tag", job.tag.to_string()),
+                                ("solo_ns", solo.to_string()),
+                            ],
+                        );
+                    }
                     self.compute.start(job, solo, now);
                 }
                 JobKind::Copy { dir, bytes, pinned } => {
-                    let Some(engine) = self.copies.iter_mut().find(|e| e.can_start(dir)) else {
+                    let Some(lane) =
+                        (0..self.copies.len()).find(|&i| self.copies[i].can_start(dir))
+                    else {
                         continue;
                     };
                     let job = ss.queue.pop_front().expect("head exists");
@@ -624,7 +687,22 @@ impl Device {
                         self.cfg.copy_setup_ns + self.spec.pcie_transfer_ns(bytes, pinned);
                     ss.inflight = Some(job.id);
                     ctx.inflight_jobs += 1;
-                    engine.start(job, duration, now);
+                    if self.tracer.is_on() {
+                        // Sync span: a copy lane moves one transfer at a time.
+                        self.tracer.span_begin(
+                            self.trk_copies[lane],
+                            now,
+                            copy_span_name(dir),
+                            None,
+                            vec![
+                                ("ctx", job.ctx.to_string()),
+                                ("stream", job.stream.to_string()),
+                                ("tag", job.tag.to_string()),
+                                ("bytes", bytes.to_string()),
+                            ],
+                        );
+                    }
+                    self.copies[lane].start(job, duration, now);
                 }
             }
         }
@@ -639,6 +717,23 @@ impl Device {
             self.compute.bandwidth_use(),
             copy_frac,
         );
+        if self.tracer.is_on() {
+            self.tracer.counter(
+                self.trk_driver,
+                now,
+                "pending_jobs",
+                self.total_pending() as f64,
+            );
+            self.tracer
+                .counter(self.trk_driver, now, "occupancy", self.compute.occupancy());
+        }
+    }
+}
+
+fn copy_span_name(dir: CopyDirection) -> &'static str {
+    match dir {
+        CopyDirection::HostToDevice => "h2d",
+        CopyDirection::DeviceToHost => "d2h",
     }
 }
 
@@ -880,7 +975,8 @@ mod tests {
     fn stream_head_kind_reports_phase() {
         let mut d = dev();
         d.create_context(ContextId(0));
-        d.submit(ContextId(0), StreamId(3), h2d(1024), 1, 0).unwrap();
+        d.submit(ContextId(0), StreamId(3), h2d(1024), 1, 0)
+            .unwrap();
         match d.stream_head_kind(ContextId(0), StreamId(3)) {
             Some(JobKind::Copy { dir, .. }) => assert_eq!(dir, CopyDirection::HostToDevice),
             other => panic!("unexpected head: {other:?}"),
@@ -1000,8 +1096,10 @@ mod tests {
         let mut d = dev();
         d.create_context(ContextId(0));
         // First kernel starts; second stays queued behind it.
-        d.submit(ContextId(0), StreamId(1), kernel(1_000_000), 1, 0).unwrap();
-        d.submit(ContextId(0), StreamId(1), kernel(1_000_000), 2, 0).unwrap();
+        d.submit(ContextId(0), StreamId(1), kernel(1_000_000), 1, 0)
+            .unwrap();
+        d.submit(ContextId(0), StreamId(1), kernel(1_000_000), 2, 0)
+            .unwrap();
         d.step(0);
         let cancelled = d.cancel_stream(ContextId(0), StreamId(1));
         assert_eq!(cancelled.len(), 1, "only the queued job is cancelled");
@@ -1014,11 +1112,68 @@ mod tests {
     }
 
     #[test]
+    fn trace_spans_cover_engine_work() {
+        let mut d = dev();
+        let tracer = Tracer::buffered();
+        d.set_tracer(tracer.clone(), "GID0");
+        d.create_context(ContextId(0));
+        d.create_context(ContextId(1));
+        d.submit(ContextId(0), StreamId(1), h2d(6_000_000), 1, 0)
+            .unwrap();
+        d.submit(ContextId(0), StreamId(1), kernel(1_000_000), 2, 0)
+            .unwrap();
+        d.submit(ContextId(1), StreamId(1), kernel(1_000_000), 3, 0)
+            .unwrap();
+        let (end, done) = run_to_idle(&mut d, 0);
+        assert_eq!(done.len(), 3);
+        let trace = tracer.finish().unwrap();
+        // C2050: compute + 2 copy lanes + driver.
+        assert_eq!(trace.tracks.len(), 4);
+        let compute = trace.find_tracks(|t| t.thread == "compute")[0];
+        let kernels = trace.span_intervals(compute);
+        assert_eq!(kernels.len(), 2, "one span per kernel");
+        let copy_tracks = trace.find_tracks(|t| t.thread.starts_with("copy"));
+        let copies: usize = copy_tracks
+            .iter()
+            .map(|&t| trace.span_intervals(t).len())
+            .sum();
+        assert_eq!(copies, 1, "one span for the H2D transfer");
+        let driver = trace.find_tracks(|t| t.thread == "driver")[0];
+        let switches = trace.span_intervals(driver);
+        assert_eq!(switches.len() as u64, d.telemetry.context_switches);
+        for (b, e) in switches {
+            assert_eq!(e - b, 1_000_000, "switch span = context_switch_ns");
+        }
+        // Every span closed, every event inside the run window.
+        for i in 0..trace.tracks.len() {
+            assert_eq!(trace.unclosed_spans(TrackId(i as u32)), 0);
+        }
+        assert!(trace.end_time() <= end);
+        // Engine spans reproduce the completion records exactly.
+        for c in &done {
+            let on_compute = matches!(c.job.kind, JobKind::Kernel(_));
+            let tracks: Vec<TrackId> = if on_compute {
+                vec![compute]
+            } else {
+                copy_tracks.clone()
+            };
+            assert!(
+                tracks.iter().any(|&t| trace
+                    .span_intervals(t)
+                    .contains(&(c.started_at, c.finished_at))),
+                "no span for job tag {}",
+                c.job.tag
+            );
+        }
+    }
+
+    #[test]
     fn is_idle_and_pending_counts() {
         let mut d = dev();
         d.create_context(ContextId(0));
         assert!(d.is_idle());
-        d.submit(ContextId(0), StreamId(1), kernel(100), 0, 0).unwrap();
+        d.submit(ContextId(0), StreamId(1), kernel(100), 0, 0)
+            .unwrap();
         assert_eq!(d.pending_jobs(ContextId(0)), 1);
         assert_eq!(d.total_pending(), 1);
         assert!(!d.is_idle());
@@ -1037,8 +1192,17 @@ mod proptests {
 
     #[derive(Debug, Clone)]
     enum Op {
-        Submit { ctx: u32, stream: u32, kind_kernel: bool, size: u64 },
-        Gate { ctx: u32, stream: u32, gated: bool },
+        Submit {
+            ctx: u32,
+            stream: u32,
+            kind_kernel: bool,
+            size: u64,
+        },
+        Gate {
+            ctx: u32,
+            stream: u32,
+            gated: bool,
+        },
     }
 
     fn op_strategy() -> impl Strategy<Value = Op> {
@@ -1051,8 +1215,11 @@ mod proptests {
                     size
                 }
             ),
-            (0u32..3, 1u32..4, proptest::bool::ANY)
-                .prop_map(|(ctx, stream, gated)| Op::Gate { ctx, stream, gated }),
+            (0u32..3, 1u32..4, proptest::bool::ANY).prop_map(|(ctx, stream, gated)| Op::Gate {
+                ctx,
+                stream,
+                gated
+            }),
         ]
     }
 

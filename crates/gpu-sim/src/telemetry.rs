@@ -44,7 +44,8 @@ impl DeviceTelemetry {
 
     /// Record the start (`true`) or end (`false`) of a context switch.
     pub fn mark_switching(&mut self, now: SimTime, switching: bool) {
-        self.switching.record(now, if switching { 1.0 } else { 0.0 });
+        self.switching
+            .record(now, if switching { 1.0 } else { 0.0 });
         if switching {
             self.context_switches += 1;
         }

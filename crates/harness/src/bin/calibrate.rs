@@ -3,13 +3,13 @@
 //!
 //! Usage: `cargo run --release -p strings-harness --bin calibrate [n] [load]`
 
+use remoting::gpool::NodeId;
 use strings_core::config::StackConfig;
 use strings_core::device_sched::GpuPolicy;
+use strings_core::device_sched::TenantId;
 use strings_core::mapper::LbPolicy;
 use strings_harness::scenario::{LbScope, Scenario, StreamSpec};
 use strings_harness::sweep;
-use strings_core::device_sched::TenantId;
-use remoting::gpool::NodeId;
 use strings_workloads::profile::AppKind;
 
 fn main() {
@@ -20,7 +20,14 @@ fn main() {
 
     println!("== single-node (NodeA) per-app speedups vs CUDA runtime ==");
     println!("n={n} load={load}");
-    let apps = [AppKind::MC, AppKind::BS, AppKind::GA, AppKind::DC, AppKind::HI, AppKind::SC];
+    let apps = [
+        AppKind::MC,
+        AppKind::BS,
+        AppKind::GA,
+        AppKind::DC,
+        AppKind::HI,
+        AppKind::SC,
+    ];
     for app in apps {
         let base = Scenario::single_node(
             StackConfig::cuda_runtime(),

@@ -8,27 +8,48 @@ use strings_harness::scenario::Scenario;
 use strings_workloads::pairs::{workload_pair, PairLabel};
 
 fn main() {
-    let label = std::env::args().nth(1).and_then(|s| s.chars().next()).map(PairLabel).unwrap_or(PairLabel('R'));
+    let label = std::env::args()
+        .nth(1)
+        .and_then(|s| s.chars().next())
+        .map(PairLabel)
+        .unwrap_or(PairLabel('R'));
     let (a, b) = workload_pair(label);
     let mut scale = ExpScale::full();
     scale.seeds = vec![101];
     println!("pair {label}: {a}(slot0,node0) + {b}(slot1,node1)");
     for (name, cfg) in [
         ("GWtMin", StackConfig::strings(LbPolicy::GWtMin)),
-        ("RTF", StackConfig::strings(LbPolicy::GWtMin).with_feedback(LbPolicy::Rtf, 6)),
-        ("GUF", StackConfig::strings(LbPolicy::GWtMin).with_feedback(LbPolicy::Guf, 6)),
-        ("DTF", StackConfig::strings(LbPolicy::GWtMin).with_feedback(LbPolicy::Dtf, 6)),
-        ("MBF", StackConfig::strings(LbPolicy::GWtMin).with_feedback(LbPolicy::Mbf, 6)),
+        (
+            "RTF",
+            StackConfig::strings(LbPolicy::GWtMin).with_feedback(LbPolicy::Rtf, 6),
+        ),
+        (
+            "GUF",
+            StackConfig::strings(LbPolicy::GWtMin).with_feedback(LbPolicy::Guf, 6),
+        ),
+        (
+            "DTF",
+            StackConfig::strings(LbPolicy::GWtMin).with_feedback(LbPolicy::Dtf, 6),
+        ),
+        (
+            "MBF",
+            StackConfig::strings(LbPolicy::GWtMin).with_feedback(LbPolicy::Mbf, 6),
+        ),
     ] {
         let mut s = Scenario::supernode(cfg, pair_streams(a, b, &scale), scale.seeds[0]);
         s.seed = scale.seeds[0];
         let stats = s.run();
         let mut line = format!("{name:8}");
         for slot in 0..2 {
-            let counts: Vec<u64> = (0..4).map(|g| stats.placements.get(&(slot, g)).copied().unwrap_or(0)).collect();
+            let counts: Vec<u64> = (0..4)
+                .map(|g| stats.placements.get(&(slot, g)).copied().unwrap_or(0))
+                .collect();
             line.push_str(&format!("  slot{slot}: {counts:?}"));
         }
-        line.push_str(&format!("  meanCT={:.2}s", stats.mean_completion_ns() / 1e9));
+        line.push_str(&format!(
+            "  meanCT={:.2}s",
+            stats.mean_completion_ns() / 1e9
+        ));
         println!("{line}");
     }
 }

@@ -87,9 +87,7 @@ pub fn parse_stream(s: &str, tenant: u32) -> Result<StreamSpec, CliError> {
         return err("load must be positive");
     }
     let node: u32 = match parts.get(3) {
-        Some(n) => n
-            .parse()
-            .map_err(|_| CliError(format!("bad node '{n}'")))?,
+        Some(n) => n.parse().map_err(|_| CliError(format!("bad node '{n}'")))?,
         None => 0,
     };
     Ok(StreamSpec {
@@ -110,6 +108,9 @@ pub struct CliRun {
     pub scenario: Scenario,
     /// Seeds to average over.
     pub seeds: Vec<u64>,
+    /// Write a trace of the representative run to this path (Chrome
+    /// trace-event JSON; `.jsonl` extension selects the JSONL form).
+    pub trace: Option<String>,
 }
 
 /// Usage text for `--help`.
@@ -126,6 +127,8 @@ options:
   --vmem                          enable device virtual memory
   --seed N                        base RNG seed            [42]
   --seeds N                       average over N seeds     [1]
+  --trace PATH                    write a Perfetto-loadable trace of the
+                                  run (.jsonl extension selects JSONL)
 ";
 
 /// Parse a full argument list (excluding argv[0]).
@@ -140,11 +143,13 @@ pub fn parse_args(args: &[String]) -> Result<CliRun, CliError> {
     let mut vmem = false;
     let mut seed = 42u64;
     let mut n_seeds = 1u64;
+    let mut trace: Option<String> = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut take = || -> Result<&String, CliError> {
-            it.next().ok_or_else(|| CliError(format!("{arg} wants a value")))
+            it.next()
+                .ok_or_else(|| CliError(format!("{arg} wants a value")))
         };
         match arg.as_str() {
             "--mode" => mode = take()?.clone(),
@@ -186,9 +191,7 @@ pub fn parse_args(args: &[String]) -> Result<CliRun, CliError> {
             }
             "--vmem" => vmem = true,
             "--seed" => {
-                seed = take()?
-                    .parse()
-                    .map_err(|_| CliError("bad --seed".into()))?;
+                seed = take()?.parse().map_err(|_| CliError("bad --seed".into()))?;
             }
             "--seeds" => {
                 n_seeds = take()?
@@ -198,6 +201,7 @@ pub fn parse_args(args: &[String]) -> Result<CliRun, CliError> {
                     return err("--seeds must be at least 1");
                 }
             }
+            "--trace" => trace = Some(take()?.clone()),
             other => return err(format!("unknown option '{other}'\n\n{USAGE}")),
         }
     }
@@ -234,8 +238,13 @@ pub fn parse_args(args: &[String]) -> Result<CliRun, CliError> {
     }
     .with_scope(scope);
     scenario.device_cfg.vmem = vmem;
+    scenario.trace = trace.is_some();
     let seeds: Vec<u64> = (0..n_seeds).map(|i| seed + i * 7919).collect();
-    Ok(CliRun { scenario, seeds })
+    Ok(CliRun {
+        scenario,
+        seeds,
+        trace,
+    })
 }
 
 #[cfg(test)]
@@ -303,5 +312,17 @@ mod tests {
         let run = parse_args(&args("--app GA:3:1.0 --gpu-policy tfs")).unwrap();
         let stats = run.scenario.run();
         assert_eq!(stats.completed_requests, 3);
+        assert!(stats.trace.is_none(), "tracing must default off");
+    }
+
+    #[test]
+    fn trace_flag_records_a_trace() {
+        let run = parse_args(&args("--app GA:2:1.0 --trace out.json")).unwrap();
+        assert!(run.scenario.trace);
+        assert_eq!(run.trace.as_deref(), Some("out.json"));
+        let stats = run.scenario.run();
+        let trace = stats.trace.expect("traced run records a trace");
+        assert!(!trace.tracks.is_empty());
+        assert!(!trace.events.is_empty());
     }
 }

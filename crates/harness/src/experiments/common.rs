@@ -19,6 +19,10 @@ pub struct ExpScale {
     pub load: f64,
     /// Seeds averaged over.
     pub seeds: Vec<u64>,
+    /// Base path for trace output (`--trace` on the regeneration
+    /// binaries); experiments that record traces write Chrome trace-event
+    /// JSON files derived from this path.
+    pub trace: Option<String>,
 }
 
 impl ExpScale {
@@ -28,6 +32,7 @@ impl ExpScale {
             requests: 30,
             load: 1.3,
             seeds: vec![101, 202, 303],
+            trace: None,
         }
     }
 
@@ -37,6 +42,7 @@ impl ExpScale {
             requests: 8,
             load: 1.3,
             seeds: vec![101],
+            trace: None,
         }
     }
 }

@@ -68,7 +68,10 @@ fn measure(with_cpu: bool, label: &'static str, scale: &ExpScale) -> Outcome {
     scen.nodes = vec![node];
     let stats = scen.run();
     let cpu_kernels = if with_cpu {
-        stats.device_telemetry.last().map_or(0, |t| t.kernels_completed)
+        stats
+            .device_telemetry
+            .last()
+            .map_or(0, |t| t.kernels_completed)
     } else {
         0
     };

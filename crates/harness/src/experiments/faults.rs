@@ -91,7 +91,11 @@ pub fn run(scale: &ExpScale) -> Results {
 
 /// Render as a table.
 pub fn table(r: &Results) -> Table {
-    let mut t = Table::new(vec!["backend design", "requests killed", "requests completed"]);
+    let mut t = Table::new(vec![
+        "backend design",
+        "requests killed",
+        "requests completed",
+    ]);
     for o in &r.outcomes {
         t.row(vec![
             o.label.to_string(),

@@ -10,9 +10,9 @@
 
 use super::common::{normalized_stream, ExpScale};
 use crate::scenario::Scenario;
-use sim_core::telemetry::combined_busy_fraction;
 use gpu_sim::spec::GpuModel;
 use remoting::gpool::{NodeId, NodeSpec};
+use sim_core::telemetry::combined_busy_fraction;
 use strings_core::config::StackConfig;
 use strings_core::device_sched::TenantId;
 use strings_metrics::report::{fmt_pct, Table};
@@ -80,7 +80,8 @@ pub fn run(scale: &ExpScale) -> Results {
     let mut rows = Vec::new();
     for app in AppKind::ALL {
         let stream = normalized_stream(app, NodeId(0), TenantId(0), scale.requests, scale.load);
-        let mut scen = Scenario::single_node(StackConfig::cuda_runtime(), vec![stream], scale.seeds[0]);
+        let mut scen =
+            Scenario::single_node(StackConfig::cuda_runtime(), vec![stream], scale.seeds[0]);
         scen.nodes = vec![node.clone()];
         let stats = scen.run();
         let t = &stats.device_telemetry[0];
@@ -108,7 +109,14 @@ pub fn run(scale: &ExpScale) -> Results {
 
 /// Render as the figure's data table.
 pub fn table(r: &Results) -> Table {
-    let mut t = Table::new(vec!["app", "compute", "band", "memory", "band", "idle gaps"]);
+    let mut t = Table::new(vec![
+        "app",
+        "compute",
+        "band",
+        "memory",
+        "band",
+        "idle gaps",
+    ]);
     for row in &r.rows {
         t.row(vec![
             row.app.to_string(),

@@ -8,9 +8,10 @@
 
 use super::common::ExpScale;
 use crate::scenario::{Scenario, StreamSpec};
-use sim_core::telemetry::{combined_busy_fraction, combined_idle_gaps};
 use gpu_sim::spec::GpuModel;
 use remoting::gpool::{NodeId, NodeSpec};
+use sim_core::telemetry::{combined_busy_fraction, combined_idle_gaps};
+use sim_core::trace::Trace;
 use strings_core::config::StackConfig;
 use strings_core::device_sched::TenantId;
 use strings_core::mapper::LbPolicy;
@@ -30,10 +31,18 @@ pub struct Timeline {
     pub buckets: Vec<f64>,
     /// Mean compute utilization.
     pub mean_util: f64,
-    /// Idle glitches (≥ 10 ms gaps).
+    /// Idle glitches (all-engine gaps ≥ [`GLITCH_NS`]), derived from the
+    /// recorded trace's engine-occupancy spans.
     pub glitches: usize,
+    /// The same glitch count derived from aggregate telemetry — an
+    /// independent path over the same start/finish instants; must agree
+    /// with [`Timeline::glitches`] exactly.
+    pub glitches_telemetry: usize,
     /// Context switches performed by the driver.
     pub context_switches: u64,
+    /// The run's recorded trace (engine spans, scheduler decisions,
+    /// request spans) for export.
+    pub trace: Trace,
 }
 
 /// Figure 2 results.
@@ -61,7 +70,9 @@ fn measure(cfg: StackConfig, label: &'static str, scale: &ExpScale) -> Timeline 
     };
     let mut scen = Scenario::single_node(cfg, vec![mk(0), mk(1)], scale.seeds[0]);
     scen.nodes = vec![node];
-    let stats = scen.run();
+    scen.trace = true;
+    let mut stats = scen.run();
+    let trace = stats.trace.take().expect("fig02 always records a trace");
     let t = &stats.device_telemetry[0];
     let end = stats.makespan_ns.max(1);
     // "GPU utilization" is any-engine activity: MC is transfer-dominated,
@@ -70,12 +81,21 @@ fn measure(cfg: StackConfig, label: &'static str, scale: &ExpScale) -> Timeline 
     let cb = t.compute.bucketize(0, end, 60);
     let pb = t.copy.bucketize(0, end, 60);
     let buckets: Vec<f64> = cb.iter().zip(&pb).map(|(a, b)| a.max(*b)).collect();
+    // Glitches as a trace query: union the engine tracks' span intervals
+    // (kernels on "compute", transfers on "copy*") and count the maximal
+    // uncovered gaps. The telemetry count is kept alongside as an
+    // independent derivation of the same instants.
+    let engine_tracks = trace.find_tracks(|d| {
+        d.process == "GID0" && (d.thread == "compute" || d.thread.starts_with("copy"))
+    });
     Timeline {
         label,
         buckets,
         mean_util: combined_busy_fraction(&engines, 0, end),
-        glitches: combined_idle_gaps(&engines, 0, end, GLITCH_NS),
+        glitches: sim_core::trace::combined_idle_gaps(&trace, &engine_tracks, 0, end, GLITCH_NS),
+        glitches_telemetry: combined_idle_gaps(&engines, 0, end, GLITCH_NS),
         context_switches: t.context_switches,
+        trace,
     }
 }
 
@@ -93,7 +113,13 @@ pub fn run(scale: &ExpScale) -> Results {
 
 /// Render as a comparison table (the binary also prints sparklines).
 pub fn table(r: &Results) -> Table {
-    let mut t = Table::new(vec!["mode", "mean util", "glitches", "ctx switches", "timeline"]);
+    let mut t = Table::new(vec![
+        "mode",
+        "mean util",
+        "glitches",
+        "ctx switches",
+        "timeline",
+    ]);
     for tl in [&r.sequential, &r.concurrent] {
         t.row(vec![
             tl.label.to_string(),
@@ -113,6 +139,15 @@ mod tests {
     #[test]
     fn streams_remove_context_switching() {
         let r = run(&ExpScale::quick());
+        // The trace-derived glitch count and the telemetry-derived one
+        // walk different representations of the same engine instants.
+        for tl in [&r.sequential, &r.concurrent] {
+            assert_eq!(
+                tl.glitches, tl.glitches_telemetry,
+                "{}: trace says {} glitches, telemetry {}",
+                tl.label, tl.glitches, tl.glitches_telemetry
+            );
+        }
         assert!(
             r.sequential.context_switches > 0,
             "sequential mode must context-switch"

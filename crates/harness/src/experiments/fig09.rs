@@ -63,8 +63,13 @@ impl Results {
 pub fn run(scale: &ExpScale) -> Results {
     let mut rows = Vec::new();
     for app in AppKind::ALL {
-        let streams =
-            vec![normalized_stream(app, NodeId(0), TenantId(0), scale.requests, scale.load)];
+        let streams = vec![normalized_stream(
+            app,
+            NodeId(0),
+            TenantId(0),
+            scale.requests,
+            scale.load,
+        )];
         let baseline = Scenario::single_node(StackConfig::cuda_runtime(), streams.clone(), 0);
         let base_ct = mean_ct(&baseline, scale);
         let mut speedups = Vec::new();

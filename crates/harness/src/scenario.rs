@@ -137,6 +137,9 @@ pub struct Scenario {
     pub faults: Vec<(SimTime, usize)>,
     /// RNG seed.
     pub seed: u64,
+    /// Record a structured trace of the run (engine spans, scheduler
+    /// decisions, request spans) into [`RunStats::trace`].
+    pub trace: bool,
 }
 
 impl Scenario {
@@ -153,6 +156,7 @@ impl Scenario {
             fairness_horizon: None,
             faults: Vec::new(),
             seed,
+            trace: false,
         }
     }
 
@@ -169,12 +173,19 @@ impl Scenario {
             fairness_horizon: None,
             faults: Vec::new(),
             seed,
+            trace: false,
         }
     }
 
     /// Restrict the balancer to each application's own node.
     pub fn with_scope(mut self, scope: LbScope) -> Self {
         self.scope = scope;
+        self
+    }
+
+    /// Record a structured trace of the run.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
         self
     }
 
@@ -220,6 +231,9 @@ impl Scenario {
         );
         for &(at, gid) in &self.faults {
             world.inject_fault(at, gid);
+        }
+        if self.trace {
+            world.enable_tracing();
         }
         world.run()
     }

@@ -1,6 +1,7 @@
 //! Run results.
 
 use gpu_sim::telemetry::DeviceTelemetry;
+use sim_core::trace::Trace;
 use sim_core::SimTime;
 use std::collections::BTreeMap;
 use strings_core::device_sched::TenantId;
@@ -30,6 +31,12 @@ pub struct RunStats {
     pub placements: BTreeMap<(usize, usize), u64>,
     /// Total context switches across devices.
     pub context_switches: u64,
+    /// Events whose schedule time lay in the past and were clamped to
+    /// "now" by the event queue (diagnostics; should stay 0).
+    pub clamped_events: u64,
+    /// Structured trace of the run (None unless the scenario asked for
+    /// tracing; see [`crate::scenario::Scenario::trace`]).
+    pub trace: Option<Trace>,
 }
 
 impl RunStats {

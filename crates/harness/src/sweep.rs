@@ -21,27 +21,36 @@ pub fn run_all(scenarios: Vec<Scenario>) -> Vec<RunStats> {
         .min(scenarios.len());
     let total = scenarios.len();
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut results: Vec<Option<RunStats>> = (0..total).map(|_| None).collect();
     let slots: Vec<parking_lot::Mutex<Option<RunStats>>> =
         (0..total).map(|_| parking_lot::Mutex::new(None)).collect();
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= total {
-                    break;
-                }
-                let stats = scenarios[i].run();
-                *slots[i].lock() = Some(stats);
-            });
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= total {
+                        break;
+                    }
+                    let stats = scenarios[i].run();
+                    *slots[i].lock() = Some(stats);
+                })
+            })
+            .collect();
+        // Join explicitly so a panicking scenario resurfaces with its
+        // original payload (scope's implicit join would replace it with
+        // a generic "a scoped thread panicked").
+        for worker in workers {
+            if let Err(payload) = worker.join() {
+                std::panic::resume_unwind(payload);
+            }
         }
     });
-    for (i, slot) in slots.into_iter().enumerate() {
-        results[i] = slot.into_inner();
-    }
-    results
+    slots
         .into_iter()
-        .map(|r| r.expect("every scenario ran"))
+        .map(|slot| {
+            slot.into_inner()
+                .expect("worker loop claimed every index in 0..total")
+        })
         .collect()
 }
 
@@ -99,5 +108,26 @@ mod tests {
         let out = run_all(vec![tiny(5)]);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].completed_requests, 2);
+    }
+
+    #[test]
+    fn worker_panic_resurfaces_with_original_payload() {
+        // A scenario with no GPUs makes World::new panic inside a worker
+        // thread; run_all must re-raise that payload, not a generic
+        // "a scoped thread panicked" or a poisoned-slot expect.
+        let mut bad = tiny(1);
+        bad.nodes = Vec::new();
+        let scenarios = vec![tiny(0), bad, tiny(2), tiny(3)];
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_all(scenarios)))
+            .expect_err("the empty topology must panic");
+        let msg = err
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| err.downcast_ref::<String>().cloned())
+            .expect("panic payload is a string");
+        assert!(
+            msg.contains("topology has no GPUs"),
+            "original payload lost, got: {msg}"
+        );
     }
 }

@@ -15,8 +15,8 @@ use crate::scenario::{ChannelPair, HostCosts, LbScope};
 use crate::stats::RunStats;
 use cuda_sim::call::CudaCall;
 use cuda_sim::host::{AppId, BlockOn, HostThread, ProcessId};
-use cuda_sim::program::HostOp;
 use cuda_sim::pending::PendingOps;
+use cuda_sim::program::HostOp;
 use cuda_sim::program::HostProgram;
 use cuda_sim::registry::ContextRegistry;
 use gpu_sim::device::{Device, DeviceConfig};
@@ -26,6 +26,7 @@ use remoting::backend::BackendDesign;
 use remoting::channel::{ChannelKind, ChannelSpec};
 use remoting::gpool::{GMap, Gid, NodeId, NodeSpec};
 use sim_core::event::EventQueue;
+use sim_core::trace::{Tracer, TrackId};
 use sim_core::{Generation, SimTime};
 use std::collections::VecDeque;
 use strings_core::config::{SchedulerMode, StackConfig};
@@ -126,11 +127,18 @@ pub struct World {
     stats: RunStats,
     /// Hard cap on processed events (runaway guard).
     max_events: u64,
+    /// Structured trace recorder (off unless enabled by the scenario).
+    tracer: Tracer,
+    /// One track per request slot (async request spans live here).
+    trk_slots: Vec<TrackId>,
+    /// Executive-level track (counters, run-wide diagnostics).
+    trk_sim: TrackId,
 }
 
 impl World {
     /// Build a world from a topology, a scheduler stack, and a request
     /// schedule.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         nodes: &[NodeSpec],
         device_cfg: DeviceConfig,
@@ -211,6 +219,9 @@ impl World {
                 ..Default::default()
             },
             max_events: 500_000_000,
+            tracer: Tracer::off(),
+            trk_slots: Vec::new(),
+            trk_sim: TrackId::INVALID,
         };
         // Design II/III backends own one context per GPU, created when the
         // backend daemons spawn at gPool creation (before any request).
@@ -224,6 +235,40 @@ impl World {
             }
         }
         world
+    }
+
+    /// Turn on structured tracing: every device engine, scheduler, mapper
+    /// and request slot gets a track, and the run's [`RunStats::trace`]
+    /// carries the recorded [`sim_core::trace::Trace`]. Call before
+    /// [`World::run`].
+    pub fn enable_tracing(&mut self) {
+        let tracer = Tracer::buffered();
+        self.trk_sim = tracer.track("sim", "executive");
+        for (gid, d) in self.devices.iter_mut().enumerate() {
+            d.set_tracer(tracer.clone(), &format!("GID{gid}"));
+        }
+        for (gid, s) in self.schedulers.iter_mut().enumerate() {
+            let trk = tracer.track(format!("GID{gid}"), "scheduler");
+            s.set_tracer(tracer.clone(), trk);
+        }
+        for (i, m) in self.mappers.iter_mut().enumerate() {
+            let trk = tracer.track("balancer", format!("mapper{i}"));
+            m.set_tracer(tracer.clone(), trk);
+        }
+        // One track per request slot; label it with the slot's class.
+        let n_slots = self.slot_inflight.len();
+        self.trk_slots = (0..n_slots)
+            .map(|slot| {
+                let class = self
+                    .requests
+                    .iter()
+                    .find(|r| r.slot == slot)
+                    .map(|r| format!(" {}", r.class))
+                    .unwrap_or_default();
+                tracer.track("requests", format!("slot{slot}{class}"))
+            })
+            .collect();
+        self.tracer = tracer;
     }
 
     /// Schedule a backend-process crash on device `gid` at time `at`
@@ -273,7 +318,10 @@ impl World {
                     if a.host.is_done() {
                         continue; // reply raced an injected fault
                     }
-                    debug_assert!(matches!(a.host.state, cuda_sim::host::HostState::Blocked(_)));
+                    debug_assert!(matches!(
+                        a.host.state,
+                        cuda_sim::host::HostState::Blocked(_)
+                    ));
                     a.host.wake_and_advance(now);
                     self.after_host_step(app, now);
                     self.run_host(app, now);
@@ -285,35 +333,58 @@ impl World {
         }
         if self.finished != self.requests.len() {
             for w in &self.waiters {
-                eprintln!("stuck waiter: app={:?} cond={:?} direct={}", w.app, w.cond, w.direct);
+                eprintln!(
+                    "stuck waiter: app={:?} cond={:?} direct={}",
+                    w.app, w.cond, w.direct
+                );
             }
             for (i, a) in self.apps.iter().enumerate() {
                 if let Some(a) = a {
                     if !a.host.is_done() {
                         eprintln!(
                             "stuck app {i}: state={:?} pc={} op={:?} gid={:?} ctx={:?} stream={:?}",
-                            a.host.state, a.host.pc, a.host.current_op(), a.gid, a.ctx, a.stream
+                            a.host.state,
+                            a.host.pc,
+                            a.host.current_op(),
+                            a.gid,
+                            a.ctx,
+                            a.stream
                         );
                     }
                 }
             }
             for (g, d) in self.devices.iter().enumerate() {
-                eprintln!("device {g}: pending={} idle={} next={:?}", d.total_pending(), d.is_idle(), d.next_event_time(self.queue.now()));
+                eprintln!(
+                    "device {g}: pending={} idle={} next={:?}",
+                    d.total_pending(),
+                    d.is_idle(),
+                    d.next_event_time(self.queue.now())
+                );
             }
-            panic!("deadlock: {} of {} finished", self.finished, self.requests.len());
+            panic!(
+                "deadlock: {} of {} finished",
+                self.finished,
+                self.requests.len()
+            );
         }
         self.stats.events = events;
         self.stats.completed_requests = self.finished as u64;
-        self.stats.device_telemetry = self
-            .devices
-            .iter()
-            .map(|d| d.telemetry.clone())
-            .collect();
+        self.stats.device_telemetry = self.devices.iter().map(|d| d.telemetry.clone()).collect();
         self.stats.context_switches = self
             .devices
             .iter()
             .map(|d| d.telemetry.context_switches)
             .sum();
+        self.stats.clamped_events = self.queue.clamped();
+        if self.tracer.is_on() {
+            self.tracer.counter(
+                self.trk_sim,
+                self.queue.now(),
+                "clamped_schedules",
+                self.stats.clamped_events as f64,
+            );
+            self.stats.trace = self.tracer.finish();
+        }
         self.stats
     }
 
@@ -347,6 +418,21 @@ impl World {
     fn on_arrival(&mut self, idx: usize, now: SimTime) {
         let r = &self.requests[idx];
         let slot = r.slot;
+        if self.tracer.is_on() {
+            // The request span opens at arrival so it covers server-queue
+            // wait; spans on a slot track overlap, hence the async id.
+            self.tracer.span_begin(
+                self.trk_slots[slot],
+                now,
+                "request",
+                Some(idx as u64),
+                vec![
+                    ("tenant", r.tenant.to_string()),
+                    ("class", r.class.to_string()),
+                    ("node", r.node.to_string()),
+                ],
+            );
+        }
         if self.slot_inflight[slot] >= r.server_threads {
             // All server threads busy: the request waits in the server
             // queue; its completion time still counts from arrival.
@@ -359,8 +445,12 @@ impl World {
     fn start_request(&mut self, idx: usize, now: SimTime) {
         let r = &self.requests[idx];
         let app = AppId(idx as u32);
-        let mut host =
-            HostThread::new(app, ProcessId(2_000_000 + idx as u32), r.program.clone(), now);
+        let mut host = HostThread::new(
+            app,
+            ProcessId(2_000_000 + idx as u32),
+            r.program.clone(),
+            now,
+        );
         host.arrived_at = r.arrival; // queueing at the server counts
         self.slot_inflight[r.slot] += 1;
         self.apps[idx] = Some(AppInstance {
@@ -375,6 +465,15 @@ impl World {
             stream: StreamId::DEFAULT,
             last_deliver: 0,
         });
+        if self.tracer.is_on() {
+            let slot = self.requests[idx].slot;
+            self.tracer.instant(
+                self.trk_slots[slot],
+                now,
+                "dispatch",
+                vec![("request", idx.to_string())],
+            );
+        }
         self.run_host(app, now);
     }
 
@@ -434,6 +533,14 @@ impl World {
             self.stats.completions.record(slot, turnaround);
             self.stats.makespan_ns = self.stats.makespan_ns.max(now);
             self.finished += 1;
+            if self.tracer.is_on() {
+                self.tracer.span_end(
+                    self.trk_slots[slot],
+                    now,
+                    "request",
+                    Some(app.index() as u64),
+                );
+            }
             // A server thread freed up: admit the next queued request.
             self.slot_inflight[slot] -= 1;
             if let Some(next) = self.slot_backlog[slot].pop_front() {
@@ -572,7 +679,7 @@ impl World {
             let a = self.app(app);
             (a.class, a.node, a.tenant, a.weight)
         };
-        let gid = self.select_gid(class, node);
+        let gid = self.select_gid(class, node, now);
         // Bind the app's backend worker.
         let pid = self.cfg.design.backend_process(app, gid.index());
         let (ctx, fresh) = self.registry.get_or_create(pid, gid.index());
@@ -604,8 +711,10 @@ impl World {
         self.device_apps[gid.index()].push(app);
         if self.cfg.gpu_policy != GpuPolicy::None && !self.epoch_armed[gid.index()] {
             self.epoch_armed[gid.index()] = true;
-            self.queue
-                .schedule(now + self.cfg.epoch.as_ns(), Event::Epoch(gid.index() as u32));
+            self.queue.schedule(
+                now + self.cfg.epoch.as_ns(),
+                Event::Epoch(gid.index() as u32),
+            );
         }
         let setup = if fresh {
             self.costs.ctx_create_ns
@@ -616,18 +725,24 @@ impl World {
         self.busy_then_advance(app, cost, now)
     }
 
-    fn select_gid(&mut self, class: WorkloadClass, node: NodeId) -> Gid {
+    fn select_gid(&mut self, class: WorkloadClass, node: NodeId, now: SimTime) -> Gid {
         match self.scope {
             LbScope::Global => {
                 let gid = self.mappers[0].select_device(class, node);
                 self.mappers[0].bind(gid, class);
+                self.mappers[0].note_placement(now, class, node, gid);
                 gid
             }
             LbScope::Local => {
+                let base = self.node_gid_base[node.0 as usize];
                 let m = &mut self.mappers[node.0 as usize];
                 let local = m.select_device(class, node);
                 m.bind(local, class);
-                Gid((self.node_gid_base[node.0 as usize] + local.index()) as u32)
+                let gid = Gid((base + local.index()) as u32);
+                // Report the pool-wide GID so trace consumers need not know
+                // about per-node renumbering.
+                m.note_placement(now, class, node, gid);
+                gid
             }
         }
     }
@@ -836,16 +951,9 @@ impl World {
             let app = AppId(c.job.tag as u32);
             let service = c.service_ns();
             // Fairness horizon accounting uses true engine service.
-            if self
-                .fairness_horizon
-                .is_none_or(|h| c.finished_at <= h)
-            {
+            if self.fairness_horizon.is_none_or(|h| c.finished_at <= h) {
                 if let Some(Some(a)) = self.apps.get(app.index()) {
-                    *self
-                        .stats
-                        .tenant_service_ns
-                        .entry(a.tenant)
-                        .or_insert(0) += service;
+                    *self.stats.tenant_service_ns.entry(a.tenant).or_insert(0) += service;
                 }
             }
             // Rain cannot separate context-switch overhead from measured
@@ -913,13 +1021,7 @@ impl World {
             if a.host.is_done() {
                 return;
             }
-            (
-                a.node,
-                a.class,
-                a.ctx.expect("bound app"),
-                a.stream,
-                a.slot,
-            )
+            (a.node, a.class, a.ctx.expect("bound app"), a.stream, a.slot)
         };
         for jid in self.devices[gid].cancel_stream(ctx, stream) {
             self.pending.complete(jid);
@@ -931,6 +1033,23 @@ impl World {
         self.app_mut(app).host.abort();
         self.stats.failed_requests += 1;
         self.finished += 1;
+        if self.tracer.is_on() {
+            self.tracer.instant(
+                self.trk_slots[slot],
+                now,
+                "fault_abort",
+                vec![
+                    ("request", app.index().to_string()),
+                    ("gid", gid.to_string()),
+                ],
+            );
+            self.tracer.span_end(
+                self.trk_slots[slot],
+                now,
+                "request",
+                Some(app.index() as u64),
+            );
+        }
         self.slot_inflight[slot] -= 1;
         if let Some(next) = self.slot_backlog[slot].pop_front() {
             self.start_request(next, now);
@@ -979,8 +1098,7 @@ impl World {
         if self.cfg.gpu_policy == GpuPolicy::None || self.device_apps[gid].is_empty() {
             return;
         }
-        if self.devices[gid].next_event_time(now).is_none()
-            && self.devices[gid].total_pending() > 0
+        if self.devices[gid].next_event_time(now).is_none() && self.devices[gid].total_pending() > 0
         {
             self.apply_gating(gid, now);
         }
@@ -1012,7 +1130,7 @@ impl World {
                 }
             })
             .collect();
-        let awake = self.schedulers[gid].epoch_tick(&work);
+        let awake = self.schedulers[gid].epoch_tick(&work, now);
         for &app in &self.device_apps[gid].clone() {
             let a = self.apps[app.index()].as_ref().expect("registered app");
             let (ctx, stream) = (a.ctx.expect("ctx"), a.stream);
@@ -1138,7 +1256,11 @@ mod tests {
 
     #[test]
     fn strings_beats_bare_runtime_under_collision() {
-        let reqs = requests(&[(AppKind::MC, 0, 0), (AppKind::MC, 1, 0), (AppKind::MC, 0, 100)]);
+        let reqs = requests(&[
+            (AppKind::MC, 0, 0),
+            (AppKind::MC, 1, 0),
+            (AppKind::MC, 0, 100),
+        ]);
         let cuda = run(StackConfig::cuda_runtime(), reqs.clone());
         let strings = run(StackConfig::strings(LbPolicy::GMin), reqs);
         assert!(
@@ -1169,9 +1291,8 @@ mod tests {
         assert_eq!(stats.completed_requests, 2);
         let services: Vec<u64> = stats.tenant_service_ns.values().copied().collect();
         assert_eq!(services.len(), 2);
-        let fairness = strings_metrics::jain_fairness(
-            &services.iter().map(|s| *s as f64).collect::<Vec<_>>(),
-        );
+        let fairness =
+            strings_metrics::jain_fairness(&services.iter().map(|s| *s as f64).collect::<Vec<_>>());
         assert!(fairness > 0.7, "TFS fairness too low: {fairness}");
     }
 
@@ -1192,7 +1313,11 @@ mod tests {
         let mk = || {
             run(
                 StackConfig::strings(LbPolicy::GMin),
-                requests(&[(AppKind::MC, 0, 0), (AppKind::BS, 1, 20), (AppKind::GA, 0, 40)]),
+                requests(&[
+                    (AppKind::MC, 0, 0),
+                    (AppKind::BS, 1, 20),
+                    (AppKind::GA, 0, 40),
+                ]),
             )
         };
         let a = mk();

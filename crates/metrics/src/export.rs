@@ -78,10 +78,7 @@ mod tests {
 
     #[test]
     fn fields_with_commas_and_quotes_are_escaped() {
-        let out = csv(
-            &["label"],
-            &[vec!["DC, the \"fast\" one".into()]],
-        );
+        let out = csv(&["label"], &[vec!["DC, the \"fast\" one".into()]]);
         assert_eq!(out, "label\n\"DC, the \"\"fast\"\" one\"\n");
     }
 

@@ -7,7 +7,9 @@
 //! * [`fairness`] — **Jain's fairness index** (Eq. 3) over per-tenant
 //!   normalized service,
 //! * [`report`] — plain-text table rendering for the figure-regeneration
-//!   binaries (one row/series per paper figure).
+//!   binaries (one row/series per paper figure),
+//! * [`trace_export`] — Chrome trace-event JSON (Perfetto) and JSONL
+//!   exporters for recorded [`sim_core::trace::Trace`]s.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -16,6 +18,7 @@ pub mod export;
 pub mod fairness;
 pub mod report;
 pub mod speedup;
+pub mod trace_export;
 
 pub use fairness::jain_fairness;
 pub use speedup::{weighted_speedup, CompletionSet};

@@ -1,0 +1,320 @@
+//! Trace exporters: Chrome trace-event JSON (opens in Perfetto /
+//! `chrome://tracing`) and a self-describing JSONL form for ad-hoc
+//! analysis.
+//!
+//! Both are [`TraceSink`]s fed by [`Trace::replay`]. The Chrome format
+//! maps the recorder's track model directly: each track's `process`
+//! becomes a `pid` (so Perfetto groups a device's engines under one
+//! header) and each track becomes a `tid` row, named via `M` metadata
+//! events. Sync spans become `B`/`E` pairs, async spans `b`/`e` pairs
+//! keyed by `(cat, id)`, instants `i`, counters `C`. Timestamps are
+//! microseconds (`ts`), rendered with nanosecond precision.
+
+use sim_core::trace::{Trace, TraceArgs, TraceEvent, TraceSink, TrackDesc, TrackId};
+use std::collections::HashMap;
+
+/// Escape a string for inclusion in a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render ns as a Chrome `ts` value (µs with ns precision).
+fn ts_us(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1000.0)
+}
+
+/// Render [`TraceArgs`] as a JSON object body (no braces).
+fn args_body(args: &TraceArgs) -> String {
+    args.iter()
+        .map(|(k, v)| format!("\"{}\":\"{}\"", esc(k), esc(v)))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// [`TraceSink`] producing Chrome trace-event JSON.
+struct ChromeSink {
+    /// Interned process name → pid.
+    pids: HashMap<String, u32>,
+    /// Per track: (pid, tid).
+    track_ids: Vec<(u32, u32)>,
+    lines: Vec<String>,
+}
+
+impl ChromeSink {
+    fn new() -> Self {
+        ChromeSink {
+            pids: HashMap::new(),
+            track_ids: Vec::new(),
+            lines: Vec::new(),
+        }
+    }
+
+    fn ids(&self, track: TrackId) -> (u32, u32) {
+        self.track_ids[track.0 as usize]
+    }
+
+    fn into_json(self) -> String {
+        format!("{{\"traceEvents\":[\n{}\n]}}\n", self.lines.join(",\n"))
+    }
+}
+
+impl TraceSink for ChromeSink {
+    fn track(&mut self, id: TrackId, desc: &TrackDesc) {
+        let next = self.pids.len() as u32 + 1;
+        let pid = match self.pids.get(&desc.process) {
+            Some(&p) => p,
+            None => {
+                self.pids.insert(desc.process.clone(), next);
+                self.lines.push(format!(
+                    "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"args\":{{\"name\":\"{}\"}}}}",
+                    next,
+                    esc(&desc.process)
+                ));
+                next
+            }
+        };
+        let tid = id.0 + 1;
+        self.track_ids.push((pid, tid));
+        self.lines.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{},\"tid\":{},\"args\":{{\"name\":\"{}\"}}}}",
+            pid,
+            tid,
+            esc(&desc.thread)
+        ));
+    }
+
+    fn event(&mut self, ev: &TraceEvent) {
+        let (pid, tid) = self.ids(ev.track());
+        let line = match ev {
+            TraceEvent::SpanBegin {
+                at,
+                name,
+                id,
+                args,
+                ..
+            } => {
+                let args = args_body(args);
+                match id {
+                    None => format!(
+                        "{{\"name\":\"{}\",\"ph\":\"B\",\"ts\":{},\"pid\":{},\"tid\":{},\"args\":{{{}}}}}",
+                        esc(name), ts_us(*at), pid, tid, args
+                    ),
+                    Some(aid) => format!(
+                        "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"b\",\"id\":{},\"ts\":{},\"pid\":{},\"tid\":{},\"args\":{{{}}}}}",
+                        esc(name), esc(name), aid, ts_us(*at), pid, tid, args
+                    ),
+                }
+            }
+            TraceEvent::SpanEnd { at, name, id, .. } => match id {
+                None => format!(
+                    "{{\"name\":\"{}\",\"ph\":\"E\",\"ts\":{},\"pid\":{},\"tid\":{}}}",
+                    esc(name),
+                    ts_us(*at),
+                    pid,
+                    tid
+                ),
+                Some(aid) => format!(
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"e\",\"id\":{},\"ts\":{},\"pid\":{},\"tid\":{}}}",
+                    esc(name),
+                    esc(name),
+                    aid,
+                    ts_us(*at),
+                    pid,
+                    tid
+                ),
+            },
+            TraceEvent::Instant { at, name, args, .. } => format!(
+                "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":{},\"tid\":{},\"args\":{{{}}}}}",
+                esc(name),
+                ts_us(*at),
+                pid,
+                tid,
+                args_body(args)
+            ),
+            TraceEvent::Counter { at, name, value, .. } => format!(
+                "{{\"name\":\"{}\",\"ph\":\"C\",\"ts\":{},\"pid\":{},\"tid\":{},\"args\":{{\"value\":{}}}}}",
+                esc(name),
+                ts_us(*at),
+                pid,
+                tid,
+                value
+            ),
+        };
+        self.lines.push(line);
+    }
+}
+
+/// [`TraceSink`] producing one self-describing JSON object per line.
+struct JsonlSink {
+    lines: Vec<String>,
+}
+
+impl TraceSink for JsonlSink {
+    fn track(&mut self, id: TrackId, desc: &TrackDesc) {
+        self.lines.push(format!(
+            "{{\"type\":\"track\",\"id\":{},\"process\":\"{}\",\"thread\":\"{}\"}}",
+            id.0,
+            esc(&desc.process),
+            esc(&desc.thread)
+        ));
+    }
+
+    fn event(&mut self, ev: &TraceEvent) {
+        let line = match ev {
+            TraceEvent::SpanBegin {
+                track,
+                at,
+                name,
+                id,
+                args,
+            } => {
+                let id = id.map_or("null".to_string(), |i| i.to_string());
+                format!(
+                    "{{\"type\":\"span_begin\",\"track\":{},\"at\":{},\"name\":\"{}\",\"id\":{},\"args\":{{{}}}}}",
+                    track.0, at, esc(name), id, args_body(args)
+                )
+            }
+            TraceEvent::SpanEnd {
+                track,
+                at,
+                name,
+                id,
+            } => {
+                let id = id.map_or("null".to_string(), |i| i.to_string());
+                format!(
+                    "{{\"type\":\"span_end\",\"track\":{},\"at\":{},\"name\":\"{}\",\"id\":{}}}",
+                    track.0,
+                    at,
+                    esc(name),
+                    id
+                )
+            }
+            TraceEvent::Instant {
+                track,
+                at,
+                name,
+                args,
+            } => format!(
+                "{{\"type\":\"instant\",\"track\":{},\"at\":{},\"name\":\"{}\",\"args\":{{{}}}}}",
+                track.0,
+                at,
+                esc(name),
+                args_body(args)
+            ),
+            TraceEvent::Counter {
+                track,
+                at,
+                name,
+                value,
+            } => format!(
+                "{{\"type\":\"counter\",\"track\":{},\"at\":{},\"name\":\"{}\",\"value\":{}}}",
+                track.0,
+                at,
+                esc(name),
+                value
+            ),
+        };
+        self.lines.push(line);
+    }
+}
+
+/// Export a [`Trace`] as Chrome trace-event JSON (Perfetto-loadable).
+pub fn chrome_json(trace: &Trace) -> String {
+    let mut sink = ChromeSink::new();
+    trace.replay(&mut sink);
+    sink.into_json()
+}
+
+/// Export a [`Trace`] as self-describing JSONL: one `track` object per
+/// track (in id order), then one object per event in recording order,
+/// all times in virtual nanoseconds.
+pub fn jsonl(trace: &Trace) -> String {
+    let mut sink = JsonlSink { lines: Vec::new() };
+    trace.replay(&mut sink);
+    let mut out = sink.lines.join("\n");
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::trace::Tracer;
+
+    fn sample() -> Trace {
+        let t = Tracer::buffered();
+        let compute = t.track("GID0", "compute");
+        let copy = t.track("GID0", "copy0");
+        let slots = t.track("requests", "slot0");
+        t.span_begin(
+            compute,
+            1_000,
+            "kernel",
+            Some(7),
+            vec![("ctx", "C1".into())],
+        );
+        t.span_begin(copy, 2_000, "h2d", None, vec![("bytes", "4096".into())]);
+        t.span_end(copy, 3_000, "h2d", None);
+        t.span_end(compute, 4_000, "kernel", Some(7));
+        t.instant(slots, 4_500, "dispatch", vec![("request", "0".into())]);
+        t.counter(slots, 5_000, "queued", 2.0);
+        t.finish().expect("buffered tracer yields a trace")
+    }
+
+    #[test]
+    fn chrome_json_shape_and_phases() {
+        let out = chrome_json(&sample());
+        assert!(out.starts_with("{\"traceEvents\":["));
+        assert!(out.trim_end().ends_with("]}"));
+        // Two processes + three threads named.
+        assert_eq!(out.matches("\"process_name\"").count(), 2);
+        assert_eq!(out.matches("\"thread_name\"").count(), 3);
+        // Async pair for the kernel, sync pair for the copy.
+        assert!(out.contains("\"ph\":\"b\",\"id\":7"));
+        assert!(out.contains("\"ph\":\"e\",\"id\":7"));
+        assert!(out.contains("\"ph\":\"B\""));
+        assert!(out.contains("\"ph\":\"E\""));
+        assert!(out.contains("\"ph\":\"i\""));
+        assert!(out.contains("\"ph\":\"C\""));
+        // ts is µs with ns precision: 1_000 ns = 1.000 µs.
+        assert!(out.contains("\"ts\":1.000"));
+    }
+
+    #[test]
+    fn chrome_tracks_share_pid_within_process() {
+        let out = chrome_json(&sample());
+        // compute (tid 1) and copy0 (tid 2) live in the same pid 1.
+        assert!(out.contains("\"pid\":1,\"tid\":1,\"args\":{\"name\":\"compute\"}"));
+        assert!(out.contains("\"pid\":1,\"tid\":2,\"args\":{\"name\":\"copy0\"}"));
+        assert!(out.contains("\"pid\":2,\"tid\":3,\"args\":{\"name\":\"slot0\"}"));
+    }
+
+    #[test]
+    fn jsonl_is_one_object_per_line_in_order() {
+        let out = jsonl(&sample());
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3 + 6); // 3 tracks + 6 events
+        assert!(lines[0].starts_with("{\"type\":\"track\",\"id\":0"));
+        assert!(lines[3].contains("\"type\":\"span_begin\""));
+        assert!(lines[3].contains("\"at\":1000"));
+        assert!(lines.iter().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+
+    #[test]
+    fn escaping_handles_quotes_and_newlines() {
+        assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(esc("\u{1}"), "\\u0001");
+    }
+}

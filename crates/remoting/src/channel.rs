@@ -112,7 +112,10 @@ mod tests {
     #[test]
     fn round_trip_is_sum_of_directions() {
         let c = ChannelSpec::for_kind(ChannelKind::Network);
-        assert_eq!(c.round_trip_ns(100, 50), c.transfer_ns(100) + c.transfer_ns(50));
+        assert_eq!(
+            c.round_trip_ns(100, 50),
+            c.transfer_ns(100) + c.transfer_ns(50)
+        );
     }
 
     #[test]

@@ -176,9 +176,15 @@ mod tests {
         let m = supernode();
         assert_eq!(m.len(), 4);
         let e0 = m.entry(Gid(0)).unwrap();
-        assert_eq!((e0.node, e0.local, e0.model), (NodeId(0), DeviceId(0), GpuModel::Quadro2000));
+        assert_eq!(
+            (e0.node, e0.local, e0.model),
+            (NodeId(0), DeviceId(0), GpuModel::Quadro2000)
+        );
         let e3 = m.entry(Gid(3)).unwrap();
-        assert_eq!((e3.node, e3.local, e3.model), (NodeId(1), DeviceId(1), GpuModel::TeslaC2070));
+        assert_eq!(
+            (e3.node, e3.local, e3.model),
+            (NodeId(1), DeviceId(1), GpuModel::TeslaC2070)
+        );
         assert_eq!(m.entry(Gid(4)), None);
     }
 
@@ -194,9 +200,15 @@ mod tests {
     #[test]
     fn local_vs_remote_channel_selection() {
         let m = supernode();
-        assert_eq!(m.channel_to(NodeId(0), Gid(0)), Some(ChannelKind::SharedMemory));
+        assert_eq!(
+            m.channel_to(NodeId(0), Gid(0)),
+            Some(ChannelKind::SharedMemory)
+        );
         assert_eq!(m.channel_to(NodeId(0), Gid(2)), Some(ChannelKind::Network));
-        assert_eq!(m.channel_to(NodeId(1), Gid(2)), Some(ChannelKind::SharedMemory));
+        assert_eq!(
+            m.channel_to(NodeId(1), Gid(2)),
+            Some(ChannelKind::SharedMemory)
+        );
         assert_eq!(m.channel_to(NodeId(0), Gid(9)), None);
     }
 

@@ -338,8 +338,15 @@ mod tests {
             bytes: 1 << 20,
         };
         assert_eq!(m.send_overhead_ns(&small), m.marshal_ns);
-        assert_eq!(m.send_overhead_ns(&h2d), m.marshal_ns + 1024 * m.marshal_ns_per_kib);
-        assert_eq!(m.send_overhead_ns(&d2h), m.marshal_ns, "D2H payload returns, not sends");
+        assert_eq!(
+            m.send_overhead_ns(&h2d),
+            m.marshal_ns + 1024 * m.marshal_ns_per_kib
+        );
+        assert_eq!(
+            m.send_overhead_ns(&d2h),
+            m.marshal_ns,
+            "D2H payload returns, not sends"
+        );
         assert_eq!(m.reply_overhead_ns(&d2h), 1024 * m.marshal_ns_per_kib);
         assert_eq!(m.recv_overhead_ns(&small), m.unmarshal_ns);
     }

@@ -14,7 +14,10 @@
 //!   (Eq. 4: `T = -λ · ln X`),
 //! * [`stats`] / [`telemetry`] — online statistics and time-weighted
 //!   utilization tracking used for Figures 1 and 2 and for all reported
-//!   completion-time aggregates.
+//!   completion-time aggregates,
+//! * [`trace`] — optional structured tracing: virtual-time spans,
+//!   instants and counters on named tracks, recorded by a [`Tracer`]
+//!   and exportable to Perfetto (via `strings-metrics`).
 //!
 //! Everything here is single-threaded and bit-deterministic for a given
 //! seed; parallelism lives one level up (independent simulation runs are
@@ -28,9 +31,11 @@ pub mod rng;
 pub mod stats;
 pub mod telemetry;
 pub mod time;
+pub mod trace;
 
 pub use event::{EventQueue, Generation};
 pub use rng::SimRng;
 pub use stats::OnlineStats;
 pub use telemetry::UtilizationTracker;
 pub use time::{SimDuration, SimTime};
+pub use trace::{Trace, TraceEvent, TraceSink, Tracer, TrackDesc, TrackId};

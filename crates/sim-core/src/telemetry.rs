@@ -189,11 +189,7 @@ impl UtilizationTracker {
 
 /// Fraction of `[from, to)` during which *any* of the trackers is strictly
 /// positive — e.g. "some GPU engine is busy".
-pub fn combined_busy_fraction(
-    trackers: &[&UtilizationTracker],
-    from: SimTime,
-    to: SimTime,
-) -> f64 {
+pub fn combined_busy_fraction(trackers: &[&UtilizationTracker], from: SimTime, to: SimTime) -> f64 {
     if to <= from || trackers.is_empty() {
         return 0.0;
     }

@@ -203,7 +203,13 @@ mod tests {
     #[should_panic]
     fn diurnal_depth_must_be_sane() {
         let mut rng = SimRng::new(0);
-        RequestStream::diurnal(1, SimDuration::from_ms(1), SimDuration::from_secs(1), 1.5, &mut rng);
+        RequestStream::diurnal(
+            1,
+            SimDuration::from_ms(1),
+            SimDuration::from_secs(1),
+            1.5,
+            &mut rng,
+        );
     }
 
     #[test]

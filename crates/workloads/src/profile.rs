@@ -97,8 +97,24 @@ impl AppKind {
         let (name, group, runtime_s, gpu_pct, xfer_pct, bw, occ) = match self {
             AppKind::DC => ("DXTC", Group::A, 30.0, 89.31, 0.005, 63.14, 0.90),
             AppKind::SC => ("Scan", Group::A, 12.0, 10.73, 24.99, 1_193.03, 0.30),
-            AppKind::BO => ("BinomialOptions", Group::A, 25.0, 41.06, 98.88, 3_764.44, 0.45),
-            AppKind::MM => ("MatrixMultiply", Group::A, 40.0, 80.13, 0.01, 2_143.26, 0.85),
+            AppKind::BO => (
+                "BinomialOptions",
+                Group::A,
+                25.0,
+                41.06,
+                98.88,
+                3_764.44,
+                0.45,
+            ),
+            AppKind::MM => (
+                "MatrixMultiply",
+                Group::A,
+                40.0,
+                80.13,
+                0.01,
+                2_143.26,
+                0.85,
+            ),
             AppKind::HI => ("Histogram", Group::A, 20.0, 86.51, 0.17, 13_736.33, 0.45),
             AppKind::EV => ("Eigenvalues", Group::A, 55.0, 41.92, 0.73, 401.27, 0.45),
             AppKind::BS => ("BlackScholes", Group::B, 8.0, 24.51, 6.23, 50.23, 0.25),
@@ -268,8 +284,7 @@ mod tests {
     fn time_decomposition_sums_to_runtime() {
         for kind in AppKind::ALL {
             let p = kind.profile();
-            let total =
-                p.cpu_time().as_ns() + p.kernel_time().as_ns() + p.transfer_time().as_ns();
+            let total = p.cpu_time().as_ns() + p.kernel_time().as_ns() + p.transfer_time().as_ns();
             let runtime = p.runtime.as_ns();
             let err = (total as i64 - runtime as i64).unsigned_abs();
             assert!(err <= 2, "{kind}: {total} != {runtime}");
@@ -281,11 +296,12 @@ mod tests {
         let hi = AppKind::HI.profile();
         assert!((hi.mem_intensity() - 1.0).abs() < 1e-9);
         let ga = AppKind::GA.profile();
-        assert!(ga.mem_intensity() < 0.05, "Gaussian must be bandwidth-trivial");
-        // Ordering: HI > MC > BS.
         assert!(
-            AppKind::MC.profile().mem_intensity() > AppKind::BS.profile().mem_intensity()
+            ga.mem_intensity() < 0.05,
+            "Gaussian must be bandwidth-trivial"
         );
+        // Ordering: HI > MC > BS.
+        assert!(AppKind::MC.profile().mem_intensity() > AppKind::BS.profile().mem_intensity());
     }
 
     #[test]

@@ -47,7 +47,12 @@ fn main() {
         ),
     ];
 
-    let names = ["DXTC (image)", "MonteCarlo (finance)", "Histogram (mining)", "BlackScholes (risk)"];
+    let names = [
+        "DXTC (image)",
+        "MonteCarlo (finance)",
+        "Histogram (mining)",
+        "BlackScholes (risk)",
+    ];
     for (label, cfg) in configs {
         let scenario = Scenario::supernode(cfg, service_mix(), 7);
         let stats = scenario.run();

@@ -41,13 +41,26 @@ fn main() {
         .run()
         .mean_completion_ns();
 
-    let mut t = Table::new(vec!["stack", "balancing", "device policy", "speedup vs CUDA"]);
+    let mut t = Table::new(vec![
+        "stack",
+        "balancing",
+        "device policy",
+        "speedup vs CUDA",
+    ]);
     for lb in [LbPolicy::Grr, LbPolicy::GMin, LbPolicy::GWtMin] {
         for (mode, mk_cfg) in [
             ("Rain", StackConfig::rain as fn(LbPolicy) -> StackConfig),
-            ("Strings", StackConfig::strings as fn(LbPolicy) -> StackConfig),
+            (
+                "Strings",
+                StackConfig::strings as fn(LbPolicy) -> StackConfig,
+            ),
         ] {
-            for gp in [GpuPolicy::None, GpuPolicy::Las, GpuPolicy::Ps, GpuPolicy::Tfs] {
+            for gp in [
+                GpuPolicy::None,
+                GpuPolicy::Las,
+                GpuPolicy::Ps,
+                GpuPolicy::Tfs,
+            ] {
                 if mode == "Rain" && gp == GpuPolicy::Ps {
                     continue; // PS needs streams: Strings-only, per the paper
                 }

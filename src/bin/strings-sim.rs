@@ -18,17 +18,14 @@ fn main() {
         return;
     }
     // --export DIR writes CSV series (timelines + completions) for plotting.
-    let export_dir = args
-        .iter()
-        .position(|a| a == "--export")
-        .map(|i| {
-            let dir = args.get(i + 1).cloned().unwrap_or_else(|| {
-                eprintln!("error: --export wants a directory");
-                std::process::exit(2);
-            });
-            args.drain(i..=i + 1);
-            dir
+    let export_dir = args.iter().position(|a| a == "--export").map(|i| {
+        let dir = args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("error: --export wants a directory");
+            std::process::exit(2);
         });
+        args.drain(i..=i + 1);
+        dir
+    });
     let run = match parse_args(&args) {
         Ok(r) => r,
         Err(e) => {
@@ -55,7 +52,13 @@ fn main() {
     }
     print!("{}", t.render());
     println!();
-    let mut d = Table::new(vec!["device", "compute util", "bandwidth util", "kernels", "copies"]);
+    let mut d = Table::new(vec![
+        "device",
+        "compute util",
+        "bandwidth util",
+        "kernels",
+        "copies",
+    ]);
     for (gid, tele) in stats.device_telemetry.iter().enumerate() {
         d.row(vec![
             format!("GID{gid}"),
@@ -81,6 +84,16 @@ fn main() {
             run.seeds.len(),
             mean / 1e9
         );
+    }
+    if let Some(path) = &run.trace {
+        let trace = stats.trace.as_ref().expect("traced run records a trace");
+        let body = if path.ends_with(".jsonl") {
+            strings_repro::metrics::trace_export::jsonl(trace)
+        } else {
+            strings_repro::metrics::trace_export::chrome_json(trace)
+        };
+        std::fs::write(path, body).expect("write trace");
+        println!("trace written to {path} ({} events)", trace.events.len());
     }
     if let Some(dir) = export_dir {
         std::fs::create_dir_all(&dir).expect("create export dir");

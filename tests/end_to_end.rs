@@ -23,7 +23,10 @@ fn stream(app: AppKind, node: u32, tenant: u32, count: usize, load: f64) -> Stre
 
 #[test]
 fn every_mode_completes_a_mixed_workload() {
-    let streams = vec![stream(AppKind::MC, 0, 0, 6, 1.5), stream(AppKind::GA, 0, 1, 6, 1.5)];
+    let streams = vec![
+        stream(AppKind::MC, 0, 0, 6, 1.5),
+        stream(AppKind::GA, 0, 1, 6, 1.5),
+    ];
     for cfg in [
         StackConfig::cuda_runtime(),
         StackConfig::rain(LbPolicy::Grr),
@@ -93,7 +96,10 @@ fn heterogeneous_pool_respects_device_speed() {
     let quadro = &stats.device_telemetry[0];
     let tesla = &stats.device_telemetry[1];
     assert_eq!(quadro.kernels_completed, 0, "Quadro should stay idle");
-    assert!(tesla.kernels_completed > 0, "Tesla should serve the request");
+    assert!(
+        tesla.kernels_completed > 0,
+        "Tesla should serve the request"
+    );
 }
 
 #[test]
@@ -101,7 +107,10 @@ fn single_gpu_node_serves_everything() {
     let node = NodeSpec::new(0, vec![GpuModel::TeslaC2050]);
     let mut scen = Scenario::single_node(
         StackConfig::strings(LbPolicy::Grr),
-        vec![stream(AppKind::HI, 0, 0, 5, 1.0), stream(AppKind::BS, 0, 1, 5, 1.0)],
+        vec![
+            stream(AppKind::HI, 0, 0, 5, 1.0),
+            stream(AppKind::BS, 0, 1, 5, 1.0),
+        ],
         3,
     );
     scen.nodes = vec![node];
@@ -112,7 +121,10 @@ fn single_gpu_node_serves_everything() {
 
 #[test]
 fn tenant_service_accounting_covers_all_tenants() {
-    let streams = vec![stream(AppKind::MM, 0, 0, 3, 1.0), stream(AppKind::MC, 0, 1, 3, 1.0)];
+    let streams = vec![
+        stream(AppKind::MM, 0, 0, 3, 1.0),
+        stream(AppKind::MC, 0, 1, 3, 1.0),
+    ];
     let stats = Scenario::single_node(StackConfig::strings(LbPolicy::GMin), streams, 8).run();
     assert_eq!(stats.tenant_service_ns.len(), 2);
     for (tenant, service) in &stats.tenant_service_ns {
@@ -125,8 +137,7 @@ fn feedback_policies_survive_cold_start() {
     // Feedback policies must behave sanely before any SFT history exists.
     for fb in [LbPolicy::Rtf, LbPolicy::Guf, LbPolicy::Dtf, LbPolicy::Mbf] {
         let cfg = StackConfig::strings(fb);
-        let stats =
-            Scenario::single_node(cfg, vec![stream(AppKind::SN, 0, 0, 4, 1.0)], 13).run();
+        let stats = Scenario::single_node(cfg, vec![stream(AppKind::SN, 0, 0, 4, 1.0)], 13).run();
         assert_eq!(stats.completed_requests, 4, "{}", fb.label());
     }
 }

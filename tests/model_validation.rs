@@ -79,7 +79,10 @@ fn light_load_has_little_queueing() {
     );
     let ct = s.run().completions.mean_ct(0) / 1e9;
     let solo = AppKind::MM.profile().runtime.as_secs_f64();
-    assert!(ct < 1.6 * solo, "light load queued too much: {ct:.1}s vs {solo:.1}s");
+    assert!(
+        ct < 1.6 * solo,
+        "light load queued too much: {ct:.1}s vs {solo:.1}s"
+    );
 }
 
 #[test]
@@ -89,7 +92,7 @@ fn design_two_blocking_sync_delays_other_tenants() {
     // tenant finishes later than under Design III (same packing otherwise).
     let streams = || {
         vec![
-            stream(AppKind::MM, 0, 3, 8.0, 3), // sync-heavy long app, dense
+            stream(AppKind::MM, 0, 3, 8.0, 3),  // sync-heavy long app, dense
             stream(AppKind::GA, 1, 12, 1.0, 3), // quick app arriving throughout
         ]
     };

@@ -1,0 +1,179 @@
+//! Validity invariants of a recorded trace: a reduced Figure-2-style
+//! scenario (two MC streams contending on one GPU under Strings/TFS) is
+//! run with tracing on, and the resulting span structure must be
+//! well-formed and consistent with the run's aggregate statistics.
+
+use strings_repro::gpu::spec::GpuModel;
+use strings_repro::harness::scenario::{Scenario, StreamSpec};
+use strings_repro::harness::RunStats;
+use strings_repro::metrics::trace_export;
+use strings_repro::remoting::gpool::{NodeId, NodeSpec};
+use strings_repro::sim::trace::{Trace, TraceEvent};
+use strings_repro::strings::config::StackConfig;
+use strings_repro::strings::device_sched::{GpuPolicy, TenantId};
+use strings_repro::strings::mapper::LbPolicy;
+use strings_repro::workloads::profile::AppKind;
+
+fn traced_scenario() -> Scenario {
+    let mk = |tenant: u32| StreamSpec {
+        app: AppKind::MC,
+        node: NodeId(0),
+        tenant: TenantId(tenant),
+        weight: 1.0,
+        count: 4,
+        load: 3.0,
+        server_threads: 4,
+    };
+    let mut s = Scenario::single_node(
+        StackConfig::strings(LbPolicy::GMin).with_gpu_policy(GpuPolicy::Tfs),
+        vec![mk(0), mk(1)],
+        101,
+    )
+    .with_trace();
+    s.nodes = vec![NodeSpec::new(0, vec![GpuModel::TeslaC2050])];
+    s
+}
+
+fn run_traced() -> (RunStats, Trace) {
+    let scen = traced_scenario();
+    let mut stats = scen.run();
+    let trace = stats.trace.take().expect("tracing was enabled");
+    (stats, trace)
+}
+
+#[test]
+fn traced_run_has_wellformed_spans() {
+    let (stats, trace) = run_traced();
+    assert_eq!(stats.completed_requests, 8);
+    assert!(!trace.tracks.is_empty());
+    assert!(!trace.events.is_empty());
+
+    // Every span that opened also closed (the run drained to quiescence).
+    for t in 0..trace.tracks.len() {
+        let id = strings_repro::sim::trace::TrackId(t as u32);
+        assert_eq!(
+            trace.unclosed_spans(id),
+            0,
+            "unclosed spans on {:?}",
+            trace.desc(id)
+        );
+    }
+
+    // No event is stamped outside the run's virtual-time window.
+    assert!(trace.end_time() <= stats.makespan_ns);
+
+    // Sync tracks serialize: intervals on copy lanes and the driver track
+    // must not overlap (the engine does one thing at a time).
+    let sync_tracks = trace.find_tracks(|d| d.thread.starts_with("copy") || d.thread == "driver");
+    for id in sync_tracks {
+        let mut iv = trace.span_intervals(id);
+        iv.sort_unstable();
+        for w in iv.windows(2) {
+            assert!(
+                w[0].1 <= w[1].0,
+                "overlapping sync spans {:?} and {:?} on {:?}",
+                w[0],
+                w[1],
+                trace.desc(id)
+            );
+        }
+    }
+}
+
+#[test]
+fn traced_run_attributes_every_request() {
+    let (stats, trace) = run_traced();
+    let planned = traced_scenario().plan().len();
+    let begins = trace
+        .events
+        .iter()
+        .filter(|e| {
+            matches!(
+                e,
+                TraceEvent::SpanBegin {
+                    name: "request",
+                    ..
+                }
+            )
+        })
+        .count();
+    let ends = trace
+        .events
+        .iter()
+        .filter(|e| {
+            matches!(
+                e,
+                TraceEvent::SpanEnd {
+                    name: "request",
+                    ..
+                }
+            )
+        })
+        .count();
+    assert_eq!(begins, planned, "one request span per planned request");
+    assert_eq!(ends, planned);
+    assert_eq!(stats.completed_requests as usize, planned);
+
+    // Each request binds to a device exactly once → one placement instant
+    // per request, and the TFS dispatcher published epoch decisions.
+    let placements = trace
+        .events
+        .iter()
+        .filter(|e| {
+            matches!(
+                e,
+                TraceEvent::Instant {
+                    name: "placement",
+                    ..
+                }
+            )
+        })
+        .count();
+    assert_eq!(placements, planned);
+    let epochs = trace
+        .events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Instant { name: "epoch", .. }))
+        .count();
+    assert!(epochs > 0, "TFS must record epoch decisions");
+    assert_eq!(stats.clamped_events, 0, "no event scheduled into the past");
+}
+
+#[test]
+fn trace_glitch_query_agrees_with_telemetry() {
+    let (stats, trace) = run_traced();
+    let end = stats.makespan_ns.max(1);
+    let tele = &stats.device_telemetry[0];
+    let engine_tracks = trace.find_tracks(|d| {
+        d.process == "GID0" && (d.thread == "compute" || d.thread.starts_with("copy"))
+    });
+    assert!(!engine_tracks.is_empty());
+    for min_gap in [100_000u64, 1_000_000, 10_000_000] {
+        let from_trace =
+            strings_repro::sim::trace::combined_idle_gaps(&trace, &engine_tracks, 0, end, min_gap);
+        let from_tele = strings_repro::sim::telemetry::combined_idle_gaps(
+            &[&tele.compute, &tele.copy],
+            0,
+            end,
+            min_gap,
+        );
+        assert_eq!(
+            from_trace, from_tele,
+            "glitch count diverged at min_gap={min_gap}"
+        );
+    }
+}
+
+#[test]
+fn traced_runs_are_deterministic_and_exportable() {
+    let (_, a) = run_traced();
+    let (_, b) = run_traced();
+    let ja = trace_export::jsonl(&a);
+    let jb = trace_export::jsonl(&b);
+    assert_eq!(ja, jb, "trace must be a pure function of the seed");
+    let chrome = trace_export::chrome_json(&a);
+    assert!(chrome.starts_with("{\"traceEvents\":["));
+    assert!(chrome.contains("\"process_name\""));
+    assert!(chrome.contains("GID0"));
+    assert!(chrome.contains("\"thread_name\""));
+}

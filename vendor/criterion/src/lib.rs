@@ -1,0 +1,156 @@
+//! Offline stub of `criterion` 0.5.
+//!
+//! A minimal wall-clock harness: each `bench_function` warms up once,
+//! then runs batches until ~`CRITERION_STUB_MS` milliseconds (default
+//! 300) of measurement accumulate, and prints mean ns/iter (plus
+//! elements/sec when a throughput is set). No statistics, no HTML
+//! reports — enough to compare runs of the same bench across commits.
+
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark.
+fn target_measure_time() -> Duration {
+    let ms = std::env::var("CRITERION_STUB_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300);
+    Duration::from_millis(ms)
+}
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Work-per-iteration unit for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&id.into(), None, f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_bench(&full, self.throughput, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    pub(crate) iters: u64,
+    pub(crate) elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, throughput: Option<Throughput>, mut f: F) {
+    // Warm-up single iteration, also sizes the batches.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let target = target_measure_time();
+    let batch = (target.as_nanos() / 10 / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut total = Duration::ZERO;
+    let mut iters = 0u64;
+    while total < target {
+        let mut b = Bencher {
+            iters: batch,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        total += b.elapsed;
+        iters += batch;
+    }
+    let mean_ns = total.as_nanos() as f64 / iters as f64;
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let eps = n as f64 / (mean_ns / 1e9);
+            println!("bench {id:<50} {mean_ns:>14.1} ns/iter ({iters} iters, {eps:.0} elem/s)");
+        }
+        Some(Throughput::Bytes(n)) => {
+            let bps = n as f64 / (mean_ns / 1e9);
+            println!("bench {id:<50} {mean_ns:>14.1} ns/iter ({iters} iters, {bps:.0} B/s)");
+        }
+        None => {
+            println!("bench {id:<50} {mean_ns:>14.1} ns/iter ({iters} iters)");
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench`/`cargo test` pass harness flags (e.g.
+            // `--bench`); a stub has no CLI, so they are ignored.
+            $($group();)+
+        }
+    };
+}

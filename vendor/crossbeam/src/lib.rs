@@ -1,0 +1,15 @@
+//! Offline stub of `crossbeam`.
+//!
+//! The workspace declares crossbeam but no source currently uses it; the
+//! stub provides `scope`, mapped onto `std::thread::scope`, so future
+//! callers have the common entry point.
+
+pub mod thread {
+    /// Minimal `crossbeam::thread::scope` lookalike over `std::thread::scope`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&'scope std::thread::Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(f))
+    }
+}

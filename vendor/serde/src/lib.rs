@@ -1,0 +1,14 @@
+//! Offline stub of `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` names this workspace imports
+//! and re-exports no-op derive macros. No serialization machinery: the
+//! repo's exporters write JSON/CSV by hand, and nothing bounds on these
+//! traits.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait SerializeMarker {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait DeserializeMarker {}

@@ -1,0 +1,18 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The container image has no crates.io access, so the real `serde`
+//! cannot be fetched. This repo only uses serde's derives as annotations
+//! (nothing serializes through serde at runtime — the exporters
+//! hand-roll their formats), so the derives expand to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
