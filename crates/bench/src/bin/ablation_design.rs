@@ -1,14 +1,11 @@
 //! Ablation: backend designs I/II/III and Context Packer translations.
 
+use strings_harness::experiments::ablation;
+
 fn main() {
-    strings_bench::banner(
+    strings_bench::run_experiment(
         "Ablation — design choices (pair B: DXTC + MonteCarlo, supernode)",
         "slowdown of each removed mechanism vs full Strings (paper §III.B)",
-    );
-    let scale = strings_bench::scale_from_args();
-    let r = strings_harness::experiments::ablation::run(&scale);
-    print!(
-        "{}",
-        strings_harness::experiments::ablation::table(&r).render()
+        |scale| ablation::table(&ablation::run(scale)).render(),
     );
 }

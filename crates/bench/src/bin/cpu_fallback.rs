@@ -1,14 +1,11 @@
 //! Extension experiment: Ocelot-style CPU fallback (paper §VII).
 
+use strings_harness::experiments::cpu_fallback;
+
 fn main() {
-    strings_bench::banner(
+    strings_bench::run_experiment(
         "Extension — CPU fallback via binary translation (paper future work)",
         "the Xeon joins the gPool; RTF feedback learns what work suits it",
-    );
-    let scale = strings_bench::scale_from_args();
-    let r = strings_harness::experiments::cpu_fallback::run(&scale);
-    print!(
-        "{}",
-        strings_harness::experiments::cpu_fallback::table(&r).render()
+        |scale| cpu_fallback::table(&cpu_fallback::run(scale)).render(),
     );
 }

@@ -1,14 +1,14 @@
 //! Extension experiment: fault isolation across backend designs.
+//!
+//! Extra injections from `--faults` are layered on top of the built-in
+//! backend crash at t=10s.
+
+use strings_harness::experiments::faults;
 
 fn main() {
-    strings_bench::banner(
+    strings_bench::run_experiment(
         "Extension — fault isolation (one backend crash, busy single GPU)",
-        "Design I isolates per process; Design II loses everyone; Design III localizes",
-    );
-    let scale = strings_bench::scale_from_args();
-    let r = strings_harness::experiments::faults::run(&scale);
-    print!(
-        "{}",
-        strings_harness::experiments::faults::table(&r).render()
+        "Design I isolates per process; Design II loses everyone; Design III replays",
+        |scale| faults::table(&faults::run(scale)).render(),
     );
 }

@@ -1,14 +1,11 @@
 //! Regenerates Figure 1: compute/memory characteristics of cloud apps.
 
+use strings_harness::experiments::fig01;
+
 fn main() {
-    strings_bench::banner(
+    strings_bench::run_experiment(
         "Figure 1 — compute and memory characteristics",
         "heat bands red (>90%), yellow, green (<10%); idle gaps even for MC",
-    );
-    let scale = strings_bench::scale_from_args();
-    let r = strings_harness::experiments::fig01::run(&scale);
-    print!(
-        "{}",
-        strings_harness::experiments::fig01::table(&r).render()
+        |scale| fig01::table(&fig01::run(scale)).render(),
     );
 }

@@ -4,30 +4,27 @@
 //! `out.json` and the sequential run's to `out.sequential.json` — both
 //! Chrome trace-event JSON, loadable in Perfetto.
 
+use strings_harness::experiments::fig02;
+use strings_metrics::trace_export::chrome_json;
+
 fn main() {
-    strings_bench::banner(
+    strings_bench::run_experiment(
         "Figure 2 — GPU utilization of Monte Carlo request sets",
         "sequential contexts show switching glitches; streams are uniform",
+        |scale| {
+            let r = fig02::run(scale);
+            let mut out = fig02::table(&r).render();
+            if let Some(path) = &scale.trace {
+                let seq_path = strings_bench::trace_path_with_tag(path, "sequential");
+                std::fs::write(path, chrome_json(&r.concurrent.trace))
+                    .expect("write concurrent trace");
+                std::fs::write(&seq_path, chrome_json(&r.sequential.trace))
+                    .expect("write sequential trace");
+                out.push_str(&format!(
+                    "\ntraces written: {path} (concurrent), {seq_path} (sequential)\n"
+                ));
+            }
+            out
+        },
     );
-    let scale = strings_bench::scale_from_args();
-    let r = strings_harness::experiments::fig02::run(&scale);
-    print!(
-        "{}",
-        strings_harness::experiments::fig02::table(&r).render()
-    );
-    if let Some(path) = &scale.trace {
-        let seq_path = strings_bench::trace_path_with_tag(path, "sequential");
-        std::fs::write(
-            path,
-            strings_metrics::trace_export::chrome_json(&r.concurrent.trace),
-        )
-        .expect("write concurrent trace");
-        std::fs::write(
-            &seq_path,
-            strings_metrics::trace_export::chrome_json(&r.sequential.trace),
-        )
-        .expect("write sequential trace");
-        println!();
-        println!("traces written: {path} (concurrent), {seq_path} (sequential)");
-    }
 }

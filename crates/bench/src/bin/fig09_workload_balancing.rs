@@ -1,14 +1,11 @@
 //! Regenerates Figure 9: workload balancing vs the CUDA runtime (2 GPUs).
 
+use strings_harness::experiments::fig09;
+
 fn main() {
-    strings_bench::banner(
+    strings_bench::run_experiment(
         "Figure 9 — workload balancing, single node (Quadro 2000 + Tesla C2050)",
         "paper AVG: Rain 2.16/2.37/2.34x; Strings 3.10/4.90/4.73x (GRR/GMin/GWtMin)",
-    );
-    let scale = strings_bench::scale_from_args();
-    let r = strings_harness::experiments::fig09::run(&scale);
-    print!(
-        "{}",
-        strings_harness::experiments::fig09::table(&r).render()
+        |scale| fig09::table(&fig09::run(scale)).render(),
     );
 }

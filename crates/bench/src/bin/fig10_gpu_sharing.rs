@@ -1,14 +1,11 @@
 //! Regenerates Figure 10: GPU sharing on the 4-GPU supernode, 24 pairs.
 
+use strings_harness::experiments::fig10;
+
 fn main() {
-    strings_bench::banner(
+    strings_bench::run_experiment(
         "Figure 10 — GPU sharing, emulated 4-GPU supernode, pairs A..X",
         "paper AVG: Rain 1.60/1.80/1.82x; Strings 2.64/2.69/2.88x vs single-node GRR",
-    );
-    let scale = strings_bench::scale_from_args();
-    let r = strings_harness::experiments::fig10::run(&scale);
-    print!(
-        "{}",
-        strings_harness::experiments::fig10::table(&r).render()
+        |scale| fig10::table(&fig10::run(scale)).render(),
     );
 }

@@ -1,14 +1,11 @@
 //! Regenerates Figure 11: TFS fairness vs Rain and the CUDA runtime.
 
+use strings_harness::experiments::fig11;
+
 fn main() {
-    strings_bench::banner(
+    strings_bench::run_experiment(
         "Figure 11 — Jain fairness, pairs sharing one GPU (equal shares)",
         "paper: TFS-Strings avg 91%, +13% vs CUDA runtime, +7.14% vs TFS-Rain",
-    );
-    let scale = strings_bench::scale_from_args();
-    let r = strings_harness::experiments::fig11::run(&scale);
-    print!(
-        "{}",
-        strings_harness::experiments::fig11::table(&r).render()
+        |scale| fig11::table(&fig11::run(scale)).render(),
     );
 }

@@ -1,14 +1,11 @@
 //! Regenerates Figure 12: throughput-oriented GPU scheduling (LAS, PS).
 
+use strings_harness::experiments::fig12;
+
 fn main() {
-    strings_bench::banner(
+    strings_bench::run_experiment(
         "Figure 12 — GWtMin + LAS/PS vs single-node GRR, 24 pairs",
         "paper AVG: LAS-Rain 2.18x, LAS-Strings 3.10x, PS-Strings 2.97x",
-    );
-    let scale = strings_bench::scale_from_args();
-    let r = strings_harness::experiments::fig12::run(&scale);
-    print!(
-        "{}",
-        strings_harness::experiments::fig12::table(&r).render()
+        |scale| fig12::table(&fig12::run(scale)).render(),
     );
 }

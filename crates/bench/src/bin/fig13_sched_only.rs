@@ -1,14 +1,11 @@
 //! Regenerates Figure 13: scheduling gains vs the shared-GRR baseline.
 
+use strings_harness::experiments::fig13;
+
 fn main() {
-    strings_bench::banner(
+    strings_bench::run_experiment(
         "Figure 13 — GPU scheduling vs GRR with 4 GPUs shared",
         "paper AVG: LAS-Rain 1.40x, LAS-Strings 1.95x, PS-Strings 1.90x",
-    );
-    let scale = strings_bench::scale_from_args();
-    let r = strings_harness::experiments::fig13::run(&scale);
-    print!(
-        "{}",
-        strings_harness::experiments::fig13::table(&r).render()
+        |scale| fig13::table(&fig13::run(scale)).render(),
     );
 }

@@ -1,14 +1,11 @@
 //! Regenerates Figure 14: feedback-based load balancing (RTF, GUF).
 
+use strings_harness::experiments::fig14;
+
 fn main() {
-    strings_bench::banner(
+    strings_bench::run_experiment(
         "Figure 14 — RTF/GUF feedback balancing vs single-node GRR, 24 pairs",
         "paper AVG: RTF-Rain 2.22x, GUF-Rain 2.51x, RTF-Strings 3.23x, GUF-Strings 3.96x",
-    );
-    let scale = strings_bench::scale_from_args();
-    let r = strings_harness::experiments::fig14::run(&scale);
-    print!(
-        "{}",
-        strings_harness::experiments::fig14::table(&r).render()
+        |scale| fig14::table(&fig14::run(scale)).render(),
     );
 }

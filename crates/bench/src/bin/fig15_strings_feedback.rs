@@ -1,14 +1,11 @@
 //! Regenerates Figure 15: Strings-specific feedback policies (DTF, MBF).
 
+use strings_harness::experiments::fig15;
+
 fn main() {
-    strings_bench::banner(
+    strings_bench::run_experiment(
         "Figure 15 — DTF and MBF vs single-node GRR, 24 pairs",
         "paper AVG: DTF 3.73x, MBF 4.02x (8.06x/8.70x vs bare CUDA runtime)",
-    );
-    let scale = strings_bench::scale_from_args();
-    let r = strings_harness::experiments::fig15::run(&scale);
-    print!(
-        "{}",
-        strings_harness::experiments::fig15::table(&r).render()
+        |scale| fig15::table(&fig15::run(scale)).render(),
     );
 }

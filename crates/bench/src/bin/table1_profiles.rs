@@ -1,13 +1,11 @@
 //! Regenerates Table I: measured application characteristics.
 
+use strings_harness::experiments::table1;
+
 fn main() {
-    strings_bench::banner(
+    strings_bench::run_experiment(
         "Table I — benchmark applications",
         "GPU time %, data transfer %, memory bandwidth per application",
-    );
-    let r = strings_harness::experiments::table1::run();
-    print!(
-        "{}",
-        strings_harness::experiments::table1::table(&r).render()
+        |_scale| table1::table(&table1::run()).render(),
     );
 }

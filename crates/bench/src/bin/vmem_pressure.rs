@@ -1,11 +1,11 @@
 //! Extension experiment: virtual memory under memory pressure.
 
+use strings_harness::experiments::vmem;
+
 fn main() {
-    strings_bench::banner(
+    strings_bench::run_experiment(
         "Extension — vmem under memory pressure (MC burst on a 1 GiB Quadro)",
         "paper assumes arrivals never exhaust memory; the Gdev/Becchi vmem removes it",
+        |scale| vmem::table(&vmem::run(scale)).render(),
     );
-    let scale = strings_bench::scale_from_args();
-    let r = strings_harness::experiments::vmem::run(&scale);
-    print!("{}", strings_harness::experiments::vmem::table(&r).render());
 }

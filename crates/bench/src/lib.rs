@@ -5,6 +5,12 @@
 //! plots) and one **Criterion bench** per experiment (micro-scale, tracking
 //! simulation throughput and policy overheads).
 //!
+//! Every regeneration binary is a ~10-line declaration over the shared
+//! [`run_experiment`] entry point, which owns the common CLI ([`Cli`]):
+//! `--quick`, `--seeds`, `--requests`, `--trace` and `--faults` parse in
+//! one place and reach the experiment through
+//! [`strings_harness::experiments::ExpScale`].
+//!
 //! Regeneration binaries (run with `--release`; pass `--quick` for a
 //! reduced run):
 //!
@@ -19,37 +25,100 @@
 //! cargo run --release -p strings-bench --bin fig13_sched_only
 //! cargo run --release -p strings-bench --bin fig14_feedback
 //! cargo run --release -p strings-bench --bin fig15_strings_feedback
+//! cargo run --release -p strings-bench --bin fault_isolation
 //! ```
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+use sim_core::fault::FaultPlan;
 use strings_harness::experiments::ExpScale;
 
-/// Parse the common CLI of the regeneration binaries: `--quick` selects the
-/// reduced scale, `--seeds N` overrides the seed count, `--trace PATH`
-/// asks trace-recording experiments to export Chrome trace-event JSON.
-pub fn scale_from_args() -> ExpScale {
-    let args: Vec<String> = std::env::args().collect();
-    let mut scale = if args.iter().any(|a| a == "--quick") {
-        ExpScale::quick()
-    } else {
-        ExpScale::full()
-    };
-    if let Some(pos) = args.iter().position(|a| a == "--seeds") {
-        if let Some(n) = args.get(pos + 1).and_then(|s| s.parse::<u64>().ok()) {
-            scale.seeds = (1..=n).map(|i| 100 * i + 1).collect();
+/// Options shared by every regeneration binary.
+pub const USAGE: &str = "common options:
+  --quick          reduced scale (fewer requests, one seed)
+  --seeds N        average over N seeds
+  --requests N     requests per stream
+  --trace PATH     write a Perfetto-loadable Chrome trace-event JSON file
+                   (.jsonl extension selects JSONL)
+  --faults PLAN    inject faults, e.g. 'crash@10s:gid0;partition@2s+500ms:node1'
+                   (kinds: crash ecc nodeloss degrade partition)
+  --help           print this text
+";
+
+/// The parsed common command line of a regeneration binary.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    /// Experiment scale assembled from the flags.
+    pub scale: ExpScale,
+    /// `--help` was requested.
+    pub help: bool,
+}
+
+impl Cli {
+    /// Parse an argument list (excluding argv[0]). Unknown options are
+    /// errors — every flag a binary honours lives in this one grammar.
+    pub fn parse_from(args: &[String]) -> Result<Cli, String> {
+        let mut scale = if args.iter().any(|a| a == "--quick") {
+            ExpScale::quick()
+        } else {
+            ExpScale::full()
+        };
+        let mut help = false;
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let mut take = || -> Result<&String, String> {
+                it.next().ok_or_else(|| format!("{arg} wants a value"))
+            };
+            match arg.as_str() {
+                "--quick" => {}
+                "--help" | "-h" => help = true,
+                "--seeds" => {
+                    let n: u64 = take()?
+                        .parse()
+                        .map_err(|_| "bad --seeds (want a count)".to_string())?;
+                    if n == 0 {
+                        return Err("--seeds must be at least 1".into());
+                    }
+                    scale.seeds = (1..=n).map(|i| 100 * i + 1).collect();
+                }
+                "--requests" => {
+                    scale.requests = take()?
+                        .parse()
+                        .map_err(|_| "bad --requests (want a count)".to_string())?;
+                }
+                "--trace" => scale.trace = Some(take()?.clone()),
+                "--faults" => scale.faults = FaultPlan::parse(take()?)?,
+                other => return Err(format!("unknown option '{other}'")),
+            }
+        }
+        Ok(Cli { scale, help })
+    }
+
+    /// Parse the process arguments; print usage and exit on `--help` or a
+    /// parse error.
+    pub fn parse() -> Cli {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        match Cli::parse_from(&args) {
+            Ok(cli) if cli.help => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            Ok(cli) => cli,
+            Err(msg) => {
+                eprintln!("error: {msg}\n\n{USAGE}");
+                std::process::exit(2);
+            }
         }
     }
-    if let Some(pos) = args.iter().position(|a| a == "--requests") {
-        if let Some(n) = args.get(pos + 1).and_then(|s| s.parse::<usize>().ok()) {
-            scale.requests = n;
-        }
-    }
-    if let Some(pos) = args.iter().position(|a| a == "--trace") {
-        scale.trace = args.get(pos + 1).cloned();
-    }
-    scale
+}
+
+/// The whole body of a regeneration binary: parse the common CLI, print
+/// the banner, run `body` at the requested scale, print what it returns.
+pub fn run_experiment(figure: &str, paper_note: &str, body: impl FnOnce(&ExpScale) -> String) {
+    let cli = Cli::parse();
+    banner(figure, paper_note);
+    print!("{}", body(&cli.scale));
 }
 
 /// Derive a sibling path for a second trace file: `out.json` + `seq` →
@@ -72,12 +141,38 @@ pub fn banner(figure: &str, paper_note: &str) {
 mod tests {
     use super::*;
 
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
     #[test]
     fn default_scale_is_full() {
-        // Args of the test binary contain no --quick.
-        let s = scale_from_args();
-        assert!(s.requests >= ExpScale::quick().requests);
-        assert!(s.trace.is_none());
+        let cli = Cli::parse_from(&[]).unwrap();
+        assert!(cli.scale.requests >= ExpScale::quick().requests);
+        assert!(cli.scale.trace.is_none());
+        assert!(cli.scale.faults.is_empty());
+        assert!(!cli.help);
+    }
+
+    #[test]
+    fn flags_reach_the_scale() {
+        let cli = Cli::parse_from(&args(
+            "--quick --seeds 2 --requests 5 --trace out.json --faults crash@10s:gid0",
+        ))
+        .unwrap();
+        assert_eq!(cli.scale.requests, 5);
+        assert_eq!(cli.scale.seeds.len(), 2);
+        assert_eq!(cli.scale.trace.as_deref(), Some("out.json"));
+        assert_eq!(cli.scale.faults.len(), 1);
+    }
+
+    #[test]
+    fn bad_input_is_rejected() {
+        assert!(Cli::parse_from(&args("--frobnicate")).is_err());
+        assert!(Cli::parse_from(&args("--seeds 0")).is_err());
+        assert!(Cli::parse_from(&args("--seeds")).is_err());
+        assert!(Cli::parse_from(&args("--faults meteor@1s:gid0")).is_err());
+        assert!(Cli::parse_from(&args("--help")).unwrap().help);
     }
 
     #[test]

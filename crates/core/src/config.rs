@@ -13,6 +13,7 @@ use crate::device_sched::GpuPolicy;
 use crate::mapper::{LbPolicy, PolicyArbiter};
 use crate::packer::PackerConfig;
 use remoting::backend::BackendDesign;
+use remoting::retry::RetryPolicy;
 use remoting::rpc::RpcCostModel;
 use serde::{Deserialize, Serialize};
 use sim_core::SimDuration;
@@ -59,6 +60,10 @@ pub struct StackConfig {
     pub epoch: SimDuration,
     /// RPC interposition costs (zeroed for the bare runtime).
     pub rpc: RpcCostModel,
+    /// Frontend failure semantics: per-call deadlines and bounded backoff
+    /// when a backend stops answering. Disabled for the bare runtime, which
+    /// has no interposer to retry through.
+    pub retry: RetryPolicy,
     /// Rain's fairness-accounting flaw: measured service includes context-
     /// switch overhead, which pollutes TFS accounting (paper §V.D.1).
     pub service_includes_switch_overhead: bool,
@@ -80,6 +85,7 @@ impl StackConfig {
                 unmarshal_ns: 0,
                 marshal_ns_per_kib: 0,
             },
+            retry: RetryPolicy::disabled(),
             service_includes_switch_overhead: true,
         }
     }
@@ -95,6 +101,7 @@ impl StackConfig {
             packer: PackerConfig::off(),
             epoch: SimDuration::from_ms(5),
             rpc: RpcCostModel::default(),
+            retry: RetryPolicy::default(),
             service_includes_switch_overhead: true,
         }
     }
@@ -110,6 +117,7 @@ impl StackConfig {
             packer: PackerConfig::strings(),
             epoch: SimDuration::from_ms(5),
             rpc: RpcCostModel::default(),
+            retry: RetryPolicy::default(),
             service_includes_switch_overhead: false,
         }
     }
@@ -117,6 +125,12 @@ impl StackConfig {
     /// Add a device-level dispatch policy.
     pub fn with_gpu_policy(mut self, p: GpuPolicy) -> Self {
         self.gpu_policy = p;
+        self
+    }
+
+    /// Override the frontend retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
         self
     }
 
@@ -169,6 +183,7 @@ mod tests {
         assert!(c.lb.is_none());
         assert!(c.arbiter().is_none());
         assert_eq!(c.rpc.marshal_ns, 0);
+        assert!(!c.retry.is_enabled(), "no interposer, nothing to retry");
         assert_eq!(c.label(), "CUDA runtime");
         assert!(!c.packer.async_memcpy);
     }
@@ -188,6 +203,7 @@ mod tests {
         assert_eq!(c.design, BackendDesign::PerGpuThreads);
         assert!(c.packer.auto_stream && c.packer.async_memcpy);
         assert!(!c.service_includes_switch_overhead);
+        assert!(c.retry.is_enabled());
         assert_eq!(c.label(), "GWtMin-Strings");
     }
 

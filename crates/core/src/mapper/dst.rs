@@ -18,6 +18,7 @@ pub struct DeviceStatus {
     /// Static device weight (from device properties at gPool creation).
     pub weight: f64,
     bound: Vec<WorkloadClass>,
+    retired: bool,
 }
 
 impl DeviceStatus {
@@ -35,6 +36,12 @@ impl DeviceStatus {
     /// Workload classes currently bound.
     pub fn bound(&self) -> &[WorkloadClass] {
         &self.bound
+    }
+
+    /// True once the device has failed (ECC error, node loss) and must no
+    /// longer receive placements.
+    pub fn is_retired(&self) -> bool {
+        self.retired
     }
 }
 
@@ -56,6 +63,7 @@ impl DeviceStatusTable {
                     node: e.node,
                     weight: e.weight,
                     bound: Vec::new(),
+                    retired: false,
                 })
                 .collect(),
         }
@@ -97,6 +105,19 @@ impl DeviceStatusTable {
     /// Total bound instances across the pool.
     pub fn total_load(&self) -> usize {
         self.rows.iter().map(|r| r.load()).sum()
+    }
+
+    /// Retire a failed device: its row stays (GIDs are stable across
+    /// failures) but selection policies skip it from now on. Idempotent.
+    pub fn retire(&mut self, gid: Gid) {
+        if let Some(row) = self.rows.get_mut(gid.index()) {
+            row.retired = true;
+        }
+    }
+
+    /// Number of devices still accepting placements.
+    pub fn live_len(&self) -> usize {
+        self.rows.iter().filter(|r| !r.retired).count()
     }
 }
 
@@ -144,6 +165,21 @@ mod tests {
         let q = t.row(Gid(0)).unwrap().weighted_load();
         let tsl = t.row(Gid(1)).unwrap().weighted_load();
         assert!(q > tsl, "same load weighs heavier on the weaker GPU");
+    }
+
+    #[test]
+    fn retire_is_sticky_and_keeps_rows() {
+        let mut t = dst();
+        assert_eq!(t.live_len(), 4);
+        t.retire(Gid(1));
+        t.retire(Gid(1));
+        assert_eq!(t.len(), 4, "row survives for GID stability");
+        assert_eq!(t.live_len(), 3);
+        assert!(t.row(Gid(1)).unwrap().is_retired());
+        assert!(!t.row(Gid(0)).unwrap().is_retired());
+        // Retiring an unknown GID is a no-op.
+        t.retire(Gid(99));
+        assert_eq!(t.live_len(), 3);
     }
 
     #[test]

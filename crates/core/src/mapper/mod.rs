@@ -115,6 +115,25 @@ impl GpuAffinityMapper {
         self.dst.unbind(gid, class);
     }
 
+    /// Retire a failed device (ECC error or node loss): its DST row stays —
+    /// surviving GIDs are stable — but no policy will select it again.
+    pub fn retire(&mut self, now: SimTime, gid: Gid) {
+        self.dst.retire(gid);
+        if self.tracer.is_on() {
+            self.tracer.instant(
+                self.track,
+                now,
+                "device_retired",
+                vec![("gid", gid.to_string())],
+            );
+        }
+    }
+
+    /// True while at least one device still accepts placements.
+    pub fn has_live_device(&self) -> bool {
+        self.dst.live_len() > 0
+    }
+
     /// Ingest a Feedback Engine record for `class` from an instance that
     /// ran on `gid` (piggybacked on `cudaThreadExit`); may trigger the
     /// arbiter's dynamic policy switch.
@@ -213,6 +232,22 @@ mod tests {
         assert_eq!(m.dst().row(Gid(0)).unwrap().load(), 1);
         m.unbind(Gid(0), WorkloadClass(1));
         assert_eq!(m.dst().row(Gid(0)).unwrap().load(), 0);
+    }
+
+    #[test]
+    fn retire_redirects_future_selections() {
+        let mut m = mapper(LbPolicy::GMin);
+        m.retire(1_000, Gid(1));
+        m.retire(1_000, Gid(3));
+        assert!(m.has_live_device());
+        for _ in 0..4 {
+            let pick = m.select_device(WorkloadClass(0), NodeId(0));
+            assert!(pick == Gid(0) || pick == Gid(2), "picked dead {pick}");
+            m.bind(pick, WorkloadClass(0));
+        }
+        m.retire(2_000, Gid(0));
+        m.retire(2_000, Gid(2));
+        assert!(!m.has_live_device());
     }
 
     #[test]

@@ -85,11 +85,18 @@ impl LbPolicy {
         rr_next: &mut usize,
     ) -> Gid {
         assert!(!dst.is_empty(), "empty gPool");
+        assert!(dst.live_len() > 0, "no surviving devices in gPool");
         match self {
             LbPolicy::Grr => {
-                let gid = dst.rows()[*rr_next % dst.len()].gid;
-                *rr_next = (*rr_next + 1) % dst.len();
-                gid
+                // Round-robin over the *live* rows; retired devices keep
+                // their slot (GID stability) but are skipped.
+                loop {
+                    let row = &dst.rows()[*rr_next % dst.len()];
+                    *rr_next = (*rr_next + 1) % dst.len();
+                    if !row.is_retired() {
+                        return row.gid;
+                    }
+                }
             }
             _ => self.argmin(dst, sft, class, app_node),
         }
@@ -104,6 +111,9 @@ impl LbPolicy {
     ) -> Gid {
         let mut best: Option<((f64, f64, Gid), Gid)> = None;
         for row in dst.rows() {
+            if row.is_retired() {
+                continue;
+            }
             // Expected seconds to drain this device's queue plus the new
             // arrival, from measured GPU-specific runtimes (RTF's metric;
             // DTF and MBF build on it — the paper notes MBF "includes the
@@ -329,6 +339,43 @@ mod tests {
         dst.bind(Gid(3), WorkloadClass(0));
         let pick = LbPolicy::GMin.select(&dst, &sft, WorkloadClass(0), NodeId(0), &mut rr);
         assert_eq!(pick, Gid(2));
+    }
+
+    #[test]
+    fn retired_devices_are_never_selected() {
+        let (mut dst, sft) = fixtures();
+        dst.retire(Gid(0));
+        dst.retire(Gid(2));
+        let mut rr = 0;
+        // GRR cycles only over the survivors, preserving order.
+        let picks: Vec<Gid> = (0..4)
+            .map(|_| LbPolicy::Grr.select(&dst, &sft, WorkloadClass(0), NodeId(0), &mut rr))
+            .collect();
+        assert_eq!(picks, vec![Gid(1), Gid(3), Gid(1), Gid(3)]);
+        // Argmin policies skip retired rows even when they look idle.
+        for p in [
+            LbPolicy::GMin,
+            LbPolicy::GWtMin,
+            LbPolicy::Rtf,
+            LbPolicy::Mbf,
+        ] {
+            let pick = p.select(&dst, &sft, WorkloadClass(0), NodeId(0), &mut rr);
+            assert!(
+                pick == Gid(1) || pick == Gid(3),
+                "{p:?} picked dead {pick:?}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no surviving devices")]
+    fn fully_retired_pool_panics() {
+        let (mut dst, sft) = fixtures();
+        for g in 0..4 {
+            dst.retire(Gid(g));
+        }
+        let mut rr = 0;
+        LbPolicy::GMin.select(&dst, &sft, WorkloadClass(0), NodeId(0), &mut rr);
     }
 
     #[test]

@@ -162,6 +162,20 @@ impl HostThread {
     pub fn abort(&mut self) {
         self.state = HostState::Done;
     }
+
+    /// Failover restart: replay the program from the top (the frontend
+    /// reconnects after its backend died). `arrived_at` is preserved so the
+    /// request's turnaround still counts the disruption it suffered.
+    pub fn restart(&mut self, now: SimTime) {
+        self.pc = 0;
+        self.finished_at = None;
+        self.started_at = now;
+        self.state = if self.program.is_empty() {
+            HostState::Done
+        } else {
+            HostState::Ready
+        };
+    }
 }
 
 #[cfg(test)]
@@ -235,6 +249,24 @@ mod tests {
         assert!(t.is_done());
         assert_eq!(t.finished_at, None, "aborted, not completed");
         assert_eq!(t.turnaround_ns(), None);
+    }
+
+    #[test]
+    fn restart_replays_but_keeps_arrival() {
+        let mut t = HostThread::new(AppId(0), ProcessId(0), prog(), 100);
+        t.advance(200);
+        t.advance(300);
+        t.restart(5_000);
+        assert!(t.is_ready());
+        assert_eq!(t.pc, 0, "program replays from the top");
+        assert_eq!(t.arrived_at, 100, "arrival survives the failover");
+        assert_eq!(t.started_at, 5_000);
+        // Walk to completion: turnaround includes the outage.
+        for _ in 0..4 {
+            t.advance(6_000);
+        }
+        assert!(t.is_done());
+        assert_eq!(t.turnaround_ns(), Some(6_000 - 100));
     }
 
     #[test]

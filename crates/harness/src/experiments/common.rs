@@ -4,6 +4,7 @@ use crate::scenario::{LbScope, Scenario, StreamSpec};
 use crate::sweep;
 use gpu_sim::spec::GpuModel;
 use remoting::gpool::NodeId;
+use sim_core::fault::FaultPlan;
 use strings_core::config::StackConfig;
 use strings_core::device_sched::TenantId;
 use strings_core::mapper::LbPolicy;
@@ -23,6 +24,9 @@ pub struct ExpScale {
     /// binaries); experiments that record traces write Chrome trace-event
     /// JSON files derived from this path.
     pub trace: Option<String>,
+    /// Extra fault injections (`--faults` on the regeneration binaries),
+    /// layered on top of whatever an experiment injects itself.
+    pub faults: FaultPlan,
 }
 
 impl ExpScale {
@@ -33,6 +37,7 @@ impl ExpScale {
             load: 1.3,
             seeds: vec![101, 202, 303],
             trace: None,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -43,6 +48,7 @@ impl ExpScale {
             load: 1.3,
             seeds: vec![101],
             trace: None,
+            faults: FaultPlan::none(),
         }
     }
 }

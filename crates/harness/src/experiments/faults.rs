@@ -7,13 +7,16 @@
 //! Design III localizes faults to individual backend threads.
 //!
 //! This experiment injects one backend crash on a busy device and measures
-//! the blast radius (requests killed) under each design.
+//! the blast radius (requests killed) under each design. Design III's
+//! siblings survive the crash via failover replay, so they show up in the
+//! `retried` column instead of the `killed` one.
 
 use super::common::ExpScale;
 use crate::scenario::{Scenario, StreamSpec};
 use gpu_sim::spec::GpuModel;
 use remoting::backend::BackendDesign;
 use remoting::gpool::{NodeId, NodeSpec};
+use sim_core::fault::FaultPlan;
 use strings_core::config::StackConfig;
 use strings_core::device_sched::TenantId;
 use strings_core::mapper::LbPolicy;
@@ -32,6 +35,10 @@ pub struct Outcome {
     pub failed: u64,
     /// Requests that still completed.
     pub completed: u64,
+    /// Requests that completed only after a failover replay.
+    pub retried: u64,
+    /// Total virtual time requests spent waiting out failovers, ns.
+    pub downtime_ns: u64,
 }
 
 /// Fault-isolation results.
@@ -55,12 +62,18 @@ fn measure(design_cfg: StackConfig, label: &'static str, scale: &ExpScale) -> Ou
     };
     let mut scen = Scenario::single_node(design_cfg, vec![stream], 17);
     scen.nodes = vec![node];
-    scen.faults = vec![(FAULT_AT_NS, 0)];
+    scen.faults = FaultPlan::none().crash_at(FAULT_AT_NS, 0);
+    for ev in scale.faults.events() {
+        scen.faults.push(ev.at, ev.kind);
+    }
     let stats = scen.run();
+    let totals = stats.disruption_report().totals();
     Outcome {
         label,
         failed: stats.failed_requests,
         completed: stats.completed_requests - stats.failed_requests,
+        retried: totals.retried,
+        downtime_ns: totals.downtime_ns,
     }
 }
 
@@ -95,12 +108,16 @@ pub fn table(r: &Results) -> Table {
         "backend design",
         "requests killed",
         "requests completed",
+        "requests retried",
+        "downtime_ms",
     ]);
     for o in &r.outcomes {
         t.row(vec![
             o.label.to_string(),
             o.failed.to_string(),
             o.completed.to_string(),
+            o.retried.to_string(),
+            format!("{:.3}", o.downtime_ns as f64 / 1e6),
         ]);
     }
     t
@@ -132,6 +149,11 @@ mod tests {
             d2.failed,
             d3.failed
         );
+        // Design III's sibling applications survive via failover replay;
+        // design II has no survivors to retry.
+        assert!(d3.retried > 0, "design III siblings must replay");
+        assert_eq!(d2.retried, 0, "design II leaves nothing to retry");
+        assert!(d3.downtime_ns > 0, "failover replay costs downtime");
         // The system keeps serving after the fault in every design.
         for o in &r.outcomes {
             assert!(o.completed > 0, "{} completed nothing", o.label);

@@ -10,6 +10,7 @@ use crate::RunStats;
 use gpu_sim::device::DeviceConfig;
 use remoting::gpool::{NodeId, NodeSpec};
 use serde::{Deserialize, Serialize};
+use sim_core::fault::FaultPlan;
 use sim_core::rng::SimRng;
 use sim_core::SimTime;
 use strings_core::config::StackConfig;
@@ -133,8 +134,9 @@ pub struct Scenario {
     /// Only service completed before this instant counts toward the
     /// fairness metric (None = whole run).
     pub fairness_horizon: Option<SimTime>,
-    /// Backend faults to inject: (time, device gid).
-    pub faults: Vec<(SimTime, usize)>,
+    /// Faults to inject (crashes, device/node losses, link trouble),
+    /// stamped in virtual time. [`FaultPlan::none`] for healthy runs.
+    pub faults: FaultPlan,
     /// RNG seed.
     pub seed: u64,
     /// Record a structured trace of the run (engine spans, scheduler
@@ -154,7 +156,7 @@ impl Scenario {
             channels: ChannelPair::default(),
             streams,
             fairness_horizon: None,
-            faults: Vec::new(),
+            faults: FaultPlan::none(),
             seed,
             trace: false,
         }
@@ -171,10 +173,16 @@ impl Scenario {
             channels: ChannelPair::default(),
             streams,
             fairness_horizon: None,
-            faults: Vec::new(),
+            faults: FaultPlan::none(),
             seed,
             trace: false,
         }
+    }
+
+    /// Inject the given fault plan during the run.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// Restrict the balancer to each application's own node.
@@ -229,9 +237,8 @@ impl Scenario {
             requests,
             self.fairness_horizon,
         );
-        for &(at, gid) in &self.faults {
-            world.inject_fault(at, gid);
-        }
+        world.set_seed(self.seed);
+        world.set_fault_plan(&self.faults);
         if self.trace {
             world.enable_tracing();
         }

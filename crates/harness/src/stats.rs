@@ -5,7 +5,23 @@ use sim_core::trace::Trace;
 use sim_core::SimTime;
 use std::collections::BTreeMap;
 use strings_core::device_sched::TenantId;
+use strings_metrics::disruption::{DisruptionReport, TenantDisruption};
 use strings_metrics::CompletionSet;
+
+/// Per-tenant request-outcome buckets under fault injection.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TenantOutcomes {
+    /// Requests that completed untouched by any fault.
+    pub completed: u64,
+    /// Requests killed by a fault (never completed).
+    pub lost: u64,
+    /// Requests that completed after an RPC retry or failover replay.
+    pub retried: u64,
+    /// Requests that completed but crossed a degraded/partitioned link.
+    pub degraded: u64,
+    /// Virtual time spent waiting out failovers.
+    pub downtime_ns: u64,
+}
 
 /// Everything one simulation run reports.
 #[derive(Debug, Default)]
@@ -25,6 +41,18 @@ pub struct RunStats {
     pub completed_requests: u64,
     /// Requests killed by injected backend faults.
     pub failed_requests: u64,
+    /// RPC calls whose deadline expired before any reply.
+    pub rpc_timeouts: u64,
+    /// Retransmissions issued after a deadline expiry.
+    pub rpc_retries: u64,
+    /// Application failover restarts (backend replay after a crash or a
+    /// permanent device/node loss).
+    pub failovers: u64,
+    /// gMap rebuilds performed after permanent device/node losses.
+    pub gmap_rebuilds: u64,
+    /// Request-outcome buckets per tenant (always populated; all-zero
+    /// fault counters when no faults were injected).
+    pub tenant_outcomes: BTreeMap<TenantId, TenantOutcomes>,
     /// Telemetry per device (indexed by GID).
     pub device_telemetry: Vec<DeviceTelemetry>,
     /// Placement histogram: (slot, gid) → bound request count.
@@ -66,6 +94,27 @@ impl RunStats {
             .map(|(t, s)| *s as f64 / weights.get(t).copied().unwrap_or(1.0))
             .collect()
     }
+
+    /// Build the availability/disruption report (per-tenant outcomes plus
+    /// RPC-recovery counters). Deterministic: tenants render in id order.
+    pub fn disruption_report(&self) -> DisruptionReport {
+        let mut r = DisruptionReport::new();
+        for (tenant, o) in &self.tenant_outcomes {
+            r.push(TenantDisruption {
+                tenant: tenant.0,
+                completed: o.completed,
+                lost: o.lost,
+                retried: o.retried,
+                degraded: o.degraded,
+                downtime_ns: o.downtime_ns,
+            });
+        }
+        r.rpc_timeouts = self.rpc_timeouts;
+        r.rpc_retries = self.rpc_retries;
+        r.failovers = self.failovers;
+        r.gmap_rebuilds = self.gmap_rebuilds;
+        r
+    }
 }
 
 #[cfg(test)]
@@ -92,6 +141,38 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(s.mean_completion_ns(), 0.0);
+    }
+
+    #[test]
+    fn disruption_report_rolls_up_in_tenant_order() {
+        let mut s = RunStats::default();
+        s.tenant_outcomes.insert(
+            TenantId(1),
+            TenantOutcomes {
+                completed: 3,
+                lost: 1,
+                ..Default::default()
+            },
+        );
+        s.tenant_outcomes.insert(
+            TenantId(0),
+            TenantOutcomes {
+                completed: 5,
+                retried: 2,
+                downtime_ns: 7_000,
+                ..Default::default()
+            },
+        );
+        s.rpc_timeouts = 2;
+        s.failovers = 1;
+        let r = s.disruption_report();
+        assert_eq!(r.tenants().len(), 2);
+        assert_eq!(r.tenants()[0].tenant, 0, "BTreeMap iteration is sorted");
+        assert_eq!(r.totals().completed, 8);
+        assert_eq!(r.totals().lost, 1);
+        assert_eq!(r.totals().downtime_ns, 7_000);
+        assert_eq!(r.rpc_timeouts, 2);
+        assert_eq!(r.failovers, 1);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! reproducible from its seed.
 
 use crate::scenario::{ChannelPair, HostCosts, LbScope};
-use crate::stats::RunStats;
+use crate::stats::{RunStats, TenantOutcomes};
 use cuda_sim::call::CudaCall;
 use cuda_sim::host::{AppId, BlockOn, HostThread, ProcessId};
 use cuda_sim::pending::PendingOps;
@@ -22,10 +22,12 @@ use cuda_sim::registry::ContextRegistry;
 use gpu_sim::device::{Device, DeviceConfig};
 use gpu_sim::ids::{ContextId, StreamId};
 use gpu_sim::job::{CopyDirection, JobKind};
-use remoting::backend::BackendDesign;
+use remoting::backend::{BackendDesign, APP_PID_BASE, HOST_PID_BASE};
 use remoting::channel::{ChannelKind, ChannelSpec};
 use remoting::gpool::{GMap, Gid, NodeId, NodeSpec};
 use sim_core::event::EventQueue;
+use sim_core::fault::{FaultKind, FaultPlan};
+use sim_core::rng::SimRng;
 use sim_core::trace::{Tracer, TrackId};
 use sim_core::{Generation, SimTime};
 use std::collections::VecDeque;
@@ -70,18 +72,38 @@ struct AppInstance {
     /// Timestamp of this app's latest scheduled RPC delivery; deliveries
     /// are forced in-order per application (the paper's in-order RPC rule).
     last_deliver: SimTime,
+    /// Bumped on every abort/failover; events stamped with an older
+    /// incarnation are stale and dropped.
+    incarnation: u32,
+    /// Attempt number of the in-flight blocking RPC (0 when idle).
+    attempt: u32,
+    /// The blocking call awaiting a reply, kept for retransmission.
+    inflight: Option<PackedCall>,
+    /// Suffered a retry or failover replay (classified at completion).
+    disrupted: bool,
+    /// Crossed a degraded or partitioned link window.
+    degraded: bool,
 }
 
 #[derive(Debug)]
 enum Event {
     Arrival(u32),
-    HostWake(AppId),
+    /// Host CPU phase ends (app, incarnation).
+    HostWake(AppId, u32),
     Device(u32, Generation),
     Epoch(u32),
-    Deliver(AppId, PackedCall),
-    Reply(AppId),
-    /// A backend-process crash on device `gid` (fault injection).
+    /// An RPC lands at the backend (app, call, incarnation).
+    Deliver(AppId, PackedCall, u32),
+    /// An RPC reply reaches the frontend (app, incarnation).
+    Reply(AppId, u32),
+    /// An injected fault fires: index into the run's [`FaultPlan`].
     Fault(u32),
+    /// Per-call deadline for a blocking RPC (app, incarnation, attempt).
+    Deadline(AppId, u32, u32),
+    /// Backoff expired: retransmit the in-flight call.
+    Retry(AppId, u32, u32),
+    /// Failover complete: replay the program on a surviving backend.
+    Restart(AppId, u32),
 }
 
 #[derive(Debug)]
@@ -118,7 +140,16 @@ pub struct World {
     apps: Vec<Option<AppInstance>>,
     waiters: Vec<Waiter>,
     requests: Vec<PlannedRequest>,
-    faults: Vec<(SimTime, usize)>,
+    /// Injected faults for this run (virtual-time-stamped, seeded).
+    plan: FaultPlan,
+    /// Failure-semantics RNG (backoff jitter); reseeded by the scenario.
+    rng: SimRng,
+    /// Nodes lost to `FaultKind::NodeLoss` (frontends there are dead).
+    node_lost: Vec<bool>,
+    /// Per-node partition window end (0 = not partitioned).
+    partition_until: Vec<SimTime>,
+    /// Per-node link degradation window: (end, slowdown factor).
+    degrade: Vec<(SimTime, f64)>,
     slot_inflight: Vec<usize>,
     slot_backlog: Vec<VecDeque<usize>>,
     next_stream: u32,
@@ -133,6 +164,8 @@ pub struct World {
     trk_slots: Vec<TrackId>,
     /// Executive-level track (counters, run-wide diagnostics).
     trk_sim: TrackId,
+    /// Fault-injection track (injections, windows, gMap rebuilds).
+    trk_faults: TrackId,
 }
 
 impl World {
@@ -208,7 +241,11 @@ impl World {
             apps: Vec::new(),
             waiters: Vec::new(),
             requests,
-            faults: Vec::new(),
+            plan: FaultPlan::none(),
+            rng: SimRng::new(0x5EED_FA17),
+            node_lost: vec![false; nodes.len()],
+            partition_until: vec![0; nodes.len()],
+            degrade: vec![(0, 1.0); nodes.len()],
             slot_inflight,
             slot_backlog,
             next_stream: 1,
@@ -222,6 +259,7 @@ impl World {
             tracer: Tracer::off(),
             trk_slots: Vec::new(),
             trk_sim: TrackId::INVALID,
+            trk_faults: TrackId::INVALID,
         };
         // Design II/III backends own one context per GPU, created when the
         // backend daemons spawn at gPool creation (before any request).
@@ -244,6 +282,7 @@ impl World {
     pub fn enable_tracing(&mut self) {
         let tracer = Tracer::buffered();
         self.trk_sim = tracer.track("sim", "executive");
+        self.trk_faults = tracer.track("sim", "faults");
         for (gid, d) in self.devices.iter_mut().enumerate() {
             d.set_tracer(tracer.clone(), &format!("GID{gid}"));
         }
@@ -275,7 +314,32 @@ impl World {
     /// (fault-injection experiments; interposed modes only).
     pub fn inject_fault(&mut self, at: SimTime, gid: usize) {
         assert!(gid < self.devices.len());
-        self.faults.push((at, gid));
+        self.plan
+            .push(at, FaultKind::BackendCrash { gid: gid as u32 });
+    }
+
+    /// Install a full fault plan (merged with any previously injected
+    /// faults). Targets are validated against the topology up front so a
+    /// bad plan fails loudly before the run starts.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
+        for ev in plan.events() {
+            let ok = match ev.kind {
+                FaultKind::BackendCrash { gid } | FaultKind::DeviceFailure { gid } => {
+                    (gid as usize) < self.devices.len()
+                }
+                FaultKind::NodeLoss { node }
+                | FaultKind::LinkDegraded { node, .. }
+                | FaultKind::Partition { node, .. } => (node as usize) < self.node_lost.len(),
+            };
+            assert!(ok, "fault plan references unknown target: {}", ev.kind);
+            self.plan.push(ev.at, ev.kind);
+        }
+    }
+
+    /// Seed the failure-semantics RNG (backoff jitter). The scenario
+    /// passes its own seed through so whole runs stay reproducible.
+    pub fn set_seed(&mut self, seed: u64) {
+        self.rng = SimRng::new(seed ^ 0x5EED_FA17);
     }
 
     /// Run to completion and return the statistics.
@@ -285,8 +349,8 @@ impl World {
         for (i, r) in self.requests.iter().enumerate() {
             self.queue.schedule(r.arrival, Event::Arrival(i as u32));
         }
-        for (at, gid) in self.faults.clone() {
-            self.queue.schedule(at, Event::Fault(gid as u32));
+        for (i, ev) in self.plan.events().iter().enumerate() {
+            self.queue.schedule(ev.at, Event::Fault(i as u32));
         }
         while let Some((now, ev)) = self.queue.pop() {
             events += 1;
@@ -296,13 +360,14 @@ impl World {
             );
             match ev {
                 Event::Arrival(idx) => self.on_arrival(idx as usize, now),
-                Event::HostWake(app) => {
-                    let a = self.app_mut(app);
-                    if !a.host.is_done() {
-                        a.host.wake_and_advance(now);
-                        self.after_host_step(app, now);
-                        self.run_host(app, now);
+                Event::HostWake(app, inc) => {
+                    if !self.live_incarnation(app, inc) {
+                        continue; // raced an abort or a failover replay
                     }
+                    let a = self.app_mut(app);
+                    a.host.wake_and_advance(now);
+                    self.after_host_step(app, now);
+                    self.run_host(app, now);
                 }
                 Event::Device(gid, gen) => {
                     let gid = gid as usize;
@@ -311,13 +376,20 @@ impl World {
                     }
                 }
                 Event::Epoch(gid) => self.on_epoch(gid as usize, now),
-                Event::Fault(gid) => self.on_fault(gid as usize, now),
-                Event::Deliver(app, packed) => self.on_deliver(app, packed, now),
-                Event::Reply(app) => {
-                    let a = self.app_mut(app);
-                    if a.host.is_done() {
+                Event::Fault(idx) => self.on_plan_fault(idx as usize, now),
+                Event::Deliver(app, packed, inc) => {
+                    if !self.live_incarnation(app, inc) {
+                        continue; // packet outlived its sender
+                    }
+                    self.on_deliver(app, packed, now);
+                }
+                Event::Reply(app, inc) => {
+                    if !self.live_incarnation(app, inc) {
                         continue; // reply raced an injected fault
                     }
+                    let a = self.app_mut(app);
+                    a.inflight = None;
+                    a.attempt = 0;
                     debug_assert!(matches!(
                         a.host.state,
                         cuda_sim::host::HostState::Blocked(_)
@@ -325,6 +397,35 @@ impl World {
                     a.host.wake_and_advance(now);
                     self.after_host_step(app, now);
                     self.run_host(app, now);
+                }
+                Event::Deadline(app, inc, attempt) => {
+                    if !self.live_incarnation(app, inc) {
+                        continue;
+                    }
+                    let a = self.app(app);
+                    if a.attempt != attempt || a.inflight.is_none() {
+                        continue; // the reply won the race
+                    }
+                    self.on_rpc_timeout(app, now);
+                }
+                Event::Retry(app, inc, attempt) => {
+                    if !self.live_incarnation(app, inc) {
+                        continue;
+                    }
+                    let a = self.app(app);
+                    if a.attempt != attempt {
+                        continue;
+                    }
+                    let Some(packed) = a.inflight else {
+                        continue;
+                    };
+                    self.send_rpc(app, packed, true, now);
+                }
+                Event::Restart(app, inc) => {
+                    if !self.live_incarnation(app, inc) {
+                        continue; // a later fault overtook the failover
+                    }
+                    self.on_restart(app, now);
                 }
             }
             if self.finished == self.requests.len() {
@@ -398,6 +499,60 @@ impl World {
         self.apps[id.index()].as_mut().expect("app exists")
     }
 
+    /// True when `app` is alive and `inc` is its current incarnation.
+    /// Events carry the incarnation they were scheduled under; anything
+    /// older raced an abort or failover and must be dropped.
+    fn live_incarnation(&self, app: AppId, inc: u32) -> bool {
+        self.apps
+            .get(app.index())
+            .and_then(|a| a.as_ref())
+            .is_some_and(|a| a.incarnation == inc && !a.host.is_done())
+    }
+
+    fn outcome(&mut self, tenant: TenantId) -> &mut TenantOutcomes {
+        self.stats.tenant_outcomes.entry(tenant).or_default()
+    }
+
+    /// Schedule a reply stamped with the app's current incarnation.
+    fn schedule_reply(&mut self, app: AppId, at: SimTime) {
+        let inc = self.app(app).incarnation;
+        self.queue.schedule(at, Event::Reply(app, inc));
+    }
+
+    /// Schedule a host wake-up stamped with the current incarnation.
+    fn schedule_wake(&mut self, app: AppId, at: SimTime) {
+        let inc = self.app(app).incarnation;
+        self.queue.schedule(at, Event::HostWake(app, inc));
+    }
+
+    /// When the `a`↔`b` link is partitioned at `now`, the virtual time the
+    /// window heals; 0 otherwise. Same-node traffic never partitions.
+    fn link_partition_heal(&self, a: NodeId, b: NodeId, now: SimTime) -> SimTime {
+        if a == b {
+            return 0;
+        }
+        let until = |n: NodeId| self.partition_until.get(n.0 as usize).copied().unwrap_or(0);
+        let h = until(a).max(until(b));
+        if h > now {
+            h
+        } else {
+            0
+        }
+    }
+
+    /// Cross-node transfer slowdown factor at `now` (1.0 = healthy).
+    fn link_factor(&self, a: NodeId, b: NodeId, now: SimTime) -> f64 {
+        if a == b {
+            return 1.0;
+        }
+        let f = |n: NodeId| {
+            self.degrade
+                .get(n.0 as usize)
+                .map_or(1.0, |(until, fac)| if *until > now { *fac } else { 1.0 })
+        };
+        f(a).max(f(b)).max(1.0)
+    }
+
     fn channel(&self, node: NodeId, gid: Gid) -> ChannelSpec {
         match self.gmap.channel_to(node, gid).expect("gid in gmap") {
             ChannelKind::SharedMemory => self.channels.shm,
@@ -417,6 +572,22 @@ impl World {
 
     fn on_arrival(&mut self, idx: usize, now: SimTime) {
         let r = &self.requests[idx];
+        if self.node_lost[r.node.0 as usize] {
+            // The frontend's node is gone: the request is lost on arrival.
+            let tenant = r.tenant;
+            self.stats.failed_requests += 1;
+            self.finished += 1;
+            self.outcome(tenant).lost += 1;
+            if self.tracer.is_on() {
+                self.tracer.instant(
+                    self.trk_faults,
+                    now,
+                    "arrival_dropped",
+                    vec![("request", idx.to_string())],
+                );
+            }
+            return;
+        }
         let slot = r.slot;
         if self.tracer.is_on() {
             // The request span opens at arrival so it covers server-queue
@@ -444,10 +615,25 @@ impl World {
 
     fn start_request(&mut self, idx: usize, now: SimTime) {
         let r = &self.requests[idx];
+        if self.node_lost[r.node.0 as usize] {
+            // Queued behind a server thread when its node died.
+            let (slot, tenant) = (r.slot, r.tenant);
+            self.stats.failed_requests += 1;
+            self.finished += 1;
+            self.outcome(tenant).lost += 1;
+            if self.tracer.is_on() {
+                self.tracer
+                    .span_end(self.trk_slots[slot], now, "request", Some(idx as u64));
+            }
+            if let Some(next) = self.slot_backlog[slot].pop_front() {
+                self.start_request(next, now);
+            }
+            return;
+        }
         let app = AppId(idx as u32);
         let mut host = HostThread::new(
             app,
-            ProcessId(2_000_000 + idx as u32),
+            ProcessId(HOST_PID_BASE + idx as u32),
             r.program.clone(),
             now,
         );
@@ -464,6 +650,11 @@ impl World {
             ctx: None,
             stream: StreamId::DEFAULT,
             last_deliver: 0,
+            incarnation: 0,
+            attempt: 0,
+            inflight: None,
+            disrupted: false,
+            degraded: false,
         });
         if self.tracer.is_on() {
             let slot = self.requests[idx].slot;
@@ -489,7 +680,7 @@ impl World {
                 HostOp::CpuBusy(d) => {
                     let until = now + d.as_ns().max(1);
                     self.app_mut(app).host.start_cpu(until);
-                    self.queue.schedule(until, Event::HostWake(app));
+                    self.schedule_wake(app, until);
                     break;
                 }
                 HostOp::Cuda(call) => {
@@ -520,7 +711,7 @@ impl World {
         let until = now + cost_ns;
         // The wake event advances past the op.
         self.app_mut(app).host.start_cpu(until);
-        self.queue.schedule(until, Event::HostWake(app));
+        self.schedule_wake(app, until);
         false
     }
 
@@ -529,10 +720,20 @@ impl World {
         let a = self.app(app);
         if a.host.is_done() {
             let slot = a.slot;
+            let tenant = a.tenant;
+            let (disrupted, degraded) = (a.disrupted, a.degraded);
             let turnaround = a.host.turnaround_ns().expect("done");
             self.stats.completions.record(slot, turnaround);
             self.stats.makespan_ns = self.stats.makespan_ns.max(now);
             self.finished += 1;
+            let o = self.outcome(tenant);
+            if disrupted {
+                o.retried += 1;
+            } else if degraded {
+                o.degraded += 1;
+            } else {
+                o.completed += 1;
+            }
             if self.tracer.is_on() {
                 self.tracer.span_end(
                     self.trk_slots[slot],
@@ -627,7 +828,7 @@ impl World {
 
     fn bind_direct(&mut self, app: AppId, gid: Gid) {
         let a = self.app(app);
-        let pid = ProcessId(1_000_000 + app.0);
+        let pid = ProcessId(APP_PID_BASE + app.0);
         let node = a.node;
         let (ctx, fresh) = self.registry.get_or_create(pid, gid.index());
         if fresh {
@@ -649,26 +850,131 @@ impl World {
         let (gid, _) = self.binding(app);
         let packed = self.packers[gid.index()].transform(app, call);
         let blocks = packed.host_blocks || packed.call.has_output();
-        let a = self.app(app);
-        let node = a.node;
-        let chan = self.channel(node, gid);
-        let control = 48; // marshalled header + params
-        let payload = self.bulk_bytes(node, gid, packed.call.rpc_payload_bytes());
-        let deliver_ns = self.cfg.rpc.send_overhead_ns(&packed.call)
-            + chan.transfer_ns(control + payload)
-            + self.cfg.rpc.recv_overhead_ns(&packed.call);
-        // In-order per-application delivery: a small control message must
-        // not overtake an earlier bulk payload on the same channel.
-        let at = (now + deliver_ns).max(self.app(app).last_deliver + 1);
-        self.app_mut(app).last_deliver = at;
-        self.queue.schedule(at, Event::Deliver(app, packed));
         if blocks {
-            self.app_mut(app).host.block(BlockOn::Reply(0));
+            // The blocking call is kept in-flight for retransmission: if
+            // the send is lost to a partition, the per-call deadline and
+            // bounded backoff (RetryPolicy) drive resends.
+            let a = self.app_mut(app);
+            a.host.block(BlockOn::Reply(0));
+            a.inflight = Some(packed);
+            a.attempt = 1;
+        }
+        self.send_rpc(app, packed, blocks, now);
+        if blocks {
             false
         } else {
             self.app_mut(app).host.advance(now);
             self.after_host_step(app, now);
             true
+        }
+    }
+
+    /// Ship one marshalled call to the backend, applying the link's fault
+    /// state: degraded windows stretch the transfer, partitions either
+    /// drop the send (blocking calls with retry enabled — the frontend
+    /// learns via its deadline) or buffer it until the window heals.
+    fn send_rpc(&mut self, app: AppId, packed: PackedCall, blocks: bool, now: SimTime) {
+        let (gid, _) = self.binding(app);
+        let (node, inc, slot) = {
+            let a = self.app(app);
+            (a.node, a.incarnation, a.slot)
+        };
+        let dev_node = self.gmap.entry(gid).expect("gid in gmap").node;
+        let policy = self.cfg.retry;
+        if blocks && policy.is_enabled() && self.link_partition_heal(node, dev_node, now) > now {
+            // The packet is dropped on the floor; only the deadline tells.
+            let attempt = self.app(app).attempt;
+            if self.tracer.is_on() {
+                self.tracer.instant(
+                    self.trk_slots[slot],
+                    now,
+                    "rpc_dropped",
+                    vec![("attempt", attempt.to_string())],
+                );
+            }
+            self.queue
+                .schedule(now + policy.deadline_ns, Event::Deadline(app, inc, attempt));
+            return;
+        }
+        let chan = self.channel(node, gid);
+        let control = 48; // marshalled header + params
+        let payload = self.bulk_bytes(node, gid, packed.call.rpc_payload_bytes());
+        let factor = self.link_factor(node, dev_node, now);
+        let base = chan.transfer_ns(control + payload);
+        let transfer = if factor > 1.0 {
+            (base as f64 * factor).round() as u64
+        } else {
+            base
+        };
+        let deliver_ns = self.cfg.rpc.send_overhead_ns(&packed.call)
+            + transfer
+            + self.cfg.rpc.recv_overhead_ns(&packed.call);
+        // In-order per-application delivery: a small control message must
+        // not overtake an earlier bulk payload on the same channel.
+        let mut at = (now + deliver_ns).max(self.app(app).last_deliver + 1);
+        // Non-blocking sends (or blocking with retry disabled) queue up
+        // behind a partition and drain when the window heals.
+        let heal = self.link_partition_heal(node, dev_node, now);
+        if heal > now {
+            at = at.max(heal + deliver_ns);
+        }
+        if factor > 1.0 || heal > now {
+            self.app_mut(app).degraded = true;
+        }
+        self.app_mut(app).last_deliver = at;
+        self.queue.schedule(at, Event::Deliver(app, packed, inc));
+    }
+
+    /// A blocking RPC's deadline expired with no reply: retry with
+    /// exponential backoff while the policy allows, then declare the
+    /// backend dead (`remoting::Error::RetriesExhausted`) and fail over.
+    fn on_rpc_timeout(&mut self, app: AppId, now: SimTime) {
+        self.stats.rpc_timeouts += 1;
+        let (slot, inc, attempt) = {
+            let a = self.app(app);
+            (a.slot, a.incarnation, a.attempt)
+        };
+        if self.tracer.is_on() {
+            self.tracer.instant(
+                self.trk_slots[slot],
+                now,
+                "rpc_timeout",
+                vec![("attempt", attempt.to_string())],
+            );
+        }
+        let policy = self.cfg.retry;
+        let next = attempt + 1;
+        if policy.allows(next) {
+            let backoff = policy.backoff_ns(next, &mut self.rng);
+            self.stats.rpc_retries += 1;
+            {
+                let a = self.app_mut(app);
+                a.attempt = next;
+                a.disrupted = true;
+            }
+            if self.tracer.is_on() {
+                self.tracer.instant(
+                    self.trk_slots[slot],
+                    now,
+                    "rpc_retry",
+                    vec![
+                        ("attempt", next.to_string()),
+                        ("backoff_ns", backoff.to_string()),
+                    ],
+                );
+            }
+            self.queue
+                .schedule(now + backoff, Event::Retry(app, inc, next));
+        } else {
+            if self.tracer.is_on() {
+                self.tracer.instant(
+                    self.trk_slots[slot],
+                    now,
+                    "rpc_retries_exhausted",
+                    vec![("attempts", attempt.to_string())],
+                );
+            }
+            self.failover_app(app, now, "retries_exhausted");
         }
     }
 
@@ -806,8 +1112,17 @@ impl World {
         let a = self.app(app);
         let node = a.node;
         let chan = self.channel(node, gid);
+        let dev_node = self.gmap.entry(gid).expect("gid in gmap").node;
         let ret = self.bulk_bytes(node, gid, packed.call.rpc_return_bytes());
-        let reply_ns = chan.transfer_ns(ret) + self.cfg.rpc.reply_overhead_ns(&packed.call);
+        let factor = self.link_factor(node, dev_node, now);
+        let ret_base = chan.transfer_ns(ret);
+        let ret_ns = if factor > 1.0 {
+            self.app_mut(app).degraded = true;
+            (ret_base as f64 * factor).round() as u64
+        } else {
+            ret_base
+        };
+        let reply_ns = ret_ns + self.cfg.rpc.reply_overhead_ns(&packed.call);
         match packed.call {
             CudaCall::Memcpy { dir, bytes } | CudaCall::MemcpyAsync { dir, bytes } => {
                 let jid = self.submit_job(
@@ -843,20 +1158,19 @@ impl World {
                 if self.devices[gid.index()].alloc(ctx, bytes).is_err() {
                     self.stats.oom_events += 1;
                 }
-                self.queue
-                    .schedule(now + reply_ns + self.costs.malloc_ns, Event::Reply(app));
+                self.schedule_reply(app, now + reply_ns + self.costs.malloc_ns);
                 None
             }
             CudaCall::Free { bytes } => {
                 self.devices[gid.index()].free(ctx, bytes);
                 if blocks {
-                    self.queue.schedule(now + reply_ns, Event::Reply(app));
+                    self.schedule_reply(app, now + reply_ns);
                 }
                 None
             }
             CudaCall::ThreadExit => {
                 self.backend_thread_exit(app, gid, ctx, now);
-                self.queue.schedule(now + reply_ns, Event::Reply(app));
+                self.schedule_reply(app, now + reply_ns);
                 None
             }
             CudaCall::SetDevice { .. } => {
@@ -929,7 +1243,7 @@ impl World {
     /// Backend: reply when `cond` holds (immediately if it already does).
     fn wait_or_reply(&mut self, app: AppId, cond: BlockOn, reply_ns: u64, now: SimTime) {
         if self.pending.is_satisfied(cond) {
-            self.queue.schedule(now + reply_ns, Event::Reply(app));
+            self.schedule_reply(app, now + reply_ns);
         } else {
             self.waiters.push(Waiter {
                 app,
@@ -989,50 +1303,264 @@ impl World {
         }
     }
 
-    /// A backend process on `gid` crashes. The blast radius depends on the
-    /// worker design (paper Figure 5): Design I isolates the fault to one
-    /// application's private backend process; Design III localizes it to
-    /// one backend thread; Design II's single master takes every
-    /// application on the device down with it.
-    fn on_fault(&mut self, gid: usize, now: SimTime) {
-        let bound = self.device_apps[gid].clone();
+    /// One injected fault from the plan fires.
+    fn on_plan_fault(&mut self, idx: usize, now: SimTime) {
+        let ev = self.plan.events()[idx];
+        if self.tracer.is_on() {
+            self.tracer.instant(
+                self.trk_faults,
+                now,
+                "fault_injected",
+                vec![
+                    ("kind", ev.kind.label().to_string()),
+                    ("detail", ev.kind.to_string()),
+                ],
+            );
+        }
+        match ev.kind {
+            FaultKind::BackendCrash { gid } => self.on_backend_crash(gid as usize, now),
+            FaultKind::DeviceFailure { gid } => self.on_device_failure(Gid(gid), now),
+            FaultKind::NodeLoss { node } => self.on_node_loss(NodeId(node), now),
+            FaultKind::LinkDegraded {
+                node,
+                factor,
+                for_ns,
+            } => {
+                let n = node as usize;
+                if n < self.degrade.len() {
+                    self.degrade[n] = (now + for_ns, factor.max(1.0));
+                    if self.tracer.is_on() {
+                        let id = Some(0x1000 + n as u64);
+                        self.tracer.span_begin(
+                            self.trk_faults,
+                            now,
+                            "link_degraded",
+                            id,
+                            vec![("node", node.to_string()), ("factor", factor.to_string())],
+                        );
+                        self.tracer
+                            .span_end(self.trk_faults, now + for_ns, "link_degraded", id);
+                    }
+                }
+            }
+            FaultKind::Partition { node, for_ns } => {
+                let n = node as usize;
+                if n < self.partition_until.len() {
+                    self.partition_until[n] = self.partition_until[n].max(now + for_ns);
+                    if self.tracer.is_on() {
+                        let id = Some(0x2000 + n as u64);
+                        self.tracer.span_begin(
+                            self.trk_faults,
+                            now,
+                            "partition",
+                            id,
+                            vec![("node", node.to_string())],
+                        );
+                        self.tracer
+                            .span_end(self.trk_faults, now + for_ns, "partition", id);
+                    }
+                }
+            }
+        }
+    }
+
+    /// A backend process on `gid` crashes and respawns. The blast radius
+    /// depends on the worker design (paper Figure 5): Design I isolates
+    /// the fault to one application's private backend process; Design II's
+    /// single master takes every application on the device down with it;
+    /// Design III loses the per-GPU process — the offending application is
+    /// lost, but its siblings' frontends reconnect to the respawned
+    /// process and replay (disrupted, not lost).
+    fn on_backend_crash(&mut self, gid: usize, now: SimTime) {
+        if gid >= self.devices.len() {
+            return;
+        }
+        let mut bound = self.device_apps[gid].clone();
+        bound.sort();
         if bound.is_empty() {
             return;
         }
-        let victims: Vec<AppId> = match self.cfg.design {
-            BackendDesign::SingleMaster => bound,
-            BackendDesign::PerAppProcess | BackendDesign::PerGpuThreads => {
-                vec![*bound.iter().min().expect("non-empty")]
+        match self.cfg.design {
+            BackendDesign::SingleMaster => {
+                for app in bound {
+                    self.abort_app(app, now);
+                }
+                self.master_q[gid].clear();
+                self.master_stall[gid] = None;
             }
-        };
-        for app in victims {
-            self.abort_app(app, gid, now);
+            BackendDesign::PerAppProcess => {
+                self.abort_app(bound[0], now);
+            }
+            BackendDesign::PerGpuThreads => {
+                self.abort_app(bound[0], now);
+                for app in bound.into_iter().skip(1) {
+                    self.failover_app(app, now, "backend_respawn");
+                }
+            }
         }
         self.sync_device(gid, now);
         self.check_waiters(now);
     }
 
-    /// Tear down a crashed application: purge its queued device work,
+    /// Permanent fail-stop of one device (ECC-style): it leaves the pool,
+    /// the gMap marks it lost (surviving GIDs stay stable — the rebuild
+    /// guarantee), the balancer retires its DST row, and every bound
+    /// application fails over to a survivor.
+    fn on_device_failure(&mut self, gid: Gid, now: SimTime) {
+        if self.gmap.entry(gid).is_none() || self.gmap.is_lost(gid) {
+            return;
+        }
+        self.gmap.fail_device(gid).expect("known gid");
+        self.retire_gid(gid, now);
+        self.note_gmap_rebuild(now);
+        self.fail_bound_apps(gid, now);
+    }
+
+    /// A whole node drops out of the supernode: its devices leave the
+    /// pool, its frontends die (their requests are lost outright), and
+    /// remote applications bound to its devices fail over.
+    fn on_node_loss(&mut self, node: NodeId, now: SimTime) {
+        let n = node.0 as usize;
+        if n >= self.node_lost.len() || self.node_lost[n] {
+            return;
+        }
+        self.node_lost[n] = true;
+        let newly = self.gmap.fail_node(node);
+        for gid in &newly {
+            self.retire_gid(*gid, now);
+        }
+        if !newly.is_empty() {
+            self.note_gmap_rebuild(now);
+        }
+        let local_apps: Vec<AppId> = self
+            .apps
+            .iter()
+            .enumerate()
+            .filter_map(|(i, a)| {
+                a.as_ref()
+                    .filter(|a| !a.host.is_done() && a.node == node)
+                    .map(|_| AppId(i as u32))
+            })
+            .collect();
+        for app in local_apps {
+            self.abort_app(app, now);
+        }
+        for gid in newly {
+            self.fail_bound_apps(gid, now);
+        }
+    }
+
+    fn note_gmap_rebuild(&mut self, now: SimTime) {
+        self.stats.gmap_rebuilds += 1;
+        if self.tracer.is_on() {
+            self.tracer.instant(
+                self.trk_faults,
+                now,
+                "gmap_rebuild",
+                vec![("survivors", self.gmap.live_len().to_string())],
+            );
+        }
+    }
+
+    /// Retire a lost device in whichever mapper owns it (pool-wide GID for
+    /// the global balancer; node-local GID for per-node balancers).
+    fn retire_gid(&mut self, gid: Gid, now: SimTime) {
+        if self.mappers.is_empty() {
+            return;
+        }
+        match self.scope {
+            LbScope::Global => self.mappers[0].retire(now, gid),
+            LbScope::Local => {
+                let node = self.gmap.entry(gid).expect("known gid").node;
+                let local = Gid((gid.index() - self.node_gid_base[node.0 as usize]) as u32);
+                self.mappers[node.0 as usize].retire(now, local);
+            }
+        }
+    }
+
+    /// Whether an application fronted on `node` can be re-placed after
+    /// losing its device (needs a balancer and a surviving device).
+    fn has_live_target(&self, node: NodeId) -> bool {
+        if self.cfg.mode == SchedulerMode::CudaRuntime || self.mappers.is_empty() {
+            return false;
+        }
+        match self.scope {
+            LbScope::Global => self.mappers[0].has_live_device(),
+            LbScope::Local => self.mappers[node.0 as usize].has_live_device(),
+        }
+    }
+
+    /// Every live application bound to `gid` loses its backend: failover
+    /// where re-placement is possible, abort otherwise.
+    fn fail_bound_apps(&mut self, gid: Gid, now: SimTime) {
+        let bound: Vec<AppId> = self
+            .apps
+            .iter()
+            .enumerate()
+            .filter_map(|(i, a)| {
+                a.as_ref()
+                    .filter(|a| !a.host.is_done() && a.gid == Some(gid))
+                    .map(|_| AppId(i as u32))
+            })
+            .collect();
+        for app in bound {
+            let node = self.app(app).node;
+            if self.has_live_target(node) {
+                self.failover_app(app, now, "device_lost");
+            } else {
+                self.abort_app(app, now);
+            }
+        }
+        let g = gid.index();
+        self.master_q[g].clear();
+        self.master_stall[g] = None;
+        self.check_waiters(now);
+    }
+
+    /// Detach `app` from its device: cancel queued work, unregister it
+    /// from the device scheduler and the balancer, and drop its waiters.
+    fn detach_app(&mut self, app: AppId, now: SimTime) {
+        let (node, class, gid, ctx, stream) = {
+            let a = self.app(app);
+            (a.node, a.class, a.gid, a.ctx, a.stream)
+        };
+        if let (Some(gid), Some(ctx)) = (gid, ctx) {
+            let g = gid.index();
+            for jid in self.devices[g].cancel_stream(ctx, stream) {
+                self.pending.complete(jid);
+            }
+            self.schedulers[g].unregister(app, now);
+            self.device_apps[g].retain(|a| *a != app);
+            self.master_q[g].retain(|(a, _)| *a != app);
+            if !self.mappers.is_empty() {
+                self.unbind_gid(gid, node, class);
+            }
+            // Cancelling streams can change what the device runs next;
+            // re-sync so its event chain keeps driving the survivors.
+            self.sync_device(g, now);
+        }
+        self.waiters.retain(|w| w.app != app);
+    }
+
+    /// Tear down a killed application: purge its queued device work,
     /// unregister it everywhere, and end its host thread without a
     /// completion record.
-    fn abort_app(&mut self, app: AppId, gid: usize, now: SimTime) {
-        let (node, class, ctx, stream, slot) = {
+    fn abort_app(&mut self, app: AppId, now: SimTime) {
+        let (slot, tenant, gid) = {
             let a = self.app(app);
             if a.host.is_done() {
                 return;
             }
-            (a.node, a.class, a.ctx.expect("bound app"), a.stream, a.slot)
+            (a.slot, a.tenant, a.gid)
         };
-        for jid in self.devices[gid].cancel_stream(ctx, stream) {
-            self.pending.complete(jid);
-        }
-        self.schedulers[gid].unregister(app, now);
-        self.device_apps[gid].retain(|a| *a != app);
-        self.unbind_gid(Gid(gid as u32), node, class);
-        self.waiters.retain(|w| w.app != app);
-        self.app_mut(app).host.abort();
+        self.detach_app(app, now);
+        let a = self.app_mut(app);
+        a.incarnation += 1; // poison in-flight events
+        a.inflight = None;
+        a.host.abort();
         self.stats.failed_requests += 1;
         self.finished += 1;
+        self.outcome(tenant).lost += 1;
         if self.tracer.is_on() {
             self.tracer.instant(
                 self.trk_slots[slot],
@@ -1040,7 +1568,10 @@ impl World {
                 "fault_abort",
                 vec![
                     ("request", app.index().to_string()),
-                    ("gid", gid.to_string()),
+                    (
+                        "gid",
+                        gid.map_or_else(|| "-".to_string(), |g| g.index().to_string()),
+                    ),
                 ],
             );
             self.tracer.span_end(
@@ -1054,6 +1585,79 @@ impl World {
         if let Some(next) = self.slot_backlog[slot].pop_front() {
             self.start_request(next, now);
         }
+    }
+
+    /// Fail `app` over: tear down the dead binding, bump the incarnation
+    /// so stale events are discarded, and replay the program once the
+    /// frontend has detected the failure and a backend respawned. The
+    /// request survives — slower, and counted as disrupted.
+    fn failover_app(&mut self, app: AppId, now: SimTime, reason: &str) {
+        let (slot, tenant) = {
+            let a = self.app(app);
+            if a.host.is_done() {
+                return;
+            }
+            (a.slot, a.tenant)
+        };
+        self.detach_app(app, now);
+        // Failure detection (one deadline) plus backend respawn/backoff.
+        let policy = self.cfg.retry;
+        let delay = if policy.is_enabled() {
+            policy.deadline_ns + policy.backoff_ns(2, &mut self.rng)
+        } else {
+            1_000_000
+        };
+        let a = self.app_mut(app);
+        a.incarnation += 1;
+        a.attempt = 0;
+        a.inflight = None;
+        a.gid = None;
+        a.ctx = None;
+        a.stream = StreamId::DEFAULT;
+        a.disrupted = true;
+        let inc = a.incarnation;
+        self.stats.failovers += 1;
+        self.outcome(tenant).downtime_ns += delay;
+        if self.tracer.is_on() {
+            let id = Some(0x4000_0000 + app.index() as u64);
+            self.tracer.span_begin(
+                self.trk_slots[slot],
+                now,
+                "failover",
+                id,
+                vec![("reason", reason.to_string())],
+            );
+            self.tracer
+                .span_end(self.trk_slots[slot], now + delay, "failover", id);
+        }
+        self.queue.schedule(now + delay, Event::Restart(app, inc));
+    }
+
+    /// The failover window elapsed: replay the program from the top. The
+    /// replayed `cudaSetDevice` re-enters the balancer, which now skips
+    /// retired devices — that is the re-placement.
+    fn on_restart(&mut self, app: AppId, now: SimTime) {
+        let (slot, node) = {
+            let a = self.app(app);
+            (a.slot, a.node)
+        };
+        if self.node_lost[node.0 as usize] || !self.has_live_target(node) {
+            // Nowhere left to run: the request is lost after all.
+            self.abort_app(app, now);
+            return;
+        }
+        if self.tracer.is_on() {
+            self.tracer.instant(
+                self.trk_slots[slot],
+                now,
+                "replay",
+                vec![("request", app.index().to_string())],
+            );
+        }
+        let a = self.app_mut(app);
+        a.last_deliver = now;
+        a.host.restart(now);
+        self.run_host(app, now);
     }
 
     fn check_waiters(&mut self, now: SimTime) {
@@ -1075,7 +1679,7 @@ impl World {
                 self.after_host_step(w.app, now);
                 self.run_host(w.app, now);
             } else {
-                self.queue.schedule(now + w.reply_ns, Event::Reply(w.app));
+                self.schedule_reply(w.app, now + w.reply_ns);
             }
         }
     }

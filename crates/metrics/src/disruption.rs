@@ -1,0 +1,206 @@
+//! Availability / disruption reporting for fault-injection runs.
+//!
+//! The fault-isolation evaluation (paper Figure 5 discussion) is about
+//! *blast radius*: when a backend worker dies, which tenants lose requests
+//! outright, which merely see retried or degraded service, and for how long
+//! they are down. A [`DisruptionReport`] aggregates those per-tenant
+//! outcomes plus the RPC-layer recovery counters, and renders a byte-stable
+//! table so two runs with the same seed can be diffed verbatim.
+
+use crate::report::Table;
+use serde::{Deserialize, Serialize};
+
+/// Outcome bucket totals for one tenant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TenantDisruption {
+    /// Tenant identity (raw id; the harness's `TenantId` index).
+    pub tenant: u32,
+    /// Requests that completed untouched by any fault.
+    pub completed: u64,
+    /// Requests lost outright (killed by a fault, never completed).
+    pub lost: u64,
+    /// Requests that completed only after an RPC retry or a backend
+    /// failover replay.
+    pub retried: u64,
+    /// Requests that completed but crossed a degraded/partitioned link
+    /// window (slower service, no replay).
+    pub degraded: u64,
+    /// Total virtual time this tenant's requests spent waiting out
+    /// failovers (detection + backend respawn).
+    pub downtime_ns: u64,
+}
+
+impl TenantDisruption {
+    /// Every request this tenant submitted that reached a terminal state.
+    pub fn total(&self) -> u64 {
+        self.completed + self.lost + self.retried + self.degraded
+    }
+
+    /// Fraction of requests that were lost (0 when nothing terminated).
+    pub fn loss_rate(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.lost as f64 / t as f64
+        }
+    }
+}
+
+/// Per-run availability report: one row per tenant plus pool-wide
+/// recovery counters.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DisruptionReport {
+    rows: Vec<TenantDisruption>,
+    /// RPC calls whose deadline expired before a reply arrived.
+    pub rpc_timeouts: u64,
+    /// Retransmissions issued after a deadline expiry.
+    pub rpc_retries: u64,
+    /// Application failover restarts (backend replay after a crash or
+    /// device/node loss).
+    pub failovers: u64,
+    /// gMap rebuilds (GID failover after a permanent device/node loss).
+    pub gmap_rebuilds: u64,
+}
+
+impl DisruptionReport {
+    /// Empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one tenant's totals. Call in ascending tenant order for a
+    /// deterministic rendering.
+    pub fn push(&mut self, row: TenantDisruption) {
+        self.rows.push(row);
+    }
+
+    /// Per-tenant rows in insertion order.
+    pub fn tenants(&self) -> &[TenantDisruption] {
+        &self.rows
+    }
+
+    /// Pool-wide totals across tenants.
+    pub fn totals(&self) -> TenantDisruption {
+        let mut t = TenantDisruption::default();
+        for r in &self.rows {
+            t.completed += r.completed;
+            t.lost += r.lost;
+            t.retried += r.retried;
+            t.degraded += r.degraded;
+            t.downtime_ns += r.downtime_ns;
+        }
+        t
+    }
+
+    /// Requests that terminated without full, undisturbed service.
+    pub fn disrupted(&self) -> u64 {
+        let t = self.totals();
+        t.lost + t.retried + t.degraded
+    }
+
+    /// Render the report as an aligned text table followed by the
+    /// recovery counters. Output is byte-stable for a given report, so
+    /// deterministic runs can assert equality on it.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec![
+            "tenant",
+            "completed",
+            "lost",
+            "retried",
+            "degraded",
+            "downtime_ms",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                format!("T{}", r.tenant),
+                r.completed.to_string(),
+                r.lost.to_string(),
+                r.retried.to_string(),
+                r.degraded.to_string(),
+                format!("{:.3}", r.downtime_ns as f64 / 1e6),
+            ]);
+        }
+        let tot = self.totals();
+        t.row(vec![
+            "total".to_string(),
+            tot.completed.to_string(),
+            tot.lost.to_string(),
+            tot.retried.to_string(),
+            tot.degraded.to_string(),
+            format!("{:.3}", tot.downtime_ns as f64 / 1e6),
+        ]);
+        format!(
+            "{}rpc: {} timeouts, {} retries; {} failovers, {} gmap rebuilds\n",
+            t.render(),
+            self.rpc_timeouts,
+            self.rpc_retries,
+            self.failovers,
+            self.gmap_rebuilds,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DisruptionReport {
+        let mut r = DisruptionReport::new();
+        r.push(TenantDisruption {
+            tenant: 0,
+            completed: 8,
+            lost: 1,
+            retried: 2,
+            degraded: 0,
+            downtime_ns: 12_500_000,
+        });
+        r.push(TenantDisruption {
+            tenant: 1,
+            completed: 10,
+            lost: 0,
+            retried: 0,
+            degraded: 3,
+            downtime_ns: 0,
+        });
+        r.rpc_timeouts = 4;
+        r.rpc_retries = 3;
+        r.failovers = 2;
+        r.gmap_rebuilds = 1;
+        r
+    }
+
+    #[test]
+    fn totals_roll_up() {
+        let r = sample();
+        let t = r.totals();
+        assert_eq!(t.completed, 18);
+        assert_eq!(t.lost, 1);
+        assert_eq!(t.retried, 2);
+        assert_eq!(t.degraded, 3);
+        assert_eq!(t.downtime_ns, 12_500_000);
+        assert_eq!(r.disrupted(), 6);
+        assert_eq!(t.total(), 24);
+        assert!((r.tenants()[0].loss_rate() - 1.0 / 11.0).abs() < 1e-12);
+        assert_eq!(r.tenants()[1].loss_rate(), 0.0);
+    }
+
+    #[test]
+    fn render_is_byte_stable() {
+        let a = sample().render();
+        let b = sample().render();
+        assert_eq!(a, b);
+        assert!(a.contains("T0"));
+        assert!(a.contains("total"));
+        assert!(a.contains("12.500"));
+        assert!(a.ends_with("4 timeouts, 3 retries; 2 failovers, 1 gmap rebuilds\n"));
+    }
+
+    #[test]
+    fn empty_report_renders_totals_only() {
+        let r = DisruptionReport::new();
+        let s = r.render();
+        assert!(s.contains("total"));
+        assert_eq!(r.disrupted(), 0);
+    }
+}

@@ -6,6 +6,8 @@
 //!   of `CT_alone / CT_shared`, computed over per-request completion times,
 //! * [`fairness`] — **Jain's fairness index** (Eq. 3) over per-tenant
 //!   normalized service,
+//! * [`disruption`] — availability accounting for fault-injection runs
+//!   (per-tenant lost/retried/degraded requests and downtime),
 //! * [`report`] — plain-text table rendering for the figure-regeneration
 //!   binaries (one row/series per paper figure),
 //! * [`trace_export`] — Chrome trace-event JSON (Perfetto) and JSONL
@@ -14,11 +16,13 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod disruption;
 pub mod export;
 pub mod fairness;
 pub mod report;
 pub mod speedup;
 pub mod trace_export;
 
+pub use disruption::{DisruptionReport, TenantDisruption};
 pub use fairness::jain_fairness;
 pub use speedup::{weighted_speedup, CompletionSet};

@@ -20,6 +20,19 @@
 use cuda_sim::host::{AppId, ProcessId};
 use serde::{Deserialize, Serialize};
 
+/// Backend process-id space partition. Device-indexed backend pids
+/// (Designs II/III) occupy `[0, DEVICE_PID_LIMIT)`; Design-I per-app
+/// backend pids occupy `[APP_PID_BASE, HOST_PID_BASE)`; frontend host
+/// processes (assigned by the harness) start at [`HOST_PID_BASE`]. The
+/// ranges are disjoint by construction and [`BackendDesign::backend_process`]
+/// asserts its inputs stay inside them, so a pid can never alias a worker
+/// from a different class no matter how large the pool grows.
+pub const DEVICE_PID_LIMIT: u32 = 1_000_000;
+/// First Design-I per-application backend pid (see [`DEVICE_PID_LIMIT`]).
+pub const APP_PID_BASE: u32 = 1_000_000;
+/// First frontend host-process pid (see [`DEVICE_PID_LIMIT`]).
+pub const HOST_PID_BASE: u32 = 2_000_000;
+
 /// The three frontend→backend mappings.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum BackendDesign {
@@ -35,13 +48,31 @@ impl BackendDesign {
     /// The backend OS process that hosts `app`'s GPU component when it is
     /// bound to global device `gid_index`.
     ///
-    /// Process-id space is partitioned: Designs II/III use the device index
-    /// (one backend process per GPU); Design I offsets per-app pids past
-    /// any device-indexed range (`1_000_000 +` app id).
+    /// Process-id space is partitioned (see [`DEVICE_PID_LIMIT`]): Designs
+    /// II/III use the device index directly; Design I places per-app pids in
+    /// `[APP_PID_BASE, HOST_PID_BASE)`. Both mappings are range-checked, so
+    /// an absurdly large pool (or app id) fails loudly instead of silently
+    /// aliasing another worker's pid.
+    ///
+    /// # Panics
+    /// If `gid_index ≥ DEVICE_PID_LIMIT` or `app.0 ≥ HOST_PID_BASE -
+    /// APP_PID_BASE` — the pid partition would be violated.
     pub fn backend_process(self, app: AppId, gid_index: usize) -> ProcessId {
         match self {
-            BackendDesign::PerAppProcess => ProcessId(1_000_000 + app.0),
+            BackendDesign::PerAppProcess => {
+                assert!(
+                    app.0 < HOST_PID_BASE - APP_PID_BASE,
+                    "Design-I pid partition exhausted: app id {} ≥ {} slots",
+                    app.0,
+                    HOST_PID_BASE - APP_PID_BASE
+                );
+                ProcessId(APP_PID_BASE + app.0)
+            }
             BackendDesign::SingleMaster | BackendDesign::PerGpuThreads => {
+                assert!(
+                    gid_index < DEVICE_PID_LIMIT as usize,
+                    "device pid partition exhausted: gid index {gid_index} ≥ {DEVICE_PID_LIMIT}"
+                );
                 ProcessId(gid_index as u32)
             }
         }
@@ -119,11 +150,32 @@ mod tests {
 
     #[test]
     fn per_app_pids_never_collide_with_device_pids() {
-        // Device-indexed pids are tiny; per-app pids start at 1_000_000.
+        // Device-indexed pids stay below DEVICE_PID_LIMIT; per-app pids
+        // start at APP_PID_BASE; host pids start at HOST_PID_BASE.
         let dev_pid = BackendDesign::PerGpuThreads.backend_process(AppId(0), 999);
         let app_pid = BackendDesign::PerAppProcess.backend_process(AppId(0), 999);
-        assert!(app_pid.0 >= 1_000_000);
-        assert!(dev_pid.0 < 1_000_000);
+        assert!(app_pid.0 >= APP_PID_BASE);
+        assert!(app_pid.0 < HOST_PID_BASE);
+        assert!(dev_pid.0 < DEVICE_PID_LIMIT);
+        // Largest legal values still respect the partition.
+        let max_dev =
+            BackendDesign::SingleMaster.backend_process(AppId(0), DEVICE_PID_LIMIT as usize - 1);
+        assert!(max_dev.0 < APP_PID_BASE);
+        let max_app = BackendDesign::PerAppProcess
+            .backend_process(AppId(HOST_PID_BASE - APP_PID_BASE - 1), 0);
+        assert!(max_app.0 < HOST_PID_BASE);
+    }
+
+    #[test]
+    #[should_panic(expected = "device pid partition exhausted")]
+    fn oversized_pool_is_rejected() {
+        BackendDesign::PerGpuThreads.backend_process(AppId(0), DEVICE_PID_LIMIT as usize);
+    }
+
+    #[test]
+    #[should_panic(expected = "Design-I pid partition exhausted")]
+    fn oversized_app_id_is_rejected() {
+        BackendDesign::PerAppProcess.backend_process(AppId(HOST_PID_BASE - APP_PID_BASE), 0);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! transformation of the paper's Figure 4.
 
 use crate::channel::ChannelKind;
+use crate::error::{Error, Result};
 use gpu_sim::ids::DeviceId;
 use gpu_sim::spec::GpuModel;
 use serde::{Deserialize, Serialize};
@@ -83,10 +84,19 @@ pub struct GMapEntry {
     pub weight: f64,
 }
 
-/// The broadcast gMap: dense table indexed by GID.
+/// The broadcast gMap: table of GID rows plus a health mask.
+///
+/// A freshly built gMap is dense (row *i* holds GID *i*); after device or
+/// node failures, rows are first masked as lost (keeping indices stable for
+/// components that cache them) and then [`GMap::rebuild`] produces the
+/// compacted survivors-only map the gPool Creator re-broadcasts. Surviving
+/// devices **keep their original GIDs** across a rebuild — frontends never
+/// have to re-learn the identity of hardware that didn't fail.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GMap {
     entries: Vec<GMapEntry>,
+    /// Health mask parallel to `entries` (true = fail-stopped).
+    lost: Vec<bool>,
 }
 
 impl GMap {
@@ -106,10 +116,12 @@ impl GMap {
                 });
             }
         }
-        GMap { entries }
+        let lost = vec![false; entries.len()];
+        GMap { entries, lost }
     }
 
-    /// Number of GPUs in the pool.
+    /// Number of GPUs in the pool (including fail-stopped ones until a
+    /// [`GMap::rebuild`] compacts them away).
     pub fn len(&self) -> usize {
         self.entries.len()
     }
@@ -119,9 +131,90 @@ impl GMap {
         self.entries.is_empty()
     }
 
-    /// Look up a gMap row.
+    /// Number of devices still alive.
+    pub fn live_len(&self) -> usize {
+        self.lost.iter().filter(|&&l| !l).count()
+    }
+
+    fn idx_of(&self, gid: Gid) -> Option<usize> {
+        // Fast path: dense maps keep GID i at row i; rebuilt maps may not.
+        match self.entries.get(gid.index()) {
+            Some(e) if e.gid == gid => Some(gid.index()),
+            _ => self.entries.iter().position(|e| e.gid == gid),
+        }
+    }
+
+    /// Look up a gMap row (lost or not).
     pub fn entry(&self, gid: Gid) -> Option<&GMapEntry> {
-        self.entries.get(gid.index())
+        self.idx_of(gid).map(|i| &self.entries[i])
+    }
+
+    /// Look up a *live* gMap row, reporting why the lookup failed.
+    pub fn lookup(&self, gid: Gid) -> Result<&GMapEntry> {
+        match self.idx_of(gid) {
+            None => Err(Error::UnknownGid(gid)),
+            Some(i) if self.lost[i] => Err(Error::DeviceLost(gid)),
+            Some(i) => Ok(&self.entries[i]),
+        }
+    }
+
+    /// Has `gid` fail-stopped? (Unknown GIDs read as lost.)
+    pub fn is_lost(&self, gid: Gid) -> bool {
+        match self.idx_of(gid) {
+            Some(i) => self.lost[i],
+            None => true,
+        }
+    }
+
+    /// Mark one device as permanently failed (ECC error / process-killing
+    /// hardware fault). Idempotent. Errors on a GID outside the map.
+    pub fn fail_device(&mut self, gid: Gid) -> Result<()> {
+        match self.idx_of(gid) {
+            Some(i) => {
+                self.lost[i] = true;
+                Ok(())
+            }
+            None => Err(Error::UnknownGid(gid)),
+        }
+    }
+
+    /// Mark every device on `node` as failed (machine loss). Returns the
+    /// GIDs newly marked lost, in GID order.
+    pub fn fail_node(&mut self, node: NodeId) -> Vec<Gid> {
+        let mut newly = Vec::new();
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.node == node && !self.lost[i] {
+                self.lost[i] = true;
+                newly.push(e.gid);
+            }
+        }
+        newly
+    }
+
+    /// GIDs of devices still alive, in GID order.
+    pub fn surviving_gids(&self) -> Vec<Gid> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| !self.lost[i])
+            .map(|(_, e)| e.gid)
+            .collect()
+    }
+
+    /// The gPool Creator's failover step: compact the map down to the
+    /// surviving devices. Survivors keep their original GIDs (stability is
+    /// what lets already-bound frontends keep their device handles); only
+    /// rows for lost hardware disappear.
+    pub fn rebuild(&self) -> GMap {
+        let entries: Vec<GMapEntry> = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| !self.lost[i])
+            .map(|(_, e)| e.clone())
+            .collect();
+        let lost = vec![false; entries.len()];
+        GMap { entries, lost }
     }
 
     /// All rows in GID order.
@@ -233,5 +326,82 @@ mod tests {
         assert_eq!(m.len(), 2);
         assert_eq!(m.gids().count(), 2);
         assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn device_failure_masks_but_keeps_indices() {
+        let mut m = supernode();
+        assert_eq!(m.live_len(), 4);
+        m.fail_device(Gid(1)).unwrap();
+        m.fail_device(Gid(1)).unwrap(); // idempotent
+        assert_eq!(m.live_len(), 3);
+        assert!(m.is_lost(Gid(1)));
+        assert!(!m.is_lost(Gid(0)));
+        // The row is still addressable (callers may hold cached indices)…
+        assert!(m.entry(Gid(1)).is_some());
+        // …but live lookups report the loss as a typed error.
+        assert_eq!(m.lookup(Gid(1)).unwrap_err(), Error::DeviceLost(Gid(1)));
+        assert_eq!(m.lookup(Gid(9)).unwrap_err(), Error::UnknownGid(Gid(9)));
+        assert_eq!(m.lookup(Gid(0)).unwrap().gid, Gid(0));
+        assert_eq!(
+            m.fail_device(Gid(9)).unwrap_err(),
+            Error::UnknownGid(Gid(9))
+        );
+    }
+
+    #[test]
+    fn node_loss_fails_all_its_devices() {
+        let mut m = supernode();
+        let newly = m.fail_node(NodeId(0));
+        assert_eq!(newly, vec![Gid(0), Gid(1)]);
+        assert_eq!(m.live_len(), 2);
+        // Second loss of the same node reports nothing new.
+        assert_eq!(m.fail_node(NodeId(0)), vec![]);
+        assert_eq!(m.surviving_gids(), vec![Gid(2), Gid(3)]);
+    }
+
+    #[test]
+    fn rebuild_after_node_loss_keeps_surviving_gids_stable() {
+        let mut m = supernode();
+        let (g2_before, g3_before) = (
+            m.entry(Gid(2)).unwrap().clone(),
+            m.entry(Gid(3)).unwrap().clone(),
+        );
+        m.fail_node(NodeId(0));
+        let rebuilt = m.rebuild();
+        // Only the survivors remain…
+        assert_eq!(rebuilt.len(), 2);
+        assert_eq!(rebuilt.live_len(), 2);
+        // …and they answer to their *original* GIDs with unchanged rows.
+        assert_eq!(rebuilt.lookup(Gid(2)).unwrap(), &g2_before);
+        assert_eq!(rebuilt.lookup(Gid(3)).unwrap(), &g3_before);
+        assert_eq!(rebuilt.surviving_gids(), vec![Gid(2), Gid(3)]);
+        // The dead node's GIDs are gone entirely, not renumbered.
+        assert_eq!(
+            rebuilt.lookup(Gid(0)).unwrap_err(),
+            Error::UnknownGid(Gid(0))
+        );
+        assert!(rebuilt.entry(Gid(1)).is_none());
+        // Channel selection still works against the rebuilt map.
+        assert_eq!(
+            rebuilt.channel_to(NodeId(1), Gid(2)),
+            Some(ChannelKind::SharedMemory)
+        );
+        assert_eq!(
+            rebuilt.channel_to(NodeId(0), Gid(2)),
+            Some(ChannelKind::Network)
+        );
+    }
+
+    #[test]
+    fn rebuild_after_single_device_failure() {
+        let mut m = supernode();
+        m.fail_device(Gid(0)).unwrap();
+        let rebuilt = m.rebuild();
+        assert_eq!(rebuilt.len(), 3);
+        assert_eq!(rebuilt.surviving_gids(), vec![Gid(1), Gid(2), Gid(3)]);
+        // GID 1 now lives at row 0, yet lookups by GID still succeed.
+        assert_eq!(rebuilt.lookup(Gid(1)).unwrap().gid, Gid(1));
+        assert_eq!(rebuilt.gid_of(NodeId(0), DeviceId(1)), Some(Gid(1)));
     }
 }

@@ -13,17 +13,36 @@
 //!   a single pool (gPool) with its GID → (node, local device) map (gMap),
 //! * [`backend`] — the three frontend→backend worker mappings of Figure 5
 //!   (Design I: process per app; Design II: one master thread per GPU;
-//!   Design III: per-GPU process with a thread per app — Strings).
+//!   Design III: per-GPU process with a thread per app — Strings),
+//! * [`error`] — the unified [`Error`]/[`Result`] every fallible remoting
+//!   path reports through,
+//! * [`retry`] — per-call deadlines and bounded exponential backoff
+//!   ([`RetryPolicy`]) used by the frontend when a backend stops answering.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod backend;
 pub mod channel;
+pub mod error;
 pub mod gpool;
+pub mod retry;
 pub mod rpc;
 
 pub use backend::BackendDesign;
 pub use channel::{ChannelKind, ChannelSpec};
+pub use error::{Error, Result};
 pub use gpool::{GMap, Gid, NodeId, NodeSpec};
+pub use retry::RetryPolicy;
 pub use rpc::{RpcCostModel, RpcPacket};
+
+/// One-stop import for downstream crates:
+/// `use remoting::prelude::*;`.
+pub mod prelude {
+    pub use crate::backend::BackendDesign;
+    pub use crate::channel::{ChannelKind, ChannelSpec};
+    pub use crate::error::{Error, Result};
+    pub use crate::gpool::{GMap, GMapEntry, Gid, NodeId, NodeSpec};
+    pub use crate::retry::RetryPolicy;
+    pub use crate::rpc::{RpcCostModel, RpcPacket};
+}

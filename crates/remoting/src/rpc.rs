@@ -7,6 +7,7 @@
 //! marshalling and unmarshalling time the paper's asynchrony optimizations
 //! hide.
 
+use crate::error::{Error, Result};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use cuda_sim::call::CudaCall;
 use gpu_sim::job::{CopyDirection, KernelProfile};
@@ -25,29 +26,6 @@ const OP_THREAD_EXIT: u8 = 9;
 
 const DIR_H2D: u8 = 0;
 const DIR_D2H: u8 = 1;
-
-/// Errors from packet decoding.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum DecodeError {
-    /// Packet shorter than its header demands.
-    Truncated,
-    /// Unknown call id byte.
-    UnknownOp(u8),
-    /// Invalid direction byte.
-    BadDirection(u8),
-}
-
-impl std::fmt::Display for DecodeError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            DecodeError::Truncated => write!(f, "truncated RPC packet"),
-            DecodeError::UnknownOp(b) => write!(f, "unknown RPC op {b}"),
-            DecodeError::BadDirection(b) => write!(f, "bad copy direction {b}"),
-        }
-    }
-}
-
-impl std::error::Error for DecodeError {}
 
 /// A marshalled CUDA call: `seq | call id | params`.
 #[derive(Debug, Clone, PartialEq)]
@@ -103,10 +81,10 @@ impl RpcPacket {
     }
 
     /// Unmarshal back into a call.
-    pub fn decode(&self) -> Result<(u64, CudaCall), DecodeError> {
+    pub fn decode(&self) -> Result<(u64, CudaCall)> {
         let mut w = self.wire.clone();
         if w.remaining() < 9 {
-            return Err(DecodeError::Truncated);
+            return Err(Error::Truncated);
         }
         let seq = w.get_u64();
         let op = w.get_u8();
@@ -154,7 +132,7 @@ impl RpcPacket {
             OP_STREAM_SYNC => CudaCall::StreamSynchronize,
             OP_DEVICE_SYNC => CudaCall::DeviceSynchronize,
             OP_THREAD_EXIT => CudaCall::ThreadExit,
-            other => return Err(DecodeError::UnknownOp(other)),
+            other => return Err(Error::UnknownOp(other)),
         };
         Ok((seq, call))
     }
@@ -173,17 +151,17 @@ fn dir_byte(d: CopyDirection) -> u8 {
     }
 }
 
-fn byte_dir(b: u8) -> Result<CopyDirection, DecodeError> {
+fn byte_dir(b: u8) -> Result<CopyDirection> {
     match b {
         DIR_H2D => Ok(CopyDirection::HostToDevice),
         DIR_D2H => Ok(CopyDirection::DeviceToHost),
-        other => Err(DecodeError::BadDirection(other)),
+        other => Err(Error::BadDirection(other)),
     }
 }
 
-fn ensure(buf: &Bytes, n: usize) -> Result<(), DecodeError> {
+fn ensure(buf: &Bytes, n: usize) -> Result<()> {
     if buf.remaining() < n {
-        Err(DecodeError::Truncated)
+        Err(Error::Truncated)
     } else {
         Ok(())
     }
@@ -279,7 +257,7 @@ mod tests {
             seq: 0,
             wire: Bytes::from_static(&[0, 0, 0]),
         };
-        assert_eq!(pkt.decode().unwrap_err(), DecodeError::Truncated);
+        assert_eq!(pkt.decode().unwrap_err(), Error::Truncated);
         // Header ok but params missing:
         let mut b = BytesMut::new();
         b.put_u64(1);
@@ -288,7 +266,7 @@ mod tests {
             seq: 1,
             wire: b.freeze(),
         };
-        assert_eq!(pkt.decode().unwrap_err(), DecodeError::Truncated);
+        assert_eq!(pkt.decode().unwrap_err(), Error::Truncated);
     }
 
     #[test]
@@ -300,7 +278,7 @@ mod tests {
             seq: 1,
             wire: b.freeze(),
         };
-        assert_eq!(pkt.decode().unwrap_err(), DecodeError::UnknownOp(200));
+        assert_eq!(pkt.decode().unwrap_err(), Error::UnknownOp(200));
     }
 
     #[test]
@@ -314,7 +292,7 @@ mod tests {
             seq: 1,
             wire: b.freeze(),
         };
-        assert_eq!(pkt.decode().unwrap_err(), DecodeError::BadDirection(9));
+        assert_eq!(pkt.decode().unwrap_err(), Error::BadDirection(9));
     }
 
     #[test]
@@ -349,5 +327,97 @@ mod tests {
         );
         assert_eq!(m.reply_overhead_ns(&d2h), 1024 * m.marshal_ns_per_kib);
         assert_eq!(m.recv_overhead_ns(&small), m.unmarshal_ns);
+    }
+}
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn dir_of(d2h: bool) -> CopyDirection {
+        if d2h {
+            CopyDirection::DeviceToHost
+        } else {
+            CopyDirection::HostToDevice
+        }
+    }
+
+    fn arb_call() -> impl Strategy<Value = CudaCall> {
+        prop_oneof![
+            (0u32..4096).prop_map(|device| CudaCall::SetDevice { device }),
+            (0u64..(1u64 << 40)).prop_map(|bytes| CudaCall::Malloc { bytes }),
+            (0u64..(1u64 << 40)).prop_map(|bytes| CudaCall::Free { bytes }),
+            (proptest::bool::ANY, 0u64..(1u64 << 32)).prop_map(|(d2h, bytes)| CudaCall::Memcpy {
+                dir: dir_of(d2h),
+                bytes,
+            }),
+            (proptest::bool::ANY, 0u64..(1u64 << 32)).prop_map(|(d2h, bytes)| {
+                CudaCall::MemcpyAsync {
+                    dir: dir_of(d2h),
+                    bytes,
+                }
+            }),
+            (1u64..10_000_000_000, 0.001f64..1.0, 0.0f64..200_000.0).prop_map(
+                |(work_ref_ns, occupancy, bw_demand_mbps)| CudaCall::LaunchKernel {
+                    kernel: KernelProfile {
+                        work_ref_ns,
+                        occupancy,
+                        bw_demand_mbps,
+                    },
+                }
+            ),
+            Just(CudaCall::StreamSynchronize),
+            Just(CudaCall::DeviceSynchronize),
+            Just(CudaCall::ThreadExit),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(192))]
+
+        #[test]
+        fn encode_decode_roundtrip(seq in 0u64..u64::MAX, call in arb_call()) {
+            let pkt = RpcPacket::encode(seq, &call);
+            let (got_seq, got) = pkt.decode().expect("well-formed packet must decode");
+            prop_assert_eq!(got_seq, seq);
+            prop_assert_eq!(got, call);
+            prop_assert_eq!(pkt.seq, seq);
+        }
+
+        #[test]
+        fn any_strict_prefix_is_truncated(call in arb_call(), cut in 0usize..64) {
+            let pkt = RpcPacket::encode(7, &call);
+            prop_assume!(cut < pkt.wire.len());
+            let short = RpcPacket {
+                seq: 7,
+                wire: Bytes::from(pkt.wire.as_slice()[..cut].to_vec()),
+            };
+            prop_assert_eq!(short.decode().unwrap_err(), Error::Truncated);
+        }
+
+        #[test]
+        fn unknown_ops_are_rejected(op in 10u8..=255, seq in 0u64..1000) {
+            let mut b = BytesMut::new();
+            b.put_u64(seq);
+            b.put_u8(op);
+            let pkt = RpcPacket { seq, wire: b.freeze() };
+            prop_assert_eq!(pkt.decode().unwrap_err(), Error::UnknownOp(op));
+        }
+
+        #[test]
+        fn bad_direction_bytes_are_rejected(
+            is_async in proptest::bool::ANY,
+            dir in 2u8..=255,
+            n in 0u64..4096,
+        ) {
+            let mut b = BytesMut::new();
+            b.put_u64(1);
+            b.put_u8(if is_async { OP_MEMCPY_ASYNC } else { OP_MEMCPY });
+            b.put_u8(dir);
+            b.put_u64(n);
+            let pkt = RpcPacket { seq: 1, wire: b.freeze() };
+            prop_assert_eq!(pkt.decode().unwrap_err(), Error::BadDirection(dir));
+        }
     }
 }

@@ -15,6 +15,9 @@
 //! * [`stats`] / [`telemetry`] — online statistics and time-weighted
 //!   utilization tracking used for Figures 1 and 2 and for all reported
 //!   completion-time aggregates,
+//! * [`fault`] — deterministic fault-injection plans ([`FaultPlan`]):
+//!   seeded, virtual-time-stamped backend crashes, device/node loss, and
+//!   link degradation/partition windows, interpreted by the harness,
 //! * [`trace`] — optional structured tracing: virtual-time spans,
 //!   instants and counters on named tracks, recorded by a [`Tracer`]
 //!   and exportable to Perfetto (via `strings-metrics`).
@@ -27,6 +30,7 @@
 #![deny(unsafe_code)]
 
 pub mod event;
+pub mod fault;
 pub mod rng;
 pub mod stats;
 pub mod telemetry;
@@ -34,6 +38,7 @@ pub mod time;
 pub mod trace;
 
 pub use event::{EventQueue, Generation};
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use rng::SimRng;
 pub use stats::OnlineStats;
 pub use telemetry::UtilizationTracker;
