@@ -1,0 +1,123 @@
+//! DES hot-path microbenches: event-queue churn (with keyed cancellation),
+//! compute-engine advance/rate-recompute, and a full small scenario run.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gpu_sim::compute::ComputeEngine;
+use gpu_sim::ids::{ContextId, JobId, StreamId};
+use gpu_sim::job::{Job, JobKind, KernelProfile};
+use sim_core::EventQueue;
+use strings_core::config::StackConfig;
+use strings_core::mapper::LbPolicy;
+use strings_harness::scenario::{Scenario, StreamSpec};
+use strings_workloads::profile::AppKind;
+
+const QUEUE_OPS: u64 = 10_000;
+
+/// Plain schedule/pop churn: a sliding window of future events.
+fn queue_churn() -> u64 {
+    let mut q: EventQueue<u64> = EventQueue::new();
+    for i in 0..64u64 {
+        q.schedule(i * 10, i);
+    }
+    let mut acc = 0;
+    for i in 64..QUEUE_OPS {
+        let (t, v) = q.pop().expect("window never empties");
+        acc ^= t ^ v;
+        q.schedule(t + 640, i);
+    }
+    acc
+}
+
+/// The device-wakeup pattern: every dispatch supersedes the previous
+/// keyed wakeup and parks a new one.
+fn queue_keyed_cancel() -> u64 {
+    let mut q: EventQueue<u64> = EventQueue::new();
+    let keys: Vec<_> = (0..4).map(|_| q.register_key()).collect();
+    for (i, &k) in keys.iter().enumerate() {
+        q.schedule_keyed(k, 10 + i as u64, i as u64);
+    }
+    let mut acc = 0;
+    for i in 0..QUEUE_OPS {
+        let Some((t, v)) = q.pop() else { break };
+        acc ^= t ^ v;
+        let k = keys[(v % 4) as usize];
+        q.invalidate(k);
+        q.schedule_keyed(k, t + 100, i);
+        // A competing earlier wakeup that the next dispatch supersedes.
+        q.invalidate(k);
+        q.schedule_keyed(k, t + 50, i);
+    }
+    acc
+}
+
+fn kernel(id: u64, occ: f64) -> Job {
+    Job {
+        id: JobId(id as u32),
+        ctx: ContextId(0),
+        stream: StreamId(id as u32 % 4),
+        kind: JobKind::Kernel(KernelProfile {
+            work_ref_ns: 1_000_000,
+            occupancy: occ,
+            bw_demand_mbps: 30_000.0,
+        }),
+        tag: id,
+    }
+}
+
+/// Processor-sharing integration with membership churn: kernels join as
+/// others finish, forcing `recompute_rates` passes.
+fn compute_advance() -> usize {
+    let mut eng = ComputeEngine::new(148_000.0, 16);
+    let mut now = 0;
+    let mut next_id = 0u64;
+    let mut finished = 0;
+    for _ in 0..8 {
+        eng.start(kernel(next_id, 0.25), 1_000_000, now);
+        next_id += 1;
+    }
+    let mut out = Vec::new();
+    for _ in 0..2_000 {
+        now += 200_000;
+        eng.advance_into(now, &mut out);
+        finished += out.len();
+        for _ in 0..out.len() {
+            eng.start(kernel(next_id, 0.25), 1_000_000, now);
+            next_id += 1;
+        }
+        out.clear();
+    }
+    finished
+}
+
+fn scenario() -> Scenario {
+    Scenario::single_node(
+        StackConfig::strings(LbPolicy::GMin),
+        vec![
+            StreamSpec::of(AppKind::MC, 10, 1.5),
+            StreamSpec::of(AppKind::DC, 5, 1.5),
+        ],
+        42,
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hotpath");
+    g.throughput(Throughput::Elements(QUEUE_OPS));
+    g.bench_function("event_queue_churn", |b| b.iter(queue_churn));
+    g.bench_function("event_queue_keyed_cancel", |b| b.iter(queue_keyed_cancel));
+    g.finish();
+
+    let mut g = c.benchmark_group("compute");
+    g.bench_function("advance_with_membership_churn", |b| b.iter(compute_advance));
+    g.finish();
+
+    let events = scenario().run().events;
+    let mut g = c.benchmark_group("scenario");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(events));
+    g.bench_function("full_run_single_node_mix", |b| b.iter(|| scenario().run()));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,274 @@
+//! Reproducible DES hot-path performance suite.
+//!
+//! Runs a fixed set of figure-scale scenarios and emits `BENCH_hotpath.json`
+//! so every PR has a perf trajectory to compare against. All
+//! simulation-derived fields (events, stale counters, queue depth, makespan)
+//! are byte-stable across runs and machines — only the wall-clock fields
+//! (`wall_ns_best`, `events_per_sec`, `wall_ns_per_sim_s`) vary, which is
+//! why the regression gate tolerates 2x before failing.
+//!
+//! ```text
+//! cargo run --release -p strings-bench --bin bench_suite                # full (5 reps)
+//! cargo run --release -p strings-bench --bin bench_suite -- --smoke    # CI (2 reps)
+//! cargo run --release -p strings-bench --bin bench_suite -- --check BENCH_hotpath.json
+//! ```
+
+use std::time::Instant;
+use strings_core::config::StackConfig;
+use strings_core::device_sched::GpuPolicy;
+use strings_core::mapper::LbPolicy;
+use strings_harness::experiments::common::{pair_streams, ExpScale};
+use strings_harness::scenario::{Scenario, StreamSpec};
+use strings_workloads::pairs::workload_pairs;
+use strings_workloads::profile::AppKind;
+
+const USAGE: &str = "bench_suite options:
+  --smoke          fewer repetitions (CI mode; same scenarios, same scale)
+  --reps N         repetitions per scenario (default 5, smoke 2)
+  --out PATH       where to write the JSON report (default BENCH_hotpath.json)
+  --check PATH     compare against a baseline JSON; exit 1 on a >2x
+                   events/sec regression in any shared scenario
+  --threads N      pin sweep parallelism (bench scenarios are single runs,
+                   so this only matters for future sweep-backed entries)
+  --help           print this text
+";
+
+/// The fixed scenario set. Names are part of the JSON contract — the CI
+/// gate matches baseline entries by name.
+fn scenarios() -> Vec<(&'static str, Scenario)> {
+    let scale = ExpScale::full();
+    // The fig12 headline pair (I = BO-BS) on the supernode under the
+    // paper's best stack: GWtMin balancing + LAS device scheduling.
+    let pairs = workload_pairs();
+    let (_, a, b) = pairs[8];
+    let fig12 = Scenario::supernode(
+        StackConfig::strings(LbPolicy::GWtMin).with_gpu_policy(GpuPolicy::Las),
+        pair_streams(a, b, &scale),
+        0,
+    );
+    // A single-node mix (same shape as the `simulator` criterion bench).
+    let single = Scenario::single_node(
+        StackConfig::strings(LbPolicy::GMin),
+        vec![
+            StreamSpec::of(AppKind::MC, 10, 1.5),
+            StreamSpec::of(AppKind::DC, 5, 1.5),
+        ],
+        42,
+    );
+    // A three-tenant supernode mix exercising fairness accounting.
+    let mix3 = Scenario::supernode(
+        StackConfig::strings(LbPolicy::GWtMin),
+        vec![
+            StreamSpec::of(AppKind::MC, 12, 1.5),
+            StreamSpec::of(AppKind::DC, 12, 1.5),
+            StreamSpec::of(AppKind::HI, 6, 1.0),
+        ],
+        7,
+    );
+    vec![
+        ("fig12_pair_I_supernode", fig12),
+        ("single_node_mix", single),
+        ("supernode_mix3", mix3),
+    ]
+}
+
+struct Row {
+    name: &'static str,
+    events: u64,
+    completed: u64,
+    makespan_ns: u64,
+    cancelled: u64,
+    stale_pops: u64,
+    peak_queue_depth: u64,
+    wall_ns_best: u64,
+    events_per_sec: u64,
+    wall_ns_per_sim_s: u64,
+}
+
+fn measure(name: &'static str, scenario: &Scenario, reps: usize) -> Row {
+    let warm = scenario.run(); // warmup rep, also sources the stable fields
+    let mut best = u64::MAX;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let st = scenario.run();
+        let wall = t0.elapsed().as_nanos() as u64;
+        assert_eq!(st.events, warm.events, "non-deterministic event count");
+        best = best.min(wall);
+    }
+    let sim_s = warm.makespan_ns as f64 / 1e9;
+    Row {
+        name,
+        events: warm.events,
+        completed: warm.completed_requests,
+        makespan_ns: warm.makespan_ns,
+        cancelled: warm.cancelled_wakeups,
+        stale_pops: warm.stale_pops,
+        peak_queue_depth: warm.peak_queue_depth,
+        wall_ns_best: best,
+        events_per_sec: (warm.events as f64 / (best as f64 / 1e9)) as u64,
+        wall_ns_per_sim_s: (best as f64 / sim_s) as u64,
+    }
+}
+
+fn stale_ratio(r: &Row) -> f64 {
+    if r.events == 0 {
+        0.0
+    } else {
+        r.stale_pops as f64 / r.events as f64
+    }
+}
+
+/// Hand-rolled JSON with a fixed key order so reports diff cleanly.
+fn render(rows: &[Row]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"bench_hotpath/v1\",\n  \"scenarios\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", r.name));
+        out.push_str(&format!("      \"events\": {},\n", r.events));
+        out.push_str(&format!("      \"completed_requests\": {},\n", r.completed));
+        out.push_str(&format!("      \"makespan_ns\": {},\n", r.makespan_ns));
+        out.push_str(&format!("      \"cancelled_wakeups\": {},\n", r.cancelled));
+        out.push_str(&format!("      \"stale_pops\": {},\n", r.stale_pops));
+        out.push_str(&format!(
+            "      \"stale_pop_ratio\": {:.6},\n",
+            stale_ratio(r)
+        ));
+        out.push_str(&format!(
+            "      \"peak_queue_depth\": {},\n",
+            r.peak_queue_depth
+        ));
+        out.push_str(&format!("      \"wall_ns_best\": {},\n", r.wall_ns_best));
+        out.push_str(&format!(
+            "      \"events_per_sec\": {},\n",
+            r.events_per_sec
+        ));
+        out.push_str(&format!(
+            "      \"wall_ns_per_sim_s\": {}\n",
+            r.wall_ns_per_sim_s
+        ));
+        out.push_str(if i + 1 == rows.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Pull `"field": value` pairs per scenario out of a v1 report. Line-based
+/// on purpose: the format above is the only producer and the vendored tree
+/// has no JSON parser.
+fn parse_baseline(text: &str) -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    let mut name: Option<String> = None;
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("\"name\": \"") {
+            name = rest.strip_suffix("\",").map(str::to_string);
+        } else if let Some(rest) = line.strip_prefix("\"events_per_sec\": ") {
+            let v: u64 = rest
+                .trim_end_matches(',')
+                .parse()
+                .unwrap_or_else(|_| panic!("bad events_per_sec line: {line}"));
+            if let Some(n) = name.take() {
+                out.push((n, v));
+            }
+        }
+    }
+    out
+}
+
+fn check(rows: &[Row], baseline_path: &str) -> bool {
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read baseline {baseline_path}: {e}");
+            return false;
+        }
+    };
+    let baseline = parse_baseline(&text);
+    let mut ok = true;
+    for (name, base_eps) in &baseline {
+        let Some(row) = rows.iter().find(|r| r.name == name.as_str()) else {
+            println!("check: {name}: not in this run (skipped)");
+            continue;
+        };
+        let factor = row.events_per_sec as f64 / *base_eps as f64;
+        let verdict = if factor < 0.5 {
+            "FAIL (>2x regression)"
+        } else {
+            "ok"
+        };
+        println!(
+            "check: {name}: {} ev/s vs baseline {} ({factor:.2}x) {verdict}",
+            row.events_per_sec, base_eps
+        );
+        if factor < 0.5 {
+            ok = false;
+        }
+    }
+    ok
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut reps: Option<usize> = None;
+    let mut smoke = false;
+    let mut out_path = "BENCH_hotpath.json".to_string();
+    let mut check_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take = || -> String {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("error: {arg} wants a value\n\n{USAGE}");
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--reps" => reps = Some(take().parse().expect("bad --reps")),
+            "--out" => out_path = take(),
+            "--check" => check_path = Some(take()),
+            "--threads" => {
+                strings_harness::sweep::set_threads(take().parse().expect("bad --threads"))
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return;
+            }
+            other => {
+                eprintln!("error: unknown option '{other}'\n\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let reps = reps.unwrap_or(if smoke { 2 } else { 5 });
+
+    let mut rows = Vec::new();
+    for (name, scenario) in scenarios() {
+        let row = measure(name, &scenario, reps);
+        println!(
+            "{name}: {} ev/s ({} events, stale ratio {:.4}, peak queue {}, best {:.1} ms)",
+            row.events_per_sec,
+            row.events,
+            stale_ratio(&row),
+            row.peak_queue_depth,
+            row.wall_ns_best as f64 / 1e6,
+        );
+        rows.push(row);
+    }
+
+    let report = render(&rows);
+    std::fs::write(&out_path, &report).expect("write report");
+    println!("wrote {out_path}");
+
+    if let Some(path) = check_path {
+        if !check(&rows, &path) {
+            std::process::exit(1);
+        }
+    }
+}

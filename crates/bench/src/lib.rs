@@ -43,6 +43,8 @@ pub const USAGE: &str = "common options:
                    (.jsonl extension selects JSONL)
   --faults PLAN    inject faults, e.g. 'crash@10s:gid0;partition@2s+500ms:node1'
                    (kinds: crash ecc nodeloss degrade partition)
+  --threads N      pin seed-sweep parallelism to N worker threads
+                   (default: one per core; results are identical either way)
   --help           print this text
 ";
 
@@ -51,6 +53,8 @@ pub const USAGE: &str = "common options:
 pub struct Cli {
     /// Experiment scale assembled from the flags.
     pub scale: ExpScale,
+    /// `--threads N`: pinned sweep parallelism (None: one per core).
+    pub threads: Option<usize>,
     /// `--help` was requested.
     pub help: bool,
 }
@@ -65,6 +69,7 @@ impl Cli {
             ExpScale::full()
         };
         let mut help = false;
+        let mut threads = None;
         let mut it = args.iter();
         while let Some(arg) = it.next() {
             let mut take = || -> Result<&String, String> {
@@ -89,10 +94,23 @@ impl Cli {
                 }
                 "--trace" => scale.trace = Some(take()?.clone()),
                 "--faults" => scale.faults = FaultPlan::parse(take()?)?,
+                "--threads" => {
+                    let n: usize = take()?
+                        .parse()
+                        .map_err(|_| "bad --threads (want a count)".to_string())?;
+                    if n == 0 {
+                        return Err("--threads must be at least 1".into());
+                    }
+                    threads = Some(n);
+                }
                 other => return Err(format!("unknown option '{other}'")),
             }
         }
-        Ok(Cli { scale, help })
+        Ok(Cli {
+            scale,
+            threads,
+            help,
+        })
     }
 
     /// Parse the process arguments; print usage and exit on `--help` or a
@@ -117,6 +135,9 @@ impl Cli {
 /// the banner, run `body` at the requested scale, print what it returns.
 pub fn run_experiment(figure: &str, paper_note: &str, body: impl FnOnce(&ExpScale) -> String) {
     let cli = Cli::parse();
+    if let Some(n) = cli.threads {
+        strings_harness::sweep::set_threads(n);
+    }
     banner(figure, paper_note);
     print!("{}", body(&cli.scale));
 }
@@ -167,10 +188,21 @@ mod tests {
     }
 
     #[test]
+    fn threads_flag_parses() {
+        assert_eq!(
+            Cli::parse_from(&args("--threads 4")).unwrap().threads,
+            Some(4)
+        );
+        assert_eq!(Cli::parse_from(&args("--quick")).unwrap().threads, None);
+    }
+
+    #[test]
     fn bad_input_is_rejected() {
         assert!(Cli::parse_from(&args("--frobnicate")).is_err());
         assert!(Cli::parse_from(&args("--seeds 0")).is_err());
         assert!(Cli::parse_from(&args("--seeds")).is_err());
+        assert!(Cli::parse_from(&args("--threads 0")).is_err());
+        assert!(Cli::parse_from(&args("--threads x")).is_err());
         assert!(Cli::parse_from(&args("--faults meteor@1s:gid0")).is_err());
         assert!(Cli::parse_from(&args("--help")).unwrap().help);
     }

@@ -7,12 +7,17 @@
 
 use crate::host::BlockOn;
 use gpu_sim::ids::{ContextId, JobId, StreamId};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 /// Tracks device jobs submitted but not yet completed.
+///
+/// Synchronization only ever asks *emptiness* questions per stream and
+/// per context, so both are plain counters — no per-job sets to allocate
+/// on the submit/complete hot path. [`PendingOps::index`] remains the
+/// authoritative job → location map.
 #[derive(Debug, Default)]
 pub struct PendingOps {
-    by_stream: HashMap<(ContextId, StreamId), HashSet<JobId>>,
+    by_stream: HashMap<(ContextId, StreamId), usize>,
     by_ctx: HashMap<ContextId, usize>,
     index: HashMap<JobId, (ContextId, StreamId)>,
 }
@@ -25,10 +30,10 @@ impl PendingOps {
 
     /// Record a job submission.
     pub fn submit(&mut self, ctx: ContextId, stream: StreamId, job: JobId) {
-        let inserted = self.by_stream.entry((ctx, stream)).or_default().insert(job);
-        debug_assert!(inserted, "job {job} submitted twice");
+        *self.by_stream.entry((ctx, stream)).or_insert(0) += 1;
         *self.by_ctx.entry(ctx).or_insert(0) += 1;
-        self.index.insert(job, (ctx, stream));
+        let prev = self.index.insert(job, (ctx, stream));
+        debug_assert!(prev.is_none(), "job {job} submitted twice");
     }
 
     /// Record a job completion. Unknown jobs are ignored (a completion can
@@ -37,9 +42,9 @@ impl PendingOps {
         let Some((ctx, stream)) = self.index.remove(&job) else {
             return;
         };
-        if let Some(set) = self.by_stream.get_mut(&(ctx, stream)) {
-            set.remove(&job);
-            if set.is_empty() {
+        if let Some(n) = self.by_stream.get_mut(&(ctx, stream)) {
+            *n -= 1;
+            if *n == 0 {
                 self.by_stream.remove(&(ctx, stream));
             }
         }

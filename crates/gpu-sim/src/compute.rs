@@ -45,6 +45,14 @@ pub struct ComputeEngine {
     max_concurrent: usize,
     running: Vec<RunningKernel>,
     last_update: SimTime,
+    /// Σ occupancy over `running`, cached at the last membership change.
+    /// Recomputed by a fresh in-order pass (never incrementally adjusted)
+    /// so the value is bit-identical to summing on demand.
+    total_occ: f64,
+    /// Σ bandwidth demand over `running`, cached like `total_occ`.
+    total_bw: f64,
+    /// Reusable buffer for the completion check inside [`ComputeEngine::start`].
+    scratch: Vec<RunningKernel>,
 }
 
 impl ComputeEngine {
@@ -56,6 +64,9 @@ impl ComputeEngine {
             max_concurrent,
             running: Vec::new(),
             last_update: 0,
+            total_occ: 0.0,
+            total_bw: 0.0,
+            scratch: Vec::new(),
         }
     }
 
@@ -86,8 +97,7 @@ impl ComputeEngine {
         if self.running.is_empty() {
             return true;
         }
-        let total: f64 = self.running.iter().map(|k| k.profile.occupancy).sum();
-        total + occupancy <= 1.0 + 1e-9
+        self.total_occ + occupancy <= 1.0 + 1e-9
     }
 
     /// Resident kernels (inspection only).
@@ -97,29 +107,28 @@ impl ComputeEngine {
 
     /// Instantaneous compute utilization: total SM occupancy, capped at 1.
     pub fn occupancy(&self) -> f64 {
-        self.running
-            .iter()
-            .map(|k| k.profile.occupancy)
-            .sum::<f64>()
-            .min(1.0)
+        self.total_occ.min(1.0)
     }
 
     /// Instantaneous bandwidth use as a fraction of device bandwidth,
     /// capped at 1.
     pub fn bandwidth_use(&self) -> f64 {
-        (self
-            .running
-            .iter()
-            .map(|k| k.profile.bw_demand_mbps)
-            .sum::<f64>()
-            / self.dev_bw_mbps)
-            .min(1.0)
+        (self.total_bw / self.dev_bw_mbps).min(1.0)
     }
 
     /// Integrate kernel progress up to `now` and return kernels that have
     /// finished (remaining work reached zero), in deterministic order of
     /// (finish-precision, job id).
     pub fn advance(&mut self, now: SimTime) -> Vec<RunningKernel> {
+        let mut finished = Vec::new();
+        self.advance_into(now, &mut finished);
+        finished
+    }
+
+    /// Allocation-free [`ComputeEngine::advance`]: finished kernels are
+    /// appended to `out` (deterministically sorted by job id within this
+    /// call's batch).
+    pub fn advance_into(&mut self, now: SimTime, out: &mut Vec<RunningKernel>) {
         debug_assert!(now >= self.last_update);
         let dt = (now - self.last_update) as f64;
         self.last_update = now;
@@ -131,20 +140,19 @@ impl ComputeEngine {
         // Collect finished kernels (remaining work at or below float noise;
         // next_completion() uses ceil(), so the scheduled event time always
         // integrates remaining to <= ~1 ulp).
-        let mut finished = Vec::new();
+        let before = out.len();
         let mut i = 0;
         while i < self.running.len() {
             if self.running[i].remaining_ns <= 1e-6 {
-                finished.push(self.running.remove(i));
+                out.push(self.running.remove(i));
             } else {
                 i += 1;
             }
         }
-        if !finished.is_empty() {
-            finished.sort_by_key(|k| k.job.id);
+        if out.len() > before {
+            out[before..].sort_by_key(|k| k.job.id);
             self.recompute_rates();
         }
-        finished
     }
 
     /// Admit a kernel. `solo_ns` is its solo duration on *this* device
@@ -160,11 +168,14 @@ impl ComputeEngine {
             _ => panic!("non-kernel job submitted to compute engine"),
         };
         // Integrate others up to now before membership changes.
-        let done = self.advance(now);
+        let mut done = std::mem::take(&mut self.scratch);
+        self.advance_into(now, &mut done);
         debug_assert!(
             done.is_empty(),
             "start() called with unharvested completions"
         );
+        done.clear();
+        self.scratch = done;
         self.running.push(RunningKernel {
             job,
             profile,
@@ -197,9 +208,15 @@ impl ComputeEngine {
         self.running.iter().find(|k| k.job.id == id).map(|k| k.rate)
     }
 
+    /// Refresh rates and the Σ-occupancy/Σ-bandwidth caches. Called only on
+    /// membership change; the sums are always recomputed from scratch in
+    /// membership order (an incremental add/subtract would drift in the last
+    /// float bits and change admission decisions).
     fn recompute_rates(&mut self) {
         let total_occ: f64 = self.running.iter().map(|k| k.profile.occupancy).sum();
         let total_bw: f64 = self.running.iter().map(|k| k.profile.bw_demand_mbps).sum();
+        self.total_occ = total_occ;
+        self.total_bw = total_bw;
         let slow_compute = if total_occ > 1.0 {
             1.0 / total_occ
         } else {

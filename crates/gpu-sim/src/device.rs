@@ -17,21 +17,24 @@
 //!   TFS/LAS/PS device-level policies.
 //!
 //! The device is passive: the simulation executive calls [`Device::step`]
-//! after any mutation or elapsed event, harvests
-//! [`Device::drain_completions`], and reschedules using
-//! [`Device::next_event_time`]. Stale events are filtered by the device's
-//! generation counter (`gen`).
+//! after any mutation or elapsed event, harvests completions
+//! ([`Device::take_completions_into`] on the hot path,
+//! [`Device::drain_completions`] for convenience), and reschedules using
+//! [`Device::next_event_time`]. Wakeup staleness is handled by the event
+//! queue's keyed-cancellation API ([`sim_core::EventQueue::invalidate`]):
+//! every mutation listed above supersedes previously scheduled wakeups.
 
-use crate::compute::ComputeEngine;
+use crate::compute::{ComputeEngine, RunningKernel};
 use crate::copy::CopyEngine;
 use crate::ids::{ContextId, DeviceId, IdAllocator, JobId, StreamId};
 use crate::job::{CopyDirection, Job, JobKind};
 use crate::spec::DeviceSpec;
 use crate::telemetry::DeviceTelemetry;
+use crate::vecmap::SortedVecMap;
 use serde::{Deserialize, Serialize};
 use sim_core::trace::{Tracer, TrackId};
-use sim_core::{Generation, SimTime};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use sim_core::SimTime;
+use std::collections::VecDeque;
 
 /// Driver/device timing parameters (the calibration knobs of DESIGN.md §8).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -130,7 +133,7 @@ struct StreamState {
 
 #[derive(Debug, Default)]
 struct CtxState {
-    streams: BTreeMap<StreamId, StreamState>,
+    streams: SortedVecMap<StreamId, StreamState>,
     inflight_jobs: usize,
     mem_allocated: u64,
 }
@@ -158,7 +161,7 @@ pub struct Device {
     pub id: DeviceId,
     spec: DeviceSpec,
     cfg: DeviceConfig,
-    contexts: BTreeMap<ContextId, CtxState>,
+    contexts: SortedVecMap<ContextId, CtxState>,
     active: Option<ContextId>,
     /// In-progress context switch: (target, completes_at).
     switch: Option<(ContextId, SimTime)>,
@@ -168,10 +171,14 @@ pub struct Device {
     compute: ComputeEngine,
     copies: Vec<CopyEngine>,
     completed: Vec<CompletedJob>,
-    submit_times: HashMap<JobId, SimTime>,
+    /// Submission timestamps, dense-indexed by `JobId - submit_base`
+    /// (this device allocates job ids sequentially from its base).
+    /// `SimTime::MAX` marks an absent entry.
+    submit_times: Vec<SimTime>,
+    submit_base: u32,
+    /// Reusable buffer for harvesting finished kernels (no per-event Vec).
+    kernel_buf: Vec<RunningKernel>,
     job_ids: IdAllocator,
-    /// Event-staleness stamp; bumped on every state change.
-    pub gen: Generation,
     /// Utilization signals and counters.
     pub telemetry: DeviceTelemetry,
     /// Optional structured tracing (off by default, see [`Device::set_tracer`]).
@@ -190,7 +197,7 @@ impl Device {
             id,
             spec,
             cfg,
-            contexts: BTreeMap::new(),
+            contexts: SortedVecMap::new(),
             active: None,
             switch: None,
             active_since: 0,
@@ -199,9 +206,10 @@ impl Device {
             compute,
             copies,
             completed: Vec::new(),
-            submit_times: HashMap::new(),
+            submit_times: Vec::new(),
+            submit_base: 0,
+            kernel_buf: Vec::new(),
             job_ids: IdAllocator::new(),
-            gen: Generation::default(),
             telemetry: DeviceTelemetry::default(),
             tracer: Tracer::off(),
             trk_compute: TrackId::INVALID,
@@ -228,6 +236,15 @@ impl Device {
     /// executives whose job trackers are keyed globally by JobId.
     pub fn set_job_id_base(&mut self, base: u32) {
         self.job_ids = IdAllocator::starting_at(base);
+        self.submit_base = base;
+        self.submit_times.clear();
+    }
+
+    /// Submission timestamp slot for a job id (dense index from the
+    /// device's job-id base).
+    #[inline]
+    fn submit_slot(&self, id: JobId) -> usize {
+        (id.0 - self.submit_base) as usize
     }
 
     /// Static device capabilities.
@@ -242,23 +259,21 @@ impl Device {
 
     /// Register a context (idempotent).
     pub fn create_context(&mut self, ctx: ContextId) {
-        self.contexts.entry(ctx).or_default();
-        self.gen.bump();
+        self.contexts.get_or_insert_default(ctx);
     }
 
     /// Remove a context; any queued work is dropped (callers only destroy
     /// drained contexts).
     pub fn destroy_context(&mut self, ctx: ContextId) {
-        self.contexts.remove(&ctx);
+        self.contexts.remove(ctx);
         if self.active == Some(ctx) {
             self.active = None;
         }
-        self.gen.bump();
     }
 
     /// True if the context exists.
     pub fn has_context(&self, ctx: ContextId) -> bool {
-        self.contexts.contains_key(&ctx)
+        self.contexts.contains_key(ctx)
     }
 
     /// Currently resident context.
@@ -273,7 +288,7 @@ impl Device {
         let total: u64 = self.contexts.values().map(|c| c.mem_allocated).sum();
         let available = self.spec.mem_bytes.saturating_sub(total);
         if bytes > available && !self.cfg.vmem {
-            if !self.contexts.contains_key(&ctx) {
+            if !self.contexts.contains_key(ctx) {
                 return Err(DeviceError::UnknownContext(ctx));
             }
             return Err(DeviceError::OutOfMemory {
@@ -283,7 +298,7 @@ impl Device {
         }
         let state = self
             .contexts
-            .get_mut(&ctx)
+            .get_mut(ctx)
             .ok_or(DeviceError::UnknownContext(ctx))?;
         state.mem_allocated += bytes;
         Ok(())
@@ -297,7 +312,7 @@ impl Device {
 
     /// Release device memory in `ctx`.
     pub fn free(&mut self, ctx: ContextId, bytes: u64) {
-        if let Some(state) = self.contexts.get_mut(&ctx) {
+        if let Some(state) = self.contexts.get_mut(ctx) {
             state.mem_allocated = state.mem_allocated.saturating_sub(bytes);
         }
     }
@@ -317,7 +332,7 @@ impl Device {
         tag: u64,
         now: SimTime,
     ) -> Result<JobId, DeviceError> {
-        if !self.contexts.contains_key(&ctx) {
+        if !self.contexts.contains_key(ctx) {
             return Err(DeviceError::UnknownContext(ctx));
         }
         let id: JobId = self.job_ids.alloc();
@@ -328,31 +343,32 @@ impl Device {
             kind,
             tag,
         };
-        let state = self.contexts.get_mut(&ctx).expect("checked above");
+        let state = self.contexts.get_mut(ctx).expect("checked above");
         state
             .streams
-            .entry(stream)
-            .or_default()
+            .get_or_insert_default(stream)
             .queue
             .push_back(job);
-        self.submit_times.insert(id, now);
-        self.gen.bump();
+        let slot = self.submit_slot(id);
+        if slot >= self.submit_times.len() {
+            self.submit_times.resize(slot + 1, SimTime::MAX);
+        }
+        self.submit_times[slot] = now;
         Ok(id)
     }
 
     /// Pause (`gated = true`) or resume a stream. Running jobs continue;
     /// only new dispatches are withheld.
     pub fn set_stream_gate(&mut self, ctx: ContextId, stream: StreamId, gated: bool) {
-        if let Some(state) = self.contexts.get_mut(&ctx) {
-            state.streams.entry(stream).or_default().gated = gated;
-            self.gen.bump();
+        if let Some(state) = self.contexts.get_mut(ctx) {
+            state.streams.get_or_insert_default(stream).gated = gated;
         }
     }
 
     /// The kind of the next dispatchable job on `(ctx, stream)`, if any and
     /// not yet running (used by the PS policy to classify stream phases).
     pub fn stream_head_kind(&self, ctx: ContextId, stream: StreamId) -> Option<JobKind> {
-        let ss = self.contexts.get(&ctx)?.streams.get(&stream)?;
+        let ss = self.contexts.get(ctx)?.streams.get(stream)?;
         if ss.inflight.is_some() {
             return None;
         }
@@ -362,22 +378,22 @@ impl Device {
     /// True if `(ctx, stream)` has a job running on an engine.
     pub fn stream_busy(&self, ctx: ContextId, stream: StreamId) -> bool {
         self.contexts
-            .get(&ctx)
-            .and_then(|c| c.streams.get(&stream))
+            .get(ctx)
+            .and_then(|c| c.streams.get(stream))
             .is_some_and(|s| s.inflight.is_some())
     }
 
     /// True if `(ctx, stream)` has queued or running work.
     pub fn stream_has_work(&self, ctx: ContextId, stream: StreamId) -> bool {
         self.contexts
-            .get(&ctx)
-            .and_then(|c| c.streams.get(&stream))
+            .get(ctx)
+            .and_then(|c| c.streams.get(stream))
             .is_some_and(|s| s.inflight.is_some() || !s.queue.is_empty())
     }
 
     /// Queued + running jobs in one context.
     pub fn pending_jobs(&self, ctx: ContextId) -> usize {
-        self.contexts.get(&ctx).map_or(0, |c| c.pending())
+        self.contexts.get(ctx).map_or(0, |c| c.pending())
     }
 
     /// Queued + running jobs across all contexts.
@@ -394,17 +410,17 @@ impl Device {
     /// backend-fault cleanup. In-flight engine work drains normally.
     /// Returns the cancelled job ids so callers can clear their trackers.
     pub fn cancel_stream(&mut self, ctx: ContextId, stream: StreamId) -> Vec<JobId> {
-        let Some(c) = self.contexts.get_mut(&ctx) else {
+        let Some(c) = self.contexts.get_mut(ctx) else {
             return Vec::new();
         };
-        let Some(ss) = c.streams.get_mut(&stream) else {
+        let Some(ss) = c.streams.get_mut(stream) else {
             return Vec::new();
         };
         let cancelled: Vec<JobId> = ss.queue.drain(..).map(|j| j.id).collect();
         for id in &cancelled {
-            self.submit_times.remove(id);
+            let slot = self.submit_slot(*id);
+            self.submit_times[slot] = SimTime::MAX;
         }
-        self.gen.bump();
         cancelled
     }
 
@@ -413,11 +429,18 @@ impl Device {
         std::mem::take(&mut self.completed)
     }
 
+    /// Move all harvested completions into `out` (cleared first), swapping
+    /// buffers so both sides recycle capacity — the allocation-free
+    /// equivalent of [`Device::drain_completions`] for hot executives.
+    pub fn take_completions_into(&mut self, out: &mut Vec<CompletedJob>) {
+        out.clear();
+        std::mem::swap(&mut self.completed, out);
+    }
+
     /// Advance device state to `now`: harvest finished work, progress any
     /// context switch, and dispatch newly ready jobs. Completions accumulate
     /// until [`Device::drain_completions`].
     pub fn step(&mut self, now: SimTime) {
-        self.gen.bump();
         self.harvest(now);
         // Complete an in-progress context switch.
         if let Some((target, at)) = self.switch {
@@ -456,11 +479,8 @@ impl Device {
         // Quantum expiry matters only when someone else is waiting.
         if !self.draining && self.switch.is_none() && self.cfg.driver_quantum_ns > 0 {
             if let Some(a) = self.active {
-                let others_waiting = self
-                    .contexts
-                    .iter()
-                    .any(|(id, c)| *id != a && c.has_ready());
-                let active_working = self.contexts.get(&a).is_some_and(|c| c.has_any_work());
+                let others_waiting = self.contexts.iter().any(|(id, c)| id != a && c.has_ready());
+                let active_working = self.contexts.get(a).is_some_and(|c| c.has_any_work());
                 if others_waiting && active_working {
                     let expiry = self.active_since + self.cfg.driver_quantum_ns;
                     t = min_opt(t, Some(expiry.max(now)));
@@ -473,13 +493,16 @@ impl Device {
     // ---- internals -----------------------------------------------------
 
     fn harvest(&mut self, now: SimTime) {
-        for k in self.compute.advance(now) {
+        let mut finished = std::mem::take(&mut self.kernel_buf);
+        self.compute.advance_into(now, &mut finished);
+        for k in finished.drain(..) {
             self.telemetry.kernels_completed += 1;
             self.tracer
                 .span_end(self.trk_compute, now, "kernel", Some(k.job.id.0 as u64));
             let started = k.started_at;
             self.finish_job(k.job, started, now);
         }
+        self.kernel_buf = finished;
         for i in 0..self.copies.len() {
             if let Some(c) = self.copies[i].advance(now) {
                 self.telemetry.copies_completed += 1;
@@ -501,19 +524,18 @@ impl Device {
     fn finish_job(&mut self, job: Job, started_at: SimTime, now: SimTime) {
         let ctx = self
             .contexts
-            .get_mut(&job.ctx)
+            .get_mut(job.ctx)
             .expect("completion for destroyed context");
         let ss = ctx
             .streams
-            .get_mut(&job.stream)
+            .get_mut(job.stream)
             .expect("completion for unknown stream");
         debug_assert_eq!(ss.inflight, Some(job.id));
         ss.inflight = None;
         ctx.inflight_jobs -= 1;
-        let submitted_at = self
-            .submit_times
-            .remove(&job.id)
-            .expect("job without submit time");
+        let slot = self.submit_slot(job.id);
+        let submitted_at = std::mem::replace(&mut self.submit_times[slot], SimTime::MAX);
+        assert!(submitted_at != SimTime::MAX, "job without submit time");
         self.completed.push(CompletedJob {
             job,
             submitted_at,
@@ -525,23 +547,26 @@ impl Device {
     /// Round-robin pick of the next context (other than `except`) with
     /// dispatchable work.
     fn pick_next(&mut self, except: Option<ContextId>) -> Option<ContextId> {
-        let candidates: Vec<ContextId> = self
-            .contexts
-            .iter()
-            .filter(|(id, c)| Some(**id) != except && c.has_ready())
-            .map(|(id, _)| *id)
-            .collect();
-        if candidates.is_empty() {
-            return None;
+        // Candidates iterate in ascending id order; the pick is the first
+        // one after `rr_last`, wrapping to the smallest candidate.
+        let mut first: Option<ContextId> = None;
+        let mut next_after_last: Option<ContextId> = None;
+        for (id, c) in self.contexts.iter() {
+            if Some(id) == except || !c.has_ready() {
+                continue;
+            }
+            if first.is_none() {
+                first = Some(id);
+                if self.rr_last.is_none() {
+                    break; // no rotation point: smallest candidate wins
+                }
+            }
+            if self.rr_last.is_some_and(|last| id > last) {
+                next_after_last = Some(id);
+                break;
+            }
         }
-        let pick = match self.rr_last {
-            Some(last) => candidates
-                .iter()
-                .copied()
-                .find(|c| *c > last)
-                .unwrap_or(candidates[0]),
-            None => candidates[0],
-        };
+        let pick = next_after_last.or(first)?;
         self.rr_last = Some(pick);
         Some(pick)
     }
@@ -583,7 +608,7 @@ impl Device {
             return;
         };
         let (inflight, a_ready, a_work) = {
-            let c = self.contexts.get(&a).expect("active ctx exists");
+            let c = self.contexts.get(a).expect("active ctx exists");
             (c.inflight_jobs, c.has_ready(), c.has_any_work())
         };
         if self.draining {
@@ -611,10 +636,7 @@ impl Device {
             && a_work
             && now.saturating_sub(self.active_since) >= self.cfg.driver_quantum_ns
         {
-            let others_ready = self
-                .contexts
-                .iter()
-                .any(|(id, c)| *id != a && c.has_ready());
+            let others_ready = self.contexts.iter().any(|(id, c)| id != a && c.has_ready());
             if others_ready {
                 self.draining = true;
                 if inflight == 0 {
@@ -633,7 +655,7 @@ impl Device {
         } else {
             1.0
         };
-        let Some(ctx) = self.contexts.get_mut(&a) else {
+        let Some(ctx) = self.contexts.get_mut(a) else {
             return;
         };
         for ss in ctx.streams.values_mut() {

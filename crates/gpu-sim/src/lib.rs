@@ -35,6 +35,7 @@ pub mod ids;
 pub mod job;
 pub mod spec;
 pub mod telemetry;
+pub mod vecmap;
 
 pub use device::{CompletedJob, Device, DeviceConfig};
 pub use ids::{ContextId, DeviceId, JobId, StreamId};

@@ -1,0 +1,162 @@
+//! A sorted-vector map for small, hot lookup tables.
+//!
+//! The device hot path does per-event lookups of contexts and streams.
+//! A `BTreeMap` pays pointer chasing and node allocation for tables that
+//! hold a handful of entries; a sorted `Vec<(K, V)>` with binary-search
+//! lookup and in-order iteration is both faster and allocation-light,
+//! while preserving the *exact* ascending iteration order the arbitration
+//! logic depends on (round-robin context pick, stream dispatch order).
+
+/// A map backed by a `Vec<(K, V)>` kept sorted by key.
+///
+/// Iteration order is ascending by key — identical to `BTreeMap` — which
+/// is load-bearing for the device's deterministic arbitration.
+#[derive(Debug, Clone)]
+pub struct SortedVecMap<K, V> {
+    entries: Vec<(K, V)>,
+}
+
+impl<K: Ord + Copy, V> SortedVecMap<K, V> {
+    /// New empty map.
+    pub fn new() -> Self {
+        SortedVecMap {
+            entries: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn idx(&self, key: K) -> Result<usize, usize> {
+        self.entries.binary_search_by(|(k, _)| k.cmp(&key))
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are present.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True if `key` is present.
+    #[inline]
+    pub fn contains_key(&self, key: K) -> bool {
+        self.idx(key).is_ok()
+    }
+
+    /// Shared access to the value under `key`.
+    #[inline]
+    pub fn get(&self, key: K) -> Option<&V> {
+        self.idx(key).ok().map(|i| &self.entries[i].1)
+    }
+
+    /// Mutable access to the value under `key`.
+    #[inline]
+    pub fn get_mut(&mut self, key: K) -> Option<&mut V> {
+        match self.idx(key) {
+            Ok(i) => Some(&mut self.entries[i].1),
+            Err(_) => None,
+        }
+    }
+
+    /// Mutable access to the value under `key`, inserting a default value
+    /// (at its sorted position) if absent.
+    pub fn get_or_insert_default(&mut self, key: K) -> &mut V
+    where
+        V: Default,
+    {
+        let i = match self.idx(key) {
+            Ok(i) => i,
+            Err(i) => {
+                self.entries.insert(i, (key, V::default()));
+                i
+            }
+        };
+        &mut self.entries[i].1
+    }
+
+    /// Remove and return the value under `key`.
+    pub fn remove(&mut self, key: K) -> Option<V> {
+        match self.idx(key) {
+            Ok(i) => Some(self.entries.remove(i).1),
+            Err(_) => None,
+        }
+    }
+
+    /// Entries in ascending key order.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = (K, &V)> {
+        self.entries.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Values in ascending key order.
+    #[inline]
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.entries.iter().map(|(_, v)| v)
+    }
+
+    /// Mutable values in ascending key order.
+    #[inline]
+    pub fn values_mut(&mut self) -> impl Iterator<Item = &mut V> {
+        self.entries.iter_mut().map(|(_, v)| v)
+    }
+}
+
+impl<K: Ord + Copy, V> Default for SortedVecMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_out_of_order_iterates_sorted() {
+        let mut m: SortedVecMap<u32, &str> = SortedVecMap::new();
+        *m.get_or_insert_default(30) = "c";
+        *m.get_or_insert_default(10) = "a";
+        *m.get_or_insert_default(20) = "b";
+        let keys: Vec<u32> = m.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![10, 20, 30]);
+        let vals: Vec<&str> = m.values().copied().collect();
+        assert_eq!(vals, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn get_or_insert_default_is_idempotent() {
+        let mut m: SortedVecMap<u32, u64> = SortedVecMap::new();
+        *m.get_or_insert_default(5) = 42;
+        assert_eq!(*m.get_or_insert_default(5), 42);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn remove_and_contains() {
+        let mut m: SortedVecMap<u32, u64> = SortedVecMap::new();
+        *m.get_or_insert_default(1) = 11;
+        *m.get_or_insert_default(2) = 22;
+        assert!(m.contains_key(1));
+        assert_eq!(m.remove(1), Some(11));
+        assert!(!m.contains_key(1));
+        assert_eq!(m.remove(1), None);
+        assert_eq!(m.get(2), Some(&22));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn values_mut_updates_in_place() {
+        let mut m: SortedVecMap<u32, u64> = SortedVecMap::new();
+        *m.get_or_insert_default(1) = 1;
+        *m.get_or_insert_default(2) = 2;
+        for v in m.values_mut() {
+            *v *= 10;
+        }
+        assert_eq!(m.get(1), Some(&10));
+        assert_eq!(m.get(2), Some(&20));
+    }
+}

@@ -199,7 +199,14 @@ impl Scenario {
 
     /// Compile the request schedule (deterministic in the seed).
     pub fn plan(&self) -> Vec<PlannedRequest> {
-        let mut root = SimRng::new(self.seed);
+        self.plan_with_seed(self.seed)
+    }
+
+    /// Compile the request schedule for an explicit seed, ignoring
+    /// [`Scenario::seed`]. Lets seed sweeps share one base scenario
+    /// instead of cloning it per seed.
+    pub fn plan_with_seed(&self, seed: u64) -> Vec<PlannedRequest> {
+        let mut root = SimRng::new(seed);
         let mut requests = Vec::new();
         for (slot, spec) in self.streams.iter().enumerate() {
             let mut rng = root.fork(slot as u64);
@@ -226,7 +233,14 @@ impl Scenario {
 
     /// Run the scenario to completion.
     pub fn run(&self) -> RunStats {
-        let requests = self.plan();
+        self.run_with_seed(self.seed)
+    }
+
+    /// Run the scenario with an explicit seed, ignoring [`Scenario::seed`].
+    /// Everything else (topology, streams, faults) comes from `self`, so
+    /// seed sweeps can fan out from one shared scenario.
+    pub fn run_with_seed(&self, seed: u64) -> RunStats {
+        let requests = self.plan_with_seed(seed);
         let mut world = World::new(
             &self.nodes,
             self.device_cfg,
@@ -237,7 +251,7 @@ impl Scenario {
             requests,
             self.fairness_horizon,
         );
-        world.set_seed(self.seed);
+        world.set_seed(seed);
         world.set_fault_plan(&self.faults);
         if self.trace {
             world.enable_tracing();

@@ -62,6 +62,16 @@ pub struct RunStats {
     /// Events whose schedule time lay in the past and were clamped to
     /// "now" by the event queue (diagnostics; should stay 0).
     pub clamped_events: u64,
+    /// Superseded device wakeups cancelled in their queue slot without ever
+    /// entering the heap (counted in [`RunStats::events`] at their legacy
+    /// pop position) — the queue-cancellation win.
+    pub cancelled_wakeups: u64,
+    /// Superseded device wakeups that still reached the heap pop path
+    /// before dying (spilled by a same-key reschedule). Slot cancellation
+    /// keeps this near zero; also counted in [`RunStats::events`].
+    pub stale_pops: u64,
+    /// High-water mark of pending events in the queue.
+    pub peak_queue_depth: u64,
     /// Structured trace of the run (None unless the scenario asked for
     /// tracing; see [`crate::scenario::Scenario::trace`]).
     pub trace: Option<Trace>,

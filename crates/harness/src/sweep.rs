@@ -9,29 +9,52 @@
 
 use crate::scenario::Scenario;
 use crate::stats::RunStats;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Run every scenario, in parallel, preserving input order in the output.
-pub fn run_all(scenarios: Vec<Scenario>) -> Vec<RunStats> {
-    if scenarios.len() <= 1 {
-        return scenarios.iter().map(Scenario::run).collect();
+/// Sweep-parallelism override: 0 means "one worker per core".
+static THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Pin the number of sweep worker threads (0 restores the per-core
+/// default). Results are order-preserving and seed-deterministic either
+/// way; pinning exists so benchmark runs are reproducible machine-to-
+/// machine (`bench_suite --threads N`, `--threads` on experiment CLIs).
+pub fn set_threads(n: usize) {
+    THREADS.store(n, Ordering::Relaxed);
+}
+
+/// Current sweep parallelism: the pinned value, or the core count.
+pub fn threads() -> usize {
+    match THREADS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
+        n => n,
     }
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(scenarios.len());
-    let total = scenarios.len();
-    let next = std::sync::atomic::AtomicUsize::new(0);
+}
+
+/// Run `total` independent simulations through a worker pool, preserving
+/// index order in the output. The shared driver behind [`run_all`] and
+/// [`run_seeds`].
+fn run_indexed<F>(total: usize, run: F) -> Vec<RunStats>
+where
+    F: Fn(usize) -> RunStats + Sync,
+{
+    let threads = threads().min(total);
+    if total <= 1 || threads <= 1 {
+        return (0..total).map(run).collect();
+    }
+    let next = AtomicUsize::new(0);
     let slots: Vec<parking_lot::Mutex<Option<RunStats>>> =
         (0..total).map(|_| parking_lot::Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         let workers: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= total {
                         break;
                     }
-                    let stats = scenarios[i].run();
+                    let stats = run(i);
                     *slots[i].lock() = Some(stats);
                 })
             })
@@ -54,18 +77,22 @@ pub fn run_all(scenarios: Vec<Scenario>) -> Vec<RunStats> {
         .collect()
 }
 
+/// Run every scenario, in parallel, preserving input order in the output.
+pub fn run_all(scenarios: Vec<Scenario>) -> Vec<RunStats> {
+    run_indexed(scenarios.len(), |i| scenarios[i].run())
+}
+
+/// Run one shared scenario across several seeds, in parallel, preserving
+/// seed order in the output. No per-seed clone: each worker replans from
+/// the borrowed base via [`Scenario::run_with_seed`].
+pub fn run_seeds(base: &Scenario, seeds: &[u64]) -> Vec<RunStats> {
+    run_indexed(seeds.len(), |i| base.run_with_seed(seeds[i]))
+}
+
 /// Run the same scenario across several seeds and return the mean of a
 /// metric extracted from each run.
 pub fn mean_over_seeds(base: &Scenario, seeds: &[u64], metric: impl Fn(&RunStats) -> f64) -> f64 {
-    let scenarios: Vec<Scenario> = seeds
-        .iter()
-        .map(|&seed| {
-            let mut s = base.clone();
-            s.seed = seed;
-            s
-        })
-        .collect();
-    let runs = run_all(scenarios);
+    let runs = run_seeds(base, seeds);
     let sum: f64 = runs.iter().map(&metric).sum();
     sum / runs.len() as f64
 }
@@ -101,6 +128,22 @@ mod tests {
     fn mean_over_seeds_averages() {
         let m = mean_over_seeds(&tiny(0), &[1, 2, 3], |s| s.completed_requests as f64);
         assert_eq!(m, 2.0);
+    }
+
+    #[test]
+    fn run_seeds_matches_per_seed_clones() {
+        // The clone-free sweep must produce exactly what the old
+        // clone-scenario-and-set-seed pattern produced.
+        let base = tiny(999);
+        let runs = run_seeds(&base, &[1, 2, 3]);
+        for (&seed, r) in [1u64, 2, 3].iter().zip(&runs) {
+            let mut cloned = base.clone();
+            cloned.seed = seed;
+            let expect = cloned.run();
+            assert_eq!(r.events, expect.events);
+            assert_eq!(r.makespan_ns, expect.makespan_ns);
+            assert_eq!(r.mean_completion_ns(), expect.mean_completion_ns());
+        }
     }
 
     #[test]

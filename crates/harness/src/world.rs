@@ -19,7 +19,7 @@ use cuda_sim::pending::PendingOps;
 use cuda_sim::program::HostOp;
 use cuda_sim::program::HostProgram;
 use cuda_sim::registry::ContextRegistry;
-use gpu_sim::device::{Device, DeviceConfig};
+use gpu_sim::device::{CompletedJob, Device, DeviceConfig};
 use gpu_sim::ids::{ContextId, StreamId};
 use gpu_sim::job::{CopyDirection, JobKind};
 use remoting::backend::{BackendDesign, APP_PID_BASE, HOST_PID_BASE};
@@ -29,7 +29,7 @@ use sim_core::event::EventQueue;
 use sim_core::fault::{FaultKind, FaultPlan};
 use sim_core::rng::SimRng;
 use sim_core::trace::{Tracer, TrackId};
-use sim_core::{Generation, SimTime};
+use sim_core::{EventKey, SimTime};
 use std::collections::VecDeque;
 use strings_core::config::{SchedulerMode, StackConfig};
 use strings_core::device_sched::{AppWork, GpuPolicy, GpuScheduler, Phase, TenantId};
@@ -90,7 +90,10 @@ enum Event {
     Arrival(u32),
     /// Host CPU phase ends (app, incarnation).
     HostWake(AppId, u32),
-    Device(u32, Generation),
+    /// A device's next self-event is due. Staleness is handled by the
+    /// queue: the wakeup is scheduled under the device's [`EventKey`] and
+    /// superseded entries die inside [`EventQueue::pop`].
+    Device(u32),
     Epoch(u32),
     /// An RPC lands at the backend (app, call, incarnation).
     Deliver(AppId, PackedCall, u32),
@@ -137,6 +140,10 @@ pub struct World {
     registry: ContextRegistry,
     pending: PendingOps,
     queue: EventQueue<Event>,
+    /// One cancellable queue slot per device (wakeup self-events).
+    dev_keys: Vec<EventKey>,
+    /// Reusable completion buffer (avoids a fresh `Vec` per device sync).
+    done_buf: Vec<CompletedJob>,
     apps: Vec<Option<AppInstance>>,
     waiters: Vec<Waiter>,
     requests: Vec<PlannedRequest>,
@@ -219,6 +226,8 @@ impl World {
         let n_slots = requests.iter().map(|r| r.slot + 1).max().unwrap_or(1);
         let slot_inflight = vec![0; n_slots];
         let slot_backlog = (0..n_slots).map(|_| VecDeque::new()).collect();
+        let mut queue = EventQueue::new();
+        let dev_keys = (0..n).map(|_| queue.register_key()).collect();
         let mut world = World {
             cfg,
             scope,
@@ -237,7 +246,9 @@ impl World {
             mappers,
             registry: ContextRegistry::new(),
             pending: PendingOps::new(),
-            queue: EventQueue::new(),
+            queue,
+            dev_keys,
+            done_buf: Vec::new(),
             apps: Vec::new(),
             waiters: Vec::new(),
             requests,
@@ -344,7 +355,6 @@ impl World {
 
     /// Run to completion and return the statistics.
     pub fn run(mut self) -> RunStats {
-        let mut events = 0u64;
         self.apps = (0..self.requests.len()).map(|_| None).collect();
         for (i, r) in self.requests.iter().enumerate() {
             self.queue.schedule(r.arrival, Event::Arrival(i as u32));
@@ -353,9 +363,8 @@ impl World {
             self.queue.schedule(ev.at, Event::Fault(i as u32));
         }
         while let Some((now, ev)) = self.queue.pop() {
-            events += 1;
             assert!(
-                events < self.max_events,
+                self.queue.popped() < self.max_events,
                 "event budget exhausted at t={now}: likely livelock"
             );
             match ev {
@@ -369,12 +378,7 @@ impl World {
                     self.after_host_step(app, now);
                     self.run_host(app, now);
                 }
-                Event::Device(gid, gen) => {
-                    let gid = gid as usize;
-                    if self.devices[gid].gen == gen {
-                        self.sync_device(gid, now);
-                    }
-                }
+                Event::Device(gid) => self.sync_device(gid as usize, now),
                 Event::Epoch(gid) => self.on_epoch(gid as usize, now),
                 Event::Fault(idx) => self.on_plan_fault(idx as usize, now),
                 Event::Deliver(app, packed, inc) => {
@@ -468,7 +472,12 @@ impl World {
                 self.requests.len()
             );
         }
-        self.stats.events = events;
+        // Includes stale wakeups cancelled in-queue: they count exactly as
+        // they did when the dispatcher popped and discarded them.
+        self.stats.events = self.queue.popped();
+        self.stats.cancelled_wakeups = self.queue.cancelled();
+        self.stats.stale_pops = self.queue.stale_pops();
+        self.stats.peak_queue_depth = self.queue.peak_len() as u64;
         self.stats.completed_requests = self.finished as u64;
         self.stats.device_telemetry = self.devices.iter().map(|d| d.telemetry.clone()).collect();
         self.stats.context_switches = self
@@ -483,6 +492,18 @@ impl World {
                 self.queue.now(),
                 "clamped_schedules",
                 self.stats.clamped_events as f64,
+            );
+            self.tracer.counter(
+                self.trk_sim,
+                self.queue.now(),
+                "cancelled_wakeups",
+                self.stats.cancelled_wakeups as f64,
+            );
+            self.tracer.counter(
+                self.trk_sim,
+                self.queue.now(),
+                "stale_pops",
+                self.stats.stale_pops as f64,
             );
             self.stats.trace = self.tracer.finish();
         }
@@ -818,6 +839,9 @@ impl World {
                 let (gid, ctx) = self.binding(app);
                 self.registry.destroy(ctx);
                 self.devices[gid.index()].destroy_context(ctx);
+                // destroy_context advanced the device generation; pending
+                // wakeups are stale (historical semantics: discarded unrun).
+                self.queue.invalidate(self.dev_keys[gid.index()]);
                 self.pending.forget_ctx(ctx);
                 self.app_mut(app).host.advance(now);
                 self.after_host_step(app, now);
@@ -833,6 +857,9 @@ impl World {
         let (ctx, fresh) = self.registry.get_or_create(pid, gid.index());
         if fresh {
             self.devices[gid.index()].create_context(ctx);
+            // create_context advanced the device generation; mirror the
+            // historical semantics (pending wakeups became stale).
+            self.queue.invalidate(self.dev_keys[gid.index()]);
         }
         let a = self.app_mut(app);
         a.gid = Some(gid);
@@ -991,6 +1018,9 @@ impl World {
         let (ctx, fresh) = self.registry.get_or_create(pid, gid.index());
         if fresh {
             self.devices[gid.index()].create_context(ctx);
+            // create_context advanced the device generation; mirror the
+            // historical semantics (pending wakeups became stale).
+            self.queue.invalidate(self.dev_keys[gid.index()]);
         }
         let stream = if self.packers[gid.index()].uses_private_streams() {
             let s = StreamId(self.next_stream);
@@ -1258,7 +1288,14 @@ impl World {
     /// reschedule its next event.
     fn sync_device(&mut self, gid: usize, now: SimTime) {
         self.devices[gid].step(now);
-        let done = self.devices[gid].drain_completions();
+        // step() advanced the device's generation: every wakeup scheduled
+        // before this point is now stale. Cancel them in the queue (they
+        // die at their original pop slot) instead of dispatching them.
+        self.queue.invalidate(self.dev_keys[gid]);
+        // Reuse one completion buffer across syncs; a nested sync (a woken
+        // host resubmitting) takes an empty stand-in and is still correct.
+        let mut done = std::mem::take(&mut self.done_buf);
+        self.devices[gid].take_completions_into(&mut done);
         let any = !done.is_empty();
         for c in &done {
             self.pending.complete(c.job.id);
@@ -1283,14 +1320,16 @@ impl World {
             };
             self.schedulers[gid].record_service(app, measured, is_transfer, bytes);
         }
+        // Return the buffer before any re-entrant path can need it.
+        done.clear();
+        self.done_buf = done;
         if any {
             self.check_waiters(now);
             self.maybe_retick(gid, now);
         }
         if let Some(t) = self.devices[gid].next_event_time(now) {
-            let gen = self.devices[gid].gen;
             self.queue
-                .schedule(t.max(now), Event::Device(gid as u32, gen));
+                .schedule_keyed(self.dev_keys[gid], t.max(now), Event::Device(gid as u32));
         }
         // Design II masters may unstall when pending work drains.
         if self.cfg.design == BackendDesign::SingleMaster {

@@ -1,0 +1,55 @@
+//! Run-to-run and thread-count determinism gates.
+
+use strings_core::config::StackConfig;
+use strings_core::device_sched::GpuPolicy;
+use strings_core::mapper::LbPolicy;
+use strings_harness::experiments::{common::pair_streams, fig12, ExpScale};
+use strings_harness::scenario::Scenario;
+use strings_harness::sweep;
+use strings_workloads::pairs::workload_pairs;
+
+/// The fig12 headline pair (I) at full figure scale.
+fn fig12_scenario() -> Scenario {
+    let scale = ExpScale::full();
+    let pairs = workload_pairs();
+    let (_, a, b) = pairs[8];
+    Scenario::supernode(
+        StackConfig::strings(LbPolicy::GWtMin).with_gpu_policy(GpuPolicy::Las),
+        pair_streams(a, b, &scale),
+        0,
+    )
+}
+
+#[test]
+fn fig12_scale_rerun_renders_byte_identically() {
+    let s = fig12_scenario();
+    let a = format!("{:?}", s.run());
+    let b = format!("{:?}", s.run());
+    assert_eq!(a, b, "two runs of the same scenario diverged");
+}
+
+#[test]
+fn sweep_thread_count_is_invisible_in_rendered_reports() {
+    // Enough seeds that 1/4/8 workers genuinely interleave differently.
+    let scale = ExpScale {
+        requests: 3,
+        seeds: vec![101, 202, 303, 404, 505, 606],
+        ..ExpScale::quick()
+    };
+    let pairs = workload_pairs();
+    let one_pair = &pairs[..1];
+    let mut reports = Vec::new();
+    for threads in [1usize, 4, 8] {
+        sweep::set_threads(threads);
+        let r = fig12::run_pairs(&scale, one_pair);
+        reports.push((threads, fig12::table(&r).render()));
+    }
+    sweep::set_threads(0);
+    let (_, first) = &reports[0];
+    for (threads, report) in &reports[1..] {
+        assert_eq!(
+            report, first,
+            "report rendered under {threads} sweep threads differs from 1 thread"
+        );
+    }
+}

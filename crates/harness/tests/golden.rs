@@ -1,0 +1,144 @@
+//! Golden-output determinism gate.
+//!
+//! Every experiment module (the engine behind all 14 regeneration
+//! binaries) renders at a reduced-but-representative scale and must match
+//! the committed golden byte-for-byte, alongside the full `RunStats`
+//! debug rendering of fixed scenarios. Any change that shifts event
+//! ordering, float accumulation order, or report formatting trips this
+//! test — optimisations must be observationally invisible.
+//!
+//! Regenerate intentionally with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p strings-harness --test golden
+//! ```
+
+use std::fmt::Write as _;
+use strings_core::config::StackConfig;
+use strings_core::device_sched::GpuPolicy;
+use strings_core::mapper::LbPolicy;
+use strings_harness::experiments::{
+    ablation, common::pair_streams, cpu_fallback, faults, fig01, fig02, fig09, fig10, fig11, fig12,
+    fig13, fig14, fig15, table1, vmem, ExpScale,
+};
+use strings_harness::scenario::{Scenario, StreamSpec};
+use strings_workloads::pairs::workload_pairs;
+use strings_workloads::profile::AppKind;
+
+fn tiny_scale() -> ExpScale {
+    ExpScale {
+        requests: 4,
+        load: 1.3,
+        seeds: vec![101, 202],
+        ..ExpScale::quick()
+    }
+}
+
+fn render_all() -> String {
+    let scale = tiny_scale();
+    let pairs = workload_pairs();
+    let two_pairs = &pairs[..2];
+    let mut out = String::new();
+    let mut section = |name: &str, body: String| {
+        writeln!(out, "==== {name} ====").unwrap();
+        out.push_str(&body);
+        out.push('\n');
+    };
+
+    section("table1", table1::table(&table1::run()).render());
+    section("fig01", fig01::table(&fig01::run(&scale)).render());
+    section("fig02", fig02::table(&fig02::run(&scale)).render());
+    section("fig09", fig09::table(&fig09::run(&scale)).render());
+    section(
+        "fig10",
+        fig10::table(&fig10::run_pairs(&scale, two_pairs)).render(),
+    );
+    section(
+        "fig11",
+        fig11::table(&fig11::run_pairs(&scale, two_pairs)).render(),
+    );
+    section(
+        "fig12",
+        fig12::table(&fig12::run_pairs(&scale, two_pairs)).render(),
+    );
+    section(
+        "fig13",
+        fig13::table(&fig13::run_pairs(&scale, two_pairs)).render(),
+    );
+    section(
+        "fig14",
+        fig14::table(&fig14::run_pairs(&scale, two_pairs)).render(),
+    );
+    section(
+        "fig15",
+        fig15::table(&fig15::run_pairs(&scale, two_pairs)).render(),
+    );
+    section(
+        "ablation",
+        ablation::table(&ablation::run_pair(&scale, pairs[0].0)).render(),
+    );
+    section(
+        "cpu_fallback",
+        cpu_fallback::table(&cpu_fallback::run(&scale)).render(),
+    );
+    section("faults", faults::table(&faults::run(&scale)).render());
+    section("vmem", vmem::table(&vmem::run(&scale)).render());
+
+    // Full RunStats debug rendering of fixed scenarios: every counter,
+    // completion histogram, telemetry sample and placement is covered.
+    for seed in [7u64, 42] {
+        let s = Scenario::supernode(
+            StackConfig::strings(LbPolicy::GWtMin).with_gpu_policy(GpuPolicy::Las),
+            vec![
+                StreamSpec::of(AppKind::MC, 4, 1.5),
+                StreamSpec::of(AppKind::HI, 3, 1.0),
+            ],
+            seed,
+        );
+        section(&format!("runstats_seed{seed}"), format!("{:?}\n", s.run()));
+    }
+    // And the fig12-scale headline pair at reduced request count.
+    let fig12_scale = ExpScale {
+        requests: 6,
+        ..tiny_scale()
+    };
+    let (_, a, b) = pairs[8];
+    let s = Scenario::supernode(
+        StackConfig::strings(LbPolicy::GWtMin).with_gpu_policy(GpuPolicy::Las),
+        pair_streams(a, b, &fig12_scale),
+        0,
+    );
+    section("runstats_fig12_pair_I", format!("{:?}\n", s.run()));
+    out
+}
+
+#[test]
+fn experiment_outputs_match_committed_golden() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/experiments.txt");
+    let got = render_all();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(path)
+        .expect("committed golden missing; run with UPDATE_GOLDEN=1 to create it");
+    if got != want {
+        let mismatch = got
+            .lines()
+            .zip(want.lines())
+            .enumerate()
+            .find(|(_, (g, w))| g != w);
+        match mismatch {
+            Some((i, (g, w))) => panic!(
+                "golden mismatch at line {}:\n  got:  {g}\n  want: {w}\n\
+                 (UPDATE_GOLDEN=1 regenerates after an intentional change)",
+                i + 1
+            ),
+            None => panic!(
+                "golden length mismatch: got {} bytes, want {} bytes",
+                got.len(),
+                want.len()
+            ),
+        }
+    }
+}

@@ -7,13 +7,40 @@
 //!
 //! Components that re-derive their own next event whenever their state
 //! changes (e.g. a GPU compute engine re-solving kernel completion times when
-//! a kernel joins) use [`Generation`] stamps: each state change bumps the
-//! component's generation, and events carrying a stale generation are simply
-//! dropped by the owner when popped.
+//! a kernel joins) used to carry [`Generation`] stamps in their payloads and
+//! discard stale pops themselves. That pattern is now built into the queue:
+//! a component registers an [`EventKey`] once, schedules its wakeups with
+//! [`EventQueue::schedule_keyed`], and calls [`EventQueue::invalidate`] on
+//! every state change.
+//!
+//! Keyed wakeups never touch the heap in the common case. Each key owns a
+//! one-entry *slot* beside the heap; scheduling parks the entry there in
+//! O(1) and [`EventQueue::invalidate`] cancels it in O(1) — tallied in
+//! [`EventQueue::cancelled`]. Only when a second wakeup is scheduled while
+//! one is already parked (a component rescheduling without superseding)
+//! does the parked entry spill into the heap, where a later invalidation
+//! kills it lazily at pop time ([`EventQueue::stale_pops`], ~0 in
+//! practice).
+//!
+//! Crucially for determinism, cancellation is *accounting-preserving*: a
+//! cancelled slot entry leaves its `(time, seq)` behind in a graveyard that
+//! is drained at exactly the pop positions where the legacy
+//! dispatch-and-discard path would have popped and skipped it — advancing
+//! the virtual clock and the popped counter identically — so
+//! [`EventQueue::popped`] is byte-identical to the legacy pattern.
 
 use crate::time::SimTime;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+/// Handle to a cancellable event slot, allocated by
+/// [`EventQueue::register_key`]. One key typically belongs to one
+/// self-rescheduling component (e.g. a simulated device).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventKey(u32);
+
+/// Sentinel for "no key" on unkeyed entries.
+const NO_KEY: u32 = u32::MAX;
 
 /// Monotonic stamp used to invalidate previously scheduled self-events.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -32,6 +59,11 @@ impl Generation {
 struct Scheduled<E> {
     time: SimTime,
     seq: u64,
+    /// Index into `key_gens`, or `NO_KEY` for plain entries.
+    key: u32,
+    /// The key's generation when this entry was scheduled; the entry is
+    /// stale iff it no longer matches `key_gens[key]`.
+    key_gen: u64,
     event: E,
 }
 
@@ -53,6 +85,14 @@ impl<E> Ord for Scheduled<E> {
     }
 }
 
+/// Per-key state: the current generation (for heap-spilled entries) and the
+/// parked pending wakeup, if any.
+#[derive(Debug)]
+struct KeySlot<E> {
+    gen: u64,
+    pending: Option<Scheduled<E>>,
+}
+
 /// A deterministic future-event list.
 ///
 /// `E` is the simulation's event payload type (typically one big enum owned
@@ -64,6 +104,20 @@ pub struct EventQueue<E> {
     now: SimTime,
     popped: u64,
     clamped: u64,
+    slots: Vec<KeySlot<E>>,
+    /// Index of the parked entry with the smallest `(time, seq)`, if any.
+    min_slot: Option<u32>,
+    /// `(time << 64) | seq` of cancelled parked entries, drained at the pop
+    /// positions where the legacy path would have popped-and-skipped them.
+    graveyard: BinaryHeap<Reverse<u128>>,
+    stale_pops: u64,
+    cancelled: u64,
+    peak_len: usize,
+}
+
+#[inline]
+fn grave_key(time: SimTime, seq: u64) -> u128 {
+    ((time as u128) << 64) | seq as u128
 }
 
 impl<E> Default for EventQueue<E> {
@@ -81,6 +135,12 @@ impl<E> EventQueue<E> {
             now: 0,
             popped: 0,
             clamped: 0,
+            slots: Vec::new(),
+            min_slot: None,
+            graveyard: BinaryHeap::new(),
+            stale_pops: 0,
+            cancelled: 0,
+            peak_len: 0,
         }
     }
 
@@ -91,21 +151,51 @@ impl<E> EventQueue<E> {
     }
 
     /// Number of events popped so far (for progress reporting / loop caps).
+    /// Includes superseded keyed entries — counted at the pop position they
+    /// would have occupied, exactly as when the dispatcher popped and
+    /// discarded them itself — so this is byte-identical to the legacy
+    /// dispatch-and-discard event count.
     #[inline]
     pub fn popped(&self) -> u64 {
         self.popped
     }
 
+    /// Stale keyed entries that reached the *heap* pop path before dying
+    /// (spilled entries invalidated after the fact). Slot cancellation keeps
+    /// this near zero; a subset of [`EventQueue::popped`].
+    #[inline]
+    pub fn stale_pops(&self) -> u64 {
+        self.stale_pops
+    }
+
+    /// Keyed wakeups cancelled in their slot by [`EventQueue::invalidate`]
+    /// without ever entering the heap — the queue-cancellation win.
+    #[inline]
+    pub fn cancelled(&self) -> u64 {
+        self.cancelled
+    }
+
+    /// High-water mark of pending events (heap + parked + cancelled entries
+    /// still occupying their legacy pop slots).
+    #[inline]
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
+    }
+
+    fn parked(&self) -> usize {
+        self.slots.iter().filter(|s| s.pending.is_some()).count()
+    }
+
     /// Number of pending events.
     #[inline]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.heap.len() + self.parked() + self.graveyard.len()
     }
 
     /// True if no events are pending.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Schedule `event` at absolute time `at`.
@@ -116,6 +206,94 @@ impl<E> EventQueue<E> {
     /// anomaly in telemetry instead of silently diverging between build
     /// profiles.
     pub fn schedule(&mut self, at: SimTime, event: E) {
+        self.push(at, NO_KEY, 0, event);
+    }
+
+    /// Allocate a cancellable slot for use with
+    /// [`EventQueue::schedule_keyed`] / [`EventQueue::invalidate`].
+    pub fn register_key(&mut self) -> EventKey {
+        let idx = u32::try_from(self.slots.len()).expect("too many event keys");
+        assert!(idx != NO_KEY, "too many event keys");
+        self.slots.push(KeySlot {
+            gen: 0,
+            pending: None,
+        });
+        EventKey(idx)
+    }
+
+    /// Schedule `event` at absolute time `at` under `key`: the entry is
+    /// live until the next [`EventQueue::invalidate`] of the key. Clamping
+    /// rules match [`EventQueue::schedule`]. Scheduling does *not* cancel
+    /// an earlier entry for the same key — both stay live (the earlier one
+    /// spills from the slot into the heap); call
+    /// [`EventQueue::invalidate`] first when superseding.
+    pub fn schedule_keyed(&mut self, key: EventKey, at: SimTime, event: E) {
+        if at < self.now {
+            self.clamped += 1;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let slot = &mut self.slots[key.0 as usize];
+        let entry = Scheduled {
+            time: at.max(self.now),
+            seq,
+            key: key.0,
+            key_gen: slot.gen,
+            event,
+        };
+        if let Some(prev) = slot.pending.replace(entry) {
+            // Rare: a second live wakeup for the same key. The older one
+            // spills into the heap so both dispatch in (time, seq) order.
+            self.heap.push(Reverse(prev));
+            self.rescan_min();
+        } else {
+            let (t, s) = {
+                let p = slot.pending.as_ref().unwrap();
+                (p.time, p.seq)
+            };
+            match self.min_slot {
+                Some(m) => {
+                    let q = self.slots[m as usize].pending.as_ref().unwrap();
+                    if (t, s) < (q.time, q.seq) {
+                        self.min_slot = Some(key.0);
+                    }
+                }
+                None => self.min_slot = Some(key.0),
+            }
+        }
+        self.note_depth();
+    }
+
+    /// Cancel the wakeup(s) currently scheduled under `key`. The parked
+    /// entry (if any) dies here in O(1), never touching the heap; its
+    /// `(time, seq)` is kept in a graveyard and accounted at exactly the
+    /// pop position the legacy dispatch-and-discard path would have popped
+    /// it, so [`EventQueue::popped`] is unchanged. Heap-spilled entries die
+    /// lazily at their own pop position ([`EventQueue::stale_pops`]).
+    #[inline]
+    pub fn invalidate(&mut self, key: EventKey) {
+        let slot = &mut self.slots[key.0 as usize];
+        slot.gen += 1;
+        if let Some(p) = slot.pending.take() {
+            self.cancelled += 1;
+            self.graveyard.push(Reverse(grave_key(p.time, p.seq)));
+            if self.min_slot == Some(key.0) {
+                self.rescan_min();
+            }
+        }
+    }
+
+    fn rescan_min(&mut self) {
+        self.min_slot = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.pending.as_ref().map(|p| (p.time, p.seq, i as u32)))
+            .min()
+            .map(|(_, _, i)| i);
+    }
+
+    fn push(&mut self, at: SimTime, key: u32, key_gen: u64, event: E) {
         if at < self.now {
             self.clamped += 1;
         }
@@ -124,8 +302,17 @@ impl<E> EventQueue<E> {
         self.heap.push(Reverse(Scheduled {
             time: at.max(self.now),
             seq,
+            key,
+            key_gen,
             event,
         }));
+        self.note_depth();
+    }
+
+    #[inline]
+    fn note_depth(&mut self) {
+        let depth = self.heap.len() + self.parked() + self.graveyard.len();
+        self.peak_len = self.peak_len.max(depth);
     }
 
     /// Number of schedules whose timestamp lay in the past and was clamped
@@ -142,18 +329,83 @@ impl<E> EventQueue<E> {
         self.schedule(at, event);
     }
 
-    /// Pop the earliest event, advancing the clock to its timestamp.
-    pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let Reverse(s) = self.heap.pop()?;
-        debug_assert!(s.time >= self.now);
-        self.now = s.time;
-        self.popped += 1;
-        Some((s.time, s.event))
+    /// Account graveyard entries ordered before `(time, seq)`: each one
+    /// advances the clock to its own timestamp and increments the popped
+    /// counter, exactly as the legacy path popped-and-discarded it. (They
+    /// were already tallied in [`EventQueue::cancelled`] when invalidated.)
+    fn reap_before(&mut self, time: SimTime, seq: u64) {
+        let cutoff = grave_key(time, seq);
+        while let Some(&Reverse(g)) = self.graveyard.peek() {
+            if g >= cutoff {
+                break;
+            }
+            self.graveyard.pop();
+            self.now = (g >> 64) as SimTime;
+            self.popped += 1;
+        }
     }
 
-    /// Timestamp of the next event without popping it.
+    /// Pop the earliest live event, advancing the clock to its timestamp.
+    ///
+    /// Cancelled entries ordered before it are accounted on the way (clock
+    /// advance + popped counter, as the legacy dispatch-and-discard path
+    /// did); heap-spilled stale entries are skipped the same way. Neither is
+    /// ever returned.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        loop {
+            let heap_at = self.heap.peek().map(|Reverse(s)| (s.time, s.seq));
+            let slot_at = self.min_slot.map(|i| {
+                let p = self.slots[i as usize].pending.as_ref().unwrap();
+                (p.time, p.seq)
+            });
+            let from_heap = match (heap_at, slot_at) {
+                (None, None) => {
+                    // Drained: account any trailing cancelled entries the
+                    // legacy path would still have popped and skipped.
+                    self.reap_before(SimTime::MAX, u64::MAX);
+                    return None;
+                }
+                (Some(h), Some(s)) => h < s,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+            };
+            let s = if from_heap {
+                let Reverse(s) = self.heap.pop().expect("peeked above");
+                s
+            } else {
+                let i = self.min_slot.expect("checked above") as usize;
+                let s = self.slots[i].pending.take().expect("min slot occupied");
+                self.rescan_min();
+                s
+            };
+            self.reap_before(s.time, s.seq);
+            debug_assert!(s.time >= self.now);
+            self.now = s.time;
+            self.popped += 1;
+            if from_heap && s.key != NO_KEY && self.slots[s.key as usize].gen != s.key_gen {
+                self.stale_pops += 1;
+                continue;
+            }
+            return Some((s.time, s.event));
+        }
+    }
+
+    /// Timestamp of the next event without popping it (superseded entries
+    /// included — they still occupy their legacy pop slot).
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|Reverse(s)| s.time)
+        let heap = self.heap.peek().map(|Reverse(s)| s.time);
+        let slot = self.min_slot.map(|i| {
+            self.slots[i as usize]
+                .pending
+                .as_ref()
+                .expect("min slot occupied")
+                .time
+        });
+        let grave = self
+            .graveyard
+            .peek()
+            .map(|&Reverse(g)| (g >> 64) as SimTime);
+        [heap, slot, grave].into_iter().flatten().min()
     }
 }
 
@@ -245,6 +497,112 @@ mod tests {
     }
 
     #[test]
+    fn invalidated_entries_die_in_the_queue() {
+        let mut q = EventQueue::new();
+        let k = q.register_key();
+        q.schedule_keyed(k, 10, "stale");
+        q.invalidate(k);
+        q.schedule_keyed(k, 10, "live");
+        q.schedule(20, "plain");
+        assert_eq!(q.pop(), Some((10, "live")));
+        // The cancelled entry never reached the heap but still counts at
+        // its legacy pop position.
+        assert_eq!(q.cancelled(), 1);
+        assert_eq!(q.stale_pops(), 0);
+        assert_eq!(q.popped(), 2);
+        assert_eq!(q.pop(), Some((20, "plain")));
+        assert_eq!(q.popped(), 3);
+    }
+
+    #[test]
+    fn cancelled_entry_advances_clock_like_a_discarded_pop() {
+        let mut q = EventQueue::new();
+        let k = q.register_key();
+        q.schedule_keyed(k, 10, ());
+        q.invalidate(k);
+        // Queue drained through a cancelled-only prefix: pop returns None
+        // but the clock stands at the cancelled entry's time, exactly as if
+        // the dispatcher had popped and discarded it.
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.now(), 10);
+        assert_eq!(q.popped(), 1);
+        assert_eq!(q.stale_pops(), 0);
+        assert_eq!(q.cancelled(), 1);
+    }
+
+    #[test]
+    fn keys_are_independent() {
+        let mut q = EventQueue::new();
+        let a = q.register_key();
+        let b = q.register_key();
+        q.schedule_keyed(a, 5, "a");
+        q.schedule_keyed(b, 6, "b");
+        q.invalidate(a);
+        assert_eq!(q.pop(), Some((6, "b")));
+        assert_eq!(q.popped(), 2, "cancelled entry accounted before b");
+        assert_eq!(q.cancelled(), 1);
+    }
+
+    #[test]
+    fn double_schedule_spills_and_both_dispatch() {
+        // A component rescheduling without superseding keeps both wakeups
+        // live; they dispatch in (time, seq) order like the legacy pattern.
+        let mut q = EventQueue::new();
+        let k = q.register_key();
+        q.schedule_keyed(k, 20, "first");
+        q.schedule_keyed(k, 10, "second");
+        q.schedule(15, "plain");
+        assert_eq!(q.pop(), Some((10, "second")));
+        assert_eq!(q.pop(), Some((15, "plain")));
+        assert_eq!(q.pop(), Some((20, "first")));
+        assert_eq!(q.stale_pops(), 0);
+        assert_eq!(q.cancelled(), 0);
+    }
+
+    #[test]
+    fn spilled_entry_dies_lazily_on_invalidate() {
+        let mut q = EventQueue::new();
+        let k = q.register_key();
+        q.schedule_keyed(k, 10, "spilled");
+        q.schedule_keyed(k, 30, "parked");
+        q.invalidate(k); // kills both: the parked one in O(1), the spilled one lazily
+        q.schedule(20, "plain");
+        assert_eq!(q.pop(), Some((20, "plain")));
+        assert_eq!(q.popped(), 2, "spilled stale skipped first");
+        assert_eq!(q.stale_pops(), 1);
+        assert_eq!(q.cancelled(), 1);
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.now(), 30, "trailing cancelled entry advances the clock");
+        assert_eq!(q.popped(), 3);
+    }
+
+    #[test]
+    fn keyed_ties_break_by_insertion_order_across_slot_and_heap() {
+        let mut q = EventQueue::new();
+        let a = q.register_key();
+        let b = q.register_key();
+        q.schedule(5, "plain-0");
+        q.schedule_keyed(a, 5, "a");
+        q.schedule_keyed(b, 5, "b");
+        q.schedule(5, "plain-1");
+        assert_eq!(q.pop(), Some((5, "plain-0")));
+        assert_eq!(q.pop(), Some((5, "a")));
+        assert_eq!(q.pop(), Some((5, "b")));
+        assert_eq!(q.pop(), Some((5, "plain-1")));
+    }
+
+    #[test]
+    fn peak_len_tracks_high_water_mark() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peak_len(), 0);
+        q.schedule(1, ());
+        q.schedule(2, ());
+        q.pop();
+        q.schedule(3, ());
+        assert_eq!(q.peak_len(), 2);
+    }
+
+    #[test]
     fn len_and_is_empty() {
         let mut q = EventQueue::new();
         assert!(q.is_empty());
@@ -254,5 +612,189 @@ mod tests {
         q.pop();
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const KEYS: usize = 3;
+
+    /// Reference model of the legacy semantics: every entry (keyed or not)
+    /// lives in one flat list; stale entries are popped and skipped at
+    /// their own `(time, seq)` position.
+    struct Model {
+        entries: Vec<(SimTime, u64, Option<usize>, u64)>, // (time, seq, key, gen-at-schedule)
+        gens: [u64; KEYS],
+        next_seq: u64,
+        now: SimTime,
+        popped: u64,
+        clamped: u64,
+    }
+
+    impl Model {
+        fn new() -> Self {
+            Model {
+                entries: Vec::new(),
+                gens: [0; KEYS],
+                next_seq: 0,
+                now: 0,
+                popped: 0,
+                clamped: 0,
+            }
+        }
+
+        fn schedule(&mut self, at: SimTime, key: Option<usize>) {
+            if at < self.now {
+                self.clamped += 1;
+            }
+            let gen = key.map(|k| self.gens[k]).unwrap_or(0);
+            self.entries
+                .push((at.max(self.now), self.next_seq, key, gen));
+            self.next_seq += 1;
+        }
+
+        fn invalidate(&mut self, k: usize) {
+            self.gens[k] += 1;
+        }
+
+        /// Pop the earliest live entry, counting skipped stale entries at
+        /// their own positions — the legacy dispatch-and-discard loop.
+        fn pop(&mut self) -> Option<(SimTime, u64)> {
+            loop {
+                let best = self
+                    .entries
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, &(t, s, _, _))| (t, s))?;
+                let (i, &(t, s, key, gen)) = best;
+                self.entries.remove(i);
+                self.now = t;
+                self.popped += 1;
+                if let Some(k) = key {
+                    if self.gens[k] != gen {
+                        continue; // stale: skipped, but counted
+                    }
+                }
+                return Some((t, s));
+            }
+        }
+    }
+
+    /// One generated operation against both implementations.
+    /// sel picks the op, k the key, dt the (possibly past) timestamp offset.
+    fn apply(q: &mut EventQueue<u64>, keys: &[EventKey], m: &mut Model, sel: u8, k: u8, dt: u16) {
+        let k = (k as usize) % KEYS;
+        match sel % 4 {
+            0 => {
+                // Absolute target time around `now`; dt < 100 lands in the
+                // past to exercise clamping.
+                let at = (m.now + dt as SimTime).saturating_sub(100);
+                q.schedule_keyed(keys[k], at, m.next_seq);
+                m.schedule(at, Some(k));
+            }
+            1 => {
+                let at = (m.now + dt as SimTime).saturating_sub(100);
+                q.schedule(at, m.next_seq);
+                m.schedule(at, None);
+            }
+            2 => {
+                q.invalidate(keys[k]);
+                m.invalidate(k);
+            }
+            _ => {
+                let got = q.pop();
+                let want = m.pop();
+                assert_eq!(got, want, "pop diverged from the legacy model");
+                assert_eq!(q.popped(), m.popped, "popped accounting diverged");
+                assert_eq!(q.now(), m.now, "clock diverged");
+            }
+        }
+    }
+
+    proptest! {
+        /// The slot/graveyard queue is observationally identical to the
+        /// legacy all-in-heap dispatch-and-discard queue: same pop
+        /// sequence (FIFO tie-break at equal timestamps), same clock,
+        /// same popped/clamped accounting — cancellation never reorders
+        /// or miscounts survivors.
+        #[test]
+        fn matches_legacy_model(
+            ops in proptest::collection::vec((0u8..8, 0u8..8, 0u16..400), 1..120)
+        ) {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            let keys: Vec<EventKey> = (0..KEYS).map(|_| q.register_key()).collect();
+            let mut m = Model::new();
+            for (sel, k, dt) in ops {
+                apply(&mut q, &keys, &mut m, sel, k, dt);
+            }
+            // Drain: the tails must agree too, including trailing
+            // cancelled entries (clock + popped accounting).
+            loop {
+                let got = q.pop();
+                let want = m.pop();
+                prop_assert_eq!(got, want);
+                prop_assert_eq!(q.now(), m.now);
+                prop_assert_eq!(q.popped(), m.popped);
+                if got.is_none() {
+                    break;
+                }
+            }
+            prop_assert_eq!(q.clamped(), m.clamped);
+        }
+
+        /// Clamp semantics are data-dependent only (no debug_assert paths):
+        /// scheduling into the past always lands at `now` and is counted,
+        /// so debug and release builds take the identical path.
+        #[test]
+        fn clamping_is_profile_independent(
+            times in proptest::collection::vec(0u64..1000, 2..60)
+        ) {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            let mut late = 0u64;
+            for (i, &t) in times.iter().enumerate() {
+                // A past timestamp must clamp to `now` and count — never
+                // panic, in debug exactly as in release.
+                q.schedule(t, i as u64);
+                let (popped_t, _) = q.pop().expect("just scheduled");
+                prop_assert_eq!(popped_t, q.now());
+                prop_assert!(popped_t >= t);
+                if i + 1 < times.len() && times[i + 1] < q.now() {
+                    late += 1;
+                }
+            }
+            prop_assert_eq!(q.clamped(), late);
+        }
+
+        /// Survivors pop in strictly increasing (time, seq) order no
+        /// matter how cancellation interleaves.
+        #[test]
+        fn pops_are_monotone(
+            ops in proptest::collection::vec((0u8..8, 0u8..8, 0u16..300), 1..100)
+        ) {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            let keys: Vec<EventKey> = (0..KEYS).map(|_| q.register_key()).collect();
+            let mut now = 0u64;
+            let mut last = None;
+            for (sel, k, dt) in ops {
+                let key = keys[(k as usize) % KEYS];
+                match sel % 4 {
+                    0 => q.schedule_keyed(key, now + dt as u64, 0),
+                    1 => q.schedule(now + dt as u64, 0),
+                    2 => q.invalidate(key),
+                    _ => {
+                        if let Some((t, _)) = q.pop() {
+                            now = t;
+                            if let Some(prev) = last {
+                                prop_assert!(t >= prev, "pop went backwards");
+                            }
+                            last = Some(t);
+                        }
+                    }
+                }
+            }
+        }
     }
 }

@@ -37,7 +37,7 @@ pub mod telemetry;
 pub mod time;
 pub mod trace;
 
-pub use event::{EventQueue, Generation};
+pub use event::{EventKey, EventQueue, Generation};
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use rng::SimRng;
 pub use stats::OnlineStats;
