@@ -26,7 +26,12 @@
 //! cargo run --release -p strings-bench --bin fig14_feedback
 //! cargo run --release -p strings-bench --bin fig15_strings_feedback
 //! cargo run --release -p strings-bench --bin fault_isolation
+//! cargo run --release -p strings-bench --bin serve_slo
 //! ```
+//!
+//! The DES hot-path performance suite (`--bin bench_suite`) lives outside
+//! this pattern: it times fixed scenarios (including an open-loop serve
+//! run) and writes `BENCH_hotpath.json` for the CI regression gate.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -60,7 +65,7 @@ pub struct Cli {
 }
 
 impl Cli {
-    /// Parse an argument list (excluding argv[0]). Unknown options are
+    /// Parse an argument list (excluding `argv[0]`). Unknown options are
     /// errors — every flag a binary honours lives in this one grammar.
     pub fn parse_from(args: &[String]) -> Result<Cli, String> {
         let mut scale = if args.iter().any(|a| a == "--quick") {

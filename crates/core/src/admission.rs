@@ -1,0 +1,375 @@
+//! Admission control for open-loop serving.
+//!
+//! In serve mode (`strings-sim serve`) requests arrive at a configured
+//! rate regardless of how fast the supernode drains them, so an untended
+//! backlog grows without bound and every latency percentile diverges. The
+//! [`AdmissionController`] is the front door between the arrival processes
+//! and the GPU Affinity Mapper: it bounds how many requests each tenant
+//! may have **in the system** (queued + running) and optionally meters
+//! each tenant with a virtual-time token bucket. Requests that do not fit
+//! are **shed** immediately — the open-loop analogue of load-balancer
+//! overload protection — and show up in the SLO report as shed rate
+//! rather than as unbounded tail latency.
+//!
+//! Determinism: the controller is plain state machine code driven by the
+//! simulation clock. Token buckets use `f64` arithmetic but every update
+//! happens in a fixed order at integer virtual timestamps, so reruns are
+//! bit-identical.
+//!
+//! ```
+//! use strings_core::admission::{AdmissionConfig, AdmissionController, ShedReason};
+//!
+//! // Two tenants, at most 2 requests in-system each, no rate limit.
+//! let cfg = AdmissionConfig { queue_depth: 2, ..AdmissionConfig::default() };
+//! let mut adm = AdmissionController::new(2, cfg);
+//!
+//! assert!(adm.try_admit(0, 0).is_ok());
+//! assert!(adm.try_admit(0, 10).is_ok());
+//! assert_eq!(adm.try_admit(0, 20), Err(ShedReason::QueueFull)); // tenant 0 full
+//! assert!(adm.try_admit(1, 20).is_ok());                        // tenant 1 unaffected
+//!
+//! adm.release(0);                                               // one completes
+//! assert!(adm.try_admit(0, 30).is_ok());
+//! assert_eq!(adm.stats().admitted, 4);
+//! assert_eq!(adm.stats().shed_queue_full, 1);
+//! ```
+
+use sim_core::time::{SimTime, NS_PER_SEC};
+
+/// Why a request was shed at admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShedReason {
+    /// The tenant already had `queue_depth` requests in the system.
+    QueueFull,
+    /// The tenant's token bucket was empty.
+    RateLimited,
+}
+
+impl std::fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShedReason::QueueFull => write!(f, "queue-full"),
+            ShedReason::RateLimited => write!(f, "rate-limited"),
+        }
+    }
+}
+
+/// Per-tenant token-bucket rate limit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateLimit {
+    /// Sustained admission rate, requests per second of virtual time.
+    pub rate_rps: f64,
+    /// Bucket capacity: how many requests may be admitted back-to-back
+    /// after an idle period.
+    pub burst: f64,
+}
+
+impl RateLimit {
+    /// Parse the CLI grammar `RPS` or `RPS:BURST` (e.g. `100`, `100:20`).
+    /// Burst defaults to 1 (no burst credit beyond the sustained rate).
+    pub fn parse(spec: &str) -> Result<RateLimit, String> {
+        let (rate_s, burst_s) = match spec.split_once(':') {
+            Some((r, b)) => (r, Some(b)),
+            None => (spec, None),
+        };
+        let rate_rps: f64 = rate_s
+            .trim()
+            .strip_suffix("rps")
+            .unwrap_or(rate_s.trim())
+            .parse()
+            .map_err(|_| format!("bad rate limit '{spec}' (want RPS or RPS:BURST)"))?;
+        if !(rate_rps > 0.0 && rate_rps.is_finite()) {
+            return Err(format!("rate limit '{spec}' must be positive"));
+        }
+        let burst: f64 = match burst_s {
+            Some(b) => b
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad burst in rate limit '{spec}'"))?,
+            None => 1.0,
+        };
+        if !(burst >= 1.0 && burst.is_finite()) {
+            return Err(format!("burst in '{spec}' must be >= 1"));
+        }
+        Ok(RateLimit { rate_rps, burst })
+    }
+}
+
+/// Admission policy shared by every tenant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionConfig {
+    /// Maximum requests a tenant may have in the system (queued +
+    /// running). Arrivals beyond this are shed with
+    /// [`ShedReason::QueueFull`].
+    pub queue_depth: usize,
+    /// Optional per-tenant token-bucket limit; `None` admits at any rate
+    /// the queue bound allows.
+    pub rate_limit: Option<RateLimit>,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            queue_depth: 64,
+            rate_limit: None,
+        }
+    }
+}
+
+/// Aggregate admission counters (the per-run totals in the SLO report).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AdmissionStats {
+    /// Requests admitted into the system.
+    pub admitted: u64,
+    /// Requests shed because the tenant queue was full.
+    pub shed_queue_full: u64,
+    /// Requests shed by the tenant's token bucket.
+    pub shed_rate_limited: u64,
+}
+
+impl AdmissionStats {
+    /// Total shed requests across both reasons.
+    pub fn shed(&self) -> u64 {
+        self.shed_queue_full + self.shed_rate_limited
+    }
+
+    /// Total admission attempts seen.
+    pub fn offered(&self) -> u64 {
+        self.admitted + self.shed()
+    }
+}
+
+/// Per-tenant token bucket in virtual time.
+#[derive(Debug, Clone)]
+struct TokenBucket {
+    tokens: f64,
+    last_refill: SimTime,
+}
+
+/// Per-tenant admission state.
+#[derive(Debug, Clone)]
+struct TenantGate {
+    in_system: usize,
+    bucket: Option<TokenBucket>,
+    stats: AdmissionStats,
+}
+
+/// The serving front door: bounded per-tenant occupancy plus optional
+/// token-bucket rate limits. See the [module docs](self) for the model
+/// and a usage example.
+#[derive(Debug, Clone)]
+pub struct AdmissionController {
+    config: AdmissionConfig,
+    tenants: Vec<TenantGate>,
+}
+
+impl AdmissionController {
+    /// A controller for `tenants` tenants under one shared `config`.
+    /// Token buckets start full (a fresh tenant may burst immediately).
+    pub fn new(tenants: usize, config: AdmissionConfig) -> Self {
+        let gate = TenantGate {
+            in_system: 0,
+            bucket: config.rate_limit.map(|rl| TokenBucket {
+                tokens: rl.burst,
+                last_refill: 0,
+            }),
+            stats: AdmissionStats::default(),
+        };
+        AdmissionController {
+            config,
+            tenants: vec![gate; tenants],
+        }
+    }
+
+    /// The shared per-tenant policy.
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.config
+    }
+
+    /// Number of tenants.
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Requests tenant `tenant` currently has in the system.
+    pub fn in_system(&self, tenant: usize) -> usize {
+        self.tenants[tenant].in_system
+    }
+
+    /// Try to admit one request for `tenant` arriving at `now`. On success
+    /// the tenant's occupancy grows by one and the caller must pair it
+    /// with a [`release`](Self::release) when the request leaves the
+    /// system (completes, fails, or is aborted). The rate limit is
+    /// checked first: a rate-shed request consumes no queue slot, and a
+    /// queue-shed request consumes no token.
+    pub fn try_admit(&mut self, tenant: usize, now: SimTime) -> Result<(), ShedReason> {
+        let rl = self.config.rate_limit;
+        let depth = self.config.queue_depth;
+        let gate = &mut self.tenants[tenant];
+        if let (Some(rl), Some(bucket)) = (rl, gate.bucket.as_mut()) {
+            let elapsed_s = (now - bucket.last_refill) as f64 / NS_PER_SEC as f64;
+            bucket.tokens = (bucket.tokens + elapsed_s * rl.rate_rps).min(rl.burst);
+            bucket.last_refill = now;
+            if bucket.tokens < 1.0 {
+                gate.stats.shed_rate_limited += 1;
+                return Err(ShedReason::RateLimited);
+            }
+        }
+        if gate.in_system >= depth {
+            gate.stats.shed_queue_full += 1;
+            return Err(ShedReason::QueueFull);
+        }
+        if let Some(bucket) = gate.bucket.as_mut() {
+            bucket.tokens -= 1.0;
+        }
+        gate.in_system += 1;
+        gate.stats.admitted += 1;
+        Ok(())
+    }
+
+    /// A previously admitted request for `tenant` left the system.
+    pub fn release(&mut self, tenant: usize) {
+        let gate = &mut self.tenants[tenant];
+        debug_assert!(gate.in_system > 0, "release without matching admit");
+        gate.in_system = gate.in_system.saturating_sub(1);
+    }
+
+    /// Counters for one tenant.
+    pub fn tenant_stats(&self, tenant: usize) -> AdmissionStats {
+        self.tenants[tenant].stats
+    }
+
+    /// Counters summed over all tenants.
+    pub fn stats(&self) -> AdmissionStats {
+        let mut total = AdmissionStats::default();
+        for g in &self.tenants {
+            total.admitted += g.stats.admitted;
+            total.shed_queue_full += g.stats.shed_queue_full;
+            total.shed_rate_limited += g.stats.shed_rate_limited;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::time::NS_PER_MS;
+
+    #[test]
+    fn queue_bound_is_per_tenant() {
+        let mut adm = AdmissionController::new(
+            2,
+            AdmissionConfig {
+                queue_depth: 1,
+                rate_limit: None,
+            },
+        );
+        assert!(adm.try_admit(0, 0).is_ok());
+        assert_eq!(adm.try_admit(0, 1), Err(ShedReason::QueueFull));
+        assert!(adm.try_admit(1, 1).is_ok());
+        assert_eq!(adm.in_system(0), 1);
+        adm.release(0);
+        assert_eq!(adm.in_system(0), 0);
+        assert!(adm.try_admit(0, 2).is_ok());
+        assert_eq!(adm.tenant_stats(0).shed_queue_full, 1);
+        assert_eq!(adm.stats().admitted, 3);
+        assert_eq!(adm.stats().offered(), 4);
+    }
+
+    #[test]
+    fn token_bucket_meters_sustained_rate() {
+        // 100 rps, burst 2: two immediate admits, then one per 10 ms.
+        let cfg = AdmissionConfig {
+            queue_depth: 1000,
+            rate_limit: Some(RateLimit {
+                rate_rps: 100.0,
+                burst: 2.0,
+            }),
+        };
+        let mut adm = AdmissionController::new(1, cfg);
+        assert!(adm.try_admit(0, 0).is_ok());
+        assert!(adm.try_admit(0, 0).is_ok());
+        assert_eq!(adm.try_admit(0, 0), Err(ShedReason::RateLimited));
+        // 5 ms later: half a token — still shed.
+        assert_eq!(
+            adm.try_admit(0, 5 * NS_PER_MS),
+            Err(ShedReason::RateLimited)
+        );
+        // 10 ms after start: a full token has accrued.
+        assert!(adm.try_admit(0, 10 * NS_PER_MS).is_ok());
+        assert_eq!(adm.stats().shed_rate_limited, 2);
+        // A long idle period refills only up to the burst cap.
+        let t = 10_000 * NS_PER_MS;
+        assert!(adm.try_admit(0, t).is_ok());
+        assert!(adm.try_admit(0, t).is_ok());
+        assert_eq!(adm.try_admit(0, t), Err(ShedReason::RateLimited));
+    }
+
+    #[test]
+    fn rate_shed_consumes_no_queue_slot_and_vice_versa() {
+        let cfg = AdmissionConfig {
+            queue_depth: 1,
+            rate_limit: Some(RateLimit {
+                rate_rps: 1.0,
+                burst: 5.0,
+            }),
+        };
+        let mut adm = AdmissionController::new(1, cfg);
+        assert!(adm.try_admit(0, 0).is_ok());
+        // Queue full: shed, but the token balance is untouched (4 left).
+        assert_eq!(adm.try_admit(0, 0), Err(ShedReason::QueueFull));
+        adm.release(0);
+        for _ in 0..4 {
+            assert!(adm.try_admit(0, 0).is_ok());
+            adm.release(0);
+        }
+        assert_eq!(adm.try_admit(0, 0), Err(ShedReason::RateLimited));
+    }
+
+    #[test]
+    fn rate_limit_parse_grammar() {
+        assert_eq!(
+            RateLimit::parse("100"),
+            Ok(RateLimit {
+                rate_rps: 100.0,
+                burst: 1.0
+            })
+        );
+        assert_eq!(
+            RateLimit::parse("250rps:16"),
+            Ok(RateLimit {
+                rate_rps: 250.0,
+                burst: 16.0
+            })
+        );
+        assert!(RateLimit::parse("0").is_err());
+        assert!(RateLimit::parse("10:0.5").is_err());
+        assert!(RateLimit::parse("fast").is_err());
+    }
+
+    #[test]
+    fn determinism_same_inputs_same_counters() {
+        let cfg = AdmissionConfig {
+            queue_depth: 3,
+            rate_limit: Some(RateLimit {
+                rate_rps: 333.0,
+                burst: 4.0,
+            }),
+        };
+        let run = || {
+            let mut adm = AdmissionController::new(4, cfg);
+            let mut log = Vec::new();
+            for i in 0..500u64 {
+                let tenant = (i % 4) as usize;
+                let now = i * 777_777;
+                log.push(adm.try_admit(tenant, now).is_ok());
+                if i % 3 == 0 && adm.in_system(tenant) > 0 {
+                    adm.release(tenant);
+                }
+            }
+            (log, adm.stats())
+        };
+        assert_eq!(run(), run());
+    }
+}

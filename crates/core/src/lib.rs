@@ -22,6 +22,11 @@
 //!   The Request Monitor measures runtime/GPU-time/transfer/bandwidth and
 //!   the Feedback Engine ships those records back to the mapper.
 //!
+//! For open-loop serving, [`admission`] adds the front door in front of
+//! the mapper: bounded per-tenant occupancy with shed-on-full and
+//! optional token-bucket rate limits, so `strings-sim serve` degrades by
+//! shedding rather than by unbounded queueing.
+//!
 //! [`config`] assembles the three layers plus the remoting substrate into
 //! the three **operating modes** the evaluation compares: the bare CUDA
 //! runtime, the authors' earlier *Rain* (Design I), and *Strings*
@@ -30,11 +35,13 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod admission;
 pub mod config;
 pub mod device_sched;
 pub mod mapper;
 pub mod packer;
 
+pub use admission::{AdmissionConfig, AdmissionController, AdmissionStats, RateLimit, ShedReason};
 pub use config::{SchedulerMode, StackConfig};
 pub use device_sched::{GpuPolicy, GpuScheduler};
 pub use mapper::{FeedbackRecord, GpuAffinityMapper, LbPolicy, WorkloadClass};

@@ -13,7 +13,7 @@ use std::collections::HashMap;
 ///
 /// Synchronization only ever asks *emptiness* questions per stream and
 /// per context, so both are plain counters — no per-job sets to allocate
-/// on the submit/complete hot path. [`PendingOps::index`] remains the
+/// on the submit/complete hot path. The private `index` map remains the
 /// authoritative job → location map.
 #[derive(Debug, Default)]
 pub struct PendingOps {

@@ -10,10 +10,14 @@
 //! ```
 
 use crate::scenario::{LbScope, Scenario, StreamSpec};
+use crate::serve::ServeSpec;
 use remoting::gpool::NodeId;
+use sim_core::SimDuration;
+use strings_core::admission::RateLimit;
 use strings_core::config::StackConfig;
 use strings_core::device_sched::{GpuPolicy, TenantId};
 use strings_core::mapper::LbPolicy;
+use strings_workloads::arrivals::ArrivalProcess;
 use strings_workloads::profile::AppKind;
 
 /// A parse failure with a user-facing message.
@@ -129,9 +133,181 @@ options:
   --seeds N                       average over N seeds     [1]
   --trace PATH                    write a Perfetto-loadable trace of the
                                   run (.jsonl extension selects JSONL)
+
+subcommands:
+  serve                           open-loop cloud serving (see
+                                  `strings-sim serve --help`)
 ";
 
-/// Parse a full argument list (excluding argv[0]).
+/// Usage text for `strings-sim serve --help`.
+pub const SERVE_USAGE: &str = "strings-sim serve — open-loop cloud serving with SLO reporting
+
+Requests arrive at a configured rate for a configured duration regardless
+of completions; an admission front door sheds what the supernode cannot
+absorb, and the run is summarized by an SLO report (latency percentiles,
+goodput, shed rate, windowed per-tenant fairness).
+
+options:
+  --arrivals SPEC       offered load            [poisson:3rps]
+                          poisson:RATErps               seeded Poisson
+                          fixed:RATErps                 deterministic
+                          mmpp:BURSTrps:BASErps:DW:DW   bursty two-state
+                          replay:PATH                   JSONL trace
+  --duration DUR        arrival window, e.g. 600s [30s]
+  --tenants N           tenant count             [4]
+  --apps K1,K2,...      app mix (tenant t serves apps[t % len]) [GA]
+  --queue-depth N       per-tenant in-system bound before shedding [8]
+  --rate-limit RPS[:BURST]   per-tenant token-bucket admission limit
+  --window DUR          sliding fairness window  [1s]
+  --server-threads N    per-tenant in-flight cap past admission [8]
+  --mode cuda|rain|strings        scheduling stack        [strings]
+  --lb   grr|gmin|gwtmin|rtf|guf|dtf|mbf   balancer        [gwtmin]
+  --gpu-policy none|tfs|las|ps    device dispatcher        [none]
+  --nodes 1|2           NodeA or NodeA+NodeB     [2]
+  --scope global|local  balancer scope           [global]
+  --seed N              base RNG seed            [42]
+  --seeds N             rerun over N seeds       [1]
+  --trace PATH          write a Perfetto-loadable trace of the run
+";
+
+/// Parsed `serve` command line.
+#[derive(Debug)]
+pub struct ServeRun {
+    /// The serving scenario to execute.
+    pub spec: ServeSpec,
+    /// Seeds to run (reports are per-seed, not averaged).
+    pub seeds: Vec<u64>,
+    /// Write a trace of the representative run to this path.
+    pub trace: Option<String>,
+}
+
+/// Parse a `serve` argument list (everything after the `serve` word).
+pub fn parse_serve_args(args: &[String]) -> Result<ServeRun, CliError> {
+    let mut arrivals = "poisson:3rps".to_string();
+    let mut duration = SimDuration::from_secs(30);
+    let mut tenants = 4usize;
+    let mut apps: Vec<AppKind> = vec![AppKind::GA];
+    let mut queue_depth = 8usize;
+    let mut rate_limit: Option<RateLimit> = None;
+    let mut window = SimDuration::from_secs(1);
+    let mut server_threads = 8usize;
+    let mut mode = "strings".to_string();
+    let mut lb = "gwtmin".to_string();
+    let mut gpu = "none".to_string();
+    let mut nodes = 2usize;
+    let mut scope = LbScope::Global;
+    let mut seed = 42u64;
+    let mut n_seeds = 1u64;
+    let mut trace: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take = || -> Result<&String, CliError> {
+            it.next()
+                .ok_or_else(|| CliError(format!("{arg} wants a value")))
+        };
+        match arg.as_str() {
+            "--arrivals" => arrivals = take()?.clone(),
+            "--duration" => duration = SimDuration::parse(take()?).map_err(CliError)?,
+            "--tenants" => {
+                tenants = take()?
+                    .parse()
+                    .map_err(|_| CliError("bad --tenants".into()))?;
+                if tenants == 0 {
+                    return err("--tenants must be at least 1");
+                }
+            }
+            "--apps" => {
+                apps = take()?
+                    .split(',')
+                    .map(parse_app)
+                    .collect::<Result<Vec<_>, _>>()?;
+                if apps.is_empty() {
+                    return err("--apps wants at least one app");
+                }
+            }
+            "--queue-depth" => {
+                queue_depth = take()?
+                    .parse()
+                    .map_err(|_| CliError("bad --queue-depth".into()))?;
+                if queue_depth == 0 {
+                    return err("--queue-depth must be at least 1");
+                }
+            }
+            "--rate-limit" => rate_limit = Some(RateLimit::parse(take()?).map_err(CliError)?),
+            "--window" => window = SimDuration::parse(take()?).map_err(CliError)?,
+            "--server-threads" => {
+                server_threads = take()?
+                    .parse()
+                    .map_err(|_| CliError("bad --server-threads".into()))?;
+                if server_threads == 0 {
+                    return err("--server-threads must be at least 1");
+                }
+            }
+            "--mode" => mode = take()?.clone(),
+            "--lb" => lb = take()?.clone(),
+            "--gpu-policy" => gpu = take()?.clone(),
+            "--nodes" => {
+                nodes = take()?
+                    .parse()
+                    .map_err(|_| CliError("bad --nodes".into()))?;
+                if !(1..=2).contains(&nodes) {
+                    return err("--nodes must be 1 or 2");
+                }
+            }
+            "--scope" => {
+                scope = match take()?.as_str() {
+                    "global" => LbScope::Global,
+                    "local" => LbScope::Local,
+                    other => return err(format!("unknown scope '{other}'")),
+                };
+            }
+            "--seed" => {
+                seed = take()?.parse().map_err(|_| CliError("bad --seed".into()))?;
+            }
+            "--seeds" => {
+                n_seeds = take()?
+                    .parse()
+                    .map_err(|_| CliError("bad --seeds".into()))?;
+                if n_seeds == 0 {
+                    return err("--seeds must be at least 1");
+                }
+            }
+            "--trace" => trace = Some(take()?.clone()),
+            other => return err(format!("unknown option '{other}'\n\n{SERVE_USAGE}")),
+        }
+    }
+    if duration.is_zero() {
+        return err("--duration must be positive");
+    }
+
+    let mut stack = match mode.as_str() {
+        "cuda" => StackConfig::cuda_runtime(),
+        "rain" => StackConfig::rain(parse_lb(&lb)?),
+        "strings" => StackConfig::strings(parse_lb(&lb)?),
+        other => return err(format!("unknown mode '{other}'")),
+    };
+    stack = stack.with_gpu_policy(parse_gpu_policy(&gpu)?);
+
+    let process = ArrivalProcess::parse(&arrivals).map_err(CliError)?;
+    let mut spec = if nodes == 2 {
+        ServeSpec::supernode(stack, process, duration, seed)
+    } else {
+        ServeSpec::single_node(stack, process, duration, seed)
+    };
+    spec.scope = scope;
+    spec.tenants = tenants;
+    spec.apps = apps;
+    spec.admission.queue_depth = queue_depth;
+    spec.admission.rate_limit = rate_limit;
+    spec.window = window;
+    spec.server_threads = server_threads;
+    spec.trace = trace.is_some();
+    let seeds: Vec<u64> = (0..n_seeds).map(|i| seed + i * 7919).collect();
+    Ok(ServeRun { spec, seeds, trace })
+}
+
+/// Parse a full argument list (excluding `argv[0]`).
 pub fn parse_args(args: &[String]) -> Result<CliRun, CliError> {
     let mut mode = "strings".to_string();
     let mut lb = "gwtmin".to_string();
@@ -313,6 +489,61 @@ mod tests {
         let stats = run.scenario.run();
         assert_eq!(stats.completed_requests, 3);
         assert!(stats.trace.is_none(), "tracing must default off");
+    }
+
+    #[test]
+    fn serve_defaults_build_a_valid_run() {
+        let run = parse_serve_args(&[]).unwrap();
+        assert_eq!(run.spec.tenants, 4);
+        assert_eq!(run.spec.nodes.len(), 2);
+        assert_eq!(run.spec.duration, SimDuration::from_secs(30));
+        assert_eq!(run.seeds, vec![42]);
+        assert!(run.trace.is_none());
+    }
+
+    #[test]
+    fn serve_full_argument_set_parses() {
+        let run = parse_serve_args(&args(
+            "--arrivals mmpp:40rps:5rps:500ms:2s --duration 20s --tenants 8 \
+             --apps GA,MC --queue-depth 16 --rate-limit 10:4 --window 2s \
+             --server-threads 6 --mode rain --lb gmin --gpu-policy tfs \
+             --nodes 1 --scope local --seed 9 --seeds 2",
+        ))
+        .unwrap();
+        assert_eq!(run.spec.tenants, 8);
+        assert_eq!(run.spec.apps, vec![AppKind::GA, AppKind::MC]);
+        assert_eq!(run.spec.admission.queue_depth, 16);
+        let rl = run.spec.admission.rate_limit.unwrap();
+        assert_eq!((rl.rate_rps, rl.burst), (10.0, 4.0));
+        assert_eq!(run.spec.window, SimDuration::from_secs(2));
+        assert_eq!(run.spec.server_threads, 6);
+        assert_eq!(run.spec.nodes.len(), 1);
+        assert_eq!(run.spec.scope, LbScope::Local);
+        assert_eq!(run.seeds.len(), 2);
+        assert_eq!(run.spec.stack.label(), "GMinTFS-Rain");
+    }
+
+    #[test]
+    fn serve_rejects_bad_input() {
+        assert!(parse_serve_args(&args("--arrivals lognormal:3rps")).is_err());
+        assert!(parse_serve_args(&args("--duration 0s")).is_err());
+        assert!(parse_serve_args(&args("--tenants 0")).is_err());
+        assert!(parse_serve_args(&args("--apps ZZ")).is_err());
+        assert!(parse_serve_args(&args("--queue-depth 0")).is_err());
+        assert!(parse_serve_args(&args("--rate-limit 0")).is_err());
+        assert!(parse_serve_args(&args("--frobnicate")).is_err());
+    }
+
+    #[test]
+    fn serve_parsed_spec_actually_runs() {
+        let run = parse_serve_args(&args(
+            "--arrivals fixed:2rps --duration 5s --nodes 1 --tenants 2",
+        ))
+        .unwrap();
+        let stats = run.spec.run();
+        let report = run.spec.slo(&stats);
+        assert!(report.completed > 0);
+        assert!(stats.admission.is_some());
     }
 
     #[test]

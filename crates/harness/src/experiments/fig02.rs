@@ -31,7 +31,7 @@ pub struct Timeline {
     pub buckets: Vec<f64>,
     /// Mean compute utilization.
     pub mean_util: f64,
-    /// Idle glitches (all-engine gaps ≥ [`GLITCH_NS`]), derived from the
+    /// Idle glitches (all-engine gaps ≥ `GLITCH_NS`, 1 ms), derived from the
     /// recorded trace's engine-occupancy spans.
     pub glitches: usize,
     /// The same glitch count derived from aggregate telemetry — an

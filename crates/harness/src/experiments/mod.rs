@@ -18,6 +18,7 @@ pub mod fig12;
 pub mod fig13;
 pub mod fig14;
 pub mod fig15;
+pub mod serve;
 pub mod table1;
 pub mod vmem;
 

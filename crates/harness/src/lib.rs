@@ -11,6 +11,9 @@
 //!   topology under a [`strings_core::StackConfig`].
 //! * [`scenario`] — declarative run descriptions (topology, request
 //!   streams, scheduler stack, seed) that compile into a `World`.
+//! * [`serve`] — open-loop serving scenarios: a seeded arrival process
+//!   offers multi-tenant load for a fixed duration through an admission
+//!   front door, summarized by an SLO report (`strings-sim serve`).
 //! * [`stats`] — what a run reports: per-slot completion times, per-tenant
 //!   attained service, device telemetry.
 //! * [`experiments`] — one module per paper figure/table, each exposing a
@@ -25,10 +28,12 @@
 pub mod cli;
 pub mod experiments;
 pub mod scenario;
+pub mod serve;
 pub mod stats;
 pub mod sweep;
 pub mod world;
 
 pub use scenario::{HostCosts, LbScope, Scenario, StreamSpec};
+pub use serve::ServeSpec;
 pub use stats::RunStats;
 pub use world::{PlannedRequest, World};

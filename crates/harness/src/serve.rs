@@ -1,0 +1,280 @@
+//! Open-loop serving scenarios (`strings-sim serve`).
+//!
+//! Batch scenarios ([`crate::scenario::Scenario`]) run a fixed request
+//! count per application; a [`ServeSpec`] instead runs the supernode as a
+//! **cloud service**: a seeded arrival process
+//! ([`strings_workloads::arrivals::ArrivalProcess`]) offers requests for a
+//! fixed virtual-time duration, each arrival is assigned to one of `N`
+//! tenants, and an admission front door
+//! ([`strings_core::admission::AdmissionController`]) sheds what the
+//! supernode cannot absorb. The run's quality is summarized by an
+//! [`strings_metrics::slo::SloReport`] instead of makespan: latency
+//! percentiles, goodput, shed rate, and windowed per-tenant fairness.
+//!
+//! Determinism matches the batch path: the request schedule is planned
+//! up front from the seed (arrival times, tenant assignment, generated
+//! host programs), so a serve run is byte-reproducible and seed sweeps
+//! can fan out across threads ([`crate::sweep::run_serve_seeds`]).
+
+use crate::scenario::{ChannelPair, HostCosts, LbScope};
+use crate::stats::RunStats;
+use crate::world::{PlannedRequest, World};
+use gpu_sim::device::DeviceConfig;
+use remoting::gpool::{NodeId, NodeSpec};
+use sim_core::fault::FaultPlan;
+use sim_core::rng::SimRng;
+use sim_core::SimDuration;
+use strings_core::admission::AdmissionConfig;
+use strings_core::config::StackConfig;
+use strings_core::device_sched::TenantId;
+use strings_core::mapper::WorkloadClass;
+use strings_metrics::slo::SloReport;
+use strings_workloads::arrivals::ArrivalProcess;
+use strings_workloads::profile::AppKind;
+use strings_workloads::tracegen::TraceGenerator;
+
+/// One open-loop serving scenario: topology + stack + offered load +
+/// admission policy. Compile and run with [`ServeSpec::run`].
+#[derive(Debug, Clone)]
+pub struct ServeSpec {
+    /// Machines and their GPUs.
+    pub nodes: Vec<NodeSpec>,
+    /// Scheduler stack under test.
+    pub stack: StackConfig,
+    /// Balancer scope.
+    pub scope: LbScope,
+    /// Device/driver timing.
+    pub device_cfg: DeviceConfig,
+    /// Host-side costs.
+    pub costs: HostCosts,
+    /// RPC channel timing.
+    pub channels: ChannelPair,
+    /// The offered load.
+    pub arrivals: ArrivalProcess,
+    /// How long requests keep arriving (the run itself drains the tail).
+    pub duration: SimDuration,
+    /// Number of tenants; each arrival is assigned one by a seeded draw
+    /// (or by the trace's `tenant` field under replay).
+    pub tenants: usize,
+    /// Application mix: tenant `t` serves `apps[t % apps.len()]`.
+    pub apps: Vec<AppKind>,
+    /// The admission front door shared by every tenant.
+    pub admission: AdmissionConfig,
+    /// Sliding-window width for the fairness part of the SLO report.
+    pub window: SimDuration,
+    /// Server threads per tenant (in-flight cap past admission).
+    pub server_threads: usize,
+    /// Faults to inject during the run.
+    pub faults: FaultPlan,
+    /// RNG seed.
+    pub seed: u64,
+    /// Record a structured trace of the run.
+    pub trace: bool,
+}
+
+impl ServeSpec {
+    /// A single-node (NodeA) serving scenario with defaults: 4 tenants of
+    /// the short-running Gaussian app, queue depth 64, a 1 s fairness
+    /// window, 8 server threads per tenant.
+    pub fn single_node(
+        stack: StackConfig,
+        arrivals: ArrivalProcess,
+        duration: SimDuration,
+        seed: u64,
+    ) -> Self {
+        ServeSpec {
+            nodes: vec![NodeSpec::node_a(0)],
+            stack,
+            scope: LbScope::Global,
+            device_cfg: DeviceConfig::default(),
+            costs: HostCosts::default(),
+            channels: ChannelPair::default(),
+            arrivals,
+            duration,
+            tenants: 4,
+            apps: vec![AppKind::GA],
+            admission: AdmissionConfig::default(),
+            window: SimDuration::from_secs(1),
+            server_threads: 8,
+            faults: FaultPlan::none(),
+            seed,
+            trace: false,
+        }
+    }
+
+    /// The paper's emulated supernode (NodeA + NodeB) as the serving
+    /// substrate; otherwise the [`ServeSpec::single_node`] defaults.
+    pub fn supernode(
+        stack: StackConfig,
+        arrivals: ArrivalProcess,
+        duration: SimDuration,
+        seed: u64,
+    ) -> Self {
+        let mut s = Self::single_node(stack, arrivals, duration, seed);
+        s.nodes = vec![NodeSpec::node_a(0), NodeSpec::node_b(1)];
+        s
+    }
+
+    /// Compile the open-loop request schedule for an explicit seed. One
+    /// slot per tenant: per-tenant queueing, fairness and SLO accounting
+    /// all key off the slot. Deterministic in the seed — arrival times,
+    /// tenant assignment, and generated host programs each draw from
+    /// their own fork of the root RNG.
+    pub fn plan_with_seed(&self, seed: u64) -> Vec<PlannedRequest> {
+        assert!(self.tenants > 0, "serve mode needs at least one tenant");
+        assert!(!self.apps.is_empty(), "serve mode needs an app mix");
+        let mut root = SimRng::new(seed);
+        let mut arrival_rng = root.fork(0xA881);
+        let mut tenant_rng = root.fork(0x7E4A);
+        let mut gen_rng = root.fork(0x6E4);
+        let gen = TraceGenerator::default();
+        let n_nodes = self.nodes.len();
+        self.arrivals
+            .generate(self.duration, &mut arrival_rng)
+            .into_iter()
+            .map(|a| {
+                let tenant = match a.tenant_hint {
+                    Some(t) => t as usize % self.tenants,
+                    None => tenant_rng.index(self.tenants),
+                };
+                let app = self.apps[tenant % self.apps.len()];
+                PlannedRequest {
+                    arrival: a.at,
+                    slot: tenant,
+                    class: WorkloadClass(app as u32),
+                    node: NodeId((tenant % n_nodes) as u32),
+                    tenant: TenantId(tenant as u32),
+                    weight: 1.0,
+                    server_threads: self.server_threads,
+                    program: gen.generate(&app.profile(), &mut gen_rng),
+                }
+            })
+            .collect()
+    }
+
+    /// Run to completion (arrivals stop at [`ServeSpec::duration`]; the
+    /// run then drains every admitted request) and return the stats with
+    /// [`RunStats::slo_records`] populated.
+    pub fn run(&self) -> RunStats {
+        self.run_with_seed(self.seed)
+    }
+
+    /// Run with an explicit seed, ignoring [`ServeSpec::seed`] (seed
+    /// sweeps share one base spec).
+    pub fn run_with_seed(&self, seed: u64) -> RunStats {
+        let requests = self.plan_with_seed(seed);
+        let mut world = World::new(
+            &self.nodes,
+            self.device_cfg,
+            self.stack,
+            self.scope,
+            self.costs,
+            self.channels,
+            requests,
+            None,
+        );
+        world.set_seed(seed);
+        world.set_admission(self.tenants, self.admission);
+        world.enable_request_log();
+        world.set_fault_plan(&self.faults);
+        if self.trace {
+            world.enable_tracing();
+        }
+        world.run()
+    }
+
+    /// Condense a run of this spec into its SLO report.
+    pub fn slo(&self, stats: &RunStats) -> SloReport {
+        stats.slo_report(self.tenants, self.duration, self.window)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strings_core::admission::RateLimit;
+    use strings_core::mapper::LbPolicy;
+
+    fn quick(seed: u64) -> ServeSpec {
+        let mut s = ServeSpec::single_node(
+            StackConfig::strings(LbPolicy::GMin),
+            ArrivalProcess::parse("poisson:2rps").unwrap(),
+            SimDuration::from_secs(10),
+            seed,
+        );
+        s.admission.queue_depth = 4;
+        s
+    }
+
+    #[test]
+    fn serve_runs_end_to_end() {
+        let spec = quick(7);
+        let stats = spec.run();
+        let report = spec.slo(&stats);
+        assert!(report.completed > 0, "some requests must complete");
+        assert_eq!(
+            report.completed,
+            stats.slo_records.len() as u64,
+            "one record per completion"
+        );
+        assert_eq!(
+            report.completed + report.shed + report.failed,
+            stats.admission.unwrap().offered() + stats.shed_requests
+                - stats.admission.unwrap().shed(),
+            "every offered request reaches a terminal state"
+        );
+        assert!(report.p50 <= report.p95 && report.p95 <= report.p999);
+    }
+
+    #[test]
+    fn plan_is_deterministic_and_tenant_dense() {
+        let spec = quick(11);
+        let a = spec.plan_with_seed(11);
+        let b = spec.plan_with_seed(11);
+        assert!(!a.is_empty());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.arrival, y.arrival);
+            assert_eq!(x.tenant, y.tenant);
+        }
+        assert!(a.iter().all(|r| (r.tenant.0 as usize) < spec.tenants));
+        assert!(a.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+    }
+
+    #[test]
+    fn overload_sheds_instead_of_queueing_unboundedly() {
+        // Offered load far beyond one node's capacity with a tiny queue:
+        // most requests must shed, and the run still terminates.
+        let mut spec = quick(3);
+        spec.arrivals = ArrivalProcess::parse("poisson:50rps").unwrap();
+        spec.admission.queue_depth = 2;
+        let stats = spec.run();
+        let report = spec.slo(&stats);
+        assert!(
+            report.shed_rate > 0.5,
+            "expected heavy shedding, got {}",
+            report.shed_rate
+        );
+        assert_eq!(stats.shed_requests, stats.admission.unwrap().shed());
+    }
+
+    #[test]
+    fn rate_limit_caps_admissions() {
+        let mut spec = quick(5);
+        spec.arrivals = ArrivalProcess::parse("poisson:20rps").unwrap();
+        spec.admission.queue_depth = 1000;
+        // 4 tenants × 1 rps sustained ≤ ~40 admits over 10 s of arrivals.
+        spec.admission.rate_limit = Some(RateLimit {
+            rate_rps: 1.0,
+            burst: 1.0,
+        });
+        let stats = spec.run();
+        let adm = stats.admission.unwrap();
+        assert!(adm.shed_rate_limited > 0, "the bucket must shed");
+        assert!(
+            adm.admitted <= 48,
+            "token buckets must cap admissions, got {}",
+            adm.admitted
+        );
+    }
+}

@@ -2,10 +2,12 @@
 
 use gpu_sim::telemetry::DeviceTelemetry;
 use sim_core::trace::Trace;
-use sim_core::SimTime;
+use sim_core::{SimDuration, SimTime};
 use std::collections::BTreeMap;
+use strings_core::admission::AdmissionStats;
 use strings_core::device_sched::TenantId;
 use strings_metrics::disruption::{DisruptionReport, TenantDisruption};
+use strings_metrics::slo::{SloRecord, SloReport};
 use strings_metrics::CompletionSet;
 
 /// Per-tenant request-outcome buckets under fault injection.
@@ -24,7 +26,7 @@ pub struct TenantOutcomes {
 }
 
 /// Everything one simulation run reports.
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct RunStats {
     /// Per-slot (logical application) request completion times.
     pub completions: CompletionSet,
@@ -75,6 +77,54 @@ pub struct RunStats {
     /// Structured trace of the run (None unless the scenario asked for
     /// tracing; see [`crate::scenario::Scenario::trace`]).
     pub trace: Option<Trace>,
+    /// Requests shed at the admission front door (serve mode only; 0 in
+    /// batch scenarios, which run without an admission controller).
+    pub shed_requests: u64,
+    /// Aggregate admission counters (None outside serve mode).
+    pub admission: Option<AdmissionStats>,
+    /// Per-completion SLO records — one per completed request, collected
+    /// only when [`crate::world::World::enable_request_log`] was called.
+    pub slo_records: Vec<SloRecord>,
+}
+
+/// Byte-compatibility with the pre-serve golden outputs: this impl emits
+/// exactly what `#[derive(Debug)]` used to, and appends the serve-mode
+/// fields only when they carry data (batch runs leave them empty, so every
+/// committed `{:?}` rendering is unchanged).
+impl std::fmt::Debug for RunStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut d = f.debug_struct("RunStats");
+        d.field("completions", &self.completions)
+            .field("tenant_service_ns", &self.tenant_service_ns)
+            .field("makespan_ns", &self.makespan_ns)
+            .field("oom_events", &self.oom_events)
+            .field("events", &self.events)
+            .field("completed_requests", &self.completed_requests)
+            .field("failed_requests", &self.failed_requests)
+            .field("rpc_timeouts", &self.rpc_timeouts)
+            .field("rpc_retries", &self.rpc_retries)
+            .field("failovers", &self.failovers)
+            .field("gmap_rebuilds", &self.gmap_rebuilds)
+            .field("tenant_outcomes", &self.tenant_outcomes)
+            .field("device_telemetry", &self.device_telemetry)
+            .field("placements", &self.placements)
+            .field("context_switches", &self.context_switches)
+            .field("clamped_events", &self.clamped_events)
+            .field("cancelled_wakeups", &self.cancelled_wakeups)
+            .field("stale_pops", &self.stale_pops)
+            .field("peak_queue_depth", &self.peak_queue_depth)
+            .field("trace", &self.trace);
+        if self.shed_requests != 0 {
+            d.field("shed_requests", &self.shed_requests);
+        }
+        if let Some(adm) = &self.admission {
+            d.field("admission", adm);
+        }
+        if !self.slo_records.is_empty() {
+            d.field("slo_records", &self.slo_records.len());
+        }
+        d.finish()
+    }
 }
 
 impl RunStats {
@@ -103,6 +153,27 @@ impl RunStats {
             .iter()
             .map(|(t, s)| *s as f64 / weights.get(t).copied().unwrap_or(1.0))
             .collect()
+    }
+
+    /// Condense a serve-mode run into its [`SloReport`]: latency
+    /// percentiles over the request log, goodput over `duration`, shed
+    /// rate from the admission counters, and windowed fairness over
+    /// `tenants` tenants. Requires the run to have collected
+    /// [`RunStats::slo_records`].
+    pub fn slo_report(
+        &self,
+        tenants: usize,
+        duration: SimDuration,
+        window: SimDuration,
+    ) -> SloReport {
+        SloReport::from_records(
+            &self.slo_records,
+            self.shed_requests,
+            self.failed_requests,
+            tenants,
+            duration,
+            window,
+        )
     }
 
     /// Build the availability/disruption report (per-tenant outcomes plus

@@ -89,6 +89,12 @@ pub fn run_seeds(base: &Scenario, seeds: &[u64]) -> Vec<RunStats> {
     run_indexed(seeds.len(), |i| base.run_with_seed(seeds[i]))
 }
 
+/// Run one shared serving spec across several seeds, in parallel,
+/// preserving seed order — the serve-mode analogue of [`run_seeds`].
+pub fn run_serve_seeds(base: &crate::serve::ServeSpec, seeds: &[u64]) -> Vec<RunStats> {
+    run_indexed(seeds.len(), |i| base.run_with_seed(seeds[i]))
+}
+
 /// Run the same scenario across several seeds and return the mean of a
 /// metric extracted from each run.
 pub fn mean_over_seeds(base: &Scenario, seeds: &[u64], metric: impl Fn(&RunStats) -> f64) -> f64 {

@@ -31,10 +31,12 @@ use sim_core::rng::SimRng;
 use sim_core::trace::{Tracer, TrackId};
 use sim_core::{EventKey, SimTime};
 use std::collections::VecDeque;
+use strings_core::admission::{AdmissionConfig, AdmissionController};
 use strings_core::config::{SchedulerMode, StackConfig};
 use strings_core::device_sched::{AppWork, GpuPolicy, GpuScheduler, Phase, TenantId};
 use strings_core::mapper::{GpuAffinityMapper, WorkloadClass};
 use strings_core::packer::{ContextPacker, PackedCall};
+use strings_metrics::slo::SloRecord;
 use strings_metrics::CompletionSet;
 
 /// One request in the scenario's schedule.
@@ -159,6 +161,10 @@ pub struct World {
     degrade: Vec<(SimTime, f64)>,
     slot_inflight: Vec<usize>,
     slot_backlog: Vec<VecDeque<usize>>,
+    /// Serve-mode front door (None in batch scenarios: everything admits).
+    admission: Option<AdmissionController>,
+    /// Collect one [`SloRecord`] per completion (serve mode).
+    request_log: bool,
     next_stream: u32,
     finished: usize,
     fairness_horizon: Option<SimTime>,
@@ -259,6 +265,8 @@ impl World {
             degrade: vec![(0, 1.0); nodes.len()],
             slot_inflight,
             slot_backlog,
+            admission: None,
+            request_log: false,
             next_stream: 1,
             finished: 0,
             fairness_horizon,
@@ -351,6 +359,22 @@ impl World {
     /// passes its own seed through so whole runs stay reproducible.
     pub fn set_seed(&mut self, seed: u64) {
         self.rng = SimRng::new(seed ^ 0x5EED_FA17);
+    }
+
+    /// Install the serve-mode admission front door. Every arrival is
+    /// checked against its tenant's queue bound and token bucket before a
+    /// host thread is created; shed requests finish immediately and count
+    /// in [`RunStats::shed_requests`]. Tenant ids in the request schedule
+    /// must be dense in `0..tenants`.
+    pub fn set_admission(&mut self, tenants: usize, config: AdmissionConfig) {
+        self.admission = Some(AdmissionController::new(tenants, config));
+    }
+
+    /// Record one [`SloRecord`] per completed request into
+    /// [`RunStats::slo_records`] (serve mode; batch experiments skip the
+    /// per-request log to keep RunStats small).
+    pub fn enable_request_log(&mut self) {
+        self.request_log = true;
     }
 
     /// Run to completion and return the statistics.
@@ -486,6 +510,28 @@ impl World {
             .map(|d| d.telemetry.context_switches)
             .sum();
         self.stats.clamped_events = self.queue.clamped();
+        if let Some(adm) = &self.admission {
+            self.stats.admission = Some(adm.stats());
+        }
+        if self.tracer.is_on() {
+            if let Some(adm) = self.stats.admission {
+                let now = self.queue.now();
+                self.tracer
+                    .counter(self.trk_sim, now, "admitted", adm.admitted as f64);
+                self.tracer.counter(
+                    self.trk_sim,
+                    now,
+                    "shed_queue_full",
+                    adm.shed_queue_full as f64,
+                );
+                self.tracer.counter(
+                    self.trk_sim,
+                    now,
+                    "shed_rate_limited",
+                    adm.shed_rate_limited as f64,
+                );
+            }
+        }
         if self.tracer.is_on() {
             self.tracer.counter(
                 self.trk_sim,
@@ -610,6 +656,29 @@ impl World {
             return;
         }
         let slot = r.slot;
+        if let Some(adm) = self.admission.as_mut() {
+            let tenant = self.requests[idx].tenant;
+            if let Err(reason) = adm.try_admit(tenant.0 as usize, now) {
+                // Shed at the front door: the request never enters the
+                // system and finishes immediately.
+                self.stats.shed_requests += 1;
+                self.finished += 1;
+                if self.tracer.is_on() {
+                    self.tracer.instant(
+                        self.trk_sim,
+                        now,
+                        "shed",
+                        vec![
+                            ("request", idx.to_string()),
+                            ("tenant", tenant.to_string()),
+                            ("reason", reason.to_string()),
+                        ],
+                    );
+                }
+                return;
+            }
+        }
+        let r = &self.requests[idx];
         if self.tracer.is_on() {
             // The request span opens at arrival so it covers server-queue
             // wait; spans on a slot track overlap, hence the async id.
@@ -642,6 +711,9 @@ impl World {
             self.stats.failed_requests += 1;
             self.finished += 1;
             self.outcome(tenant).lost += 1;
+            if let Some(adm) = self.admission.as_mut() {
+                adm.release(tenant.0 as usize);
+            }
             if self.tracer.is_on() {
                 self.tracer
                     .span_end(self.trk_slots[slot], now, "request", Some(idx as u64));
@@ -743,10 +815,21 @@ impl World {
             let slot = a.slot;
             let tenant = a.tenant;
             let (disrupted, degraded) = (a.disrupted, a.degraded);
+            let arrived_at = a.host.arrived_at;
             let turnaround = a.host.turnaround_ns().expect("done");
             self.stats.completions.record(slot, turnaround);
             self.stats.makespan_ns = self.stats.makespan_ns.max(now);
             self.finished += 1;
+            if self.request_log {
+                self.stats.slo_records.push(SloRecord {
+                    tenant: tenant.0,
+                    arrival: arrived_at,
+                    latency: sim_core::SimDuration::from_ns(turnaround),
+                });
+            }
+            if let Some(adm) = self.admission.as_mut() {
+                adm.release(tenant.0 as usize);
+            }
             let o = self.outcome(tenant);
             if disrupted {
                 o.retried += 1;
@@ -1600,6 +1683,9 @@ impl World {
         self.stats.failed_requests += 1;
         self.finished += 1;
         self.outcome(tenant).lost += 1;
+        if let Some(adm) = self.admission.as_mut() {
+            adm.release(tenant.0 as usize);
+        }
         if self.tracer.is_on() {
             self.tracer.instant(
                 self.trk_slots[slot],

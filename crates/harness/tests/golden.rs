@@ -13,15 +13,18 @@
 //! UPDATE_GOLDEN=1 cargo test -p strings-harness --test golden
 //! ```
 
+use sim_core::SimDuration;
 use std::fmt::Write as _;
 use strings_core::config::StackConfig;
 use strings_core::device_sched::GpuPolicy;
 use strings_core::mapper::LbPolicy;
 use strings_harness::experiments::{
     ablation, common::pair_streams, cpu_fallback, faults, fig01, fig02, fig09, fig10, fig11, fig12,
-    fig13, fig14, fig15, table1, vmem, ExpScale,
+    fig13, fig14, fig15, serve, table1, vmem, ExpScale,
 };
 use strings_harness::scenario::{Scenario, StreamSpec};
+use strings_harness::serve::ServeSpec;
+use strings_workloads::arrivals::ArrivalProcess;
 use strings_workloads::pairs::workload_pairs;
 use strings_workloads::profile::AppKind;
 
@@ -109,6 +112,19 @@ fn render_all() -> String {
         0,
     );
     section("runstats_fig12_pair_I", format!("{:?}\n", s.run()));
+
+    // Open-loop serve mode: the stack-comparison table plus one fixed
+    // spec's full SLO report (byte-stable percentiles, goodput, shed
+    // rate and windowed fairness).
+    section("serve", serve::table(&serve::run(&scale)).render());
+    let mut spec = ServeSpec::supernode(
+        StackConfig::strings(LbPolicy::GWtMin),
+        ArrivalProcess::Poisson { rate_rps: 5.0 },
+        SimDuration::from_secs(10),
+        7,
+    );
+    spec.admission.queue_depth = 4;
+    section("serve_slo_report", spec.slo(&spec.run()).render());
     out
 }
 

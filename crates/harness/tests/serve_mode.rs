@@ -1,0 +1,107 @@
+//! Serve-mode end-to-end gates: SLO report determinism, admission
+//! shedding, and token-bucket rate limiting through the full
+//! arrival → admission → mapper → device_sched → completion path.
+
+use sim_core::SimDuration;
+use strings_core::admission::RateLimit;
+use strings_core::config::StackConfig;
+use strings_core::mapper::LbPolicy;
+use strings_harness::serve::ServeSpec;
+use strings_harness::sweep;
+use strings_workloads::arrivals::ArrivalProcess;
+
+/// A serving scenario busy enough that worker interleavings would show.
+fn busy_spec() -> ServeSpec {
+    let mut s = ServeSpec::supernode(
+        StackConfig::strings(LbPolicy::GWtMin),
+        ArrivalProcess::Poisson { rate_rps: 6.0 },
+        SimDuration::from_secs(15),
+        42,
+    );
+    s.admission.queue_depth = 6;
+    s
+}
+
+#[test]
+fn slo_report_rerun_renders_byte_identically() {
+    let s = busy_spec();
+    let a = s.slo(&s.run()).render();
+    let b = s.slo(&s.run()).render();
+    assert_eq!(a, b, "two serve runs of the same spec diverged");
+}
+
+#[test]
+fn slo_reports_are_identical_across_sweep_thread_counts() {
+    // Enough seeds that 1/4/8 workers genuinely interleave differently.
+    let spec = busy_spec();
+    let seeds = [11u64, 22, 33, 44, 55, 66];
+    let mut renders = Vec::new();
+    for threads in [1usize, 4, 8] {
+        sweep::set_threads(threads);
+        let runs = sweep::run_serve_seeds(&spec, &seeds);
+        let joined: String = runs.iter().map(|st| spec.slo(st).render()).collect();
+        renders.push((threads, joined));
+    }
+    sweep::set_threads(0);
+    let (_, first) = &renders[0];
+    for (threads, render) in &renders[1..] {
+        assert_eq!(
+            render, first,
+            "SLO reports under {threads} sweep threads differ from 1 thread"
+        );
+    }
+}
+
+#[test]
+fn overload_sheds_on_full_queues_and_reports_it() {
+    let mut s = ServeSpec::single_node(
+        StackConfig::strings(LbPolicy::GMin),
+        ArrivalProcess::Poisson { rate_rps: 40.0 },
+        SimDuration::from_secs(10),
+        7,
+    );
+    s.admission.queue_depth = 2;
+    let stats = s.run();
+    let report = s.slo(&stats);
+    let adm = stats.admission.as_ref().expect("serve records admission");
+    assert!(
+        adm.shed_queue_full > 0,
+        "overload never hit the queue bound"
+    );
+    assert_eq!(adm.shed(), stats.shed_requests);
+    assert_eq!(report.shed, stats.shed_requests);
+    assert!(
+        report.shed_rate > 0.3,
+        "expected heavy shedding, got {}",
+        report.shed_rate
+    );
+    // Offered = admitted + shed, and everything admitted is accounted for.
+    assert_eq!(
+        adm.offered(),
+        stats.shed_requests + adm.admitted,
+        "offered/admitted/shed bookkeeping out of balance"
+    );
+}
+
+#[test]
+fn token_bucket_caps_per_tenant_admissions() {
+    let mut s = ServeSpec::single_node(
+        StackConfig::strings(LbPolicy::GMin),
+        ArrivalProcess::Poisson { rate_rps: 20.0 },
+        SimDuration::from_secs(10),
+        3,
+    );
+    // 4 tenants at 1 req/s each: at most ~1 req/s/tenant + burst admits.
+    s.admission.rate_limit = Some(RateLimit {
+        rate_rps: 1.0,
+        burst: 1.0,
+    });
+    let stats = s.run();
+    let adm = stats.admission.as_ref().expect("serve records admission");
+    assert!(adm.shed_rate_limited > 0, "rate limit never engaged");
+    assert!(
+        adm.admitted <= 4 * (10 + 1),
+        "admitted {} exceeds the token-bucket cap",
+        adm.admitted
+    );
+}

@@ -10,6 +10,9 @@
 //!   (per-tenant lost/retried/degraded requests and downtime),
 //! * [`report`] — plain-text table rendering for the figure-regeneration
 //!   binaries (one row/series per paper figure),
+//! * [`slo`] — serving-mode SLO summary ([`slo::SloReport`]): latency
+//!   percentiles, goodput, shed rate, and windowed per-tenant fairness
+//!   for `strings-sim serve`,
 //! * [`trace_export`] — Chrome trace-event JSON (Perfetto) and JSONL
 //!   exporters for recorded [`sim_core::trace::Trace`]s.
 
@@ -20,9 +23,11 @@ pub mod disruption;
 pub mod export;
 pub mod fairness;
 pub mod report;
+pub mod slo;
 pub mod speedup;
 pub mod trace_export;
 
 pub use disruption::{DisruptionReport, TenantDisruption};
 pub use fairness::jain_fairness;
+pub use slo::{SloRecord, SloReport};
 pub use speedup::{weighted_speedup, CompletionSet};

@@ -1,0 +1,363 @@
+//! Service-level-objective metrics for open-loop serving.
+//!
+//! Batch experiments summarize a run with makespan and weighted speedup;
+//! a serving system is judged instead on its **latency distribution**
+//! under a given offered load. [`SloReport`] condenses one serve-mode run
+//! into the numbers an operator would put on a dashboard:
+//!
+//! * tail latency percentiles (p50/p95/p99/p99.9, nearest-rank on the
+//!   exact integer-nanosecond latencies — no interpolation, so the
+//!   rendering is byte-stable across platforms),
+//! * **goodput** — completed requests per second of virtual time,
+//! * **shed rate** — the fraction of offered requests rejected at
+//!   admission,
+//! * **per-tenant fairness** — Jain's index over per-tenant completions,
+//!   both overall and as min/mean over fixed sliding windows (a scheduler
+//!   can be fair on average while starving a tenant for seconds at a
+//!   time; the windowed minimum catches that).
+
+use crate::fairness::jain_fairness;
+use sim_core::time::{SimDuration, SimTime};
+
+/// One completed request, as recorded by the serving harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SloRecord {
+    /// Tenant the request belonged to.
+    pub tenant: u32,
+    /// Arrival time at the admission front door.
+    pub arrival: SimTime,
+    /// End-to-end latency (admission to completion).
+    pub latency: SimDuration,
+}
+
+/// Nearest-rank percentile of a **sorted ascending** latency slice.
+/// Returns zero for an empty slice.
+fn nearest_rank(sorted: &[SimDuration], pct: f64) -> SimDuration {
+    if sorted.is_empty() {
+        return SimDuration::ZERO;
+    }
+    let n = sorted.len();
+    let rank = ((pct / 100.0) * n as f64).ceil() as usize;
+    sorted[rank.clamp(1, n) - 1]
+}
+
+/// SLO summary of one open-loop serving run. Build with
+/// [`SloReport::from_records`], render with [`SloReport::render`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloReport {
+    /// Requests that completed inside the run.
+    pub completed: u64,
+    /// Requests shed at admission (queue-full + rate-limited).
+    pub shed: u64,
+    /// Requests that entered but failed (faults, aborts).
+    pub failed: u64,
+    /// Run duration the rates are normalized by.
+    pub duration: SimDuration,
+    /// Completed requests per second of virtual time.
+    pub goodput_rps: f64,
+    /// `shed / (completed + shed + failed)`; 0 when nothing was offered.
+    pub shed_rate: f64,
+    /// Median latency.
+    pub p50: SimDuration,
+    /// 95th-percentile latency.
+    pub p95: SimDuration,
+    /// 99th-percentile latency.
+    pub p99: SimDuration,
+    /// 99.9th-percentile latency.
+    pub p999: SimDuration,
+    /// Worst observed latency.
+    pub max: SimDuration,
+    /// Mean latency.
+    pub mean: SimDuration,
+    /// Per-tenant completed-request counts, indexed by tenant id.
+    pub tenant_completed: Vec<u64>,
+    /// Jain's index over [`tenant_completed`](Self::tenant_completed).
+    pub fairness_overall: f64,
+    /// Window width the sliding fairness used.
+    pub window: SimDuration,
+    /// Minimum per-window Jain's index (1.0 when no window had traffic).
+    pub fairness_window_min: f64,
+    /// Mean per-window Jain's index (1.0 when no window had traffic).
+    pub fairness_window_mean: f64,
+}
+
+impl SloReport {
+    /// Summarize one run.
+    ///
+    /// `records` are the completed requests (any order); `shed` and
+    /// `failed` come from the admission and outcome counters; `tenants`
+    /// fixes the width of the per-tenant vectors so silent tenants still
+    /// count against fairness; `window` is the sliding-fairness window
+    /// width (windows tile `[0, duration)`; a zero width disables
+    /// windowed fairness).
+    pub fn from_records(
+        records: &[SloRecord],
+        shed: u64,
+        failed: u64,
+        tenants: usize,
+        duration: SimDuration,
+        window: SimDuration,
+    ) -> SloReport {
+        let mut latencies: Vec<SimDuration> = records.iter().map(|r| r.latency).collect();
+        latencies.sort_unstable();
+        let completed = records.len() as u64;
+        let offered = completed + shed + failed;
+        let mean_ns = if latencies.is_empty() {
+            0
+        } else {
+            // Integer mean: exact and platform-independent.
+            let sum: u128 = latencies.iter().map(|l| l.as_ns() as u128).sum();
+            (sum / latencies.len() as u128) as u64
+        };
+
+        let mut tenant_completed = vec![0u64; tenants];
+        for r in records {
+            if let Some(c) = tenant_completed.get_mut(r.tenant as usize) {
+                *c += 1;
+            }
+        }
+        let counts_f64: Vec<f64> = tenant_completed.iter().map(|&c| c as f64).collect();
+        let fairness_overall = if completed == 0 {
+            1.0
+        } else {
+            jain_fairness(&counts_f64)
+        };
+
+        let (fairness_window_min, fairness_window_mean) =
+            windowed_fairness(records, tenants, duration, window);
+
+        SloReport {
+            completed,
+            shed,
+            failed,
+            duration,
+            goodput_rps: if duration.is_zero() {
+                0.0
+            } else {
+                completed as f64 / duration.as_secs_f64()
+            },
+            shed_rate: if offered == 0 {
+                0.0
+            } else {
+                shed as f64 / offered as f64
+            },
+            p50: nearest_rank(&latencies, 50.0),
+            p95: nearest_rank(&latencies, 95.0),
+            p99: nearest_rank(&latencies, 99.0),
+            p999: nearest_rank(&latencies, 99.9),
+            max: latencies.last().copied().unwrap_or(SimDuration::ZERO),
+            mean: SimDuration::from_ns(mean_ns),
+            tenant_completed,
+            fairness_overall,
+            window,
+            fairness_window_min,
+            fairness_window_mean,
+        }
+    }
+
+    /// Render the report as an aligned two-column table. Byte-stable: the
+    /// same report always renders to the same bytes, so golden tests and
+    /// cross-thread determinism checks can compare output directly.
+    pub fn render(&self) -> String {
+        let mut t = crate::report::Table::new(vec!["metric", "value"]);
+        t.row(vec!["completed".to_string(), self.completed.to_string()]);
+        t.row(vec!["shed".to_string(), self.shed.to_string()]);
+        t.row(vec!["failed".to_string(), self.failed.to_string()]);
+        t.row(vec!["duration".to_string(), self.duration.to_string()]);
+        t.row(vec![
+            "goodput".to_string(),
+            format!("{:.2} req/s", self.goodput_rps),
+        ]);
+        t.row(vec![
+            "shed_rate".to_string(),
+            crate::report::fmt_pct(self.shed_rate),
+        ]);
+        t.row(vec!["latency_p50".to_string(), self.p50.to_string()]);
+        t.row(vec!["latency_p95".to_string(), self.p95.to_string()]);
+        t.row(vec!["latency_p99".to_string(), self.p99.to_string()]);
+        t.row(vec!["latency_p99.9".to_string(), self.p999.to_string()]);
+        t.row(vec!["latency_max".to_string(), self.max.to_string()]);
+        t.row(vec!["latency_mean".to_string(), self.mean.to_string()]);
+        t.row(vec![
+            "fairness_overall".to_string(),
+            format!("{:.4}", self.fairness_overall),
+        ]);
+        t.row(vec![
+            format!("fairness_min@{}", self.window),
+            format!("{:.4}", self.fairness_window_min),
+        ]);
+        t.row(vec![
+            format!("fairness_mean@{}", self.window),
+            format!("{:.4}", self.fairness_window_mean),
+        ]);
+        let per_tenant: Vec<String> = self
+            .tenant_completed
+            .iter()
+            .map(|c| c.to_string())
+            .collect();
+        t.row(vec!["tenant_completed".to_string(), per_tenant.join(" ")]);
+        t.render()
+    }
+}
+
+/// Min and mean Jain's index over fixed windows tiling `[0, duration)`,
+/// keyed by each record's **arrival** window. Windows with no completions
+/// are skipped (an idle system is not unfair). Returns `(1.0, 1.0)` when
+/// windowing is disabled or no window saw traffic.
+fn windowed_fairness(
+    records: &[SloRecord],
+    tenants: usize,
+    duration: SimDuration,
+    window: SimDuration,
+) -> (f64, f64) {
+    if window.is_zero() || duration.is_zero() || tenants == 0 || records.is_empty() {
+        return (1.0, 1.0);
+    }
+    let window_ns = window.as_ns();
+    let n_windows = duration.as_ns().div_ceil(window_ns) as usize;
+    let mut counts = vec![vec![0u64; tenants]; n_windows];
+    for r in records {
+        let w = (r.arrival / window_ns) as usize;
+        if let Some(slot) = counts.get_mut(w) {
+            if let Some(c) = slot.get_mut(r.tenant as usize) {
+                *c += 1;
+            }
+        }
+    }
+    let mut min = f64::INFINITY;
+    let mut sum = 0.0;
+    let mut active = 0usize;
+    for slot in &counts {
+        if slot.iter().all(|&c| c == 0) {
+            continue;
+        }
+        let xs: Vec<f64> = slot.iter().map(|&c| c as f64).collect();
+        let j = jain_fairness(&xs);
+        min = min.min(j);
+        sum += j;
+        active += 1;
+    }
+    if active == 0 {
+        (1.0, 1.0)
+    } else {
+        (min, sum / active as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(tenant: u32, arrival_ms: u64, latency_ms: u64) -> SloRecord {
+        SloRecord {
+            tenant,
+            arrival: SimDuration::from_ms(arrival_ms).as_ns(),
+            latency: SimDuration::from_ms(latency_ms),
+        }
+    }
+
+    #[test]
+    fn nearest_rank_matches_definition() {
+        let lat: Vec<SimDuration> = (1..=100).map(SimDuration::from_ms).collect();
+        assert_eq!(nearest_rank(&lat, 50.0), SimDuration::from_ms(50));
+        assert_eq!(nearest_rank(&lat, 95.0), SimDuration::from_ms(95));
+        assert_eq!(nearest_rank(&lat, 99.0), SimDuration::from_ms(99));
+        assert_eq!(nearest_rank(&lat, 99.9), SimDuration::from_ms(100));
+        assert_eq!(nearest_rank(&[], 50.0), SimDuration::ZERO);
+        // Single sample: every percentile is that sample.
+        let one = [SimDuration::from_ms(7)];
+        assert_eq!(nearest_rank(&one, 50.0), one[0]);
+        assert_eq!(nearest_rank(&one, 99.9), one[0]);
+    }
+
+    #[test]
+    fn report_rates_and_percentiles() {
+        let records: Vec<SloRecord> = (0u64..100)
+            .map(|i| rec((i % 4) as u32, i * 10, i + 1))
+            .collect();
+        let report = SloReport::from_records(
+            &records,
+            25,
+            5,
+            4,
+            SimDuration::from_secs(10),
+            SimDuration::from_secs(1),
+        );
+        assert_eq!(report.completed, 100);
+        assert!((report.goodput_rps - 10.0).abs() < 1e-12);
+        assert!((report.shed_rate - 25.0 / 130.0).abs() < 1e-12);
+        assert_eq!(report.p50, SimDuration::from_ms(50));
+        assert_eq!(report.p999, SimDuration::from_ms(100));
+        assert_eq!(report.max, SimDuration::from_ms(100));
+        assert_eq!(report.tenant_completed, vec![25, 25, 25, 25]);
+        assert!((report.fairness_overall - 1.0).abs() < 1e-12);
+        assert!((report.fairness_window_min - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn windowed_fairness_catches_transient_starvation() {
+        // Perfectly balanced totals, but tenant 1 gets nothing in the
+        // first window and everything in the second.
+        let mut records = Vec::new();
+        for i in 0..50 {
+            records.push(rec(0, i * 10, 1)); // window 0 (0..500ms... arrival i*10ms)
+        }
+        for i in 0..50 {
+            records.push(rec(1, 1000 + i * 10, 1)); // window 1
+        }
+        let report = SloReport::from_records(
+            &records,
+            0,
+            0,
+            2,
+            SimDuration::from_secs(2),
+            SimDuration::from_secs(1),
+        );
+        assert!((report.fairness_overall - 1.0).abs() < 1e-12);
+        assert!(
+            report.fairness_window_min < 0.51,
+            "windowed min should expose starvation, got {}",
+            report.fairness_window_min
+        );
+    }
+
+    #[test]
+    fn empty_run_is_well_defined() {
+        let report = SloReport::from_records(
+            &[],
+            0,
+            0,
+            4,
+            SimDuration::from_secs(1),
+            SimDuration::from_ms(100),
+        );
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.goodput_rps, 0.0);
+        assert_eq!(report.shed_rate, 0.0);
+        assert_eq!(report.p999, SimDuration::ZERO);
+        assert_eq!(report.fairness_overall, 1.0);
+        assert!(report.render().contains("completed"));
+    }
+
+    #[test]
+    fn render_is_byte_stable() {
+        let records: Vec<SloRecord> = (0u64..37)
+            .map(|i| rec((i % 3) as u32, i * 7, i * 3 + 1))
+            .collect();
+        let mk = || {
+            SloReport::from_records(
+                &records,
+                4,
+                1,
+                3,
+                SimDuration::from_secs(5),
+                SimDuration::from_ms(500),
+            )
+            .render()
+        };
+        let a = mk();
+        assert_eq!(a, mk());
+        assert!(a.contains("latency_p99.9"));
+        assert!(a.contains("tenant_completed"));
+    }
+}

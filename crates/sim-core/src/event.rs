@@ -97,6 +97,33 @@ struct KeySlot<E> {
 ///
 /// `E` is the simulation's event payload type (typically one big enum owned
 /// by the executive).
+///
+/// Plain events pop in `(time, insertion-order)` order; a self-rescheduling
+/// component uses a keyed slot so a superseded wakeup can be cancelled in
+/// O(1) instead of being popped and discarded:
+///
+/// ```
+/// use sim_core::event::EventQueue;
+///
+/// let mut q: EventQueue<&str> = EventQueue::new();
+/// let key = q.register_key();
+///
+/// q.schedule(10, "tick");
+/// q.schedule_keyed(key, 20, "wakeup@20");
+///
+/// // The device's state changed: its parked wakeup is now stale.
+/// q.invalidate(key);
+/// q.schedule_keyed(key, 30, "wakeup@30");
+///
+/// assert_eq!(q.pop(), Some((10, "tick")));
+/// // The cancelled entry still advances the clock and the popped counter
+/// // at its original position (accounting-preserving), but is never
+/// // dispatched.
+/// assert_eq!(q.pop(), Some((30, "wakeup@30")));
+/// assert_eq!(q.pop(), None);
+/// assert_eq!(q.cancelled(), 1);
+/// assert_eq!(q.popped(), 3);
+/// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Reverse<Scheduled<E>>>,

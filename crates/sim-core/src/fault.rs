@@ -188,8 +188,22 @@ impl FaultPlan {
     /// ```
     ///
     /// `TIME`/`DUR` take `ns`, `us`, `ms` or `s` suffixes (bare numbers
-    /// are nanoseconds). Example:
-    /// `crash@10s:gid0;partition@2s+500ms:node1`.
+    /// are nanoseconds).
+    ///
+    /// ```
+    /// use sim_core::fault::{FaultKind, FaultPlan};
+    ///
+    /// let plan = FaultPlan::parse("crash@10s:gid0;partition@2s+500ms:node1").unwrap();
+    /// assert_eq!(plan.len(), 2);
+    /// // Events are kept in virtual-time order, earliest first.
+    /// assert_eq!(plan.events()[0].at, 2_000_000_000);
+    /// assert_eq!(
+    ///     plan.events()[0].kind,
+    ///     FaultKind::Partition { node: 1, for_ns: 500_000_000 },
+    /// );
+    /// assert_eq!(plan.events()[1].kind, FaultKind::BackendCrash { gid: 0 });
+    /// assert!(FaultPlan::parse("meteor@1s:gid0").is_err());
+    /// ```
     pub fn parse(spec: &str) -> Result<FaultPlan, String> {
         let mut plan = FaultPlan::none();
         for raw in spec.split([';', ',']) {
@@ -304,25 +318,7 @@ impl FaultPlan {
 }
 
 fn parse_time(s: &str) -> Result<u64, String> {
-    let s = s.trim();
-    let (digits, mult) = if let Some(d) = s.strip_suffix("ns") {
-        (d, 1)
-    } else if let Some(d) = s.strip_suffix("us") {
-        (d, 1_000)
-    } else if let Some(d) = s.strip_suffix("ms") {
-        (d, 1_000_000)
-    } else if let Some(d) = s.strip_suffix('s') {
-        (d, 1_000_000_000)
-    } else {
-        (s, 1)
-    };
-    let v: f64 = digits
-        .parse()
-        .map_err(|_| format!("bad time '{s}' (want e.g. 10s, 500ms, 250us, 42ns)"))?;
-    if v < 0.0 {
-        return Err(format!("negative time '{s}'"));
-    }
-    Ok((v * mult as f64).round() as u64)
+    crate::time::SimDuration::parse(s).map(|d| d.as_ns())
 }
 
 fn parse_target(s: &str, prefix: &str) -> Result<u32, String> {

@@ -107,6 +107,46 @@ impl SimDuration {
     pub const fn is_zero(self) -> bool {
         self.0 == 0
     }
+
+    /// Parse a human-entered duration: a number with an `ns`, `us`, `ms`
+    /// or `s` suffix (a bare number is nanoseconds). Fractions are fine —
+    /// the result rounds to the nearest nanosecond. This is the one
+    /// grammar every CLI surface shares (`--duration`, fault-plan
+    /// timestamps, arrival-process dwell times).
+    ///
+    /// ```
+    /// use sim_core::SimDuration;
+    ///
+    /// assert_eq!(SimDuration::parse("600s"), Ok(SimDuration::from_secs(600)));
+    /// assert_eq!(SimDuration::parse("1.5ms"), Ok(SimDuration::from_us(1_500)));
+    /// assert_eq!(SimDuration::parse("42"), Ok(SimDuration::from_ns(42)));
+    /// assert!(SimDuration::parse("-1s").is_err());
+    /// assert!(SimDuration::parse("fast").is_err());
+    /// ```
+    pub fn parse(s: &str) -> Result<SimDuration, String> {
+        let s = s.trim();
+        let (digits, mult) = if let Some(d) = s.strip_suffix("ns") {
+            (d, 1)
+        } else if let Some(d) = s.strip_suffix("us") {
+            (d, NS_PER_US)
+        } else if let Some(d) = s.strip_suffix("ms") {
+            (d, NS_PER_MS)
+        } else if let Some(d) = s.strip_suffix('s') {
+            (d, NS_PER_SEC)
+        } else {
+            (s, 1)
+        };
+        let v: f64 = digits
+            .parse()
+            .map_err(|_| format!("bad duration '{s}' (want e.g. 10s, 500ms, 250us, 42ns)"))?;
+        if v < 0.0 {
+            return Err(format!("negative duration '{s}'"));
+        }
+        if !v.is_finite() {
+            return Err(format!("non-finite duration '{s}'"));
+        }
+        Ok(SimDuration((v * mult as f64).round() as u64))
+    }
 }
 
 impl std::ops::Add for SimDuration {
@@ -216,6 +256,23 @@ mod tests {
         let d = SimDuration::from_us(7);
         let t1 = after(t0, d);
         assert_eq!(elapsed(t0, t1), d);
+    }
+
+    #[test]
+    fn parse_grammar() {
+        assert_eq!(
+            SimDuration::parse("10s").unwrap(),
+            SimDuration::from_secs(10)
+        );
+        assert_eq!(SimDuration::parse(" 500ms "), Ok(SimDuration::from_ms(500)));
+        assert_eq!(SimDuration::parse("250us"), Ok(SimDuration::from_us(250)));
+        assert_eq!(SimDuration::parse("7ns"), Ok(SimDuration::from_ns(7)));
+        assert_eq!(SimDuration::parse("7"), Ok(SimDuration::from_ns(7)));
+        assert_eq!(SimDuration::parse("0.5s"), Ok(SimDuration::from_ms(500)));
+        assert!(SimDuration::parse("").is_err());
+        assert!(SimDuration::parse("s").is_err());
+        assert!(SimDuration::parse("nan s").is_err());
+        assert!(SimDuration::parse("inf").is_err());
     }
 
     #[test]

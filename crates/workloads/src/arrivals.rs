@@ -5,9 +5,23 @@
 //! exponential (Eq. 4, `T = −λ ln X`), producing bursts and lulls. λ is
 //! chosen proportional to the application's runtime so the offered load is
 //! comparable across applications.
+//!
+//! Two kinds of workload drive the harness:
+//!
+//! * **closed batch streams** ([`RequestStream`]) — a fixed request count
+//!   per application, the shape of every paper figure;
+//! * **open-loop serving** ([`ArrivalProcess`]) — requests arrive at a
+//!   configured rate for a configured duration regardless of completions
+//!   (CloudBench-style load), the regime of `strings-sim serve`. Seeded
+//!   Poisson, deterministic fixed-rate, bursty two-state MMPP, and a JSONL
+//!   trace replayer ([`ReplayTrace`]) all generate the same [`Arrival`]
+//!   sequence shape.
 
 use sim_core::rng::SimRng;
-use sim_core::{SimDuration, SimTime};
+use sim_core::time::{SimDuration, SimTime, NS_PER_SEC};
+
+#[cfg(test)]
+use sim_core::time::NS_PER_MS;
 
 /// A finite stream of request arrival times for one application.
 #[derive(Debug, Clone)]
@@ -104,6 +118,354 @@ impl RequestStream {
         merged.sort_unstable();
         merged
     }
+}
+
+/// One open-loop request arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// Arrival time.
+    pub at: SimTime,
+    /// Tenant the request belongs to, when the source pins one (replayed
+    /// traces may; synthetic processes never do — the harness assigns
+    /// tenants from its own seeded draw).
+    pub tenant_hint: Option<u32>,
+}
+
+/// A replayed arrival trace, parsed from JSONL.
+///
+/// Each line is one JSON object carrying the arrival time under exactly
+/// one of the keys `at_ns`, `at_ms` or `at_s`, plus an optional integer
+/// `tenant`. Blank lines and `#` comment lines are skipped. Example:
+///
+/// ```text
+/// {"at_ms": 0.5, "tenant": 0}
+/// {"at_ms": 2.25, "tenant": 1}
+/// {"at_s": 1.0}
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ReplayTrace {
+    arrivals: Vec<Arrival>,
+}
+
+/// Extract `"key": <number>` from a single-line JSON object without a JSON
+/// dependency (the vendored tree has no serde_json). Tolerates arbitrary
+/// whitespace around the colon; the value must be a bare JSON number.
+fn json_num(line: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let idx = line.find(&needle)?;
+    let rest = line[idx + needle.len()..].trim_start();
+    let rest = rest.strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+impl ReplayTrace {
+    /// Parse a JSONL arrival trace (see the type-level format notes).
+    /// Arrivals are sorted by time; out-of-order input is accepted.
+    pub fn from_jsonl(text: &str) -> Result<ReplayTrace, String> {
+        let mut arrivals = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let at_ns = if let Some(ns) = json_num(line, "at_ns") {
+                ns
+            } else if let Some(ms) = json_num(line, "at_ms") {
+                ms * 1e6
+            } else if let Some(s) = json_num(line, "at_s") {
+                s * 1e9
+            } else {
+                return Err(format!(
+                    "line {}: no at_ns/at_ms/at_s key in '{line}'",
+                    lineno + 1
+                ));
+            };
+            if !at_ns.is_finite() || at_ns < 0.0 {
+                return Err(format!("line {}: bad arrival time in '{line}'", lineno + 1));
+            }
+            let tenant_hint = json_num(line, "tenant").map(|t| t as u32);
+            arrivals.push(Arrival {
+                at: at_ns.round() as SimTime,
+                tenant_hint,
+            });
+        }
+        arrivals.sort_by_key(|a| a.at);
+        Ok(ReplayTrace { arrivals })
+    }
+
+    /// Load a JSONL trace from a file.
+    pub fn load(path: &str) -> Result<ReplayTrace, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read arrival trace '{path}': {e}"))?;
+        Self::from_jsonl(&text)
+    }
+
+    /// The replayed arrivals, ascending by time.
+    pub fn arrivals(&self) -> &[Arrival] {
+        &self.arrivals
+    }
+
+    /// Number of recorded arrivals.
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// True when the trace holds no arrivals.
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+}
+
+/// An open-loop arrival process: how requests reach the serving frontend
+/// in `strings-sim serve`, independent of how fast they complete.
+///
+/// Build one from the CLI grammar via [`ArrivalProcess::parse`]:
+///
+/// ```
+/// use sim_core::rng::SimRng;
+/// use sim_core::SimDuration;
+/// use strings_workloads::arrivals::ArrivalProcess;
+///
+/// let p = ArrivalProcess::parse("poisson:200rps").unwrap();
+/// assert_eq!(p.mean_rate_rps(), 200.0);
+///
+/// // Seeded generation is deterministic and open-loop: ~rate × duration
+/// // arrivals inside [0, duration).
+/// let arrivals = p.generate(SimDuration::from_secs(2), &mut SimRng::new(7));
+/// assert!((350..=450).contains(&arrivals.len()));
+/// assert!(arrivals.windows(2).all(|w| w[0].at <= w[1].at));
+///
+/// // Bursty two-state MMPP: burst rate, base rate, mean dwell times.
+/// let bursty = ArrivalProcess::parse("mmpp:400rps:50rps:500ms:1500ms").unwrap();
+/// assert!((bursty.mean_rate_rps() - 137.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrivalProcess {
+    /// Seeded Poisson process: i.i.d. negative-exponential gaps with mean
+    /// `1/rate` (the SPECpower model at a fixed offered rate).
+    Poisson {
+        /// Mean arrival rate, requests per second.
+        rate_rps: f64,
+    },
+    /// Deterministic fixed-rate process: one arrival every `1/rate`
+    /// seconds, the first after one full period.
+    Fixed {
+        /// Arrival rate, requests per second.
+        rate_rps: f64,
+    },
+    /// Two-state Markov-modulated Poisson process: the process alternates
+    /// between a *burst* state and a *base* state, dwelling an
+    /// exponentially distributed time in each, and emits Poisson arrivals
+    /// at the state's rate. Models the bursty multi-tenant client traffic
+    /// of vGPU serving studies.
+    Mmpp {
+        /// Arrival rate while bursting, requests per second.
+        burst_rps: f64,
+        /// Arrival rate in the quiet state, requests per second.
+        base_rps: f64,
+        /// Mean dwell time in the burst state.
+        burst_dwell: SimDuration,
+        /// Mean dwell time in the base state.
+        base_dwell: SimDuration,
+    },
+    /// Replay a recorded [`ReplayTrace`] (clipped to the run duration).
+    Replay(ReplayTrace),
+}
+
+impl ArrivalProcess {
+    /// Parse the `--arrivals` grammar:
+    ///
+    /// ```text
+    /// poisson:RATErps                      seeded Poisson at RATE req/s
+    /// fixed:RATErps                        deterministic fixed-rate
+    /// mmpp:BURSTrps:BASErps:DWELL:DWELL    bursty two-state MMPP
+    ///                                      (burst dwell, then base dwell)
+    /// replay:PATH                          JSONL trace (at_ns/at_ms/at_s)
+    /// ```
+    ///
+    /// The `rps` suffix on rates is optional; dwell times use the shared
+    /// duration grammar (`500ms`, `2s`, bare ns).
+    pub fn parse(spec: &str) -> Result<ArrivalProcess, String> {
+        let spec = spec.trim();
+        let (kind, rest) = spec
+            .split_once(':')
+            .ok_or_else(|| format!("arrival spec '{spec}' wants KIND:ARGS"))?;
+        match kind {
+            "poisson" => Ok(ArrivalProcess::Poisson {
+                rate_rps: parse_rate(rest)?,
+            }),
+            "fixed" => Ok(ArrivalProcess::Fixed {
+                rate_rps: parse_rate(rest)?,
+            }),
+            "mmpp" => {
+                let parts: Vec<&str> = rest.split(':').collect();
+                if parts.len() != 4 {
+                    return Err(format!(
+                        "mmpp wants BURSTrps:BASErps:BURST_DWELL:BASE_DWELL, got '{rest}'"
+                    ));
+                }
+                let burst_rps = parse_rate(parts[0])?;
+                let base_rps = parse_rate(parts[1])?;
+                let burst_dwell = SimDuration::parse(parts[2])?;
+                let base_dwell = SimDuration::parse(parts[3])?;
+                if burst_dwell.is_zero() || base_dwell.is_zero() {
+                    return Err("mmpp dwell times must be positive".into());
+                }
+                Ok(ArrivalProcess::Mmpp {
+                    burst_rps,
+                    base_rps,
+                    burst_dwell,
+                    base_dwell,
+                })
+            }
+            "replay" => Ok(ArrivalProcess::Replay(ReplayTrace::load(rest)?)),
+            other => Err(format!(
+                "unknown arrival process '{other}' (poisson|fixed|mmpp|replay)"
+            )),
+        }
+    }
+
+    /// The process's long-run mean arrival rate in requests per second
+    /// (for MMPP, the dwell-weighted stationary mean; for a replayed
+    /// trace, its empirical rate over the recorded span).
+    pub fn mean_rate_rps(&self) -> f64 {
+        match self {
+            ArrivalProcess::Poisson { rate_rps } | ArrivalProcess::Fixed { rate_rps } => *rate_rps,
+            ArrivalProcess::Mmpp {
+                burst_rps,
+                base_rps,
+                burst_dwell,
+                base_dwell,
+            } => {
+                let (wb, wq) = (burst_dwell.as_secs_f64(), base_dwell.as_secs_f64());
+                (burst_rps * wb + base_rps * wq) / (wb + wq)
+            }
+            ArrivalProcess::Replay(trace) => {
+                let Some(last) = trace.arrivals.last() else {
+                    return 0.0;
+                };
+                if last.at == 0 {
+                    return 0.0;
+                }
+                trace.arrivals.len() as f64 / (last.at as f64 / NS_PER_SEC as f64)
+            }
+        }
+    }
+
+    /// A short stable label for reports (`poisson:200rps`).
+    pub fn label(&self) -> String {
+        match self {
+            ArrivalProcess::Poisson { rate_rps } => format!("poisson:{rate_rps}rps"),
+            ArrivalProcess::Fixed { rate_rps } => format!("fixed:{rate_rps}rps"),
+            ArrivalProcess::Mmpp {
+                burst_rps,
+                base_rps,
+                burst_dwell,
+                base_dwell,
+            } => format!("mmpp:{burst_rps}rps:{base_rps}rps:{burst_dwell}:{base_dwell}"),
+            ArrivalProcess::Replay(t) => format!("replay:{} arrivals", t.len()),
+        }
+    }
+
+    /// Generate every arrival in `[0, duration)`, ascending. Deterministic
+    /// in the RNG state; the deterministic [`ArrivalProcess::Fixed`] and
+    /// [`ArrivalProcess::Replay`] processes never touch the RNG.
+    pub fn generate(&self, duration: SimDuration, rng: &mut SimRng) -> Vec<Arrival> {
+        let horizon = duration.as_ns();
+        let mut out = Vec::new();
+        match self {
+            ArrivalProcess::Poisson { rate_rps } => {
+                assert!(*rate_rps > 0.0, "poisson rate must be positive");
+                let mean_gap_s = 1.0 / rate_rps;
+                let mut t_s = 0.0f64;
+                loop {
+                    t_s += rng.exp_f64(mean_gap_s);
+                    let at = SimDuration::from_secs_f64(t_s).as_ns();
+                    if at >= horizon {
+                        break;
+                    }
+                    out.push(Arrival {
+                        at,
+                        tenant_hint: None,
+                    });
+                }
+            }
+            ArrivalProcess::Fixed { rate_rps } => {
+                assert!(*rate_rps > 0.0, "fixed rate must be positive");
+                let period_ns = (NS_PER_SEC as f64 / rate_rps).round().max(1.0) as u64;
+                let mut at = period_ns;
+                while at < horizon {
+                    out.push(Arrival {
+                        at,
+                        tenant_hint: None,
+                    });
+                    at += period_ns;
+                }
+            }
+            ArrivalProcess::Mmpp {
+                burst_rps,
+                base_rps,
+                burst_dwell,
+                base_dwell,
+            } => {
+                assert!(
+                    *burst_rps > 0.0 && *base_rps > 0.0,
+                    "mmpp rates must be positive"
+                );
+                // Alternate exponentially-dwelled state windows, emitting a
+                // Poisson stream at the window's rate. Restarting the gap
+                // draw at each boundary is exact (memorylessness), so no
+                // thinning is needed.
+                let mut window_start_s = 0.0f64;
+                let mut bursting = true;
+                let horizon_s = duration.as_secs_f64();
+                while window_start_s < horizon_s {
+                    let (rate, dwell) = if bursting {
+                        (*burst_rps, burst_dwell)
+                    } else {
+                        (*base_rps, base_dwell)
+                    };
+                    let window_end_s = window_start_s + rng.exp_f64(dwell.as_secs_f64());
+                    let mut t_s = window_start_s;
+                    loop {
+                        t_s += rng.exp_f64(1.0 / rate);
+                        if t_s >= window_end_s || t_s >= horizon_s {
+                            break;
+                        }
+                        out.push(Arrival {
+                            at: SimDuration::from_secs_f64(t_s).as_ns(),
+                            tenant_hint: None,
+                        });
+                    }
+                    window_start_s = window_end_s;
+                    bursting = !bursting;
+                }
+                // f64 rounding at window joins can land two arrivals on the
+                // same nanosecond out of order; restore the invariant.
+                out.sort_by_key(|a| a.at);
+                out.retain(|a| a.at < horizon);
+            }
+            ArrivalProcess::Replay(trace) => {
+                out.extend(trace.arrivals.iter().copied().filter(|a| a.at < horizon));
+            }
+        }
+        out
+    }
+}
+
+/// Parse a rate like `200rps`, `12.5rps` or a bare number.
+fn parse_rate(s: &str) -> Result<f64, String> {
+    let digits = s.trim().strip_suffix("rps").unwrap_or(s.trim());
+    let v: f64 = digits
+        .parse()
+        .map_err(|_| format!("bad rate '{s}' (want e.g. 200rps)"))?;
+    if !(v > 0.0 && v.is_finite()) {
+        return Err(format!("rate '{s}' must be positive and finite"));
+    }
+    Ok(v)
 }
 
 #[cfg(test)]
@@ -217,5 +579,157 @@ mod tests {
     fn zero_load_rejected() {
         let mut rng = SimRng::new(0);
         RequestStream::for_app_runtime(1, SimDuration::from_secs(1), 0.0, &mut rng);
+    }
+
+    use proptest::prelude::*;
+
+    // ---- open-loop arrival processes ----
+
+    #[test]
+    fn parse_grammar_round_trips() {
+        let p = ArrivalProcess::parse("poisson:200rps").unwrap();
+        assert_eq!(p, ArrivalProcess::Poisson { rate_rps: 200.0 }, "rps suffix");
+        assert_eq!(p.label(), "poisson:200rps");
+        assert_eq!(
+            ArrivalProcess::parse("fixed:12.5").unwrap(),
+            ArrivalProcess::Fixed { rate_rps: 12.5 },
+            "bare rate"
+        );
+        let m = ArrivalProcess::parse("mmpp:400rps:50rps:500ms:2s").unwrap();
+        assert_eq!(
+            m,
+            ArrivalProcess::Mmpp {
+                burst_rps: 400.0,
+                base_rps: 50.0,
+                burst_dwell: SimDuration::from_ms(500),
+                base_dwell: SimDuration::from_secs(2),
+            }
+        );
+        assert!(ArrivalProcess::parse("poisson").is_err());
+        assert!(ArrivalProcess::parse("poisson:0rps").is_err());
+        assert!(ArrivalProcess::parse("mmpp:1:2:3ms").is_err());
+        assert!(ArrivalProcess::parse("mmpp:1:2:0s:3ms").is_err());
+        assert!(ArrivalProcess::parse("lognormal:3rps").is_err());
+    }
+
+    #[test]
+    fn poisson_is_deterministic_per_seed() {
+        let p = ArrivalProcess::parse("poisson:100rps").unwrap();
+        let d = SimDuration::from_secs(5);
+        let a = p.generate(d, &mut SimRng::new(9));
+        let b = p.generate(d, &mut SimRng::new(9));
+        let c = p.generate(d, &mut SimRng::new(10));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.windows(2).all(|w| w[0].at <= w[1].at));
+        assert!(a.iter().all(|x| x.at < d.as_ns()));
+    }
+
+    #[test]
+    fn fixed_rate_is_exact_and_rng_free() {
+        let p = ArrivalProcess::Fixed { rate_rps: 1000.0 };
+        let mut rng = SimRng::new(3);
+        let before = rng.uniform_open0();
+        let mut rng = SimRng::new(3);
+        let a = p.generate(SimDuration::from_secs(1), &mut rng);
+        assert_eq!(a.len(), 999); // arrivals at 1ms, 2ms, …, 999ms
+        assert_eq!(a[0].at, NS_PER_MS);
+        assert_eq!(a[998].at, 999 * NS_PER_MS);
+        assert_eq!(rng.uniform_open0(), before, "fixed must not touch the rng");
+    }
+
+    #[test]
+    fn mmpp_mixes_burst_and_base_rates() {
+        let p = ArrivalProcess::parse("mmpp:2000rps:100rps:200ms:200ms").unwrap();
+        assert!((p.mean_rate_rps() - 1050.0).abs() < 1e-9);
+        let d = SimDuration::from_secs(30);
+        let a = p.generate(d, &mut SimRng::new(17));
+        assert!(a.windows(2).all(|w| w[0].at <= w[1].at));
+        // Expect roughly mean_rate × duration arrivals; MMPP variance is
+        // high so allow a generous band.
+        let expect = p.mean_rate_rps() * d.as_secs_f64();
+        let n = a.len() as f64;
+        assert!(
+            (n - expect).abs() / expect < 0.25,
+            "got {n} arrivals, expected ~{expect}"
+        );
+    }
+
+    #[test]
+    fn replay_parses_jsonl_and_clips() {
+        let text =
+            "\n# a comment\n{\"at_ms\": 2.5, \"tenant\": 1}\n{\"at_ns\": 100}\n{\"at_s\": 1.0}\n";
+        let trace = ReplayTrace::from_jsonl(text).unwrap();
+        assert_eq!(trace.len(), 3);
+        assert_eq!(
+            trace.arrivals()[0],
+            Arrival {
+                at: 100,
+                tenant_hint: None
+            }
+        );
+        assert_eq!(
+            trace.arrivals()[1],
+            Arrival {
+                at: 2_500_000,
+                tenant_hint: Some(1)
+            }
+        );
+        let p = ArrivalProcess::Replay(trace);
+        let clipped = p.generate(SimDuration::from_ms(500), &mut SimRng::new(0));
+        assert_eq!(clipped.len(), 2, "1s arrival is past the horizon");
+    }
+
+    #[test]
+    fn replay_rejects_garbage() {
+        assert!(ReplayTrace::from_jsonl("{\"rate\": 3}").is_err());
+        assert!(ReplayTrace::from_jsonl("{\"at_ns\": -5}").is_err());
+        assert!(ReplayTrace::from_jsonl("").unwrap().is_empty());
+    }
+
+    proptest! {
+        /// Every synthetic process hits its configured mean rate within
+        /// tolerance over a long window (law of large numbers; 5% slack
+        /// covers Poisson noise at ≥ 2000 expected arrivals).
+        #[test]
+        fn poisson_matches_mean_rate(rate in 50.0f64..500.0, seed in 0u64..32) {
+            let p = ArrivalProcess::Poisson { rate_rps: rate };
+            let d = SimDuration::from_secs(40);
+            let n = p.generate(d, &mut SimRng::new(seed)).len() as f64;
+            let expect = rate * d.as_secs_f64();
+            prop_assert!((n - expect).abs() / expect < 0.05,
+                "poisson {rate}rps: {n} vs {expect}");
+        }
+
+        #[test]
+        fn fixed_matches_mean_rate(rate in 50.0f64..500.0) {
+            let p = ArrivalProcess::Fixed { rate_rps: rate };
+            let d = SimDuration::from_secs(40);
+            let n = p.generate(d, &mut SimRng::new(0)).len() as f64;
+            let expect = rate * d.as_secs_f64();
+            prop_assert!((n - expect).abs() / expect < 0.01,
+                "fixed {rate}rps: {n} vs {expect}");
+        }
+
+        /// MMPP converges to the dwell-weighted stationary rate when the
+        /// window spans many dwell periods.
+        #[test]
+        fn mmpp_matches_stationary_rate(
+            burst in 200.0f64..800.0,
+            base in 20.0f64..100.0,
+            seed in 0u64..16,
+        ) {
+            let p = ArrivalProcess::Mmpp {
+                burst_rps: burst,
+                base_rps: base,
+                burst_dwell: SimDuration::from_ms(100),
+                base_dwell: SimDuration::from_ms(300),
+            };
+            let d = SimDuration::from_secs(60);
+            let n = p.generate(d, &mut SimRng::new(seed)).len() as f64;
+            let expect = p.mean_rate_rps() * d.as_secs_f64();
+            prop_assert!((n - expect).abs() / expect < 0.15,
+                "mmpp: {n} vs {expect}");
+        }
     }
 }

@@ -11,8 +11,10 @@
 //!   `k` iterations of *CPU phase → H2D → kernel → sync → D2H*, sized so the
 //!   program's standalone runtime on the reference device matches the
 //!   profile,
-//! * [`arrivals`] — the SPECpower-style service model: request streams with
-//!   negative-exponential inter-arrival times (paper Eq. 4, Figure 8),
+//! * [`arrivals`] — the SPECpower-style service model: closed request
+//!   streams with negative-exponential inter-arrival times (paper Eq. 4,
+//!   Figure 8) and the open-loop [`ArrivalProcess`]es behind
+//!   `strings-sim serve` (Poisson, fixed-rate, MMPP, trace replay),
 //! * [`pairs`] — the 24 A–X workload pairs (each one Group A × one Group B
 //!   application) used throughout the evaluation.
 
@@ -24,7 +26,7 @@ pub mod pairs;
 pub mod profile;
 pub mod tracegen;
 
-pub use arrivals::RequestStream;
+pub use arrivals::{Arrival, ArrivalProcess, ReplayTrace, RequestStream};
 pub use pairs::{workload_pair, workload_pairs, PairLabel};
 pub use profile::{AppKind, AppProfile, Group};
 pub use tracegen::TraceGenerator;

@@ -6,13 +6,57 @@
 //!     --app MC:20:1.5 --app DC:10:1.0:1 --nodes 2 --seeds 3
 //! ```
 
-use strings_repro::harness::cli::{parse_args, USAGE};
+use strings_repro::harness::cli::{parse_args, parse_serve_args, SERVE_USAGE, USAGE};
 use strings_repro::harness::sweep;
 use strings_repro::metrics::export;
 use strings_repro::metrics::report::{fmt_pct, Table};
 
+/// The `serve` subcommand: open-loop serving with an SLO report per seed.
+fn serve_main(args: &[String]) {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{SERVE_USAGE}");
+        return;
+    }
+    let run = match parse_serve_args(args) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "serve: {} for {} over {} tenant(s)   stack: {}   nodes: {}\n",
+        run.spec.arrivals.label(),
+        run.spec.duration,
+        run.spec.tenants,
+        run.spec.stack.label(),
+        run.spec.nodes.len(),
+    );
+    let runs = sweep::run_serve_seeds(&run.spec, &run.seeds);
+    for (seed, stats) in run.seeds.iter().zip(&runs) {
+        let report = run.spec.slo(stats);
+        println!("seed {seed}:");
+        print!("{}", report.render());
+        println!();
+    }
+    if let Some(path) = &run.trace {
+        let trace = runs[0].trace.as_ref().expect("traced run records a trace");
+        let body = if path.ends_with(".jsonl") {
+            strings_repro::metrics::trace_export::jsonl(trace)
+        } else {
+            strings_repro::metrics::trace_export::chrome_json(trace)
+        };
+        std::fs::write(path, body).expect("write trace");
+        println!("trace written to {path} ({} events)", trace.events.len());
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().is_some_and(|a| a == "serve") {
+        serve_main(&args[1..]);
+        return;
+    }
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!("{USAGE}");
         return;

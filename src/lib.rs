@@ -5,7 +5,11 @@
 //! every workspace crate under one roof so examples, integration tests, and
 //! downstream users can depend on a single package.
 //!
-//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+//! See `README.md` for a tour, `ARCHITECTURE.md` for the crate map and
+//! request lifecycle, and `DESIGN.md` for the system inventory.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 pub use cuda_sim as cuda;
 pub use gpu_sim as gpu;
