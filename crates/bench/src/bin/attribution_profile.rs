@@ -1,0 +1,15 @@
+//! Extension experiment: latency attribution per scheduler stack.
+//!
+//! Runs the open-loop serving scenario with stage-level latency
+//! attribution enabled and prints where each stack spends its requests'
+//! nanoseconds (see `experiments::attribution`).
+
+use strings_harness::experiments::attribution;
+
+fn main() {
+    strings_bench::run_experiment(
+        "Extension — latency attribution (Poisson load, supernode)",
+        "Strings moves latency out of queue-wait and into actual service",
+        |scale| attribution::table(&attribution::run(scale)).render(),
+    );
+}

@@ -32,6 +32,8 @@ const USAGE: &str = "bench_suite options:
   --out PATH       where to write the JSON report (default BENCH_hotpath.json)
   --check PATH     compare against a baseline JSON; exit 1 on a >2x
                    events/sec regression in any shared scenario
+  --attr-gate F    exit 1 if the attributed fig12 run costs more than F
+                   times the plain fig12 run's best wall time (CI: 1.15)
   --threads N      pin sweep parallelism (bench scenarios are single runs,
                    so this only matters for future sweep-backed entries)
   --help           print this text
@@ -84,8 +86,16 @@ fn scenarios() -> Vec<Entry> {
         42,
     );
     serve.admission.queue_depth = 8;
+    // The same fig12 pair with lightweight latency attribution on: the
+    // wall-time delta between this row and the plain one is the whole
+    // profiler overhead, which `--attr-gate` bounds in CI.
+    let fig12_attr = fig12.clone().with_attribution();
     vec![
         ("fig12_pair_I_supernode", Box::new(move || fig12.run())),
+        (
+            "fig12_pair_I_attributed",
+            Box::new(move || fig12_attr.run()),
+        ),
         ("single_node_mix", Box::new(move || single.run())),
         ("supernode_mix3", Box::new(move || mix3.run())),
         ("serve_open_loop", Box::new(move || serve.run())),
@@ -232,12 +242,35 @@ fn check(rows: &[Row], baseline_path: &str) -> bool {
     ok
 }
 
+/// Compare the attributed fig12 row against the plain one and bound the
+/// profiler's wall-time overhead.
+fn check_attr_overhead(rows: &[Row], factor: f64) -> bool {
+    let best = |name: &str| {
+        rows.iter()
+            .find(|r| r.name == name)
+            .unwrap_or_else(|| panic!("{name} row missing"))
+            .wall_ns_best
+    };
+    let base = best("fig12_pair_I_supernode");
+    let attr = best("fig12_pair_I_attributed");
+    let got = attr as f64 / base.max(1) as f64;
+    let ok = got <= factor;
+    println!(
+        "attr-gate: attributed {:.1} ms vs plain {:.1} ms ({got:.3}x, limit {factor:.2}x) {}",
+        attr as f64 / 1e6,
+        base as f64 / 1e6,
+        if ok { "ok" } else { "FAIL" }
+    );
+    ok
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut reps: Option<usize> = None;
     let mut smoke = false;
     let mut out_path = "BENCH_hotpath.json".to_string();
     let mut check_path: Option<String> = None;
+    let mut attr_gate: Option<f64> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut take = || -> String {
@@ -253,6 +286,7 @@ fn main() {
             "--reps" => reps = Some(take().parse().expect("bad --reps")),
             "--out" => out_path = take(),
             "--check" => check_path = Some(take()),
+            "--attr-gate" => attr_gate = Some(take().parse().expect("bad --attr-gate")),
             "--threads" => {
                 strings_harness::sweep::set_threads(take().parse().expect("bad --threads"))
             }
@@ -286,9 +320,14 @@ fn main() {
     std::fs::write(&out_path, &report).expect("write report");
     println!("wrote {out_path}");
 
+    let mut ok = true;
     if let Some(path) = check_path {
-        if !check(&rows, &path) {
-            std::process::exit(1);
-        }
+        ok &= check(&rows, &path);
+    }
+    if let Some(factor) = attr_gate {
+        ok &= check_attr_overhead(&rows, factor);
+    }
+    if !ok {
+        std::process::exit(1);
     }
 }

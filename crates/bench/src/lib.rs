@@ -27,6 +27,7 @@
 //! cargo run --release -p strings-bench --bin fig15_strings_feedback
 //! cargo run --release -p strings-bench --bin fault_isolation
 //! cargo run --release -p strings-bench --bin serve_slo
+//! cargo run --release -p strings-bench --bin attribution_profile
 //! ```
 //!
 //! The DES hot-path performance suite (`--bin bench_suite`) lives outside

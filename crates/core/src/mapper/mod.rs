@@ -67,17 +67,27 @@ impl GpuAffinityMapper {
         self.track = track;
     }
 
-    /// Record a placement decision in the trace: `class` arriving on
-    /// `app_node` was mapped to `gid` at `now`. Called by the executive
-    /// once a [`GpuAffinityMapper::select_device`] answer is acted upon
-    /// (selection itself is time-free; the bind is the observable event).
-    pub fn note_placement(&self, now: SimTime, class: WorkloadClass, app_node: NodeId, gid: Gid) {
+    /// Record a placement decision in the trace: `request` (the stable
+    /// request id the executive threads through every stage) of `class`
+    /// arriving on `app_node` was mapped to `gid` at `now`. Called by the
+    /// executive once a [`GpuAffinityMapper::select_device`] answer is
+    /// acted upon (selection itself is time-free; the bind is the
+    /// observable event).
+    pub fn note_placement(
+        &self,
+        now: SimTime,
+        request: u64,
+        class: WorkloadClass,
+        app_node: NodeId,
+        gid: Gid,
+    ) {
         if self.tracer.is_on() {
             self.tracer.instant(
                 self.track,
                 now,
                 "placement",
                 vec![
+                    ("request", request.to_string()),
                     ("policy", self.arbiter.current().label().to_string()),
                     ("class", class.to_string()),
                     ("node", app_node.to_string()),

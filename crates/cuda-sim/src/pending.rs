@@ -81,6 +81,17 @@ impl PendingOps {
         self.index.len()
     }
 
+    /// Contexts with at least one outstanding job (a "busy contexts"
+    /// gauge for the metrics registry).
+    pub fn contexts_active(&self) -> usize {
+        self.by_ctx.len()
+    }
+
+    /// `(ctx, stream)` pairs with at least one outstanding job.
+    pub fn streams_active(&self) -> usize {
+        self.by_stream.len()
+    }
+
     /// Evaluate a host thread's block condition (RPC replies are handled by
     /// the remoting layer, not here).
     pub fn is_satisfied(&self, cond: BlockOn) -> bool {

@@ -691,7 +691,7 @@ impl Device {
                             vec![
                                 ("ctx", job.ctx.to_string()),
                                 ("stream", job.stream.to_string()),
-                                ("tag", job.tag.to_string()),
+                                ("request", job.tag.to_string()),
                                 ("solo_ns", solo.to_string()),
                             ],
                         );
@@ -719,7 +719,7 @@ impl Device {
                             vec![
                                 ("ctx", job.ctx.to_string()),
                                 ("stream", job.stream.to_string()),
-                                ("tag", job.tag.to_string()),
+                                ("request", job.tag.to_string()),
                                 ("bytes", bytes.to_string()),
                             ],
                         );

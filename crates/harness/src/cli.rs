@@ -168,6 +168,14 @@ options:
   --seed N              base RNG seed            [42]
   --seeds N             rerun over N seeds       [1]
   --trace PATH          write a Perfetto-loadable trace of the run
+  --attribution         print the per-request latency attribution report
+                        (stage breakdown: admission/host/rpc/engine waits
+                        and service; exactly additive per request)
+  --metrics-every DUR   sample the unified metrics registry on this
+                        virtual-time cadence (e.g. 1s)      [1s]
+  --metrics-out PATH    write sampled metrics; `.jsonl` extension selects
+                        the JSONL time series, anything else the
+                        OpenMetrics text exposition (implies sampling)
 ";
 
 /// Parsed `serve` command line.
@@ -179,6 +187,11 @@ pub struct ServeRun {
     pub seeds: Vec<u64>,
     /// Write a trace of the representative run to this path.
     pub trace: Option<String>,
+    /// Print the latency-attribution report.
+    pub attribution: bool,
+    /// Write sampled metrics to this path (`.jsonl` = JSONL time series,
+    /// otherwise OpenMetrics text).
+    pub metrics_out: Option<String>,
 }
 
 /// Parse a `serve` argument list (everything after the `serve` word).
@@ -199,6 +212,9 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeRun, CliError> {
     let mut seed = 42u64;
     let mut n_seeds = 1u64;
     let mut trace: Option<String> = None;
+    let mut attribution = false;
+    let mut metrics_every: Option<SimDuration> = None;
+    let mut metrics_out: Option<String> = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -208,6 +224,11 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeRun, CliError> {
         };
         match arg.as_str() {
             "--arrivals" => arrivals = take()?.clone(),
+            "--attribution" => attribution = true,
+            "--metrics-every" => {
+                metrics_every = Some(SimDuration::parse(take()?).map_err(CliError)?)
+            }
+            "--metrics-out" => metrics_out = Some(take()?.clone()),
             "--duration" => duration = SimDuration::parse(take()?).map_err(CliError)?,
             "--tenants" => {
                 tenants = take()?
@@ -303,8 +324,23 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeRun, CliError> {
     spec.window = window;
     spec.server_threads = server_threads;
     spec.trace = trace.is_some();
+    spec.attribution = attribution;
+    if metrics_every.is_some_and(|d| d.is_zero()) {
+        return err("--metrics-every must be positive");
+    }
+    // A metrics output path implies sampling at the default cadence.
+    if metrics_out.is_some() && metrics_every.is_none() {
+        metrics_every = Some(SimDuration::from_secs(1));
+    }
+    spec.metrics_every = metrics_every;
     let seeds: Vec<u64> = (0..n_seeds).map(|i| seed + i * 7919).collect();
-    Ok(ServeRun { spec, seeds, trace })
+    Ok(ServeRun {
+        spec,
+        seeds,
+        trace,
+        attribution,
+        metrics_out,
+    })
 }
 
 /// Parse a full argument list (excluding `argv[0]`).

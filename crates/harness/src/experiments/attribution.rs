@@ -1,0 +1,195 @@
+//! Extension — latency attribution per scheduler stack.
+//!
+//! The paper argues its wins come from moving requests *out of queues*:
+//! workload balancing spreads contexts across the gPool and device
+//! scheduling keeps engines fed, so less of each request's life is spent
+//! waiting for a GPU and more of it doing work. This experiment makes
+//! that argument measurable: the same open-loop serving scenario as
+//! `experiments::serve` runs with latency attribution enabled, and each
+//! stack is judged on *where the nanoseconds went* — the exact-additive
+//! stage breakdown of [`AttributionReport`] — instead of on aggregate
+//! SLO numbers.
+//!
+//! Expected shape: the bare CUDA runtime piles every request on one
+//! device per node, so queue-wait (admission + engine wait) dominates
+//! its breakdown; Rain's balancer spreads the load; the full Strings
+//! stack (balancer + device scheduler) pushes the queue-wait share
+//! lowest and hands the freed share back to actual service.
+
+use super::common::ExpScale;
+use crate::serve::ServeSpec;
+use sim_core::trace::Stage;
+use sim_core::SimDuration;
+use strings_core::config::StackConfig;
+use strings_core::mapper::LbPolicy;
+use strings_metrics::attribution::AttributionReport;
+use strings_metrics::report::{fmt_pct, Table};
+use strings_workloads::arrivals::ArrivalProcess;
+
+/// Offered arrival rate (requests/s across all tenants) — matches
+/// `experiments::serve` so the two tables describe the same regime.
+const RATE_RPS: f64 = 3.0;
+
+/// One stack's attribution outcome.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Stack label.
+    pub label: String,
+    /// Per-request stage breakdowns for the run.
+    pub report: AttributionReport,
+}
+
+/// Attribution results, one outcome per scheduler stack.
+#[derive(Debug, Clone)]
+pub struct Results {
+    /// Per-stack outcomes, in comparison order.
+    pub outcomes: Vec<Outcome>,
+}
+
+/// The shared serving scenario (same shape as `experiments::serve`):
+/// supernode under Poisson load, 4 tenants, bounded per-tenant queues —
+/// with lightweight attribution recording switched on.
+fn spec(stack: StackConfig, scale: &ExpScale) -> ServeSpec {
+    let duration = SimDuration::from_secs(scale.requests.max(4) as u64);
+    let mut s = ServeSpec::supernode(
+        stack,
+        ArrivalProcess::Poisson { rate_rps: RATE_RPS },
+        duration,
+        scale.seeds[0],
+    );
+    s.admission.queue_depth = 8;
+    s.faults = scale.faults.clone();
+    s.attribution = true;
+    s
+}
+
+/// Run the comparison: one attributed serve run per stack at the scale's
+/// first seed.
+pub fn run(scale: &ExpScale) -> Results {
+    let stacks = vec![
+        ("CUDA".to_string(), StackConfig::cuda_runtime()),
+        ("GMin-Rain".to_string(), StackConfig::rain(LbPolicy::GMin)),
+        (
+            "GWtMin-Strings".to_string(),
+            StackConfig::strings(LbPolicy::GWtMin),
+        ),
+    ];
+    let outcomes = stacks
+        .into_iter()
+        .map(|(label, stack)| {
+            let s = spec(stack, scale);
+            let report = s.attribution(&s.run());
+            Outcome { label, report }
+        })
+        .collect();
+    Results { outcomes }
+}
+
+/// Render as a table: one row per stack with the coarse
+/// where-did-the-time-go split (shares of aggregate latency).
+pub fn table(r: &Results) -> Table {
+    let mut t = Table::new(vec![
+        "stack",
+        "requests",
+        "mean_ns",
+        "queue_wait",
+        "rpc",
+        "host",
+        "service",
+        "ctx_switch",
+        "other",
+    ]);
+    for o in &r.outcomes {
+        let rep = &o.report;
+        let n = rep.consistent().count() as u64;
+        let total = rep.total_latency_ns();
+        let totals = rep.totals();
+        let share = |ns: u64| {
+            if total == 0 {
+                fmt_pct(0.0)
+            } else {
+                fmt_pct(ns as f64 / total as f64)
+            }
+        };
+        let service = totals[Stage::H2dXfer.index()]
+            + totals[Stage::ComputeService.index()]
+            + totals[Stage::D2hXfer.index()];
+        t.row(vec![
+            o.label.clone(),
+            n.to_string(),
+            (total / n.max(1)).to_string(),
+            share(
+                totals[Stage::AdmissionWait.index()]
+                    + totals[Stage::H2dWait.index()]
+                    + totals[Stage::ComputeWait.index()]
+                    + totals[Stage::D2hWait.index()],
+            ),
+            share(totals[Stage::Rpc.index()]),
+            share(totals[Stage::HostCpu.index()]),
+            share(service),
+            share(totals[Stage::CtxSwitch.index()]),
+            share(totals[Stage::Other.index()]),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attribution_comparison_runs_and_renders() {
+        let r = run(&ExpScale::quick());
+        assert_eq!(r.outcomes.len(), 3);
+        for o in &r.outcomes {
+            assert!(
+                !o.report.requests.is_empty(),
+                "{}: no requests attributed",
+                o.label
+            );
+            assert_eq!(
+                o.report.inconsistent, 0,
+                "{}: healthy serve runs must attribute every request",
+                o.label
+            );
+            for req in o.report.consistent() {
+                assert_eq!(
+                    req.stage_ns.iter().sum::<u64>(),
+                    req.total_ns(),
+                    "{}: request {} breaks additivity",
+                    o.label,
+                    req.request
+                );
+            }
+        }
+        let rendered = table(&r).render();
+        assert!(rendered.contains("GWtMin-Strings"));
+        assert!(rendered.contains("queue_wait"));
+    }
+
+    #[test]
+    fn strings_reduces_queue_wait_share() {
+        let r = run(&ExpScale::quick());
+        let share = |label: &str| {
+            r.outcomes
+                .iter()
+                .find(|o| o.label == label)
+                .expect("stack present")
+                .report
+                .queue_wait_share()
+        };
+        assert!(
+            share("GWtMin-Strings") <= share("CUDA") + 1e-9,
+            "strings {} vs cuda {}",
+            share("GWtMin-Strings"),
+            share("CUDA")
+        );
+        assert!(
+            share("GWtMin-Strings") <= share("GMin-Rain") + 1e-9,
+            "strings {} vs rain {}",
+            share("GWtMin-Strings"),
+            share("GMin-Rain")
+        );
+    }
+}

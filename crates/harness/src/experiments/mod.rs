@@ -6,6 +6,7 @@
 //! scale. EXPERIMENTS.md records paper-vs-measured values for each.
 
 pub mod ablation;
+pub mod attribution;
 pub mod common;
 pub mod cpu_fallback;
 pub mod faults;

@@ -145,4 +145,39 @@ mod tests {
         assert!(bw(AppKind::MC) > bw(AppKind::GA));
         assert!(bw(AppKind::BO) > bw(AppKind::DC));
     }
+
+    /// Regression pin on the exact measured utilization shares. These
+    /// values flow through the telemetry bucket accumulators
+    /// (`UtilizationTracker::bucketize`/`busy_ns`), so any off-by-one in
+    /// bucket boundary handling shifts the second decimal and trips this
+    /// before it can skew a whole experiment table.
+    #[test]
+    fn table_i_utilization_values_are_pinned() {
+        let r = run();
+        let expect = [
+            (AppKind::DC, "89.22", "0.01"),
+            (AppKind::SC, "10.71", "25.02"),
+            (AppKind::BO, "41.01", "98.88"),
+            (AppKind::MM, "80.07", "0.01"),
+            (AppKind::HI, "86.38", "0.17"),
+            (AppKind::EV, "41.90", "0.73"),
+            (AppKind::BS, "24.42", "6.25"),
+            (AppKind::MC, "84.35", "98.94"),
+            (AppKind::GA, "1.13", "0.85"),
+            (AppKind::SN, "2.04", "26.81"),
+        ];
+        for (app, gpu_pct, transfer_pct) in expect {
+            let row = r.rows.iter().find(|x| x.app == app).unwrap();
+            assert_eq!(
+                format!("{:.2}", row.gpu_time_pct),
+                gpu_pct,
+                "{app}: GPU-time share drifted"
+            );
+            assert_eq!(
+                format!("{:.2}", row.transfer_pct),
+                transfer_pct,
+                "{app}: transfer share drifted"
+            );
+        }
+    }
 }

@@ -142,6 +142,9 @@ pub struct Scenario {
     /// Record a structured trace of the run (engine spans, scheduler
     /// decisions, request spans) into [`RunStats::trace`].
     pub trace: bool,
+    /// Record only the lightweight latency-attribution trace (request
+    /// spans + stage charges; implied by [`Scenario::trace`]).
+    pub attribution: bool,
 }
 
 impl Scenario {
@@ -159,6 +162,7 @@ impl Scenario {
             faults: FaultPlan::none(),
             seed,
             trace: false,
+            attribution: false,
         }
     }
 
@@ -176,6 +180,7 @@ impl Scenario {
             faults: FaultPlan::none(),
             seed,
             trace: false,
+            attribution: false,
         }
     }
 
@@ -194,6 +199,12 @@ impl Scenario {
     /// Record a structured trace of the run.
     pub fn with_trace(mut self) -> Self {
         self.trace = true;
+        self
+    }
+
+    /// Record only the lightweight latency-attribution trace.
+    pub fn with_attribution(mut self) -> Self {
+        self.attribution = true;
         self
     }
 
@@ -255,6 +266,8 @@ impl Scenario {
         world.set_fault_plan(&self.faults);
         if self.trace {
             world.enable_tracing();
+        } else if self.attribution {
+            world.enable_attribution();
         }
         world.run()
     }

@@ -70,6 +70,12 @@ pub struct ServeSpec {
     pub seed: u64,
     /// Record a structured trace of the run.
     pub trace: bool,
+    /// Record latency attribution (lightweight stage charging; implied by
+    /// [`ServeSpec::trace`], which records a superset).
+    pub attribution: bool,
+    /// Sample the unified metrics registry on this virtual-time cadence
+    /// (None = no metrics).
+    pub metrics_every: Option<SimDuration>,
 }
 
 impl ServeSpec {
@@ -99,6 +105,8 @@ impl ServeSpec {
             faults: FaultPlan::none(),
             seed,
             trace: false,
+            attribution: false,
+            metrics_every: None,
         }
     }
 
@@ -179,8 +187,24 @@ impl ServeSpec {
         world.set_fault_plan(&self.faults);
         if self.trace {
             world.enable_tracing();
+        } else if self.attribution {
+            world.enable_attribution();
+        }
+        if let Some(every) = self.metrics_every {
+            world.enable_metrics(every);
         }
         world.run()
+    }
+
+    /// Reconstruct the per-request latency attribution of a run of this
+    /// spec. Requires [`ServeSpec::attribution`] (or `trace`) to have been
+    /// set for the run.
+    pub fn attribution(&self, stats: &RunStats) -> strings_metrics::AttributionReport {
+        let trace = stats
+            .trace
+            .as_ref()
+            .expect("attribution needs a run with attribution or trace enabled");
+        strings_metrics::AttributionReport::from_trace(trace)
     }
 
     /// Condense a run of this spec into its SLO report.

@@ -7,6 +7,7 @@ use std::collections::BTreeMap;
 use strings_core::admission::AdmissionStats;
 use strings_core::device_sched::TenantId;
 use strings_metrics::disruption::{DisruptionReport, TenantDisruption};
+use strings_metrics::registry::MetricsRegistry;
 use strings_metrics::slo::{SloRecord, SloReport};
 use strings_metrics::CompletionSet;
 
@@ -85,6 +86,9 @@ pub struct RunStats {
     /// Per-completion SLO records — one per completed request, collected
     /// only when [`crate::world::World::enable_request_log`] was called.
     pub slo_records: Vec<SloRecord>,
+    /// The unified metrics registry after the end-of-run sample (None
+    /// unless [`crate::world::World::enable_metrics`] was called).
+    pub metrics: Option<MetricsRegistry>,
 }
 
 /// Byte-compatibility with the pre-serve golden outputs: this impl emits
@@ -122,6 +126,10 @@ impl std::fmt::Debug for RunStats {
         }
         if !self.slo_records.is_empty() {
             d.field("slo_records", &self.slo_records.len());
+        }
+        if let Some(m) = &self.metrics {
+            d.field("metrics_snapshots", &m.snapshot_count());
+            d.field("metrics_series", &m.series_count());
         }
         d.finish()
     }

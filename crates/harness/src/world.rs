@@ -20,22 +20,24 @@ use cuda_sim::program::HostOp;
 use cuda_sim::program::HostProgram;
 use cuda_sim::registry::ContextRegistry;
 use gpu_sim::device::{CompletedJob, Device, DeviceConfig};
-use gpu_sim::ids::{ContextId, StreamId};
+use gpu_sim::ids::{ContextId, JobId, StreamId};
 use gpu_sim::job::{CopyDirection, JobKind};
 use remoting::backend::{BackendDesign, APP_PID_BASE, HOST_PID_BASE};
 use remoting::channel::{ChannelKind, ChannelSpec};
 use remoting::gpool::{GMap, Gid, NodeId, NodeSpec};
+use remoting::telemetry::RpcCounters;
 use sim_core::event::EventQueue;
 use sim_core::fault::{FaultKind, FaultPlan};
 use sim_core::rng::SimRng;
-use sim_core::trace::{Tracer, TrackId};
-use sim_core::{EventKey, SimTime};
-use std::collections::VecDeque;
+use sim_core::trace::{Stage, Tracer, TrackId};
+use sim_core::{EventKey, SimDuration, SimTime};
+use std::collections::{HashMap, VecDeque};
 use strings_core::admission::{AdmissionConfig, AdmissionController};
 use strings_core::config::{SchedulerMode, StackConfig};
 use strings_core::device_sched::{AppWork, GpuPolicy, GpuScheduler, Phase, TenantId};
 use strings_core::mapper::{GpuAffinityMapper, WorkloadClass};
 use strings_core::packer::{ContextPacker, PackedCall};
+use strings_metrics::registry::{MetricKind, MetricsRegistry};
 use strings_metrics::slo::SloRecord;
 use strings_metrics::CompletionSet;
 
@@ -85,6 +87,11 @@ struct AppInstance {
     disrupted: bool,
     /// Crossed a degraded or partitioned link window.
     degraded: bool,
+    /// Latency-attribution cursor: everything in `[arrival, attr_cursor)`
+    /// has been charged to a stage. Charges are contiguous by
+    /// construction, which makes the reconstructed breakdown exactly
+    /// additive.
+    attr_cursor: SimTime,
 }
 
 #[derive(Debug)]
@@ -109,6 +116,8 @@ enum Event {
     Retry(AppId, u32, u32),
     /// Failover complete: replay the program on a surviving backend.
     Restart(AppId, u32),
+    /// Periodic metrics-registry sample (only when metrics are enabled).
+    MetricsSample,
 }
 
 #[derive(Debug)]
@@ -119,6 +128,69 @@ struct Waiter {
     reply_ns: u64,
     /// Direct (no RPC): wake the host in place instead of a Reply event.
     direct: bool,
+}
+
+/// Completed device work accumulated since a synchronization last consumed
+/// it, used to decompose a blocked host's wall-clock wait into engine
+/// queueing, engine service, and context-switch time. One window exists
+/// per outstanding job, per stream, and per context; the matching window
+/// is consumed when the wait on that condition releases.
+#[derive(Debug, Clone, Copy)]
+struct EngineWindow {
+    first_start: SimTime,
+    last_finish: SimTime,
+    /// Busy nanoseconds per engine kind: `[compute, h2d, d2h]`.
+    busy: [u64; 3],
+}
+
+impl EngineWindow {
+    fn from_job(c: &CompletedJob) -> EngineWindow {
+        let mut w = EngineWindow {
+            first_start: c.started_at,
+            last_finish: c.finished_at,
+            busy: [0; 3],
+        };
+        w.busy[Self::kind_index(&c.job.kind)] = c.service_ns();
+        w
+    }
+
+    fn kind_index(kind: &JobKind) -> usize {
+        match kind {
+            JobKind::Kernel(_) => 0,
+            JobKind::Copy {
+                dir: CopyDirection::HostToDevice,
+                ..
+            } => 1,
+            JobKind::Copy {
+                dir: CopyDirection::DeviceToHost,
+                ..
+            } => 2,
+        }
+    }
+
+    fn merge(&mut self, c: &CompletedJob) {
+        self.first_start = self.first_start.min(c.started_at);
+        self.last_finish = self.last_finish.max(c.finished_at);
+        self.busy[Self::kind_index(&c.job.kind)] += c.service_ns();
+    }
+
+    /// `(wait, service)` stages of the dominant engine kind in the window
+    /// (a stream/context window can mix kinds; the interval is charged to
+    /// whichever engine did the most work — exact for the common
+    /// single-kind burst between synchronizations).
+    fn stages(&self) -> (Stage, Stage) {
+        let mut best = 0;
+        for i in 1..3 {
+            if self.busy[i] > self.busy[best] {
+                best = i;
+            }
+        }
+        match best {
+            0 => (Stage::ComputeWait, Stage::ComputeService),
+            1 => (Stage::H2dWait, Stage::H2dXfer),
+            _ => (Stage::D2hWait, Stage::D2hXfer),
+        }
+    }
 }
 
 /// The executive.
@@ -179,6 +251,16 @@ pub struct World {
     trk_sim: TrackId,
     /// Fault-injection track (injections, windows, gMap rebuilds).
     trk_faults: TrackId,
+    /// Attribution windows awaiting a synchronization (recording only).
+    attr_job: HashMap<JobId, EngineWindow>,
+    attr_stream: HashMap<(ContextId, StreamId), EngineWindow>,
+    attr_ctx: HashMap<ContextId, EngineWindow>,
+    /// Unified metrics registry (None unless `enable_metrics` was called).
+    metrics: Option<MetricsRegistry>,
+    /// Virtual-time metrics sampling cadence, ns.
+    metrics_every: u64,
+    /// RPC-layer counters (always maintained; plain integer adds).
+    rpc: RpcCounters,
 }
 
 impl World {
@@ -279,6 +361,12 @@ impl World {
             trk_slots: Vec::new(),
             trk_sim: TrackId::INVALID,
             trk_faults: TrackId::INVALID,
+            attr_job: HashMap::new(),
+            attr_stream: HashMap::new(),
+            attr_ctx: HashMap::new(),
+            metrics: None,
+            metrics_every: 0,
+            rpc: RpcCounters::default(),
         };
         // Design II/III backends own one context per GPU, created when the
         // backend daemons spawn at gPool creation (before any request).
@@ -313,7 +401,12 @@ impl World {
             let trk = tracer.track("balancer", format!("mapper{i}"));
             m.set_tracer(tracer.clone(), trk);
         }
-        // One track per request slot; label it with the slot's class.
+        self.make_slot_tracks(&tracer);
+        self.tracer = tracer;
+    }
+
+    /// One track per request slot; label it with the slot's class.
+    fn make_slot_tracks(&mut self, tracer: &Tracer) {
         let n_slots = self.slot_inflight.len();
         self.trk_slots = (0..n_slots)
             .map(|slot| {
@@ -326,7 +419,109 @@ impl World {
                 tracer.track("requests", format!("slot{slot}{class}"))
             })
             .collect();
+    }
+
+    /// Turn on the lightweight latency-attribution recorder: only the
+    /// executive and per-request-slot tracks exist, and the executive
+    /// emits request spans plus `stage` charge marks — exactly what
+    /// [`strings_metrics::attribution::AttributionReport`] needs, without
+    /// paying for full device/scheduler/mapper tracing. A no-op when
+    /// [`World::enable_tracing`] already ran (full traces are a
+    /// superset).
+    pub fn enable_attribution(&mut self) {
+        if self.tracer.is_on() {
+            return;
+        }
+        let tracer = Tracer::buffered();
+        self.trk_sim = tracer.track("sim", "executive");
+        self.trk_faults = tracer.track("sim", "faults");
+        self.make_slot_tracks(&tracer);
         self.tracer = tracer;
+    }
+
+    /// Install the unified metrics registry, sampled every `every` of
+    /// virtual time and once more at the end of the run. Families cover
+    /// every layer: executive event-loop counters, per-device telemetry,
+    /// outstanding-op gauges, RPC counters, and the end-to-end latency
+    /// histogram. The registry lands in [`RunStats::metrics`].
+    pub fn enable_metrics(&mut self, every: SimDuration) {
+        use MetricKind::{Counter, Gauge, Histogram};
+        let mut m = MetricsRegistry::new();
+        m.register("sim_virtual_time_ns", Gauge, "Virtual time of the sample");
+        m.register(
+            "sim_events_total",
+            Counter,
+            "Events dispatched by the executive",
+        );
+        m.register(
+            "sim_queue_peak_depth",
+            Gauge,
+            "High-water mark of the event queue",
+        );
+        m.register(
+            "requests_completed_total",
+            Counter,
+            "Requests finished (any outcome)",
+        );
+        m.register("requests_failed_total", Counter, "Requests lost to faults");
+        m.register("requests_shed_total", Counter, "Requests shed at admission");
+        m.register(
+            "gpu_compute_occupancy",
+            Gauge,
+            "SM occupancy per device (0..1)",
+        );
+        m.register(
+            "gpu_copy_busy",
+            Gauge,
+            "Copy-engine busy fraction per device (0..1)",
+        );
+        m.register(
+            "gpu_context_switches_total",
+            Counter,
+            "Context switches per device",
+        );
+        m.register(
+            "gpu_kernels_completed_total",
+            Counter,
+            "Kernels completed per device",
+        );
+        m.register(
+            "gpu_copies_completed_total",
+            Counter,
+            "Copies completed per device",
+        );
+        m.register("cuda_pending_jobs", Gauge, "Outstanding device jobs");
+        m.register(
+            "cuda_contexts_active",
+            Gauge,
+            "Contexts with outstanding work",
+        );
+        m.register(
+            "cuda_streams_active",
+            Gauge,
+            "Streams with outstanding work",
+        );
+        m.register("rpc_sent_total", Counter, "RPCs shipped toward backends");
+        m.register("rpc_delivered_total", Counter, "RPCs landed at backends");
+        m.register(
+            "rpc_replies_total",
+            Counter,
+            "RPC replies received by frontends",
+        );
+        m.register("rpc_dropped_total", Counter, "RPCs dropped by partitions");
+        m.register("rpc_bytes_total", Counter, "Marshalled RPC bytes shipped");
+        m.register(
+            "rpc_in_flight",
+            Gauge,
+            "RPCs sent but not yet delivered or dropped",
+        );
+        m.register(
+            "request_latency_ns",
+            Histogram,
+            "End-to-end request latency",
+        );
+        self.metrics = Some(m);
+        self.metrics_every = every.as_ns().max(1);
     }
 
     /// Schedule a backend-process crash on device `gid` at time `at`
@@ -386,6 +581,10 @@ impl World {
         for (i, ev) in self.plan.events().iter().enumerate() {
             self.queue.schedule(ev.at, Event::Fault(i as u32));
         }
+        if self.metrics.is_some() && !self.queue.is_empty() {
+            self.queue
+                .schedule(self.metrics_every, Event::MetricsSample);
+        }
         while let Some((now, ev)) = self.queue.pop() {
             assert!(
                 self.queue.popped() < self.max_events,
@@ -415,6 +614,7 @@ impl World {
                     if !self.live_incarnation(app, inc) {
                         continue; // reply raced an injected fault
                     }
+                    self.rpc.replies += 1;
                     let a = self.app_mut(app);
                     a.inflight = None;
                     a.attempt = 0;
@@ -454,6 +654,15 @@ impl World {
                         continue; // a later fault overtook the failover
                     }
                     self.on_restart(app, now);
+                }
+                Event::MetricsSample => {
+                    self.sample_metrics(now);
+                    // Re-arm only while other work remains so the run can
+                    // drain; the end-of-run sample below closes the series.
+                    if !self.queue.is_empty() {
+                        self.queue
+                            .schedule(now + self.metrics_every, Event::MetricsSample);
+                    }
                 }
             }
             if self.finished == self.requests.len() {
@@ -512,6 +721,10 @@ impl World {
         self.stats.clamped_events = self.queue.clamped();
         if let Some(adm) = &self.admission {
             self.stats.admission = Some(adm.stats());
+        }
+        if self.metrics.is_some() {
+            self.sample_metrics(self.queue.now());
+            self.stats.metrics = self.metrics.take();
         }
         if self.tracer.is_on() {
             if let Some(adm) = self.stats.admission {
@@ -578,6 +791,122 @@ impl World {
 
     fn outcome(&mut self, tenant: TenantId) -> &mut TenantOutcomes {
         self.stats.tenant_outcomes.entry(tenant).or_default()
+    }
+
+    /// Charge `app`'s wall clock from its attribution cursor up to
+    /// `until` to `stage`, advancing the cursor. Successive charges tile
+    /// the request's lifetime with no gaps or overlaps, so the per-stage
+    /// breakdown reconstructed from the trace is exactly additive. No-op
+    /// while recording is off or when the window is empty.
+    fn charge_stage(&mut self, app: AppId, stage: Stage, until: SimTime) {
+        if !self.tracer.is_on() {
+            return;
+        }
+        let (slot, from) = {
+            let a = self.app_mut(app);
+            let from = a.attr_cursor;
+            if until <= from {
+                return;
+            }
+            a.attr_cursor = until;
+            (a.slot, from)
+        };
+        self.tracer.instant(
+            self.trk_slots[slot],
+            until,
+            "stage",
+            vec![
+                ("request", app.index().to_string()),
+                ("stage", stage.as_str().to_string()),
+                ("from", from.to_string()),
+            ],
+        );
+    }
+
+    /// A blocked wait on `cond` released at `rel`: decompose the elapsed
+    /// window into context-switch glitch time, engine queue wait, and
+    /// engine service using the completed-work window recorded for the
+    /// condition, then drain any residue to `Other`.
+    fn charge_wait_release(&mut self, app: AppId, cond: BlockOn, rel: SimTime) {
+        if !self.tracer.is_on() {
+            return;
+        }
+        let win = match cond {
+            BlockOn::Job(j) => self.attr_job.remove(&j),
+            BlockOn::StreamIdle(c, s) => self.attr_stream.remove(&(c, s)),
+            BlockOn::CtxIdle(c) => self.attr_ctx.remove(&c),
+            BlockOn::Reply(_) => None,
+        };
+        let Some(win) = win else {
+            // No recorded device work (e.g. a co-tenant's sync already
+            // consumed the shared window): the wait is unattributable.
+            self.charge_stage(app, Stage::Other, rel);
+            return;
+        };
+        let cursor = self.app(app).attr_cursor;
+        let s = win.first_start.clamp(cursor, rel);
+        let f = win.last_finish.clamp(s, rel);
+        // Driver context-switch time between the cursor and the work's
+        // start is a switching glitch, not engine queueing.
+        let sw = match self.app(app).gid {
+            Some(gid) if s > cursor => self.devices[gid.index()]
+                .telemetry
+                .switching
+                .busy_ns(cursor, s),
+            _ => 0,
+        };
+        let (wait_stage, svc_stage) = win.stages();
+        self.charge_stage(app, Stage::CtxSwitch, (cursor + sw).min(s));
+        self.charge_stage(app, wait_stage, s);
+        self.charge_stage(app, svc_stage, f);
+        self.charge_stage(app, Stage::Other, rel);
+    }
+
+    /// Push the current state of every layer into the metrics registry
+    /// and capture one snapshot stamped `now`.
+    fn sample_metrics(&mut self, now: SimTime) {
+        let Some(mut m) = self.metrics.take() else {
+            return;
+        };
+        m.set("sim_virtual_time_ns", &[], now as f64);
+        m.set("sim_events_total", &[], self.queue.popped() as f64);
+        m.set("sim_queue_peak_depth", &[], self.queue.peak_len() as f64);
+        m.set("requests_completed_total", &[], self.finished as f64);
+        m.set(
+            "requests_failed_total",
+            &[],
+            self.stats.failed_requests as f64,
+        );
+        m.set("requests_shed_total", &[], self.stats.shed_requests as f64);
+        for (gid, d) in self.devices.iter().enumerate() {
+            let g = gid.to_string();
+            let l: &[(&str, &str)] = &[("gid", g.as_str())];
+            let t = &d.telemetry;
+            m.set("gpu_compute_occupancy", l, t.compute.level_at(now));
+            m.set("gpu_copy_busy", l, t.copy.level_at(now));
+            m.set("gpu_context_switches_total", l, t.context_switches as f64);
+            m.set("gpu_kernels_completed_total", l, t.kernels_completed as f64);
+            m.set("gpu_copies_completed_total", l, t.copies_completed as f64);
+        }
+        m.set("cuda_pending_jobs", &[], self.pending.total() as f64);
+        m.set(
+            "cuda_contexts_active",
+            &[],
+            self.pending.contexts_active() as f64,
+        );
+        m.set(
+            "cuda_streams_active",
+            &[],
+            self.pending.streams_active() as f64,
+        );
+        m.set("rpc_sent_total", &[], self.rpc.sent as f64);
+        m.set("rpc_delivered_total", &[], self.rpc.delivered as f64);
+        m.set("rpc_replies_total", &[], self.rpc.replies as f64);
+        m.set("rpc_dropped_total", &[], self.rpc.dropped as f64);
+        m.set("rpc_bytes_total", &[], self.rpc.bytes as f64);
+        m.set("rpc_in_flight", &[], self.rpc.in_flight() as f64);
+        m.snapshot(now);
+        self.metrics = Some(m);
     }
 
     /// Schedule a reply stamped with the app's current incarnation.
@@ -748,6 +1077,7 @@ impl World {
             inflight: None,
             disrupted: false,
             degraded: false,
+            attr_cursor: r.arrival,
         });
         if self.tracer.is_on() {
             let slot = self.requests[idx].slot;
@@ -758,6 +1088,8 @@ impl World {
                 vec![("request", idx.to_string())],
             );
         }
+        // Admission + server-queue wait: arrival up to dispatch.
+        self.charge_stage(app, Stage::AdmissionWait, now);
         self.run_host(app, now);
     }
 
@@ -774,6 +1106,7 @@ impl World {
                     let until = now + d.as_ns().max(1);
                     self.app_mut(app).host.start_cpu(until);
                     self.schedule_wake(app, until);
+                    self.charge_stage(app, Stage::HostCpu, until);
                     break;
                 }
                 HostOp::Cuda(call) => {
@@ -805,6 +1138,7 @@ impl World {
         // The wake event advances past the op.
         self.app_mut(app).host.start_cpu(until);
         self.schedule_wake(app, until);
+        self.charge_stage(app, Stage::HostCpu, until);
         false
     }
 
@@ -838,6 +1172,12 @@ impl World {
             } else {
                 o.completed += 1;
             }
+            if let Some(m) = self.metrics.as_mut() {
+                let t = tenant.0.to_string();
+                m.observe("request_latency_ns", &[("tenant", t.as_str())], turnaround);
+            }
+            // Residual tail (final host step, reply unpacking): Other.
+            self.charge_stage(app, Stage::Other, now);
             if self.tracer.is_on() {
                 self.tracer.span_end(
                     self.trk_slots[slot],
@@ -993,6 +1333,8 @@ impl World {
         let policy = self.cfg.retry;
         if blocks && policy.is_enabled() && self.link_partition_heal(node, dev_node, now) > now {
             // The packet is dropped on the floor; only the deadline tells.
+            self.rpc.sent += 1;
+            self.rpc.dropped += 1;
             let attempt = self.app(app).attempt;
             if self.tracer.is_on() {
                 self.tracer.instant(
@@ -1033,6 +1375,13 @@ impl World {
         }
         self.app_mut(app).last_deliver = at;
         self.queue.schedule(at, Event::Deliver(app, packed, inc));
+        self.rpc.sent += 1;
+        self.rpc.bytes += control + payload;
+        if blocks {
+            // The host is parked on the reply: its clock is RPC time
+            // until the call lands at the backend.
+            self.charge_stage(app, Stage::Rpc, at);
+        }
     }
 
     /// A blocking RPC's deadline expired with no reply: retry with
@@ -1095,7 +1444,7 @@ impl World {
             let a = self.app(app);
             (a.class, a.node, a.tenant, a.weight)
         };
-        let gid = self.select_gid(class, node, now);
+        let gid = self.select_gid(app, class, node, now);
         // Bind the app's backend worker.
         let pid = self.cfg.design.backend_process(app, gid.index());
         let (ctx, fresh) = self.registry.get_or_create(pid, gid.index());
@@ -1144,12 +1493,13 @@ impl World {
         self.busy_then_advance(app, cost, now)
     }
 
-    fn select_gid(&mut self, class: WorkloadClass, node: NodeId, now: SimTime) -> Gid {
+    fn select_gid(&mut self, app: AppId, class: WorkloadClass, node: NodeId, now: SimTime) -> Gid {
+        let request = app.index() as u64;
         match self.scope {
             LbScope::Global => {
                 let gid = self.mappers[0].select_device(class, node);
                 self.mappers[0].bind(gid, class);
-                self.mappers[0].note_placement(now, class, node, gid);
+                self.mappers[0].note_placement(now, request, class, node, gid);
                 gid
             }
             LbScope::Local => {
@@ -1160,7 +1510,7 @@ impl World {
                 let gid = Gid((base + local.index()) as u32);
                 // Report the pool-wide GID so trace consumers need not know
                 // about per-node renumbering.
-                m.note_placement(now, class, node, gid);
+                m.note_placement(now, request, class, node, gid);
                 gid
             }
         }
@@ -1194,6 +1544,7 @@ impl World {
 
     /// A call arrives at the backend daemon.
     fn on_deliver(&mut self, app: AppId, packed: PackedCall, now: SimTime) {
+        self.rpc.delivered += 1;
         let (gid, _) = self.binding(app);
         if self.cfg.design == BackendDesign::SingleMaster {
             self.master_q[gid.index()].push_back((app, packed));
@@ -1271,19 +1622,23 @@ impl World {
                 if self.devices[gid.index()].alloc(ctx, bytes).is_err() {
                     self.stats.oom_events += 1;
                 }
-                self.schedule_reply(app, now + reply_ns + self.costs.malloc_ns);
+                let at = now + reply_ns + self.costs.malloc_ns;
+                self.schedule_reply(app, at);
+                self.charge_stage(app, Stage::Rpc, at);
                 None
             }
             CudaCall::Free { bytes } => {
                 self.devices[gid.index()].free(ctx, bytes);
                 if blocks {
                     self.schedule_reply(app, now + reply_ns);
+                    self.charge_stage(app, Stage::Rpc, now + reply_ns);
                 }
                 None
             }
             CudaCall::ThreadExit => {
                 self.backend_thread_exit(app, gid, ctx, now);
                 self.schedule_reply(app, now + reply_ns);
+                self.charge_stage(app, Stage::Rpc, now + reply_ns);
                 None
             }
             CudaCall::SetDevice { .. } => {
@@ -1339,6 +1694,7 @@ impl World {
     /// holds.
     fn block_or_advance(&mut self, app: AppId, cond: BlockOn, reply_ns: u64, now: SimTime) -> bool {
         if self.pending.is_satisfied(cond) {
+            self.charge_wait_release(app, cond, now);
             self.app_mut(app).host.advance(now);
             self.after_host_step(app, now);
             return true;
@@ -1356,6 +1712,8 @@ impl World {
     /// Backend: reply when `cond` holds (immediately if it already does).
     fn wait_or_reply(&mut self, app: AppId, cond: BlockOn, reply_ns: u64, now: SimTime) {
         if self.pending.is_satisfied(cond) {
+            self.charge_wait_release(app, cond, now);
+            self.charge_stage(app, Stage::Rpc, now + reply_ns);
             self.schedule_reply(app, now + reply_ns);
         } else {
             self.waiters.push(Waiter {
@@ -1382,6 +1740,19 @@ impl World {
         let any = !done.is_empty();
         for c in &done {
             self.pending.complete(c.job.id);
+            if self.tracer.is_on() {
+                // Record the finished work for wait decomposition: the
+                // window keyed by whatever condition a host might block on.
+                self.attr_job.insert(c.job.id, EngineWindow::from_job(c));
+                self.attr_stream
+                    .entry((c.job.ctx, c.job.stream))
+                    .and_modify(|w| w.merge(c))
+                    .or_insert_with(|| EngineWindow::from_job(c));
+                self.attr_ctx
+                    .entry(c.job.ctx)
+                    .and_modify(|w| w.merge(c))
+                    .or_insert_with(|| EngineWindow::from_job(c));
+            }
             let app = AppId(c.job.tag as u32);
             let service = c.service_ns();
             // Fairness horizon accounting uses true engine service.
@@ -1782,6 +2153,9 @@ impl World {
         let a = self.app_mut(app);
         a.last_deliver = now;
         a.host.restart(now);
+        // The failover window (detection + respawn) is unattributable
+        // recovery time.
+        self.charge_stage(app, Stage::Other, now);
         self.run_host(app, now);
     }
 
@@ -1798,12 +2172,14 @@ impl World {
         // Deterministic processing order.
         ready.sort_by_key(|w| w.app);
         for w in ready {
+            self.charge_wait_release(w.app, w.cond, now);
             if w.direct {
                 let a = self.app_mut(w.app);
                 a.host.wake_and_advance(now);
                 self.after_host_step(w.app, now);
                 self.run_host(w.app, now);
             } else {
+                self.charge_stage(w.app, Stage::Rpc, now + w.reply_ns);
                 self.schedule_reply(w.app, now + w.reply_ns);
             }
         }

@@ -1,11 +1,14 @@
 //! Run-to-run and thread-count determinism gates.
 
+use sim_core::SimDuration;
 use strings_core::config::StackConfig;
 use strings_core::device_sched::GpuPolicy;
 use strings_core::mapper::LbPolicy;
 use strings_harness::experiments::{common::pair_streams, fig12, ExpScale};
 use strings_harness::scenario::Scenario;
+use strings_harness::serve::ServeSpec;
 use strings_harness::sweep;
+use strings_workloads::arrivals::ArrivalProcess;
 use strings_workloads::pairs::workload_pairs;
 
 /// The fig12 headline pair (I) at full figure scale.
@@ -26,6 +29,72 @@ fn fig12_scale_rerun_renders_byte_identically() {
     let a = format!("{:?}", s.run());
     let b = format!("{:?}", s.run());
     assert_eq!(a, b, "two runs of the same scenario diverged");
+}
+
+/// An attributed + metered serve spec for the observability gates.
+fn observed_serve_spec() -> ServeSpec {
+    let mut s = ServeSpec::supernode(
+        StackConfig::strings(LbPolicy::GWtMin),
+        ArrivalProcess::Poisson { rate_rps: 4.0 },
+        SimDuration::from_secs(8),
+        7,
+    );
+    s.admission.queue_depth = 8;
+    s.attribution = true;
+    s.metrics_every = Some(SimDuration::from_ms(500));
+    s
+}
+
+/// Render everything the observability layer exports for one run.
+fn observability_surfaces(spec: &ServeSpec, seed: u64) -> String {
+    let stats = spec.run_with_seed(seed);
+    let metrics = stats.metrics.as_ref().expect("metrics enabled");
+    format!(
+        "{}\n{}\n{}",
+        spec.attribution(&stats).render(10),
+        metrics.render_openmetrics(),
+        metrics.jsonl()
+    )
+}
+
+#[test]
+fn attribution_and_metrics_rerun_byte_identically() {
+    let spec = observed_serve_spec();
+    let a = observability_surfaces(&spec, 7);
+    let b = observability_surfaces(&spec, 7);
+    assert_eq!(a, b, "attribution/metrics output diverged across reruns");
+}
+
+#[test]
+fn attribution_and_metrics_are_thread_count_invisible() {
+    let spec = observed_serve_spec();
+    let seeds = [101u64, 202, 303, 404, 505, 606];
+    let mut renders = Vec::new();
+    for threads in [1usize, 4, 8] {
+        sweep::set_threads(threads);
+        let runs = sweep::run_serve_seeds(&spec, &seeds);
+        let body: String = seeds
+            .iter()
+            .zip(&runs)
+            .map(|(_, stats)| {
+                let metrics = stats.metrics.as_ref().expect("metrics enabled");
+                format!(
+                    "{}\n{}",
+                    spec.attribution(stats).render(10),
+                    metrics.render_openmetrics()
+                )
+            })
+            .collect();
+        renders.push((threads, body));
+    }
+    sweep::set_threads(0);
+    let (_, first) = &renders[0];
+    for (threads, body) in &renders[1..] {
+        assert_eq!(
+            body, first,
+            "observability output under {threads} sweep threads differs from 1 thread"
+        );
+    }
 }
 
 #[test]

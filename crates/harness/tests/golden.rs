@@ -19,8 +19,8 @@ use strings_core::config::StackConfig;
 use strings_core::device_sched::GpuPolicy;
 use strings_core::mapper::LbPolicy;
 use strings_harness::experiments::{
-    ablation, common::pair_streams, cpu_fallback, faults, fig01, fig02, fig09, fig10, fig11, fig12,
-    fig13, fig14, fig15, serve, table1, vmem, ExpScale,
+    ablation, attribution, common::pair_streams, cpu_fallback, faults, fig01, fig02, fig09, fig10,
+    fig11, fig12, fig13, fig14, fig15, serve, table1, vmem, ExpScale,
 };
 use strings_harness::scenario::{Scenario, StreamSpec};
 use strings_harness::serve::ServeSpec;
@@ -125,6 +125,27 @@ fn render_all() -> String {
     );
     spec.admission.queue_depth = 4;
     section("serve_slo_report", spec.slo(&spec.run()).render());
+
+    // Observability layer: the per-stack stage-share comparison, one
+    // fixed spec's full attribution report (exact-additive breakdowns,
+    // per-tenant split, top-K slowest) and its OpenMetrics exposition.
+    section(
+        "attribution",
+        attribution::table(&attribution::run(&scale)).render(),
+    );
+    let mut obs = spec.clone();
+    obs.attribution = true;
+    obs.metrics_every = Some(SimDuration::from_secs(1));
+    let stats = obs.run();
+    section("attribution_report", obs.attribution(&stats).render(5));
+    section(
+        "metrics_openmetrics",
+        stats
+            .metrics
+            .as_ref()
+            .expect("metrics enabled")
+            .render_openmetrics(),
+    );
     out
 }
 

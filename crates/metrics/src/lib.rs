@@ -8,6 +8,13 @@
 //!   normalized service,
 //! * [`disruption`] — availability accounting for fault-injection runs
 //!   (per-tenant lost/retried/degraded requests and downtime),
+//! * [`attribution`] — request-level latency attribution: exact additive
+//!   per-stage breakdowns ([`attribution::AttributionReport`])
+//!   reconstructed from a recorded trace,
+//! * [`registry`] — the unified metrics registry
+//!   ([`registry::MetricsRegistry`]): virtual-time-sampled counters,
+//!   gauges and fixed-bucket histograms with deterministic
+//!   Prometheus/OpenMetrics and JSONL exports,
 //! * [`report`] — plain-text table rendering for the figure-regeneration
 //!   binaries (one row/series per paper figure),
 //! * [`slo`] — serving-mode SLO summary ([`slo::SloReport`]): latency
@@ -19,15 +26,19 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod attribution;
 pub mod disruption;
 pub mod export;
 pub mod fairness;
+pub mod registry;
 pub mod report;
 pub mod slo;
 pub mod speedup;
 pub mod trace_export;
 
+pub use attribution::{AttributionReport, RequestAttribution};
 pub use disruption::{DisruptionReport, TenantDisruption};
 pub use fairness::jain_fairness;
+pub use registry::{MetricKind, MetricsRegistry};
 pub use slo::{SloRecord, SloReport};
 pub use speedup::{weighted_speedup, CompletionSet};

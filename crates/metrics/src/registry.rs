@@ -1,0 +1,326 @@
+//! Unified metrics registry with Prometheus-style export.
+//!
+//! A [`MetricsRegistry`] is the single sink every layer reports into:
+//! sim-core (event-loop counters), gpu-sim (per-device utilization and
+//! switch counts), admission (shed/queue gauges) and remoting (RPC
+//! counters). The executive *sets* current values — the registry never
+//! reads the simulation — and calls [`MetricsRegistry::snapshot`] on a
+//! virtual-time cadence, producing two deterministic exports:
+//!
+//! * [`MetricsRegistry::render_openmetrics`] — Prometheus/OpenMetrics
+//!   text exposition of the latest values (`# HELP`/`# TYPE` headers,
+//!   `_bucket`/`_sum`/`_count` histogram series, `# EOF` terminator),
+//! * [`MetricsRegistry::jsonl`] — one JSON object per series per
+//!   snapshot, a JSONL time series over virtual time.
+//!
+//! Determinism: families and series render in `BTreeMap` order, values
+//! format through Rust's shortest-round-trip float `Display`, and all
+//! timestamps are virtual nanoseconds — so output is byte-identical
+//! across reruns and host thread counts.
+
+use sim_core::SimTime;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// What kind of metric a family is (drives the `# TYPE` line).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically non-decreasing total.
+    Counter,
+    /// Point-in-time level.
+    Gauge,
+    /// Fixed-bucket cumulative histogram.
+    Histogram,
+}
+
+impl MetricKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// Fixed latency buckets (ns): 1ms … 5s. Fixed so histogram output is
+/// comparable across runs and stacks — never derived from the data.
+pub const LATENCY_BUCKETS_NS: [u64; 12] = [
+    1_000_000,
+    2_000_000,
+    5_000_000,
+    10_000_000,
+    20_000_000,
+    50_000_000,
+    100_000_000,
+    200_000_000,
+    500_000_000,
+    1_000_000_000,
+    2_000_000_000,
+    5_000_000_000,
+];
+
+#[derive(Debug, Clone, PartialEq)]
+struct Family {
+    kind: MetricKind,
+    help: &'static str,
+}
+
+#[derive(Debug, Clone, Default, PartialEq)]
+struct Hist {
+    /// Cumulative counts per `LATENCY_BUCKETS_NS` bucket (le semantics).
+    counts: [u64; LATENCY_BUCKETS_NS.len()],
+    sum: u64,
+    count: u64,
+}
+
+/// Canonical label rendering: `{k1="v1",k2="v2"}` (insertion order of the
+/// call site, which every call site keeps fixed), empty string when
+/// unlabelled.
+fn label_str(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    format!("{{{}}}", body.join(","))
+}
+
+/// The unified registry. See the module docs for the contract.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    families: BTreeMap<&'static str, Family>,
+    /// (family, rendered-labels) → current value.
+    values: BTreeMap<(String, String), f64>,
+    histograms: BTreeMap<(String, String), Hist>,
+    /// Pre-rendered JSONL snapshot lines, in snapshot order.
+    snapshots: Vec<String>,
+    /// Virtual times at which snapshots were taken.
+    sample_times: Vec<SimTime>,
+}
+
+impl MetricsRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare a metric family. Idempotent; the first registration's
+    /// kind/help win.
+    pub fn register(&mut self, name: &'static str, kind: MetricKind, help: &'static str) {
+        self.families.entry(name).or_insert(Family { kind, help });
+    }
+
+    /// Set the current value of a counter or gauge series. Counters are
+    /// set to their absolute running total (the executive owns the
+    /// monotonicity), gauges to the current level.
+    pub fn set(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.values
+            .insert((name.to_string(), label_str(labels)), value);
+    }
+
+    /// Record one observation into a fixed-bucket latency histogram.
+    pub fn observe(&mut self, name: &str, labels: &[(&str, &str)], value_ns: u64) {
+        let h = self
+            .histograms
+            .entry((name.to_string(), label_str(labels)))
+            .or_default();
+        for (i, &le) in LATENCY_BUCKETS_NS.iter().enumerate() {
+            if value_ns <= le {
+                h.counts[i] += 1;
+            }
+        }
+        h.sum += value_ns;
+        h.count += 1;
+    }
+
+    /// Number of live series (counter/gauge plus histogram).
+    pub fn series_count(&self) -> usize {
+        self.values.len() + self.histograms.len()
+    }
+
+    /// Number of snapshots taken so far.
+    pub fn snapshot_count(&self) -> usize {
+        self.sample_times.len()
+    }
+
+    /// Capture the current state as one JSONL snapshot stamped `now`
+    /// (virtual time, ns).
+    pub fn snapshot(&mut self, now: SimTime) {
+        self.sample_times.push(now);
+        for ((name, labels), value) in &self.values {
+            self.snapshots.push(format!(
+                "{{\"t\":{now},\"name\":\"{name}\",\"labels\":\"{}\",\"value\":{}}}",
+                labels.replace('"', "'"),
+                fmt_value(*value),
+            ));
+        }
+        for ((name, labels), h) in &self.histograms {
+            self.snapshots.push(format!(
+                "{{\"t\":{now},\"name\":\"{name}\",\"labels\":\"{}\",\"count\":{},\"sum\":{}}}",
+                labels.replace('"', "'"),
+                h.count,
+                h.sum,
+            ));
+        }
+    }
+
+    /// The JSONL time-series export: every snapshot line, newline
+    /// separated, trailing newline included (empty string when no
+    /// snapshot was taken).
+    pub fn jsonl(&self) -> String {
+        if self.snapshots.is_empty() {
+            return String::new();
+        }
+        let mut out = self.snapshots.join("\n");
+        out.push('\n');
+        out
+    }
+
+    /// OpenMetrics text exposition of the latest values.
+    pub fn render_openmetrics(&self) -> String {
+        let mut out = String::new();
+        for (name, fam) in &self.families {
+            writeln!(out, "# HELP {name} {}", fam.help).unwrap();
+            writeln!(out, "# TYPE {name} {}", fam.kind.as_str()).unwrap();
+            if fam.kind == MetricKind::Histogram {
+                for ((n, labels), h) in &self.histograms {
+                    if n != name {
+                        continue;
+                    }
+                    let mut cum = 0u64;
+                    for (i, &le) in LATENCY_BUCKETS_NS.iter().enumerate() {
+                        cum = h.counts[i];
+                        writeln!(
+                            out,
+                            "{name}_bucket{} {cum}",
+                            merge_label(labels, "le", &le.to_string())
+                        )
+                        .unwrap();
+                    }
+                    let _ = cum;
+                    writeln!(
+                        out,
+                        "{name}_bucket{} {}",
+                        merge_label(labels, "le", "+Inf"),
+                        h.count
+                    )
+                    .unwrap();
+                    writeln!(out, "{name}_sum{labels} {}", h.sum).unwrap();
+                    writeln!(out, "{name}_count{labels} {}", h.count).unwrap();
+                }
+            } else {
+                for ((n, labels), value) in &self.values {
+                    if n != name {
+                        continue;
+                    }
+                    writeln!(out, "{name}{labels} {}", fmt_value(*value)).unwrap();
+                }
+            }
+        }
+        out.push_str("# EOF\n");
+        out
+    }
+}
+
+/// Append one label to an already-rendered label set.
+fn merge_label(labels: &str, key: &str, value: &str) -> String {
+    if labels.is_empty() {
+        format!("{{{key}=\"{value}\"}}")
+    } else {
+        format!("{},{key}=\"{value}\"}}", &labels[..labels.len() - 1])
+    }
+}
+
+/// Deterministic value formatting: integral values print without a
+/// decimal point, everything else through shortest-round-trip Display.
+fn fmt_value(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 9e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_registry() -> MetricsRegistry {
+        let mut r = MetricsRegistry::new();
+        r.register("sim_events_total", MetricKind::Counter, "Events dispatched");
+        r.register("gpu_occupancy", MetricKind::Gauge, "Compute occupancy");
+        r.register(
+            "request_latency_ns",
+            MetricKind::Histogram,
+            "End-to-end request latency",
+        );
+        r.set("sim_events_total", &[], 1234.0);
+        r.set("gpu_occupancy", &[("gid", "0")], 0.75);
+        r.set("gpu_occupancy", &[("gid", "1")], 0.5);
+        r.observe("request_latency_ns", &[("tenant", "0")], 3_000_000);
+        r.observe("request_latency_ns", &[("tenant", "0")], 40_000_000);
+        r
+    }
+
+    #[test]
+    fn openmetrics_layout_and_order() {
+        let r = sample_registry();
+        let text = r.render_openmetrics();
+        // Families render in name order with HELP/TYPE headers.
+        let gpu = text.find("# TYPE gpu_occupancy gauge").unwrap();
+        let lat = text.find("# TYPE request_latency_ns histogram").unwrap();
+        let sim = text.find("# TYPE sim_events_total counter").unwrap();
+        assert!(gpu < lat && lat < sim);
+        assert!(text.contains("gpu_occupancy{gid=\"0\"} 0.75"));
+        assert!(text.contains("sim_events_total 1234"));
+        // Histogram: cumulative buckets, merged le label, sum/count.
+        assert!(text.contains("request_latency_ns_bucket{tenant=\"0\",le=\"5000000\"} 1"));
+        assert!(text.contains("request_latency_ns_bucket{tenant=\"0\",le=\"+Inf\"} 2"));
+        assert!(text.contains("request_latency_ns_sum{tenant=\"0\"} 43000000"));
+        assert!(text.contains("request_latency_ns_count{tenant=\"0\"} 2"));
+        assert!(text.ends_with("# EOF\n"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let mut r = MetricsRegistry::new();
+        r.register("h", MetricKind::Histogram, "x");
+        r.observe("h", &[], 1_000_000); // le 1ms and everything above
+        r.observe("h", &[], 1_500_000); // le 2ms up
+        let text = r.render_openmetrics();
+        assert!(text.contains("h_bucket{le=\"1000000\"} 1"));
+        assert!(text.contains("h_bucket{le=\"2000000\"} 2"));
+        assert!(text.contains("h_bucket{le=\"5000000000\"} 2"));
+    }
+
+    #[test]
+    fn jsonl_snapshots_accumulate() {
+        let mut r = sample_registry();
+        assert_eq!(r.jsonl(), "");
+        r.snapshot(1_000_000_000);
+        r.set("sim_events_total", &[], 2000.0);
+        r.snapshot(2_000_000_000);
+        assert_eq!(r.snapshot_count(), 2);
+        let body = r.jsonl();
+        let lines: Vec<&str> = body.lines().map(str::trim).collect();
+        // 3 value series + 1 histogram series per snapshot.
+        assert_eq!(lines.len(), 8);
+        assert!(lines[0].starts_with("{\"t\":1000000000,"));
+        assert!(lines.iter().any(|l| l.contains("\"value\":2000")));
+        assert!(lines.iter().all(|l| l.ends_with('}')));
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let a = sample_registry().render_openmetrics();
+        let b = sample_registry().render_openmetrics();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fmt_value_shapes() {
+        assert_eq!(fmt_value(3.0), "3");
+        assert_eq!(fmt_value(0.25), "0.25");
+        assert_eq!(fmt_value(-2.0), "-2");
+    }
+}

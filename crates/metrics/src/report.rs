@@ -84,14 +84,28 @@ pub fn fmt_pct(x: f64) -> String {
 
 /// Render a one-line ASCII sparkline of a series (used for utilization
 /// timelines in the Figure 2 binary).
+///
+/// Degenerate inputs are handled explicitly rather than by accident of
+/// float casts: non-finite samples (NaN, ±inf) render as a blank cell
+/// and are excluded from the min/max normalization; a flat or
+/// single-value series renders at the baseline glyph; an empty series
+/// renders as the empty string.
 pub fn sparkline(values: &[f64]) -> String {
     const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
-    let max = values.iter().cloned().fold(f64::MIN, f64::max);
-    let min = values.iter().cloned().fold(f64::MAX, f64::min);
-    let span = (max - min).max(1e-12);
+    let finite = values.iter().copied().filter(|v| v.is_finite());
+    let min = finite.clone().fold(f64::INFINITY, f64::min);
+    let max = finite.fold(f64::NEG_INFINITY, f64::max);
+    let span = max - min;
     values
         .iter()
         .map(|v| {
+            if !v.is_finite() {
+                return ' ';
+            }
+            if span <= 0.0 {
+                // Flat (or single-sample) series: everything is the baseline.
+                return GLYPHS[0];
+            }
             let idx = (((v - min) / span) * 7.0).round() as usize;
             GLYPHS[idx.min(7)]
         })
@@ -145,5 +159,29 @@ mod tests {
     fn sparkline_constant_series() {
         let s = sparkline(&[0.7, 0.7, 0.7]);
         assert_eq!(s.chars().count(), 3);
+        // A flat series sits on the baseline, not an arbitrary glyph.
+        assert_eq!(s, "▁▁▁");
+    }
+
+    #[test]
+    fn sparkline_single_value_and_empty() {
+        assert_eq!(sparkline(&[5.0]), "▁");
+        assert_eq!(sparkline(&[]), "");
+    }
+
+    #[test]
+    fn sparkline_non_finite_samples_render_blank() {
+        let s = sparkline(&[0.0, f64::NAN, 1.0, f64::INFINITY]);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars.len(), 4);
+        assert_eq!(chars[0], '▁');
+        assert_eq!(chars[1], ' ');
+        assert_eq!(chars[2], '█'); // normalized over finite samples only
+        assert_eq!(chars[3], ' ');
+    }
+
+    #[test]
+    fn sparkline_all_nan() {
+        assert_eq!(sparkline(&[f64::NAN, f64::NAN]), "  ");
     }
 }

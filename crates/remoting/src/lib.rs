@@ -17,7 +17,9 @@
 //! * [`error`] — the unified [`Error`]/[`Result`] every fallible remoting
 //!   path reports through,
 //! * [`retry`] — per-call deadlines and bounded exponential backoff
-//!   ([`RetryPolicy`]) used by the frontend when a backend stops answering.
+//!   ([`RetryPolicy`]) used by the frontend when a backend stops answering,
+//! * [`telemetry`] — monotonic [`RpcCounters`] over the RPC path, sampled
+//!   by the unified metrics registry.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -28,6 +30,7 @@ pub mod error;
 pub mod gpool;
 pub mod retry;
 pub mod rpc;
+pub mod telemetry;
 
 pub use backend::BackendDesign;
 pub use channel::{ChannelKind, ChannelSpec};
@@ -35,6 +38,7 @@ pub use error::{Error, Result};
 pub use gpool::{GMap, Gid, NodeId, NodeSpec};
 pub use retry::RetryPolicy;
 pub use rpc::{RpcCostModel, RpcPacket};
+pub use telemetry::RpcCounters;
 
 /// One-stop import for downstream crates:
 /// `use remoting::prelude::*;`.
@@ -45,4 +49,5 @@ pub mod prelude {
     pub use crate::gpool::{GMap, GMapEntry, Gid, NodeId, NodeSpec};
     pub use crate::retry::RetryPolicy;
     pub use crate::rpc::{RpcCostModel, RpcPacket};
+    pub use crate::telemetry::RpcCounters;
 }

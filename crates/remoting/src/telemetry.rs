@@ -1,0 +1,58 @@
+//! RPC-layer counters.
+//!
+//! The remoting substrate is a black box to the rest of the stack — calls
+//! go in, replies come out — so the executive keeps one [`RpcCounters`]
+//! per run and bumps it at each observable RPC edge. The unified metrics
+//! registry samples these on its cadence, which is how "requests per
+//! second over the channel" and "bytes marshalled" become exportable
+//! time series rather than end-of-run totals.
+
+use serde::{Deserialize, Serialize};
+
+/// Monotonic counters over the frontend↔backend RPC path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RpcCounters {
+    /// Calls the frontend marshalled and handed to a channel.
+    pub sent: u64,
+    /// Calls delivered to a backend worker (sent minus in-flight minus
+    /// drops).
+    pub delivered: u64,
+    /// Replies the frontend received for blocking calls.
+    pub replies: u64,
+    /// Calls dropped by a partitioned / dead channel.
+    pub dropped: u64,
+    /// Frontend retries after a per-call deadline expired.
+    pub retries: u64,
+    /// Total payload bytes marshalled into packets (both directions are
+    /// charged at send time from the packet's wire size).
+    pub bytes: u64,
+}
+
+impl RpcCounters {
+    /// Fresh, all-zero counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Calls sent but neither delivered nor dropped yet.
+    pub fn in_flight(&self) -> u64 {
+        self.sent.saturating_sub(self.delivered + self.dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_flight_is_sent_minus_settled() {
+        let mut c = RpcCounters::new();
+        c.sent = 10;
+        c.delivered = 6;
+        c.dropped = 1;
+        assert_eq!(c.in_flight(), 3);
+        // Never underflows even if accounting is momentarily stale.
+        c.delivered = 12;
+        assert_eq!(c.in_flight(), 0);
+    }
+}

@@ -43,4 +43,4 @@ pub use rng::SimRng;
 pub use stats::OnlineStats;
 pub use telemetry::UtilizationTracker;
 pub use time::{SimDuration, SimTime};
-pub use trace::{Trace, TraceEvent, TraceSink, Tracer, TrackDesc, TrackId};
+pub use trace::{Stage, Trace, TraceEvent, TraceSink, Tracer, TrackDesc, TrackId};

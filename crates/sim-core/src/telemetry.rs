@@ -133,14 +133,27 @@ impl UtilizationTracker {
     /// Down-sample into `n` equal buckets over `[from, to)`; each bucket is
     /// the time-weighted mean level within it. Used to print utilization
     /// timelines (Figure 2).
+    ///
+    /// Boundaries are computed in integer arithmetic so adjacent buckets
+    /// tile `[from, to)` exactly: bucket `i` covers
+    /// `[from + span*i/n, from + span*(i+1)/n)`, and the last bucket ends
+    /// exactly at `to` — its mean is weighted by its *actual* width, never
+    /// by a rounded-up phantom nanosecond past the window.
     pub fn bucketize(&self, from: SimTime, to: SimTime, n: usize) -> Vec<f64> {
         assert!(n > 0 && to > from);
-        let width = (to - from) as f64 / n as f64;
+        let span = (to - from) as u128;
+        let edge = |i: usize| from + (span * i as u128 / n as u128) as u64;
         (0..n)
             .map(|i| {
-                let b0 = from + (i as f64 * width) as u64;
-                let b1 = from + (((i + 1) as f64) * width) as u64;
-                self.mean_over(b0, b1.max(b0 + 1))
+                let b0 = edge(i);
+                let b1 = edge(i + 1);
+                // A degenerate (zero-width) bucket only occurs when n > span;
+                // report the instantaneous level there.
+                if b1 > b0 {
+                    self.mean_over(b0, b1)
+                } else {
+                    self.level_at(b0)
+                }
             })
             .collect()
     }
@@ -324,6 +337,54 @@ mod tests {
         assert!((buckets[1] - 1.0).abs() < 1e-9);
         assert!((buckets[2] - 0.0).abs() < 1e-9);
         assert!((buckets[3] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bucketize_uneven_window_weights_last_bucket_by_actual_width() {
+        // Signal: 1.0 on [0, 7), 0.0 afterwards. 3 buckets over [0, 10):
+        // integer edges 0|3|6|10 — the last bucket is [6,10), 4 ns wide,
+        // of which [6,7) is busy: mean 0.25 exactly.
+        let mut t = UtilizationTracker::new();
+        t.record(0, 1.0);
+        t.record(7, 0.0);
+        let b = t.bucketize(0, 10, 3);
+        assert_eq!(b.len(), 3);
+        assert!((b[0] - 1.0).abs() < 1e-12);
+        assert!((b[1] - 1.0).abs() < 1e-12);
+        assert!((b[2] - 0.25).abs() < 1e-12, "got {}", b[2]);
+    }
+
+    #[test]
+    fn bucketize_tiles_window_exactly() {
+        // Weighted bucket means must reassemble the whole-window mean —
+        // only true when buckets tile [from, to) with no gap or overlap.
+        let t = square_wave();
+        let (from, to, n) = (1u64, 38, 7);
+        let edges: Vec<u64> = (0..=n)
+            .map(|i| from + ((to - from) as u128 * i as u128 / n as u128) as u64)
+            .collect();
+        let b = t.bucketize(from, to, n as usize);
+        let stitched: f64 = b
+            .iter()
+            .zip(edges.windows(2))
+            .map(|(m, w)| m * (w[1] - w[0]) as f64)
+            .sum::<f64>()
+            / (to - from) as f64;
+        assert!((stitched - t.mean_over(from, to)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bucketize_more_buckets_than_nanoseconds() {
+        let mut t = UtilizationTracker::new();
+        t.record(1, 1.0);
+        t.record(2, 0.0);
+        // 4 buckets over a 2 ns window: two are zero-width and must not
+        // panic or read outside the window.
+        let b = t.bucketize(0, 2, 4);
+        assert_eq!(b.len(), 4);
+        for v in &b {
+            assert!((0.0..=1.0).contains(v));
+        }
     }
 
     #[test]

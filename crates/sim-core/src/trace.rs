@@ -387,6 +387,98 @@ impl Trace {
     }
 }
 
+/// One stage of a request's critical path, as charged by the executive's
+/// latency attribution. Every nanosecond between a request's arrival and
+/// its completion is charged to exactly one stage, so per-request stage
+/// totals are additive by construction: they sum to the end-to-end
+/// latency (asserted by `strings-metrics::attribution` when it
+/// reconstructs breakdowns from a trace).
+///
+/// Stages are emitted as `"stage"` instants on the request's slot track
+/// with `request`, `stage` and `from` args: the instant's timestamp is
+/// the charge's exclusive end, `from` its inclusive start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Stage {
+    /// Waiting in the admission queue / arrival backlog before the host
+    /// thread dispatches.
+    AdmissionWait,
+    /// Host-side CPU work between accelerator calls (includes interposer
+    /// bind/handshake costs).
+    HostCpu,
+    /// Remoting round trip: marshalling, channel transfer, backend
+    /// dispatch and the reply leg.
+    Rpc,
+    /// Context-switch "glitch" time the device spent switching while this
+    /// request's work waited.
+    CtxSwitch,
+    /// Host-to-device transfer queued behind other copies.
+    H2dWait,
+    /// Host-to-device transfer occupying a copy lane.
+    H2dXfer,
+    /// Kernel queued behind other work on the compute engine.
+    ComputeWait,
+    /// Kernel resident on the compute engine.
+    ComputeService,
+    /// Device-to-host transfer queued behind other copies.
+    D2hWait,
+    /// Device-to-host transfer occupying a copy lane.
+    D2hXfer,
+    /// Residual not attributable to a specific resource (e.g. waiting for
+    /// a sibling stream's work the request did not itself submit).
+    Other,
+}
+
+impl Stage {
+    /// Every stage, in the canonical breakdown/report order.
+    pub const ALL: [Stage; 11] = [
+        Stage::AdmissionWait,
+        Stage::HostCpu,
+        Stage::Rpc,
+        Stage::CtxSwitch,
+        Stage::H2dWait,
+        Stage::H2dXfer,
+        Stage::ComputeWait,
+        Stage::ComputeService,
+        Stage::D2hWait,
+        Stage::D2hXfer,
+        Stage::Other,
+    ];
+
+    /// Stable snake_case name used in trace args, report columns and
+    /// OpenMetrics labels.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Stage::AdmissionWait => "admission_wait",
+            Stage::HostCpu => "host_cpu",
+            Stage::Rpc => "rpc",
+            Stage::CtxSwitch => "ctx_switch",
+            Stage::H2dWait => "h2d_wait",
+            Stage::H2dXfer => "h2d_xfer",
+            Stage::ComputeWait => "compute_wait",
+            Stage::ComputeService => "compute_service",
+            Stage::D2hWait => "d2h_wait",
+            Stage::D2hXfer => "d2h_xfer",
+            Stage::Other => "other",
+        }
+    }
+
+    /// Inverse of [`Stage::as_str`]; `None` for unknown names.
+    pub fn parse(s: &str) -> Option<Stage> {
+        Stage::ALL.into_iter().find(|st| st.as_str() == s)
+    }
+
+    /// Dense index into [`Stage::ALL`] (and per-request stage arrays).
+    pub fn index(self) -> usize {
+        Stage::ALL.iter().position(|&s| s == self).expect("in ALL")
+    }
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Merge a set of `[start, end)` intervals into disjoint sorted ones.
 fn merge_intervals(mut iv: Vec<(SimTime, SimTime)>) -> Vec<(SimTime, SimTime)> {
     iv.retain(|(s, e)| e > s);
@@ -545,6 +637,16 @@ mod tests {
         // Empty track set: the whole window is one gap.
         assert_eq!(combined_idle_gaps(&trace, &[], 0, 40, 40), 1);
         assert_eq!(combined_idle_gaps(&trace, &both, 5, 5, 1), 0);
+    }
+
+    #[test]
+    fn stage_names_round_trip_and_index_is_dense() {
+        for (i, s) in Stage::ALL.into_iter().enumerate() {
+            assert_eq!(s.index(), i);
+            assert_eq!(Stage::parse(s.as_str()), Some(s));
+            assert_eq!(s.to_string(), s.as_str());
+        }
+        assert_eq!(Stage::parse("bogus"), None);
     }
 
     #[test]

@@ -39,6 +39,29 @@ fn serve_main(args: &[String]) {
         print!("{}", report.render());
         println!();
     }
+    if run.attribution {
+        let report = run.spec.attribution(&runs[0]);
+        println!("latency attribution (seed {}):", run.seeds[0]);
+        print!("{}", report.render(5));
+        println!();
+    }
+    if let Some(path) = &run.metrics_out {
+        let registry = runs[0]
+            .metrics
+            .as_ref()
+            .expect("metrics run records a registry");
+        let body = if path.ends_with(".jsonl") {
+            registry.jsonl()
+        } else {
+            registry.render_openmetrics()
+        };
+        std::fs::write(path, body).expect("write metrics");
+        println!(
+            "metrics written to {path} ({} series, {} snapshots)",
+            registry.series_count(),
+            registry.snapshot_count()
+        );
+    }
     if let Some(path) = &run.trace {
         let trace = runs[0].trace.as_ref().expect("traced run records a trace");
         let body = if path.ends_with(".jsonl") {
