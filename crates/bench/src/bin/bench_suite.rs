@@ -1,11 +1,15 @@
 //! Reproducible DES hot-path performance suite.
 //!
-//! Runs a fixed set of figure-scale scenarios and emits `BENCH_hotpath.json`
-//! so every PR has a perf trajectory to compare against. All
-//! simulation-derived fields (events, stale counters, queue depth, makespan)
-//! are byte-stable across runs and machines — only the wall-clock fields
-//! (`wall_ns_best`, `events_per_sec`, `wall_ns_per_sim_s`) vary, which is
-//! why the regression gate tolerates 2x before failing.
+//! Runs a fixed set of figure-scale scenarios and maintains
+//! `BENCH_hotpath.json` as an **append-only trajectory**: each invocation
+//! appends one labelled entry (`--label`), never rewriting history, so the
+//! file accumulates a per-PR perf record. All simulation-derived fields
+//! (events, stale counters, queue depth, makespan) are byte-stable across
+//! runs and machines — only the wall-clock fields (`wall_ns_best`,
+//! `events_per_sec`, `wall_ns_per_sim_s`) vary, which is why the
+//! regression gate tolerates 2x before failing. `--check` gates against
+//! the **best historical** events/sec per scenario across every entry in
+//! the baseline file (v1 single-report files still parse).
 //!
 //! ```text
 //! cargo run --release -p strings-bench --bin bench_suite                # full (5 reps)
@@ -29,9 +33,14 @@ use strings_workloads::profile::AppKind;
 const USAGE: &str = "bench_suite options:
   --smoke          fewer repetitions (CI mode; same scenarios, same scale)
   --reps N         repetitions per scenario (default 5, smoke 2)
-  --out PATH       where to write the JSON report (default BENCH_hotpath.json)
+  --out PATH       trajectory JSON to append this run's entry to (default
+                   BENCH_hotpath.json; created when absent, v1 single-report
+                   files are upgraded in place)
+  --label S        label stamped on the appended trajectory entry
+                   (default \"dev\")
   --check PATH     compare against a baseline JSON; exit 1 on a >2x
-                   events/sec regression in any shared scenario
+                   events/sec regression vs the best historical entry for
+                   any shared scenario
   --attr-gate F    exit 1 if the attributed fig12 run costs more than F
                    times the plain fig12 run's best wall time (CI: 1.15)
   --threads N      pin sweep parallelism (bench scenarios are single runs,
@@ -110,6 +119,7 @@ struct Row {
     cancelled: u64,
     stale_pops: u64,
     peak_queue_depth: u64,
+    peak_live_queue_depth: u64,
     wall_ns_best: u64,
     events_per_sec: u64,
     wall_ns_per_sim_s: u64,
@@ -134,6 +144,7 @@ fn measure(name: &'static str, run: &dyn Fn() -> RunStats, reps: usize) -> Row {
         cancelled: warm.cancelled_wakeups,
         stale_pops: warm.stale_pops,
         peak_queue_depth: warm.peak_queue_depth,
+        peak_live_queue_depth: warm.peak_live_queue_depth,
         wall_ns_best: best,
         events_per_sec: (warm.events as f64 / (best as f64 / 1e9)) as u64,
         wall_ns_per_sim_s: (best as f64 / sim_s) as u64,
@@ -148,50 +159,119 @@ fn stale_ratio(r: &Row) -> f64 {
     }
 }
 
-/// Hand-rolled JSON with a fixed key order so reports diff cleanly.
-fn render(rows: &[Row]) -> String {
+/// Render one trajectory entry (hand-rolled JSON with a fixed key order so
+/// reports diff cleanly).
+fn render_entry(label: &str, rows: &[Row]) -> String {
     let mut out = String::new();
-    out.push_str("{\n  \"schema\": \"bench_hotpath/v1\",\n  \"scenarios\": [\n");
+    out.push_str("    {\n");
+    out.push_str(&format!("      \"label\": \"{label}\",\n"));
+    out.push_str("      \"scenarios\": [\n");
     for (i, r) in rows.iter().enumerate() {
-        out.push_str("    {\n");
-        out.push_str(&format!("      \"name\": \"{}\",\n", r.name));
-        out.push_str(&format!("      \"events\": {},\n", r.events));
-        out.push_str(&format!("      \"completed_requests\": {},\n", r.completed));
-        out.push_str(&format!("      \"makespan_ns\": {},\n", r.makespan_ns));
-        out.push_str(&format!("      \"cancelled_wakeups\": {},\n", r.cancelled));
-        out.push_str(&format!("      \"stale_pops\": {},\n", r.stale_pops));
+        out.push_str("        {\n");
+        out.push_str(&format!("          \"name\": \"{}\",\n", r.name));
+        out.push_str(&format!("          \"events\": {},\n", r.events));
         out.push_str(&format!(
-            "      \"stale_pop_ratio\": {:.6},\n",
+            "          \"completed_requests\": {},\n",
+            r.completed
+        ));
+        out.push_str(&format!("          \"makespan_ns\": {},\n", r.makespan_ns));
+        out.push_str(&format!(
+            "          \"cancelled_wakeups\": {},\n",
+            r.cancelled
+        ));
+        out.push_str(&format!("          \"stale_pops\": {},\n", r.stale_pops));
+        out.push_str(&format!(
+            "          \"stale_pop_ratio\": {:.6},\n",
             stale_ratio(r)
         ));
         out.push_str(&format!(
-            "      \"peak_queue_depth\": {},\n",
+            "          \"peak_queue_depth\": {},\n",
             r.peak_queue_depth
         ));
-        out.push_str(&format!("      \"wall_ns_best\": {},\n", r.wall_ns_best));
         out.push_str(&format!(
-            "      \"events_per_sec\": {},\n",
+            "          \"peak_live_queue_depth\": {},\n",
+            r.peak_live_queue_depth
+        ));
+        out.push_str(&format!(
+            "          \"wall_ns_best\": {},\n",
+            r.wall_ns_best
+        ));
+        out.push_str(&format!(
+            "          \"events_per_sec\": {},\n",
             r.events_per_sec
         ));
         out.push_str(&format!(
-            "      \"wall_ns_per_sim_s\": {}\n",
+            "          \"wall_ns_per_sim_s\": {}\n",
             r.wall_ns_per_sim_s
         ));
         out.push_str(if i + 1 == rows.len() {
-            "    }\n"
+            "        }\n"
         } else {
-            "    },\n"
+            "        },\n"
         });
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("      ]\n    }\n");
     out
 }
 
-/// Pull `"field": value` pairs per scenario out of a v1 report. Line-based
-/// on purpose: the format above is the only producer and the vendored tree
-/// has no JSON parser.
+/// Append this run's entry to the trajectory at `existing` (v2), upgrade a
+/// v1 single-report file into a one-entry trajectory first, or start a
+/// fresh trajectory when there is no baseline. Append-only: prior entries
+/// are carried over byte-for-byte.
+fn render_trajectory(existing: Option<&str>, label: &str, rows: &[Row]) -> String {
+    const HEADER: &str = "{\n  \"schema\": \"bench_hotpath/v2\",\n  \"trajectory\": [\n";
+    const FOOTER: &str = "  ]\n}\n";
+    let entry = render_entry(label, rows);
+    match existing {
+        Some(text) if text.contains("\"schema\": \"bench_hotpath/v2\"") => {
+            let body = text
+                .strip_suffix(FOOTER)
+                .unwrap_or_else(|| panic!("malformed v2 trajectory (missing closing `{FOOTER}`)"));
+            // Replace the previous entry's closing "    }\n" with "    },\n".
+            let body = match body.strip_suffix("    }\n") {
+                Some(b) => format!("{b}    }},\n"),
+                None => body.to_string(), // empty trajectory
+            };
+            format!("{body}{entry}{FOOTER}")
+        }
+        Some(text) if text.contains("\"schema\": \"bench_hotpath/v1\"") => {
+            // Upgrade: wrap the v1 scenario list as the first entry, then
+            // append ours. v1 rows are at 4-space indent, v2 wants 8; the
+            // line-based baseline parser is indentation-blind either way,
+            // so reindent purely for readability.
+            let mut first = String::from("    {\n      \"label\": \"v1-baseline\",\n");
+            first.push_str("      \"scenarios\": [\n");
+            let mut inside = false;
+            for line in text.lines() {
+                let t = line.trim_end();
+                if t == "  \"scenarios\": [" {
+                    inside = true;
+                    continue;
+                }
+                if !inside {
+                    continue;
+                }
+                if t == "  ]" {
+                    break;
+                }
+                first.push_str("    ");
+                first.push_str(t);
+                first.push('\n');
+            }
+            first.push_str("      ]\n    },\n");
+            format!("{HEADER}{first}{entry}{FOOTER}")
+        }
+        _ => format!("{HEADER}{entry}{FOOTER}"),
+    }
+}
+
+/// Pull the **best historical** `events_per_sec` per scenario out of a
+/// baseline file. Line-based on purpose: the formats above are the only
+/// producers and the vendored tree has no JSON parser; v1 single reports
+/// and v2 trajectories both reduce to repeated name/events_per_sec pairs,
+/// folded here by max.
 fn parse_baseline(text: &str) -> Vec<(String, u64)> {
-    let mut out = Vec::new();
+    let mut best = std::collections::BTreeMap::<String, u64>::new();
     let mut name: Option<String> = None;
     for line in text.lines() {
         let line = line.trim();
@@ -203,22 +283,16 @@ fn parse_baseline(text: &str) -> Vec<(String, u64)> {
                 .parse()
                 .unwrap_or_else(|_| panic!("bad events_per_sec line: {line}"));
             if let Some(n) = name.take() {
-                out.push((n, v));
+                let slot = best.entry(n).or_insert(0);
+                *slot = (*slot).max(v);
             }
         }
     }
-    out
+    best.into_iter().collect()
 }
 
-fn check(rows: &[Row], baseline_path: &str) -> bool {
-    let text = match std::fs::read_to_string(baseline_path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("cannot read baseline {baseline_path}: {e}");
-            return false;
-        }
-    };
-    let baseline = parse_baseline(&text);
+fn check(rows: &[Row], baseline_text: &str) -> bool {
+    let baseline = parse_baseline(baseline_text);
     let mut ok = true;
     for (name, base_eps) in &baseline {
         let Some(row) = rows.iter().find(|r| r.name == name.as_str()) else {
@@ -232,7 +306,7 @@ fn check(rows: &[Row], baseline_path: &str) -> bool {
             "ok"
         };
         println!(
-            "check: {name}: {} ev/s vs baseline {} ({factor:.2}x) {verdict}",
+            "check: {name}: {} ev/s vs best historical {} ({factor:.2}x) {verdict}",
             row.events_per_sec, base_eps
         );
         if factor < 0.5 {
@@ -242,23 +316,33 @@ fn check(rows: &[Row], baseline_path: &str) -> bool {
     ok
 }
 
-/// Compare the attributed fig12 row against the plain one and bound the
-/// profiler's wall-time overhead.
-fn check_attr_overhead(rows: &[Row], factor: f64) -> bool {
-    let best = |name: &str| {
-        rows.iter()
-            .find(|r| r.name == name)
-            .unwrap_or_else(|| panic!("{name} row missing"))
-            .wall_ns_best
-    };
-    let base = best("fig12_pair_I_supernode");
-    let attr = best("fig12_pair_I_attributed");
-    let got = attr as f64 / base.max(1) as f64;
+/// Bound the attribution profiler's wall-time overhead with a paired,
+/// interleaved measurement: alternating plain/attributed runs see the
+/// same machine-noise environment, so the best-of ratio stays stable even
+/// when background load shifts mid-suite (which regularly poisoned the
+/// older comparison of two rows measured minutes apart).
+fn check_attr_overhead(
+    plain: &dyn Fn() -> RunStats,
+    attr: &dyn Fn() -> RunStats,
+    reps: usize,
+    factor: f64,
+) -> bool {
+    let mut best_plain = u64::MAX;
+    let mut best_attr = u64::MAX;
+    for _ in 0..reps.max(3) {
+        let t0 = Instant::now();
+        let _ = plain();
+        best_plain = best_plain.min(t0.elapsed().as_nanos() as u64);
+        let t0 = Instant::now();
+        let _ = attr();
+        best_attr = best_attr.min(t0.elapsed().as_nanos() as u64);
+    }
+    let got = best_attr as f64 / best_plain.max(1) as f64;
     let ok = got <= factor;
     println!(
         "attr-gate: attributed {:.1} ms vs plain {:.1} ms ({got:.3}x, limit {factor:.2}x) {}",
-        attr as f64 / 1e6,
-        base as f64 / 1e6,
+        best_attr as f64 / 1e6,
+        best_plain as f64 / 1e6,
         if ok { "ok" } else { "FAIL" }
     );
     ok
@@ -269,6 +353,7 @@ fn main() {
     let mut reps: Option<usize> = None;
     let mut smoke = false;
     let mut out_path = "BENCH_hotpath.json".to_string();
+    let mut label = "dev".to_string();
     let mut check_path: Option<String> = None;
     let mut attr_gate: Option<f64> = None;
     let mut it = args.iter();
@@ -285,6 +370,7 @@ fn main() {
             "--smoke" => smoke = true,
             "--reps" => reps = Some(take().parse().expect("bad --reps")),
             "--out" => out_path = take(),
+            "--label" => label = take(),
             "--check" => check_path = Some(take()),
             "--attr-gate" => attr_gate = Some(take().parse().expect("bad --attr-gate")),
             "--threads" => {
@@ -302,9 +388,11 @@ fn main() {
     }
     let reps = reps.unwrap_or(if smoke { 2 } else { 5 });
 
+    let scens = scenarios();
     let mut rows = Vec::new();
-    for (name, run) in scenarios() {
+    for (name, run) in &scens {
         let row = measure(name, run.as_ref(), reps);
+        let name = *name;
         println!(
             "{name}: {} ev/s ({} events, stale ratio {:.4}, peak queue {}, best {:.1} ms)",
             row.events_per_sec,
@@ -316,16 +404,40 @@ fn main() {
         rows.push(row);
     }
 
-    let report = render(&rows);
+    // Read the baseline *before* writing: --out and --check may name the
+    // same trajectory file (the CI shape), and the gate must judge against
+    // history as committed, not including the entry we are appending.
+    let baseline_text = check_path.as_ref().map(|path| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {path}: {e}");
+            std::process::exit(1);
+        })
+    });
+
+    let existing = std::fs::read_to_string(&out_path).ok();
+    let report = render_trajectory(existing.as_deref(), &label, &rows);
     std::fs::write(&out_path, &report).expect("write report");
-    println!("wrote {out_path}");
+    println!("wrote {out_path} (entry \"{label}\")");
 
     let mut ok = true;
-    if let Some(path) = check_path {
-        ok &= check(&rows, &path);
+    if let Some(text) = baseline_text {
+        ok &= check(&rows, &text);
     }
     if let Some(factor) = attr_gate {
-        ok &= check_attr_overhead(&rows, factor);
+        let find = |n: &str| {
+            scens
+                .iter()
+                .find(|(name, _)| *name == n)
+                .unwrap_or_else(|| panic!("{n} scenario missing"))
+                .1
+                .as_ref()
+        };
+        ok &= check_attr_overhead(
+            find("fig12_pair_I_supernode"),
+            find("fig12_pair_I_attributed"),
+            reps,
+            factor,
+        );
     }
     if !ok {
         std::process::exit(1);

@@ -146,6 +146,34 @@ struct TokenBucket {
     last_refill: SimTime,
 }
 
+impl TokenBucket {
+    /// Credit tokens for the time elapsed since the last refill, clamp to
+    /// the burst cap, and advance the refill stamp — in that order, and
+    /// unconditionally.
+    ///
+    /// The ordering is load-bearing: the elapsed credit must be banked (and
+    /// `last_refill` advanced) *before* any admit/shed decision, so that a
+    /// shed request neither loses the credit it just banked nor re-earns
+    /// the same elapsed interval on the next arrival. Getting either wrong
+    /// skews the sustained admitted rate away from `rate_rps` under
+    /// overload — the long-run proptest below pins it to within 1%.
+    fn refill(&mut self, rl: RateLimit, now: SimTime) {
+        let elapsed_s = (now - self.last_refill) as f64 / NS_PER_SEC as f64;
+        self.tokens = (self.tokens + elapsed_s * rl.rate_rps).min(rl.burst);
+        self.last_refill = now;
+    }
+
+    /// True when a whole token is available for one admission.
+    fn has_token(&self) -> bool {
+        self.tokens >= 1.0
+    }
+
+    /// Consume one token (the caller checked [`TokenBucket::has_token`]).
+    fn take(&mut self) {
+        self.tokens -= 1.0;
+    }
+}
+
 /// Per-tenant admission state.
 #[derive(Debug, Clone)]
 struct TenantGate {
@@ -206,21 +234,23 @@ impl AdmissionController {
         let rl = self.config.rate_limit;
         let depth = self.config.queue_depth;
         let gate = &mut self.tenants[tenant];
+        // Refill first, unconditionally — even a shed arrival banks the
+        // elapsed credit and advances the refill stamp (see
+        // [`TokenBucket::refill`] for why the ordering matters).
         if let (Some(rl), Some(bucket)) = (rl, gate.bucket.as_mut()) {
-            let elapsed_s = (now - bucket.last_refill) as f64 / NS_PER_SEC as f64;
-            bucket.tokens = (bucket.tokens + elapsed_s * rl.rate_rps).min(rl.burst);
-            bucket.last_refill = now;
-            if bucket.tokens < 1.0 {
+            bucket.refill(rl, now);
+            if !bucket.has_token() {
                 gate.stats.shed_rate_limited += 1;
                 return Err(ShedReason::RateLimited);
             }
         }
         if gate.in_system >= depth {
+            // Queue-shed consumes no token: the request never entered.
             gate.stats.shed_queue_full += 1;
             return Err(ShedReason::QueueFull);
         }
         if let Some(bucket) = gate.bucket.as_mut() {
-            bucket.tokens -= 1.0;
+            bucket.take();
         }
         gate.in_system += 1;
         gate.stats.admitted += 1;
@@ -346,6 +376,66 @@ mod tests {
         assert!(RateLimit::parse("0").is_err());
         assert!(RateLimit::parse("10:0.5").is_err());
         assert!(RateLimit::parse("fast").is_err());
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Under sustained overload (arrivals far denser than the
+            /// sustained rate), the token bucket must admit `rate_rps`
+            /// requests per virtual second to within 1% over a long run —
+            /// the end-to-end guarantee the refill/clamp ordering exists
+            /// for. A bucket that forgets banked credit on shed, or that
+            /// re-earns an interval by not advancing `last_refill`, fails
+            /// this bound within a few simulated seconds.
+            #[test]
+            fn overloaded_bucket_admits_rate_rps_within_1pct(
+                rate_rps in 20.0f64..500.0,
+                raw_burst in 1.0f64..8.0,
+                // Mean inter-arrival as a fraction of the token period:
+                // always well below 1.0 so the bucket, not the arrival
+                // process, is the binding constraint.
+                density in 3u64..20,
+                jitter_seed in 0u64..u64::MAX,
+            ) {
+                // The sustained-rate guarantee needs headroom for one
+                // arrival's credit above the admission threshold: with
+                // burst < 1 + 1/density the cap legitimately discards
+                // credit between arrivals (bounded banking is the point of
+                // the burst cap), and the admitted rate falls below
+                // rate_rps by design, not by bug.
+                let burst = raw_burst.max(1.0 + 1.5 / density as f64);
+                let cfg = AdmissionConfig {
+                    queue_depth: usize::MAX,
+                    rate_limit: Some(RateLimit { rate_rps, burst }),
+                };
+                let mut adm = AdmissionController::new(1, cfg);
+                // ~200 virtual seconds of arrivals, deterministic jitter.
+                let horizon: SimTime = 200 * NS_PER_SEC;
+                let token_period_ns = (NS_PER_SEC as f64 / rate_rps) as u64;
+                let mean_gap = (token_period_ns / density).max(1);
+                let mut now: SimTime = 0;
+                let mut x = jitter_seed | 1;
+                while now < horizon {
+                    let _ = adm.try_admit(0, now);
+                    // xorshift jitter in [0.5, 1.5) of the mean gap.
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    now += mean_gap / 2 + x % mean_gap.max(1);
+                }
+                let admitted = adm.stats().admitted as f64;
+                let expected = rate_rps * (horizon as f64 / NS_PER_SEC as f64);
+                // Burst credit admits up to `burst` extra at the front.
+                let err = (admitted - burst - expected).abs() / expected;
+                prop_assert!(
+                    err <= 0.01,
+                    "admitted {admitted} vs expected {expected} (err {err:.4})"
+                );
+            }
+        }
     }
 
     #[test]

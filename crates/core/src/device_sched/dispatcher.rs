@@ -88,32 +88,42 @@ const PS_SLOTS: usize = 3;
 
 /// Compute the awake set for this epoch.
 pub fn awake_set(policy: GpuPolicy, rcb: &Rcb, work: &[AppWork]) -> Vec<AppId> {
+    let mut awake = Vec::new();
+    awake_set_into(policy, rcb, work, &mut awake);
+    awake
+}
+
+/// Allocation-free [`awake_set`]: the awake set is written into `out`
+/// (cleared first). The dispatcher runs once per epoch per device — the
+/// hottest call site in the executive — so it must not allocate.
+pub fn awake_set_into(policy: GpuPolicy, rcb: &Rcb, work: &[AppWork], out: &mut Vec<AppId>) {
+    out.clear();
     match policy {
-        GpuPolicy::None => work.iter().map(|w| w.app).collect(),
+        GpuPolicy::None => out.extend(work.iter().map(|w| w.app)),
         GpuPolicy::Tfs => {
             // One thread awake: least weight-normalized attained service.
-            work.iter()
+            let pick = work
+                .iter()
                 .filter(|w| w.has_ready)
                 .filter_map(|w| rcb.get(w.app))
                 .min_by(|a, b| {
                     a.vruntime_ns
                         .total_cmp(&b.vruntime_ns)
                         .then(a.app.cmp(&b.app))
-                })
-                .map(|e| vec![e.app])
-                .unwrap_or_default()
+                });
+            out.extend(pick.map(|e| e.app));
         }
         GpuPolicy::Las => {
             // One thread awake: least decayed cumulative service.
-            work.iter()
+            let pick = work
+                .iter()
                 .filter(|w| w.has_ready)
                 .filter_map(|w| rcb.get(w.app))
-                .min_by(|a, b| a.cgs_ns.total_cmp(&b.cgs_ns).then(a.app.cmp(&b.app)))
-                .map(|e| vec![e.app])
-                .unwrap_or_default()
+                .min_by(|a, b| a.cgs_ns.total_cmp(&b.cgs_ns).then(a.app.cmp(&b.app)));
+            out.extend(pick.map(|e| e.app));
         }
         GpuPolicy::Ps => {
-            let mut awake: Vec<AppId> = Vec::with_capacity(PS_SLOTS);
+            let awake = out;
             // First pass: the least-served ready thread of each phase.
             for phase in [Phase::KernelLaunch, Phase::H2D, Phase::D2H] {
                 let pick = work
@@ -150,7 +160,6 @@ pub fn awake_set(policy: GpuPolicy, rcb: &Rcb, work: &[AppWork]) -> Vec<AppId> {
                     awake.push(w.app);
                 }
             }
-            awake
         }
     }
 }

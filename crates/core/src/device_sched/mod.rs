@@ -111,8 +111,17 @@ impl GpuScheduler {
     /// (Eq. 1) for the closing epoch. `now` stamps the decision in the
     /// trace (when tracing is attached).
     pub fn epoch_tick(&mut self, work: &[AppWork], now: SimTime) -> Vec<AppId> {
+        let mut awake = Vec::new();
+        self.epoch_tick_into(work, now, &mut awake);
+        awake
+    }
+
+    /// Allocation-free [`GpuScheduler::epoch_tick`]: the awake set is
+    /// written into `awake` (cleared first) so hot executives can reuse
+    /// one buffer across epochs.
+    pub fn epoch_tick_into(&mut self, work: &[AppWork], now: SimTime, awake: &mut Vec<AppId>) {
         self.rcb.roll_epoch();
-        let awake = dispatcher::awake_set(self.policy, &self.rcb, work);
+        dispatcher::awake_set_into(self.policy, &self.rcb, work, awake);
         if self.tracer.is_on() {
             // Render each awake app with the RCB key its policy ordered by.
             let keyed: Vec<String> = awake
@@ -138,7 +147,23 @@ impl GpuScheduler {
                 ],
             );
         }
-        awake
+    }
+
+    /// Close an epoch in which no registered app had dispatchable work and
+    /// the previous decision is already in force: only the LAS decay (Eq. 1)
+    /// rolls — the awake set would be empty by construction, so recomputing
+    /// it (and re-applying the gates) is pure overhead. Executives use this
+    /// from their idle fast path; see [`GpuScheduler::tracing_epochs`] for
+    /// when it must not be taken.
+    pub fn roll_idle_epoch(&mut self) {
+        self.rcb.roll_epoch();
+    }
+
+    /// True when epoch decisions are being traced — each tick then emits an
+    /// instant that an idle fast path would skip, so callers must run the
+    /// full [`GpuScheduler::epoch_tick`] to keep traces complete.
+    pub fn tracing_epochs(&self) -> bool {
+        self.tracer.is_on()
     }
 
     /// RCB inspection.

@@ -14,7 +14,6 @@ use cuda_sim::host::AppId;
 use gpu_sim::ids::StreamId;
 use serde::{Deserialize, Serialize};
 use sim_core::SimTime;
-use std::collections::BTreeMap;
 
 /// Decay constant of Eq. 1.
 pub const LAS_K: f64 = 0.8;
@@ -52,10 +51,13 @@ pub struct RcbEntry {
     pub registered_at: SimTime,
 }
 
-/// The table, keyed by application for deterministic iteration.
+/// The table, kept sorted by application id for deterministic iteration.
+/// A sorted `Vec` (not a tree map): tables hold a handful of rows, and
+/// [`Rcb::roll_epoch`] walks every row once per scheduling epoch — the
+/// hottest loop in the executive — where contiguous storage wins.
 #[derive(Debug, Default)]
 pub struct Rcb {
-    rows: BTreeMap<AppId, RcbEntry>,
+    rows: Vec<RcbEntry>,
     /// Monotone watermark: the largest minimum-vruntime the table has
     /// ever observed at an unregistration. Keeps fairness history across
     /// moments when the table empties — without it, the first app of a
@@ -72,9 +74,14 @@ impl Rcb {
 
     fn live_min_vruntime(&self) -> Option<f64> {
         self.rows
-            .values()
+            .iter()
             .map(|e| e.vruntime_ns)
             .fold(None, |m, v| Some(m.map_or(v, |m: f64| m.min(v))))
+    }
+
+    /// Position of `app` in the sorted table (`Err` = insertion point).
+    fn idx(&self, app: AppId) -> Result<usize, usize> {
+        self.rows.binary_search_by_key(&app, |e| e.app)
     }
 
     /// Register an application. New arrivals inherit the minimum vruntime
@@ -91,37 +98,39 @@ impl Rcb {
     ) {
         assert!(weight > 0.0, "tenant weight must be positive");
         let vruntime = self.live_min_vruntime().unwrap_or(self.min_vruntime_floor);
-        self.rows.insert(
+        let entry = RcbEntry {
             app,
-            RcbEntry {
-                app,
-                stream,
-                tenant,
-                weight,
-                total_service_ns: 0,
-                epoch_service_ns: 0,
-                cgs_ns: 0.0,
-                vruntime_ns: vruntime,
-                registered_at: now,
-            },
-        );
+            stream,
+            tenant,
+            weight,
+            total_service_ns: 0,
+            epoch_service_ns: 0,
+            cgs_ns: 0.0,
+            vruntime_ns: vruntime,
+            registered_at: now,
+        };
+        match self.idx(app) {
+            Ok(i) => self.rows[i] = entry,
+            Err(i) => self.rows.insert(i, entry),
+        }
     }
 
     /// Remove an application's entry, raising the vruntime watermark to
     /// the table's current minimum first (vruntimes only grow, so the
     /// watermark is monotone).
     pub fn unregister(&mut self, app: AppId) {
-        if self.rows.contains_key(&app) {
+        if let Ok(i) = self.idx(app) {
             if let Some(m) = self.live_min_vruntime() {
                 self.min_vruntime_floor = self.min_vruntime_floor.max(m);
             }
+            self.rows.remove(i);
         }
-        self.rows.remove(&app);
     }
 
     /// Credit attained engine time to an application.
     pub fn add_service(&mut self, app: AppId, service_ns: u64) {
-        if let Some(e) = self.rows.get_mut(&app) {
+        if let Ok(i) = self.idx(app) {
+            let e = &mut self.rows[i];
             e.total_service_ns += service_ns;
             e.epoch_service_ns += service_ns;
             e.vruntime_ns += service_ns as f64 / e.weight;
@@ -131,7 +140,7 @@ impl Rcb {
     /// Close the current epoch: fold each entry's epoch service into its
     /// decayed CGS (Eq. 1) and reset the epoch accumulator.
     pub fn roll_epoch(&mut self) {
-        for e in self.rows.values_mut() {
+        for e in &mut self.rows {
             e.cgs_ns = LAS_K * e.epoch_service_ns as f64 + (1.0 - LAS_K) * e.cgs_ns;
             e.epoch_service_ns = 0;
         }
@@ -139,12 +148,12 @@ impl Rcb {
 
     /// Entry lookup.
     pub fn get(&self, app: AppId) -> Option<&RcbEntry> {
-        self.rows.get(&app)
+        self.idx(app).ok().map(|i| &self.rows[i])
     }
 
     /// All entries in app order.
     pub fn entries(&self) -> impl Iterator<Item = &RcbEntry> {
-        self.rows.values()
+        self.rows.iter()
     }
 
     /// Number of registered applications.

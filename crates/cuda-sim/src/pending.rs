@@ -7,19 +7,22 @@
 
 use crate::host::BlockOn;
 use gpu_sim::ids::{ContextId, JobId, StreamId};
-use std::collections::HashMap;
+use sim_core::fxhash::FxHashMap;
 
 /// Tracks device jobs submitted but not yet completed.
 ///
 /// Synchronization only ever asks *emptiness* questions per stream and
 /// per context, so both are plain counters — no per-job sets to allocate
 /// on the submit/complete hot path. The private `index` map remains the
-/// authoritative job → location map.
+/// authoritative job → location map. All three maps hash with
+/// [`sim_core::fxhash`]: keys are simulator-assigned ids and
+/// submit/complete runs once per device job, so SipHash would be pure
+/// overhead. Nothing iterates these maps into an output surface.
 #[derive(Debug, Default)]
 pub struct PendingOps {
-    by_stream: HashMap<(ContextId, StreamId), usize>,
-    by_ctx: HashMap<ContextId, usize>,
-    index: HashMap<JobId, (ContextId, StreamId)>,
+    by_stream: FxHashMap<(ContextId, StreamId), usize>,
+    by_ctx: FxHashMap<ContextId, usize>,
+    index: FxHashMap<JobId, (ContextId, StreamId)>,
 }
 
 impl PendingOps {

@@ -73,8 +73,17 @@ pub struct RunStats {
     /// before dying (spilled by a same-key reschedule). Slot cancellation
     /// keeps this near zero; also counted in [`RunStats::events`].
     pub stale_pops: u64,
-    /// High-water mark of pending events in the queue.
+    /// High-water mark of pending events in the queue. Counts every entry
+    /// physically held by the queue, including graveyard tombstones for
+    /// slot-cancelled wakeups and spilled superseded duplicates — the
+    /// legacy definition the golden outputs pin.
     pub peak_queue_depth: u64,
+    /// High-water mark of *live* backlog: cancelled and superseded entries
+    /// excluded the moment they die, not when they surface at the pop
+    /// point. This is the honest queue-pressure number; it is deliberately
+    /// absent from the golden `Debug` rendering (which is byte-pinned to
+    /// the legacy field set) and reported via the bench JSON instead.
+    pub peak_live_queue_depth: u64,
     /// Structured trace of the run (None unless the scenario asked for
     /// tracing; see [`crate::scenario::Scenario::trace`]).
     pub trace: Option<Trace>,

@@ -170,6 +170,20 @@ impl AttributionReport {
                         req.charges.push((from, *at, stage));
                     }
                 }
+                // The compact form the executive actually records; the
+                // `"stage"` instant arm above keeps hand-built and
+                // externally produced traces parsing.
+                TraceEvent::StageCharge {
+                    at,
+                    request,
+                    stage,
+                    from,
+                    ..
+                } => {
+                    if let Some(req) = open.get_mut(request) {
+                        req.charges.push((*from, *at, *stage));
+                    }
+                }
                 TraceEvent::SpanEnd {
                     at,
                     name: "request",

@@ -119,6 +119,12 @@ impl MetricsRegistry {
     }
 
     /// Record one observation into a fixed-bucket latency histogram.
+    ///
+    /// Bucket upper edges are **inclusive** (`value <= le`, OpenMetrics
+    /// `le` semantics): an observation equal to a boundary lands in that
+    /// boundary's bucket. Observations above the largest finite bucket
+    /// are visible only in `le="+Inf"`, which by construction always
+    /// equals the series' total `_count`.
     pub fn observe(&mut self, name: &str, labels: &[(&str, &str)], value_ns: u64) {
         let h = self
             .histograms
@@ -187,17 +193,18 @@ impl MetricsRegistry {
                     if n != name {
                         continue;
                     }
-                    let mut cum = 0u64;
                     for (i, &le) in LATENCY_BUCKETS_NS.iter().enumerate() {
-                        cum = h.counts[i];
                         writeln!(
                             out,
-                            "{name}_bucket{} {cum}",
-                            merge_label(labels, "le", &le.to_string())
+                            "{name}_bucket{} {}",
+                            merge_label(labels, "le", &le.to_string()),
+                            h.counts[i]
                         )
                         .unwrap();
                     }
-                    let _ = cum;
+                    // `+Inf` is the total observation count, never the
+                    // last finite bucket: observations above the top
+                    // finite edge must still be counted here.
                     writeln!(
                         out,
                         "{name}_bucket{} {}",
@@ -291,6 +298,47 @@ mod tests {
         assert!(text.contains("h_bucket{le=\"1000000\"} 1"));
         assert!(text.contains("h_bucket{le=\"2000000\"} 2"));
         assert!(text.contains("h_bucket{le=\"5000000000\"} 2"));
+    }
+
+    /// Boundary conformance: one observation exactly on every finite
+    /// bucket edge, plus one strictly above the top edge. Inclusive `le`
+    /// semantics put each edge value in its own bucket, so bucket `i`
+    /// must read exactly `i + 1`; the over-the-top observation appears
+    /// only in `le="+Inf"`, which must equal the series total `_count`
+    /// (not the last finite bucket).
+    #[test]
+    fn histogram_boundary_conformance() {
+        let mut r = MetricsRegistry::new();
+        r.register("h", MetricKind::Histogram, "boundary probe");
+        for &edge in LATENCY_BUCKETS_NS.iter() {
+            r.observe("h", &[], edge);
+        }
+        let above_top = LATENCY_BUCKETS_NS[LATENCY_BUCKETS_NS.len() - 1] + 1;
+        r.observe("h", &[], above_top);
+        let total = LATENCY_BUCKETS_NS.len() as u64 + 1;
+
+        let text = r.render_openmetrics();
+        let mut prev = 0u64;
+        for (i, &le) in LATENCY_BUCKETS_NS.iter().enumerate() {
+            let line = format!("h_bucket{{le=\"{le}\"}} ");
+            let at = text.find(&line).unwrap_or_else(|| panic!("missing {line}"));
+            let count: u64 = text[at + line.len()..]
+                .split_whitespace()
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap();
+            assert_eq!(count, i as u64 + 1, "inclusive edge at le={le}");
+            assert!(count >= prev, "buckets must be monotone non-decreasing");
+            prev = count;
+        }
+        // +Inf strictly exceeds the top finite bucket (the over-the-top
+        // sample lives nowhere else) and equals the series total.
+        assert!(text.contains(&format!("h_bucket{{le=\"+Inf\"}} {total}")));
+        assert!(prev < total);
+        assert!(text.contains(&format!("h_count {total}")));
+        let sum: u64 = LATENCY_BUCKETS_NS.iter().sum::<u64>() + above_top;
+        assert!(text.contains(&format!("h_sum {sum}")));
     }
 
     #[test]

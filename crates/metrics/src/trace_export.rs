@@ -151,6 +151,17 @@ impl TraceSink for ChromeSink {
                 tid,
                 value
             ),
+            // Renders byte-identically to the `"stage"` instant this
+            // variant replaced (same arg order, same string forms).
+            TraceEvent::StageCharge { at, request, stage, from, .. } => format!(
+                "{{\"name\":\"stage\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":{},\"tid\":{},\"args\":{{\"request\":\"{}\",\"stage\":\"{}\",\"from\":\"{}\"}}}}",
+                ts_us(*at),
+                pid,
+                tid,
+                request,
+                stage.as_str(),
+                from
+            ),
         };
         self.lines.push(line);
     }
@@ -224,6 +235,21 @@ impl TraceSink for JsonlSink {
                 at,
                 esc(name),
                 value
+            ),
+            // Same rendering the equivalent `"stage"` instant produced.
+            TraceEvent::StageCharge {
+                track,
+                at,
+                request,
+                stage,
+                from,
+            } => format!(
+                "{{\"type\":\"instant\",\"track\":{},\"at\":{},\"name\":\"stage\",\"args\":{{\"request\":\"{}\",\"stage\":\"{}\",\"from\":\"{}\"}}}}",
+                track.0,
+                at,
+                request,
+                stage.as_str(),
+                from
             ),
         };
         self.lines.push(line);

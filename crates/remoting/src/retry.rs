@@ -68,17 +68,31 @@ impl RetryPolicy {
         attempt <= self.max_attempts
     }
 
+    /// Un-jittered backoff before `attempt` (2-based: the first retransmit
+    /// is attempt 2): saturating doubling of
+    /// [`RetryPolicy::base_backoff_ns`], stopping at the
+    /// [`RetryPolicy::max_backoff_ns`] ceiling. The doubling count is
+    /// clamped to 64 — any nonzero base has saturated `u64` by then and a
+    /// zero base stays zero, so the clamp bounds work without changing any
+    /// value.
+    fn raw_backoff_ns(&self, attempt: u32) -> u64 {
+        debug_assert!(attempt >= 2, "attempt 1 is the original send");
+        let mut raw = self.base_backoff_ns;
+        for _ in 0..attempt.saturating_sub(2).min(64) {
+            if raw >= self.max_backoff_ns {
+                break;
+            }
+            raw = raw.saturating_mul(2);
+        }
+        raw.min(self.max_backoff_ns)
+    }
+
     /// Backoff to wait before `attempt` (2-based: the first retransmit is
     /// attempt 2). Exponential in the retry index, capped at
     /// [`RetryPolicy::max_backoff_ns`], then jittered. Always consumes
     /// exactly one RNG draw so run structure is seed-stable.
     pub fn backoff_ns(&self, attempt: u32, rng: &mut SimRng) -> u64 {
-        debug_assert!(attempt >= 2, "attempt 1 is the original send");
-        let exp = (attempt - 2).min(32);
-        let raw = self
-            .base_backoff_ns
-            .saturating_mul(1u64.checked_shl(exp).unwrap_or(u64::MAX))
-            .min(self.max_backoff_ns);
+        let raw = self.raw_backoff_ns(attempt);
         let jittered = raw as f64 * rng.jitter(self.jitter);
         (jittered.round() as u64).max(1)
     }
@@ -93,11 +107,7 @@ impl RetryPolicy {
         let deadlines = self.deadline_ns.saturating_mul(self.max_attempts as u64);
         let mut backoffs = 0u64;
         for attempt in 2..=self.max_attempts {
-            let exp = (attempt - 2).min(32);
-            let raw = self
-                .base_backoff_ns
-                .saturating_mul(1u64.checked_shl(exp).unwrap_or(u64::MAX))
-                .min(self.max_backoff_ns);
+            let raw = self.raw_backoff_ns(attempt);
             backoffs = backoffs.saturating_add((raw as f64 * (1.0 + self.jitter)).ceil() as u64);
         }
         deadlines.saturating_add(backoffs)
@@ -140,6 +150,49 @@ mod tests {
             assert!(xa as f64 >= raw * (1.0 - p.jitter) - 1.0);
             assert!(xa as f64 <= raw * (1.0 + p.jitter) + 1.0);
         }
+    }
+
+    /// 64 consecutive retransmits: the doubling must stay monotone
+    /// non-decreasing, ride the ceiling once it gets there, and never
+    /// overflow — including when the base itself is within one doubling
+    /// of `u64::MAX`.
+    #[test]
+    fn sixty_four_consecutive_retries_saturate_cleanly() {
+        // Powers of two throughout so the f64 jitter path is exact.
+        let p = RetryPolicy {
+            max_attempts: 65,
+            deadline_ns: 1,
+            base_backoff_ns: 1 << 10,
+            max_backoff_ns: 1 << 50,
+            jitter: 0.0,
+        };
+        let mut rng = SimRng::new(7);
+        let mut prev = 0u64;
+        for attempt in 2..=65 {
+            let b = p.backoff_ns(attempt, &mut rng);
+            assert!(b >= prev, "backoff shrank at attempt {attempt}");
+            assert!(b <= p.max_backoff_ns);
+            prev = b;
+        }
+        assert_eq!(prev, p.max_backoff_ns, "tail rides the ceiling");
+        assert!(p.worst_case_ns() > p.max_backoff_ns);
+
+        // Saturation: a base one doubling below overflow pins to the
+        // ceiling instead of wrapping.
+        let huge = RetryPolicy {
+            max_attempts: 65,
+            deadline_ns: 1,
+            base_backoff_ns: 1 << 62,
+            max_backoff_ns: u64::MAX,
+            jitter: 0.0,
+        };
+        let mut prev = 0u64;
+        for attempt in 2..=65 {
+            let b = huge.backoff_ns(attempt, &mut rng);
+            assert!(b >= prev, "saturating path shrank at attempt {attempt}");
+            prev = b;
+        }
+        assert_eq!(prev, u64::MAX);
     }
 
     #[test]

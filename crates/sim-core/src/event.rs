@@ -1,9 +1,24 @@
 //! Event queue.
 //!
-//! A classic calendar queue for discrete-event simulation. Events are
+//! A hierarchical timing wheel for discrete-event simulation. Events are
 //! totally ordered by `(time, sequence)` where the sequence number is the
 //! insertion order — two events scheduled for the same instant pop in the
 //! order they were scheduled, which keeps the simulation deterministic.
+//!
+//! # Timing wheel
+//!
+//! The near future — one [`SPAN`]-wide window starting at the wheel base —
+//! is covered by [`NBUCKETS`] fixed-width buckets; an event lands in its
+//! bucket with a shift and a mask, no comparisons, and inserts are plain
+//! pushes. Buckets are deliberately narrow enough to hold only a handful
+//! of events, so the pop path finds the bucket minimum with a linear scan
+//! of contiguous memory instead of maintaining sorted order. Events beyond
+//! the window go to a calendar overflow (a binary heap); when the wheel
+//! drains, the window advances to the overflow minimum and the next
+//! window's worth of events cascades into the buckets. Because the
+//! simulation clock is monotonic and schedules into the past clamp to
+//! `now`, every insert lands at or after the wheel base — the wheel never
+//! has to look backwards.
 //!
 //! Components that re-derive their own next event whenever their state
 //! changes (e.g. a GPU compute engine re-solving kernel completion times when
@@ -13,12 +28,12 @@
 //! [`EventQueue::schedule_keyed`], and calls [`EventQueue::invalidate`] on
 //! every state change.
 //!
-//! Keyed wakeups never touch the heap in the common case. Each key owns a
-//! one-entry *slot* beside the heap; scheduling parks the entry there in
+//! Keyed wakeups never touch the wheel in the common case. Each key owns a
+//! one-entry *slot* beside the wheel; scheduling parks the entry there in
 //! O(1) and [`EventQueue::invalidate`] cancels it in O(1) — tallied in
 //! [`EventQueue::cancelled`]. Only when a second wakeup is scheduled while
 //! one is already parked (a component rescheduling without superseding)
-//! does the parked entry spill into the heap, where a later invalidation
+//! does the parked entry spill into the wheel, where a later invalidation
 //! kills it lazily at pop time ([`EventQueue::stale_pops`], ~0 in
 //! practice).
 //!
@@ -28,6 +43,13 @@
 //! dispatch-and-discard path would have popped and skipped it — advancing
 //! the virtual clock and the popped counter identically — so
 //! [`EventQueue::popped`] is byte-identical to the legacy pattern.
+//!
+//! Depth is reported two ways: [`EventQueue::len`] / [`EventQueue::peak_len`]
+//! keep the legacy convention (tombstones and spilled-then-superseded
+//! entries still occupy their pop slots, so the numbers match the old
+//! dispatch-and-discard queue byte for byte), while [`EventQueue::live_len`]
+//! / [`EventQueue::peak_live_len`] count only events that can still
+//! dispatch — the honest backlog, what a capacity planner would want.
 
 use crate::time::SimTime;
 use std::cmp::Reverse;
@@ -41,6 +63,19 @@ pub struct EventKey(u32);
 
 /// Sentinel for "no key" on unkeyed entries.
 const NO_KEY: u32 = u32::MAX;
+
+/// log2 of the bucket width: 2^22 ns ≈ 4.2 ms per bucket, sized so the
+/// DES hot paths (device wakeups every few hundred µs to a few ms) land a
+/// handful of events per bucket — small enough to scan, large enough that
+/// the working set of buckets stays cache-resident.
+const SHIFT: u32 = 22;
+/// Buckets in the near window (power of two; one bitmap word).
+const NBUCKETS: usize = 64;
+/// Bitmap words covering `NBUCKETS` buckets.
+const WORDS: usize = NBUCKETS / 64;
+/// Width of the near window: events past `base + SPAN` overflow to the
+/// calendar heap until the window advances over them.
+const SPAN: u64 = (NBUCKETS as u64) << SHIFT;
 
 /// Monotonic stamp used to invalidate previously scheduled self-events.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -85,12 +120,15 @@ impl<E> Ord for Scheduled<E> {
     }
 }
 
-/// Per-key state: the current generation (for heap-spilled entries) and the
-/// parked pending wakeup, if any.
+/// Per-key state: the current generation (for wheel-spilled entries), the
+/// parked pending wakeup, if any, and how many spilled entries of the
+/// *current* generation are still in the wheel (so an invalidation knows
+/// how many live events it just killed without scanning the wheel).
 #[derive(Debug)]
 struct KeySlot<E> {
     gen: u64,
     pending: Option<Scheduled<E>>,
+    spilled_live: u32,
 }
 
 /// A deterministic future-event list.
@@ -126,7 +164,18 @@ struct KeySlot<E> {
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<Scheduled<E>>>,
+    /// Near-window buckets, unordered; the pop path scans the head bucket
+    /// for its `(time, seq)` minimum (buckets are narrow, so scans touch a
+    /// handful of contiguous entries).
+    wheel: Vec<Vec<Scheduled<E>>>,
+    /// Non-empty-bucket bitmap: bit `i` set iff `wheel[i]` is non-empty.
+    occupied: [u64; WORDS],
+    /// Virtual time of bucket 0; always ≤ every pending event time.
+    base: SimTime,
+    /// Total events across all wheel buckets.
+    wheel_len: usize,
+    /// Calendar fallback for events beyond `base + SPAN`.
+    overflow: BinaryHeap<Reverse<Scheduled<E>>>,
     next_seq: u64,
     now: SimTime,
     popped: u64,
@@ -134,12 +183,18 @@ pub struct EventQueue<E> {
     slots: Vec<KeySlot<E>>,
     /// Index of the parked entry with the smallest `(time, seq)`, if any.
     min_slot: Option<u32>,
+    /// Number of slots with a parked entry.
+    parked_count: usize,
     /// `(time << 64) | seq` of cancelled parked entries, drained at the pop
     /// positions where the legacy path would have popped-and-skipped them.
     graveyard: BinaryHeap<Reverse<u128>>,
+    /// Wheel/overflow entries already superseded (their key's generation
+    /// moved on) — dead weight awaiting a lazy stale pop.
+    dead_in_wheel: usize,
     stale_pops: u64,
     cancelled: u64,
     peak_len: usize,
+    peak_live: usize,
 }
 
 #[inline]
@@ -157,17 +212,24 @@ impl<E> EventQueue<E> {
     /// Create an empty queue with the clock at zero.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            wheel: (0..NBUCKETS).map(|_| Vec::new()).collect(),
+            occupied: [0; WORDS],
+            base: 0,
+            wheel_len: 0,
+            overflow: BinaryHeap::new(),
             next_seq: 0,
             now: 0,
             popped: 0,
             clamped: 0,
             slots: Vec::new(),
             min_slot: None,
+            parked_count: 0,
             graveyard: BinaryHeap::new(),
+            dead_in_wheel: 0,
             stale_pops: 0,
             cancelled: 0,
             peak_len: 0,
+            peak_live: 0,
         }
     }
 
@@ -187,7 +249,7 @@ impl<E> EventQueue<E> {
         self.popped
     }
 
-    /// Stale keyed entries that reached the *heap* pop path before dying
+    /// Stale keyed entries that reached the *wheel* pop path before dying
     /// (spilled entries invalidated after the fact). Slot cancellation keeps
     /// this near zero; a subset of [`EventQueue::popped`].
     #[inline]
@@ -196,27 +258,42 @@ impl<E> EventQueue<E> {
     }
 
     /// Keyed wakeups cancelled in their slot by [`EventQueue::invalidate`]
-    /// without ever entering the heap — the queue-cancellation win.
+    /// without ever entering the wheel — the queue-cancellation win.
     #[inline]
     pub fn cancelled(&self) -> u64 {
         self.cancelled
     }
 
-    /// High-water mark of pending events (heap + parked + cancelled entries
-    /// still occupying their legacy pop slots).
+    /// High-water mark of pending events (wheel + parked + cancelled entries
+    /// still occupying their legacy pop slots). Matches the legacy
+    /// dispatch-and-discard queue's depth byte for byte; for the honest
+    /// backlog see [`EventQueue::peak_live_len`].
     #[inline]
     pub fn peak_len(&self) -> usize {
         self.peak_len
     }
 
-    fn parked(&self) -> usize {
-        self.slots.iter().filter(|s| s.pending.is_some()).count()
+    /// High-water mark of *live* pending events: graveyard tombstones and
+    /// spilled-then-superseded entries are excluded — they occupy legacy
+    /// pop slots but can never dispatch, so counting them overstates the
+    /// backlog on cancel-heavy runs.
+    #[inline]
+    pub fn peak_live_len(&self) -> usize {
+        self.peak_live
     }
 
-    /// Number of pending events.
+    /// Number of pending events, counted the legacy way (graveyard
+    /// tombstones and superseded spills included — they still occupy pop
+    /// slots and advance the clock).
     #[inline]
     pub fn len(&self) -> usize {
-        self.heap.len() + self.parked() + self.graveyard.len()
+        self.wheel_len + self.overflow.len() + self.parked_count + self.graveyard.len()
+    }
+
+    /// Number of pending events that can still dispatch.
+    #[inline]
+    pub fn live_len(&self) -> usize {
+        self.wheel_len + self.overflow.len() + self.parked_count - self.dead_in_wheel
     }
 
     /// True if no events are pending.
@@ -233,7 +310,20 @@ impl<E> EventQueue<E> {
     /// anomaly in telemetry instead of silently diverging between build
     /// profiles.
     pub fn schedule(&mut self, at: SimTime, event: E) {
-        self.push(at, NO_KEY, 0, event);
+        if at < self.now {
+            self.clamped += 1;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let entry = Scheduled {
+            time: at.max(self.now),
+            seq,
+            key: NO_KEY,
+            key_gen: 0,
+            event,
+        };
+        self.insert(entry);
+        self.note_depth();
     }
 
     /// Allocate a cancellable slot for use with
@@ -244,6 +334,7 @@ impl<E> EventQueue<E> {
         self.slots.push(KeySlot {
             gen: 0,
             pending: None,
+            spilled_live: 0,
         });
         EventKey(idx)
     }
@@ -252,7 +343,7 @@ impl<E> EventQueue<E> {
     /// live until the next [`EventQueue::invalidate`] of the key. Clamping
     /// rules match [`EventQueue::schedule`]. Scheduling does *not* cancel
     /// an earlier entry for the same key — both stay live (the earlier one
-    /// spills from the slot into the heap); call
+    /// spills from the slot into the wheel); call
     /// [`EventQueue::invalidate`] first when superseding.
     pub fn schedule_keyed(&mut self, key: EventKey, at: SimTime, event: E) {
         if at < self.now {
@@ -268,16 +359,19 @@ impl<E> EventQueue<E> {
             key_gen: slot.gen,
             event,
         };
+        let (t, s) = (entry.time, entry.seq);
         if let Some(prev) = slot.pending.replace(entry) {
             // Rare: a second live wakeup for the same key. The older one
-            // spills into the heap so both dispatch in (time, seq) order.
-            self.heap.push(Reverse(prev));
+            // spills into the wheel so both dispatch in (time, seq) order.
+            // A parked entry always carries the slot's current generation,
+            // so the spill is live until the next invalidate.
+            slot.spilled_live += 1;
+            self.insert(prev);
+            // The parked entry changed, so the cross-slot minimum may have
+            // moved to another key.
             self.rescan_min();
         } else {
-            let (t, s) = {
-                let p = slot.pending.as_ref().unwrap();
-                (p.time, p.seq)
-            };
+            self.parked_count += 1;
             match self.min_slot {
                 Some(m) => {
                     let q = self.slots[m as usize].pending.as_ref().unwrap();
@@ -292,16 +386,21 @@ impl<E> EventQueue<E> {
     }
 
     /// Cancel the wakeup(s) currently scheduled under `key`. The parked
-    /// entry (if any) dies here in O(1), never touching the heap; its
+    /// entry (if any) dies here in O(1), never touching the wheel; its
     /// `(time, seq)` is kept in a graveyard and accounted at exactly the
     /// pop position the legacy dispatch-and-discard path would have popped
-    /// it, so [`EventQueue::popped`] is unchanged. Heap-spilled entries die
+    /// it, so [`EventQueue::popped`] is unchanged. Wheel-spilled entries die
     /// lazily at their own pop position ([`EventQueue::stale_pops`]).
     #[inline]
     pub fn invalidate(&mut self, key: EventKey) {
         let slot = &mut self.slots[key.0 as usize];
         slot.gen += 1;
+        // Any current-generation spills in the wheel just became dead
+        // weight: still occupying their legacy pop slots, no longer live.
+        self.dead_in_wheel += slot.spilled_live as usize;
+        slot.spilled_live = 0;
         if let Some(p) = slot.pending.take() {
+            self.parked_count -= 1;
             self.cancelled += 1;
             self.graveyard.push(Reverse(grave_key(p.time, p.seq)));
             if self.min_slot == Some(key.0) {
@@ -320,26 +419,95 @@ impl<E> EventQueue<E> {
             .map(|(_, _, i)| i);
     }
 
-    fn push(&mut self, at: SimTime, key: u32, key_gen: u64, event: E) {
-        if at < self.now {
-            self.clamped += 1;
+    /// Route an entry into its wheel bucket, or to the calendar overflow
+    /// when it lies beyond the near window. Entries always satisfy
+    /// `entry.time >= self.base` (schedules clamp to `now`, and the base
+    /// only ever advances to the timestamp of a popped event).
+    fn insert(&mut self, entry: Scheduled<E>) {
+        debug_assert!(entry.time >= self.base);
+        let offset = entry.time - self.base;
+        if offset >= SPAN {
+            self.overflow.push(Reverse(entry));
+            return;
         }
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.heap.push(Reverse(Scheduled {
-            time: at.max(self.now),
-            seq,
-            key,
-            key_gen,
-            event,
-        }));
-        self.note_depth();
+        let idx = (offset >> SHIFT) as usize;
+        self.wheel[idx].push(entry);
+        self.occupied[idx >> 6] |= 1 << (idx & 63);
+        self.wheel_len += 1;
+    }
+
+    /// Index of the first non-empty bucket, if any.
+    #[inline]
+    fn first_occupied(&self) -> Option<usize> {
+        for (w, &bits) in self.occupied.iter().enumerate() {
+            if bits != 0 {
+                return Some((w << 6) + bits.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// `(bucket, position, time, seq)` of the earliest wheel entry: a
+    /// linear scan of the head bucket (buckets are narrow by construction).
+    fn wheel_candidate(&self) -> Option<(usize, usize, SimTime, u64)> {
+        let b = self.first_occupied()?;
+        let v = &self.wheel[b];
+        let mut pos = 0;
+        let (mut bt, mut bs) = (v[0].time, v[0].seq);
+        for (i, e) in v.iter().enumerate().skip(1) {
+            if (e.time, e.seq) < (bt, bs) {
+                pos = i;
+                bt = e.time;
+                bs = e.seq;
+            }
+        }
+        Some((b, pos, bt, bs))
+    }
+
+    /// Remove the entry at `(bucket, position)` found by
+    /// [`EventQueue::wheel_candidate`].
+    #[inline]
+    fn wheel_remove(&mut self, bucket: usize, pos: usize) -> Scheduled<E> {
+        let e = self.wheel[bucket].swap_remove(pos);
+        if self.wheel[bucket].is_empty() {
+            self.occupied[bucket >> 6] &= !(1 << (bucket & 63));
+        }
+        self.wheel_len -= 1;
+        e
+    }
+
+    /// The wheel is empty but the overflow calendar is not: advance the
+    /// window to the overflow minimum and cascade the next window's worth
+    /// of far-future events into the buckets (safe: the caller is about to
+    /// advance `now` to at least the overflow minimum, so every future
+    /// insert lands at or after the new base).
+    fn advance_window(&mut self) {
+        debug_assert!(self.wheel_len == 0);
+        let t = {
+            let Reverse(s) = self.overflow.peek().expect("caller checked");
+            s.time
+        };
+        self.base = (t >> SHIFT) << SHIFT;
+        let end = self.base.saturating_add(SPAN);
+        while let Some(Reverse(s)) = self.overflow.peek() {
+            if s.time >= end {
+                break;
+            }
+            let Reverse(s) = self.overflow.pop().expect("peeked");
+            let idx = ((s.time - self.base) >> SHIFT) as usize;
+            self.wheel[idx].push(s);
+            self.occupied[idx >> 6] |= 1 << (idx & 63);
+            self.wheel_len += 1;
+        }
     }
 
     #[inline]
     fn note_depth(&mut self) {
-        let depth = self.heap.len() + self.parked() + self.graveyard.len();
+        let depth = self.wheel_len + self.overflow.len() + self.parked_count + self.graveyard.len();
         self.peak_len = self.peak_len.max(depth);
+        self.peak_live = self
+            .peak_live
+            .max(depth - self.graveyard.len() - self.dead_in_wheel);
     }
 
     /// Number of schedules whose timestamp lay in the past and was clamped
@@ -376,16 +544,22 @@ impl<E> EventQueue<E> {
     ///
     /// Cancelled entries ordered before it are accounted on the way (clock
     /// advance + popped counter, as the legacy dispatch-and-discard path
-    /// did); heap-spilled stale entries are skipped the same way. Neither is
+    /// did); wheel-spilled stale entries are skipped the same way. Neither is
     /// ever returned.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         loop {
-            let heap_at = self.heap.peek().map(|Reverse(s)| (s.time, s.seq));
+            let cand = self.wheel_candidate();
+            let wheel_at = match cand {
+                Some((_, _, t, s)) => Some((t, s)),
+                // Wheel empty: the overflow minimum stands in without
+                // cascading — the window only advances if it actually wins.
+                None => self.overflow.peek().map(|Reverse(s)| (s.time, s.seq)),
+            };
             let slot_at = self.min_slot.map(|i| {
                 let p = self.slots[i as usize].pending.as_ref().unwrap();
                 (p.time, p.seq)
             });
-            let from_heap = match (heap_at, slot_at) {
+            let from_wheel = match (wheel_at, slot_at) {
                 (None, None) => {
                     // Drained: account any trailing cancelled entries the
                     // legacy path would still have popped and skipped.
@@ -396,12 +570,19 @@ impl<E> EventQueue<E> {
                 (Some(_), None) => true,
                 (None, Some(_)) => false,
             };
-            let s = if from_heap {
-                let Reverse(s) = self.heap.pop().expect("peeked above");
-                s
+            let s = if from_wheel {
+                match cand {
+                    Some((b, i, _, _)) => self.wheel_remove(b, i),
+                    None => {
+                        self.advance_window();
+                        let (b, i, _, _) = self.wheel_candidate().expect("cascaded");
+                        self.wheel_remove(b, i)
+                    }
+                }
             } else {
                 let i = self.min_slot.expect("checked above") as usize;
                 let s = self.slots[i].pending.take().expect("min slot occupied");
+                self.parked_count -= 1;
                 self.rescan_min();
                 s
             };
@@ -409,9 +590,14 @@ impl<E> EventQueue<E> {
             debug_assert!(s.time >= self.now);
             self.now = s.time;
             self.popped += 1;
-            if from_heap && s.key != NO_KEY && self.slots[s.key as usize].gen != s.key_gen {
-                self.stale_pops += 1;
-                continue;
+            if s.key != NO_KEY && from_wheel {
+                let slot = &mut self.slots[s.key as usize];
+                if slot.gen != s.key_gen {
+                    self.stale_pops += 1;
+                    self.dead_in_wheel -= 1;
+                    continue;
+                }
+                slot.spilled_live -= 1;
             }
             return Some((s.time, s.event));
         }
@@ -420,7 +606,10 @@ impl<E> EventQueue<E> {
     /// Timestamp of the next event without popping it (superseded entries
     /// included — they still occupy their legacy pop slot).
     pub fn peek_time(&self) -> Option<SimTime> {
-        let heap = self.heap.peek().map(|Reverse(s)| s.time);
+        let wheel = match self.wheel_candidate() {
+            Some((_, _, t, _)) => Some(t),
+            None => self.overflow.peek().map(|Reverse(s)| s.time),
+        };
         let slot = self.min_slot.map(|i| {
             self.slots[i as usize]
                 .pending
@@ -432,7 +621,7 @@ impl<E> EventQueue<E> {
             .graveyard
             .peek()
             .map(|&Reverse(g)| (g >> 64) as SimTime);
-        [heap, slot, grave].into_iter().flatten().min()
+        [wheel, slot, grave].into_iter().flatten().min()
     }
 }
 
@@ -524,6 +713,42 @@ mod tests {
     }
 
     #[test]
+    fn far_future_events_round_trip_the_overflow_calendar() {
+        // Events past the near window land in the calendar overflow and
+        // cascade back into the wheel as the window advances over them.
+        let mut q = EventQueue::new();
+        let far = SPAN * 3 + 12345;
+        let farther = SPAN * 7 + 99;
+        q.schedule(far, "far");
+        q.schedule(farther, "farther");
+        q.schedule(10, "near");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some((10, "near")));
+        assert_eq!(q.pop(), Some((far, "far")));
+        // Inserts after a window advance still order correctly.
+        q.schedule(far + 5, "mid");
+        assert_eq!(q.pop(), Some((far + 5, "mid")));
+        assert_eq!(q.pop(), Some((farther, "farther")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn same_bucket_interleaved_insert_and_pop_stay_ordered() {
+        // Insert into the bucket the pop path is currently draining: the
+        // sorted order must be maintained, not clobbered.
+        let mut q = EventQueue::new();
+        q.schedule(100, 0u32);
+        q.schedule(300, 1u32);
+        assert_eq!(q.pop(), Some((100, 0)));
+        // Bucket 0 is now the sorted bucket; these land inside it.
+        q.schedule(200, 2u32);
+        q.schedule(150, 3u32);
+        assert_eq!(q.pop(), Some((150, 3)));
+        assert_eq!(q.pop(), Some((200, 2)));
+        assert_eq!(q.pop(), Some((300, 1)));
+    }
+
+    #[test]
     fn invalidated_entries_die_in_the_queue() {
         let mut q = EventQueue::new();
         let k = q.register_key();
@@ -532,7 +757,7 @@ mod tests {
         q.schedule_keyed(k, 10, "live");
         q.schedule(20, "plain");
         assert_eq!(q.pop(), Some((10, "live")));
-        // The cancelled entry never reached the heap but still counts at
+        // The cancelled entry never reached the wheel but still counts at
         // its legacy pop position.
         assert_eq!(q.cancelled(), 1);
         assert_eq!(q.stale_pops(), 0);
@@ -639,6 +864,300 @@ mod tests {
         q.pop();
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
+    }
+
+    /// Satellite fix, pinned by hand: graveyard tombstones and
+    /// spilled-then-superseded entries occupy legacy pop slots (so `len` /
+    /// `peak_len` count them, byte-compatible with the old queue) but are
+    /// *not* live backlog — `live_len` / `peak_live_len` exclude them.
+    #[test]
+    fn live_depth_excludes_tombstones_and_superseded_spills() {
+        let mut q = EventQueue::new();
+        let k = q.register_key();
+        let j = q.register_key();
+
+        q.schedule(100, "plain");
+        q.schedule_keyed(k, 10, "will-spill");
+        q.schedule_keyed(k, 30, "parked-then-cancelled");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.live_len(), 3, "all three still dispatchable");
+
+        // Kills both of k's entries: the parked one becomes a tombstone,
+        // the spilled one becomes dead weight in the wheel.
+        q.invalidate(k);
+        assert_eq!(q.cancelled(), 1);
+        assert_eq!(q.len(), 3, "legacy depth still counts both corpses");
+        assert_eq!(q.live_len(), 1, "only the plain event is live");
+
+        // New live work on another key raises the live depth again.
+        q.schedule_keyed(j, 50, "live-wakeup");
+        assert_eq!(q.live_len(), 2);
+        assert_eq!(q.len(), 4);
+
+        // Peaks: legacy peak saw all four slots, live peak never exceeded 3
+        // (the pre-invalidate high-water mark).
+        assert_eq!(q.peak_len(), 4);
+        assert_eq!(q.peak_live_len(), 3);
+
+        // Draining keeps the two views consistent: the stale spill pops
+        // (not returned), the tombstone reaps, live events dispatch.
+        assert_eq!(q.pop(), Some((50, "live-wakeup")));
+        assert_eq!(q.stale_pops(), 1, "spilled corpse died on the way");
+        assert_eq!(q.pop(), Some((100, "plain")));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.len(), 0);
+        assert_eq!(q.live_len(), 0);
+        assert_eq!(q.popped(), 4, "all four legacy pop slots accounted");
+    }
+}
+
+#[cfg(test)]
+mod differential {
+    //! Wheel-vs-heap differential harness: the timing-wheel queue must be
+    //! observationally identical to the legacy binary-heap queue — same pop
+    //! sequence, clock, popped/clamped accounting — under any interleaving
+    //! of schedules, keyed schedules, invalidations and pops.
+
+    use super::*;
+
+    /// The legacy all-in-heap queue: every entry (keyed or not) sits in one
+    //  binary heap; invalidation bumps the key's generation and stale
+    /// entries are popped-and-skipped at their own `(time, seq)` position.
+    /// This is the exact pre-wheel dispatch semantics.
+    pub struct HeapQueue<E> {
+        heap: BinaryHeap<Reverse<Scheduled<E>>>,
+        gens: Vec<u64>,
+        next_seq: u64,
+        now: SimTime,
+        popped: u64,
+        clamped: u64,
+    }
+
+    impl<E> HeapQueue<E> {
+        pub fn new(keys: usize) -> Self {
+            HeapQueue {
+                heap: BinaryHeap::new(),
+                gens: vec![0; keys],
+                next_seq: 0,
+                now: 0,
+                popped: 0,
+                clamped: 0,
+            }
+        }
+
+        pub fn schedule(&mut self, at: SimTime, event: E) {
+            self.push(at, NO_KEY, 0, event);
+        }
+
+        pub fn schedule_keyed(&mut self, key: usize, at: SimTime, event: E) {
+            let gen = self.gens[key];
+            self.push(at, key as u32, gen, event);
+        }
+
+        fn push(&mut self, at: SimTime, key: u32, key_gen: u64, event: E) {
+            if at < self.now {
+                self.clamped += 1;
+            }
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.heap.push(Reverse(Scheduled {
+                time: at.max(self.now),
+                seq,
+                key,
+                key_gen,
+                event,
+            }));
+        }
+
+        pub fn invalidate(&mut self, key: usize) {
+            self.gens[key] += 1;
+        }
+
+        pub fn pop(&mut self) -> Option<(SimTime, E)> {
+            while let Some(Reverse(s)) = self.heap.pop() {
+                self.now = s.time;
+                self.popped += 1;
+                if s.key != NO_KEY && self.gens[s.key as usize] != s.key_gen {
+                    continue; // stale: skipped, but counted
+                }
+                return Some((s.time, s.event));
+            }
+            None
+        }
+
+        pub fn now(&self) -> SimTime {
+            self.now
+        }
+        pub fn popped(&self) -> u64 {
+            self.popped
+        }
+        pub fn clamped(&self) -> u64 {
+            self.clamped
+        }
+    }
+
+    const KEYS: usize = 3;
+
+    /// Drive both queues with one generated op; on pops, assert the full
+    /// observable state agrees.
+    fn apply_both(
+        q: &mut EventQueue<u64>,
+        keys: &[EventKey],
+        h: &mut HeapQueue<u64>,
+        sel: u8,
+        k: u8,
+        dt: u16,
+    ) {
+        let k = (k as usize) % KEYS;
+        let payload = h.next_seq;
+        match sel % 4 {
+            0 => {
+                // Absolute target time around `now`; dt < 100 lands in the
+                // past to exercise clamping.
+                let at = (h.now() + dt as SimTime).saturating_sub(100);
+                q.schedule_keyed(keys[k], at, payload);
+                h.schedule_keyed(k, at, payload);
+            }
+            1 => {
+                let at = (h.now() + dt as SimTime).saturating_sub(100);
+                q.schedule(at, payload);
+                h.schedule(at, payload);
+            }
+            2 => {
+                q.invalidate(keys[k]);
+                h.invalidate(k);
+            }
+            _ => {
+                assert_eq!(q.pop(), h.pop(), "wheel diverged from heap");
+                assert_eq!(q.popped(), h.popped(), "popped accounting diverged");
+                assert_eq!(q.now(), h.now(), "clock diverged");
+            }
+        }
+    }
+
+    fn drain_both(q: &mut EventQueue<u64>, h: &mut HeapQueue<u64>) {
+        loop {
+            let got = q.pop();
+            let want = h.pop();
+            assert_eq!(got, want, "drain diverged");
+            assert_eq!(q.now(), h.now());
+            assert_eq!(q.popped(), h.popped());
+            if got.is_none() {
+                break;
+            }
+        }
+        assert_eq!(q.clamped(), h.clamped());
+    }
+
+    /// Deterministic dense-timer cancellation storm mirroring the fig12
+    /// hot-path profile (~50k cancelled wakeups against ~240k events): a
+    /// few keyed "devices" perpetually supersede their own wakeups while
+    /// plain events stream through, with timers clustered densely enough
+    /// that many share a wheel bucket.
+    #[test]
+    fn cancellation_storm_matches_heap() {
+        const DEVICES: usize = 4;
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let keys: Vec<EventKey> = (0..DEVICES).map(|_| q.register_key()).collect();
+        let mut h: HeapQueue<u64> = HeapQueue::new(DEVICES);
+
+        // Seed one wakeup per device.
+        for (d, key) in keys.iter().enumerate() {
+            let at = (d as u64 + 1) * 257;
+            q.schedule_keyed(*key, at, d as u64);
+            h.schedule_keyed(d, at, d as u64);
+        }
+
+        let mut x: u64 = 0x243f_6a88_85a3_08d3; // deterministic LCG stream
+        for i in 0..150_000u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let d = (x >> 33) as usize % DEVICES;
+            let jitter = (x >> 17) & 0x3_ffff; // ≤ ~262 µs: densely packed timers
+                                               // Supersede the device's wakeup — the storm.
+            q.invalidate(keys[d]);
+            h.invalidate(d);
+            let at = h.now() + 500 + jitter;
+            q.schedule_keyed(keys[d], at, i);
+            h.schedule_keyed(d, at, i);
+            if x & 7 == 0 {
+                // Occasional plain event (arrival/epoch analogue), some far
+                // enough out to exercise the overflow calendar.
+                let far = if x & 63 == 0 { SPAN * 2 } else { 0 };
+                q.schedule(h.now() + 1_000 + far + (x & 0xffff), i);
+                h.schedule(h.now() + 1_000 + far + (x & 0xffff), i);
+            }
+            if x & 3 != 0 {
+                assert_eq!(q.pop(), h.pop(), "storm pop diverged at step {i}");
+            }
+        }
+        drain_both(&mut q, &mut h);
+        assert!(q.cancelled() > 40_000, "storm actually cancelled heavily");
+        assert_eq!(q.clamped(), 0);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// The timing-wheel queue is observationally identical to the
+            /// legacy binary-heap dispatch-and-discard queue: same pop
+            /// sequence (FIFO tie-break at equal timestamps), same clock,
+            /// same popped/clamped accounting — cancellation never
+            /// reorders or miscounts survivors.
+            #[test]
+            fn wheel_matches_heap(
+                ops in proptest::collection::vec((0u8..8, 0u8..8, 0u16..400), 1..120)
+            ) {
+                let mut q: EventQueue<u64> = EventQueue::new();
+                let keys: Vec<EventKey> = (0..KEYS).map(|_| q.register_key()).collect();
+                let mut h = HeapQueue::new(KEYS);
+                for (sel, k, dt) in ops {
+                    apply_both(&mut q, &keys, &mut h, sel, k, dt);
+                }
+                drain_both(&mut q, &mut h);
+            }
+
+            /// Same differential, but with timestamps spread far enough to
+            /// constantly cross the near-window boundary — the overflow
+            /// calendar and window advance must not disturb ordering.
+            #[test]
+            fn wheel_matches_heap_across_windows(
+                ops in proptest::collection::vec(
+                    (0u8..8, 0u8..8, 0u32..(3 * SPAN as u32)), 1..80)
+            ) {
+                let mut q: EventQueue<u64> = EventQueue::new();
+                let keys: Vec<EventKey> = (0..KEYS).map(|_| q.register_key()).collect();
+                let mut h = HeapQueue::new(KEYS);
+                for (sel, k, dt) in ops {
+                    let payload = h.next_seq;
+                    let k = (k as usize) % KEYS;
+                    match sel % 4 {
+                        0 => {
+                            let at = h.now() + dt as SimTime;
+                            q.schedule_keyed(keys[k], at, payload);
+                            h.schedule_keyed(k, at, payload);
+                        }
+                        1 => {
+                            let at = h.now() + dt as SimTime;
+                            q.schedule(at, payload);
+                            h.schedule(at, payload);
+                        }
+                        2 => {
+                            q.invalidate(keys[k]);
+                            h.invalidate(k);
+                        }
+                        _ => {
+                            prop_assert_eq!(q.pop(), h.pop());
+                            prop_assert_eq!(q.now(), h.now());
+                        }
+                    }
+                }
+                drain_both(&mut q, &mut h);
+            }
+        }
     }
 }
 
@@ -822,6 +1341,30 @@ mod proptests {
                     }
                 }
             }
+        }
+
+        /// The live-depth view never exceeds the legacy view, and both hit
+        /// zero together once the queue drains.
+        #[test]
+        fn live_depth_is_bounded_by_legacy_depth(
+            ops in proptest::collection::vec((0u8..8, 0u8..8, 0u16..300), 1..100)
+        ) {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            let keys: Vec<EventKey> = (0..KEYS).map(|_| q.register_key()).collect();
+            for (sel, k, dt) in ops {
+                let key = keys[(k as usize) % KEYS];
+                match sel % 4 {
+                    0 => q.schedule_keyed(key, q.now() + dt as u64, 0),
+                    1 => q.schedule(q.now() + dt as u64, 0),
+                    2 => q.invalidate(key),
+                    _ => { q.pop(); }
+                }
+                prop_assert!(q.live_len() <= q.len());
+                prop_assert!(q.peak_live_len() <= q.peak_len());
+            }
+            while q.pop().is_some() {}
+            prop_assert_eq!(q.live_len(), 0);
+            prop_assert_eq!(q.len(), 0);
         }
     }
 }

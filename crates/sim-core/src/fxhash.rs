@@ -1,0 +1,136 @@
+//! Fast deterministic hashing for simulator-internal maps.
+//!
+//! `std`'s default `HashMap` hasher is SipHash-1-3 with per-process random
+//! keys: HashDoS-resistant, but ~5x slower than needed for maps whose keys
+//! are simulator-assigned integer ids (jobs, contexts, streams) that no
+//! adversary controls, and randomly seeded — which this workspace forbids
+//! anyway (reproducibility). [`FxHasher`] is the word-at-a-time
+//! multiply-rotate polynomial popularised by the Firefox/rustc "FxHash":
+//! one rotate, one xor, one multiply per 8 bytes, zero seed state.
+//!
+//! Use [`FxHashMap`] / [`FxHashSet`] for any internal map on a hot path.
+//! Do **not** iterate them where order reaches an output surface: like any
+//! `HashMap`, iteration order is unspecified (here it is at least
+//! run-to-run stable, but still arbitrary) — sort first, or use `BTreeMap`
+//! for rendered/exported collections.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed by [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+/// `HashSet` keyed by [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+/// Stateless builder: every hasher starts from the same (zero) state, so
+/// hashes — and therefore map layouts — are identical across runs.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// Multiply-rotate polynomial hasher over 64-bit words.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+/// Odd multiplier (≈ 2^64 / φ) spreading entropy into the high bits the
+/// `HashMap` bucket index is taken from.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, n: u128) {
+        self.add(n as u64);
+        self.add((n >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        let mut h = FxHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+        assert_eq!(hash_of(&(7u32, 9u64)), hash_of(&(7u32, 9u64)));
+        assert_eq!(hash_of(&"job"), hash_of(&"job"));
+    }
+
+    #[test]
+    fn small_ids_spread() {
+        // Sequential ids (the common key shape) must not collide.
+        let hashes: FxHashSet<u64> = (0..10_000u64).map(|i| hash_of(&i)).collect();
+        assert_eq!(hashes.len(), 10_000);
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<(u32, u32), u64> = FxHashMap::default();
+        for i in 0..1000 {
+            m.insert((i, i * 2), i as u64);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&(7, 14)), Some(&7));
+        assert_eq!(m.remove(&(7, 14)), Some(7));
+        assert_eq!(m.get(&(7, 14)), None);
+    }
+
+    #[test]
+    fn byte_slices_chunk_correctly() {
+        // Distinct lengths with a shared prefix must differ (the padded
+        // tail chunk still feeds length-distinguishing bytes).
+        assert_ne!(hash_of(&[1u8, 2, 3][..].to_vec()), {
+            hash_of(&[1u8, 2, 3, 0][..].to_vec())
+        });
+    }
+}

@@ -31,6 +31,7 @@
 
 pub mod event;
 pub mod fault;
+pub mod fxhash;
 pub mod rng;
 pub mod stats;
 pub mod telemetry;
