@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+use remoting::topology::TopologySpec;
 use sim_core::fault::FaultPlan;
 use strings_harness::experiments::ExpScale;
 
@@ -49,6 +50,10 @@ pub const USAGE: &str = "common options:
                    (.jsonl extension selects JSONL)
   --faults PLAN    inject faults, e.g. 'crash@10s:gid0;partition@2s+500ms:node1'
                    (kinds: crash ecc nodeloss degrade partition)
+  --topology SPEC  cluster override for the serving experiments:
+                   node-a|single, supernode|paper, or NxM[:MODEL][@NET]
+                   (e.g. 64x4:c2050@calibrated); batch experiments keep
+                   their canonical paper shape
   --threads N      pin seed-sweep parallelism to N worker threads
                    (default: one per core; results are identical either way)
   --help           print this text
@@ -100,6 +105,7 @@ impl Cli {
                 }
                 "--trace" => scale.trace = Some(take()?.clone()),
                 "--faults" => scale.faults = FaultPlan::parse(take()?)?,
+                "--topology" => scale.topology = Some(TopologySpec::parse(take()?)?),
                 "--threads" => {
                     let n: usize = take()?
                         .parse()
@@ -191,6 +197,16 @@ mod tests {
         assert_eq!(cli.scale.seeds.len(), 2);
         assert_eq!(cli.scale.trace.as_deref(), Some("out.json"));
         assert_eq!(cli.scale.faults.len(), 1);
+    }
+
+    #[test]
+    fn topology_flag_reaches_the_scale() {
+        let cli = Cli::parse_from(&args("--topology 16x4:c2050")).unwrap();
+        let topo = cli.scale.topology.expect("topology parsed");
+        assert_eq!(topo.num_nodes(), 16);
+        assert_eq!(topo.num_devices(), 64);
+        assert!(Cli::parse_from(&args("--topology 0x4")).is_err());
+        assert!(Cli::parse_from(&[]).unwrap().scale.topology.is_none());
     }
 
     #[test]

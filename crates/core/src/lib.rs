@@ -22,6 +22,12 @@
 //!   The Request Monitor measures runtime/GPU-time/transfer/bandwidth and
 //!   the Feedback Engine ships those records back to the mapper.
 //!
+//! Above the mapper sits the cluster placement tier ([`placement`]):
+//! sticky tenant → node assignment over a [`remoting::TopologySpec`]'s
+//! node set, so the two-level decision is *tenant → node* (placement),
+//! then *request → device* (mapper) within whatever scope the balancer
+//! sees.
+//!
 //! For open-loop serving, [`admission`] adds the front door in front of
 //! the mapper: bounded per-tenant occupancy with shed-on-full and
 //! optional token-bucket rate limits, so `strings-sim serve` degrades by
@@ -40,9 +46,11 @@ pub mod config;
 pub mod device_sched;
 pub mod mapper;
 pub mod packer;
+pub mod placement;
 
 pub use admission::{AdmissionConfig, AdmissionController, AdmissionStats, RateLimit, ShedReason};
 pub use config::{SchedulerMode, StackConfig};
 pub use device_sched::{GpuPolicy, GpuScheduler};
 pub use mapper::{FeedbackRecord, GpuAffinityMapper, LbPolicy, WorkloadClass};
 pub use packer::{ContextPacker, PackedCall, PackerConfig};
+pub use placement::{ClusterPlacer, NodePolicy};

@@ -79,9 +79,19 @@ impl DeviceStatusTable {
         self.rows.is_empty()
     }
 
+    /// Row index of `gid`. Fast path: a table over a dense gMap keeps GID
+    /// *i* at row *i*; per-node shards hold global (non-zero-based) GIDs
+    /// and fall back to a scan over the node's few devices.
+    fn idx_of(&self, gid: Gid) -> Option<usize> {
+        match self.rows.get(gid.index()) {
+            Some(r) if r.gid == gid => Some(gid.index()),
+            _ => self.rows.iter().position(|r| r.gid == gid),
+        }
+    }
+
     /// Row lookup.
     pub fn row(&self, gid: Gid) -> Option<&DeviceStatus> {
-        self.rows.get(gid.index())
+        self.idx_of(gid).map(|i| &self.rows[i])
     }
 
     /// All rows in GID order.
@@ -91,12 +101,16 @@ impl DeviceStatusTable {
 
     /// Bind one instance of `class` to `gid`.
     pub fn bind(&mut self, gid: Gid, class: WorkloadClass) {
-        self.rows[gid.index()].bound.push(class);
+        let i = self.idx_of(gid).expect("bind to unknown gid");
+        self.rows[i].bound.push(class);
     }
 
     /// Unbind one instance of `class` from `gid` (no-op if absent).
     pub fn unbind(&mut self, gid: Gid, class: WorkloadClass) {
-        let bound = &mut self.rows[gid.index()].bound;
+        let Some(i) = self.idx_of(gid) else {
+            return;
+        };
+        let bound = &mut self.rows[i].bound;
         if let Some(pos) = bound.iter().position(|c| *c == class) {
             bound.swap_remove(pos);
         }
@@ -110,8 +124,8 @@ impl DeviceStatusTable {
     /// Retire a failed device: its row stays (GIDs are stable across
     /// failures) but selection policies skip it from now on. Idempotent.
     pub fn retire(&mut self, gid: Gid) {
-        if let Some(row) = self.rows.get_mut(gid.index()) {
-            row.retired = true;
+        if let Some(i) = self.idx_of(gid) {
+            self.rows[i].retired = true;
         }
     }
 

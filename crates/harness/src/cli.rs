@@ -12,11 +12,13 @@
 use crate::scenario::{LbScope, Scenario, StreamSpec};
 use crate::serve::ServeSpec;
 use remoting::gpool::NodeId;
+use remoting::topology::TopologySpec;
 use sim_core::SimDuration;
 use strings_core::admission::RateLimit;
 use strings_core::config::StackConfig;
 use strings_core::device_sched::{GpuPolicy, TenantId};
 use strings_core::mapper::LbPolicy;
+use strings_core::placement::NodePolicy;
 use strings_workloads::arrivals::ArrivalProcess;
 use strings_workloads::profile::AppKind;
 
@@ -127,6 +129,10 @@ options:
   --feedback POLICY:MIN           arbiter switch after MIN records
   --app KIND:COUNT:LOAD[:NODE]    request stream (repeatable) [MC:10:1.5]
   --nodes 1|2                     NodeA or NodeA+NodeB     [1]
+  --topology SPEC                 cluster shape (overrides --nodes):
+                                  node-a|single, supernode|paper, or
+                                  NxM[:MODEL][@NET], e.g. 64x4:c2050
+                                  NET: calibrated|gbe|ideal|LAT_US:BW_MBPS
   --scope global|local            balancer scope           [global]
   --vmem                          enable device virtual memory
   --seed N                        base RNG seed            [42]
@@ -164,6 +170,12 @@ options:
   --lb   grr|gmin|gwtmin|rtf|guf|dtf|mbf   balancer        [gwtmin]
   --gpu-policy none|tfs|las|ps    device dispatcher        [none]
   --nodes 1|2           NodeA or NodeA+NodeB     [2]
+  --topology SPEC       cluster shape (overrides --nodes): node-a|single,
+                        supernode|paper, or NxM[:MODEL][@NET], e.g.
+                        64x4:c2050@calibrated — N nodes of M GPUs
+  --placement rr|hash|least   tenant → node placement policy   [rr]
+  --node-metrics        add per-node rollup families to sampled metrics
+  --threads N           sweep worker threads for multi-seed runs
   --scope global|local  balancer scope           [global]
   --seed N              base RNG seed            [42]
   --seeds N             rerun over N seeds       [1]
@@ -192,6 +204,8 @@ pub struct ServeRun {
     /// Write sampled metrics to this path (`.jsonl` = JSONL time series,
     /// otherwise OpenMetrics text).
     pub metrics_out: Option<String>,
+    /// Pin the sweep worker-thread count for multi-seed runs.
+    pub threads: Option<usize>,
 }
 
 /// Parse a `serve` argument list (everything after the `serve` word).
@@ -208,6 +222,10 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeRun, CliError> {
     let mut lb = "gwtmin".to_string();
     let mut gpu = "none".to_string();
     let mut nodes = 2usize;
+    let mut topology: Option<TopologySpec> = None;
+    let mut placement = NodePolicy::RoundRobin;
+    let mut node_metrics = false;
+    let mut threads: Option<usize> = None;
     let mut scope = LbScope::Global;
     let mut seed = 42u64;
     let mut n_seeds = 1u64;
@@ -276,6 +294,18 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeRun, CliError> {
                     return err("--nodes must be 1 or 2");
                 }
             }
+            "--topology" => topology = Some(TopologySpec::parse(take()?).map_err(CliError)?),
+            "--placement" => placement = NodePolicy::parse(take()?).map_err(CliError)?,
+            "--node-metrics" => node_metrics = true,
+            "--threads" => {
+                let n: usize = take()?
+                    .parse()
+                    .map_err(|_| CliError("bad --threads".into()))?;
+                if n == 0 {
+                    return err("--threads must be at least 1");
+                }
+                threads = Some(n);
+            }
             "--scope" => {
                 scope = match take()?.as_str() {
                     "global" => LbScope::Global,
@@ -311,11 +341,17 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeRun, CliError> {
     stack = stack.with_gpu_policy(parse_gpu_policy(&gpu)?);
 
     let process = ArrivalProcess::parse(&arrivals).map_err(CliError)?;
-    let mut spec = if nodes == 2 {
-        ServeSpec::supernode(stack, process, duration, seed)
-    } else {
-        ServeSpec::single_node(stack, process, duration, seed)
-    };
+    // --topology wins over the --nodes 1|2 sugar when both are given.
+    let topo = topology.unwrap_or_else(|| {
+        if nodes == 2 {
+            TopologySpec::supernode()
+        } else {
+            TopologySpec::node_a()
+        }
+    });
+    let mut spec = ServeSpec::on(topo, stack, process, duration, seed);
+    spec.placement = placement;
+    spec.node_metrics = node_metrics;
     spec.scope = scope;
     spec.tenants = tenants;
     spec.apps = apps;
@@ -340,6 +376,7 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeRun, CliError> {
         trace,
         attribution,
         metrics_out,
+        threads,
     })
 }
 
@@ -351,6 +388,7 @@ pub fn parse_args(args: &[String]) -> Result<CliRun, CliError> {
     let mut feedback: Option<(LbPolicy, u64)> = None;
     let mut streams: Vec<StreamSpec> = Vec::new();
     let mut nodes = 1usize;
+    let mut topology: Option<TopologySpec> = None;
     let mut scope = LbScope::Global;
     let mut vmem = false;
     let mut seed = 42u64;
@@ -394,6 +432,7 @@ pub fn parse_args(args: &[String]) -> Result<CliRun, CliError> {
                     return err("--nodes must be 1 or 2");
                 }
             }
+            "--topology" => topology = Some(TopologySpec::parse(take()?).map_err(CliError)?),
             "--scope" => {
                 scope = match take()?.as_str() {
                     "global" => LbScope::Global,
@@ -420,10 +459,19 @@ pub fn parse_args(args: &[String]) -> Result<CliRun, CliError> {
     if streams.is_empty() {
         streams.push(parse_stream("MC:10:1.5", 0)?);
     }
+    // --topology wins over the --nodes 1|2 sugar when both are given.
+    let topo = topology.unwrap_or_else(|| {
+        if nodes == 2 {
+            TopologySpec::supernode()
+        } else {
+            TopologySpec::node_a()
+        }
+    });
+    let n_nodes = topo.num_nodes();
     for s in &streams {
-        if s.node.0 as usize >= nodes {
+        if s.node.0 as usize >= n_nodes {
             return err(format!(
-                "stream targets node {} but only {nodes} node(s) configured",
+                "stream targets node {} but only {n_nodes} node(s) configured",
                 s.node.0
             ));
         }
@@ -443,12 +491,7 @@ pub fn parse_args(args: &[String]) -> Result<CliRun, CliError> {
         stack = stack.with_feedback(p, m);
     }
 
-    let mut scenario = if nodes == 2 {
-        Scenario::supernode(stack, streams, seed)
-    } else {
-        Scenario::single_node(stack, streams, seed)
-    }
-    .with_scope(scope);
+    let mut scenario = Scenario::on(topo, stack, streams, seed).with_scope(scope);
     scenario.device_cfg.vmem = vmem;
     scenario.trace = trace.is_some();
     let seeds: Vec<u64> = (0..n_seeds).map(|i| seed + i * 7919).collect();
@@ -473,7 +516,7 @@ mod tests {
         assert_eq!(run.scenario.streams.len(), 1);
         assert_eq!(run.scenario.streams[0].app, AppKind::MC);
         assert_eq!(run.seeds, vec![42]);
-        assert_eq!(run.scenario.nodes.len(), 1);
+        assert_eq!(run.scenario.topology.num_nodes(), 1);
     }
 
     #[test]
@@ -531,7 +574,10 @@ mod tests {
     fn serve_defaults_build_a_valid_run() {
         let run = parse_serve_args(&[]).unwrap();
         assert_eq!(run.spec.tenants, 4);
-        assert_eq!(run.spec.nodes.len(), 2);
+        assert_eq!(run.spec.topology.num_nodes(), 2);
+        assert_eq!(run.spec.placement, NodePolicy::RoundRobin);
+        assert!(!run.spec.node_metrics);
+        assert!(run.threads.is_none());
         assert_eq!(run.spec.duration, SimDuration::from_secs(30));
         assert_eq!(run.seeds, vec![42]);
         assert!(run.trace.is_none());
@@ -553,10 +599,39 @@ mod tests {
         assert_eq!((rl.rate_rps, rl.burst), (10.0, 4.0));
         assert_eq!(run.spec.window, SimDuration::from_secs(2));
         assert_eq!(run.spec.server_threads, 6);
-        assert_eq!(run.spec.nodes.len(), 1);
+        assert_eq!(run.spec.topology.num_nodes(), 1);
         assert_eq!(run.spec.scope, LbScope::Local);
         assert_eq!(run.seeds.len(), 2);
         assert_eq!(run.spec.stack.label(), "GMinTFS-Rain");
+    }
+
+    #[test]
+    fn topology_flag_builds_clusters() {
+        let run = parse_args(&args("--topology 4x2:c2050 --app MC:4:1.0:3")).unwrap();
+        assert_eq!(run.scenario.topology.num_nodes(), 4);
+        assert_eq!(run.scenario.topology.num_devices(), 8);
+        // --topology overrides the --nodes sugar.
+        let run = parse_args(&args("--nodes 2 --topology single")).unwrap();
+        assert_eq!(run.scenario.topology.num_nodes(), 1);
+        // Stream validation follows the parsed topology.
+        assert!(parse_args(&args("--topology 2x1 --app MC:4:1.0:5")).is_err());
+        assert!(parse_args(&args("--topology 0x4")).is_err());
+    }
+
+    #[test]
+    fn serve_topology_placement_and_threads_parse() {
+        let run = parse_serve_args(&args(
+            "--topology 8x4:c2050@calibrated --placement least --threads 4 --node-metrics",
+        ))
+        .unwrap();
+        assert_eq!(run.spec.topology.num_nodes(), 8);
+        assert_eq!(run.spec.topology.num_devices(), 32);
+        assert_eq!(run.spec.placement, NodePolicy::LeastTenants);
+        assert!(run.spec.node_metrics);
+        assert_eq!(run.threads, Some(4));
+        assert!(parse_serve_args(&args("--placement random")).is_err());
+        assert!(parse_serve_args(&args("--threads 0")).is_err());
+        assert!(parse_serve_args(&args("--topology 4x4@warp9")).is_err());
     }
 
     #[test]

@@ -48,15 +48,30 @@ pub struct Results {
 
 /// The shared serving scenario (same shape as `experiments::serve`):
 /// supernode under Poisson load, 4 tenants, bounded per-tenant queues —
-/// with lightweight attribution recording switched on.
+/// with lightweight attribution recording switched on. A `--topology`
+/// override swaps the cluster in exactly as `experiments::serve` does.
 fn spec(stack: StackConfig, scale: &ExpScale) -> ServeSpec {
     let duration = SimDuration::from_secs(scale.requests.max(4) as u64);
-    let mut s = ServeSpec::supernode(
-        stack,
-        ArrivalProcess::Poisson { rate_rps: RATE_RPS },
-        duration,
-        scale.seeds[0],
-    );
+    let mut s = match &scale.topology {
+        None => ServeSpec::supernode(
+            stack,
+            ArrivalProcess::Poisson { rate_rps: RATE_RPS },
+            duration,
+            scale.seeds[0],
+        ),
+        Some(topo) => {
+            let rate_rps = RATE_RPS * topo.num_devices() as f64 / 4.0;
+            let mut s = ServeSpec::on(
+                topo.clone(),
+                stack,
+                ArrivalProcess::Poisson { rate_rps },
+                duration,
+                scale.seeds[0],
+            );
+            s.tenants = topo.num_nodes().max(4);
+            s
+        }
+    };
     s.admission.queue_depth = 8;
     s.faults = scale.faults.clone();
     s.attribution = true;

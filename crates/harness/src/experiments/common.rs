@@ -4,6 +4,7 @@ use crate::scenario::{LbScope, Scenario, StreamSpec};
 use crate::sweep;
 use gpu_sim::spec::GpuModel;
 use remoting::gpool::NodeId;
+use remoting::topology::TopologySpec;
 use sim_core::fault::FaultPlan;
 use strings_core::config::StackConfig;
 use strings_core::device_sched::TenantId;
@@ -27,6 +28,11 @@ pub struct ExpScale {
     /// Extra fault injections (`--faults` on the regeneration binaries),
     /// layered on top of whatever an experiment injects itself.
     pub faults: FaultPlan,
+    /// Cluster override (`--topology` on the regeneration binaries).
+    /// `None` keeps each experiment's canonical shape (the paper's
+    /// supernode); serving experiments honour it by scaling their offered
+    /// load and tenancy to the cluster.
+    pub topology: Option<TopologySpec>,
 }
 
 impl ExpScale {
@@ -38,6 +44,7 @@ impl ExpScale {
             seeds: vec![101, 202, 303],
             trace: None,
             faults: FaultPlan::none(),
+            topology: None,
         }
     }
 
@@ -49,6 +56,7 @@ impl ExpScale {
             seeds: vec![101],
             trace: None,
             faults: FaultPlan::none(),
+            topology: None,
         }
     }
 }

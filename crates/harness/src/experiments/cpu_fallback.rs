@@ -12,6 +12,7 @@ use super::common::ExpScale;
 use crate::scenario::{Scenario, StreamSpec};
 use gpu_sim::spec::GpuModel;
 use remoting::gpool::{NodeId, NodeSpec};
+use remoting::topology::TopologySpec;
 use strings_core::config::StackConfig;
 use strings_core::device_sched::TenantId;
 use strings_core::mapper::LbPolicy;
@@ -65,7 +66,7 @@ fn measure(with_cpu: bool, label: &'static str, scale: &ExpScale) -> Outcome {
     // RTF learns per-target runtimes, so the CPU only gets work it suits.
     let cfg = StackConfig::strings(LbPolicy::GWtMin).with_feedback(LbPolicy::Rtf, 6);
     let mut scen = Scenario::single_node(cfg, burst(scale), 23);
-    scen.nodes = vec![node];
+    scen.topology = TopologySpec::of_nodes(vec![node]);
     let stats = scen.run();
     let cpu_kernels = if with_cpu {
         stats

@@ -16,6 +16,7 @@ use crate::scenario::{Scenario, StreamSpec};
 use gpu_sim::spec::GpuModel;
 use remoting::backend::BackendDesign;
 use remoting::gpool::{NodeId, NodeSpec};
+use remoting::topology::TopologySpec;
 use sim_core::fault::FaultPlan;
 use strings_core::config::StackConfig;
 use strings_core::device_sched::TenantId;
@@ -61,7 +62,7 @@ fn measure(design_cfg: StackConfig, label: &'static str, scale: &ExpScale) -> Ou
         server_threads: 8,
     };
     let mut scen = Scenario::single_node(design_cfg, vec![stream], 17);
-    scen.nodes = vec![node];
+    scen.topology = TopologySpec::of_nodes(vec![node]);
     scen.faults = FaultPlan::none().crash_at(FAULT_AT_NS, 0);
     for ev in scale.faults.events() {
         scen.faults.push(ev.at, ev.kind);

@@ -12,6 +12,7 @@ use super::common::{normalized_stream, ExpScale};
 use crate::scenario::Scenario;
 use gpu_sim::spec::GpuModel;
 use remoting::gpool::{NodeId, NodeSpec};
+use remoting::topology::TopologySpec;
 use sim_core::telemetry::combined_busy_fraction;
 use strings_core::config::StackConfig;
 use strings_core::device_sched::TenantId;
@@ -82,7 +83,7 @@ pub fn run(scale: &ExpScale) -> Results {
         let stream = normalized_stream(app, NodeId(0), TenantId(0), scale.requests, scale.load);
         let mut scen =
             Scenario::single_node(StackConfig::cuda_runtime(), vec![stream], scale.seeds[0]);
-        scen.nodes = vec![node.clone()];
+        scen.topology = TopologySpec::of_nodes(vec![node.clone()]);
         let stats = scen.run();
         let t = &stats.device_telemetry[0];
         let end = stats.makespan_ns.max(1);

@@ -10,6 +10,7 @@ use super::common::ExpScale;
 use crate::scenario::{Scenario, StreamSpec};
 use gpu_sim::spec::GpuModel;
 use remoting::gpool::{NodeId, NodeSpec};
+use remoting::topology::TopologySpec;
 use sim_core::telemetry::{combined_busy_fraction, combined_idle_gaps};
 use sim_core::trace::Trace;
 use strings_core::config::StackConfig;
@@ -69,7 +70,7 @@ fn measure(cfg: StackConfig, label: &'static str, scale: &ExpScale) -> Timeline 
         server_threads: 8,
     };
     let mut scen = Scenario::single_node(cfg, vec![mk(0), mk(1)], scale.seeds[0]);
-    scen.nodes = vec![node];
+    scen.topology = TopologySpec::of_nodes(vec![node]);
     scen.trace = true;
     let mut stats = scen.run();
     let trace = stats.trace.take().expect("fig02 always records a trace");

@@ -18,6 +18,7 @@ use super::common::ExpScale;
 use crate::scenario::{Scenario, StreamSpec};
 use gpu_sim::spec::GpuModel;
 use remoting::gpool::{NodeId, NodeSpec};
+use remoting::topology::TopologySpec;
 use strings_core::config::StackConfig;
 use strings_core::device_sched::{GpuPolicy, TenantId};
 use strings_core::mapper::LbPolicy;
@@ -62,7 +63,7 @@ fn run_tenants(
     node: &NodeSpec,
 ) -> std::collections::BTreeMap<strings_core::device_sched::TenantId, u64> {
     let mut scen = Scenario::single_node(cfg, streams, seed);
-    scen.nodes = vec![node.clone()];
+    scen.topology = TopologySpec::of_nodes(vec![node.clone()]);
     scen.fairness_horizon = Some(HORIZON_NS);
     scen.run().tenant_service_ns
 }

@@ -43,15 +43,31 @@ pub struct Results {
 
 /// The shared serving scenario: the supernode under Poisson load, 4
 /// tenants, bounded per-tenant queues. `requests` in the scale sets the
-/// arrival window in seconds (quick = 8 s, full = 30 s).
+/// arrival window in seconds (quick = 8 s, full = 30 s). A `--topology`
+/// override swaps the cluster in and scales the offered rate and tenant
+/// count with it (the canned rate targets the 4-GPU supernode).
 fn spec(stack: StackConfig, scale: &ExpScale) -> ServeSpec {
     let duration = SimDuration::from_secs(scale.requests.max(4) as u64);
-    let mut s = ServeSpec::supernode(
-        stack,
-        ArrivalProcess::Poisson { rate_rps: RATE_RPS },
-        duration,
-        scale.seeds[0],
-    );
+    let mut s = match &scale.topology {
+        None => ServeSpec::supernode(
+            stack,
+            ArrivalProcess::Poisson { rate_rps: RATE_RPS },
+            duration,
+            scale.seeds[0],
+        ),
+        Some(topo) => {
+            let rate_rps = RATE_RPS * topo.num_devices() as f64 / 4.0;
+            let mut s = ServeSpec::on(
+                topo.clone(),
+                stack,
+                ArrivalProcess::Poisson { rate_rps },
+                duration,
+                scale.seeds[0],
+            );
+            s.tenants = topo.num_nodes().max(4);
+            s
+        }
+    };
     s.admission.queue_depth = 8;
     s.faults = scale.faults.clone();
     s

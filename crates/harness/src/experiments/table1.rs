@@ -10,6 +10,7 @@
 use crate::scenario::{Scenario, StreamSpec};
 use gpu_sim::spec::GpuModel;
 use remoting::gpool::{NodeId, NodeSpec};
+use remoting::topology::TopologySpec;
 use strings_core::config::StackConfig;
 use strings_core::device_sched::TenantId;
 use strings_metrics::report::Table;
@@ -55,7 +56,7 @@ pub fn run() -> Results {
             server_threads: 1,
         };
         let mut scen = Scenario::single_node(StackConfig::cuda_runtime(), vec![stream], 1);
-        scen.nodes = vec![node.clone()];
+        scen.topology = TopologySpec::of_nodes(vec![node.clone()]);
         let stats = scen.run();
         let t = &stats.device_telemetry[0];
         let end = stats.makespan_ns.max(1);

@@ -14,6 +14,7 @@ use super::common::ExpScale;
 use crate::scenario::{Scenario, StreamSpec};
 use gpu_sim::spec::GpuModel;
 use remoting::gpool::{NodeId, NodeSpec};
+use remoting::topology::TopologySpec;
 use strings_core::config::StackConfig;
 use strings_core::device_sched::TenantId;
 use strings_core::mapper::LbPolicy;
@@ -59,7 +60,7 @@ fn burst(scale: &ExpScale) -> Vec<StreamSpec> {
 fn measure(vmem: bool, label: &'static str, scale: &ExpScale) -> Outcome {
     let node = NodeSpec::new(0, vec![GpuModel::Quadro2000]);
     let mut scen = Scenario::single_node(StackConfig::strings(LbPolicy::GMin), burst(scale), 3);
-    scen.nodes = vec![node];
+    scen.topology = TopologySpec::of_nodes(vec![node]);
     scen.device_cfg.vmem = vmem;
     let stats = scen.run();
     Outcome {

@@ -8,7 +8,8 @@
 use crate::world::{PlannedRequest, World};
 use crate::RunStats;
 use gpu_sim::device::DeviceConfig;
-use remoting::gpool::{NodeId, NodeSpec};
+use remoting::gpool::NodeId;
+use remoting::topology::TopologySpec;
 use serde::{Deserialize, Serialize};
 use sim_core::fault::FaultPlan;
 use sim_core::rng::SimRng;
@@ -46,24 +47,6 @@ impl Default for HostCosts {
             malloc_ns: 10_000,
             kernel_issue_ns: 5_000,
             balancer_rtt_ns: 8_000,
-        }
-    }
-}
-
-/// The two RPC channel media used by a run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct ChannelPair {
-    /// Same-node frontend↔backend channel.
-    pub shm: remoting::channel::ChannelSpec,
-    /// Cross-node channel.
-    pub net: remoting::channel::ChannelSpec,
-}
-
-impl Default for ChannelPair {
-    fn default() -> Self {
-        ChannelPair {
-            shm: remoting::channel::ChannelSpec::shared_memory(),
-            net: remoting::channel::ChannelSpec::calibrated_network(),
         }
     }
 }
@@ -117,8 +100,8 @@ impl StreamSpec {
 /// A complete experiment description.
 #[derive(Debug, Clone)]
 pub struct Scenario {
-    /// Machines and their GPUs.
-    pub nodes: Vec<NodeSpec>,
+    /// Machines, their GPUs, and the network joining them.
+    pub topology: TopologySpec,
     /// Scheduler stack under test.
     pub stack: StackConfig,
     /// Balancer scope.
@@ -127,8 +110,6 @@ pub struct Scenario {
     pub device_cfg: DeviceConfig,
     /// Host-side costs.
     pub costs: HostCosts,
-    /// RPC channel timing.
-    pub channels: ChannelPair,
     /// Request streams, one per slot.
     pub streams: Vec<StreamSpec>,
     /// Only service completed before this instant counts toward the
@@ -148,15 +129,21 @@ pub struct Scenario {
 }
 
 impl Scenario {
-    /// Single-node scenario (the paper's NodeA) with the given stack.
-    pub fn single_node(stack: StackConfig, streams: Vec<StreamSpec>, seed: u64) -> Self {
+    /// Scenario over an explicit [`TopologySpec`] — the general
+    /// constructor; [`Scenario::single_node`] and [`Scenario::supernode`]
+    /// are canned shorthands.
+    pub fn on(
+        topology: TopologySpec,
+        stack: StackConfig,
+        streams: Vec<StreamSpec>,
+        seed: u64,
+    ) -> Self {
         Scenario {
-            nodes: vec![NodeSpec::node_a(0)],
+            topology,
             stack,
             scope: LbScope::Global,
             device_cfg: DeviceConfig::default(),
             costs: HostCosts::default(),
-            channels: ChannelPair::default(),
             streams,
             fairness_horizon: None,
             faults: FaultPlan::none(),
@@ -166,22 +153,14 @@ impl Scenario {
         }
     }
 
+    /// Single-node scenario (the paper's NodeA) with the given stack.
+    pub fn single_node(stack: StackConfig, streams: Vec<StreamSpec>, seed: u64) -> Self {
+        Self::on(TopologySpec::node_a(), stack, streams, seed)
+    }
+
     /// The paper's emulated supernode: NodeA + NodeB over GbE.
     pub fn supernode(stack: StackConfig, streams: Vec<StreamSpec>, seed: u64) -> Self {
-        Scenario {
-            nodes: vec![NodeSpec::node_a(0), NodeSpec::node_b(1)],
-            stack,
-            scope: LbScope::Global,
-            device_cfg: DeviceConfig::default(),
-            costs: HostCosts::default(),
-            channels: ChannelPair::default(),
-            streams,
-            fairness_horizon: None,
-            faults: FaultPlan::none(),
-            seed,
-            trace: false,
-            attribution: false,
-        }
+        Self::on(TopologySpec::supernode(), stack, streams, seed)
     }
 
     /// Inject the given fault plan during the run.
@@ -253,12 +232,11 @@ impl Scenario {
     pub fn run_with_seed(&self, seed: u64) -> RunStats {
         let requests = self.plan_with_seed(seed);
         let mut world = World::new(
-            &self.nodes,
+            &self.topology,
             self.device_cfg,
             self.stack,
             self.scope,
             self.costs,
-            self.channels,
             requests,
             self.fairness_horizon,
         );

@@ -16,11 +16,11 @@
 //! host programs), so a serve run is byte-reproducible and seed sweeps
 //! can fan out across threads ([`crate::sweep::run_serve_seeds`]).
 
-use crate::scenario::{ChannelPair, HostCosts, LbScope};
+use crate::scenario::{HostCosts, LbScope};
 use crate::stats::RunStats;
 use crate::world::{PlannedRequest, World};
 use gpu_sim::device::DeviceConfig;
-use remoting::gpool::{NodeId, NodeSpec};
+use remoting::topology::TopologySpec;
 use sim_core::fault::FaultPlan;
 use sim_core::rng::SimRng;
 use sim_core::SimDuration;
@@ -28,6 +28,7 @@ use strings_core::admission::AdmissionConfig;
 use strings_core::config::StackConfig;
 use strings_core::device_sched::TenantId;
 use strings_core::mapper::WorkloadClass;
+use strings_core::placement::{ClusterPlacer, NodePolicy};
 use strings_metrics::slo::SloReport;
 use strings_workloads::arrivals::ArrivalProcess;
 use strings_workloads::profile::AppKind;
@@ -37,8 +38,10 @@ use strings_workloads::tracegen::TraceGenerator;
 /// admission policy. Compile and run with [`ServeSpec::run`].
 #[derive(Debug, Clone)]
 pub struct ServeSpec {
-    /// Machines and their GPUs.
-    pub nodes: Vec<NodeSpec>,
+    /// Machines, their GPUs, and the network joining them.
+    pub topology: TopologySpec,
+    /// Cluster placement: which node hosts each tenant's frontend.
+    pub placement: NodePolicy,
     /// Scheduler stack under test.
     pub stack: StackConfig,
     /// Balancer scope.
@@ -47,8 +50,6 @@ pub struct ServeSpec {
     pub device_cfg: DeviceConfig,
     /// Host-side costs.
     pub costs: HostCosts,
-    /// RPC channel timing.
-    pub channels: ChannelPair,
     /// The offered load.
     pub arrivals: ArrivalProcess,
     /// How long requests keep arriving (the run itself drains the tail).
@@ -76,6 +77,9 @@ pub struct ServeSpec {
     /// Sample the unified metrics registry on this virtual-time cadence
     /// (None = no metrics).
     pub metrics_every: Option<SimDuration>,
+    /// Also register per-node rollup families in the registry (opt-in so
+    /// the default exposition stays stable; most useful at cluster scale).
+    pub node_metrics: bool,
 }
 
 impl ServeSpec {
@@ -88,13 +92,38 @@ impl ServeSpec {
         duration: SimDuration,
         seed: u64,
     ) -> Self {
+        Self::on(TopologySpec::node_a(), stack, arrivals, duration, seed)
+    }
+
+    /// The paper's emulated supernode (NodeA + NodeB) as the serving
+    /// substrate; otherwise the [`ServeSpec::single_node`] defaults.
+    pub fn supernode(
+        stack: StackConfig,
+        arrivals: ArrivalProcess,
+        duration: SimDuration,
+        seed: u64,
+    ) -> Self {
+        Self::on(TopologySpec::supernode(), stack, arrivals, duration, seed)
+    }
+
+    /// Serve on an explicit [`TopologySpec`] — the general constructor the
+    /// canned shorthands delegate to. Defaults: 4 tenants of the
+    /// short-running Gaussian app, round-robin tenant placement, queue
+    /// depth 64, a 1 s fairness window, 8 server threads per tenant.
+    pub fn on(
+        topology: TopologySpec,
+        stack: StackConfig,
+        arrivals: ArrivalProcess,
+        duration: SimDuration,
+        seed: u64,
+    ) -> Self {
         ServeSpec {
-            nodes: vec![NodeSpec::node_a(0)],
+            topology,
+            placement: NodePolicy::RoundRobin,
             stack,
             scope: LbScope::Global,
             device_cfg: DeviceConfig::default(),
             costs: HostCosts::default(),
-            channels: ChannelPair::default(),
             arrivals,
             duration,
             tenants: 4,
@@ -107,20 +136,8 @@ impl ServeSpec {
             trace: false,
             attribution: false,
             metrics_every: None,
+            node_metrics: false,
         }
-    }
-
-    /// The paper's emulated supernode (NodeA + NodeB) as the serving
-    /// substrate; otherwise the [`ServeSpec::single_node`] defaults.
-    pub fn supernode(
-        stack: StackConfig,
-        arrivals: ArrivalProcess,
-        duration: SimDuration,
-        seed: u64,
-    ) -> Self {
-        let mut s = Self::single_node(stack, arrivals, duration, seed);
-        s.nodes = vec![NodeSpec::node_a(0), NodeSpec::node_b(1)];
-        s
     }
 
     /// Compile the open-loop request schedule for an explicit seed. One
@@ -136,7 +153,11 @@ impl ServeSpec {
         let mut tenant_rng = root.fork(0x7E4A);
         let mut gen_rng = root.fork(0x6E4);
         let gen = TraceGenerator::default();
-        let n_nodes = self.nodes.len();
+        // Cluster placement tier: tenant -> node, sticky per tenant. The
+        // round-robin default reproduces the historical `tenant % n_nodes`
+        // striping byte-for-byte on dense node ids.
+        let node_ids: Vec<_> = self.topology.nodes().iter().map(|n| n.id).collect();
+        let mut placer = ClusterPlacer::new(&node_ids, self.placement);
         self.arrivals
             .generate(self.duration, &mut arrival_rng)
             .into_iter()
@@ -150,7 +171,7 @@ impl ServeSpec {
                     arrival: a.at,
                     slot: tenant,
                     class: WorkloadClass(app as u32),
-                    node: NodeId((tenant % n_nodes) as u32),
+                    node: placer.place(tenant as u32),
                     tenant: TenantId(tenant as u32),
                     weight: 1.0,
                     server_threads: self.server_threads,
@@ -172,12 +193,11 @@ impl ServeSpec {
     pub fn run_with_seed(&self, seed: u64) -> RunStats {
         let requests = self.plan_with_seed(seed);
         let mut world = World::new(
-            &self.nodes,
+            &self.topology,
             self.device_cfg,
             self.stack,
             self.scope,
             self.costs,
-            self.channels,
             requests,
             None,
         );
@@ -192,6 +212,9 @@ impl ServeSpec {
         }
         if let Some(every) = self.metrics_every {
             world.enable_metrics(every);
+            if self.node_metrics {
+                world.enable_node_metrics();
+            }
         }
         world.run()
     }

@@ -165,7 +165,7 @@ mod tests {
         // thread; run_all must re-raise that payload, not a generic
         // "a scoped thread panicked" or a poisoned-slot expect.
         let mut bad = tiny(1);
-        bad.nodes = Vec::new();
+        bad.topology = remoting::topology::TopologySpec::of_nodes(Vec::new());
         let scenarios = vec![tiny(0), bad, tiny(2), tiny(3)];
         let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_all(scenarios)))
             .expect_err("the empty topology must panic");

@@ -11,7 +11,7 @@
 //! mutator, so the borrow story stays simple and a run is exactly
 //! reproducible from its seed.
 
-use crate::scenario::{ChannelPair, HostCosts, LbScope};
+use crate::scenario::{HostCosts, LbScope};
 use crate::stats::{RunStats, TenantOutcomes};
 use cuda_sim::call::CudaCall;
 use cuda_sim::host::{AppId, BlockOn, HostThread, ProcessId};
@@ -23,9 +23,11 @@ use gpu_sim::device::{CompletedJob, Device, DeviceConfig};
 use gpu_sim::ids::{ContextId, JobId, StreamId};
 use gpu_sim::job::{CopyDirection, JobKind};
 use remoting::backend::{BackendDesign, APP_PID_BASE, HOST_PID_BASE};
-use remoting::channel::{ChannelKind, ChannelSpec};
-use remoting::gpool::{GMap, Gid, NodeId, NodeSpec};
+use remoting::channel::ChannelSpec;
+use remoting::gpool::{Gid, NodeId, ShardedGPool};
+use remoting::network::NetworkModel;
 use remoting::telemetry::RpcCounters;
+use remoting::topology::TopologySpec;
 use sim_core::event::EventQueue;
 use sim_core::fault::{FaultKind, FaultPlan};
 use sim_core::fxhash::FxHashMap;
@@ -199,10 +201,15 @@ pub struct World {
     cfg: StackConfig,
     scope: LbScope,
     costs: HostCosts,
-    channels: ChannelPair,
-    gmap: GMap,
-    /// Per-node GID offset (GIDs are dense node-major).
-    node_gid_base: Vec<usize>,
+    /// Inter-node network: answers "which channel joins these two nodes?".
+    /// Boxed so exotic fabrics can be plugged in via
+    /// [`World::set_network`]; scenarios install their declarative
+    /// [`remoting::NetworkSpec`].
+    net: Box<dyn NetworkModel + Send>,
+    /// The cluster gPool, sharded per node. The global map drives device
+    /// construction and failure bookkeeping; local-scope balancers see
+    /// their node's shard (same global GIDs — no renumbering anywhere).
+    gpool: ShardedGPool,
     devices: Vec<Device>,
     schedulers: Vec<GpuScheduler>,
     packers: Vec<ContextPacker>,
@@ -279,34 +286,31 @@ pub struct World {
     metrics: Option<MetricsRegistry>,
     /// Virtual-time metrics sampling cadence, ns.
     metrics_every: u64,
+    /// Sample per-node rollup families too (opt-in: cluster topologies).
+    node_metrics: bool,
     /// RPC-layer counters (always maintained; plain integer adds).
     rpc: RpcCounters,
 }
 
 impl World {
     /// Build a world from a topology, a scheduler stack, and a request
-    /// schedule.
-    #[allow(clippy::too_many_arguments)]
+    /// schedule. The [`TopologySpec`] is the single source of truth for
+    /// nodes, devices, and the inter-node network.
     pub fn new(
-        nodes: &[NodeSpec],
+        topology: &TopologySpec,
         device_cfg: DeviceConfig,
         cfg: StackConfig,
         scope: LbScope,
         costs: HostCosts,
-        channels: ChannelPair,
         requests: Vec<PlannedRequest>,
         fairness_horizon: Option<SimTime>,
     ) -> World {
-        let gmap = GMap::build(nodes);
-        let n = gmap.len();
+        let nodes = topology.nodes();
+        let gpool = ShardedGPool::build(nodes);
+        let n = gpool.global().len();
         assert!(n > 0, "topology has no GPUs");
-        let mut node_gid_base = Vec::with_capacity(nodes.len());
-        let mut acc = 0usize;
-        for node in nodes {
-            node_gid_base.push(acc);
-            acc += node.gpus.len();
-        }
-        let devices: Vec<Device> = gmap
+        let devices: Vec<Device> = gpool
+            .global()
             .entries()
             .iter()
             .enumerate()
@@ -323,12 +327,16 @@ impl World {
             .collect();
         let packers = (0..n).map(|_| ContextPacker::new(cfg.packer)).collect();
         // Workload balancers: one global, or one per node (local scope).
+        // Per-node balancers see their node's gPool shard, which keeps
+        // cluster-wide GIDs — selections need no renumbering.
         let mappers = match (cfg.arbiter(), scope) {
             (None, _) => Vec::new(),
-            (Some(arb), LbScope::Global) => vec![GpuAffinityMapper::new(&gmap, arb)],
+            (Some(arb), LbScope::Global) => vec![GpuAffinityMapper::new(gpool.global(), arb)],
             (Some(arb), LbScope::Local) => nodes
                 .iter()
-                .map(|node| GpuAffinityMapper::new(&GMap::build(std::slice::from_ref(node)), arb))
+                .map(|node| {
+                    GpuAffinityMapper::new(gpool.shard(node.id).expect("shard per node"), arb)
+                })
                 .collect(),
         };
         let n_slots = requests.iter().map(|r| r.slot + 1).max().unwrap_or(1);
@@ -340,9 +348,8 @@ impl World {
             cfg,
             scope,
             costs,
-            channels,
-            gmap,
-            node_gid_base,
+            net: Box::new(topology.network().clone()),
+            gpool,
             devices,
             schedulers,
             packers,
@@ -391,6 +398,7 @@ impl World {
             attr_ctx: FxHashMap::default(),
             metrics: None,
             metrics_every: 0,
+            node_metrics: false,
             rpc: RpcCounters::default(),
         };
         // Design II/III backends own one context per GPU, created when the
@@ -405,6 +413,14 @@ impl World {
             }
         }
         world
+    }
+
+    /// Replace the inter-node network model. Scenarios install their
+    /// topology's declarative [`remoting::NetworkSpec`]; custom
+    /// [`NetworkModel`] implementations (oversubscribed switches, WAN
+    /// links) plug in here. Call before [`World::run`].
+    pub fn set_network(&mut self, net: Box<dyn NetworkModel + Send>) {
+        self.net = net;
     }
 
     /// Turn on structured tracing: every device engine, scheduler, mapper
@@ -547,6 +563,36 @@ impl World {
         );
         self.metrics = Some(m);
         self.metrics_every = every.as_ns().max(1);
+    }
+
+    /// Opt into per-node rollup families (cluster topologies): live
+    /// devices, kernel/copy completions, and mean compute occupancy per
+    /// node, labelled `node="N"`. Must follow [`World::enable_metrics`].
+    /// The default family set is untouched, so single-node and supernode
+    /// expositions stay byte-identical when this is off.
+    pub fn enable_node_metrics(&mut self) {
+        use MetricKind::{Counter, Gauge};
+        let m = self
+            .metrics
+            .as_mut()
+            .expect("enable_metrics before enable_node_metrics");
+        m.register("node_devices_live", Gauge, "Live devices per node");
+        m.register(
+            "node_kernels_completed_total",
+            Counter,
+            "Kernels completed per node",
+        );
+        m.register(
+            "node_copies_completed_total",
+            Counter,
+            "Copies completed per node",
+        );
+        m.register(
+            "node_compute_occupancy",
+            Gauge,
+            "Mean SM occupancy over a node's devices (0..1)",
+        );
+        self.node_metrics = true;
     }
 
     /// Schedule a backend-process crash on device `gid` at time `at`
@@ -906,6 +952,23 @@ impl World {
             m.set("gpu_kernels_completed_total", l, t.kernels_completed as f64);
             m.set("gpu_copies_completed_total", l, t.copies_completed as f64);
         }
+        if self.node_metrics {
+            for (node, shard) in self.gpool.shards() {
+                let n = node.0.to_string();
+                let l: &[(&str, &str)] = &[("node", n.as_str())];
+                let (mut kernels, mut copies, mut occ) = (0u64, 0u64, 0.0f64);
+                for e in shard.entries() {
+                    let t = &self.devices[e.gid.index()].telemetry;
+                    kernels += t.kernels_completed;
+                    copies += t.copies_completed;
+                    occ += t.compute.level_at(now);
+                }
+                m.set("node_devices_live", l, shard.live_len() as f64);
+                m.set("node_kernels_completed_total", l, kernels as f64);
+                m.set("node_copies_completed_total", l, copies as f64);
+                m.set("node_compute_occupancy", l, occ / shard.len().max(1) as f64);
+            }
+        }
         m.set("cuda_pending_jobs", &[], self.pending.total() as f64);
         m.set(
             "cuda_contexts_active",
@@ -967,20 +1030,23 @@ impl World {
         f(a).max(f(b)).max(1.0)
     }
 
+    /// Hosting node of a device.
+    fn dev_node(&self, gid: Gid) -> NodeId {
+        self.gpool.global().entry(gid).expect("gid in gmap").node
+    }
+
     fn channel(&self, node: NodeId, gid: Gid) -> ChannelSpec {
-        match self.gmap.channel_to(node, gid).expect("gid in gmap") {
-            ChannelKind::SharedMemory => self.channels.shm,
-            ChannelKind::Network => self.channels.net,
-        }
+        self.net.channel(node, self.dev_node(gid))
     }
 
     /// Bulk copy payloads cross the *network* channel byte for byte, but a
     /// same-node frontend/backend pair passes buffers through shared memory
     /// zero-copy — only the control message is marshalled.
     fn bulk_bytes(&self, node: NodeId, gid: Gid, bytes: u64) -> u64 {
-        match self.gmap.channel_to(node, gid).expect("gid in gmap") {
-            ChannelKind::SharedMemory => 0,
-            ChannelKind::Network => bytes,
+        if self.dev_node(gid) == node {
+            0
+        } else {
+            bytes
         }
     }
 
@@ -1218,7 +1284,7 @@ impl World {
         match call {
             CudaCall::SetDevice { device } => {
                 let a = self.app(app);
-                let local = self.gmap.local_gids(a.node);
+                let local = self.gpool.global().local_gids(a.node);
                 assert!(!local.is_empty(), "node without GPUs");
                 let gid = local[(device as usize) % local.len()];
                 self.bind_direct(app, gid);
@@ -1347,7 +1413,7 @@ impl World {
             let a = self.app(app);
             (a.node, a.incarnation, a.slot)
         };
-        let dev_node = self.gmap.entry(gid).expect("gid in gmap").node;
+        let dev_node = self.dev_node(gid);
         let policy = self.cfg.retry;
         if blocks && policy.is_enabled() && self.link_partition_heal(node, dev_node, now) > now {
             // The packet is dropped on the floor; only the deadline tells.
@@ -1514,34 +1580,22 @@ impl World {
 
     fn select_gid(&mut self, app: AppId, class: WorkloadClass, node: NodeId, now: SimTime) -> Gid {
         let request = app.index() as u64;
-        match self.scope {
-            LbScope::Global => {
-                let gid = self.mappers[0].select_device(class, node);
-                self.mappers[0].bind(gid, class);
-                self.mappers[0].note_placement(now, request, class, node, gid);
-                gid
-            }
-            LbScope::Local => {
-                let base = self.node_gid_base[node.0 as usize];
-                let m = &mut self.mappers[node.0 as usize];
-                let local = m.select_device(class, node);
-                m.bind(local, class);
-                let gid = Gid((base + local.index()) as u32);
-                // Report the pool-wide GID so trace consumers need not know
-                // about per-node renumbering.
-                m.note_placement(now, request, class, node, gid);
-                gid
-            }
-        }
+        // Per-node shards carry cluster-wide GIDs, so both scopes speak
+        // the same id space and nothing is renumbered.
+        let m = match self.scope {
+            LbScope::Global => &mut self.mappers[0],
+            LbScope::Local => &mut self.mappers[node.0 as usize],
+        };
+        let gid = m.select_device(class, node);
+        m.bind(gid, class);
+        m.note_placement(now, request, class, node, gid);
+        gid
     }
 
     fn unbind_gid(&mut self, gid: Gid, node: NodeId, class: WorkloadClass) {
         match self.scope {
             LbScope::Global => self.mappers[0].unbind(gid, class),
-            LbScope::Local => {
-                let local = Gid((gid.index() - self.node_gid_base[node.0 as usize]) as u32);
-                self.mappers[node.0 as usize].unbind(local, class);
-            }
+            LbScope::Local => self.mappers[node.0 as usize].unbind(gid, class),
         }
     }
 
@@ -1554,10 +1608,7 @@ impl World {
     ) {
         match self.scope {
             LbScope::Global => self.mappers[0].feedback(class, gid, rec),
-            LbScope::Local => {
-                let local = Gid((gid.index() - self.node_gid_base[node.0 as usize]) as u32);
-                self.mappers[node.0 as usize].feedback(class, local, rec);
-            }
+            LbScope::Local => self.mappers[node.0 as usize].feedback(class, gid, rec),
         }
     }
 
@@ -1595,7 +1646,7 @@ impl World {
         let a = self.app(app);
         let node = a.node;
         let chan = self.channel(node, gid);
-        let dev_node = self.gmap.entry(gid).expect("gid in gmap").node;
+        let dev_node = self.dev_node(gid);
         let ret = self.bulk_bytes(node, gid, packed.call.rpc_return_bytes());
         let factor = self.link_factor(node, dev_node, now);
         let ret_base = chan.transfer_ns(ret);
@@ -1920,10 +1971,10 @@ impl World {
     /// guarantee), the balancer retires its DST row, and every bound
     /// application fails over to a survivor.
     fn on_device_failure(&mut self, gid: Gid, now: SimTime) {
-        if self.gmap.entry(gid).is_none() || self.gmap.is_lost(gid) {
+        if self.gpool.global().entry(gid).is_none() || self.gpool.global().is_lost(gid) {
             return;
         }
-        self.gmap.fail_device(gid).expect("known gid");
+        self.gpool.fail_device(gid).expect("known gid");
         self.retire_gid(gid, now);
         self.note_gmap_rebuild(now);
         self.fail_bound_apps(gid, now);
@@ -1938,7 +1989,7 @@ impl World {
             return;
         }
         self.node_lost[n] = true;
-        let newly = self.gmap.fail_node(node);
+        let newly = self.gpool.fail_node(node);
         for gid in &newly {
             self.retire_gid(*gid, now);
         }
@@ -1970,13 +2021,13 @@ impl World {
                 self.trk_faults,
                 now,
                 "gmap_rebuild",
-                vec![("survivors", self.gmap.live_len().to_string())],
+                vec![("survivors", self.gpool.global().live_len().to_string())],
             );
         }
     }
 
-    /// Retire a lost device in whichever mapper owns it (pool-wide GID for
-    /// the global balancer; node-local GID for per-node balancers).
+    /// Retire a lost device in whichever mapper owns it (both scopes use
+    /// the pool-wide GID — shards are not renumbered).
     fn retire_gid(&mut self, gid: Gid, now: SimTime) {
         if self.mappers.is_empty() {
             return;
@@ -1984,9 +2035,8 @@ impl World {
         match self.scope {
             LbScope::Global => self.mappers[0].retire(now, gid),
             LbScope::Local => {
-                let node = self.gmap.entry(gid).expect("known gid").node;
-                let local = Gid((gid.index() - self.node_gid_base[node.0 as usize]) as u32);
-                self.mappers[node.0 as usize].retire(now, local);
+                let node = self.dev_node(gid);
+                self.mappers[node.0 as usize].retire(now, gid);
             }
         }
     }
@@ -2326,12 +2376,11 @@ mod tests {
 
     fn run(cfg: StackConfig, reqs: Vec<PlannedRequest>) -> RunStats {
         World::new(
-            &[NodeSpec::node_a(0)],
+            &TopologySpec::node_a(),
             DeviceConfig::default(),
             cfg,
             LbScope::Global,
             HostCosts::default(),
-            ChannelPair::default(),
             reqs,
             None,
         )
@@ -2429,15 +2478,16 @@ mod tests {
     fn tfs_divides_service_between_tenants() {
         use strings_core::device_sched::GpuPolicy;
         // Two long-ish apps on a single-GPU node, equal weights.
-        let node = NodeSpec::new(0, vec![gpu_sim::spec::GpuModel::TeslaC2050]);
+        let topo = TopologySpec::builder()
+            .node(vec![gpu_sim::spec::GpuModel::TeslaC2050])
+            .build();
         let reqs = requests(&[(AppKind::HI, 0, 0), (AppKind::MM, 1, 0)]);
         let stats = World::new(
-            &[node],
+            &topo,
             DeviceConfig::default(),
             StackConfig::strings(LbPolicy::GMin).with_gpu_policy(GpuPolicy::Tfs),
             LbScope::Global,
             HostCosts::default(),
-            ChannelPair::default(),
             reqs,
             Some(10_000_000_000), // 10 s horizon
         )
@@ -2499,12 +2549,11 @@ mod tests {
             r
         };
         let stats = World::new(
-            &[NodeSpec::node_a(0), NodeSpec::node_b(1)],
+            &TopologySpec::supernode(),
             DeviceConfig::default(),
             StackConfig::strings(LbPolicy::GMin),
             LbScope::Local,
             HostCosts::default(),
-            ChannelPair::default(),
             reqs,
             None,
         )

@@ -5,6 +5,11 @@
 //! Gigabit Ethernet links; it deliberately treats remote GPUs "much like
 //! NUMA memory", ignoring network contention — so we model a channel as a
 //! fixed latency plus a bandwidth term, with no queueing across apps.
+//!
+//! Which channel joins which pair of nodes is decided by a
+//! [`crate::network::NetworkModel`]; the canned media live there as
+//! constants ([`crate::network::SHARED_MEMORY`],
+//! [`crate::network::GIGABIT_ETHERNET`], [`crate::network::CALIBRATED_GBE`]).
 
 use serde::{Deserialize, Serialize};
 
@@ -28,66 +33,60 @@ pub struct ChannelSpec {
 
 impl ChannelSpec {
     /// Default shared-memory channel: ~3 µs per message, 8 GB/s.
+    #[deprecated(since = "0.2.0", note = "use `network::SHARED_MEMORY`")]
     pub fn shared_memory() -> Self {
-        ChannelSpec {
-            latency_ns: 3_000,
-            bandwidth_mbps: 8_000.0,
-        }
+        crate::network::SHARED_MEMORY
     }
 
     /// Default Gigabit Ethernet channel: ~60 µs per message, 125 MB/s wire
     /// rate (1 Gb/s).
+    #[deprecated(since = "0.2.0", note = "use `network::GIGABIT_ETHERNET`")]
     pub fn gigabit_ethernet() -> Self {
-        ChannelSpec {
-            latency_ns: 60_000,
-            bandwidth_mbps: 125.0,
-        }
+        crate::network::GIGABIT_ETHERNET
     }
 
-    /// The calibrated cross-node channel used by the experiments: GbE
-    /// latency, but an effective bulk rate of 2.5 GB/s. The paper's
-    /// benchmarks issue many small latency-bound copies (a 2048-point
-    /// Monte Carlo does not move gigabytes); our trace generator sizes
-    /// copy *bytes* so that PCIe time matches Table I, which overstates the
-    /// unique payload that must cross the remoting channel. The calibrated
-    /// rate compensates, keeping remote GPUs in the NUMA-like regime the
-    /// paper describes ("treat remote GPUs much like NUMA memory").
+    /// The calibrated cross-node channel used by the experiments.
+    #[deprecated(since = "0.2.0", note = "use `network::CALIBRATED_GBE`")]
     pub fn calibrated_network() -> Self {
-        ChannelSpec {
-            latency_ns: 60_000,
-            bandwidth_mbps: 2_500.0,
-        }
+        crate::network::CALIBRATED_GBE
     }
 
     /// Spec for a [`ChannelKind`] with default parameters.
+    #[deprecated(since = "0.2.0", note = "use `network::for_kind`")]
     pub fn for_kind(kind: ChannelKind) -> Self {
-        match kind {
-            ChannelKind::SharedMemory => Self::shared_memory(),
-            ChannelKind::Network => Self::gigabit_ethernet(),
-        }
+        crate::network::for_kind(kind)
     }
 
     /// One-way transfer time for a message of `bytes` payload.
+    ///
+    /// Saturates at `u64::MAX` ns instead of overflowing: multi-exabyte
+    /// payloads (or adversarial byte counts from fuzzing) clamp to "longer
+    /// than any simulation", never wrap to a small number. The float→int
+    /// cast is itself saturating in Rust, so the only overflow site is the
+    /// final latency addition.
     pub fn transfer_ns(&self, bytes: u64) -> u64 {
         let bw_bytes_per_ns = self.bandwidth_mbps * 1e6 / 1e9;
-        self.latency_ns + (bytes as f64 / bw_bytes_per_ns).ceil() as u64
+        let wire_ns = (bytes as f64 / bw_bytes_per_ns).ceil() as u64;
+        self.latency_ns.saturating_add(wire_ns)
     }
 
     /// Round-trip time for a request of `req_bytes` and reply of
-    /// `reply_bytes`.
+    /// `reply_bytes`. Saturating, like [`ChannelSpec::transfer_ns`].
     pub fn round_trip_ns(&self, req_bytes: u64, reply_bytes: u64) -> u64 {
-        self.transfer_ns(req_bytes) + self.transfer_ns(reply_bytes)
+        self.transfer_ns(req_bytes)
+            .saturating_add(self.transfer_ns(reply_bytes))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::network::{CALIBRATED_GBE, GIGABIT_ETHERNET, SHARED_MEMORY};
 
     #[test]
     fn shared_memory_is_much_faster_than_network() {
-        let shm = ChannelSpec::shared_memory();
-        let net = ChannelSpec::gigabit_ethernet();
+        let shm = SHARED_MEMORY;
+        let net = GIGABIT_ETHERNET;
         // Small control message.
         assert!(shm.transfer_ns(64) < net.transfer_ns(64) / 10);
         // Bulk payload: 1 MB.
@@ -97,21 +96,27 @@ mod tests {
 
     #[test]
     fn transfer_time_scales_with_bytes() {
-        let net = ChannelSpec::gigabit_ethernet();
+        let net = GIGABIT_ETHERNET;
         // 125 MB/s → 1 MB takes 8 ms + latency.
         let t = net.transfer_ns(1_000_000);
         assert_eq!(t, 60_000 + 8_000_000);
     }
 
     #[test]
+    fn calibrated_network_bulk_rate() {
+        // 2.5 GB/s → 1 MB takes 400 µs + latency.
+        assert_eq!(CALIBRATED_GBE.transfer_ns(1_000_000), 60_000 + 400_000);
+    }
+
+    #[test]
     fn zero_byte_message_costs_latency_only() {
-        let shm = ChannelSpec::shared_memory();
+        let shm = SHARED_MEMORY;
         assert_eq!(shm.transfer_ns(0), shm.latency_ns);
     }
 
     #[test]
     fn round_trip_is_sum_of_directions() {
-        let c = ChannelSpec::for_kind(ChannelKind::Network);
+        let c = crate::network::for_kind(ChannelKind::Network);
         assert_eq!(
             c.round_trip_ns(100, 50),
             c.transfer_ns(100) + c.transfer_ns(50)
@@ -119,14 +124,31 @@ mod tests {
     }
 
     #[test]
-    fn for_kind_dispatch() {
+    fn huge_transfers_saturate_instead_of_overflowing() {
+        let c = ChannelSpec {
+            latency_ns: u64::MAX - 10,
+            bandwidth_mbps: 0.001,
+        };
+        assert_eq!(c.transfer_ns(u64::MAX), u64::MAX);
+        assert_eq!(c.round_trip_ns(u64::MAX, u64::MAX), u64::MAX);
+        // A fast channel with huge payload still saturates the cast.
+        let g = GIGABIT_ETHERNET;
+        assert!(g.transfer_ns(u64::MAX) >= g.transfer_ns(u64::MAX / 2));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_forward_to_network_consts() {
+        assert_eq!(ChannelSpec::shared_memory(), SHARED_MEMORY);
+        assert_eq!(ChannelSpec::gigabit_ethernet(), GIGABIT_ETHERNET);
+        assert_eq!(ChannelSpec::calibrated_network(), CALIBRATED_GBE);
         assert_eq!(
             ChannelSpec::for_kind(ChannelKind::SharedMemory),
-            ChannelSpec::shared_memory()
+            SHARED_MEMORY
         );
         assert_eq!(
             ChannelSpec::for_kind(ChannelKind::Network),
-            ChannelSpec::gigabit_ethernet()
+            GIGABIT_ETHERNET
         );
     }
 }

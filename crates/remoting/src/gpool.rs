@@ -254,6 +254,131 @@ impl GMap {
             .find(|e| e.node == node && e.local == local)
             .map(|e| e.gid)
     }
+
+    /// Node join: append `node`'s devices with fresh GIDs above the current
+    /// maximum. Existing rows — including fail-stopped ones — are untouched,
+    /// so every GID a frontend already holds stays valid. Returns the new
+    /// GIDs in local device order.
+    pub fn extend(&mut self, node: &NodeSpec) -> Vec<Gid> {
+        let next = self.entries.iter().map(|e| e.gid.0 + 1).max().unwrap_or(0);
+        let mut added = Vec::with_capacity(node.gpus.len());
+        for (li, &model) in node.gpus.iter().enumerate() {
+            let gid = Gid(next + li as u32);
+            self.entries.push(GMapEntry {
+                gid,
+                node: node.id,
+                local: DeviceId(li as u32),
+                model,
+                weight: model.spec().static_weight(),
+            });
+            self.lost.push(false);
+            added.push(gid);
+        }
+        added
+    }
+
+    /// Restrict the map to rows hosted on `node`, keeping global GIDs.
+    /// This is the per-node shard a local-scope balancer sees.
+    pub fn restricted_to(&self, node: NodeId) -> GMap {
+        let (entries, lost): (Vec<GMapEntry>, Vec<bool>) = self
+            .entries
+            .iter()
+            .zip(&self.lost)
+            .filter(|(e, _)| e.node == node)
+            .map(|(e, &l)| (e.clone(), l))
+            .unzip();
+        GMap { entries, lost }
+    }
+}
+
+/// The gPool sharded per node: one authoritative cluster-wide [`GMap`]
+/// plus a per-node restriction of it for local-scope balancers.
+///
+/// Shards keep **global** GIDs — a device answers to the same id whether it
+/// is reached through the cluster map or its node's shard, so frontends and
+/// the fairness ledger never translate ids. Failure operations apply to the
+/// global map and every affected shard atomically.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardedGPool {
+    global: GMap,
+    shards: Vec<(NodeId, GMap)>,
+}
+
+impl ShardedGPool {
+    /// Build from per-node device reports (one shard per node, in report
+    /// order).
+    pub fn build(nodes: &[NodeSpec]) -> Self {
+        let global = GMap::build(nodes);
+        let shards = nodes
+            .iter()
+            .map(|n| (n.id, global.restricted_to(n.id)))
+            .collect();
+        ShardedGPool { global, shards }
+    }
+
+    /// The cluster-wide map.
+    pub fn global(&self) -> &GMap {
+        &self.global
+    }
+
+    /// The shard for `node`, if that node has reported in.
+    pub fn shard(&self, node: NodeId) -> Option<&GMap> {
+        self.shards
+            .iter()
+            .find(|(id, _)| *id == node)
+            .map(|(_, m)| m)
+    }
+
+    /// All shards in node-report order.
+    pub fn shards(&self) -> impl Iterator<Item = (NodeId, &GMap)> {
+        self.shards.iter().map(|(id, m)| (*id, m))
+    }
+
+    /// Number of nodes with a shard.
+    pub fn num_nodes(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Node join: allocate fresh GIDs for the newcomer's devices and add
+    /// its shard. Existing GIDs across the whole pool are untouched.
+    pub fn join(&mut self, node: &NodeSpec) -> Vec<Gid> {
+        let added = self.global.extend(node);
+        self.shards
+            .push((node.id, self.global.restricted_to(node.id)));
+        added
+    }
+
+    /// Fail one device in the global map and its hosting shard.
+    pub fn fail_device(&mut self, gid: Gid) -> Result<()> {
+        let node = self.global.entry(gid).map(|e| e.node);
+        self.global.fail_device(gid)?;
+        if let Some(node) = node {
+            if let Some((_, shard)) = self.shards.iter_mut().find(|(id, _)| *id == node) {
+                let _ = shard.fail_device(gid);
+            }
+        }
+        Ok(())
+    }
+
+    /// Node loss: fail every device on `node` globally and in its shard.
+    /// Returns the GIDs newly marked lost, in GID order.
+    pub fn fail_node(&mut self, node: NodeId) -> Vec<Gid> {
+        let newly = self.global.fail_node(node);
+        if let Some((_, shard)) = self.shards.iter_mut().find(|(id, _)| *id == node) {
+            shard.fail_node(node);
+        }
+        newly
+    }
+
+    /// Node leave (graceful or crash, after failover): drop the node's
+    /// shard and compact the global map to the survivors. Surviving GIDs
+    /// are stable, exactly as in [`GMap::rebuild`].
+    pub fn leave(&mut self, node: NodeId) -> Vec<Gid> {
+        let newly = self.fail_node(node);
+        self.global = self.global.rebuild();
+        self.shards.retain(|(id, _)| *id != node);
+        newly
+    }
 }
 
 #[cfg(test)]
@@ -390,6 +515,92 @@ mod tests {
         assert_eq!(
             rebuilt.channel_to(NodeId(0), Gid(2)),
             Some(ChannelKind::Network)
+        );
+    }
+
+    #[test]
+    fn extend_appends_fresh_gids_above_max() {
+        let mut m = supernode();
+        let added = m.extend(&NodeSpec::new(2, vec![GpuModel::TeslaC2050; 2]));
+        assert_eq!(added, vec![Gid(4), Gid(5)]);
+        assert_eq!(m.len(), 6);
+        assert_eq!(m.entry(Gid(4)).unwrap().node, NodeId(2));
+        // Joining after a compaction never reuses a dead GID's number… is
+        // not required — but it must never collide with a *live* one.
+        let mut m = supernode();
+        m.fail_device(Gid(3)).unwrap();
+        let compact = m.rebuild(); // live gids 0,1,2
+        let mut compact = compact;
+        let added = compact.extend(&NodeSpec::new(2, vec![GpuModel::TeslaC2050]));
+        assert_eq!(added, vec![Gid(3)]);
+        assert_eq!(compact.lookup(Gid(3)).unwrap().node, NodeId(2));
+    }
+
+    #[test]
+    fn sharded_pool_keeps_global_gids_in_shards() {
+        let pool = ShardedGPool::build(&[NodeSpec::node_a(0), NodeSpec::node_b(1)]);
+        assert_eq!(pool.num_nodes(), 2);
+        let shard1 = pool.shard(NodeId(1)).unwrap();
+        // NodeB's devices keep their cluster-wide GIDs 2 and 3.
+        assert_eq!(shard1.gids().collect::<Vec<_>>(), vec![Gid(2), Gid(3)]);
+        assert_eq!(shard1.lookup(Gid(2)).unwrap().local, DeviceId(0));
+        assert!(shard1.lookup(Gid(0)).is_err(), "foreign GID not in shard");
+        assert_eq!(pool.shard(NodeId(9)), None);
+    }
+
+    #[test]
+    fn sharded_pool_gid_stability_across_joins_and_leaves() {
+        let mut pool = ShardedGPool::build(&[
+            NodeSpec::new(0, vec![GpuModel::TeslaC2050; 2]),
+            NodeSpec::new(1, vec![GpuModel::TeslaC2050; 2]),
+        ]);
+        let before: Vec<Gid> = pool.global().gids().collect();
+
+        // Join: newcomer gets fresh GIDs, incumbents keep theirs.
+        let added = pool.join(&NodeSpec::new(2, vec![GpuModel::TeslaC2070; 2]));
+        assert_eq!(added, vec![Gid(4), Gid(5)]);
+        assert_eq!(
+            pool.global().gids().take(before.len()).collect::<Vec<_>>(),
+            before
+        );
+        assert_eq!(
+            pool.shard(NodeId(2)).unwrap().gids().collect::<Vec<_>>(),
+            vec![Gid(4), Gid(5)]
+        );
+
+        // Leave: the departed node's GIDs vanish, everyone else's survive
+        // with identical rows.
+        let g4 = pool.global().entry(Gid(4)).unwrap().clone();
+        let lost = pool.leave(NodeId(1));
+        assert_eq!(lost, vec![Gid(2), Gid(3)]);
+        assert_eq!(pool.num_nodes(), 2);
+        assert_eq!(pool.shard(NodeId(1)), None);
+        assert_eq!(pool.global().lookup(Gid(4)).unwrap(), &g4);
+        assert_eq!(
+            pool.global().surviving_gids(),
+            vec![Gid(0), Gid(1), Gid(4), Gid(5)]
+        );
+        assert!(pool.global().lookup(Gid(2)).is_err());
+
+        // Re-join after leave: fresh GIDs again, no collision with live.
+        let re = pool.join(&NodeSpec::new(1, vec![GpuModel::TeslaC2050]));
+        assert_eq!(re, vec![Gid(6)]);
+    }
+
+    #[test]
+    fn sharded_pool_failures_propagate_to_shards() {
+        let mut pool = ShardedGPool::build(&[NodeSpec::node_a(0), NodeSpec::node_b(1)]);
+        pool.fail_device(Gid(2)).unwrap();
+        assert!(pool.global().is_lost(Gid(2)));
+        assert!(pool.shard(NodeId(1)).unwrap().is_lost(Gid(2)));
+        assert!(!pool.shard(NodeId(1)).unwrap().is_lost(Gid(3)));
+        let newly = pool.fail_node(NodeId(1));
+        assert_eq!(newly, vec![Gid(3)]);
+        assert_eq!(pool.shard(NodeId(1)).unwrap().live_len(), 0);
+        assert_eq!(pool.global().live_len(), 2);
+        assert_eq!(
+            pool.fail_device(Gid(9)).unwrap_err(),
+            Error::UnknownGid(Gid(9))
         );
     }
 

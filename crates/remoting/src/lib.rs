@@ -9,8 +9,13 @@
 //! * [`rpc`] — packet marshalling/unmarshalling (`bytes`-based) and the RPC
 //!   cost model (per-call marshal time + per-byte costs),
 //! * [`channel`] — shared-memory and Gigabit-Ethernet channel timing,
+//! * [`network`] — pluggable [`NetworkModel`] between nodes; the canned
+//!   shm/GbE media live here as constants,
+//! * [`topology`] — [`TopologySpec`]: N nodes × M devices plus the network
+//!   joining them, with a builder and the `--topology` CLI grammar,
 //! * [`gpool`] — the logical aggregation of every GPU in the supernode into
 //!   a single pool (gPool) with its GID → (node, local device) map (gMap),
+//!   sharded per node by [`ShardedGPool`],
 //! * [`backend`] — the three frontend→backend worker mappings of Figure 5
 //!   (Design I: process per app; Design II: one master thread per GPU;
 //!   Design III: per-GPU process with a thread per app — Strings),
@@ -28,17 +33,21 @@ pub mod backend;
 pub mod channel;
 pub mod error;
 pub mod gpool;
+pub mod network;
 pub mod retry;
 pub mod rpc;
 pub mod telemetry;
+pub mod topology;
 
 pub use backend::BackendDesign;
 pub use channel::{ChannelKind, ChannelSpec};
 pub use error::{Error, Result};
-pub use gpool::{GMap, Gid, NodeId, NodeSpec};
+pub use gpool::{GMap, Gid, NodeId, NodeSpec, ShardedGPool};
+pub use network::{NetworkModel, NetworkSpec};
 pub use retry::RetryPolicy;
 pub use rpc::{RpcCostModel, RpcPacket};
 pub use telemetry::RpcCounters;
+pub use topology::TopologySpec;
 
 /// One-stop import for downstream crates:
 /// `use remoting::prelude::*;`.
@@ -46,8 +55,10 @@ pub mod prelude {
     pub use crate::backend::BackendDesign;
     pub use crate::channel::{ChannelKind, ChannelSpec};
     pub use crate::error::{Error, Result};
-    pub use crate::gpool::{GMap, GMapEntry, Gid, NodeId, NodeSpec};
+    pub use crate::gpool::{GMap, GMapEntry, Gid, NodeId, NodeSpec, ShardedGPool};
+    pub use crate::network::{LinkSpec, NetworkModel, NetworkSpec};
     pub use crate::retry::RetryPolicy;
     pub use crate::rpc::{RpcCostModel, RpcPacket};
     pub use crate::telemetry::RpcCounters;
+    pub use crate::topology::{TopologyBuilder, TopologySpec};
 }

@@ -1,0 +1,360 @@
+//! Pluggable inter-node network models.
+//!
+//! The paper's supernode joins two nodes with a fixed shared-memory /
+//! Gigabit-Ethernet channel pair. A [`NetworkModel`] generalizes that to an
+//! arbitrary latency/bandwidth graph over N nodes: the harness asks the
+//! model for the [`ChannelSpec`] between a frontend's node and a device's
+//! node, and everything downstream (RPC timing, bulk copies, attribution)
+//! works unchanged.
+//!
+//! [`NetworkSpec`] is the serializable, declarative subset used by
+//! scenarios and the CLI; custom `NetworkModel` implementations can be
+//! plugged into a world directly for exotic fabrics (oversubscribed ToR
+//! switches, WAN links, …).
+
+use crate::channel::{ChannelKind, ChannelSpec};
+use crate::gpool::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Default shared-memory channel: ~3 µs per message, 8 GB/s.
+pub const SHARED_MEMORY: ChannelSpec = ChannelSpec {
+    latency_ns: 3_000,
+    bandwidth_mbps: 8_000.0,
+};
+
+/// Default Gigabit Ethernet channel: ~60 µs per message, 125 MB/s wire
+/// rate (1 Gb/s).
+pub const GIGABIT_ETHERNET: ChannelSpec = ChannelSpec {
+    latency_ns: 60_000,
+    bandwidth_mbps: 125.0,
+};
+
+/// The calibrated cross-node channel used by the experiments: GbE latency,
+/// but an effective bulk rate of 2.5 GB/s. The paper's benchmarks issue
+/// many small latency-bound copies (a 2048-point Monte Carlo does not move
+/// gigabytes); our trace generator sizes copy *bytes* so that PCIe time
+/// matches Table I, which overstates the unique payload that must cross the
+/// remoting channel. The calibrated rate compensates, keeping remote GPUs
+/// in the NUMA-like regime the paper describes ("treat remote GPUs much
+/// like NUMA memory").
+pub const CALIBRATED_GBE: ChannelSpec = ChannelSpec {
+    latency_ns: 60_000,
+    bandwidth_mbps: 2_500.0,
+};
+
+/// Default channel for a [`ChannelKind`].
+pub fn for_kind(kind: ChannelKind) -> ChannelSpec {
+    match kind {
+        ChannelKind::SharedMemory => SHARED_MEMORY,
+        ChannelKind::Network => GIGABIT_ETHERNET,
+    }
+}
+
+/// A latency/bandwidth graph between nodes.
+///
+/// `channel(src, dst)` answers "what medium does a frontend on `src` use to
+/// reach a backend on `dst`?". Implementations must be deterministic: the
+/// simulator calls this on the hot path and byte-stable replay depends on
+/// identical answers for identical arguments.
+pub trait NetworkModel {
+    /// Channel from a frontend on `src` to a backend daemon on `dst`.
+    fn channel(&self, src: NodeId, dst: NodeId) -> ChannelSpec;
+
+    /// Short human-readable label for reports.
+    fn label(&self) -> String;
+
+    /// One-way transfer time for `bytes` between the two nodes.
+    fn transfer_ns(&self, src: NodeId, dst: NodeId, bytes: u64) -> u64 {
+        self.channel(src, dst).transfer_ns(bytes)
+    }
+
+    /// Which medium class the pair uses (same node ⇒ shared memory).
+    fn kind(&self, src: NodeId, dst: NodeId) -> ChannelKind {
+        if src == dst {
+            ChannelKind::SharedMemory
+        } else {
+            ChannelKind::Network
+        }
+    }
+}
+
+/// One cross-node link override in a [`NetworkSpec::Graph`]. Links are
+/// symmetric: `(a, b)` also answers `(b, a)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// One endpoint.
+    pub a: NodeId,
+    /// The other endpoint.
+    pub b: NodeId,
+    /// Channel for this pair, both directions.
+    pub channel: ChannelSpec,
+}
+
+/// Declarative, serializable network description — the concrete
+/// [`NetworkModel`] used by scenarios, serve specs, and the CLI.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum NetworkSpec {
+    /// Every same-node pair uses `local`, every cross-node pair `remote`
+    /// (the paper's shm/GbE supernode, generalized to N nodes).
+    Uniform {
+        /// Same-node frontend↔backend channel.
+        local: ChannelSpec,
+        /// Cross-node channel.
+        remote: ChannelSpec,
+    },
+    /// Uniform defaults plus per-link overrides (degraded links, fast
+    /// intra-rack pairs, …).
+    Graph {
+        /// Same-node frontend↔backend channel.
+        local: ChannelSpec,
+        /// Cross-node channel when no override matches.
+        remote: ChannelSpec,
+        /// Symmetric per-pair overrides, first match wins.
+        links: Vec<LinkSpec>,
+    },
+}
+
+impl NetworkSpec {
+    /// The experiments' default fabric: shared memory locally, the
+    /// calibrated GbE channel across nodes. Reproduces the historical
+    /// `ChannelSpec::shared_memory()` / `calibrated_network()` pair
+    /// byte-for-byte.
+    pub fn calibrated() -> Self {
+        NetworkSpec::Uniform {
+            local: SHARED_MEMORY,
+            remote: CALIBRATED_GBE,
+        }
+    }
+
+    /// Raw Gigabit Ethernet across nodes (the paper's wire-rate medium).
+    /// Reproduces the historical `ChannelSpec::shared_memory()` /
+    /// `gigabit_ethernet()` pair byte-for-byte.
+    pub fn gigabit_ethernet() -> Self {
+        NetworkSpec::Uniform {
+            local: SHARED_MEMORY,
+            remote: GIGABIT_ETHERNET,
+        }
+    }
+
+    /// An idealized fabric where remote nodes are as close as local ones
+    /// (upper bound for "how much does the network cost us?" ablations).
+    pub fn ideal() -> Self {
+        NetworkSpec::Uniform {
+            local: SHARED_MEMORY,
+            remote: SHARED_MEMORY,
+        }
+    }
+
+    /// Uniform fabric with explicit channels.
+    pub fn uniform(local: ChannelSpec, remote: ChannelSpec) -> Self {
+        NetworkSpec::Uniform { local, remote }
+    }
+
+    /// Add or extend per-link overrides, converting to
+    /// [`NetworkSpec::Graph`] if needed.
+    pub fn with_link(self, a: NodeId, b: NodeId, channel: ChannelSpec) -> Self {
+        let link = LinkSpec { a, b, channel };
+        match self {
+            NetworkSpec::Uniform { local, remote } => NetworkSpec::Graph {
+                local,
+                remote,
+                links: vec![link],
+            },
+            NetworkSpec::Graph {
+                local,
+                remote,
+                mut links,
+            } => {
+                links.push(link);
+                NetworkSpec::Graph {
+                    local,
+                    remote,
+                    links,
+                }
+            }
+        }
+    }
+
+    /// Parse a network grammar (the `@NET` suffix of `--topology`):
+    ///
+    /// ```text
+    /// calibrated            shm local, calibrated 2.5 GB/s remote (default)
+    /// gbe                   shm local, raw 1 Gb/s Ethernet remote
+    /// ideal                 remote links as fast as shared memory
+    /// LAT_US:BW_MBPS        custom remote link, e.g. 100:1000
+    /// ```
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "calibrated" => return Ok(Self::calibrated()),
+            "gbe" => return Ok(Self::gigabit_ethernet()),
+            "ideal" => return Ok(Self::ideal()),
+            _ => {}
+        }
+        let (lat, bw) = s.split_once(':').ok_or_else(|| {
+            format!("unknown network '{s}' (want calibrated|gbe|ideal|LAT_US:BW_MBPS)")
+        })?;
+        let lat_us: u64 = lat
+            .parse()
+            .map_err(|_| format!("bad network latency '{lat}' (integer µs)"))?;
+        let bw_mbps: f64 = bw
+            .parse()
+            .map_err(|_| format!("bad network bandwidth '{bw}' (MB/s)"))?;
+        if bw_mbps <= 0.0 {
+            return Err(format!("network bandwidth must be positive, got {bw_mbps}"));
+        }
+        Ok(NetworkSpec::Uniform {
+            local: SHARED_MEMORY,
+            remote: ChannelSpec {
+                latency_ns: lat_us * 1_000,
+                bandwidth_mbps: bw_mbps,
+            },
+        })
+    }
+}
+
+impl NetworkModel for NetworkSpec {
+    fn channel(&self, src: NodeId, dst: NodeId) -> ChannelSpec {
+        match self {
+            NetworkSpec::Uniform { local, remote } => {
+                if src == dst {
+                    *local
+                } else {
+                    *remote
+                }
+            }
+            NetworkSpec::Graph {
+                local,
+                remote,
+                links,
+            } => {
+                if src == dst {
+                    return *local;
+                }
+                links
+                    .iter()
+                    .find(|l| (l.a == src && l.b == dst) || (l.a == dst && l.b == src))
+                    .map(|l| l.channel)
+                    .unwrap_or(*remote)
+            }
+        }
+    }
+
+    fn label(&self) -> String {
+        match self {
+            NetworkSpec::Uniform { remote, .. } if *remote == CALIBRATED_GBE => "calibrated".into(),
+            NetworkSpec::Uniform { remote, .. } if *remote == GIGABIT_ETHERNET => "gbe".into(),
+            NetworkSpec::Uniform { remote, .. } if *remote == SHARED_MEMORY => "ideal".into(),
+            NetworkSpec::Uniform { remote, .. } => format!(
+                "uniform({}us:{}MB/s)",
+                remote.latency_ns / 1_000,
+                remote.bandwidth_mbps
+            ),
+            NetworkSpec::Graph { links, .. } => format!("graph({} links)", links.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N0: NodeId = NodeId(0);
+    const N1: NodeId = NodeId(1);
+    const N2: NodeId = NodeId(2);
+
+    #[test]
+    #[allow(deprecated)]
+    fn canned_instances_reproduce_legacy_constructors_exactly() {
+        // The deprecated constructors and the new canned instances must be
+        // bit-identical — goldens depend on it.
+        assert_eq!(ChannelSpec::shared_memory(), SHARED_MEMORY);
+        assert_eq!(ChannelSpec::gigabit_ethernet(), GIGABIT_ETHERNET);
+        assert_eq!(ChannelSpec::calibrated_network(), CALIBRATED_GBE);
+        assert_eq!(
+            ChannelSpec::for_kind(ChannelKind::SharedMemory),
+            for_kind(ChannelKind::SharedMemory)
+        );
+        assert_eq!(
+            ChannelSpec::for_kind(ChannelKind::Network),
+            for_kind(ChannelKind::Network)
+        );
+    }
+
+    #[test]
+    fn canned_transfer_times_are_byte_exact() {
+        // Pinned historical values: any drift here shifts golden outputs.
+        let net = NetworkSpec::gigabit_ethernet();
+        assert_eq!(
+            net.channel(N0, N1).transfer_ns(1_000_000),
+            60_000 + 8_000_000
+        );
+        assert_eq!(net.channel(N0, N0).transfer_ns(0), 3_000);
+        let cal = NetworkSpec::calibrated();
+        assert_eq!(cal.channel(N0, N1).transfer_ns(1_000_000), 60_000 + 400_000);
+        assert_eq!(cal.channel(N1, N1), SHARED_MEMORY);
+    }
+
+    #[test]
+    fn uniform_ignores_which_remote_pair() {
+        let net = NetworkSpec::calibrated();
+        assert_eq!(net.channel(N0, N2), net.channel(N1, N2));
+        assert_eq!(net.channel(N2, N0), net.channel(N0, N2));
+    }
+
+    #[test]
+    fn graph_overrides_are_symmetric_and_fall_back() {
+        let slow = ChannelSpec {
+            latency_ns: 500_000,
+            bandwidth_mbps: 10.0,
+        };
+        let net = NetworkSpec::calibrated().with_link(N0, N2, slow);
+        assert_eq!(net.channel(N0, N2), slow);
+        assert_eq!(net.channel(N2, N0), slow);
+        assert_eq!(net.channel(N0, N1), CALIBRATED_GBE);
+        assert_eq!(net.channel(N2, N2), SHARED_MEMORY);
+    }
+
+    #[test]
+    fn kind_is_local_iff_same_node() {
+        let net = NetworkSpec::calibrated();
+        assert_eq!(net.kind(N0, N0), ChannelKind::SharedMemory);
+        assert_eq!(net.kind(N0, N1), ChannelKind::Network);
+    }
+
+    #[test]
+    fn parse_grammar() {
+        assert_eq!(
+            NetworkSpec::parse("calibrated").unwrap(),
+            NetworkSpec::calibrated()
+        );
+        assert_eq!(
+            NetworkSpec::parse("gbe").unwrap(),
+            NetworkSpec::gigabit_ethernet()
+        );
+        assert_eq!(NetworkSpec::parse("ideal").unwrap(), NetworkSpec::ideal());
+        let custom = NetworkSpec::parse("100:1000").unwrap();
+        assert_eq!(
+            custom.channel(N0, N1),
+            ChannelSpec {
+                latency_ns: 100_000,
+                bandwidth_mbps: 1_000.0
+            }
+        );
+        assert!(NetworkSpec::parse("warp").is_err());
+        assert!(NetworkSpec::parse("x:y").is_err());
+        assert!(NetworkSpec::parse("10:-5").is_err());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(NetworkSpec::calibrated().label(), "calibrated");
+        assert_eq!(NetworkSpec::gigabit_ethernet().label(), "gbe");
+        assert_eq!(NetworkSpec::ideal().label(), "ideal");
+        assert_eq!(
+            NetworkSpec::calibrated()
+                .with_link(N0, N1, SHARED_MEMORY)
+                .label(),
+            "graph(1 links)"
+        );
+    }
+}

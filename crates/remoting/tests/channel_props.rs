@@ -1,0 +1,73 @@
+//! Property tests for channel transfer arithmetic over the full size
+//! domain, up to `u64::MAX` bytes: no panic, no wraparound, monotone in
+//! payload size.
+
+use proptest::prelude::*;
+use remoting::channel::ChannelSpec;
+use remoting::network::{CALIBRATED_GBE, GIGABIT_ETHERNET, SHARED_MEMORY};
+
+/// Full u64 domain including the endpoint (the vendored proptest's
+/// inclusive range would overflow computing its span, so `u64::MAX` gets
+/// an explicit branch).
+fn arb_bytes() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        Just(u64::MAX),
+        Just(u64::MAX - 1),
+        Just(0u64),
+        0u64..u64::MAX,
+    ]
+}
+
+fn arb_channel() -> impl Strategy<Value = ChannelSpec> {
+    (
+        arb_bytes(),
+        prop_oneof![Just(125.0), Just(2_500.0), Just(8_000.0), 0.001f64..1e9,],
+    )
+        .prop_map(|(latency_ns, bandwidth_mbps)| ChannelSpec {
+            latency_ns,
+            bandwidth_mbps,
+        })
+}
+
+proptest! {
+    /// transfer_ns never panics or wraps for any byte count up to
+    /// u64::MAX, and is at least the fixed latency.
+    #[test]
+    fn transfer_never_below_latency(c in arb_channel(), bytes in arb_bytes()) {
+        let t = c.transfer_ns(bytes);
+        prop_assert!(t >= c.latency_ns);
+    }
+
+    /// Transfer time is monotone non-decreasing in payload size.
+    #[test]
+    fn transfer_monotone_in_bytes(
+        c in arb_channel(),
+        a in arb_bytes(),
+        b in arb_bytes(),
+    ) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(c.transfer_ns(lo) <= c.transfer_ns(hi));
+    }
+
+    /// Round trips saturate rather than overflow.
+    #[test]
+    fn round_trip_saturates(
+        c in arb_channel(),
+        req in arb_bytes(),
+        reply in arb_bytes(),
+    ) {
+        let rt = c.round_trip_ns(req, reply);
+        prop_assert!(rt >= c.transfer_ns(req).min(u64::MAX / 2) || rt == u64::MAX);
+    }
+
+    /// The canned media stay exact on the latency-only path for any small
+    /// payload regression (pinning golden-relevant arithmetic).
+    #[test]
+    fn canned_media_small_payloads_exact(bytes in 0u64..=8u64) {
+        for c in [SHARED_MEMORY, GIGABIT_ETHERNET, CALIBRATED_GBE] {
+            let bw_bytes_per_ns = c.bandwidth_mbps * 1e6 / 1e9;
+            let expect = c.latency_ns + (bytes as f64 / bw_bytes_per_ns).ceil() as u64;
+            prop_assert_eq!(c.transfer_ns(bytes), expect);
+        }
+    }
+}

@@ -7,8 +7,8 @@
 //!
 //! # Timing wheel
 //!
-//! The near future — one [`SPAN`]-wide window starting at the wheel base —
-//! is covered by [`NBUCKETS`] fixed-width buckets; an event lands in its
+//! The near future — one `SPAN`-wide window starting at the wheel base —
+//! is covered by `NBUCKETS` fixed-width buckets; an event lands in its
 //! bucket with a shift and a mask, no comparisons, and inserts are plain
 //! pushes. Buckets are deliberately narrow enough to hold only a handful
 //! of events, so the pop path finds the bucket minimum with a linear scan

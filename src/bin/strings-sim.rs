@@ -24,13 +24,18 @@ fn serve_main(args: &[String]) {
             std::process::exit(2);
         }
     };
+    if let Some(n) = run.threads {
+        sweep::set_threads(n);
+    }
     println!(
-        "serve: {} for {} over {} tenant(s)   stack: {}   nodes: {}\n",
+        "serve: {} for {} over {} tenant(s)   stack: {}   topology: {} ({} GPUs, placement {})\n",
         run.spec.arrivals.label(),
         run.spec.duration,
         run.spec.tenants,
         run.spec.stack.label(),
-        run.spec.nodes.len(),
+        run.spec.topology.label(),
+        run.spec.topology.num_devices(),
+        run.spec.placement.label(),
     );
     let runs = sweep::run_serve_seeds(&run.spec, &run.seeds);
     for (seed, stats) in run.seeds.iter().zip(&runs) {
@@ -101,9 +106,9 @@ fn main() {
         }
     };
     println!(
-        "stack: {}   nodes: {}   seeds: {:?}\n",
+        "stack: {}   topology: {}   seeds: {:?}\n",
         run.scenario.stack.label(),
-        run.scenario.nodes.len(),
+        run.scenario.topology.label(),
         run.seeds
     );
     // Representative run (first seed) for the detailed breakdown.

@@ -4,6 +4,7 @@
 use strings_repro::gpu::spec::GpuModel;
 use strings_repro::harness::scenario::{LbScope, Scenario, StreamSpec};
 use strings_repro::remoting::gpool::{NodeId, NodeSpec};
+use strings_repro::remoting::topology::TopologySpec;
 use strings_repro::strings::config::StackConfig;
 use strings_repro::strings::device_sched::{GpuPolicy, TenantId};
 use strings_repro::strings::mapper::LbPolicy;
@@ -113,7 +114,7 @@ fn single_gpu_node_serves_everything() {
         ],
         3,
     );
-    scen.nodes = vec![node];
+    scen.topology = TopologySpec::of_nodes(vec![node]);
     let stats = scen.run();
     assert_eq!(stats.completed_requests, 10);
     assert_eq!(stats.device_telemetry.len(), 1);

@@ -7,6 +7,7 @@ use strings_repro::harness::scenario::{Scenario, StreamSpec};
 use strings_repro::harness::RunStats;
 use strings_repro::remoting::backend::BackendDesign;
 use strings_repro::remoting::gpool::{NodeId, NodeSpec};
+use strings_repro::remoting::topology::TopologySpec;
 use strings_repro::sim::fault::FaultPlan;
 use strings_repro::sim::trace::TraceEvent;
 use strings_repro::strings::config::StackConfig;
@@ -146,7 +147,7 @@ fn blast_radius(design_cfg: StackConfig) -> RunStats {
         ..stream(0, 0, 10)
     };
     let mut scen = Scenario::single_node(design_cfg, vec![busy], 17);
-    scen.nodes = vec![NodeSpec::new(0, vec![GpuModel::TeslaC2050])];
+    scen.topology = TopologySpec::of_nodes(vec![NodeSpec::new(0, vec![GpuModel::TeslaC2050])]);
     scen.faults = FaultPlan::none().crash_at(10_000_000_000, 0);
     scen.run()
 }

@@ -5,6 +5,7 @@ use strings_repro::gpu::spec::GpuModel;
 use strings_repro::harness::scenario::{Scenario, StreamSpec};
 use strings_repro::remoting::backend::BackendDesign;
 use strings_repro::remoting::gpool::{NodeId, NodeSpec};
+use strings_repro::remoting::topology::TopologySpec;
 use strings_repro::strings::config::StackConfig;
 use strings_repro::strings::device_sched::TenantId;
 use strings_repro::strings::mapper::LbPolicy;
@@ -24,7 +25,7 @@ fn stream(app: AppKind, tenant: u32, count: usize, load: f64, threads: usize) ->
 
 fn on_single_tesla(cfg: StackConfig, streams: Vec<StreamSpec>, seed: u64) -> Scenario {
     let mut s = Scenario::single_node(cfg, streams, seed);
-    s.nodes = vec![NodeSpec::new(0, vec![GpuModel::TeslaC2050])];
+    s.topology = TopologySpec::of_nodes(vec![NodeSpec::new(0, vec![GpuModel::TeslaC2050])]);
     s
 }
 
@@ -125,10 +126,10 @@ fn remote_access_costs_more_than_local() {
             8,
         );
         // One GPU total (on node 0); node 1 is a GPU-less frontend host.
-        s.nodes = vec![
+        s.topology = TopologySpec::of_nodes(vec![
             NodeSpec::new(0, vec![GpuModel::TeslaC2050]),
             NodeSpec::new(1, vec![]),
-        ];
+        ]);
         s.run()
     };
     let local = mk(0);
@@ -177,7 +178,7 @@ fn faster_devices_finish_compute_bound_work_sooner() {
             vec![stream(AppKind::DC, 0, 1, 0.05, 1)],
             3,
         );
-        s.nodes = vec![NodeSpec::new(0, vec![model])];
+        s.topology = TopologySpec::of_nodes(vec![NodeSpec::new(0, vec![model])]);
         s.run().completions.mean_ct(0)
     };
     let quadro = mk(GpuModel::Quadro2000);

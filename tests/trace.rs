@@ -8,6 +8,7 @@ use strings_repro::harness::scenario::{Scenario, StreamSpec};
 use strings_repro::harness::RunStats;
 use strings_repro::metrics::trace_export;
 use strings_repro::remoting::gpool::{NodeId, NodeSpec};
+use strings_repro::remoting::topology::TopologySpec;
 use strings_repro::sim::trace::{Trace, TraceEvent};
 use strings_repro::strings::config::StackConfig;
 use strings_repro::strings::device_sched::{GpuPolicy, TenantId};
@@ -30,7 +31,7 @@ fn traced_scenario() -> Scenario {
         101,
     )
     .with_trace();
-    s.nodes = vec![NodeSpec::new(0, vec![GpuModel::TeslaC2050])];
+    s.topology = TopologySpec::of_nodes(vec![NodeSpec::new(0, vec![GpuModel::TeslaC2050])]);
     s
 }
 
