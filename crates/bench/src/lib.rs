@@ -28,6 +28,7 @@
 //! cargo run --release -p strings-bench --bin fault_isolation
 //! cargo run --release -p strings-bench --bin serve_slo
 //! cargo run --release -p strings-bench --bin attribution_profile
+//! cargo run --release -p strings-bench --bin policy_matrix
 //! ```
 //!
 //! The DES hot-path performance suite (`--bin bench_suite`) lives outside

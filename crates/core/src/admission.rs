@@ -43,6 +43,9 @@ pub enum ShedReason {
     QueueFull,
     /// The tenant's token bucket was empty.
     RateLimited,
+    /// The tenant's smoothed queue wait exceeded its SLO target
+    /// ([`SloAdmission`]).
+    SloDeadline,
 }
 
 impl std::fmt::Display for ShedReason {
@@ -50,6 +53,7 @@ impl std::fmt::Display for ShedReason {
         match self {
             ShedReason::QueueFull => write!(f, "queue-full"),
             ShedReason::RateLimited => write!(f, "rate-limited"),
+            ShedReason::SloDeadline => write!(f, "slo-deadline"),
         }
     }
 }
@@ -95,6 +99,49 @@ impl RateLimit {
     }
 }
 
+/// Deadline/SLO-aware admission: shed while a tenant's *smoothed queue
+/// wait* — the attribution profiler's per-tenant `admission_wait` stage,
+/// fed back via [`AdmissionController::observe_wait`] — exceeds the
+/// target. Shedding at the front door converts a growing wait (which
+/// would miss the deadline anyway) into an explicit, fast rejection the
+/// client can retry elsewhere.
+///
+/// One request per tenant is always allowed through as a *pilot*
+/// (occupancy 0 never sheds), so a tenant whose backlog drained can
+/// re-probe and the EWMA can recover — without this floor a breached
+/// tenant would shed forever on a stale estimate.
+///
+/// ```
+/// use strings_core::admission::{
+///     AdmissionConfig, AdmissionController, ShedReason, SloAdmission,
+/// };
+///
+/// let cfg = AdmissionConfig {
+///     slo: Some(SloAdmission { target_wait_ns: 1_000_000 }), // 1 ms
+///     ..AdmissionConfig::default()
+/// };
+/// let mut adm = AdmissionController::new(1, cfg);
+/// assert!(adm.try_admit(0, 0).is_ok());
+/// adm.observe_wait(0, 8_000_000); // dispatch measured an 8 ms wait
+/// // Occupancy 1 and the smoothed wait is over target: shed.
+/// assert_eq!(adm.try_admit(0, 10), Err(ShedReason::SloDeadline));
+/// // Once the tenant drains, the pilot slot re-probes.
+/// adm.release(0);
+/// assert!(adm.try_admit(0, 20).is_ok());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SloAdmission {
+    /// Queue-wait budget per request, in virtual nanoseconds. A tenant
+    /// whose smoothed wait exceeds this sheds new arrivals (beyond the
+    /// pilot) with [`ShedReason::SloDeadline`].
+    pub target_wait_ns: u64,
+}
+
+/// EWMA weight for [`AdmissionController::observe_wait`] samples: recent
+/// waits dominate (α = 1/4) but a single outlier cannot flip the gate.
+/// A power of two so the arithmetic is exactly reproducible.
+const WAIT_EWMA_ALPHA: f64 = 0.25;
+
 /// Admission policy shared by every tenant.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AdmissionConfig {
@@ -105,6 +152,9 @@ pub struct AdmissionConfig {
     /// Optional per-tenant token-bucket limit; `None` admits at any rate
     /// the queue bound allows.
     pub rate_limit: Option<RateLimit>,
+    /// Optional deadline/SLO gate on the smoothed per-tenant queue wait;
+    /// `None` admits regardless of measured waits.
+    pub slo: Option<SloAdmission>,
 }
 
 impl Default for AdmissionConfig {
@@ -112,6 +162,7 @@ impl Default for AdmissionConfig {
         AdmissionConfig {
             queue_depth: 64,
             rate_limit: None,
+            slo: None,
         }
     }
 }
@@ -125,12 +176,14 @@ pub struct AdmissionStats {
     pub shed_queue_full: u64,
     /// Requests shed by the tenant's token bucket.
     pub shed_rate_limited: u64,
+    /// Requests shed by the SLO gate ([`SloAdmission`]).
+    pub shed_slo: u64,
 }
 
 impl AdmissionStats {
-    /// Total shed requests across both reasons.
+    /// Total shed requests across all reasons.
     pub fn shed(&self) -> u64 {
-        self.shed_queue_full + self.shed_rate_limited
+        self.shed_queue_full + self.shed_rate_limited + self.shed_slo
     }
 
     /// Total admission attempts seen.
@@ -179,6 +232,9 @@ impl TokenBucket {
 struct TenantGate {
     in_system: usize,
     bucket: Option<TokenBucket>,
+    /// Smoothed queue wait from dispatch-time feedback (ns); `None` until
+    /// the first [`AdmissionController::observe_wait`].
+    wait_ewma_ns: Option<f64>,
     stats: AdmissionStats,
 }
 
@@ -201,6 +257,7 @@ impl AdmissionController {
                 tokens: rl.burst,
                 last_refill: 0,
             }),
+            wait_ewma_ns: None,
             stats: AdmissionStats::default(),
         };
         AdmissionController {
@@ -249,12 +306,45 @@ impl AdmissionController {
             gate.stats.shed_queue_full += 1;
             return Err(ShedReason::QueueFull);
         }
+        // SLO gate last: it sheds only requests that would otherwise be
+        // admitted, so queue/rate counters are unchanged by enabling it.
+        // The in_system >= 1 floor keeps one pilot request flowing so the
+        // wait estimate can recover once the backlog drains.
+        if let Some(slo) = self.config.slo {
+            if gate.in_system >= 1 {
+                if let Some(ewma) = gate.wait_ewma_ns {
+                    if ewma > slo.target_wait_ns as f64 {
+                        gate.stats.shed_slo += 1;
+                        return Err(ShedReason::SloDeadline);
+                    }
+                }
+            }
+        }
         if let Some(bucket) = gate.bucket.as_mut() {
             bucket.take();
         }
         gate.in_system += 1;
         gate.stats.admitted += 1;
         Ok(())
+    }
+
+    /// Feed back one measured queue wait for `tenant` — the virtual time
+    /// between arrival and dispatch, exactly the attribution profiler's
+    /// `admission_wait` stage charge. Folded into the tenant's smoothed
+    /// estimate that [`SloAdmission`] gates on. Cheap and safe to call
+    /// whether or not an SLO is configured.
+    pub fn observe_wait(&mut self, tenant: usize, wait_ns: u64) {
+        let gate = &mut self.tenants[tenant];
+        gate.wait_ewma_ns = Some(match gate.wait_ewma_ns {
+            Some(prev) => WAIT_EWMA_ALPHA * wait_ns as f64 + (1.0 - WAIT_EWMA_ALPHA) * prev,
+            None => wait_ns as f64,
+        });
+    }
+
+    /// The smoothed queue-wait estimate for `tenant`, if any wait has
+    /// been observed (inspection; the SLO gate's input).
+    pub fn wait_estimate_ns(&self, tenant: usize) -> Option<f64> {
+        self.tenants[tenant].wait_ewma_ns
     }
 
     /// A previously admitted request for `tenant` left the system.
@@ -276,6 +366,7 @@ impl AdmissionController {
             total.admitted += g.stats.admitted;
             total.shed_queue_full += g.stats.shed_queue_full;
             total.shed_rate_limited += g.stats.shed_rate_limited;
+            total.shed_slo += g.stats.shed_slo;
         }
         total
     }
@@ -293,6 +384,7 @@ mod tests {
             AdmissionConfig {
                 queue_depth: 1,
                 rate_limit: None,
+                slo: None,
             },
         );
         assert!(adm.try_admit(0, 0).is_ok());
@@ -316,6 +408,7 @@ mod tests {
                 rate_rps: 100.0,
                 burst: 2.0,
             }),
+            slo: None,
         };
         let mut adm = AdmissionController::new(1, cfg);
         assert!(adm.try_admit(0, 0).is_ok());
@@ -344,6 +437,7 @@ mod tests {
                 rate_rps: 1.0,
                 burst: 5.0,
             }),
+            slo: None,
         };
         let mut adm = AdmissionController::new(1, cfg);
         assert!(adm.try_admit(0, 0).is_ok());
@@ -355,6 +449,61 @@ mod tests {
             adm.release(0);
         }
         assert_eq!(adm.try_admit(0, 0), Err(ShedReason::RateLimited));
+    }
+
+    #[test]
+    fn slo_gate_sheds_on_breach_and_recovers() {
+        let cfg = AdmissionConfig {
+            queue_depth: 8,
+            slo: Some(SloAdmission {
+                target_wait_ns: 1_000_000, // 1 ms budget
+            }),
+            ..AdmissionConfig::default()
+        };
+        let mut adm = AdmissionController::new(2, cfg);
+        // No wait history: admits freely.
+        assert!(adm.try_admit(0, 0).is_ok());
+        assert!(adm.try_admit(0, 1).is_ok());
+        // Dispatches report long waits: the smoothed estimate breaches.
+        adm.observe_wait(0, 10_000_000);
+        adm.observe_wait(0, 10_000_000);
+        assert!(adm.wait_estimate_ns(0).unwrap() > 1_000_000.0);
+        assert_eq!(adm.try_admit(0, 2), Err(ShedReason::SloDeadline));
+        assert_eq!(adm.stats().shed_slo, 1);
+        assert_eq!(adm.stats().shed(), 1);
+        // Tenant 1 has its own estimate: unaffected.
+        assert!(adm.try_admit(1, 2).is_ok());
+        // Tenant 0 drains fully: the pilot slot re-probes even though the
+        // estimate is still breached...
+        adm.release(0);
+        adm.release(0);
+        assert!(adm.try_admit(0, 3).is_ok(), "pilot request must pass");
+        // ...and fast waits pull the estimate back under target.
+        for _ in 0..12 {
+            adm.observe_wait(0, 10_000);
+        }
+        assert!(adm.wait_estimate_ns(0).unwrap() < 1_000_000.0);
+        assert!(adm.try_admit(0, 4).is_ok(), "recovered tenant admits");
+    }
+
+    #[test]
+    fn slo_gate_off_by_default_and_orthogonal_to_queue_bound() {
+        let mut adm = AdmissionController::new(1, AdmissionConfig::default());
+        adm.observe_wait(0, u64::MAX / 2);
+        assert!(adm.try_admit(0, 0).is_ok(), "no SLO configured: no shed");
+        // With an SLO, the queue bound still sheds first (counter split
+        // stays stable when the gate is enabled).
+        let cfg = AdmissionConfig {
+            queue_depth: 1,
+            slo: Some(SloAdmission { target_wait_ns: 1 }),
+            ..AdmissionConfig::default()
+        };
+        let mut adm = AdmissionController::new(1, cfg);
+        assert!(adm.try_admit(0, 0).is_ok());
+        adm.observe_wait(0, 1_000);
+        assert_eq!(adm.try_admit(0, 1), Err(ShedReason::QueueFull));
+        assert_eq!(adm.stats().shed_queue_full, 1);
+        assert_eq!(adm.stats().shed_slo, 0);
     }
 
     #[test]
@@ -410,6 +559,7 @@ mod tests {
                 let cfg = AdmissionConfig {
                     queue_depth: usize::MAX,
                     rate_limit: Some(RateLimit { rate_rps, burst }),
+                    slo: None,
                 };
                 let mut adm = AdmissionController::new(1, cfg);
                 // ~200 virtual seconds of arrivals, deterministic jitter.
@@ -446,6 +596,7 @@ mod tests {
                 rate_rps: 333.0,
                 burst: 4.0,
             }),
+            slo: None,
         };
         let run = || {
             let mut adm = AdmissionController::new(4, cfg);

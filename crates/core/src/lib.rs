@@ -47,10 +47,14 @@ pub mod device_sched;
 pub mod mapper;
 pub mod packer;
 pub mod placement;
+pub mod zoo;
 
-pub use admission::{AdmissionConfig, AdmissionController, AdmissionStats, RateLimit, ShedReason};
+pub use admission::{
+    AdmissionConfig, AdmissionController, AdmissionStats, RateLimit, ShedReason, SloAdmission,
+};
 pub use config::{SchedulerMode, StackConfig};
 pub use device_sched::{GpuPolicy, GpuScheduler};
-pub use mapper::{FeedbackRecord, GpuAffinityMapper, LbPolicy, WorkloadClass};
+pub use mapper::{FeedbackRecord, GpuAffinityMapper, LbPolicy, MapperPolicy, WorkloadClass};
 pub use packer::{ContextPacker, PackedCall, PackerConfig};
-pub use placement::{ClusterPlacer, NodePolicy};
+pub use placement::{ClusterPlacer, NodePolicy, PlacementPolicy};
+pub use zoo::{registry, PolicyInfo, PolicyLayer};

@@ -5,6 +5,7 @@
 //! classes are currently bound) is updated by the Target GPU Selector as
 //! requests arrive and complete.
 
+use super::slices::{slice_demand, SliceState};
 use super::WorkloadClass;
 use remoting::gpool::{GMap, Gid, NodeId};
 
@@ -19,6 +20,12 @@ pub struct DeviceStatus {
     pub weight: f64,
     bound: Vec<WorkloadClass>,
     retired: bool,
+    /// MIG slice occupancy, if the device is partitionable.
+    slices: Option<SliceState>,
+    /// Live slice grants: (class, start unit, size). Parallel to `bound`
+    /// for the instances that got a slice; overflow instances time-share
+    /// and appear in `bound` only.
+    slice_allocs: Vec<(WorkloadClass, u8, u8)>,
 }
 
 impl DeviceStatus {
@@ -43,12 +50,20 @@ impl DeviceStatus {
     pub fn is_retired(&self) -> bool {
         self.retired
     }
+
+    /// Slice occupancy, when the device is MIG-partitioned.
+    pub fn slices(&self) -> Option<&SliceState> {
+        self.slices.as_ref()
+    }
 }
 
 /// The full table, indexed by GID.
 #[derive(Debug, Clone)]
 pub struct DeviceStatusTable {
     rows: Vec<DeviceStatus>,
+    /// Binds that found no free slice and fell back to time-sharing
+    /// (meaningful only once [`DeviceStatusTable::enable_slices`] ran).
+    slice_overflows: u64,
 }
 
 impl DeviceStatusTable {
@@ -64,9 +79,30 @@ impl DeviceStatusTable {
                     weight: e.weight,
                     bound: Vec::new(),
                     retired: false,
+                    slices: None,
+                    slice_allocs: Vec::new(),
                 })
                 .collect(),
+            slice_overflows: 0,
         }
+    }
+
+    /// Partition every device into `units` MIG slice units. Subsequent
+    /// binds claim a [`slice_demand`]-sized block when one fits; binds
+    /// that fit nowhere time-share the whole device and count as
+    /// [`DeviceStatusTable::slice_overflows`].
+    pub fn enable_slices(&mut self, units: u8) {
+        for row in &mut self.rows {
+            row.slices = Some(SliceState::new(units));
+            row.slice_allocs.clear();
+        }
+        self.slice_overflows = 0;
+    }
+
+    /// Binds that fell back to whole-device time-sharing since slices
+    /// were enabled.
+    pub fn slice_overflows(&self) -> u64 {
+        self.slice_overflows
     }
 
     /// Number of devices.
@@ -99,20 +135,38 @@ impl DeviceStatusTable {
         &self.rows
     }
 
-    /// Bind one instance of `class` to `gid`.
+    /// Bind one instance of `class` to `gid`. On a partitioned device the
+    /// instance also claims a slice block when one fits (overflow
+    /// instances time-share and bump the overflow counter).
     pub fn bind(&mut self, gid: Gid, class: WorkloadClass) {
         let i = self.idx_of(gid).expect("bind to unknown gid");
-        self.rows[i].bound.push(class);
+        let row = &mut self.rows[i];
+        row.bound.push(class);
+        if let Some(slices) = row.slices.as_mut() {
+            let k = slice_demand(class);
+            match slices.alloc(k) {
+                Some(pos) => row.slice_allocs.push((class, pos, k)),
+                None => self.slice_overflows += 1,
+            }
+        }
     }
 
-    /// Unbind one instance of `class` from `gid` (no-op if absent).
+    /// Unbind one instance of `class` from `gid` (no-op if absent),
+    /// releasing its slice grant if it held one.
     pub fn unbind(&mut self, gid: Gid, class: WorkloadClass) {
         let Some(i) = self.idx_of(gid) else {
             return;
         };
-        let bound = &mut self.rows[i].bound;
-        if let Some(pos) = bound.iter().position(|c| *c == class) {
-            bound.swap_remove(pos);
+        let row = &mut self.rows[i];
+        let Some(pos) = row.bound.iter().position(|c| *c == class) else {
+            return;
+        };
+        row.bound.swap_remove(pos);
+        if let Some(slices) = row.slices.as_mut() {
+            if let Some(ai) = row.slice_allocs.iter().position(|(c, _, _)| *c == class) {
+                let (_, start, k) = row.slice_allocs.swap_remove(ai);
+                slices.free(start, k);
+            }
         }
     }
 
@@ -194,6 +248,33 @@ mod tests {
         // Retiring an unknown GID is a no-op.
         t.retire(Gid(99));
         assert_eq!(t.live_len(), 3);
+    }
+
+    #[test]
+    fn slices_track_binds_and_overflow() {
+        let mut t = dst();
+        t.enable_slices(4);
+        let big = WorkloadClass(2); // 4g profile
+        t.bind(Gid(0), big);
+        let s = t.row(Gid(0)).unwrap().slices().unwrap();
+        assert_eq!(s.free_units(), 0);
+        assert_eq!(t.slice_overflows(), 0);
+        // Second 4g on the same device fits nowhere: time-share overflow.
+        t.bind(Gid(0), big);
+        assert_eq!(t.row(Gid(0)).unwrap().load(), 2, "overflow still binds");
+        assert_eq!(t.slice_overflows(), 1);
+        // Unbind releases the slice grant (the granted instance first).
+        t.unbind(Gid(0), big);
+        assert_eq!(t.row(Gid(0)).unwrap().slices().unwrap().free_units(), 4);
+        t.unbind(Gid(0), big);
+        assert_eq!(t.row(Gid(0)).unwrap().load(), 0);
+    }
+
+    #[test]
+    fn unpartitioned_rows_have_no_slice_state() {
+        let t = dst();
+        assert!(t.row(Gid(0)).unwrap().slices().is_none());
+        assert_eq!(t.slice_overflows(), 0);
     }
 
     #[test]

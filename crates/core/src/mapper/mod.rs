@@ -12,11 +12,17 @@ mod arbiter;
 mod dst;
 mod policy;
 mod sft;
+mod slices;
 
 pub use arbiter::PolicyArbiter;
 pub use dst::{DeviceStatus, DeviceStatusTable};
-pub use policy::LbPolicy;
+pub use policy::{
+    BandwidthFeedbackMapper, FragAwareMapper, LbPolicy, LeastLoadedMapper, MapperPolicy,
+    RoundRobinMapper, RuntimeFeedbackMapper, TransferFeedbackMapper, UtilizationFeedbackMapper,
+    WeightedLeastLoadedMapper,
+};
 pub use sft::{FeedbackRecord, SchedulerFeedbackTable, SftEntry};
+pub use slices::{slice_demand, SliceState};
 
 use remoting::gpool::{GMap, Gid, NodeId};
 use serde::{Deserialize, Serialize};
@@ -41,6 +47,10 @@ pub struct GpuAffinityMapper {
     dst: DeviceStatusTable,
     sft: SchedulerFeedbackTable,
     arbiter: PolicyArbiter,
+    /// Overrides the arbiter's enum policy when set (the pluggable trait
+    /// layer); the arbiter still ingests feedback so switching back is
+    /// well-defined.
+    custom: Option<Box<dyn MapperPolicy>>,
     rr_next: usize,
     tracer: Tracer,
     track: TrackId,
@@ -54,10 +64,26 @@ impl GpuAffinityMapper {
             dst: DeviceStatusTable::from_gmap(gmap),
             sft: SchedulerFeedbackTable::new(),
             arbiter,
+            custom: None,
             rr_next: 0,
             tracer: Tracer::off(),
             track: TrackId::INVALID,
         }
+    }
+
+    /// Partition every device in this mapper's pool into `units` MIG
+    /// slice units (see [`SliceState`]); binds start claiming slices and
+    /// the fragmentation-aware policy gets real occupancy to score.
+    pub fn enable_slices(&mut self, units: u8) {
+        self.dst.enable_slices(units);
+    }
+
+    /// Replace the arbiter-driven enum policy with a pluggable
+    /// [`MapperPolicy`] trait object. The built-in boxes
+    /// ([`LbPolicy::build`]) are byte-identical to their enum twins;
+    /// custom implementations can score however they like.
+    pub fn set_policy(&mut self, policy: Box<dyn MapperPolicy>) {
+        self.custom = Some(policy);
     }
 
     /// Attach a tracer; placement decisions reported through
@@ -88,7 +114,7 @@ impl GpuAffinityMapper {
                 "placement",
                 vec![
                     ("request", request.to_string()),
-                    ("policy", self.arbiter.current().label().to_string()),
+                    ("policy", self.policy_label().to_string()),
                     ("class", class.to_string()),
                     ("node", app_node.to_string()),
                     ("gid", gid.to_string()),
@@ -101,15 +127,30 @@ impl GpuAffinityMapper {
         }
     }
 
-    /// The policy currently in force (may change as feedback accumulates).
+    /// The enum policy currently in force at the arbiter (may change as
+    /// feedback accumulates). A custom [`MapperPolicy`] installed via
+    /// [`GpuAffinityMapper::set_policy`] overrides it for selection; see
+    /// [`GpuAffinityMapper::policy_label`] for the effective name.
     pub fn current_policy(&self) -> LbPolicy {
         self.arbiter.current()
+    }
+
+    /// Label of the policy that will answer the next
+    /// [`GpuAffinityMapper::select_device`] call.
+    pub fn policy_label(&self) -> &'static str {
+        match &self.custom {
+            Some(p) => p.label(),
+            None => self.arbiter.current().label(),
+        }
     }
 
     /// Select the target GPU for a new application instance of `class`
     /// arriving on `app_node`. Does **not** bind — call
     /// [`GpuAffinityMapper::bind`] once the selection is acted upon.
     pub fn select_device(&mut self, class: WorkloadClass, app_node: NodeId) -> Gid {
+        if let Some(custom) = self.custom.as_mut() {
+            return custom.select(&self.dst, &self.sft, class, app_node);
+        }
         let policy = self.arbiter.current();
         policy.select(&self.dst, &self.sft, class, app_node, &mut self.rr_next)
     }
@@ -315,6 +356,44 @@ mod tests {
         m.bind(Gid(0), cold);
         let pick = m.select_device(hot, NodeId(0));
         assert_ne!(pick, Gid(1), "GUF must not stack two hot apps");
+    }
+
+    #[test]
+    fn set_policy_overrides_arbiter_and_matches_enum() {
+        let gmap = GMap::build(&[NodeSpec::node_a(0), NodeSpec::node_b(1)]);
+        let mut via_enum = GpuAffinityMapper::new(&gmap, PolicyArbiter::fixed(LbPolicy::GWtMin));
+        let mut via_box = GpuAffinityMapper::new(&gmap, PolicyArbiter::fixed(LbPolicy::Grr));
+        via_box.set_policy(LbPolicy::GWtMin.build());
+        assert_eq!(via_box.policy_label(), "GWtMin");
+        assert_eq!(via_box.current_policy(), LbPolicy::Grr, "arbiter untouched");
+        for i in 0..10u32 {
+            let class = WorkloadClass(i % 2);
+            let a = via_enum.select_device(class, NodeId(0));
+            let b = via_box.select_device(class, NodeId(0));
+            assert_eq!(a, b, "boxed GWtMin diverged from enum at step {i}");
+            via_enum.bind(a, class);
+            via_box.bind(b, class);
+        }
+    }
+
+    #[test]
+    fn enabled_slices_feed_frag_selection() {
+        let gmap = GMap::build(&[NodeSpec::node_a(0)]);
+        let mut m = GpuAffinityMapper::new(&gmap, PolicyArbiter::fixed(LbPolicy::Frag));
+        m.enable_slices(8);
+        // First 1g fills gid0 (strongest-first tie-break is irrelevant:
+        // both idle, Frag's tie-break picks equal frag then lighter load,
+        // then strongest device).
+        let first = m.select_device(WorkloadClass(0), NodeId(0));
+        m.bind(first, WorkloadClass(0));
+        // The next 1g co-packs on the same device instead of fragmenting
+        // the other one.
+        let second = m.select_device(WorkloadClass(0), NodeId(0));
+        assert_eq!(first, second, "Frag must co-pack small profiles");
+        assert_eq!(
+            m.dst().row(first).unwrap().slices().unwrap().free_units(),
+            7
+        );
     }
 
     #[test]

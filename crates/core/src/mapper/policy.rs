@@ -16,9 +16,23 @@
 //!   application computes while another transfers,
 //! * **MBF** — avoid collocating bandwidth-bound applications so
 //!   compute-bound work hides the hogs' memory latencies.
+//!
+//! A post-paper extension joins the DST family:
+//!
+//! * **Frag** — fragmentation-aware MIG packing: on partitioned devices,
+//!   prefer the placement that leaves slice free-space least fragmented
+//!   (see [`crate::mapper::SliceState`]); degenerates to GWtMin scoring on
+//!   unpartitioned pools.
+//!
+//! Every variant is also available as a boxed [`MapperPolicy`] trait
+//! object ([`LbPolicy::build`]) so harnesses can plug in policies the enum
+//! does not know about; the enum remains the `Copy` + `Serialize` config
+//! currency, and the built-in trait impls delegate to the enum's selection
+//! code so both paths are byte-identical.
 
 use super::dst::DeviceStatusTable;
 use super::sft::SchedulerFeedbackTable;
+use super::slices::slice_demand;
 use super::WorkloadClass;
 use remoting::gpool::{Gid, NodeId};
 use serde::{Deserialize, Serialize};
@@ -33,6 +47,16 @@ const MBF_PENALTY_WEIGHT: f64 = 1.5;
 
 /// Tiny preference for local GPUs used as a tie-breaker.
 const REMOTE_EPSILON: f64 = 1e-3;
+
+/// Frag's score for a partitioned device the request does not fit on:
+/// far above any feasible fragmentation score (which lives in [0, 1]), so
+/// overflow devices are chosen only when *nothing* fits, and then by
+/// weighted load among themselves.
+const FRAG_OVERFLOW_PENALTY: f64 = 1_000.0;
+
+/// Frag's tie-break weight on load: small enough that any fragmentation
+/// difference dominates, large enough to spread ties off one device.
+const FRAG_LOAD_WEIGHT: f64 = 1e-3;
 
 /// The workload-balancing policies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -51,9 +75,24 @@ pub enum LbPolicy {
     Dtf,
     /// Memory-bandwidth feedback (Strings-specific).
     Mbf,
+    /// Fragmentation-aware MIG slice packing (post-paper extension).
+    Frag,
 }
 
 impl LbPolicy {
+    /// Every shipped policy, in registry order (DST family first, then
+    /// the feedback family).
+    pub const ALL: [LbPolicy; 8] = [
+        LbPolicy::Grr,
+        LbPolicy::GMin,
+        LbPolicy::GWtMin,
+        LbPolicy::Frag,
+        LbPolicy::Rtf,
+        LbPolicy::Guf,
+        LbPolicy::Dtf,
+        LbPolicy::Mbf,
+    ];
+
     /// True for the policies that require SFT history.
     pub fn is_feedback(self) -> bool {
         matches!(
@@ -72,6 +111,29 @@ impl LbPolicy {
             LbPolicy::Guf => "GUF",
             LbPolicy::Dtf => "DTF",
             LbPolicy::Mbf => "MBF",
+            LbPolicy::Frag => "Frag",
+        }
+    }
+
+    /// Box this policy as a pluggable [`MapperPolicy`] trait object.
+    ///
+    /// ```
+    /// use strings_core::mapper::LbPolicy;
+    ///
+    /// let p = LbPolicy::GWtMin.build();
+    /// assert_eq!(p.label(), "GWtMin");
+    /// assert!(!p.is_feedback());
+    /// ```
+    pub fn build(self) -> Box<dyn MapperPolicy> {
+        match self {
+            LbPolicy::Grr => Box::new(RoundRobinMapper::default()),
+            LbPolicy::GMin => Box::new(LeastLoadedMapper),
+            LbPolicy::GWtMin => Box::new(WeightedLeastLoadedMapper),
+            LbPolicy::Rtf => Box::new(RuntimeFeedbackMapper),
+            LbPolicy::Guf => Box::new(UtilizationFeedbackMapper),
+            LbPolicy::Dtf => Box::new(TransferFeedbackMapper),
+            LbPolicy::Mbf => Box::new(BandwidthFeedbackMapper),
+            LbPolicy::Frag => Box::new(FragAwareMapper),
         }
     }
 
@@ -162,6 +224,19 @@ impl LbPolicy {
                         .sum();
                     busy_s + MBF_PENALTY_WEIGHT * penalty * new_runtime_s
                 }
+                LbPolicy::Frag => match row.slices() {
+                    // Feasible placements score by post-placement
+                    // fragmentation in [0, 1] (+ a tiny load tie-break);
+                    // overflow placements score >= 1000 so they lose to
+                    // any feasible device and fall back to weighted-load
+                    // balancing among themselves.
+                    Some(slices) => match slices.fragmentation_after(slice_demand(class)) {
+                        Some(frag) => frag + FRAG_LOAD_WEIGHT * row.weighted_load(),
+                        None => FRAG_OVERFLOW_PENALTY + row.weighted_load(),
+                    },
+                    // Unpartitioned pool: degenerate to GWtMin.
+                    None => row.weighted_load(),
+                },
                 LbPolicy::Grr => unreachable!("handled in select"),
             };
             if row.node != app_node {
@@ -184,6 +259,280 @@ impl LbPolicy {
         best.expect("non-empty pool").1
     }
 }
+
+/// A pluggable device-selection policy — the trait layer behind the GPU
+/// Affinity Mapper.
+///
+/// Every [`LbPolicy`] variant ships a built-in implementation (via
+/// [`LbPolicy::build`]) that delegates to the enum's selection code, so
+/// plugging the trait object into
+/// [`crate::mapper::GpuAffinityMapper::set_policy`] is byte-identical to
+/// configuring the enum. Custom implementations see exactly what the
+/// built-ins see: the Device Status Table (static weights + live load +
+/// slice occupancy) and the Scheduler Feedback Table (per-class history).
+///
+/// Implementations must be deterministic: same tables, same arguments,
+/// same internal state ⇒ same GID. The simulator's byte-stable golden
+/// surfaces depend on it.
+///
+/// # Examples
+///
+/// ```
+/// use remoting::gpool::{GMap, Gid, NodeId, NodeSpec};
+/// use strings_core::mapper::{
+///     DeviceStatusTable, MapperPolicy, SchedulerFeedbackTable, WorkloadClass,
+/// };
+///
+/// /// Always picks the first live device: a minimal custom policy.
+/// #[derive(Debug, Clone)]
+/// struct FirstLive;
+///
+/// impl MapperPolicy for FirstLive {
+///     fn label(&self) -> &'static str {
+///         "FirstLive"
+///     }
+///     fn is_feedback(&self) -> bool {
+///         false
+///     }
+///     fn select(
+///         &mut self,
+///         dst: &DeviceStatusTable,
+///         _sft: &SchedulerFeedbackTable,
+///         _class: WorkloadClass,
+///         _app_node: NodeId,
+///     ) -> Gid {
+///         dst.rows().iter().find(|r| !r.is_retired()).expect("live device").gid
+///     }
+///     fn clone_box(&self) -> Box<dyn MapperPolicy> {
+///         Box::new(self.clone())
+///     }
+/// }
+///
+/// let gmap = GMap::build(&[NodeSpec::node_a(0)]);
+/// let dst = DeviceStatusTable::from_gmap(&gmap);
+/// let sft = SchedulerFeedbackTable::new();
+/// let mut p = FirstLive;
+/// assert_eq!(p.select(&dst, &sft, WorkloadClass(0), NodeId(0)), Gid(0));
+/// ```
+pub trait MapperPolicy: std::fmt::Debug + Send {
+    /// Display label for reports and traces.
+    fn label(&self) -> &'static str;
+
+    /// True if the policy consults SFT history (the feedback family).
+    fn is_feedback(&self) -> bool;
+
+    /// Choose the target GID for a new instance of `class` arriving on
+    /// `app_node`. `&mut self` so stateful policies (round robin) can
+    /// advance; panics on a pool with no live devices, like the enum.
+    fn select(
+        &mut self,
+        dst: &DeviceStatusTable,
+        sft: &SchedulerFeedbackTable,
+        class: WorkloadClass,
+        app_node: NodeId,
+    ) -> Gid;
+
+    /// Clone into a fresh box (trait objects cannot derive `Clone`).
+    fn clone_box(&self) -> Box<dyn MapperPolicy>;
+}
+
+impl Clone for Box<dyn MapperPolicy> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// Declares one built-in [`MapperPolicy`] delegating to an [`LbPolicy`]
+/// variant's selection code (the stateless argmin family).
+macro_rules! stateless_mapper {
+    ($(#[$doc:meta])* $name:ident, $variant:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, Default)]
+        pub struct $name;
+
+        impl MapperPolicy for $name {
+            fn label(&self) -> &'static str {
+                $variant.label()
+            }
+            fn is_feedback(&self) -> bool {
+                $variant.is_feedback()
+            }
+            fn select(
+                &mut self,
+                dst: &DeviceStatusTable,
+                sft: &SchedulerFeedbackTable,
+                class: WorkloadClass,
+                app_node: NodeId,
+            ) -> Gid {
+                let mut rr = 0;
+                $variant.select(dst, sft, class, app_node, &mut rr)
+            }
+            fn clone_box(&self) -> Box<dyn MapperPolicy> {
+                Box::new(*self)
+            }
+        }
+    };
+}
+
+/// GRR as a pluggable policy: the round-robin cursor lives in the struct
+/// (the enum path keeps it in the mapper).
+///
+/// # Examples
+///
+/// ```
+/// use remoting::gpool::{GMap, Gid, NodeId, NodeSpec};
+/// use strings_core::mapper::{
+///     DeviceStatusTable, MapperPolicy, RoundRobinMapper, SchedulerFeedbackTable, WorkloadClass,
+/// };
+///
+/// let gmap = GMap::build(&[NodeSpec::node_a(0)]); // 2 GPUs
+/// let dst = DeviceStatusTable::from_gmap(&gmap);
+/// let sft = SchedulerFeedbackTable::new();
+/// let mut p = RoundRobinMapper::default();
+/// let picks: Vec<Gid> = (0..3)
+///     .map(|_| p.select(&dst, &sft, WorkloadClass(0), NodeId(0)))
+///     .collect();
+/// assert_eq!(picks, vec![Gid(0), Gid(1), Gid(0)]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RoundRobinMapper {
+    next: usize,
+}
+
+impl MapperPolicy for RoundRobinMapper {
+    fn label(&self) -> &'static str {
+        LbPolicy::Grr.label()
+    }
+    fn is_feedback(&self) -> bool {
+        false
+    }
+    fn select(
+        &mut self,
+        dst: &DeviceStatusTable,
+        sft: &SchedulerFeedbackTable,
+        class: WorkloadClass,
+        app_node: NodeId,
+    ) -> Gid {
+        LbPolicy::Grr.select(dst, sft, class, app_node, &mut self.next)
+    }
+    fn clone_box(&self) -> Box<dyn MapperPolicy> {
+        Box::new(self.clone())
+    }
+}
+
+stateless_mapper!(
+    /// GMin as a pluggable policy: least raw device load, local ties
+    /// preferred.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use strings_core::mapper::{LeastLoadedMapper, MapperPolicy};
+    ///
+    /// assert_eq!(LeastLoadedMapper.label(), "GMin");
+    /// assert!(!LeastLoadedMapper.is_feedback());
+    /// ```
+    LeastLoadedMapper,
+    LbPolicy::GMin
+);
+
+stateless_mapper!(
+    /// GWtMin as a pluggable policy: least load normalized by static
+    /// device weight — the paper's strongest non-feedback balancer.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use strings_core::mapper::{MapperPolicy, WeightedLeastLoadedMapper};
+    ///
+    /// assert_eq!(WeightedLeastLoadedMapper.label(), "GWtMin");
+    /// assert!(!WeightedLeastLoadedMapper.is_feedback());
+    /// ```
+    WeightedLeastLoadedMapper,
+    LbPolicy::GWtMin
+);
+
+stateless_mapper!(
+    /// RTF as a pluggable policy: shortest expected queue drain from
+    /// measured per-class, per-device runtimes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use strings_core::mapper::{MapperPolicy, RuntimeFeedbackMapper};
+    ///
+    /// assert_eq!(RuntimeFeedbackMapper.label(), "RTF");
+    /// assert!(RuntimeFeedbackMapper.is_feedback());
+    /// ```
+    RuntimeFeedbackMapper,
+    LbPolicy::Rtf
+);
+
+stateless_mapper!(
+    /// GUF as a pluggable policy: avoid collocating two high-GPU-
+    /// utilization classes on one device.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use strings_core::mapper::{MapperPolicy, UtilizationFeedbackMapper};
+    ///
+    /// assert_eq!(UtilizationFeedbackMapper.label(), "GUF");
+    /// assert!(UtilizationFeedbackMapper.is_feedback());
+    /// ```
+    UtilizationFeedbackMapper,
+    LbPolicy::Guf
+);
+
+stateless_mapper!(
+    /// DTF as a pluggable policy: collocate contrasting transfer
+    /// intensities so computation overlaps data movement.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use strings_core::mapper::{MapperPolicy, TransferFeedbackMapper};
+    ///
+    /// assert_eq!(TransferFeedbackMapper.label(), "DTF");
+    /// assert!(TransferFeedbackMapper.is_feedback());
+    /// ```
+    TransferFeedbackMapper,
+    LbPolicy::Dtf
+);
+
+stateless_mapper!(
+    /// MBF as a pluggable policy: keep memory-bandwidth hogs apart so
+    /// compute-bound work hides their latencies.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use strings_core::mapper::{BandwidthFeedbackMapper, MapperPolicy};
+    ///
+    /// assert_eq!(BandwidthFeedbackMapper.label(), "MBF");
+    /// assert!(BandwidthFeedbackMapper.is_feedback());
+    /// ```
+    BandwidthFeedbackMapper,
+    LbPolicy::Mbf
+);
+
+stateless_mapper!(
+    /// Frag as a pluggable policy: on MIG-partitioned devices, prefer the
+    /// placement whose post-placement slice free-space is least
+    /// fragmented; requests that fit nowhere fall back to weighted-load
+    /// time-sharing. Degenerates to GWtMin on unpartitioned pools.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use strings_core::mapper::{FragAwareMapper, MapperPolicy};
+    ///
+    /// assert_eq!(FragAwareMapper.label(), "Frag");
+    /// assert!(!FragAwareMapper.is_feedback());
+    /// ```
+    FragAwareMapper,
+    LbPolicy::Frag
+);
 
 #[cfg(test)]
 mod tests {
@@ -376,6 +725,92 @@ mod tests {
         }
         let mut rr = 0;
         LbPolicy::GMin.select(&dst, &sft, WorkloadClass(0), NodeId(0), &mut rr);
+    }
+
+    #[test]
+    fn frag_packs_small_requests_onto_the_fragmented_device() {
+        let (mut dst, sft) = fixtures();
+        dst.enable_slices(8);
+        // gid0 already hosts a 1g: its free space is slightly fragmented.
+        // A new 1g should co-pack there (fragmentation_after is equal or
+        // better and load tie-break loses to frag difference), keeping
+        // gid1..3 pristine for big profiles.
+        dst.bind(Gid(0), WorkloadClass(0));
+        let mut rr = 0;
+        let pick = LbPolicy::Frag.select(&dst, &sft, WorkloadClass(0), NodeId(0), &mut rr);
+        assert_eq!(pick, Gid(0), "small request must fill the started device");
+        // A 4g avoids gid0 (placing there strands units) in favour of a
+        // pristine device.
+        let pick = LbPolicy::Frag.select(&dst, &sft, WorkloadClass(2), NodeId(0), &mut rr);
+        assert_ne!(pick, Gid(0), "big request must not fragment further");
+    }
+
+    #[test]
+    fn frag_overflow_falls_back_to_weighted_load() {
+        let (mut dst, sft) = fixtures();
+        dst.enable_slices(4);
+        // Fill every device's slices with a 4g each.
+        for g in 0..4 {
+            dst.bind(Gid(g), WorkloadClass(2));
+        }
+        // Nothing fits: Frag must still answer, preferring the strongest
+        // (highest-weight) device like GWtMin would at equal load.
+        let mut rr = 0;
+        let pick = LbPolicy::Frag.select(&dst, &sft, WorkloadClass(2), NodeId(0), &mut rr);
+        assert_eq!(pick, Gid(1), "local Tesla wins the overflow tie");
+    }
+
+    #[test]
+    fn frag_without_slices_matches_gwtmin() {
+        let (mut dst, sft) = fixtures();
+        dst.bind(Gid(0), WorkloadClass(0));
+        dst.bind(Gid(1), WorkloadClass(0));
+        let mut rr = 0;
+        for class in [WorkloadClass(0), WorkloadClass(1), WorkloadClass(2)] {
+            for node in [NodeId(0), NodeId(1)] {
+                let frag = LbPolicy::Frag.select(&dst, &sft, class, node, &mut rr);
+                let gwt = LbPolicy::GWtMin.select(&dst, &sft, class, node, &mut rr);
+                assert_eq!(frag, gwt, "unpartitioned Frag must equal GWtMin");
+            }
+        }
+    }
+
+    #[test]
+    fn boxed_policies_match_enum_selection() {
+        // The trait layer must be byte-identical to the enum path: replay
+        // an identical bind history through both and compare every pick.
+        for policy in LbPolicy::ALL {
+            let (mut dst_a, sft) = fixtures();
+            let (mut dst_b, _) = fixtures();
+            if policy == LbPolicy::Frag {
+                dst_a.enable_slices(8);
+                dst_b.enable_slices(8);
+            }
+            let mut rr = 0;
+            let mut boxed = policy.build();
+            assert_eq!(boxed.label(), policy.label());
+            assert_eq!(boxed.is_feedback(), policy.is_feedback());
+            for i in 0..12u32 {
+                let class = WorkloadClass(i % 3);
+                let node = NodeId(i % 2);
+                let via_enum = policy.select(&dst_a, &sft, class, node, &mut rr);
+                let via_box = boxed.select(&dst_b, &sft, class, node);
+                assert_eq!(via_enum, via_box, "{policy:?} diverged at step {i}");
+                dst_a.bind(via_enum, class);
+                dst_b.bind(via_box, class);
+            }
+        }
+    }
+
+    #[test]
+    fn cloned_box_carries_round_robin_state() {
+        let (dst, sft) = fixtures();
+        let mut p = LbPolicy::Grr.build();
+        let first = p.select(&dst, &sft, WorkloadClass(0), NodeId(0));
+        assert_eq!(first, Gid(0));
+        let mut q = p.clone();
+        assert_eq!(q.select(&dst, &sft, WorkloadClass(0), NodeId(0)), Gid(1));
+        assert_eq!(p.select(&dst, &sft, WorkloadClass(0), NodeId(0)), Gid(1));
     }
 
     #[test]

@@ -1,0 +1,301 @@
+//! MIG-style slice accounting for partitionable devices.
+//!
+//! A device advertising a [`remoting::topology::SliceCapability`] exposes
+//! `units` equal slice units (the A100 analogue, rounded to a power of
+//! two). A request claims an **aligned power-of-two block** of units — the
+//! buddy-allocation discipline real MIG enforces (a 2g profile starts on
+//! an even unit, a 4g profile on a multiple of four) — so free space can
+//! *fragment*: four free units split as two odd-aligned pairs cannot host
+//! a 4-unit profile.
+//!
+//! [`SliceState`] is the per-device bitmap: feasibility ([`SliceState::fits`]),
+//! best-fit allocation ([`SliceState::alloc`]), and the fragmentation
+//! metric ([`SliceState::fragmentation`]) the mapper's fragmentation-aware
+//! policy minimizes. Everything is integer/bitmap arithmetic — bit-stable
+//! across reruns by construction.
+//!
+//! Slices model *placement capacity*, not timing: a device's queue drains
+//! at the same modelled rate whether its tenants sit on disjoint slices or
+//! time-share, so slice state feeds selection and metrics only. Requests
+//! that fit no slice fall back to whole-device time-sharing (counted by
+//! the DST as overflows) rather than being rejected.
+
+use super::WorkloadClass;
+
+/// Slice units a request of `class` demands: a synthetic 1g/2g/4g profile
+/// derived from the class id, so a multi-class mix exercises every profile
+/// deterministically.
+///
+/// ```
+/// use strings_core::mapper::{slice_demand, WorkloadClass};
+///
+/// assert_eq!(slice_demand(WorkloadClass(0)), 1); // 1g
+/// assert_eq!(slice_demand(WorkloadClass(1)), 2); // 2g
+/// assert_eq!(slice_demand(WorkloadClass(2)), 4); // 4g
+/// assert_eq!(slice_demand(WorkloadClass(3)), 1); // wraps
+/// ```
+pub fn slice_demand(class: WorkloadClass) -> u8 {
+    1 << (class.0 % 3)
+}
+
+/// Occupancy bitmap of one partitionable device.
+///
+/// ```
+/// use strings_core::mapper::SliceState;
+///
+/// let mut s = SliceState::new(8);
+/// let a = s.alloc(4).unwrap();
+/// let b = s.alloc(2).unwrap();
+/// assert_eq!((a, b), (0, 4));
+/// assert!(s.fits(2) && !s.fits(4));
+/// s.free(a, 4);
+/// assert!(s.fits(4));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SliceState {
+    units: u8,
+    /// Bit *i* set ⇔ unit *i* allocated.
+    used: u64,
+}
+
+impl SliceState {
+    /// An empty device of `units` slice units (a power of two, ≤ 64).
+    pub fn new(units: u8) -> Self {
+        assert!(
+            units.is_power_of_two() && units <= 64,
+            "slice units must be a power of two <= 64, got {units}"
+        );
+        SliceState { units, used: 0 }
+    }
+
+    /// Total slice units.
+    pub fn units(&self) -> u8 {
+        self.units
+    }
+
+    /// Currently free units.
+    pub fn free_units(&self) -> u8 {
+        self.units - self.used.count_ones() as u8
+    }
+
+    /// Bitmask of a `k`-unit block starting at `pos`.
+    fn mask(pos: u8, k: u8) -> u64 {
+        if k == 64 {
+            u64::MAX
+        } else {
+            ((1u64 << k) - 1) << pos
+        }
+    }
+
+    /// True if an aligned free block of `k` units exists. `k` must be a
+    /// power of two no larger than the device.
+    pub fn fits(&self, k: u8) -> bool {
+        self.best_fit(k).is_some()
+    }
+
+    /// The buddy best-fit position for a `k`-unit block: among free
+    /// aligned `k`-blocks, the one inside the *smallest* enclosing free
+    /// aligned block (so big blocks survive for big profiles), lowest
+    /// position on ties. `None` when nothing fits.
+    fn best_fit(&self, k: u8) -> Option<u8> {
+        assert!(
+            k.is_power_of_two() && k <= self.units,
+            "slice profile must be a power of two <= {}, got {k}",
+            self.units
+        );
+        let mut best: Option<(u8, u8)> = None; // (enclosing size, pos)
+        let mut pos = 0u8;
+        while pos < self.units {
+            if self.used & Self::mask(pos, k) == 0 {
+                // Grow the enclosing free aligned block around `pos`.
+                let mut size = k;
+                loop {
+                    let next = size << 1;
+                    if next > self.units {
+                        break;
+                    }
+                    let start = pos & !(next - 1);
+                    if self.used & Self::mask(start, next) != 0 {
+                        break;
+                    }
+                    size = next;
+                }
+                if best.map(|(s, _)| size < s).unwrap_or(true) {
+                    best = Some((size, pos));
+                }
+            }
+            pos += k;
+        }
+        best.map(|(_, pos)| pos)
+    }
+
+    /// Claim an aligned `k`-unit block (buddy best-fit). Returns the start
+    /// position, or `None` exactly when [`SliceState::fits`] is false.
+    pub fn alloc(&mut self, k: u8) -> Option<u8> {
+        let pos = self.best_fit(k)?;
+        self.used |= Self::mask(pos, k);
+        Some(pos)
+    }
+
+    /// Release the `k`-unit block at `pos` (as returned by
+    /// [`SliceState::alloc`]).
+    pub fn free(&mut self, pos: u8, k: u8) {
+        let m = Self::mask(pos, k);
+        debug_assert_eq!(self.used & m, m, "freeing a block that is not allocated");
+        self.used &= !m;
+    }
+
+    /// Largest aligned free block, in units (0 when full).
+    pub fn largest_free_block(&self) -> u8 {
+        let mut k = self.units;
+        while k >= 1 {
+            let mut pos = 0u8;
+            while pos < self.units {
+                if self.used & Self::mask(pos, k) == 0 {
+                    return k;
+                }
+                pos += k;
+            }
+            k /= 2;
+        }
+        0
+    }
+
+    /// Fragmentation in [0, 1]: the fraction of free units *not* usable by
+    /// the largest profile a fresh device could host — 0 when free space
+    /// is one maximal block (or the device is full), approaching 1 as free
+    /// units scatter into unusably small islands.
+    pub fn fragmentation(&self) -> f64 {
+        let free = self.free_units();
+        if free == 0 {
+            return 0.0;
+        }
+        1.0 - self.largest_free_block() as f64 / free as f64
+    }
+
+    /// Fragmentation after a hypothetical `k`-unit allocation (the
+    /// fragmentation-aware policy's scoring input); `None` if `k` does not
+    /// fit.
+    pub fn fragmentation_after(&self, k: u8) -> Option<f64> {
+        let mut after = *self;
+        after.alloc(k)?;
+        Some(after.fragmentation())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demand_cycles_profiles() {
+        let demands: Vec<u8> = (0..6).map(|c| slice_demand(WorkloadClass(c))).collect();
+        assert_eq!(demands, vec![1, 2, 4, 1, 2, 4]);
+    }
+
+    #[test]
+    fn alloc_is_aligned_and_best_fit() {
+        let mut s = SliceState::new(8);
+        // Carve [0,4) then free half of it: the freed pair is the smallest
+        // enclosing block, so a new 2g lands there, not in pristine [4,8).
+        let a = s.alloc(2).unwrap();
+        let b = s.alloc(2).unwrap();
+        assert_eq!((a, b), (0, 2));
+        s.free(a, 2);
+        assert_eq!(s.alloc(2), Some(0), "best fit reuses the hole");
+        // A 4g must take the aligned upper half.
+        assert_eq!(s.alloc(4), Some(4));
+        assert_eq!(s.free_units(), 0);
+        assert_eq!(s.alloc(1), None);
+    }
+
+    #[test]
+    fn alignment_fragments_scattered_free_space() {
+        let mut s = SliceState::new(8);
+        let blocks: Vec<u8> = (0..8).map(|_| s.alloc(1).unwrap()).collect();
+        assert_eq!(blocks, (0..8).collect::<Vec<u8>>());
+        // Free units 1, 3, 5, 7: four free units, no aligned pair.
+        for p in [1u8, 3, 5, 7] {
+            s.free(p, 1);
+        }
+        assert_eq!(s.free_units(), 4);
+        assert!(s.fits(1));
+        assert!(!s.fits(2), "odd-aligned singles cannot host a 2g");
+        assert_eq!(s.largest_free_block(), 1);
+        assert!((s.fragmentation() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fragmentation_of_empty_and_full() {
+        let mut s = SliceState::new(8);
+        assert_eq!(s.fragmentation(), 0.0);
+        assert_eq!(s.largest_free_block(), 8);
+        s.alloc(8).unwrap();
+        assert_eq!(s.fragmentation(), 0.0, "full device is not fragmented");
+        assert_eq!(s.largest_free_block(), 0);
+    }
+
+    #[test]
+    fn fragmentation_after_previews_without_mutating() {
+        let s = SliceState::new(8);
+        let before = s;
+        assert_eq!(s.fragmentation_after(8), Some(0.0));
+        assert_eq!(s, before);
+        let mut t = SliceState::new(4);
+        t.alloc(4).unwrap();
+        assert_eq!(t.fragmentation_after(1), None);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Reference feasibility: brute-force scan for a free aligned
+        /// block, independent of the allocator's internals.
+        fn ref_fits(used: u64, units: u8, k: u8) -> bool {
+            (0..units)
+                .step_by(k as usize)
+                .any(|pos| used & SliceState::mask(pos, k) == 0)
+        }
+
+        proptest! {
+            /// The packing discipline never strands a slice the feasibility
+            /// check says fits: after ANY deterministic alloc/free history,
+            /// `alloc(k)` succeeds exactly when a free aligned k-block
+            /// exists, and the two agree with the brute-force reference.
+            #[test]
+            fn alloc_succeeds_iff_feasible(
+                ops in proptest::collection::vec((0u8..3, 0u32..3), 0..64),
+            ) {
+                let mut s = SliceState::new(8);
+                let mut held: Vec<(u8, u8)> = Vec::new();
+                for (action, size_sel) in ops {
+                    let k = 1u8 << size_sel; // 1, 2, or 4 units
+                    match action {
+                        0 | 1 => {
+                            let feasible = ref_fits(s.used, s.units(), k);
+                            prop_assert_eq!(s.fits(k), feasible);
+                            match s.alloc(k) {
+                                Some(pos) => {
+                                    prop_assert!(feasible, "alloc invented space");
+                                    prop_assert_eq!(pos % k, 0, "unaligned block");
+                                    held.push((pos, k));
+                                }
+                                None => prop_assert!(!feasible, "alloc stranded a fitting slice"),
+                            }
+                        }
+                        _ => {
+                            if !held.is_empty() {
+                                let (pos, k) = held.swap_remove(size_sel as usize % held.len());
+                                s.free(pos, k);
+                            }
+                        }
+                    }
+                    // Bookkeeping stays consistent throughout.
+                    let held_units: u8 = held.iter().map(|&(_, k)| k).sum();
+                    prop_assert_eq!(s.free_units(), 8 - held_units);
+                }
+            }
+        }
+    }
+}

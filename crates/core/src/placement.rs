@@ -31,6 +31,13 @@ pub enum NodePolicy {
 }
 
 impl NodePolicy {
+    /// Every shipped placement policy, in registry order.
+    pub const ALL: [NodePolicy; 3] = [
+        NodePolicy::RoundRobin,
+        NodePolicy::Hash,
+        NodePolicy::LeastTenants,
+    ];
+
     /// Parse the `--placement` grammar: `rr` | `hash` | `least`.
     pub fn parse(s: &str) -> Result<Self, String> {
         match s {
@@ -49,12 +56,174 @@ impl NodePolicy {
             NodePolicy::LeastTenants => "least",
         }
     }
+
+    /// Box this policy as a pluggable [`PlacementPolicy`] trait object.
+    ///
+    /// ```
+    /// use strings_core::placement::NodePolicy;
+    ///
+    /// assert_eq!(NodePolicy::Hash.build().label(), "hash");
+    /// ```
+    pub fn build(self) -> Box<dyn PlacementPolicy> {
+        match self {
+            NodePolicy::RoundRobin => Box::new(RoundRobinPlacement),
+            NodePolicy::Hash => Box::new(HashPlacement),
+            NodePolicy::LeastTenants => Box::new(LeastTenantsPlacement),
+        }
+    }
+}
+
+/// What a [`PlacementPolicy`] sees when asked to place a tenant: the
+/// placer's slot-indexed bookkeeping, read-only.
+#[derive(Debug)]
+pub struct PlacementView<'a> {
+    /// Slot indices (into [`PlacementView::nodes`]) of live nodes,
+    /// ascending. Never empty.
+    pub live: &'a [usize],
+    /// Tenants currently assigned, per slot.
+    pub counts: &'a [usize],
+    /// Node id per slot.
+    pub nodes: &'a [NodeId],
+}
+
+/// A pluggable tenant → node placement policy — the trait layer behind
+/// [`ClusterPlacer`].
+///
+/// Every [`NodePolicy`] variant ships a built-in implementation (via
+/// [`NodePolicy::build`]) that reproduces the enum's choice byte-for-byte;
+/// custom implementations plug in through
+/// [`ClusterPlacer::with_policy`]. Implementations must return a member of
+/// `view.live` and be deterministic in `(tenant, view, own state)` — the
+/// serve planner's byte-stable goldens depend on it.
+///
+/// # Examples
+///
+/// ```
+/// use remoting::gpool::NodeId;
+/// use strings_core::placement::{ClusterPlacer, PlacementPolicy, PlacementView};
+///
+/// /// Sends every tenant to the highest-numbered live node.
+/// #[derive(Debug, Clone)]
+/// struct LastNode;
+///
+/// impl PlacementPolicy for LastNode {
+///     fn label(&self) -> &'static str {
+///         "last"
+///     }
+///     fn pick(&mut self, _tenant: u32, view: &PlacementView<'_>) -> usize {
+///         *view.live.last().expect("live set never empty")
+///     }
+///     fn clone_box(&self) -> Box<dyn PlacementPolicy> {
+///         Box::new(self.clone())
+///     }
+/// }
+///
+/// let nodes = [NodeId(0), NodeId(1), NodeId(2)];
+/// let mut placer = ClusterPlacer::with_policy(&nodes, Box::new(LastNode));
+/// assert_eq!(placer.place(7), NodeId(2));
+/// ```
+pub trait PlacementPolicy: std::fmt::Debug + Send {
+    /// Short label for reports.
+    fn label(&self) -> &'static str;
+
+    /// Choose a slot for `tenant` from `view.live`. Called once per
+    /// tenant (assignments are sticky); `&mut self` so stateful policies
+    /// can advance.
+    fn pick(&mut self, tenant: u32, view: &PlacementView<'_>) -> usize;
+
+    /// Clone into a fresh box (trait objects cannot derive `Clone`).
+    fn clone_box(&self) -> Box<dyn PlacementPolicy>;
+}
+
+impl Clone for Box<dyn PlacementPolicy> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// Static striping as a pluggable policy: tenant *t* → *t*-th live slot,
+/// round robin.
+///
+/// # Examples
+///
+/// ```
+/// use strings_core::placement::{NodePolicy, RoundRobinPlacement, PlacementPolicy};
+///
+/// assert_eq!(RoundRobinPlacement.label(), NodePolicy::RoundRobin.label());
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundRobinPlacement;
+
+impl PlacementPolicy for RoundRobinPlacement {
+    fn label(&self) -> &'static str {
+        NodePolicy::RoundRobin.label()
+    }
+    fn pick(&mut self, tenant: u32, view: &PlacementView<'_>) -> usize {
+        view.live[tenant as usize % view.live.len()]
+    }
+    fn clone_box(&self) -> Box<dyn PlacementPolicy> {
+        Box::new(*self)
+    }
+}
+
+/// Multiplicative hashing as a pluggable policy: decorrelates adjacent
+/// tenants from adjacent nodes.
+///
+/// # Examples
+///
+/// ```
+/// use strings_core::placement::{HashPlacement, NodePolicy, PlacementPolicy};
+///
+/// assert_eq!(HashPlacement.label(), NodePolicy::Hash.label());
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HashPlacement;
+
+impl PlacementPolicy for HashPlacement {
+    fn label(&self) -> &'static str {
+        NodePolicy::Hash.label()
+    }
+    fn pick(&mut self, tenant: u32, view: &PlacementView<'_>) -> usize {
+        let h = (tenant as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33;
+        view.live[(h % view.live.len() as u64) as usize]
+    }
+    fn clone_box(&self) -> Box<dyn PlacementPolicy> {
+        Box::new(*self)
+    }
+}
+
+/// Fewest-tenants-first as a pluggable policy, lowest node id on ties.
+///
+/// # Examples
+///
+/// ```
+/// use strings_core::placement::{LeastTenantsPlacement, NodePolicy, PlacementPolicy};
+///
+/// assert_eq!(LeastTenantsPlacement.label(), NodePolicy::LeastTenants.label());
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LeastTenantsPlacement;
+
+impl PlacementPolicy for LeastTenantsPlacement {
+    fn label(&self) -> &'static str {
+        NodePolicy::LeastTenants.label()
+    }
+    fn pick(&mut self, _tenant: u32, view: &PlacementView<'_>) -> usize {
+        *view
+            .live
+            .iter()
+            .min_by_key(|&&s| (view.counts[s], view.nodes[s]))
+            .expect("non-empty live set")
+    }
+    fn clone_box(&self) -> Box<dyn PlacementPolicy> {
+        Box::new(*self)
+    }
 }
 
 /// Sticky tenant → node assignment over a fixed node set.
 #[derive(Debug, Clone)]
 pub struct ClusterPlacer {
-    policy: NodePolicy,
+    policy: Box<dyn PlacementPolicy>,
     nodes: Vec<NodeId>,
     /// tenant → slot in `nodes`. BTreeMap for deterministic iteration.
     assigned: BTreeMap<u32, usize>,
@@ -68,6 +237,12 @@ impl ClusterPlacer {
     /// A placer over the given nodes. Panics on an empty node set — there
     /// is nowhere to place anything.
     pub fn new(nodes: &[NodeId], policy: NodePolicy) -> Self {
+        Self::with_policy(nodes, policy.build())
+    }
+
+    /// A placer driven by a pluggable [`PlacementPolicy`] (the general
+    /// constructor [`ClusterPlacer::new`] delegates to).
+    pub fn with_policy(nodes: &[NodeId], policy: Box<dyn PlacementPolicy>) -> Self {
         assert!(!nodes.is_empty(), "placement over zero nodes");
         ClusterPlacer {
             policy,
@@ -76,6 +251,11 @@ impl ClusterPlacer {
             counts: vec![0; nodes.len()],
             lost: vec![false; nodes.len()],
         }
+    }
+
+    /// Label of the policy driving this placer.
+    pub fn policy_label(&self) -> &'static str {
+        self.policy.label()
     }
 
     /// Place `tenant`, reusing its sticky assignment if one exists and the
@@ -94,20 +274,23 @@ impl ClusterPlacer {
         self.nodes[slot]
     }
 
-    fn pick_slot(&self, tenant: u32) -> usize {
+    fn pick_slot(&mut self, tenant: u32) -> usize {
         let live: Vec<usize> = (0..self.nodes.len()).filter(|&s| !self.lost[s]).collect();
         assert!(!live.is_empty(), "placement with every node lost");
-        match self.policy {
-            NodePolicy::RoundRobin => live[tenant as usize % live.len()],
-            NodePolicy::Hash => {
-                let h = (tenant as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33;
-                live[(h % live.len() as u64) as usize]
-            }
-            NodePolicy::LeastTenants => *live
-                .iter()
-                .min_by_key(|&&s| (self.counts[s], self.nodes[s]))
-                .expect("non-empty live set"),
-        }
+        let slot = self.policy.pick(
+            tenant,
+            &PlacementView {
+                live: &live,
+                counts: &self.counts,
+                nodes: &self.nodes,
+            },
+        );
+        assert!(
+            live.binary_search(&slot).is_ok(),
+            "policy {} picked slot {slot}, which is not live",
+            self.policy.label()
+        );
+        slot
     }
 
     /// The sticky assignment for `tenant`, if placed and still valid.
@@ -231,5 +414,57 @@ mod tests {
     #[should_panic(expected = "placement over zero nodes")]
     fn empty_node_set_panics() {
         let _ = ClusterPlacer::new(&[], NodePolicy::RoundRobin);
+    }
+
+    #[test]
+    fn boxed_policies_match_enum_path_including_node_loss() {
+        for policy in NodePolicy::ALL {
+            let mut via_enum = ClusterPlacer::new(&nodes(5), policy);
+            let mut via_box = ClusterPlacer::with_policy(&nodes(5), policy.build());
+            assert_eq!(via_box.policy_label(), policy.label());
+            for t in 0..24u32 {
+                assert_eq!(via_enum.place(t), via_box.place(t), "{policy:?} t={t}");
+            }
+            assert_eq!(via_enum.node_lost(NodeId(2)), via_box.node_lost(NodeId(2)));
+            for t in 0..24u32 {
+                assert_eq!(
+                    via_enum.place(t),
+                    via_box.place(t),
+                    "{policy:?} post-loss t={t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cloned_placer_diverges_independently() {
+        let mut a = ClusterPlacer::new(&nodes(3), NodePolicy::LeastTenants);
+        a.place(0);
+        let mut b = a.clone();
+        assert_eq!(a.place(1), b.place(1), "clones agree on shared history");
+        b.place(2);
+        assert_eq!(b.tenants_on(NodeId(2)), 1);
+        assert_eq!(a.tenants_on(NodeId(2)), 0, "clone state is independent");
+    }
+
+    #[test]
+    #[should_panic(expected = "not live")]
+    fn policy_returning_lost_slot_is_caught() {
+        #[derive(Debug, Clone)]
+        struct AlwaysZero;
+        impl PlacementPolicy for AlwaysZero {
+            fn label(&self) -> &'static str {
+                "zero"
+            }
+            fn pick(&mut self, _tenant: u32, _view: &PlacementView<'_>) -> usize {
+                0
+            }
+            fn clone_box(&self) -> Box<dyn PlacementPolicy> {
+                Box::new(self.clone())
+            }
+        }
+        let mut p = ClusterPlacer::with_policy(&nodes(2), Box::new(AlwaysZero));
+        p.node_lost(NodeId(0));
+        p.place(1);
     }
 }

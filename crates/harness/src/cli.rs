@@ -14,7 +14,7 @@ use crate::serve::ServeSpec;
 use remoting::gpool::NodeId;
 use remoting::topology::TopologySpec;
 use sim_core::SimDuration;
-use strings_core::admission::RateLimit;
+use strings_core::admission::{RateLimit, SloAdmission};
 use strings_core::config::StackConfig;
 use strings_core::device_sched::{GpuPolicy, TenantId};
 use strings_core::mapper::LbPolicy;
@@ -56,6 +56,7 @@ pub fn parse_lb(s: &str) -> Result<LbPolicy, CliError> {
         "grr" => Ok(LbPolicy::Grr),
         "gmin" => Ok(LbPolicy::GMin),
         "gwtmin" => Ok(LbPolicy::GWtMin),
+        "frag" => Ok(LbPolicy::Frag),
         "rtf" => Ok(LbPolicy::Rtf),
         "guf" => Ok(LbPolicy::Guf),
         "dtf" => Ok(LbPolicy::Dtf),
@@ -124,7 +125,7 @@ pub const USAGE: &str = "strings-sim — run the Strings GPU scheduler simulator
 
 options:
   --mode cuda|rain|strings        scheduling stack        [strings]
-  --lb   grr|gmin|gwtmin|rtf|guf|dtf|mbf   balancer        [gwtmin]
+  --lb   grr|gmin|gwtmin|frag|rtf|guf|dtf|mbf   balancer   [gwtmin]
   --gpu-policy none|tfs|las|ps    device dispatcher        [none]
   --feedback POLICY:MIN           arbiter switch after MIN records
   --app KIND:COUNT:LOAD[:NODE]    request stream (repeatable) [MC:10:1.5]
@@ -143,6 +144,9 @@ options:
 subcommands:
   serve                           open-loop cloud serving (see
                                   `strings-sim serve --help`)
+  policy-matrix                   rank placement x mapper x admission
+                                  policy stacks across workload mixes and
+                                  fault plans (`--quick` for the CI scale)
 ";
 
 /// Usage text for `strings-sim serve --help`.
@@ -164,10 +168,12 @@ options:
   --apps K1,K2,...      app mix (tenant t serves apps[t % len]) [GA]
   --queue-depth N       per-tenant in-system bound before shedding [8]
   --rate-limit RPS[:BURST]   per-tenant token-bucket admission limit
+  --slo-target DUR      shed while a tenant's smoothed queue wait exceeds
+                        this target (e.g. 50ms); off by default
   --window DUR          sliding fairness window  [1s]
   --server-threads N    per-tenant in-flight cap past admission [8]
   --mode cuda|rain|strings        scheduling stack        [strings]
-  --lb   grr|gmin|gwtmin|rtf|guf|dtf|mbf   balancer        [gwtmin]
+  --lb   grr|gmin|gwtmin|frag|rtf|guf|dtf|mbf   balancer   [gwtmin]
   --gpu-policy none|tfs|las|ps    device dispatcher        [none]
   --nodes 1|2           NodeA or NodeA+NodeB     [2]
   --topology SPEC       cluster shape (overrides --nodes): node-a|single,
@@ -216,6 +222,7 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeRun, CliError> {
     let mut apps: Vec<AppKind> = vec![AppKind::GA];
     let mut queue_depth = 8usize;
     let mut rate_limit: Option<RateLimit> = None;
+    let mut slo_target: Option<SimDuration> = None;
     let mut window = SimDuration::from_secs(1);
     let mut server_threads = 8usize;
     let mut mode = "strings".to_string();
@@ -274,6 +281,13 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeRun, CliError> {
                 }
             }
             "--rate-limit" => rate_limit = Some(RateLimit::parse(take()?).map_err(CliError)?),
+            "--slo-target" => {
+                let d = SimDuration::parse(take()?).map_err(CliError)?;
+                if d.is_zero() {
+                    return err("--slo-target must be positive");
+                }
+                slo_target = Some(d);
+            }
             "--window" => window = SimDuration::parse(take()?).map_err(CliError)?,
             "--server-threads" => {
                 server_threads = take()?
@@ -357,6 +371,9 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeRun, CliError> {
     spec.apps = apps;
     spec.admission.queue_depth = queue_depth;
     spec.admission.rate_limit = rate_limit;
+    spec.admission.slo = slo_target.map(|d| SloAdmission {
+        target_wait_ns: d.as_ns(),
+    });
     spec.window = window;
     spec.server_threads = server_threads;
     spec.trace = trace.is_some();
@@ -642,7 +659,18 @@ mod tests {
         assert!(parse_serve_args(&args("--apps ZZ")).is_err());
         assert!(parse_serve_args(&args("--queue-depth 0")).is_err());
         assert!(parse_serve_args(&args("--rate-limit 0")).is_err());
+        assert!(parse_serve_args(&args("--slo-target 0s")).is_err());
         assert!(parse_serve_args(&args("--frobnicate")).is_err());
+    }
+
+    #[test]
+    fn serve_slo_target_and_frag_balancer_parse() {
+        let run = parse_serve_args(&args("--slo-target 50ms --lb frag")).unwrap();
+        let slo = run.spec.admission.slo.expect("--slo-target sets the gate");
+        assert_eq!(slo.target_wait_ns, 50_000_000);
+        assert_eq!(parse_lb("frag").unwrap(), LbPolicy::Frag);
+        // Off by default: the SLO gate is opt-in.
+        assert!(parse_serve_args(&[]).unwrap().spec.admission.slo.is_none());
     }
 
     #[test]

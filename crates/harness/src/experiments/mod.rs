@@ -19,6 +19,7 @@ pub mod fig12;
 pub mod fig13;
 pub mod fig14;
 pub mod fig15;
+pub mod policy_matrix;
 pub mod serve;
 pub mod table1;
 pub mod vmem;

@@ -329,7 +329,7 @@ impl World {
         // Workload balancers: one global, or one per node (local scope).
         // Per-node balancers see their node's gPool shard, which keeps
         // cluster-wide GIDs — selections need no renumbering.
-        let mappers = match (cfg.arbiter(), scope) {
+        let mut mappers = match (cfg.arbiter(), scope) {
             (None, _) => Vec::new(),
             (Some(arb), LbScope::Global) => vec![GpuAffinityMapper::new(gpool.global(), arb)],
             (Some(arb), LbScope::Local) => nodes
@@ -339,6 +339,11 @@ impl World {
                 })
                 .collect(),
         };
+        if let Some(cap) = topology.slices() {
+            for m in &mut mappers {
+                m.enable_slices(cap.units);
+            }
+        }
         let n_slots = requests.iter().map(|r| r.slot + 1).max().unwrap_or(1);
         let slot_inflight = vec![0; n_slots];
         let slot_backlog = (0..n_slots).map(|_| VecDeque::new()).collect();
@@ -815,6 +820,12 @@ impl World {
                     "shed_rate_limited",
                     adm.shed_rate_limited as f64,
                 );
+                // Only emitted when the SLO gate actually fired, so traces
+                // from runs without an SLO config are byte-unchanged.
+                if adm.shed_slo > 0 {
+                    self.tracer
+                        .counter(self.trk_sim, now, "shed_slo", adm.shed_slo as f64);
+                }
             }
         }
         if self.tracer.is_on() {
@@ -1174,6 +1185,15 @@ impl World {
         }
         // Admission + server-queue wait: arrival up to dispatch.
         self.charge_stage(app, Stage::AdmissionWait, now);
+        // The measured wait feeds the SLO admission gate's per-tenant EWMA
+        // (a no-op unless `AdmissionConfig.slo` is set).
+        let (tenant, arrival) = {
+            let r = &self.requests[idx];
+            (r.tenant, r.arrival)
+        };
+        if let Some(adm) = self.admission.as_mut() {
+            adm.observe_wait(tenant.0 as usize, now.saturating_sub(arrival));
+        }
         self.run_host(app, now);
     }
 

@@ -4,7 +4,7 @@ use sim_core::SimDuration;
 use strings_core::config::StackConfig;
 use strings_core::device_sched::GpuPolicy;
 use strings_core::mapper::LbPolicy;
-use strings_harness::experiments::{common::pair_streams, fig12, ExpScale};
+use strings_harness::experiments::{common::pair_streams, fig12, policy_matrix, ExpScale};
 use strings_harness::scenario::Scenario;
 use strings_harness::serve::ServeSpec;
 use strings_harness::sweep;
@@ -93,6 +93,35 @@ fn attribution_and_metrics_are_thread_count_invisible() {
         assert_eq!(
             body, first,
             "observability output under {threads} sweep threads differs from 1 thread"
+        );
+    }
+}
+
+#[test]
+fn policy_matrix_rerun_renders_byte_identically() {
+    let scale = ExpScale::quick();
+    let a = policy_matrix::table(&policy_matrix::run(&scale)).render();
+    let b = policy_matrix::table(&policy_matrix::run(&scale)).render();
+    assert_eq!(a, b, "policy matrix diverged across reruns");
+}
+
+#[test]
+fn policy_matrix_is_thread_count_invisible() {
+    let scale = ExpScale::quick();
+    let mut renders = Vec::new();
+    for threads in [1usize, 4, 8] {
+        sweep::set_threads(threads);
+        renders.push((
+            threads,
+            policy_matrix::table(&policy_matrix::run(&scale)).render(),
+        ));
+    }
+    sweep::set_threads(0);
+    let (_, first) = &renders[0];
+    for (threads, body) in &renders[1..] {
+        assert_eq!(
+            body, first,
+            "policy matrix under {threads} sweep threads differs from 1 thread"
         );
     }
 }

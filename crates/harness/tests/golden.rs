@@ -20,7 +20,7 @@ use strings_core::device_sched::GpuPolicy;
 use strings_core::mapper::LbPolicy;
 use strings_harness::experiments::{
     ablation, attribution, common::pair_streams, cpu_fallback, faults, fig01, fig02, fig09, fig10,
-    fig11, fig12, fig13, fig14, fig15, serve, table1, vmem, ExpScale,
+    fig11, fig12, fig13, fig14, fig15, policy_matrix, serve, table1, vmem, ExpScale,
 };
 use strings_harness::scenario::{Scenario, StreamSpec};
 use strings_harness::serve::ServeSpec;
@@ -145,6 +145,14 @@ fn render_all() -> String {
             .as_ref()
             .expect("metrics enabled")
             .render_openmetrics(),
+    );
+
+    // The policy matrix: every stack x mix x fault-plan cell's full
+    // ranking. Pins both each policy's selection behaviour and the
+    // rank-comparator's tie-breaking byte-for-byte.
+    section(
+        "policy_matrix",
+        policy_matrix::table(&policy_matrix::run(&scale)).render(),
     );
     out
 }

@@ -47,7 +47,7 @@ pub use network::{NetworkModel, NetworkSpec};
 pub use retry::RetryPolicy;
 pub use rpc::{RpcCostModel, RpcPacket};
 pub use telemetry::RpcCounters;
-pub use topology::TopologySpec;
+pub use topology::{SliceCapability, TopologySpec};
 
 /// One-stop import for downstream crates:
 /// `use remoting::prelude::*;`.
@@ -60,5 +60,5 @@ pub mod prelude {
     pub use crate::retry::RetryPolicy;
     pub use crate::rpc::{RpcCostModel, RpcPacket};
     pub use crate::telemetry::RpcCounters;
-    pub use crate::topology::{TopologyBuilder, TopologySpec};
+    pub use crate::topology::{SliceCapability, TopologyBuilder, TopologySpec};
 }

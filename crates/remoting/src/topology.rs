@@ -17,11 +17,42 @@ use crate::network::NetworkSpec;
 use gpu_sim::spec::GpuModel;
 use serde::{Deserialize, Serialize};
 
+/// MIG-style partitioning capability shared by every device in a topology.
+///
+/// A capable device exposes `units` equal slice units (the NVIDIA A100
+/// analogue: 7 compute slices; we default to a power-of-two 8 so slice
+/// profiles 1g/2g/4g pack without remainder). Requests claim aligned
+/// power-of-two blocks of units; the mapper's fragmentation-aware policy
+/// scores devices by how much packing headroom a placement preserves.
+///
+/// ```
+/// use remoting::topology::{SliceCapability, TopologySpec};
+///
+/// let t = TopologySpec::supernode().with_slices(SliceCapability::default());
+/// assert_eq!(t.slices().unwrap().units, 8);
+/// assert_eq!(t.label(), "supernode+mig8");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SliceCapability {
+    /// Slice units per device (a power of two, at most 64).
+    pub units: u8,
+}
+
+impl Default for SliceCapability {
+    fn default() -> Self {
+        SliceCapability { units: 8 }
+    }
+}
+
 /// Machines, their GPU inventories, and the network joining them.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TopologySpec {
     nodes: Vec<NodeSpec>,
     network: NetworkSpec,
+    /// MIG-style slice capability; `None` (the default everywhere a spec
+    /// is built without [`TopologySpec::with_slices`]) means whole-device
+    /// placement only, preserving pre-capability behaviour.
+    slices: Option<SliceCapability>,
 }
 
 impl TopologySpec {
@@ -61,6 +92,7 @@ impl TopologySpec {
         TopologySpec {
             nodes,
             network: NetworkSpec::calibrated(),
+            slices: None,
         }
     }
 
@@ -68,6 +100,22 @@ impl TopologySpec {
     pub fn with_network(mut self, network: NetworkSpec) -> Self {
         self.network = network;
         self
+    }
+
+    /// Mark every device as MIG-partitionable with the given capability.
+    pub fn with_slices(mut self, slices: SliceCapability) -> Self {
+        assert!(
+            slices.units.is_power_of_two() && slices.units <= 64,
+            "slice units must be a power of two <= 64, got {}",
+            slices.units
+        );
+        self.slices = Some(slices);
+        self
+    }
+
+    /// The per-device slice capability, if the topology is partitionable.
+    pub fn slices(&self) -> Option<SliceCapability> {
+        self.slices
     }
 
     /// The machines, in node-id order of declaration.
@@ -94,26 +142,29 @@ impl TopologySpec {
     /// `64x4:TeslaC2050`.
     pub fn label(&self) -> String {
         use crate::network::NetworkModel;
-        if self.nodes == vec![NodeSpec::node_a(0), NodeSpec::node_b(1)] {
-            return "supernode".into();
-        }
-        if self.nodes == vec![NodeSpec::node_a(0)] {
-            return "node-a".into();
-        }
-        let homogeneous = self
-            .nodes
-            .split_first()
-            .map(|(first, rest)| rest.iter().all(|n| n.gpus == first.gpus))
-            .unwrap_or(true);
-        let shape = match (homogeneous, self.nodes.first()) {
-            (true, Some(first)) if !first.gpus.is_empty() => format!(
-                "{}x{}:{:?}",
-                self.nodes.len(),
-                first.gpus.len(),
-                first.gpus[0]
-            ),
-            _ => format!("{}nodes/{}devices", self.nodes.len(), self.num_devices()),
+        let mut shape = if self.nodes == vec![NodeSpec::node_a(0), NodeSpec::node_b(1)] {
+            "supernode".to_string()
+        } else if self.nodes == vec![NodeSpec::node_a(0)] {
+            "node-a".to_string()
+        } else {
+            let homogeneous = self
+                .nodes
+                .split_first()
+                .map(|(first, rest)| rest.iter().all(|n| n.gpus == first.gpus))
+                .unwrap_or(true);
+            match (homogeneous, self.nodes.first()) {
+                (true, Some(first)) if !first.gpus.is_empty() => format!(
+                    "{}x{}:{:?}",
+                    self.nodes.len(),
+                    first.gpus.len(),
+                    first.gpus[0]
+                ),
+                _ => format!("{}nodes/{}devices", self.nodes.len(), self.num_devices()),
+            }
         };
+        if let Some(s) = self.slices {
+            shape = format!("{shape}+mig{}", s.units);
+        }
         let net = self.network.label();
         if net == "calibrated" {
             shape
@@ -129,12 +180,32 @@ impl TopologySpec {
     /// supernode | paper     NodeA + NodeB (the default two-node world)
     /// NxM                   N nodes × M Tesla C2050s, e.g. 64x4
     /// NxM:MODEL             MODEL ∈ q2000|c2050|q4000|c2070|cpu
+    /// …+mig[U]              every device partitionable into U slice units
+    ///                       (power of two, default 8), e.g. supernode+mig
     /// …@NET                 network suffix, NET as in NetworkSpec::parse
     /// ```
     pub fn parse(s: &str) -> Result<Self, String> {
         let (shape, net) = match s.split_once('@') {
             Some((shape, net)) => (shape, Some(NetworkSpec::parse(net)?)),
             None => (s, None),
+        };
+        let (shape, slices) = match shape.split_once('+') {
+            Some((shape, cap)) => {
+                let units = match cap.strip_prefix("mig") {
+                    Some("") => 8u8,
+                    Some(u) => u
+                        .parse()
+                        .map_err(|_| format!("bad slice units in '+{cap}' (want +mig[U])"))?,
+                    None => return Err(format!("unknown capability '+{cap}' (want +mig[U])")),
+                };
+                if !units.is_power_of_two() || units > 64 {
+                    return Err(format!(
+                        "slice units in '+{cap}' must be a power of two <= 64"
+                    ));
+                }
+                (shape, Some(SliceCapability { units }))
+            }
+            None => (shape, None),
         };
         let mut topo = match shape {
             "node-a" | "single" => Self::node_a(),
@@ -159,6 +230,9 @@ impl TopologySpec {
                 Self::cluster(n, m, model)
             }
         };
+        if let Some(slices) = slices {
+            topo = topo.with_slices(slices);
+        }
         if let Some(net) = net {
             topo = topo.with_network(net);
         }
@@ -224,6 +298,7 @@ impl TopologyBuilder {
         TopologySpec {
             nodes: self.nodes,
             network: self.network,
+            slices: None,
         }
     }
 }
@@ -300,6 +375,36 @@ mod tests {
         for bad in ["", "64", "0x4", "4x0", "axb", "4x4:gtx", "4x4@warp"] {
             assert!(TopologySpec::parse(bad).is_err(), "{bad:?} should fail");
         }
+    }
+
+    #[test]
+    fn parse_mig_suffix() {
+        let t = TopologySpec::parse("supernode+mig").unwrap();
+        assert_eq!(t.slices(), Some(SliceCapability { units: 8 }));
+        assert_eq!(t.label(), "supernode+mig8");
+        let t = TopologySpec::parse("4x2:c2050+mig4@gbe").unwrap();
+        assert_eq!(t.slices(), Some(SliceCapability { units: 4 }));
+        assert_eq!(t.label(), "4x2:TeslaC2050+mig4@gbe");
+        assert_eq!(TopologySpec::parse("supernode").unwrap().slices(), None);
+        for bad in ["supernode+mig3", "supernode+mig128", "supernode+tpu"] {
+            assert!(TopologySpec::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn slices_capability_is_orthogonal_to_shape() {
+        let plain = TopologySpec::supernode();
+        let sliced = plain.clone().with_slices(SliceCapability::default());
+        assert_eq!(sliced.nodes(), plain.nodes());
+        assert_eq!(sliced.network(), plain.network());
+        assert_ne!(sliced, plain, "capability participates in equality");
+        assert_eq!(sliced.slices(), Some(SliceCapability { units: 8 }));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn with_slices_rejects_non_power_of_two() {
+        let _ = TopologySpec::supernode().with_slices(SliceCapability { units: 6 });
     }
 
     #[test]

@@ -13,6 +13,7 @@ use strings_repro::remoting::gpool::NodeId;
 use strings_repro::strings::config::StackConfig;
 use strings_repro::strings::device_sched::{GpuPolicy, TenantId};
 use strings_repro::strings::mapper::LbPolicy;
+use strings_repro::strings::zoo::{registry, PolicyLayer};
 use strings_repro::workloads::pairs::{workload_pair, PairLabel};
 
 fn main() {
@@ -47,7 +48,15 @@ fn main() {
         "device policy",
         "speedup vs CUDA",
     ]);
-    for lb in [LbPolicy::Grr, LbPolicy::GMin, LbPolicy::GWtMin] {
+    // Enumerate the mapper layer from the scheduler zoo, so new policies
+    // show up here without touching the example (a staleness test pins
+    // this source to the registry).
+    let mappers: Vec<LbPolicy> = registry()
+        .iter()
+        .filter(|i| i.layer == PolicyLayer::Mapper)
+        .map(|i| i.lb.expect("mapper rows carry their enum"))
+        .collect();
+    for lb in mappers.iter().copied().filter(|lb| !lb.is_feedback()) {
         for (mode, mk_cfg) in [
             ("Rain", StackConfig::rain as fn(LbPolicy) -> StackConfig),
             (
@@ -78,7 +87,7 @@ fn main() {
         }
     }
     // The feedback family (Strings, arbiter-switched from GWtMin).
-    for fb in [LbPolicy::Rtf, LbPolicy::Guf, LbPolicy::Dtf, LbPolicy::Mbf] {
+    for fb in mappers.iter().copied().filter(|lb| lb.is_feedback()) {
         let cfg = StackConfig::strings(LbPolicy::GWtMin).with_feedback(fb, 6);
         let ct = Scenario::supernode(cfg, streams.clone(), 3)
             .run()

@@ -7,9 +7,41 @@
 //! ```
 
 use strings_repro::harness::cli::{parse_args, parse_serve_args, SERVE_USAGE, USAGE};
+use strings_repro::harness::experiments::{policy_matrix, ExpScale};
 use strings_repro::harness::sweep;
 use strings_repro::metrics::export;
 use strings_repro::metrics::report::{fmt_pct, Table};
+
+/// The `policy-matrix` subcommand: rank every scheduler stack across
+/// workload mixes and fault plans (see `experiments::policy_matrix`).
+fn policy_matrix_main(args: &[String]) {
+    const PM_USAGE: &str = "strings-sim policy-matrix — rank policy stacks \
+across workload mixes and fault plans
+
+options:
+  --quick     reduced scale (shorter arrival window, one seed)
+  --help      print this text
+";
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{PM_USAGE}");
+        return;
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    if let Some(bad) = args.iter().find(|a| *a != "--quick") {
+        eprintln!("error: unknown option '{bad}'\n\n{PM_USAGE}");
+        std::process::exit(2);
+    }
+    let scale = if quick {
+        ExpScale::quick()
+    } else {
+        ExpScale::full()
+    };
+    println!("policy matrix: stacks x workload mixes x fault plans\n");
+    print!(
+        "{}",
+        policy_matrix::table(&policy_matrix::run(&scale)).render()
+    );
+}
 
 /// The `serve` subcommand: open-loop serving with an SLO report per seed.
 fn serve_main(args: &[String]) {
@@ -83,6 +115,10 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().is_some_and(|a| a == "serve") {
         serve_main(&args[1..]);
+        return;
+    }
+    if args.first().is_some_and(|a| a == "policy-matrix") {
+        policy_matrix_main(&args[1..]);
         return;
     }
     if args.iter().any(|a| a == "--help" || a == "-h") {
