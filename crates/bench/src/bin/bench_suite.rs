@@ -25,7 +25,7 @@ use strings_core::mapper::LbPolicy;
 use strings_harness::experiments::common::{pair_streams, ExpScale};
 use strings_harness::scenario::{Scenario, StreamSpec};
 use strings_harness::serve::ServeSpec;
-use strings_harness::stats::RunStats;
+use strings_harness::stats::{PhaseProfile, RunStats};
 use strings_workloads::arrivals::ArrivalProcess;
 use strings_workloads::pairs::workload_pairs;
 use strings_workloads::profile::AppKind;
@@ -43,6 +43,9 @@ const USAGE: &str = "bench_suite options:
                    any shared scenario
   --attr-gate F    exit 1 if the attributed fig12 run costs more than F
                    times the plain fig12 run's best wall time (CI: 1.15)
+  --flight-gate F  exit 1 if the serve run with the always-on flight
+                   recorder (default ring depth) costs more than F times
+                   the same run with the recorder disabled (CI: 1.10)
   --threads N      pin sweep parallelism (bench scenarios are single runs,
                    so this only matters for future sweep-backed entries)
   --help           print this text
@@ -51,21 +54,39 @@ const USAGE: &str = "bench_suite options:
 /// A named benchmark entry: any deterministic closure producing RunStats.
 type Entry = (&'static str, Box<dyn Fn() -> RunStats>);
 
+/// The fig12 headline pair (I = BO-BS) on the supernode under the
+/// paper's best stack: GWtMin balancing + LAS device scheduling. Shared
+/// by the scenario table, the attr-gate pair, and the phase profile.
+fn fig12_scenario() -> Scenario {
+    let scale = ExpScale::full();
+    let pairs = workload_pairs();
+    let (_, a, b) = pairs[8];
+    Scenario::supernode(
+        StackConfig::strings(LbPolicy::GWtMin).with_gpu_policy(GpuPolicy::Las),
+        pair_streams(a, b, &scale),
+        0,
+    )
+}
+
+/// Open-loop serving spec shared by the scenario table and the
+/// flight-recorder overhead gate.
+fn serve_spec() -> ServeSpec {
+    let mut serve = ServeSpec::supernode(
+        StackConfig::strings(LbPolicy::GWtMin),
+        ArrivalProcess::Poisson { rate_rps: 6.0 },
+        SimDuration::from_secs(30),
+        42,
+    );
+    serve.admission.queue_depth = 8;
+    serve
+}
+
 /// The fixed scenario set. Names are part of the JSON contract — the CI
 /// gate matches baseline entries by name; entries absent from the
 /// committed baseline are measured and reported but not gated, so new
 /// entries can land before their baseline is regenerated.
 fn scenarios() -> Vec<Entry> {
-    let scale = ExpScale::full();
-    // The fig12 headline pair (I = BO-BS) on the supernode under the
-    // paper's best stack: GWtMin balancing + LAS device scheduling.
-    let pairs = workload_pairs();
-    let (_, a, b) = pairs[8];
-    let fig12 = Scenario::supernode(
-        StackConfig::strings(LbPolicy::GWtMin).with_gpu_policy(GpuPolicy::Las),
-        pair_streams(a, b, &scale),
-        0,
-    );
+    let fig12 = fig12_scenario();
     // A single-node mix (same shape as the `simulator` criterion bench).
     let single = Scenario::single_node(
         StackConfig::strings(LbPolicy::GMin),
@@ -88,13 +109,7 @@ fn scenarios() -> Vec<Entry> {
     // Open-loop serving: the supernode under Poisson load through the
     // admission front door (arrival planning + SLO record capture ride
     // the hot path here, unlike the closed-loop entries above).
-    let mut serve = ServeSpec::supernode(
-        StackConfig::strings(LbPolicy::GWtMin),
-        ArrivalProcess::Poisson { rate_rps: 6.0 },
-        SimDuration::from_secs(30),
-        42,
-    );
-    serve.admission.queue_depth = 8;
+    let serve = serve_spec();
     // The same fig12 pair with lightweight latency attribution on: the
     // wall-time delta between this row and the plain one is the whole
     // profiler overhead, which `--attr-gate` bounds in CI.
@@ -160,11 +175,21 @@ fn stale_ratio(r: &Row) -> f64 {
 }
 
 /// Render one trajectory entry (hand-rolled JSON with a fixed key order so
-/// reports diff cleanly).
-fn render_entry(label: &str, rows: &[Row]) -> String {
+/// reports diff cleanly). `phases` is the executive self-profile of one
+/// fig12 run: wall-clock per event-loop phase, so the trajectory records
+/// where simulator time goes PR over PR, not just how much.
+fn render_entry(label: &str, rows: &[Row], phases: Option<&PhaseProfile>) -> String {
     let mut out = String::new();
     out.push_str("    {\n");
     out.push_str(&format!("      \"label\": \"{label}\",\n"));
+    if let Some(p) = phases {
+        out.push_str("      \"phases\": {");
+        out.push_str(&format!("\"wall_ns\": {}", p.wall_ns));
+        for (name, ns) in p.phases() {
+            out.push_str(&format!(", \"{name}_ns\": {ns}"));
+        }
+        out.push_str("},\n");
+    }
     out.push_str("      \"scenarios\": [\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str("        {\n");
@@ -218,10 +243,15 @@ fn render_entry(label: &str, rows: &[Row]) -> String {
 /// v1 single-report file into a one-entry trajectory first, or start a
 /// fresh trajectory when there is no baseline. Append-only: prior entries
 /// are carried over byte-for-byte.
-fn render_trajectory(existing: Option<&str>, label: &str, rows: &[Row]) -> String {
+fn render_trajectory(
+    existing: Option<&str>,
+    label: &str,
+    rows: &[Row],
+    phases: Option<&PhaseProfile>,
+) -> String {
     const HEADER: &str = "{\n  \"schema\": \"bench_hotpath/v2\",\n  \"trajectory\": [\n";
     const FOOTER: &str = "  ]\n}\n";
-    let entry = render_entry(label, rows);
+    let entry = render_entry(label, rows, phases);
     match existing {
         Some(text) if text.contains("\"schema\": \"bench_hotpath/v2\"") => {
             let body = text
@@ -316,32 +346,35 @@ fn check(rows: &[Row], baseline_text: &str) -> bool {
     ok
 }
 
-/// Bound the attribution profiler's wall-time overhead with a paired,
-/// interleaved measurement: alternating plain/attributed runs see the
+/// Bound an instrumented run's wall-time overhead with a paired,
+/// interleaved measurement: alternating plain/instrumented runs see the
 /// same machine-noise environment, so the best-of ratio stays stable even
 /// when background load shifts mid-suite (which regularly poisoned the
-/// older comparison of two rows measured minutes apart).
-fn check_attr_overhead(
+/// older comparison of two rows measured minutes apart). Used for both
+/// the attribution profiler (`--attr-gate`) and the always-on flight
+/// recorder (`--flight-gate`).
+fn check_paired_overhead(
+    gate: &str,
     plain: &dyn Fn() -> RunStats,
-    attr: &dyn Fn() -> RunStats,
+    instrumented: &dyn Fn() -> RunStats,
     reps: usize,
     factor: f64,
 ) -> bool {
     let mut best_plain = u64::MAX;
-    let mut best_attr = u64::MAX;
+    let mut best_inst = u64::MAX;
     for _ in 0..reps.max(3) {
         let t0 = Instant::now();
         let _ = plain();
         best_plain = best_plain.min(t0.elapsed().as_nanos() as u64);
         let t0 = Instant::now();
-        let _ = attr();
-        best_attr = best_attr.min(t0.elapsed().as_nanos() as u64);
+        let _ = instrumented();
+        best_inst = best_inst.min(t0.elapsed().as_nanos() as u64);
     }
-    let got = best_attr as f64 / best_plain.max(1) as f64;
+    let got = best_inst as f64 / best_plain.max(1) as f64;
     let ok = got <= factor;
     println!(
-        "attr-gate: attributed {:.1} ms vs plain {:.1} ms ({got:.3}x, limit {factor:.2}x) {}",
-        best_attr as f64 / 1e6,
+        "{gate}: instrumented {:.1} ms vs plain {:.1} ms ({got:.3}x, limit {factor:.2}x) {}",
+        best_inst as f64 / 1e6,
         best_plain as f64 / 1e6,
         if ok { "ok" } else { "FAIL" }
     );
@@ -356,6 +389,7 @@ fn main() {
     let mut label = "dev".to_string();
     let mut check_path: Option<String> = None;
     let mut attr_gate: Option<f64> = None;
+    let mut flight_gate: Option<f64> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut take = || -> String {
@@ -373,6 +407,7 @@ fn main() {
             "--label" => label = take(),
             "--check" => check_path = Some(take()),
             "--attr-gate" => attr_gate = Some(take().parse().expect("bad --attr-gate")),
+            "--flight-gate" => flight_gate = Some(take().parse().expect("bad --flight-gate")),
             "--threads" => {
                 strings_harness::sweep::set_threads(take().parse().expect("bad --threads"))
             }
@@ -414,8 +449,25 @@ fn main() {
         })
     });
 
+    // Executive self-profile of one fig12 run: where the wall time goes
+    // (queue pops, host steps, engine advance, ...), recorded into the
+    // trajectory entry alongside the throughput rows.
+    let profile = fig12_scenario()
+        .with_self_profile()
+        .run()
+        .self_profile
+        .expect("self-profiled run records a phase profile");
+    println!(
+        "phases: wall {:.1} ms = {}",
+        profile.wall_ns as f64 / 1e6,
+        profile
+            .phases()
+            .map(|(n, ns)| format!("{n} {:.1}", ns as f64 / 1e6))
+            .join(" + ")
+    );
+
     let existing = std::fs::read_to_string(&out_path).ok();
-    let report = render_trajectory(existing.as_deref(), &label, &rows);
+    let report = render_trajectory(existing.as_deref(), &label, &rows, Some(&profile));
     std::fs::write(&out_path, &report).expect("write report");
     println!("wrote {out_path} (entry \"{label}\")");
 
@@ -432,9 +484,25 @@ fn main() {
                 .1
                 .as_ref()
         };
-        ok &= check_attr_overhead(
+        ok &= check_paired_overhead(
+            "attr-gate",
             find("fig12_pair_I_supernode"),
             find("fig12_pair_I_attributed"),
+            reps,
+            factor,
+        );
+    }
+    if let Some(factor) = flight_gate {
+        // Recorder-off baseline (ring depth 0) vs the always-on default
+        // depth: the ISSUE-level promise is that flight recording is
+        // cheap enough to never turn off.
+        let mut off = serve_spec();
+        off.flight_depth = Some(0);
+        let on = serve_spec();
+        ok &= check_paired_overhead(
+            "flight-gate",
+            &move || off.run(),
+            &move || on.run(),
             reps,
             factor,
         );

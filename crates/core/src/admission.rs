@@ -48,6 +48,29 @@ pub enum ShedReason {
     SloDeadline,
 }
 
+impl ShedReason {
+    /// Stable numeric code for compact provenance records (flight
+    /// recorder payloads). Round-trips through
+    /// [`ShedReason::from_code`].
+    pub fn code(self) -> u64 {
+        match self {
+            ShedReason::QueueFull => 0,
+            ShedReason::RateLimited => 1,
+            ShedReason::SloDeadline => 2,
+        }
+    }
+
+    /// Decode a [`ShedReason::code`] payload back to the reason.
+    pub fn from_code(code: u64) -> Option<ShedReason> {
+        match code {
+            0 => Some(ShedReason::QueueFull),
+            1 => Some(ShedReason::RateLimited),
+            2 => Some(ShedReason::SloDeadline),
+            _ => None,
+        }
+    }
+}
+
 impl std::fmt::Display for ShedReason {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

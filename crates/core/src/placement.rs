@@ -220,6 +220,18 @@ impl PlacementPolicy for LeastTenantsPlacement {
     }
 }
 
+/// Provenance of one tenant's placement: the `explain` report's answer
+/// to "why is this request on that node".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlacementDecision {
+    /// The node the tenant is stuck to.
+    pub node: NodeId,
+    /// Label of the policy that picked it (e.g. `"hash"`).
+    pub policy: &'static str,
+    /// How many tenants share the node at query time.
+    pub tenants_on_node: usize,
+}
+
 /// Sticky tenant → node assignment over a fixed node set.
 #[derive(Debug, Clone)]
 pub struct ClusterPlacer {
@@ -299,6 +311,17 @@ impl ClusterPlacer {
             .get(&tenant)
             .filter(|&&slot| !self.lost[slot])
             .map(|&slot| self.nodes[slot])
+    }
+
+    /// Placement provenance for `tenant`: where it sits, which policy
+    /// put it there, and how crowded the node is — the `explain` report's
+    /// placement line.
+    pub fn decision(&self, tenant: u32) -> Option<PlacementDecision> {
+        self.assignment(tenant).map(|node| PlacementDecision {
+            node,
+            policy: self.policy.label(),
+            tenants_on_node: self.tenants_on(node),
+        })
     }
 
     /// Node loss: invalidate its assignments. Returns the evicted tenants

@@ -13,12 +13,14 @@ use crate::scenario::{LbScope, Scenario, StreamSpec};
 use crate::serve::ServeSpec;
 use remoting::gpool::NodeId;
 use remoting::topology::TopologySpec;
+use sim_core::fault::FaultPlan;
 use sim_core::SimDuration;
 use strings_core::admission::{RateLimit, SloAdmission};
 use strings_core::config::StackConfig;
 use strings_core::device_sched::{GpuPolicy, TenantId};
 use strings_core::mapper::LbPolicy;
 use strings_core::placement::NodePolicy;
+use strings_metrics::alerts::BurnRateConfig;
 use strings_workloads::arrivals::ArrivalProcess;
 use strings_workloads::profile::AppKind;
 
@@ -144,6 +146,8 @@ options:
 subcommands:
   serve                           open-loop cloud serving (see
                                   `strings-sim serve --help`)
+  explain REQ [serve options]     blame chain for one request of a serve
+                                  run (see `strings-sim explain --help`)
   policy-matrix                   rank placement x mapper x admission
                                   policy stacks across workload mixes and
                                   fault plans (`--quick` for the CI scale)
@@ -194,6 +198,37 @@ options:
   --metrics-out PATH    write sampled metrics; `.jsonl` extension selects
                         the JSONL time series, anything else the
                         OpenMetrics text exposition (implies sampling)
+  --faults SPEC         inject faults; `;`-separated entries of
+                        crash@TIME:gidN, ecc@TIME:gidN, nodeloss@TIME:nodeN,
+                        degrade@TIME+DUR:nodeNxF, partition@TIME+DUR:nodeN
+  --burn-alert DUR[:BUDGET]  SLO burn-rate rule: completions slower than
+                        DUR are \"bad\"; BUDGET is the bad fraction budget
+                        (default 0.01). FIRED transitions dump the flight
+                        recorder and are listed per seed.
+  --alert-windows S:L   burn-rate windows (virtual time)  [300s:3600s]
+  --alert-factor F      burn factor both windows must exceed [2]
+  --flight-depth N      flight-recorder ring depth per node (0 disables
+                        the always-on recorder)             [256]
+  --dump PATH           write the first flight-recorder dump window;
+                        `.jsonl` extension selects JSONL, anything else
+                        Chrome trace-event JSON. Without a trigger the
+                        end-of-run window is written.
+  --dump-at DUR         force an explicit dump trigger at this virtual
+                        time (requires --dump)
+";
+
+/// Usage text for `strings-sim explain --help`.
+pub const EXPLAIN_USAGE: &str = "strings-sim explain — blame chain for one request of a serve run
+
+  strings-sim explain REQ [serve options]
+
+Reruns the serve scenario described by the options (same grammar as
+`strings-sim serve`; the run is deterministic in --seed) with request
+REQ's flight-record chain captured in full, then prints the blame chain —
+arrival, admission, dispatch, device bind, every RPC hop, faults,
+failovers, completion — with causal links into the DES event chain, plus
+the attribution profiler's per-stage charges, which sum exactly to the
+request's end-to-end latency.
 ";
 
 /// Parsed `serve` command line.
@@ -212,6 +247,9 @@ pub struct ServeRun {
     pub metrics_out: Option<String>,
     /// Pin the sweep worker-thread count for multi-seed runs.
     pub threads: Option<usize>,
+    /// Write the first flight-recorder dump window to this path
+    /// (`.jsonl` = JSONL, otherwise Chrome trace-event JSON).
+    pub dump: Option<String>,
 }
 
 /// Parse a `serve` argument list (everything after the `serve` word).
@@ -240,6 +278,13 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeRun, CliError> {
     let mut attribution = false;
     let mut metrics_every: Option<SimDuration> = None;
     let mut metrics_out: Option<String> = None;
+    let mut faults = FaultPlan::none();
+    let mut burn_alert: Option<(SimDuration, f64)> = None;
+    let mut alert_windows: Option<(SimDuration, SimDuration)> = None;
+    let mut alert_factor: Option<f64> = None;
+    let mut flight_depth: Option<usize> = None;
+    let mut dump: Option<String> = None;
+    let mut dump_at: Option<SimDuration> = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -339,11 +384,76 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeRun, CliError> {
                 }
             }
             "--trace" => trace = Some(take()?.clone()),
+            "--faults" => faults = FaultPlan::parse(take()?).map_err(CliError)?,
+            "--burn-alert" => {
+                let v = take()?;
+                let (target_spec, budget_spec) = match v.split_once(':') {
+                    Some((t, b)) => (t, Some(b)),
+                    None => (v.as_str(), None),
+                };
+                let target = SimDuration::parse(target_spec).map_err(CliError)?;
+                if target.is_zero() {
+                    return err("--burn-alert target must be positive");
+                }
+                let budget = match budget_spec {
+                    Some(b) => b
+                        .parse::<f64>()
+                        .ok()
+                        .filter(|b| *b > 0.0 && *b <= 1.0)
+                        .ok_or_else(|| {
+                            CliError(format!("bad budget '{b}' (want a fraction in (0, 1])"))
+                        })?,
+                    None => 0.01,
+                };
+                burn_alert = Some((target, budget));
+            }
+            "--alert-windows" => {
+                let v = take()?;
+                let (s, l) = v
+                    .split_once(':')
+                    .ok_or_else(|| CliError("--alert-windows wants SHORT:LONG".into()))?;
+                let short = SimDuration::parse(s).map_err(CliError)?;
+                let long = SimDuration::parse(l).map_err(CliError)?;
+                if short.is_zero() || long < short {
+                    return err("--alert-windows wants 0 < SHORT <= LONG");
+                }
+                alert_windows = Some((short, long));
+            }
+            "--alert-factor" => {
+                let f: f64 = take()?
+                    .parse()
+                    .map_err(|_| CliError("bad --alert-factor".into()))?;
+                if f <= 0.0 {
+                    return err("--alert-factor must be positive");
+                }
+                alert_factor = Some(f);
+            }
+            "--flight-depth" => {
+                flight_depth = Some(
+                    take()?
+                        .parse()
+                        .map_err(|_| CliError("bad --flight-depth".into()))?,
+                );
+            }
+            "--dump" => dump = Some(take()?.clone()),
+            "--dump-at" => {
+                let d = SimDuration::parse(take()?).map_err(CliError)?;
+                if d.is_zero() {
+                    return err("--dump-at must be positive");
+                }
+                dump_at = Some(d);
+            }
             other => return err(format!("unknown option '{other}'\n\n{SERVE_USAGE}")),
         }
     }
     if duration.is_zero() {
         return err("--duration must be positive");
+    }
+    if burn_alert.is_none() && (alert_windows.is_some() || alert_factor.is_some()) {
+        return err("--alert-windows/--alert-factor need --burn-alert");
+    }
+    if dump_at.is_some() && dump.is_none() {
+        return err("--dump-at needs --dump PATH");
     }
 
     let mut stack = match mode.as_str() {
@@ -376,8 +486,24 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeRun, CliError> {
     });
     spec.window = window;
     spec.server_threads = server_threads;
+    spec.faults = faults;
     spec.trace = trace.is_some();
     spec.attribution = attribution;
+    spec.flight_depth = flight_depth;
+    if let Some((target, budget)) = burn_alert {
+        let mut cfg = BurnRateConfig::new(target);
+        cfg.budget = budget;
+        if let Some((short, long)) = alert_windows {
+            cfg.short_ns = short.as_ns();
+            cfg.long_ns = long.as_ns();
+        }
+        if let Some(f) = alert_factor {
+            cfg.factor = f;
+        }
+        spec.burn_alert = Some(cfg);
+    }
+    spec.dump_at = dump_at;
+    spec.dump_final = dump.is_some();
     if metrics_every.is_some_and(|d| d.is_zero()) {
         return err("--metrics-every must be positive");
     }
@@ -394,7 +520,27 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeRun, CliError> {
         attribution,
         metrics_out,
         threads,
+        dump,
     })
+}
+
+/// Parse an `explain` argument list: `REQ [serve options]`. The serve
+/// spec reruns with attribution forced on and request `REQ`'s flight
+/// chain captured in full.
+pub fn parse_explain_args(args: &[String]) -> Result<(u64, ServeRun), CliError> {
+    let Some((req_arg, rest)) = args.split_first() else {
+        return err(format!("explain wants a request id\n\n{EXPLAIN_USAGE}"));
+    };
+    let req: u64 = req_arg
+        .parse()
+        .map_err(|_| CliError(format!("bad request id '{req_arg}'\n\n{EXPLAIN_USAGE}")))?;
+    let mut run = parse_serve_args(rest)?;
+    // The blame chain needs stage charges; attribution is a superset of
+    // nothing and byte-invisible to the SLO surfaces, so force it on.
+    run.spec.attribution = true;
+    run.attribution = false;
+    run.spec.explain = Some(req);
+    Ok((req, run))
 }
 
 /// Parse a full argument list (excluding `argv[0]`).
@@ -694,5 +840,65 @@ mod tests {
         let trace = stats.trace.expect("traced run records a trace");
         assert!(!trace.tracks.is_empty());
         assert!(!trace.events.is_empty());
+    }
+
+    #[test]
+    fn serve_observability_flags_parse() {
+        let run = parse_serve_args(&args(
+            "--faults nodeloss@10s:node1 --burn-alert 40ms:0.02 \
+             --alert-windows 60s:600s --alert-factor 3 --flight-depth 128 \
+             --dump out.jsonl --dump-at 12s",
+        ))
+        .unwrap();
+        assert_eq!(run.spec.faults.len(), 1);
+        let cfg = run.spec.burn_alert.expect("--burn-alert sets the rule");
+        assert_eq!(cfg.target_ns, 40_000_000);
+        assert!((cfg.budget - 0.02).abs() < 1e-12);
+        assert_eq!(cfg.short_ns, 60_000_000_000);
+        assert_eq!(cfg.long_ns, 600_000_000_000);
+        assert!((cfg.factor - 3.0).abs() < 1e-12);
+        assert_eq!(run.spec.flight_depth, Some(128));
+        assert_eq!(run.dump.as_deref(), Some("out.jsonl"));
+        assert_eq!(run.spec.dump_at, Some(SimDuration::from_secs(12)));
+        assert!(run.spec.dump_final, "--dump implies a final snapshot");
+        // Budget defaults to 1% when omitted.
+        let run = parse_serve_args(&args("--burn-alert 40ms")).unwrap();
+        let cfg = run.spec.burn_alert.unwrap();
+        assert!((cfg.budget - 0.01).abs() < 1e-12);
+        assert_eq!(cfg.short_ns, 300_000_000_000);
+        // All off by default: the observability surface is opt-in except
+        // the always-on recorder (flight_depth None = default depth).
+        let run = parse_serve_args(&[]).unwrap();
+        assert!(run.spec.burn_alert.is_none());
+        assert!(run.spec.flight_depth.is_none());
+        assert!(run.dump.is_none());
+        assert!(!run.spec.dump_final);
+    }
+
+    #[test]
+    fn serve_observability_flags_reject_bad_input() {
+        assert!(parse_serve_args(&args("--faults warp9@10s:node1")).is_err());
+        assert!(parse_serve_args(&args("--burn-alert 0s")).is_err());
+        assert!(parse_serve_args(&args("--burn-alert 40ms:1.5")).is_err());
+        assert!(parse_serve_args(&args("--burn-alert 40ms --alert-windows 600s:60s")).is_err());
+        assert!(parse_serve_args(&args("--burn-alert 40ms --alert-factor 0")).is_err());
+        // Tuning flags without the rule they tune.
+        assert!(parse_serve_args(&args("--alert-windows 60s:600s")).is_err());
+        assert!(parse_serve_args(&args("--alert-factor 2")).is_err());
+        // --dump-at without a dump path to write.
+        assert!(parse_serve_args(&args("--dump-at 10s")).is_err());
+    }
+
+    #[test]
+    fn explain_args_force_attribution() {
+        let (req, run) = parse_explain_args(&args("17 --duration 5s --seed 9")).unwrap();
+        assert_eq!(req, 17);
+        assert_eq!(run.spec.explain, Some(17));
+        assert!(run.spec.attribution, "explain needs stage charges");
+        assert!(!run.attribution, "no attribution report dump on stdout");
+        assert_eq!(run.seeds, vec![9]);
+        assert!(parse_explain_args(&args("")).is_err());
+        assert!(parse_explain_args(&args("not-a-number")).is_err());
+        assert!(parse_explain_args(&args("17 --frobnicate")).is_err());
     }
 }

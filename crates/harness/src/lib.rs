@@ -19,6 +19,8 @@
 //! * [`experiments`] — one module per paper figure/table, each exposing a
 //!   `run(...) -> Table`-style entry point used by both the regeneration
 //!   binaries and the Criterion benches.
+//! * [`explain`] — the `strings-sim explain` blame-chain renderer: one
+//!   request's flight-record chain plus its attribution stage charges.
 //! * [`sweep`] — seed-parallel scenario fan-out across OS threads (the DES
 //!   itself stays single-threaded for determinism).
 
@@ -27,6 +29,7 @@
 
 pub mod cli;
 pub mod experiments;
+pub mod explain;
 pub mod scenario;
 pub mod serve;
 pub mod stats;

@@ -126,6 +126,12 @@ pub struct Scenario {
     /// Record only the lightweight latency-attribution trace (request
     /// spans + stage charges; implied by [`Scenario::trace`]).
     pub attribution: bool,
+    /// Flight-recorder ring depth per node. `None` keeps the always-on
+    /// default; `Some(0)` disables recording.
+    pub flight_depth: Option<usize>,
+    /// Record wall-clock per executive phase into
+    /// [`RunStats::self_profile`] (bench trajectory only).
+    pub self_profile: bool,
 }
 
 impl Scenario {
@@ -150,6 +156,8 @@ impl Scenario {
             seed,
             trace: false,
             attribution: false,
+            flight_depth: None,
+            self_profile: false,
         }
     }
 
@@ -184,6 +192,19 @@ impl Scenario {
     /// Record only the lightweight latency-attribution trace.
     pub fn with_attribution(mut self) -> Self {
         self.attribution = true;
+        self
+    }
+
+    /// Override the flight recorder's per-node ring depth (0 disables).
+    pub fn with_flight_depth(mut self, depth: usize) -> Self {
+        self.flight_depth = Some(depth);
+        self
+    }
+
+    /// Record wall-clock per executive phase into
+    /// [`RunStats::self_profile`].
+    pub fn with_self_profile(mut self) -> Self {
+        self.self_profile = true;
         self
     }
 
@@ -246,6 +267,12 @@ impl Scenario {
             world.enable_tracing();
         } else if self.attribution {
             world.enable_attribution();
+        }
+        if let Some(depth) = self.flight_depth {
+            world.set_flight_depth(depth);
+        }
+        if self.self_profile {
+            world.enable_self_profile();
         }
         world.run()
     }

@@ -80,6 +80,24 @@ pub struct ServeSpec {
     /// Also register per-node rollup families in the registry (opt-in so
     /// the default exposition stays stable; most useful at cluster scale).
     pub node_metrics: bool,
+    /// Flight-recorder ring depth per node. `None` keeps the always-on
+    /// default; `Some(0)` disables recording (the overhead-gate
+    /// baseline).
+    pub flight_depth: Option<usize>,
+    /// Multi-window SLO burn-rate rule; terminal request outcomes feed
+    /// the engine and FIRED transitions dump the flight recorder.
+    pub burn_alert: Option<strings_metrics::alerts::BurnRateConfig>,
+    /// Explicit flight-recorder dump at this virtual time (`--dump-at`).
+    pub dump_at: Option<SimDuration>,
+    /// Snapshot the recorder at end-of-run if no trigger fired, so a
+    /// `--dump PATH` always has a window to write.
+    pub dump_final: bool,
+    /// Capture this request's full flight-record chain into
+    /// [`RunStats::explain_records`] (the `strings-sim explain` source).
+    pub explain: Option<u64>,
+    /// Record wall-clock per executive phase into
+    /// [`RunStats::self_profile`] (bench trajectory only).
+    pub self_profile: bool,
 }
 
 impl ServeSpec {
@@ -137,6 +155,12 @@ impl ServeSpec {
             attribution: false,
             metrics_every: None,
             node_metrics: false,
+            flight_depth: None,
+            burn_alert: None,
+            dump_at: None,
+            dump_final: false,
+            explain: None,
+            self_profile: false,
         }
     }
 
@@ -215,6 +239,25 @@ impl ServeSpec {
             if self.node_metrics {
                 world.enable_node_metrics();
             }
+        }
+        if let Some(depth) = self.flight_depth {
+            world.set_flight_depth(depth);
+        }
+        // After enable_metrics so the alert gauges register.
+        if let Some(cfg) = self.burn_alert {
+            world.set_burn_alert(cfg);
+        }
+        if let Some(at) = self.dump_at {
+            world.set_dump_at(at.as_ns());
+        }
+        if self.dump_final {
+            world.set_dump_final();
+        }
+        if let Some(req) = self.explain {
+            world.set_explain(req);
+        }
+        if self.self_profile {
+            world.enable_self_profile();
         }
         world.run()
     }

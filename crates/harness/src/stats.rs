@@ -1,11 +1,13 @@
 //! Run results.
 
 use gpu_sim::telemetry::DeviceTelemetry;
+use sim_core::flight::{FlightDump, FlightRecord};
 use sim_core::trace::Trace;
 use sim_core::{SimDuration, SimTime};
 use std::collections::BTreeMap;
 use strings_core::admission::AdmissionStats;
 use strings_core::device_sched::TenantId;
+use strings_metrics::alerts::AlertReport;
 use strings_metrics::disruption::{DisruptionReport, TenantDisruption};
 use strings_metrics::registry::MetricsRegistry;
 use strings_metrics::slo::{SloRecord, SloReport};
@@ -98,6 +100,69 @@ pub struct RunStats {
     /// The unified metrics registry after the end-of-run sample (None
     /// unless [`crate::world::World::enable_metrics`] was called).
     pub metrics: Option<MetricsRegistry>,
+    /// Flight-recorder dumps (at most one per trigger class; empty when
+    /// no trigger fired or the recorder was disabled with depth 0).
+    /// Deliberately absent from the byte-pinned `Debug` rendering.
+    pub flight_dumps: Vec<FlightDump>,
+    /// Trigger counts per dump class: `[fault, slo_breach, alert,
+    /// explicit]`.
+    pub flight_triggers: [u64; 4],
+    /// Total flight records written over the run.
+    pub flight_recorded: u64,
+    /// Burn-rate alert log (None unless a rule was configured via
+    /// [`crate::world::World::set_burn_alert`]).
+    pub alerts: Option<AlertReport>,
+    /// The complete flight-record chain of the request singled out by
+    /// [`crate::world::World::set_explain`], immune to ring eviction.
+    pub explain_records: Vec<FlightRecord>,
+    /// Wall-clock self-profile (None unless
+    /// [`crate::world::World::enable_self_profile`] was called). Never
+    /// rendered into any golden surface — wall-clock is nondeterministic.
+    pub self_profile: Option<PhaseProfile>,
+}
+
+/// Wall-clock nanoseconds the run spent in each executive phase: the
+/// self-profiler satellite behind the bench trajectory's phase
+/// breakdown. Virtual time plays no part here — this is host time, for
+/// tracking the overhead of always-on observability over the PR
+/// history.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseProfile {
+    /// Whole event loop, pop to finish.
+    pub wall_ns: u64,
+    /// Event-queue pops (scheduling structure maintenance).
+    pub queue_ns: u64,
+    /// Arrival handling (admission, placement, request start).
+    pub arrival_ns: u64,
+    /// Host-thread steps (request program execution, replies).
+    pub host_ns: u64,
+    /// Device engine advance (kernel/copy completion harvesting).
+    pub engine_ns: u64,
+    /// Scheduler epoch processing (LAS decay, quantum rotation).
+    pub epoch_ns: u64,
+    /// RPC delivery/timeout/retry/restart machinery.
+    pub rpc_ns: u64,
+    /// Fault-plan event handling.
+    pub fault_ns: u64,
+    /// Metrics sampling cadence events.
+    pub metrics_ns: u64,
+}
+
+impl PhaseProfile {
+    /// `(label, ns)` rows in fixed order, for rendering and the bench
+    /// trajectory JSON.
+    pub fn phases(&self) -> [(&'static str, u64); 8] {
+        [
+            ("queue", self.queue_ns),
+            ("arrival", self.arrival_ns),
+            ("host", self.host_ns),
+            ("engine", self.engine_ns),
+            ("epoch", self.epoch_ns),
+            ("rpc", self.rpc_ns),
+            ("fault", self.fault_ns),
+            ("metrics", self.metrics_ns),
+        ]
+    }
 }
 
 /// Byte-compatibility with the pre-serve golden outputs: this impl emits

@@ -12,7 +12,7 @@
 //! reproducible from its seed.
 
 use crate::scenario::{HostCosts, LbScope};
-use crate::stats::{RunStats, TenantOutcomes};
+use crate::stats::{PhaseProfile, RunStats, TenantOutcomes};
 use cuda_sim::call::CudaCall;
 use cuda_sim::host::{AppId, BlockOn, HostThread, ProcessId};
 use cuda_sim::pending::PendingOps;
@@ -30,6 +30,7 @@ use remoting::telemetry::RpcCounters;
 use remoting::topology::TopologySpec;
 use sim_core::event::EventQueue;
 use sim_core::fault::{FaultKind, FaultPlan};
+use sim_core::flight::{DumpReason, FlightKind, FlightRecord, FlightRecorder, NO_ID};
 use sim_core::fxhash::FxHashMap;
 use sim_core::rng::SimRng;
 use sim_core::trace::{Stage, Tracer, TrackId};
@@ -40,9 +41,14 @@ use strings_core::config::{SchedulerMode, StackConfig};
 use strings_core::device_sched::{AppWork, GpuPolicy, GpuScheduler, Phase, TenantId};
 use strings_core::mapper::{GpuAffinityMapper, WorkloadClass};
 use strings_core::packer::{ContextPacker, PackedCall};
+use strings_metrics::alerts::{BurnRateConfig, BurnRateEngine};
 use strings_metrics::registry::{MetricKind, MetricsRegistry};
 use strings_metrics::slo::SloRecord;
 use strings_metrics::CompletionSet;
+
+/// Default flight-recorder ring depth per node: deep enough to hold a
+/// useful incident window, shallow enough that 64 nodes cost ~1.3 MB.
+const FLIGHT_DEPTH_DEFAULT: usize = 256;
 
 /// One request in the scenario's schedule.
 #[derive(Debug, Clone)]
@@ -121,6 +127,9 @@ enum Event {
     Restart(AppId, u32),
     /// Periodic metrics-registry sample (only when metrics are enabled).
     MetricsSample,
+    /// Explicit flight-recorder dump trigger (`--dump-at T`; only
+    /// scheduled when requested).
+    DumpAt,
 }
 
 #[derive(Debug)]
@@ -290,6 +299,26 @@ pub struct World {
     node_metrics: bool,
     /// RPC-layer counters (always maintained; plain integer adds).
     rpc: RpcCounters,
+    /// Always-on flight recorder: per-node rings of compact lifecycle
+    /// records, snapshotted on triggers. Depth 0 disables (the
+    /// overhead-gate baseline).
+    flight: FlightRecorder,
+    /// Per-request id of its latest flight record — the cause link the
+    /// next record in the chain carries.
+    flight_last: Vec<u64>,
+    /// Burn-rate alert engine (None unless [`World::set_burn_alert`]).
+    alerts: Option<BurnRateEngine>,
+    /// Virtual time of the explicit dump trigger, if requested.
+    dump_at: Option<SimTime>,
+    /// Snapshot at end of run if no trigger fired (`--dump` without a
+    /// fault ever materializing still yields a window).
+    dump_final: bool,
+    /// Request whose flight chain is captured verbatim into
+    /// [`RunStats::explain_records`], immune to ring eviction.
+    explain: Option<u64>,
+    /// Record wall-clock per executive phase into
+    /// [`RunStats::self_profile`].
+    self_profile: bool,
 }
 
 impl World {
@@ -405,6 +434,13 @@ impl World {
             metrics_every: 0,
             node_metrics: false,
             rpc: RpcCounters::default(),
+            flight: FlightRecorder::new(nodes.len(), FLIGHT_DEPTH_DEFAULT),
+            flight_last: Vec::new(),
+            alerts: None,
+            dump_at: None,
+            dump_final: false,
+            explain: None,
+            self_profile: false,
         };
         // Design II/III backends own one context per GPU, created when the
         // backend daemons spawn at gPool creation (before any request).
@@ -436,11 +472,23 @@ impl World {
         let tracer = Tracer::buffered();
         self.trk_sim = tracer.track("sim", "executive");
         self.trk_faults = tracer.track("sim", "faults");
+        // Cluster runs (3+ nodes) prefix device tracks with their node so
+        // a 64×4 trace is filterable per node in Perfetto. The paper's
+        // single-node/supernode topologies keep the historical bare
+        // `GID{g}` names (pinned by fig02's glitch query and the
+        // committed goldens).
+        let device_names: Vec<String> = if self.node_lost.len() > 2 {
+            (0..self.devices.len())
+                .map(|gid| format!("node{}/GID{gid}", self.dev_node(Gid(gid as u32)).0))
+                .collect()
+        } else {
+            (0..self.devices.len()).map(|g| format!("GID{g}")).collect()
+        };
         for (gid, d) in self.devices.iter_mut().enumerate() {
-            d.set_tracer(tracer.clone(), &format!("GID{gid}"));
+            d.set_tracer(tracer.clone(), &device_names[gid]);
         }
         for (gid, s) in self.schedulers.iter_mut().enumerate() {
-            let trk = tracer.track(format!("GID{gid}"), "scheduler");
+            let trk = tracer.track(device_names[gid].clone(), "scheduler");
             s.set_tracer(tracer.clone(), trk);
         }
         for (i, m) in self.mappers.iter_mut().enumerate() {
@@ -648,98 +696,187 @@ impl World {
         self.request_log = true;
     }
 
+    /// Resize the flight recorder's per-node rings. The recorder is
+    /// always on at a default depth; `0` disables it entirely (the
+    /// bench overhead gate's baseline). Call before [`World::run`].
+    pub fn set_flight_depth(&mut self, depth: usize) {
+        self.flight = FlightRecorder::new(self.node_lost.len(), depth);
+    }
+
+    /// Install a burn-rate alert rule. Every terminal request outcome
+    /// (completion, shed, abort, drop) feeds the engine; FIRED
+    /// transitions trigger a flight-recorder dump, and the end-of-run
+    /// [`strings_metrics::alerts::AlertReport`] lands in
+    /// [`RunStats::alerts`]. When metrics are enabled (call
+    /// [`World::enable_metrics`] first), the current burn rates are
+    /// exported as `slo_burn_*` gauges.
+    pub fn set_burn_alert(&mut self, cfg: BurnRateConfig) {
+        if let Some(m) = self.metrics.as_mut() {
+            use MetricKind::{Counter, Gauge};
+            m.register(
+                "slo_burn_short",
+                Gauge,
+                "Error-budget burn rate over the short window",
+            );
+            m.register(
+                "slo_burn_long",
+                Gauge,
+                "Error-budget burn rate over the long window",
+            );
+            m.register(
+                "slo_alerts_fired_total",
+                Counter,
+                "Burn-rate alert FIRED transitions",
+            );
+        }
+        self.alerts = Some(BurnRateEngine::new(cfg));
+    }
+
+    /// Schedule an explicit flight-recorder dump at virtual time `at`
+    /// (the CLI's `--dump-at`).
+    pub fn set_dump_at(&mut self, at: SimTime) {
+        self.dump_at = Some(at);
+    }
+
+    /// Take an end-of-run snapshot if no trigger fired during the run,
+    /// so `--dump PATH` always has a window to write.
+    pub fn set_dump_final(&mut self) {
+        self.dump_final = true;
+    }
+
+    /// Capture request `req`'s complete flight-record chain into
+    /// [`RunStats::explain_records`], bypassing ring eviction — the
+    /// `strings-sim explain` data source.
+    pub fn set_explain(&mut self, req: u64) {
+        self.explain = Some(req);
+    }
+
+    /// Record wall-clock spent per executive phase into
+    /// [`RunStats::self_profile`] (bench trajectory only; wall-clock
+    /// never reaches a golden surface).
+    pub fn enable_self_profile(&mut self) {
+        self.self_profile = true;
+    }
+
+    /// Write one flight record, maintaining the request's cause chain.
+    /// `node` is the ring the record lands in (the frontend's node for
+    /// request-scoped records); `request` is [`NO_ID`] for run-scoped
+    /// ones.
+    #[inline]
+    fn flight(&mut self, node: NodeId, kind: FlightKind, request: u64, a: u64, b: u64) {
+        if !self.flight.is_on() {
+            return;
+        }
+        let cause = if request != NO_ID {
+            self.flight_last
+                .get(request as usize)
+                .copied()
+                .unwrap_or(NO_ID)
+        } else {
+            NO_ID
+        };
+        let rec = FlightRecord {
+            at: self.queue.now(),
+            node: node.0,
+            kind,
+            request,
+            a,
+            b,
+            id: 0,
+            cause,
+            ev: self.queue.current_id().0,
+            ev_cause: self.queue.current_cause().0,
+        };
+        let id = self.flight.record(rec);
+        if request != NO_ID {
+            if let Some(last) = self.flight_last.get_mut(request as usize) {
+                *last = id;
+            }
+        }
+        if self.explain == Some(request) {
+            self.stats.explain_records.push(FlightRecord { id, ..rec });
+        }
+    }
+
+    /// Feed one terminal outcome to the alert engine and consume any
+    /// transitions it produced (FIRED transitions dump the recorder).
+    fn observe_outcome(&mut self, now: SimTime, bad: bool) {
+        let Some(eng) = self.alerts.as_mut() else {
+            return;
+        };
+        eng.observe(now, bad);
+        self.drain_alert_transitions();
+    }
+
+    /// Consume pending alert transitions: each lands in the flight
+    /// recorder, and FIRED transitions trip an alert-class dump.
+    fn drain_alert_transitions(&mut self) {
+        while let Some(t) = self.alerts.as_mut().and_then(|e| e.pop_pending()) {
+            let fired = u64::from(t.fired);
+            let burn = (t.short_burn * 100.0) as u64;
+            self.flight(NodeId(0), FlightKind::Alert, NO_ID, fired, burn);
+            if t.fired {
+                self.flight.trigger(DumpReason::Alert, t.at);
+            }
+        }
+    }
+
     /// Run to completion and return the statistics.
     pub fn run(mut self) -> RunStats {
+        let wall_start = std::time::Instant::now();
         self.apps = (0..self.requests.len()).map(|_| None).collect();
+        if self.flight.is_on() {
+            self.flight_last = vec![NO_ID; self.requests.len()];
+        }
         for (i, r) in self.requests.iter().enumerate() {
             self.queue.schedule(r.arrival, Event::Arrival(i as u32));
         }
         for (i, ev) in self.plan.events().iter().enumerate() {
             self.queue.schedule(ev.at, Event::Fault(i as u32));
         }
+        if let Some(at) = self.dump_at {
+            self.queue.schedule(at, Event::DumpAt);
+        }
         if self.metrics.is_some() && !self.queue.is_empty() {
             self.queue
                 .schedule(self.metrics_every, Event::MetricsSample);
         }
-        while let Some((now, ev)) = self.queue.pop() {
+        let mut prof = PhaseProfile::default();
+        loop {
+            // The profiled pop/dispatch paths measure wall-clock around
+            // the exact same calls the unprofiled paths make, so enabling
+            // the self-profiler cannot perturb virtual-time behaviour.
+            let next = if self.self_profile {
+                let t0 = std::time::Instant::now();
+                let popped = self.queue.pop();
+                prof.queue_ns += t0.elapsed().as_nanos() as u64;
+                popped
+            } else {
+                self.queue.pop()
+            };
+            let Some((now, ev)) = next else {
+                break;
+            };
             assert!(
                 self.queue.popped() < self.max_events,
                 "event budget exhausted at t={now}: likely livelock"
             );
-            match ev {
-                Event::Arrival(idx) => self.on_arrival(idx as usize, now),
-                Event::HostWake(app, inc) => {
-                    if !self.live_incarnation(app, inc) {
-                        continue; // raced an abort or a failover replay
-                    }
-                    let a = self.app_mut(app);
-                    a.host.wake_and_advance(now);
-                    self.after_host_step(app, now);
-                    self.run_host(app, now);
-                }
-                Event::Device(gid) => self.sync_device(gid as usize, now),
-                Event::Epoch(gid) => self.on_epoch(gid as usize, now),
-                Event::Fault(idx) => self.on_plan_fault(idx as usize, now),
-                Event::Deliver(app, packed, inc) => {
-                    if !self.live_incarnation(app, inc) {
-                        continue; // packet outlived its sender
-                    }
-                    self.on_deliver(app, packed, now);
-                }
-                Event::Reply(app, inc) => {
-                    if !self.live_incarnation(app, inc) {
-                        continue; // reply raced an injected fault
-                    }
-                    self.rpc.replies += 1;
-                    let a = self.app_mut(app);
-                    a.inflight = None;
-                    a.attempt = 0;
-                    debug_assert!(matches!(
-                        a.host.state,
-                        cuda_sim::host::HostState::Blocked(_)
-                    ));
-                    a.host.wake_and_advance(now);
-                    self.after_host_step(app, now);
-                    self.run_host(app, now);
-                }
-                Event::Deadline(app, inc, attempt) => {
-                    if !self.live_incarnation(app, inc) {
-                        continue;
-                    }
-                    let a = self.app(app);
-                    if a.attempt != attempt || a.inflight.is_none() {
-                        continue; // the reply won the race
-                    }
-                    self.on_rpc_timeout(app, now);
-                }
-                Event::Retry(app, inc, attempt) => {
-                    if !self.live_incarnation(app, inc) {
-                        continue;
-                    }
-                    let a = self.app(app);
-                    if a.attempt != attempt {
-                        continue;
-                    }
-                    let Some(packed) = a.inflight else {
-                        continue;
-                    };
-                    self.send_rpc(app, packed, true, now);
-                }
-                Event::Restart(app, inc) => {
-                    if !self.live_incarnation(app, inc) {
-                        continue; // a later fault overtook the failover
-                    }
-                    self.on_restart(app, now);
-                }
-                Event::MetricsSample => {
-                    self.sample_metrics(now);
-                    // Re-arm only while other work remains so the run can
-                    // drain; the end-of-run sample below closes the series.
-                    if !self.queue.is_empty() {
-                        self.queue
-                            .schedule(now + self.metrics_every, Event::MetricsSample);
-                    }
-                }
+            if self.self_profile {
+                let slot = Self::profile_slot(&ev);
+                let t0 = std::time::Instant::now();
+                self.dispatch(now, ev);
+                let dt = t0.elapsed().as_nanos() as u64;
+                *match slot {
+                    0 => &mut prof.arrival_ns,
+                    1 => &mut prof.host_ns,
+                    2 => &mut prof.engine_ns,
+                    3 => &mut prof.epoch_ns,
+                    4 => &mut prof.rpc_ns,
+                    5 => &mut prof.fault_ns,
+                    _ => &mut prof.metrics_ns,
+                } += dt;
+            } else {
+                self.dispatch(now, ev);
             }
             if self.finished == self.requests.len() {
                 break;
@@ -799,9 +936,36 @@ impl World {
         if let Some(adm) = &self.admission {
             self.stats.admission = Some(adm.stats());
         }
+        if self.alerts.is_some() {
+            // Close the burn-rate windows at end-of-run virtual time so
+            // trailing transitions (and their dump triggers) are not lost,
+            // and so the final metrics sample exports the final burns.
+            let end = self.queue.now();
+            self.alerts.as_mut().expect("checked").finish(end);
+            self.drain_alert_transitions();
+        }
         if self.metrics.is_some() {
             self.sample_metrics(self.queue.now());
             self.stats.metrics = self.metrics.take();
+        }
+        if self.alerts.is_some() {
+            self.stats.alerts = Some(self.alerts.take().expect("checked").report());
+        }
+        if self.flight.is_on() {
+            self.stats.flight_dumps = self.flight.take_dumps();
+            if self.dump_final && self.stats.flight_dumps.is_empty() {
+                // `--dump PATH` with a clean run: snapshot the tail window
+                // so there is always something to write.
+                self.stats
+                    .flight_dumps
+                    .push(self.flight.snapshot(DumpReason::Explicit, self.queue.now()));
+            }
+            self.stats.flight_triggers = self.flight.trigger_counts();
+            self.stats.flight_recorded = self.flight.recorded();
+        }
+        if self.self_profile {
+            prof.wall_ns = wall_start.elapsed().as_nanos() as u64;
+            self.stats.self_profile = Some(prof);
         }
         if self.tracer.is_on() {
             if let Some(adm) = self.stats.admission {
@@ -850,6 +1014,115 @@ impl World {
             self.stats.trace = self.tracer.finish();
         }
         self.stats
+    }
+
+    /// Dispatch one popped event. Extracted from the run loop so the
+    /// self-profiler can time each dispatch; early exits that were
+    /// `continue`s in the loop body are plain returns here.
+    fn dispatch(&mut self, now: SimTime, ev: Event) {
+        match ev {
+            Event::Arrival(idx) => self.on_arrival(idx as usize, now),
+            Event::HostWake(app, inc) => {
+                if !self.live_incarnation(app, inc) {
+                    return; // raced an abort or a failover replay
+                }
+                let a = self.app_mut(app);
+                a.host.wake_and_advance(now);
+                self.after_host_step(app, now);
+                self.run_host(app, now);
+            }
+            Event::Device(gid) => self.sync_device(gid as usize, now),
+            Event::Epoch(gid) => self.on_epoch(gid as usize, now),
+            Event::Fault(idx) => self.on_plan_fault(idx as usize, now),
+            Event::Deliver(app, packed, inc) => {
+                if !self.live_incarnation(app, inc) {
+                    return; // packet outlived its sender
+                }
+                self.on_deliver(app, packed, now);
+            }
+            Event::Reply(app, inc) => {
+                if !self.live_incarnation(app, inc) {
+                    return; // reply raced an injected fault
+                }
+                self.rpc.replies += 1;
+                if self.flight.is_on() {
+                    let (node, gid) = {
+                        let a = self.app(app);
+                        (a.node, a.gid)
+                    };
+                    self.flight(
+                        node,
+                        FlightKind::RpcReply,
+                        app.index() as u64,
+                        gid.map_or(NO_ID, |g| g.index() as u64),
+                        0,
+                    );
+                }
+                let a = self.app_mut(app);
+                a.inflight = None;
+                a.attempt = 0;
+                debug_assert!(matches!(
+                    a.host.state,
+                    cuda_sim::host::HostState::Blocked(_)
+                ));
+                a.host.wake_and_advance(now);
+                self.after_host_step(app, now);
+                self.run_host(app, now);
+            }
+            Event::Deadline(app, inc, attempt) => {
+                if !self.live_incarnation(app, inc) {
+                    return;
+                }
+                let a = self.app(app);
+                if a.attempt != attempt || a.inflight.is_none() {
+                    return; // the reply won the race
+                }
+                self.on_rpc_timeout(app, now);
+            }
+            Event::Retry(app, inc, attempt) => {
+                if !self.live_incarnation(app, inc) {
+                    return;
+                }
+                let a = self.app(app);
+                if a.attempt != attempt {
+                    return;
+                }
+                let Some(packed) = a.inflight else {
+                    return;
+                };
+                self.send_rpc(app, packed, true, now);
+            }
+            Event::Restart(app, inc) => {
+                if !self.live_incarnation(app, inc) {
+                    return; // a later fault overtook the failover
+                }
+                self.on_restart(app, now);
+            }
+            Event::MetricsSample => {
+                self.sample_metrics(now);
+                // Re-arm only while other work remains so the run can
+                // drain; the end-of-run sample closes the series.
+                if !self.queue.is_empty() {
+                    self.queue
+                        .schedule(now + self.metrics_every, Event::MetricsSample);
+                }
+            }
+            Event::DumpAt => self.flight.trigger(DumpReason::Explicit, now),
+        }
+    }
+
+    /// Which [`PhaseProfile`] bucket an event's dispatch time lands in:
+    /// 0 arrival, 1 host, 2 engine, 3 epoch, 4 rpc, 5 fault, 6 metrics.
+    fn profile_slot(ev: &Event) -> u8 {
+        match ev {
+            Event::Arrival(_) => 0,
+            Event::HostWake(..) | Event::Reply(..) => 1,
+            Event::Device(_) => 2,
+            Event::Epoch(_) => 3,
+            Event::Deliver(..) | Event::Deadline(..) | Event::Retry(..) | Event::Restart(..) => 4,
+            Event::Fault(_) => 5,
+            Event::MetricsSample | Event::DumpAt => 6,
+        }
     }
 
     // ---- helpers --------------------------------------------------------
@@ -997,6 +1270,12 @@ impl World {
         m.set("rpc_dropped_total", &[], self.rpc.dropped as f64);
         m.set("rpc_bytes_total", &[], self.rpc.bytes as f64);
         m.set("rpc_in_flight", &[], self.rpc.in_flight() as f64);
+        if let Some(eng) = self.alerts.as_ref() {
+            let (short, long) = eng.current_burns();
+            m.set("slo_burn_short", &[], short);
+            m.set("slo_burn_long", &[], long);
+            m.set("slo_alerts_fired_total", &[], eng.fired_total() as f64);
+        }
         m.snapshot(now);
         self.metrics = Some(m);
     }
@@ -1062,6 +1341,17 @@ impl World {
     }
 
     fn on_arrival(&mut self, idx: usize, now: SimTime) {
+        let (tenant, node) = {
+            let r = &self.requests[idx];
+            (r.tenant, r.node)
+        };
+        self.flight(
+            node,
+            FlightKind::Arrival,
+            idx as u64,
+            tenant.0 as u64,
+            node.0 as u64,
+        );
         let r = &self.requests[idx];
         if self.node_lost[r.node.0 as usize] {
             // The frontend's node is gone: the request is lost on arrival.
@@ -1069,6 +1359,14 @@ impl World {
             self.stats.failed_requests += 1;
             self.finished += 1;
             self.outcome(tenant).lost += 1;
+            self.flight(
+                node,
+                FlightKind::Lost,
+                idx as u64,
+                tenant.0 as u64,
+                node.0 as u64,
+            );
+            self.observe_outcome(now, true);
             if self.tracer.is_on() {
                 self.tracer.instant(
                     self.trk_faults,
@@ -1087,6 +1385,14 @@ impl World {
                 // system and finishes immediately.
                 self.stats.shed_requests += 1;
                 self.finished += 1;
+                self.flight(
+                    node,
+                    FlightKind::Shed,
+                    idx as u64,
+                    tenant.0 as u64,
+                    reason.code(),
+                );
+                self.observe_outcome(now, true);
                 if self.tracer.is_on() {
                     self.tracer.instant(
                         self.trk_sim,
@@ -1131,10 +1437,18 @@ impl World {
         let r = &self.requests[idx];
         if self.node_lost[r.node.0 as usize] {
             // Queued behind a server thread when its node died.
-            let (slot, tenant) = (r.slot, r.tenant);
+            let (slot, tenant, node) = (r.slot, r.tenant, r.node);
             self.stats.failed_requests += 1;
             self.finished += 1;
             self.outcome(tenant).lost += 1;
+            self.flight(
+                node,
+                FlightKind::Lost,
+                idx as u64,
+                tenant.0 as u64,
+                node.0 as u64,
+            );
+            self.observe_outcome(now, true);
             if let Some(adm) = self.admission.as_mut() {
                 adm.release(tenant.0 as usize);
             }
@@ -1181,6 +1495,19 @@ impl World {
                 now,
                 "dispatch",
                 vec![("request", idx.to_string())],
+            );
+        }
+        {
+            let (tenant, node) = {
+                let r = &self.requests[idx];
+                (r.tenant, r.node)
+            };
+            self.flight(
+                node,
+                FlightKind::Dispatch,
+                idx as u64,
+                tenant.0 as u64,
+                node.0 as u64,
             );
         }
         // Admission + server-queue wait: arrival up to dispatch.
@@ -1252,6 +1579,7 @@ impl World {
         if a.host.is_done() {
             let slot = a.slot;
             let tenant = a.tenant;
+            let node = a.node;
             let (disrupted, degraded) = (a.disrupted, a.degraded);
             let arrived_at = a.host.arrived_at;
             let turnaround = a.host.turnaround_ns().expect("done");
@@ -1280,6 +1608,23 @@ impl World {
                 let t = tenant.0.to_string();
                 m.observe("request_latency_ns", &[("tenant", t.as_str())], turnaround);
             }
+            // The burn-rate rule's latency target doubles as the breach
+            // threshold for the flight recorder's SLO dump class.
+            let breached = self
+                .alerts
+                .as_ref()
+                .is_some_and(|e| turnaround > e.target_ns());
+            self.flight(
+                node,
+                FlightKind::Complete,
+                app.index() as u64,
+                turnaround,
+                u64::from(breached),
+            );
+            if breached {
+                self.flight.trigger(DumpReason::SloBreach, now);
+            }
+            self.observe_outcome(now, breached);
             // Residual tail (final host step, reply unpacking): Other.
             self.charge_stage(app, Stage::Other, now);
             if self.tracer.is_on() {
@@ -1439,6 +1784,13 @@ impl World {
             // The packet is dropped on the floor; only the deadline tells.
             self.rpc.sent += 1;
             self.rpc.dropped += 1;
+            self.flight(
+                node,
+                FlightKind::RpcDrop,
+                app.index() as u64,
+                gid.index() as u64,
+                dev_node.0 as u64,
+            );
             let attempt = self.app(app).attempt;
             if self.tracer.is_on() {
                 self.tracer.instant(
@@ -1481,6 +1833,13 @@ impl World {
         self.queue.schedule(at, Event::Deliver(app, packed, inc));
         self.rpc.sent += 1;
         self.rpc.bytes += control + payload;
+        self.flight(
+            node,
+            FlightKind::RpcSend,
+            app.index() as u64,
+            gid.index() as u64,
+            control + payload,
+        );
         if blocks {
             // The host is parked on the reply: its clock is RPC time
             // until the call lands at the backend.
@@ -1493,10 +1852,18 @@ impl World {
     /// backend dead (`remoting::Error::RetriesExhausted`) and fail over.
     fn on_rpc_timeout(&mut self, app: AppId, now: SimTime) {
         self.stats.rpc_timeouts += 1;
-        let (slot, inc, attempt) = {
+        self.rpc.timeouts += 1;
+        let (slot, inc, attempt, node) = {
             let a = self.app(app);
-            (a.slot, a.incarnation, a.attempt)
+            (a.slot, a.incarnation, a.attempt, a.node)
         };
+        self.flight(
+            node,
+            FlightKind::RpcTimeout,
+            app.index() as u64,
+            attempt as u64,
+            0,
+        );
         if self.tracer.is_on() {
             self.tracer.instant(
                 self.trk_slots[slot],
@@ -1510,6 +1877,14 @@ impl World {
         if policy.allows(next) {
             let backoff = policy.backoff_ns(next, &mut self.rng);
             self.stats.rpc_retries += 1;
+            self.rpc.retries += 1;
+            self.flight(
+                node,
+                FlightKind::RpcRetry,
+                app.index() as u64,
+                next as u64,
+                backoff,
+            );
             {
                 let a = self.app_mut(app);
                 a.attempt = next;
@@ -1576,6 +1951,13 @@ impl World {
             .placements
             .entry((self.app(app).slot, gid.index()))
             .or_insert(0) += 1;
+        self.flight(
+            node,
+            FlightKind::Bind,
+            app.index() as u64,
+            gid.index() as u64,
+            node.0 as u64,
+        );
         // Request Manager registration (RT-signal three-way handshake).
         self.schedulers[gid.index()]
             .register(app, stream, tenant, weight, now)
@@ -1636,6 +2018,16 @@ impl World {
     fn on_deliver(&mut self, app: AppId, packed: PackedCall, now: SimTime) {
         self.rpc.delivered += 1;
         let (gid, _) = self.binding(app);
+        if self.flight.is_on() {
+            let node = self.app(app).node;
+            self.flight(
+                node,
+                FlightKind::RpcDeliver,
+                app.index() as u64,
+                gid.index() as u64,
+                self.rpc.delivered,
+            );
+        }
         if self.cfg.design == BackendDesign::SingleMaster {
             self.master_q[gid.index()].push_back((app, packed));
             self.pump_master(gid.index(), now);
@@ -1901,6 +2293,25 @@ impl World {
                 ],
             );
         }
+        if self.flight.is_on() {
+            // Route the record to the struck node's ring; device faults
+            // land on the device's hosting node.
+            let ring = match ev.kind {
+                FaultKind::NodeLoss { node }
+                | FaultKind::LinkDegraded { node, .. }
+                | FaultKind::Partition { node, .. } => node,
+                FaultKind::BackendCrash { gid } | FaultKind::DeviceFailure { gid } => {
+                    self.gpool.global().entry(Gid(gid)).map_or(0, |e| e.node.0)
+                }
+            };
+            self.flight(
+                NodeId(ring),
+                FlightKind::FaultInjected,
+                NO_ID,
+                ev.kind.code(),
+                ev.kind.target(),
+            );
+        }
         match ev.kind {
             FaultKind::BackendCrash { gid } => self.on_backend_crash(gid as usize, now),
             FaultKind::DeviceFailure { gid } => self.on_device_failure(Gid(gid), now),
@@ -1946,6 +2357,9 @@ impl World {
                 }
             }
         }
+        // Trigger after the handler so the fault-class dump window
+        // includes the blast radius (aborts, failovers) just recorded.
+        self.flight.trigger(DumpReason::Fault, now);
     }
 
     /// A backend process on `gid` crashes and respawns. The blast radius
@@ -2130,12 +2544,12 @@ impl World {
     /// unregister it everywhere, and end its host thread without a
     /// completion record.
     fn abort_app(&mut self, app: AppId, now: SimTime) {
-        let (slot, tenant, gid) = {
+        let (slot, tenant, gid, node) = {
             let a = self.app(app);
             if a.host.is_done() {
                 return;
             }
-            (a.slot, a.tenant, a.gid)
+            (a.slot, a.tenant, a.gid, a.node)
         };
         self.detach_app(app, now);
         let a = self.app_mut(app);
@@ -2145,6 +2559,14 @@ impl World {
         self.stats.failed_requests += 1;
         self.finished += 1;
         self.outcome(tenant).lost += 1;
+        self.flight(
+            node,
+            FlightKind::Abort,
+            app.index() as u64,
+            node.0 as u64,
+            0,
+        );
+        self.observe_outcome(now, true);
         if let Some(adm) = self.admission.as_mut() {
             adm.release(tenant.0 as usize);
         }
@@ -2179,12 +2601,12 @@ impl World {
     /// frontend has detected the failure and a backend respawned. The
     /// request survives — slower, and counted as disrupted.
     fn failover_app(&mut self, app: AppId, now: SimTime, reason: &str) {
-        let (slot, tenant) = {
+        let (slot, tenant, node, old_gid) = {
             let a = self.app(app);
             if a.host.is_done() {
                 return;
             }
-            (a.slot, a.tenant)
+            (a.slot, a.tenant, a.node, a.gid)
         };
         self.detach_app(app, now);
         // Failure detection (one deadline) plus backend respawn/backoff.
@@ -2205,6 +2627,13 @@ impl World {
         let inc = a.incarnation;
         self.stats.failovers += 1;
         self.outcome(tenant).downtime_ns += delay;
+        self.flight(
+            node,
+            FlightKind::Failover,
+            app.index() as u64,
+            old_gid.map_or(NO_ID, |g| g.index() as u64),
+            delay,
+        );
         if self.tracer.is_on() {
             let id = Some(0x4000_0000 + app.index() as u64);
             self.tracer.span_begin(
@@ -2239,6 +2668,16 @@ impl World {
                 now,
                 "replay",
                 vec![("request", app.index().to_string())],
+            );
+        }
+        {
+            let inc = self.app(app).incarnation;
+            self.flight(
+                node,
+                FlightKind::Restart,
+                app.index() as u64,
+                node.0 as u64,
+                inc as u64,
             );
         }
         let a = self.app_mut(app);

@@ -13,6 +13,8 @@
 //! UPDATE_GOLDEN=1 cargo test -p strings-harness --test golden
 //! ```
 
+use remoting::topology::TopologySpec;
+use sim_core::fault::FaultPlan;
 use sim_core::SimDuration;
 use std::fmt::Write as _;
 use strings_core::config::StackConfig;
@@ -22,8 +24,11 @@ use strings_harness::experiments::{
     ablation, attribution, common::pair_streams, cpu_fallback, faults, fig01, fig02, fig09, fig10,
     fig11, fig12, fig13, fig14, fig15, policy_matrix, serve, table1, vmem, ExpScale,
 };
+use strings_harness::explain;
 use strings_harness::scenario::{Scenario, StreamSpec};
 use strings_harness::serve::ServeSpec;
+use strings_metrics::alerts::BurnRateConfig;
+use strings_metrics::forensics;
 use strings_workloads::arrivals::ArrivalProcess;
 use strings_workloads::pairs::workload_pairs;
 use strings_workloads::profile::AppKind;
@@ -153,6 +158,61 @@ fn render_all() -> String {
     section(
         "policy_matrix",
         policy_matrix::table(&policy_matrix::run(&scale)).render(),
+    );
+
+    // Cluster-run trace tracks: 3+ node topologies prefix device tracks
+    // with their node (`node{N}/GID{g}`) so Perfetto's process filter
+    // isolates one machine; pin the naming scheme.
+    let mut cluster = Scenario::on(
+        TopologySpec::parse("4x2:c2050").expect("topology grammar"),
+        StackConfig::strings(LbPolicy::GWtMin),
+        vec![StreamSpec::of(AppKind::GA, 3, 1.0)],
+        7,
+    );
+    cluster.trace = true;
+    let trace = cluster.run().trace.expect("traced run records a trace");
+    section(
+        "cluster_trace_tracks",
+        trace
+            .tracks
+            .iter()
+            .map(|t| format!("{}/{}\n", t.process, t.thread))
+            .collect(),
+    );
+
+    // Incident forensics: one faulted serve run's burn-rate alert log,
+    // the head of its fault-class flight dump in both renderings (JSONL
+    // and the Chrome/Perfetto view), and the explain blame chain of one
+    // breached request. Every byte here is a dump-on-trigger contract.
+    let mut inc = ServeSpec::supernode(
+        StackConfig::strings(LbPolicy::GWtMin),
+        ArrivalProcess::Fixed { rate_rps: 10.0 },
+        SimDuration::from_secs(6),
+        42,
+    );
+    inc.faults = FaultPlan::parse("nodeloss@3s:node1").expect("fault grammar");
+    inc.burn_alert = Some(BurnRateConfig::new(SimDuration::from_ms(40)));
+    inc.attribution = true;
+    inc.explain = Some(3);
+    let stats = inc.run();
+    section(
+        "forensics_alert_log",
+        stats.alerts.as_ref().expect("rule set").render(),
+    );
+    let dump = stats.flight_dumps.first().expect("fault triggers a dump");
+    let head =
+        |s: String, n: usize| -> String { s.lines().take(n).map(|l| format!("{l}\n")).collect() };
+    section(
+        "forensics_dump_jsonl_head",
+        head(forensics::dump_jsonl(dump), 12),
+    );
+    section(
+        "forensics_dump_chrome_head",
+        head(forensics::dump_chrome(dump), 6),
+    );
+    section(
+        "explain_report",
+        explain::render(&stats, Some(&inc.attribution(&stats)), 3),
     );
     out
 }

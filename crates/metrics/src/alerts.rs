@@ -1,0 +1,448 @@
+//! Multi-window SLO burn-rate alerting over virtual time.
+//!
+//! The classic SRE recipe: an error budget (e.g. 1% of requests may miss
+//! the latency target) burns at rate `bad / total / budget`; an alert
+//! fires only when **both** a short window (fast signal, noisy) and a
+//! long window (slow signal, stable) exceed a configured burn factor.
+//! The short window makes the alert responsive; the long window stops a
+//! brief blip from paging.
+//!
+//! The engine is fed every terminal request outcome (completion, shed,
+//! abort, drop) as a good/bad observation stamped with virtual time,
+//! quantizes them into fixed buckets, and evaluates the two windows at
+//! every bucket boundary — so the alert log depends only on the
+//! simulated workload, never on wall-clock, and reruns are
+//! byte-identical. The harness consumes fired transitions as flight-
+//! recorder dump triggers; the current burn rates are exported as
+//! OpenMetrics gauges when metrics sampling is on.
+
+use sim_core::{SimDuration, SimTime};
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+/// Burn-rate rule configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurnRateConfig {
+    /// Latency target: a completion slower than this is "bad".
+    pub target_ns: u64,
+    /// Error budget as a bad-request fraction (default 1%).
+    pub budget: f64,
+    /// Short evaluation window in virtual time (default 5 virtual
+    /// minutes).
+    pub short_ns: u64,
+    /// Long evaluation window in virtual time (default 1 virtual hour).
+    pub long_ns: u64,
+    /// Burn factor both windows must exceed to fire (default 2.0: the
+    /// budget is burning at twice the sustainable rate).
+    pub factor: f64,
+}
+
+impl BurnRateConfig {
+    /// Rule with the default budget (1%), windows (5m/1h) and factor (2).
+    pub fn new(target: SimDuration) -> Self {
+        BurnRateConfig {
+            target_ns: target.as_ns(),
+            budget: 0.01,
+            short_ns: SimDuration::from_secs(300).as_ns(),
+            long_ns: SimDuration::from_secs(3600).as_ns(),
+            factor: 2.0,
+        }
+    }
+}
+
+/// One alert transition (fired or resolved) at a bucket boundary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlertEvent {
+    /// Virtual time of the bucket boundary that tripped the transition.
+    pub at: SimTime,
+    /// True = fired, false = resolved.
+    pub fired: bool,
+    /// Short-window burn rate at the boundary.
+    pub short_burn: f64,
+    /// Long-window burn rate at the boundary.
+    pub long_burn: f64,
+}
+
+/// The evaluated rule: bucketized good/bad counts with running window
+/// sums, a firing latch, and the transition log.
+#[derive(Debug, Clone)]
+pub struct BurnRateEngine {
+    cfg: BurnRateConfig,
+    bucket_ns: u64,
+    n_short: usize,
+    n_long: usize,
+    /// Closed buckets, oldest first, capped at `n_long`.
+    closed: VecDeque<(u64, u64)>,
+    /// The open bucket's (good, bad) counts.
+    cur: (u64, u64),
+    /// Index (`t / bucket_ns`) of the open bucket.
+    cur_index: u64,
+    /// Running (good, bad) sums over the last `n_short` closed buckets.
+    short_sum: (u64, u64),
+    /// Running (good, bad) sums over all closed buckets (≤ `n_long`).
+    long_sum: (u64, u64),
+    firing: bool,
+    log: Vec<AlertEvent>,
+    /// Transitions not yet consumed by the harness (dump triggers).
+    pending: VecDeque<AlertEvent>,
+    total_good: u64,
+    total_bad: u64,
+}
+
+impl BurnRateEngine {
+    /// Engine over `cfg`. Windows are quantized to `short/6` buckets (≥1
+    /// ns); the long window rounds up to a whole number of buckets.
+    pub fn new(cfg: BurnRateConfig) -> Self {
+        let bucket_ns = (cfg.short_ns / 6).max(1);
+        let n_short = (cfg.short_ns.div_ceil(bucket_ns)).max(1) as usize;
+        let n_long = (cfg.long_ns.div_ceil(bucket_ns)).max(n_short as u64) as usize;
+        BurnRateEngine {
+            cfg,
+            bucket_ns,
+            n_short,
+            n_long,
+            closed: VecDeque::with_capacity(n_long),
+            cur: (0, 0),
+            cur_index: 0,
+            short_sum: (0, 0),
+            long_sum: (0, 0),
+            firing: false,
+            log: Vec::new(),
+            pending: VecDeque::new(),
+            total_good: 0,
+            total_bad: 0,
+        }
+    }
+
+    /// The rule under evaluation.
+    pub fn config(&self) -> &BurnRateConfig {
+        &self.cfg
+    }
+
+    /// Latency target in ns (convenience for the harness's breach check).
+    #[inline]
+    pub fn target_ns(&self) -> u64 {
+        self.cfg.target_ns
+    }
+
+    /// Feed one terminal outcome at virtual time `at`.
+    #[inline]
+    pub fn observe(&mut self, at: SimTime, bad: bool) {
+        self.roll_to(at / self.bucket_ns);
+        if bad {
+            self.cur.1 += 1;
+            self.total_bad += 1;
+        } else {
+            self.cur.0 += 1;
+            self.total_good += 1;
+        }
+    }
+
+    /// Close out the final partial bucket at end of run so trailing
+    /// observations are evaluated.
+    pub fn finish(&mut self, at: SimTime) {
+        self.roll_to(at / self.bucket_ns + 1);
+    }
+
+    /// Next unconsumed transition, if any (harness dump-trigger feed).
+    pub fn pop_pending(&mut self) -> Option<AlertEvent> {
+        self.pending.pop_front()
+    }
+
+    /// Burn rates over the most recently closed short/long windows.
+    pub fn current_burns(&self) -> (f64, f64) {
+        (self.burn(self.short_sum), self.burn(self.long_sum))
+    }
+
+    /// Number of FIRED transitions so far.
+    pub fn fired_total(&self) -> u64 {
+        self.log.iter().filter(|e| e.fired).count() as u64
+    }
+
+    /// Whether the alert is currently firing.
+    pub fn is_firing(&self) -> bool {
+        self.firing
+    }
+
+    fn burn(&self, (good, bad): (u64, u64)) -> f64 {
+        let total = good + bad;
+        if total == 0 {
+            return 0.0;
+        }
+        (bad as f64 / total as f64) / self.cfg.budget
+    }
+
+    /// Close buckets up to (not including) `idx`, evaluating the rule at
+    /// each boundary. Gaps longer than the long window fast-forward: once
+    /// every window has drained to zero, further empty closes cannot
+    /// change state.
+    fn roll_to(&mut self, idx: u64) {
+        let gap = idx.saturating_sub(self.cur_index);
+        let steps = gap.min(self.n_long as u64 + 1);
+        for _ in 0..steps {
+            let closing = self.cur;
+            self.cur = (0, 0);
+            self.closed.push_back(closing);
+            self.short_sum.0 += closing.0;
+            self.short_sum.1 += closing.1;
+            self.long_sum.0 += closing.0;
+            self.long_sum.1 += closing.1;
+            if self.closed.len() > self.n_short {
+                let leaving = self.closed[self.closed.len() - 1 - self.n_short];
+                self.short_sum.0 -= leaving.0;
+                self.short_sum.1 -= leaving.1;
+            }
+            if self.closed.len() > self.n_long {
+                let evicted = self.closed.pop_front().unwrap();
+                self.long_sum.0 -= evicted.0;
+                self.long_sum.1 -= evicted.1;
+            }
+            self.cur_index += 1;
+            let boundary = self.cur_index * self.bucket_ns;
+            self.evaluate(boundary);
+        }
+        self.cur_index = idx;
+    }
+
+    fn evaluate(&mut self, at: SimTime) {
+        let (short, long) = self.current_burns();
+        let should_fire =
+            short >= self.cfg.factor && long >= self.cfg.factor && self.short_sum.1 > 0;
+        if should_fire != self.firing {
+            self.firing = should_fire;
+            let ev = AlertEvent {
+                at,
+                fired: should_fire,
+                short_burn: short,
+                long_burn: long,
+            };
+            self.log.push(ev);
+            self.pending.push_back(ev);
+        }
+    }
+
+    /// Freeze into the end-of-run report (call [`BurnRateEngine::finish`]
+    /// first).
+    pub fn report(&self) -> AlertReport {
+        AlertReport {
+            cfg: self.cfg,
+            bucket_ns: self.bucket_ns,
+            log: self.log.clone(),
+            total_good: self.total_good,
+            total_bad: self.total_bad,
+        }
+    }
+}
+
+/// End-of-run alert log with byte-stable rendering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertReport {
+    /// The rule that was evaluated.
+    pub cfg: BurnRateConfig,
+    /// Quantization actually used (ns).
+    pub bucket_ns: u64,
+    /// Every transition, in virtual-time order.
+    pub log: Vec<AlertEvent>,
+    /// Good observations over the whole run.
+    pub total_good: u64,
+    /// Bad observations over the whole run.
+    pub total_bad: u64,
+}
+
+impl AlertReport {
+    /// Number of FIRED transitions.
+    pub fn fired(&self) -> u64 {
+        self.log.iter().filter(|e| e.fired).count() as u64
+    }
+
+    /// Deterministic plain-text alert log.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        writeln!(
+            out,
+            "burn-rate rule: target {:.1}ms  budget {:.2}%  windows {:.0}s/{:.0}s  factor {:.2}x  (bucket {:.3}s)",
+            self.cfg.target_ns as f64 / 1e6,
+            self.cfg.budget * 100.0,
+            self.cfg.short_ns as f64 / 1e9,
+            self.cfg.long_ns as f64 / 1e9,
+            self.cfg.factor,
+            self.bucket_ns as f64 / 1e9,
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "observations: {} good, {} bad ({} total)",
+            self.total_good,
+            self.total_bad,
+            self.total_good + self.total_bad
+        )
+        .unwrap();
+        if self.log.is_empty() {
+            writeln!(out, "no alert transitions").unwrap();
+        } else {
+            for e in &self.log {
+                writeln!(
+                    out,
+                    "  {:<8} at {:>10.3}s  short {:>7.2}x  long {:>7.2}x",
+                    if e.fired { "FIRED" } else { "RESOLVED" },
+                    e.at as f64 / 1e9,
+                    e.short_burn,
+                    e.long_burn,
+                )
+                .unwrap();
+            }
+            writeln!(
+                out,
+                "{} transition(s), {} alert(s) fired",
+                self.log.len(),
+                self.fired()
+            )
+            .unwrap();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 6s short window (1s buckets), 24s long window, 10% budget,
+    /// factor 2 → fires when both windows run ≥20% bad.
+    fn cfg() -> BurnRateConfig {
+        BurnRateConfig {
+            target_ns: 100,
+            budget: 0.1,
+            short_ns: 6_000_000_000,
+            long_ns: 24_000_000_000,
+            factor: 2.0,
+        }
+    }
+
+    fn feed(eng: &mut BurnRateEngine, t0: u64, t1: u64, per_sec: u64, bad_frac_pct: u64) {
+        let mut i = 0u64;
+        for s in t0..t1 {
+            for k in 0..per_sec {
+                let at = s * 1_000_000_000 + k * (1_000_000_000 / per_sec);
+                eng.observe(at, (i * 100) % 100_000 < bad_frac_pct * 1000);
+                i += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn fires_only_when_both_windows_exceed() {
+        // Sustained 50% bad: both windows blow through 2x of a 10% budget.
+        let mut eng = BurnRateEngine::new(cfg());
+        for s in 0..30u64 {
+            for k in 0..10u64 {
+                eng.observe(s * 1_000_000_000 + k * 100_000_000, k % 2 == 0);
+            }
+        }
+        eng.finish(30_000_000_000);
+        assert!(eng.fired_total() >= 1, "sustained burn must fire");
+        assert!(eng.is_firing());
+
+        // A short blip inside an otherwise-clean long window: the short
+        // window exceeds (20 bad / 60 = 3.3x) but the long window never
+        // does (20 bad / 240 = 0.8x) → no alert.
+        let mut eng = BurnRateEngine::new(cfg());
+        feed(&mut eng, 0, 20, 10, 0); // 20s clean
+        for k in 0..20u64 {
+            eng.observe(20_000_000_000 + k * 100_000_000, true); // 2s of 100% bad
+        }
+        feed(&mut eng, 22, 40, 10, 0); // clean again
+        eng.finish(40_000_000_000);
+        let report = eng.report();
+        assert_eq!(report.fired(), 0, "blip must not page: {}", report.render());
+        assert!(report.total_bad == 20);
+    }
+
+    #[test]
+    fn resolves_when_burn_subsides() {
+        let mut eng = BurnRateEngine::new(cfg());
+        // 12s of 100% bad, then 60s clean.
+        for s in 0..12u64 {
+            for k in 0..10u64 {
+                eng.observe(s * 1_000_000_000 + k * 100_000_000, true);
+            }
+        }
+        feed(&mut eng, 12, 72, 10, 0);
+        eng.finish(72_000_000_000);
+        let report = eng.report();
+        assert!(report.fired() >= 1);
+        let last = report.log.last().unwrap();
+        assert!(!last.fired, "must resolve after the clean hour");
+        assert!(!eng.is_firing());
+    }
+
+    #[test]
+    fn alert_log_is_deterministic_across_reruns() {
+        let run = || {
+            let mut eng = BurnRateEngine::new(cfg());
+            for s in 0..50u64 {
+                for k in 0..7u64 {
+                    let at = s * 1_000_000_000 + k * 142_857_142;
+                    eng.observe(at, (s * 7 + k) % 3 == 0);
+                }
+            }
+            eng.finish(50_000_000_000);
+            eng.report().render()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn transitions_are_stamped_at_bucket_boundaries() {
+        let mut eng = BurnRateEngine::new(cfg());
+        for s in 0..30u64 {
+            for k in 0..10u64 {
+                eng.observe(s * 1_000_000_000 + k * 100_000_000 + 37, true);
+            }
+        }
+        eng.finish(30_000_000_000);
+        for e in &eng.report().log {
+            assert_eq!(
+                e.at % eng.bucket_ns,
+                0,
+                "transition time must be a bucket boundary"
+            );
+        }
+    }
+
+    #[test]
+    fn long_idle_gap_fast_forwards_and_resolves() {
+        let mut eng = BurnRateEngine::new(cfg());
+        for k in 0..100u64 {
+            eng.observe(k * 10_000_000, true); // 1s of pure burn
+        }
+        // Nothing for ten virtual hours, then one clean observation: the
+        // roll must not iterate 36k buckets or leave the alert latched.
+        eng.observe(36_000_000_000_000, false);
+        eng.finish(36_001_000_000_000);
+        assert!(!eng.is_firing());
+        let (short, long) = eng.current_burns();
+        assert_eq!((short, long), (0.0, 0.0));
+    }
+
+    #[test]
+    fn pending_transitions_drain_once() {
+        let mut eng = BurnRateEngine::new(cfg());
+        for s in 0..12u64 {
+            for k in 0..10u64 {
+                eng.observe(s * 1_000_000_000 + k * 100_000_000, true);
+            }
+        }
+        let mut seen = 0;
+        while eng.pop_pending().is_some() {
+            seen += 1;
+        }
+        assert!(seen >= 1);
+        assert!(eng.pop_pending().is_none());
+        assert_eq!(
+            eng.report().log.len(),
+            seen,
+            "log keeps what pending drained"
+        );
+    }
+}

@@ -1,0 +1,156 @@
+//! Flight-recorder dump rendering: byte-stable JSONL and a
+//! Perfetto-compatible Chrome trace view.
+//!
+//! A [`FlightDump`] is the frozen window each node's ring held when a
+//! trigger fired (see [`sim_core::flight`]). Two renderings:
+//!
+//! * [`dump_jsonl`] — one self-describing JSON object per line: a dump
+//!   header, then per node a window header followed by its records,
+//!   oldest first. Identical runs render identical bytes, so CI can
+//!   `cmp` dumps across reruns and thread counts.
+//! * [`dump_chrome`] — the same window as Chrome trace-event JSON:
+//!   each record an instant event, each node a `pid` row, so a 64-node
+//!   dump is filterable per node in Perfetto.
+//!
+//! Id sentinels ([`sim_core::flight::NO_ID`]) render as JSON `null`.
+
+use sim_core::flight::{FlightDump, FlightRecord, NO_ID};
+use std::fmt::Write as _;
+
+/// Render an id that may be the [`NO_ID`] sentinel.
+fn opt_id(v: u64) -> String {
+    if v == NO_ID {
+        "null".into()
+    } else {
+        v.to_string()
+    }
+}
+
+fn record_body(r: &FlightRecord) -> String {
+    format!(
+        "\"t\":{},\"node\":{},\"kind\":\"{}\",\"req\":{},\"a\":{},\"b\":{},\"id\":{},\"cause\":{},\"ev\":{},\"ev_cause\":{}",
+        r.at,
+        r.node,
+        r.kind.label(),
+        opt_id(r.request),
+        r.a,
+        r.b,
+        r.id,
+        opt_id(r.cause),
+        opt_id(r.ev),
+        opt_id(r.ev_cause),
+    )
+}
+
+/// One JSON object per line: dump header, then per-node window headers
+/// and records (oldest first). Byte-stable across reruns.
+pub fn dump_jsonl(dump: &FlightDump) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{{\"dump\":{{\"reason\":\"{}\",\"t\":{},\"depth\":{},\"recorded\":{},\"nodes\":{}}}}}",
+        dump.reason.label(),
+        dump.at,
+        dump.depth,
+        dump.recorded,
+        dump.nodes.len(),
+    )
+    .unwrap();
+    for w in &dump.nodes {
+        writeln!(
+            out,
+            "{{\"window\":{{\"node\":{},\"evicted\":{},\"records\":{}}}}}",
+            w.node,
+            w.evicted,
+            w.records.len(),
+        )
+        .unwrap();
+        for r in &w.records {
+            writeln!(out, "{{{}}}", record_body(r)).unwrap();
+        }
+    }
+    out
+}
+
+/// Chrome trace-event JSON over the dump window: one instant event per
+/// record (`pid` = node, `tid` = 0), node rows named `node{N}` so
+/// Perfetto's process filter isolates any node of a cluster run.
+pub fn dump_chrome(dump: &FlightDump) -> String {
+    let mut lines = Vec::new();
+    for w in &dump.nodes {
+        if w.records.is_empty() {
+            continue;
+        }
+        lines.push(format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"args\":{{\"name\":\"node{}\"}}}}",
+            w.node + 1,
+            w.node,
+        ));
+        for r in &w.records {
+            lines.push(format!(
+                "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{:.3},\"pid\":{},\"tid\":0,\"args\":{{{}}}}}",
+                r.kind.label(),
+                r.at as f64 / 1000.0,
+                w.node + 1,
+                record_body(r),
+            ));
+        }
+    }
+    format!("{{\"traceEvents\":[\n{}\n]}}\n", lines.join(",\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::flight::{DumpReason, FlightKind, FlightRecorder};
+
+    fn sample_dump() -> FlightDump {
+        let mut fr = FlightRecorder::new(2, 4);
+        for i in 0..6u64 {
+            fr.record(FlightRecord {
+                at: i * 100,
+                node: (i % 2) as u32,
+                kind: if i % 2 == 0 {
+                    FlightKind::Arrival
+                } else {
+                    FlightKind::Complete
+                },
+                request: i,
+                a: i * 7,
+                b: 0,
+                id: 0,
+                cause: if i < 2 { NO_ID } else { i - 2 },
+                ev: i,
+                ev_cause: if i == 0 { NO_ID } else { i - 1 },
+            });
+        }
+        fr.trigger(DumpReason::Fault, 777);
+        fr.take_dumps().remove(0)
+    }
+
+    #[test]
+    fn jsonl_is_stable_and_self_describing() {
+        let d = sample_dump();
+        let a = dump_jsonl(&d);
+        let b = dump_jsonl(&d);
+        assert_eq!(a, b);
+        assert!(a.starts_with(
+            "{\"dump\":{\"reason\":\"fault\",\"t\":777,\"depth\":4,\"recorded\":6,\"nodes\":2}}\n"
+        ));
+        assert!(a.contains("\"kind\":\"arrival\""));
+        assert!(a.contains("\"cause\":null"));
+        // One line per dump header + window header per node + record.
+        assert_eq!(a.lines().count(), 1 + 2 + 6);
+        assert!(a.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+
+    #[test]
+    fn chrome_view_groups_records_per_node() {
+        let c = dump_chrome(&sample_dump());
+        assert!(c.contains("\"name\":\"node0\""));
+        assert!(c.contains("\"name\":\"node1\""));
+        assert!(c.contains("\"ph\":\"i\""));
+        assert!(c.starts_with("{\"traceEvents\":["));
+        assert!(c.ends_with("]}\n"));
+    }
+}

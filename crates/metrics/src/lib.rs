@@ -11,6 +11,13 @@
 //! * [`attribution`] — request-level latency attribution: exact additive
 //!   per-stage breakdowns ([`attribution::AttributionReport`])
 //!   reconstructed from a recorded trace,
+//! * [`alerts`] — multi-window SLO burn-rate alerting
+//!   ([`alerts::BurnRateEngine`]): deterministic virtual-time window
+//!   math producing a byte-stable alert log consumed by the flight
+//!   recorder as a dump trigger,
+//! * [`forensics`] — flight-recorder dump rendering
+//!   ([`forensics::dump_jsonl`] / [`forensics::dump_chrome`]): the
+//!   byte-stable incident window `strings-sim serve --dump` writes,
 //! * [`registry`] — the unified metrics registry
 //!   ([`registry::MetricsRegistry`]): virtual-time-sampled counters,
 //!   gauges and fixed-bucket histograms with deterministic
@@ -26,16 +33,19 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod alerts;
 pub mod attribution;
 pub mod disruption;
 pub mod export;
 pub mod fairness;
+pub mod forensics;
 pub mod registry;
 pub mod report;
 pub mod slo;
 pub mod speedup;
 pub mod trace_export;
 
+pub use alerts::{AlertEvent, AlertReport, BurnRateConfig, BurnRateEngine};
 pub use attribution::{AttributionReport, RequestAttribution};
 pub use disruption::{DisruptionReport, TenantDisruption};
 pub use fairness::jain_fairness;

@@ -74,14 +74,34 @@ struct Hist {
     count: u64,
 }
 
+/// Escape a label value per the OpenMetrics exposition grammar: inside a
+/// quoted label value, `\`, `"` and newline must be written `\\`, `\"`
+/// and `\n`.
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
 /// Canonical label rendering: `{k1="v1",k2="v2"}` (insertion order of the
 /// call site, which every call site keeps fixed), empty string when
-/// unlabelled.
+/// unlabelled. Values are escaped per the exposition grammar, so tenant
+/// names containing `"` or newlines stay parseable.
 fn label_str(labels: &[(&str, &str)]) -> String {
     if labels.is_empty() {
         return String::new();
     }
-    let body: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    let body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
     format!("{{{}}}", body.join(","))
 }
 
@@ -370,5 +390,110 @@ mod tests {
         assert_eq!(fmt_value(3.0), "3");
         assert_eq!(fmt_value(0.25), "0.25");
         assert_eq!(fmt_value(-2.0), "-2");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut r = MetricsRegistry::new();
+        r.register("g", MetricKind::Gauge, "gauge with hostile labels");
+        r.set("g", &[("tenant", "acme \"prod\"\nbeta\\x")], 1.0);
+        let text = r.render_openmetrics();
+        assert!(
+            text.contains(r#"g{tenant="acme \"prod\"\nbeta\\x"} 1"#),
+            "got: {text}"
+        );
+        // The sample stays on one exposition line despite the newline in
+        // the label value.
+        let sample = text.lines().find(|l| l.starts_with("g{")).unwrap();
+        assert!(sample.ends_with(" 1"));
+    }
+
+    /// Minimal conformance check against the OpenMetrics text exposition
+    /// grammar: every line is a HELP/TYPE comment or a `name{labels} value`
+    /// sample with balanced, properly-escaped quoting, and the exposition
+    /// ends with the mandatory `# EOF` terminator.
+    fn assert_conformant(text: &str) {
+        assert!(text.ends_with("# EOF\n"), "missing # EOF terminator");
+        let name_ok = |s: &str| {
+            !s.is_empty()
+                && s.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+                && !s.starts_with(|c: char| c.is_ascii_digit())
+        };
+        for line in text.lines() {
+            if line == "# EOF" {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# ") {
+                let (kw, body) = rest.split_once(' ').expect("comment body");
+                assert!(kw == "HELP" || kw == "TYPE", "unknown comment {kw}");
+                let (name, tail) = body.split_once(' ').expect("metric name");
+                assert!(name_ok(name), "bad family name {name}");
+                if kw == "TYPE" {
+                    assert!(
+                        ["counter", "gauge", "histogram"].contains(&tail),
+                        "bad type {tail}"
+                    );
+                }
+                continue;
+            }
+            // Sample line: name[{labels}] value
+            let (series, value) = line.rsplit_once(' ').expect("sample value");
+            assert!(
+                value == "+Inf" || value.parse::<f64>().is_ok(),
+                "unparseable value {value}"
+            );
+            let name = match series.split_once('{') {
+                None => series,
+                Some((name, labels)) => {
+                    let labels = labels.strip_suffix('}').expect("unterminated label set");
+                    // Walk `k="v",k="v"` with escape-aware value scanning.
+                    let mut rest = labels;
+                    while !rest.is_empty() {
+                        let (key, tail) = rest.split_once("=\"").expect("label key");
+                        assert!(name_ok(key), "bad label key {key}");
+                        let mut esc = false;
+                        let mut end = None;
+                        for (i, c) in tail.char_indices() {
+                            if esc {
+                                assert!(
+                                    matches!(c, '\\' | '"' | 'n'),
+                                    "bad escape \\{c} in label value"
+                                );
+                                esc = false;
+                            } else if c == '\\' {
+                                esc = true;
+                            } else if c == '"' {
+                                end = Some(i);
+                                break;
+                            } else {
+                                assert!(c != '\n', "raw newline in label value");
+                            }
+                        }
+                        let end = end.expect("unterminated label value");
+                        rest = tail[end + 1..]
+                            .strip_prefix(',')
+                            .unwrap_or(&tail[end + 1..]);
+                    }
+                    name
+                }
+            };
+            assert!(
+                name_ok(
+                    name.trim_end_matches("_bucket")
+                        .trim_end_matches("_sum")
+                        .trim_end_matches("_count")
+                ),
+                "bad sample name {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn exposition_conforms_to_the_grammar() {
+        let mut r = sample_registry();
+        r.set("g", &[("tenant", "we\"ird\nname\\7")], 0.5);
+        r.register("g", MetricKind::Gauge, "hostile-label gauge");
+        assert_conformant(&r.render_openmetrics());
     }
 }

@@ -21,6 +21,9 @@ pub struct RpcCounters {
     pub replies: u64,
     /// Calls dropped by a partitioned / dead channel.
     pub dropped: u64,
+    /// Per-call deadlines that expired before a reply arrived (each may
+    /// lead to a retry or, once the budget is exhausted, a failover).
+    pub timeouts: u64,
     /// Frontend retries after a per-call deadline expired.
     pub retries: u64,
     /// Total payload bytes marshalled into packets (both directions are

@@ -64,6 +64,28 @@ pub struct EventKey(u32);
 /// Sentinel for "no key" on unkeyed entries.
 const NO_KEY: u32 = u32::MAX;
 
+/// Identity of a dispatched event, for causal provenance.
+///
+/// Every popped event carries a unique id (its insertion sequence number)
+/// and remembers the id of the event being dispatched when it was
+/// scheduled — its *cause*. Walking `cause` links backwards recovers the
+/// scheduling chain that led to any event without recording anything
+/// beyond two words per entry. [`EventId::NONE`] marks roots: events
+/// scheduled before the first pop (initial arrivals, fault plans).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(pub u64);
+
+impl EventId {
+    /// "No cause": the event was scheduled outside any dispatch (setup).
+    pub const NONE: EventId = EventId(u64::MAX);
+
+    /// True unless this is the [`EventId::NONE`] sentinel.
+    #[inline]
+    pub fn is_some(self) -> bool {
+        self.0 != u64::MAX
+    }
+}
+
 /// log2 of the bucket width: 2^22 ns ≈ 4.2 ms per bucket, sized so the
 /// DES hot paths (device wakeups every few hundred µs to a few ms) land a
 /// handful of events per bucket — small enough to scan, large enough that
@@ -99,6 +121,10 @@ struct Scheduled<E> {
     /// The key's generation when this entry was scheduled; the entry is
     /// stale iff it no longer matches `key_gens[key]`.
     key_gen: u64,
+    /// Sequence number of the event being dispatched when this entry was
+    /// scheduled (`u64::MAX` when scheduled outside any dispatch). Pure
+    /// bookkeeping: never consulted by ordering or accounting.
+    cause: u64,
     event: E,
 }
 
@@ -195,6 +221,11 @@ pub struct EventQueue<E> {
     cancelled: u64,
     peak_len: usize,
     peak_live: usize,
+    /// Sequence number of the most recently popped live event; schedules
+    /// stamp it into new entries as their cause.
+    cur_id: u64,
+    /// That event's own cause, exposed for provenance recording.
+    cur_cause: u64,
 }
 
 #[inline]
@@ -230,7 +261,24 @@ impl<E> EventQueue<E> {
             cancelled: 0,
             peak_len: 0,
             peak_live: 0,
+            cur_id: u64::MAX,
+            cur_cause: u64::MAX,
         }
+    }
+
+    /// Id of the event currently being dispatched (the most recent
+    /// [`EventQueue::pop`]), or [`EventId::NONE`] before the first pop.
+    #[inline]
+    pub fn current_id(&self) -> EventId {
+        EventId(self.cur_id)
+    }
+
+    /// Cause of the event currently being dispatched: the id of the event
+    /// whose handler scheduled it, or [`EventId::NONE`] for setup-time
+    /// roots (initial arrivals, fault plans).
+    #[inline]
+    pub fn current_cause(&self) -> EventId {
+        EventId(self.cur_cause)
     }
 
     /// Current virtual time (time of the most recently popped event).
@@ -320,6 +368,7 @@ impl<E> EventQueue<E> {
             seq,
             key: NO_KEY,
             key_gen: 0,
+            cause: self.cur_id,
             event,
         };
         self.insert(entry);
@@ -351,12 +400,14 @@ impl<E> EventQueue<E> {
         }
         let seq = self.next_seq;
         self.next_seq += 1;
+        let cause = self.cur_id;
         let slot = &mut self.slots[key.0 as usize];
         let entry = Scheduled {
             time: at.max(self.now),
             seq,
             key: key.0,
             key_gen: slot.gen,
+            cause,
             event,
         };
         let (t, s) = (entry.time, entry.seq);
@@ -599,6 +650,8 @@ impl<E> EventQueue<E> {
                 }
                 slot.spilled_live -= 1;
             }
+            self.cur_id = s.seq;
+            self.cur_cause = s.cause;
             return Some((s.time, s.event));
         }
     }
@@ -639,6 +692,27 @@ mod tests {
         assert_eq!(q.pop(), Some((20, "b")));
         assert_eq!(q.pop(), Some((30, "c")));
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn cause_links_record_the_scheduling_chain() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.current_id(), EventId::NONE);
+        q.schedule(10, "root"); // seq 0, scheduled outside any dispatch
+        assert_eq!(q.pop(), Some((10, "root")));
+        assert_eq!(q.current_id(), EventId(0));
+        assert_eq!(q.current_cause(), EventId::NONE);
+        // Scheduled while dispatching seq 0 → caused by it.
+        q.schedule(20, "child"); // seq 1
+        assert_eq!(q.pop(), Some((20, "child")));
+        assert_eq!(q.current_id(), EventId(1));
+        assert_eq!(q.current_cause(), EventId(0));
+        // Keyed entries carry causes the same way.
+        let key = q.register_key();
+        q.schedule_keyed(key, 30, "keyed"); // seq 2, caused by seq 1
+        assert_eq!(q.pop(), Some((30, "keyed")));
+        assert_eq!(q.current_id(), EventId(2));
+        assert_eq!(q.current_cause(), EventId(1));
     }
 
     #[test]
@@ -965,6 +1039,7 @@ mod differential {
                 seq,
                 key,
                 key_gen,
+                cause: u64::MAX,
                 event,
             }));
         }

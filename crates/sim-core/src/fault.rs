@@ -76,6 +76,27 @@ impl FaultKind {
             FaultKind::Partition { .. } => "partition",
         }
     }
+
+    /// Stable numeric code for compact encodings (flight records).
+    pub fn code(&self) -> u64 {
+        match self {
+            FaultKind::BackendCrash { .. } => 0,
+            FaultKind::DeviceFailure { .. } => 1,
+            FaultKind::NodeLoss { .. } => 2,
+            FaultKind::LinkDegraded { .. } => 3,
+            FaultKind::Partition { .. } => 4,
+        }
+    }
+
+    /// The injection target (GID or node index) for compact encodings.
+    pub fn target(&self) -> u64 {
+        match self {
+            FaultKind::BackendCrash { gid } | FaultKind::DeviceFailure { gid } => *gid as u64,
+            FaultKind::NodeLoss { node }
+            | FaultKind::LinkDegraded { node, .. }
+            | FaultKind::Partition { node, .. } => *node as u64,
+        }
+    }
 }
 
 impl std::fmt::Display for FaultKind {

@@ -1,0 +1,463 @@
+//! Always-on flight recorder: a fixed-capacity per-node ring of compact
+//! lifecycle records, dumped deterministically when something goes wrong.
+//!
+//! Full tracing ([`crate::trace`]) records everything and is too heavy to
+//! leave on for week-long virtual-time runs. The flight recorder is the
+//! opposite trade: every run keeps only the last `depth` records *per
+//! node* — arrivals, sheds, dispatches, RPC hops, faults, failovers,
+//! completions — each a flat fixed-size [`FlightRecord`]. When a trigger
+//! fires (fault injected, SLO breach, burn-rate alert, or an explicit
+//! `--dump-at T`), the recorder snapshots the window once per trigger
+//! class into a [`FlightDump`]; the harness renders it as byte-stable
+//! JSONL or a Perfetto-compatible trace (see `strings-metrics`).
+//!
+//! Records carry two layers of provenance:
+//!
+//! * **request chain** — `cause` is the id of the previous flight record
+//!   for the same request, so a breached request walks back through its
+//!   own lifecycle (`strings-sim explain`),
+//! * **event chain** — `ev`/`ev_cause` are the DES event ids from
+//!   [`crate::event::EventQueue::current_id`], linking each record to the
+//!   scheduling chain that produced it (fault → failover → replay hops
+//!   share the chain even across requests).
+//!
+//! Recording is O(1) with no allocation after construction; the rings are
+//! preallocated at `depth` per node.
+
+use crate::time::SimTime;
+
+/// "No record / no cause" sentinel for [`FlightRecord::cause`] links.
+pub const NO_ID: u64 = u64::MAX;
+
+/// What a flight record witnessed. Payload fields `a`/`b` are documented
+/// per variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FlightKind {
+    /// Request arrived at the front door. `a` = tenant, `b` = planned node.
+    Arrival,
+    /// Admission shed the request. `a` = tenant, `b` = shed-reason code.
+    Shed,
+    /// Request arrived for (or was re-placed onto) a lost node and was
+    /// dropped. `a` = tenant, `b` = node.
+    Lost,
+    /// Request left the admission queue and started executing. `a` =
+    /// tenant, `b` = node.
+    Dispatch,
+    /// Interposer bound the request's context to a device. `a` = GID,
+    /// `b` = node.
+    Bind,
+    /// Frontend marshalled an RPC toward a backend. `a` = GID, `b` =
+    /// payload bytes.
+    RpcSend,
+    /// RPC dropped by a partitioned/dead channel. `a` = GID, `b` = node.
+    RpcDrop,
+    /// RPC delivered to the backend worker. `a` = GID, `b` = run-wide
+    /// delivery ordinal.
+    RpcDeliver,
+    /// Reply received by the frontend. `a` = GID, `b` = 0.
+    RpcReply,
+    /// Per-call deadline expired. `a` = attempt, `b` = 0.
+    RpcTimeout,
+    /// Frontend retry after a timeout. `a` = attempt, `b` = backoff ns.
+    RpcRetry,
+    /// A fault-plan event fired (run-scoped, `request == NO_ID`). `a` =
+    /// fault-kind code, `b` = target (GID or node).
+    FaultInjected,
+    /// Request torn down for re-placement after a fault. `a` = old GID
+    /// (or [`NO_ID`] if unbound), `b` = restart delay ns.
+    Failover,
+    /// Request replayed from the top. `a` = node, `b` = incarnation.
+    Restart,
+    /// Request aborted permanently. `a` = node, `b` = 0.
+    Abort,
+    /// Request completed. `a` = end-to-end latency ns, `b` = 1 if the
+    /// configured SLO target was missed (0 otherwise, or no target).
+    Complete,
+    /// A burn-rate alert transitioned (run-scoped). `a` = 1 fired /
+    /// 0 resolved, `b` = short-window burn in 1e-2 units.
+    Alert,
+}
+
+impl FlightKind {
+    /// Stable lowercase label used by every rendered surface.
+    pub fn label(self) -> &'static str {
+        match self {
+            FlightKind::Arrival => "arrival",
+            FlightKind::Shed => "shed",
+            FlightKind::Lost => "lost",
+            FlightKind::Dispatch => "dispatch",
+            FlightKind::Bind => "bind",
+            FlightKind::RpcSend => "rpc_send",
+            FlightKind::RpcDrop => "rpc_drop",
+            FlightKind::RpcDeliver => "rpc_deliver",
+            FlightKind::RpcReply => "rpc_reply",
+            FlightKind::RpcTimeout => "rpc_timeout",
+            FlightKind::RpcRetry => "rpc_retry",
+            FlightKind::FaultInjected => "fault_injected",
+            FlightKind::Failover => "failover",
+            FlightKind::Restart => "restart",
+            FlightKind::Abort => "abort",
+            FlightKind::Complete => "complete",
+            FlightKind::Alert => "alert",
+        }
+    }
+}
+
+/// One compact lifecycle record (fixed size, no heap payload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightRecord {
+    /// Virtual time the record was written.
+    pub at: SimTime,
+    /// Node whose ring holds the record (frontend node for request-scoped
+    /// records).
+    pub node: u32,
+    /// What happened.
+    pub kind: FlightKind,
+    /// Request id (planned-request index), or [`NO_ID`] for run-scoped
+    /// records (faults, alerts).
+    pub request: u64,
+    /// First payload word; meaning per [`FlightKind`] variant.
+    pub a: u64,
+    /// Second payload word; meaning per [`FlightKind`] variant.
+    pub b: u64,
+    /// Recorder-assigned id, globally monotonic across all rings.
+    pub id: u64,
+    /// Id of the previous record in the same request's chain, or
+    /// [`NO_ID`] for chain roots and run-scoped records.
+    pub cause: u64,
+    /// DES event id being dispatched when this was recorded.
+    pub ev: u64,
+    /// That DES event's own cause (id of the event that scheduled it).
+    pub ev_cause: u64,
+}
+
+/// Fixed-capacity overwrite-oldest ring of records.
+#[derive(Debug, Clone)]
+struct Ring {
+    buf: Vec<FlightRecord>,
+    /// Next write position when the ring is full.
+    head: usize,
+    /// Records overwritten since the run started.
+    evicted: u64,
+}
+
+impl Ring {
+    fn new(depth: usize) -> Self {
+        Ring {
+            buf: Vec::with_capacity(depth),
+            head: 0,
+            evicted: 0,
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, rec: FlightRecord) {
+        if self.buf.len() < self.buf.capacity() {
+            self.buf.push(rec);
+        } else {
+            self.buf[self.head] = rec;
+            self.head = (self.head + 1) % self.buf.len();
+            self.evicted += 1;
+        }
+    }
+
+    /// Records oldest-first (unrotated).
+    fn window(&self) -> Vec<FlightRecord> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+}
+
+/// Why a dump was taken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DumpReason {
+    /// A fault-plan event fired.
+    Fault,
+    /// A completed request missed the configured SLO target.
+    SloBreach,
+    /// The burn-rate engine fired an alert.
+    Alert,
+    /// Explicit `--dump-at T` (or end-of-run `--dump`).
+    Explicit,
+}
+
+impl DumpReason {
+    /// Stable lowercase label used by every rendered surface.
+    pub fn label(self) -> &'static str {
+        match self {
+            DumpReason::Fault => "fault",
+            DumpReason::SloBreach => "slo_breach",
+            DumpReason::Alert => "alert",
+            DumpReason::Explicit => "explicit",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            DumpReason::Fault => 0,
+            DumpReason::SloBreach => 1,
+            DumpReason::Alert => 2,
+            DumpReason::Explicit => 3,
+        }
+    }
+}
+
+/// One node's slice of a dump: its window at trigger time.
+#[derive(Debug, Clone)]
+pub struct NodeWindow {
+    /// Node id.
+    pub node: u32,
+    /// Records overwritten before the dump (ring churn).
+    pub evicted: u64,
+    /// The surviving window, oldest-first.
+    pub records: Vec<FlightRecord>,
+}
+
+/// A snapshot of every node's ring, taken at a trigger.
+#[derive(Debug, Clone)]
+pub struct FlightDump {
+    /// What tripped the dump.
+    pub reason: DumpReason,
+    /// Virtual time of the trigger.
+    pub at: SimTime,
+    /// Ring capacity per node at dump time.
+    pub depth: usize,
+    /// Total records written run-wide up to the dump.
+    pub recorded: u64,
+    /// Per-node windows, node-ordered.
+    pub nodes: Vec<NodeWindow>,
+}
+
+/// The per-run recorder: one ring per node plus trigger bookkeeping.
+///
+/// The first trigger of each [`DumpReason`] class snapshots a dump;
+/// later triggers of the same class only bump its counter, so a fault
+/// storm yields one deterministic fault-window instead of hundreds.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    rings: Vec<Ring>,
+    depth: usize,
+    next_id: u64,
+    recorded: u64,
+    dumps: Vec<FlightDump>,
+    triggers: [u64; 4],
+}
+
+impl FlightRecorder {
+    /// Recorder over `nodes` rings of `depth` records each. `depth == 0`
+    /// disables recording entirely (the overhead-gate baseline).
+    pub fn new(nodes: usize, depth: usize) -> Self {
+        let rings = if depth == 0 {
+            Vec::new()
+        } else {
+            (0..nodes).map(|_| Ring::new(depth)).collect()
+        };
+        FlightRecorder {
+            rings,
+            depth,
+            next_id: 0,
+            recorded: 0,
+            dumps: Vec::new(),
+            triggers: [0; 4],
+        }
+    }
+
+    /// True when recording (depth > 0). Call sites gate on this before
+    /// assembling a record.
+    #[inline]
+    pub fn is_on(&self) -> bool {
+        self.depth != 0
+    }
+
+    /// Ring capacity per node (0 = disabled).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Total records written so far.
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Write `rec` into its node's ring, assigning its id. Returns the
+    /// assigned id ([`NO_ID`] when recording is off).
+    #[inline]
+    pub fn record(&mut self, mut rec: FlightRecord) -> u64 {
+        if self.depth == 0 {
+            return NO_ID;
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.recorded += 1;
+        rec.id = id;
+        let node = (rec.node as usize).min(self.rings.len().saturating_sub(1));
+        self.rings[node].push(rec);
+        id
+    }
+
+    /// Register a trigger. The first trigger per reason class snapshots
+    /// every ring into a dump; repeats only count.
+    pub fn trigger(&mut self, reason: DumpReason, at: SimTime) {
+        if self.depth == 0 {
+            return;
+        }
+        self.triggers[reason.index()] += 1;
+        if self.triggers[reason.index()] == 1 {
+            let dump = self.snapshot(reason, at);
+            self.dumps.push(dump);
+        }
+    }
+
+    /// Snapshot every ring right now (used by triggers and by the
+    /// end-of-run `--dump` fallback).
+    pub fn snapshot(&self, reason: DumpReason, at: SimTime) -> FlightDump {
+        FlightDump {
+            reason,
+            at,
+            depth: self.depth,
+            recorded: self.recorded,
+            nodes: self
+                .rings
+                .iter()
+                .enumerate()
+                .map(|(n, r)| NodeWindow {
+                    node: n as u32,
+                    evicted: r.evicted,
+                    records: r.window(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Dumps taken so far (at most one per [`DumpReason`] class).
+    pub fn dumps(&self) -> &[FlightDump] {
+        &self.dumps
+    }
+
+    /// Trigger counts per class: `[fault, slo_breach, alert, explicit]`.
+    pub fn trigger_counts(&self) -> [u64; 4] {
+        self.triggers
+    }
+
+    /// Move the dumps out (end-of-run harvest).
+    pub fn take_dumps(&mut self) -> Vec<FlightDump> {
+        std::mem::take(&mut self.dumps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn rec(node: u32, seq: u64) -> FlightRecord {
+        FlightRecord {
+            at: seq,
+            node,
+            kind: FlightKind::Arrival,
+            request: seq,
+            a: 0,
+            b: 0,
+            id: 0,
+            cause: NO_ID,
+            ev: seq,
+            ev_cause: NO_ID,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_the_last_depth_records_in_order() {
+        let mut fr = FlightRecorder::new(1, 4);
+        for i in 0..10u64 {
+            fr.record(rec(0, i));
+        }
+        let dump = fr.snapshot(DumpReason::Explicit, 10);
+        let win = &dump.nodes[0];
+        assert_eq!(win.evicted, 6);
+        let reqs: Vec<u64> = win.records.iter().map(|r| r.request).collect();
+        assert_eq!(reqs, vec![6, 7, 8, 9]);
+        let ids: Vec<u64> = win.records.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![6, 7, 8, 9], "ids are globally monotonic");
+    }
+
+    #[test]
+    fn depth_zero_disables_recording() {
+        let mut fr = FlightRecorder::new(4, 0);
+        assert!(!fr.is_on());
+        assert_eq!(fr.record(rec(0, 1)), NO_ID);
+        fr.trigger(DumpReason::Fault, 5);
+        assert!(fr.dumps().is_empty());
+        assert_eq!(fr.recorded(), 0);
+    }
+
+    #[test]
+    fn first_trigger_per_class_snapshots_then_counts() {
+        let mut fr = FlightRecorder::new(2, 8);
+        fr.record(rec(0, 1));
+        fr.trigger(DumpReason::Fault, 2);
+        fr.record(rec(1, 3));
+        fr.trigger(DumpReason::Fault, 4);
+        fr.trigger(DumpReason::Alert, 5);
+        assert_eq!(fr.dumps().len(), 2, "one dump per class");
+        assert_eq!(fr.trigger_counts(), [2, 0, 1, 0]);
+        // The fault dump froze the world as of t=2: node 1 still empty.
+        assert_eq!(fr.dumps()[0].nodes[1].records.len(), 0);
+        assert_eq!(fr.dumps()[1].nodes[1].records.len(), 1);
+    }
+
+    #[test]
+    fn records_route_to_their_nodes_ring() {
+        let mut fr = FlightRecorder::new(3, 4);
+        fr.record(rec(2, 1));
+        fr.record(rec(0, 2));
+        fr.record(rec(2, 3));
+        let d = fr.snapshot(DumpReason::Explicit, 9);
+        assert_eq!(d.nodes[0].records.len(), 1);
+        assert_eq!(d.nodes[1].records.len(), 0);
+        assert_eq!(d.nodes[2].records.len(), 2);
+    }
+
+    proptest! {
+        /// Eviction order: after any push sequence the window is exactly
+        /// the last `min(n, depth)` records, oldest-first.
+        #[test]
+        fn prop_window_is_last_depth_in_order(
+            depth in 1usize..32,
+            n in 0usize..200,
+        ) {
+            let mut fr = FlightRecorder::new(1, depth);
+            for i in 0..n as u64 {
+                fr.record(rec(0, i));
+            }
+            let d = fr.snapshot(DumpReason::Explicit, n as u64);
+            let win = &d.nodes[0].records;
+            let kept = n.min(depth);
+            prop_assert_eq!(win.len(), kept);
+            prop_assert_eq!(d.nodes[0].evicted, (n - kept) as u64);
+            for (i, r) in win.iter().enumerate() {
+                prop_assert_eq!(r.request, (n - kept + i) as u64);
+            }
+        }
+
+        /// Capacity: the ring never holds more than `depth` records, and
+        /// never allocates past its preallocation.
+        #[test]
+        fn prop_capacity_never_exceeded(
+            depth in 1usize..16,
+            pushes in proptest::collection::vec(0u32..3, 0..120),
+        ) {
+            let mut fr = FlightRecorder::new(3, depth);
+            for (i, node) in pushes.iter().enumerate() {
+                fr.record(rec(*node, i as u64));
+                for ring in &fr.rings {
+                    prop_assert!(ring.buf.len() <= depth);
+                    prop_assert_eq!(ring.buf.capacity(), depth);
+                }
+            }
+            prop_assert_eq!(fr.recorded(), pushes.len() as u64);
+        }
+    }
+}

@@ -20,7 +20,12 @@
 //!   link degradation/partition windows, interpreted by the harness,
 //! * [`trace`] — optional structured tracing: virtual-time spans,
 //!   instants and counters on named tracks, recorded by a [`Tracer`]
-//!   and exportable to Perfetto (via `strings-metrics`).
+//!   and exportable to Perfetto (via `strings-metrics`),
+//! * [`flight`] — the always-on flight recorder: fixed-capacity per-node
+//!   rings of compact lifecycle records ([`flight::FlightRecord`]) with
+//!   causal provenance (DES event ids from
+//!   [`event::EventQueue::current_id`]), snapshotted deterministically
+//!   on faults, SLO breaches, burn-rate alerts, or an explicit trigger.
 //!
 //! Everything here is single-threaded and bit-deterministic for a given
 //! seed; parallelism lives one level up (independent simulation runs are
@@ -31,6 +36,7 @@
 
 pub mod event;
 pub mod fault;
+pub mod flight;
 pub mod fxhash;
 pub mod rng;
 pub mod stats;
@@ -38,8 +44,9 @@ pub mod telemetry;
 pub mod time;
 pub mod trace;
 
-pub use event::{EventKey, EventQueue, Generation};
+pub use event::{EventId, EventKey, EventQueue, Generation};
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
+pub use flight::{DumpReason, FlightDump, FlightKind, FlightRecord, FlightRecorder};
 pub use rng::SimRng;
 pub use stats::OnlineStats;
 pub use telemetry::UtilizationTracker;

@@ -6,10 +6,13 @@
 //!     --app MC:20:1.5 --app DC:10:1.0:1 --nodes 2 --seeds 3
 //! ```
 
-use strings_repro::harness::cli::{parse_args, parse_serve_args, SERVE_USAGE, USAGE};
+use strings_repro::harness::cli::{
+    parse_args, parse_explain_args, parse_serve_args, EXPLAIN_USAGE, SERVE_USAGE, USAGE,
+};
 use strings_repro::harness::experiments::{policy_matrix, ExpScale};
-use strings_repro::harness::sweep;
+use strings_repro::harness::{explain, sweep};
 use strings_repro::metrics::export;
+use strings_repro::metrics::forensics;
 use strings_repro::metrics::report::{fmt_pct, Table};
 
 /// The `policy-matrix` subcommand: rank every scheduler stack across
@@ -74,6 +77,9 @@ fn serve_main(args: &[String]) {
         let report = run.spec.slo(stats);
         println!("seed {seed}:");
         print!("{}", report.render());
+        if let Some(alerts) = &stats.alerts {
+            print!("{}", alerts.render());
+        }
         println!();
     }
     if run.attribution {
@@ -109,12 +115,57 @@ fn serve_main(args: &[String]) {
         std::fs::write(path, body).expect("write trace");
         println!("trace written to {path} ({} events)", trace.events.len());
     }
+    if let Some(path) = &run.dump {
+        // First trigger wins; the final snapshot is the fallback when no
+        // trigger fired during the run (dump_final is set with --dump).
+        match runs[0].flight_dumps.first() {
+            Some(dump) => {
+                let body = if path.ends_with(".jsonl") {
+                    forensics::dump_jsonl(dump)
+                } else {
+                    forensics::dump_chrome(dump)
+                };
+                std::fs::write(path, body).expect("write dump");
+                println!(
+                    "flight dump written to {path} (reason {}, t {} ns, {} nodes)",
+                    dump.reason.label(),
+                    dump.at,
+                    dump.nodes.len()
+                );
+            }
+            None => println!("no flight dump: recorder disabled (--flight-depth 0)"),
+        }
+    }
+}
+
+/// The `explain` subcommand: rerun a serve spec with attribution forced
+/// on and render request REQ's blame chain plus its stage charges.
+fn explain_main(args: &[String]) {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{EXPLAIN_USAGE}");
+        return;
+    }
+    let (req, run) = match parse_explain_args(args) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let seed = run.seeds[0];
+    let stats = run.spec.run_with_seed(seed);
+    let attr = run.spec.attribution(&stats);
+    print!("{}", explain::render(&stats, Some(&attr), req));
 }
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().is_some_and(|a| a == "serve") {
         serve_main(&args[1..]);
+        return;
+    }
+    if args.first().is_some_and(|a| a == "explain") {
+        explain_main(&args[1..]);
         return;
     }
     if args.first().is_some_and(|a| a == "policy-matrix") {
